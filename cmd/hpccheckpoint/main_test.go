@@ -1,0 +1,58 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func testData(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "data")
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 3, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hpcfail.SaveDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunDefaults(t *testing.T) {
+	dir := testData(t)
+	if err := run([]string{"-data", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitIntervals(t *testing.T) {
+	dir := testData(t)
+	if err := run([]string{"-data", dir, "-base", "48h", "-risky", "6h", "-window", "96h", "-group", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := testData(t)
+	cases := [][]string{
+		{},                                    // missing data
+		{"-data", dir, "-cost", "0s"},         // bad cost
+		{"-data", dir, "-group", "7"},         // selects nothing? (7 -> all systems) actually valid
+		{"-data", filepath.Join(dir, "nope")}, // bad dir
+	}
+	for i, args := range cases {
+		err := run(args)
+		if i == 2 {
+			// group 7 falls through to all systems: allowed.
+			if err != nil {
+				t.Errorf("run(%v): %v", args, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}

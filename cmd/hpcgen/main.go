@@ -1,0 +1,62 @@
+// Command hpcgen generates a synthetic LANL-style operational dataset and
+// writes it as a directory of CSV files (systems, failures, jobs,
+// temperatures, maintenance, neutron counts, and per-system layouts).
+//
+// Usage:
+//
+//	hpcgen -out data/ [-seed 1] [-scale 1] [-no-triggering] [-no-events] [-no-node0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpcgen", flag.ContinueOnError)
+	out := fs.String("out", "", "output directory (required)")
+	seed := fs.Int64("seed", 1, "random seed")
+	scale := fs.Float64("scale", 1, "catalog scale in (0,1]")
+	noTrig := fs.Bool("no-triggering", false, "disable failure-to-failure triggering (ablation)")
+	noEvents := fs.Bool("no-events", false, "disable facility events (ablation)")
+	noNode0 := fs.Bool("no-node0", false, "disable the login-node effect (ablation)")
+	quiet := fs.Bool("q", false, "suppress the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-out is required")
+	}
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{
+		Seed:              *seed,
+		Scale:             *scale,
+		DisableTriggering: *noTrig,
+		DisableEvents:     *noEvents,
+		DisableNodeZero:   *noNode0,
+	})
+	if err != nil {
+		return err
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("generated dataset failed validation: %w", err)
+	}
+	if err := hpcfail.SaveDataset(*out, ds); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("wrote %s: %d systems, %d failures, %d jobs, %d temperature samples, %d maintenance events, %d neutron samples\n",
+			*out, len(ds.Systems), len(ds.Failures), len(ds.Jobs), len(ds.Temps), len(ds.Maintenance), len(ds.Neutrons))
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGeneratesDataset(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	if err := run([]string{"-out", dir, "-seed", "3", "-scale", "0.1", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"systems.csv", "failures.csv", "jobs.csv", "temps.csv", "maintenance.csv", "neutrons.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestRunRequiresOut(t *testing.T) {
+	if err := run([]string{"-seed", "1"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ablated")
+	err := run([]string{"-out", dir, "-seed", "2", "-scale", "0.1", "-no-triggering", "-no-events", "-no-node0", "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "failures.csv")); err != nil {
+		t.Error("ablated dataset missing failures")
+	}
+}

@@ -1,0 +1,80 @@
+// Command hpcimport converts a failure table in the public LANL release
+// format into a dataset directory that hpcanalyze and hpcreport understand.
+//
+// Usage:
+//
+//	hpcimport -in lanl_failures.csv -out data/
+//	hpcimport -in lanl_failures.csv -out data/ -node-col nodenum -started-col "Prob Started"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcimport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpcimport", flag.ContinueOnError)
+	in := fs.String("in", "", "input failure CSV in the LANL release format (required)")
+	out := fs.String("out", "", "output dataset directory (required)")
+	sysCol := fs.String("system-col", "", "override the system-ID column name")
+	nodeCol := fs.String("node-col", "", "override the node-number column name")
+	startedCol := fs.String("started-col", "", "override the outage-start column name")
+	quiet := fs.Bool("q", false, "suppress the summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" || *out == "" {
+		fs.Usage()
+		return fmt.Errorf("-in and -out are required")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	m := hpcfail.DefaultLANLMapping()
+	if *sysCol != "" {
+		m.System = *sysCol
+	}
+	if *nodeCol != "" {
+		m.Node = *nodeCol
+	}
+	if *startedCol != "" {
+		m.Started = *startedCol
+	}
+
+	ds, res, err := hpcfail.ImportLANL(f, m)
+	if err != nil {
+		return err
+	}
+	if err := hpcfail.SaveDataset(*out, ds); err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("imported %d failures across %d systems into %s\n",
+			len(ds.Failures), len(ds.Systems), *out)
+		if len(res.Issues) > 0 {
+			fmt.Printf("skipped %d rows; first issues:\n", len(res.Issues))
+			for i, is := range res.Issues {
+				if i >= 5 {
+					fmt.Println("  ...")
+					break
+				}
+				fmt.Printf("  line %d: %v\n", is.Line, is.Err)
+			}
+		}
+	}
+	return nil
+}

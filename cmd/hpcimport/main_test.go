@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+const sample = `System,nodenumz,Prob Started,Prob Fixed,Down Time,Facilities,Hardware,Human Error,Network,Undetermined,Software
+20,0,07/14/2003 09:30,07/14/2003 11:00,,,Memory Dimm,,,,
+20,3,07/15/2003 02:10,,120,,,,,Unresolvable,
+18,12,08/01/2003 17:45,,,Power Outage,,,,,
+`
+
+func TestRunImport(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "lanl.csv")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "data")
+	if err := run([]string{"-in", in, "-out", out, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := hpcfail.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failures) != 3 || len(ds.Systems) != 2 {
+		t.Errorf("imported dataset: %d failures, %d systems", len(ds.Failures), len(ds.Systems))
+	}
+}
+
+func TestRunImportOverrides(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "alt.csv")
+	alt := `sys,box,when,Prob Fixed,Down Time,Facilities,Hardware,Human Error,Network,Undetermined,Software
+20,0,07/14/2003 09:30,,,,CPU,,,,
+`
+	if err := os.WriteFile(in, []byte(alt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "data")
+	err := run([]string{"-in", in, "-out", out, "-q",
+		"-system-col", "sys", "-node-col", "box", "-started-col", "when"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunImportErrors(t *testing.T) {
+	if err := run([]string{"-out", t.TempDir()}); err == nil {
+		t.Error("missing -in should fail")
+	}
+	if err := run([]string{"-in", "/nope.csv", "-out", t.TempDir()}); err == nil {
+		t.Error("missing input file should fail")
+	}
+}

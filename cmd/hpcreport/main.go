@@ -1,0 +1,111 @@
+// Command hpcreport regenerates every table and figure of the DSN'13 paper
+// against a dataset — either a CSV directory written by hpcgen or a freshly
+// generated synthetic dataset — and prints paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	hpcreport [-data dir | -seed 1 -scale 1] [-only fig1a,fig10] [-markdown]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hpcreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpcreport", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset directory (omit to generate)")
+	seed := fs.Int64("seed", 1, "seed when generating")
+	scale := fs.Float64("scale", 0.5, "catalog scale when generating")
+	only := fs.String("only", "", "comma-separated experiment IDs (default: all)")
+	markdown := fs.Bool("markdown", false, "emit a markdown paper-vs-measured summary")
+	outFile := fs.String("out", "", "write the report to a file instead of stdout")
+	list := fs.Bool("list", false, "list experiment IDs and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range hpcfail.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+
+	var ds *hpcfail.Dataset
+	var err error
+	if *data != "" {
+		ds, err = hpcfail.LoadDataset(*data)
+	} else {
+		fmt.Fprintf(os.Stderr, "generating synthetic dataset (seed=%d scale=%.2f)...\n", *seed, *scale)
+		ds, err = hpcfail.Generate(hpcfail.GenerateOptions{Seed: *seed, Scale: *scale})
+	}
+	if err != nil {
+		return err
+	}
+
+	suite := hpcfail.NewExperimentSuite(ds)
+	ids := hpcfail.ExperimentIDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+
+	var results []hpcfail.ExperimentResult
+	if *only == "" {
+		// Full sweep: experiments are independent, run them in parallel.
+		results = suite.RunAllParallel(0)
+	} else {
+		for _, id := range ids {
+			res, err := suite.Run(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if *markdown {
+		printMarkdown(out, results)
+		return nil
+	}
+	for _, res := range results {
+		fmt.Fprintln(out, res.Render())
+	}
+	return nil
+}
+
+func printMarkdown(out *os.File, results []hpcfail.ExperimentResult) {
+	fmt.Fprintln(out, "| Experiment | Quantity | Paper | Measured |")
+	fmt.Fprintln(out, "| --- | --- | --- | --- |")
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Fprintf(out, "| %s | (error) | | %v |\n", res.ID, res.Err)
+			continue
+		}
+		for _, m := range res.Metrics {
+			fmt.Fprintf(out, "| %s | %s | %s | %s |\n", res.ID,
+				escape(m.Name), escape(m.Paper), escape(m.Measured))
+		}
+	}
+}
+
+func escape(s string) string { return strings.ReplaceAll(s, "|", "\\|") }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSubsetGenerated(t *testing.T) {
+	if err := run([]string{"-scale", "0.1", "-seed", "2", "-only", "fig9,s7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	if err := run([]string{"-scale", "0.1", "-seed", "2", "-only", "s3a1", "-markdown"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFromDirectory(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 5, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hpcfail.SaveDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", dir, "-only", "fig4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-scale", "0.1", "-only", "figZZ"}); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadDataDir(t *testing.T) {
+	if err := run([]string{"-data", "/definitely/not/there"}); err == nil {
+		t.Error("bad data dir should fail")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-scale", "0.1", "-seed", "2", "-only", "fig9", "-markdown", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "| fig9 |") {
+		t.Errorf("report file content: %q", string(b)[:min(len(b), 200)])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

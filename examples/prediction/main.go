@@ -1,0 +1,63 @@
+// Prediction: train the toolkit's root-cause-aware follow-up-failure
+// predictor on the first 70% of each system's trace and evaluate its lift
+// on the held-out 30%.
+//
+// After any failure, the predictor alerts when the failure's category has a
+// trained follow-up probability above the threshold; the alert is correct
+// if the same node fails again within 24 hours. The paper argues that
+// effective prediction models must "consider the root-causes of failures" —
+// the lift over the category-blind base rate quantifies exactly that.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func main() {
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 5, Scale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := hpcfail.NewAnalyzer(ds)
+	systems := ds.GroupSystems(hpcfail.Group1)
+
+	const (
+		split     = 0.7
+		threshold = 0.10
+	)
+	predictor, err := a.TrainPredictor(systems, hpcfail.Day, split, threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("trained P(follow-up within 24h | category):")
+	for _, cat := range []hpcfail.Category{
+		hpcfail.Environment, hpcfail.Hardware, hpcfail.Human,
+		hpcfail.Network, hpcfail.Software, hpcfail.Undetermined,
+	} {
+		p := predictor.Trained[cat]
+		marker := " "
+		if p.Valid() && p.P() >= threshold {
+			marker = "*" // this category raises alerts
+		}
+		fmt.Printf("  %s %-6s %6.1f%%  (%d anchors)\n", marker, cat, 100*p.P(), p.Trials)
+	}
+
+	ev, err := a.Evaluate(predictor, systems, split)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevaluation on held-out %.0f%% (alert threshold %.0f%%):\n", 100*(1-split), 100*threshold)
+	fmt.Printf("  anchors evaluated:   %d\n", ev.Total)
+	fmt.Printf("  alerts raised:       %d\n", ev.Alerts)
+	fmt.Printf("  follow-ups caught:   %d (missed %d)\n", ev.TP, ev.FN)
+	fmt.Printf("  precision:           %5.1f%%  (base follow-up rate %.1f%%)\n",
+		100*ev.Precision(), 100*ev.BaseRate)
+	fmt.Printf("  recall:              %5.1f%%\n", 100*ev.Recall())
+	fmt.Printf("  lift over base rate: %.2fx\n", ev.Lift())
+	fmt.Println("\nthe lift comes from conditioning on the root cause: network and")
+	fmt.Println("environment failures are far more predictive than average (Fig 1a).")
+}

@@ -1,0 +1,43 @@
+// Quickstart: generate a small synthetic LANL-style dataset and ask the
+// toolkit's core question — how much more likely is a node to fail right
+// after it already failed?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func main() {
+	// Generate a quarter-scale dataset: ten systems, years of operation,
+	// node outages with root causes, job logs, temperatures, maintenance
+	// and a neutron-monitor series. Seeded, so runs are reproducible.
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 1, Scale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d systems, %d failures, %d jobs\n\n",
+		len(ds.Systems), len(ds.Failures), len(ds.Jobs))
+
+	a := hpcfail.NewAnalyzer(ds)
+	g1 := ds.GroupSystems(hpcfail.Group1)
+
+	// The headline result of the paper's Section III: failures cluster.
+	day := a.CondProb(g1, nil, nil, hpcfail.Day, hpcfail.ScopeNode)
+	week := a.CondProb(g1, nil, nil, hpcfail.Week, hpcfail.ScopeNode)
+	fmt.Printf("P(node fails on a random day)        = %6.2f%%\n", 100*day.Baseline.P())
+	fmt.Printf("P(node fails within 24h of failing)  = %6.2f%%  (%.0fx, p=%.1g)\n",
+		100*day.Conditional.P(), day.Factor(), day.Test.P)
+	fmt.Printf("P(node fails in a random week)       = %6.2f%%\n", 100*week.Baseline.P())
+	fmt.Printf("P(node fails within a week of failing)= %5.2f%%  (%.0fx)\n\n",
+		100*week.Conditional.P(), week.Factor())
+
+	// Which failure types are the strongest omens?
+	fmt.Println("follow-up probability within a week, by prior failure type:")
+	for _, fu := range a.FollowUpByType(g1, hpcfail.Week, hpcfail.ScopeNode) {
+		fmt.Printf("  after %-10s %6.1f%%  (%5.1fx over baseline)\n",
+			fu.Label, 100*fu.Conditional.P(), fu.Factor())
+	}
+}

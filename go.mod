@@ -1,0 +1,3 @@
+module github.com/hpcfail/hpcfail
+
+go 1.22

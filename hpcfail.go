@@ -1,0 +1,238 @@
+// Package hpcfail is a toolkit for understanding how HPC systems fail from
+// their operational logs. It reproduces the analyses of "Reading between
+// the lines of failure logs: Understanding how HPC systems fail" (El-Sayed
+// and Schroeder, DSN 2013) as a reusable Go library:
+//
+//   - a data model and CSV codecs for LANL-style operational logs (node
+//     outages with a root-cause taxonomy, job logs, temperature samples,
+//     maintenance events, neutron-monitor series);
+//   - a conditional-probability analysis engine that answers "how much more
+//     likely is a failure in the day/week/month after event X?" at node,
+//     rack and system granularity, with confidence intervals and
+//     significance tests;
+//   - a statistics substrate (proportion CIs, two-sample z-tests,
+//     chi-square tests, Pearson/Spearman correlation) and count-data GLMs
+//     (Poisson and negative-binomial regression via IRLS, likelihood-ratio
+//     ANOVA);
+//   - a calibrated synthetic trace generator standing in for the LANL field
+//     data, whose ground truth encodes the paper's reported effects;
+//   - experiment runners that regenerate every table and figure of the
+//     paper and render them as text.
+//
+// # Quick start
+//
+//	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 1, Scale: 0.25})
+//	if err != nil { ... }
+//	a := hpcfail.NewAnalyzer(ds)
+//	week := a.CondProb(ds.GroupSystems(hpcfail.Group1), nil, nil, hpcfail.Week, hpcfail.ScopeNode)
+//	fmt.Printf("P(failure within a week | failure) = %.1f%% (baseline %.1f%%)\n",
+//		100*week.Conditional.P(), 100*week.Baseline.P())
+//
+// Datasets can also be loaded from CSV directories written by SaveDataset
+// (see cmd/hpcgen), so the same analyses run on real logs converted into
+// the schema.
+package hpcfail
+
+import (
+	"io"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/experiments"
+	"github.com/hpcfail/hpcfail/internal/lanl"
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Core data model re-exports.
+type (
+	// Dataset bundles every log type for a collection of systems.
+	Dataset = trace.Dataset
+	// SystemInfo describes one system covered by a dataset.
+	SystemInfo = trace.SystemInfo
+	// Failure is a single node-outage record.
+	Failure = trace.Failure
+	// Job is a single job record from a usage log.
+	Job = trace.Job
+	// TempSample is one periodic temperature reading.
+	TempSample = trace.TempSample
+	// MaintenanceEvent records a maintenance action on a node.
+	MaintenanceEvent = trace.MaintenanceEvent
+	// NeutronSample is one neutron-monitor reading.
+	NeutronSample = trace.NeutronSample
+	// Interval is a right-open time interval.
+	Interval = trace.Interval
+	// Category is the high-level root cause of an outage.
+	Category = trace.Category
+	// HWComponent is the component behind a hardware failure.
+	HWComponent = trace.HWComponent
+	// SWClass is the subsystem behind a software failure.
+	SWClass = trace.SWClass
+	// EnvClass is the facility subtype of an environment failure.
+	EnvClass = trace.EnvClass
+	// Group identifies a system's architecture group.
+	Group = trace.Group
+	// Pred is a failure predicate for analysis queries.
+	Pred = trace.Pred
+)
+
+// Root-cause taxonomy re-exports.
+const (
+	Environment  = trace.Environment
+	Hardware     = trace.Hardware
+	Human        = trace.Human
+	Network      = trace.Network
+	Software     = trace.Software
+	Undetermined = trace.Undetermined
+
+	Group1 = trace.Group1
+	Group2 = trace.Group2
+
+	CPU         = trace.CPU
+	Memory      = trace.Memory
+	NodeBoard   = trace.NodeBoard
+	PowerSupply = trace.PowerSupply
+	Fan         = trace.Fan
+	MSCBoard    = trace.MSCBoard
+	Midplane    = trace.Midplane
+
+	DST          = trace.DST
+	OS           = trace.OS
+	PFS          = trace.PFS
+	CFS          = trace.CFS
+	PatchInstall = trace.PatchInstall
+	OtherSW      = trace.OtherSW
+
+	PowerOutage = trace.PowerOutage
+	PowerSpike  = trace.PowerSpike
+	UPS         = trace.UPS
+	Chillers    = trace.Chillers
+	OtherEnv    = trace.OtherEnv
+)
+
+// Standard analysis windows.
+const (
+	Day   = trace.Day
+	Week  = trace.Week
+	Month = trace.Month
+)
+
+// Analysis engine re-exports.
+type (
+	// Analyzer runs the paper's analyses over one dataset.
+	Analyzer = analysis.Analyzer
+	// Scope selects node, rack or system granularity.
+	Scope = analysis.Scope
+	// CondResult is one conditional-vs-baseline comparison.
+	CondResult = analysis.CondResult
+	// FollowUp is a labelled CondResult.
+	FollowUp = analysis.FollowUp
+	// Predictor is the root-cause-aware follow-up-failure predictor.
+	Predictor = analysis.Predictor
+	// Evaluation summarizes a predictor's held-out performance.
+	Evaluation = analysis.Evaluation
+)
+
+// Scopes.
+const (
+	ScopeNode   = analysis.ScopeNode
+	ScopeRack   = analysis.ScopeRack
+	ScopeSystem = analysis.ScopeSystem
+)
+
+// NewAnalyzer builds an analyzer over a sorted dataset.
+func NewAnalyzer(ds *Dataset) *Analyzer { return analysis.New(ds) }
+
+// Predicate helpers.
+var (
+	// CategoryPred matches failures of one category.
+	CategoryPred = trace.CategoryPred
+	// HWPred matches hardware failures of one component.
+	HWPred = trace.HWPred
+	// SWPred matches software failures of one class.
+	SWPred = trace.SWPred
+	// EnvPred matches environment failures of one subtype.
+	EnvPred = trace.EnvPred
+)
+
+// GenerateOptions configures synthetic dataset generation.
+type GenerateOptions = simulate.Options
+
+// Generate builds a synthetic LANL-style dataset. Scale in (0,1] shrinks
+// the default ten-system catalog; seed makes generation deterministic.
+func Generate(opts GenerateOptions) (*Dataset, error) { return simulate.Generate(opts) }
+
+// SaveDataset writes a dataset as a directory of CSV files.
+func SaveDataset(dir string, ds *Dataset) error { return trace.SaveDir(dir, ds) }
+
+// LoadDataset reads a dataset directory written by SaveDataset.
+func LoadDataset(dir string) (*Dataset, error) { return trace.LoadDir(dir) }
+
+// Experiment re-exports: run the paper's tables and figures.
+type (
+	// ExperimentSuite runs the paper's experiments over one dataset.
+	ExperimentSuite = experiments.Suite
+	// ExperimentResult is one experiment's outcome.
+	ExperimentResult = experiments.Result
+)
+
+// NewExperimentSuite builds an experiment suite over a dataset.
+func NewExperimentSuite(ds *Dataset) *ExperimentSuite { return experiments.NewSuite(ds) }
+
+// ExperimentIDs lists every reproducible table/figure ID in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// WindowName returns the paper's name for one of the standard windows.
+func WindowName(w time.Duration) string { return trace.WindowName(w) }
+
+// Checkpoint-policy re-exports: apply the correlation findings to
+// checkpoint-interval selection (see internal/checkpoint).
+type (
+	// CheckpointPolicy chooses checkpoint spacing over time.
+	CheckpointPolicy = checkpoint.Policy
+	// FixedCheckpoint checkpoints at a constant interval.
+	FixedCheckpoint = checkpoint.Fixed
+	// RiskAwareCheckpoint tightens the interval after failures.
+	RiskAwareCheckpoint = checkpoint.RiskAware
+	// CheckpointResult aggregates a replay.
+	CheckpointResult = checkpoint.Result
+)
+
+// YoungInterval returns Young's optimum checkpoint interval
+// sqrt(2 * cost * MTBF).
+func YoungInterval(cost, mtbf time.Duration) time.Duration {
+	return checkpoint.YoungInterval(cost, mtbf)
+}
+
+// ReplayCheckpoints replays a checkpoint policy against one node's failure
+// history.
+func ReplayCheckpoints(period Interval, failures []time.Time, p CheckpointPolicy, cost time.Duration) (CheckpointResult, error) {
+	return checkpoint.Replay(period, failures, p, cost)
+}
+
+// CompareCheckpointPolicies replays several policies over every node of the
+// given systems.
+func CompareCheckpointPolicies(systems []SystemInfo, failures func(system, node int) []time.Time, cost time.Duration, policies ...CheckpointPolicy) ([]CheckpointResult, error) {
+	return checkpoint.Compare(systems, failures, cost, policies...)
+}
+
+// LANL-import re-exports: run the analyses on the real public release.
+type (
+	// LANLMapping declares the column layout of a LANL-style failure
+	// table; DefaultLANLMapping matches the public release's headers.
+	LANLMapping = lanl.Mapping
+	// LANLImportResult bundles imported failures with per-row issues.
+	LANLImportResult = lanl.Result
+)
+
+// DefaultLANLMapping returns the column mapping of the public LANL
+// failure-data release.
+func DefaultLANLMapping() LANLMapping { return lanl.DefaultMapping() }
+
+// ImportLANL parses a LANL-style failure CSV into a ready-to-analyze
+// dataset, deriving system descriptors from the records. The returned
+// result lists rows that were skipped.
+func ImportLANL(r io.Reader, m LANLMapping) (*Dataset, *LANLImportResult, error) {
+	return lanl.ImportDataset(r, m)
+}

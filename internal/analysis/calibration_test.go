@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// TestCalibrationReport generates a mid-size dataset and logs the headline
+// quantities of every paper section next to the paper's reported values.
+// It is the instrument used to tune simulate.DefaultParams; assertions are
+// deliberately loose sanity checks, while experiments_test.go holds the
+// shape assertions.
+func TestCalibrationReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration report is slow")
+	}
+	ds, err := simulate.Generate(simulate.Options{Seed: 1, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := New(ds)
+	g1 := a.groupSystems(trace.Group1)
+	g2 := a.groupSystems(trace.Group2)
+
+	// --- Section III.A.1 ---------------------------------------------
+	for name, systems := range map[string][]trace.SystemInfo{"G1": g1, "G2": g2} {
+		day := a.CondProb(systems, nil, nil, trace.Day, ScopeNode)
+		week := a.CondProb(systems, nil, nil, trace.Week, ScopeNode)
+		t.Logf("[s3a1 %s] daily base=%.4f%% cond=%.2f%% (paper G1: 0.31%%->7.2%%, G2: 4.6%%->21.45%%)",
+			name, 100*day.Baseline.P(), 100*day.Conditional.P())
+		t.Logf("[s3a1 %s] weekly base=%.2f%% cond=%.2f%% (paper G1: 2.04%%->15.64%%, G2: 22.5%%->60.4%%)",
+			name, 100*week.Baseline.P(), 100*week.Conditional.P())
+	}
+
+	// --- Figure 1a ----------------------------------------------------
+	for name, systems := range map[string][]trace.SystemInfo{"G1": g1, "G2": g2} {
+		for _, fu := range a.FollowUpByType(systems, trace.Week, ScopeNode) {
+			t.Logf("[fig1a %s] after %-10s P=%.3f base=%.4f factor=%.1fX n=%d",
+				name, fu.Label, fu.Conditional.P(), fu.Baseline.P(), fu.Factor(), fu.Conditional.Trials)
+		}
+	}
+
+	// --- Figure 1b (same-type) -----------------------------------------
+	for _, pr := range a.PairwiseByType(g1, trace.Week, ScopeNode) {
+		t.Logf("[fig1b G1] %-10s afterSame=%.4f afterAny=%.4f base=%.5f sameFactor=%.0fX",
+			pr.Label, pr.AfterSame.Conditional.P(), pr.AfterAny.Conditional.P(),
+			pr.AfterSame.Baseline.P(), pr.AfterSame.Factor())
+	}
+
+	// --- Section III.B rack -------------------------------------------
+	rackDay := a.CondProb(g1, nil, nil, trace.Day, ScopeRack)
+	rackWeek := a.CondProb(g1, nil, nil, trace.Week, ScopeRack)
+	t.Logf("[s3b] rack daily cond=%.3f%% base=%.3f%% (paper 1.2%% vs 0.31%%); weekly cond=%.2f%% base=%.2f%% (paper 4.6%% vs 2.04%%)",
+		100*rackDay.Conditional.P(), 100*rackDay.Baseline.P(),
+		100*rackWeek.Conditional.P(), 100*rackWeek.Baseline.P())
+	for _, pr := range a.PairwiseByType(g1, trace.Week, ScopeRack) {
+		t.Logf("[fig2b] %-10s sameFactor=%.1fX anyFactor=%.2fX", pr.Label, pr.AfterSame.Factor(), pr.AfterAny.Factor())
+	}
+
+	// --- Section III.C system -----------------------------------------
+	sysWeek1 := a.CondProb(g1, nil, nil, trace.Week, ScopeSystem)
+	sysWeek2 := a.CondProb(g2, nil, nil, trace.Week, ScopeSystem)
+	t.Logf("[s3c] G1 system weekly cond=%.2f%% base=%.2f%% (paper 2.68%% vs 2.04%%); G2 cond=%.1f%% base=%.1f%% (paper 35.3%% vs 22.5%%)",
+		100*sysWeek1.Conditional.P(), 100*sysWeek1.Baseline.P(),
+		100*sysWeek2.Conditional.P(), 100*sysWeek2.Baseline.P())
+	for _, fu := range a.FollowUpByType(g1, trace.Week, ScopeSystem) {
+		t.Logf("[fig3 G1] after %-10s factor=%.2fX", fu.Label, fu.Factor())
+	}
+	for _, fu := range a.FollowUpByType(g2, trace.Week, ScopeSystem) {
+		t.Logf("[fig3 G2] after %-10s factor=%.2fX", fu.Label, fu.Factor())
+	}
+
+	// --- Section IV node 0 --------------------------------------------
+	for _, sys := range []int{18, 19, 20} {
+		nc := a.FailuresPerNode(sys)
+		ratio := float64(nc.Counts[0]) / nc.Mean
+		t.Logf("[fig4] sys %d node0=%d mean=%.1f ratio=%.1fX equalRates p=%.2g sans0 p=%.2g",
+			sys, nc.Counts[0], nc.Mean, ratio, nc.EqualRates.P, nc.EqualRatesSansZero.P)
+		for _, cat := range []trace.Category{trace.Environment, trace.Network, trace.Software, trace.Hardware} {
+			r := a.NodeVsRestProb(sys, 0, trace.Month, cat.String(), trace.CategoryPred(cat))
+			t.Logf("[fig6] sys %d %s month node0=%.3f rest=%.5f factor=%.0fX",
+				sys, cat, r.NodeProb.P(), r.RestProb.P(), r.Factor())
+		}
+		b0 := a.RootCauseBreakdown(sys, func(n int) bool { return n == 0 })
+		t.Logf("[fig5] sys %d node0 breakdown: dominant=%s shares=%v", sys, b0.Dominant(), b0.Share)
+	}
+
+	// --- Section V usage ----------------------------------------------
+	for _, sys := range []int{8, 20} {
+		ur := a.UsageVsFailures(sys)
+		t.Logf("[fig7] sys %d jobsCorr r=%.3f (paper 0.465/0.12) sans0 r=%.3f utilCorr r=%.3f",
+			sys, ur.JobsCorr.R, ur.JobsCorrSansZero.R, ur.UtilCorr.R)
+		u, err := a.UserFailureRates(sys, 50)
+		if err != nil {
+			t.Fatalf("user rates sys %d: %v", sys, err)
+		}
+		t.Logf("[fig8] sys %d anova stat=%.1f df=%.0f p=%.3g", sys, u.Anova.Stat, u.Anova.DF, u.Anova.P)
+		tot, totPD := 0, 0.0
+		for _, ur := range u.Users {
+			tot += ur.NodeFailures
+			totPD += ur.ProcDays
+		}
+		t.Logf("[fig8] sys %d top50: totalFails=%d totalProcDays=%.0f first5=%v",
+			sys, tot, totPD, u.Users[:5])
+	}
+
+	// --- Figure 9 ------------------------------------------------------
+	pie := a.EnvBreakdown(a.DS.Systems)
+	t.Logf("[fig9] env pie: outage=%.0f%% spike=%.0f%% ups=%.0f%% chiller=%.0f%% other=%.0f%% (paper 49/21/15/9/6)",
+		100*pie[trace.PowerOutage], 100*pie[trace.PowerSpike], 100*pie[trace.UPS],
+		100*pie[trace.Chillers], 100*pie[trace.OtherEnv])
+
+	// --- Section VII ---------------------------------------------------
+	s7g1 := a.CondProb(g1, trace.CategoryPred(trace.Environment), nil, trace.Week, ScopeNode)
+	s7g2 := a.CondProb(g2, trace.CategoryPred(trace.Environment), nil, trace.Week, ScopeNode)
+	t.Logf("[s7] after-ENV weekly: G1=%.1f%% G2=%.1f%% (paper 47.2%% / 69.4%%)",
+		100*s7g1.Conditional.P(), 100*s7g2.Conditional.P())
+
+	all := a.DS.Systems
+	for _, pi := range a.PowerImpactOn(all, trace.CategoryPred(trace.Hardware)) {
+		t.Logf("[fig10L] %-16s HW day=%.1fX week=%.1fX month=%.1fX",
+			pi.Kind, pi.ByDay.Factor(), pi.ByWeek.Factor(), pi.ByMonth.Factor())
+	}
+	comps := []trace.HWComponent{trace.PowerSupply, trace.Memory, trace.NodeBoard, trace.Fan, trace.CPU}
+	for _, ci := range a.PowerImpactOnComponents(all, comps) {
+		t.Logf("[fig10R] %-16s %-12s month factor=%.1fX (cond=%.4f base=%.5f)",
+			ci.Kind, ci.Component, ci.Result.Factor(), ci.Result.Conditional.P(), ci.Result.Baseline.P())
+	}
+	for _, pi := range a.PowerImpactOn(all, trace.CategoryPred(trace.Software)) {
+		t.Logf("[fig11L] %-16s SW day=%.1fX week=%.1fX month=%.1fX",
+			pi.Kind, pi.ByDay.Factor(), pi.ByWeek.Factor(), pi.ByMonth.Factor())
+	}
+	for _, mi := range a.MaintenanceAfterPower(all, trace.Month) {
+		t.Logf("[s7a2] %-16s maint month cond=%.3f base=%.5f factor=%.0fX",
+			mi.Kind, mi.Conditional.P(), mi.Baseline.P(), mi.Factor())
+	}
+
+	// --- Section VIII ---------------------------------------------------
+	for _, ci := range a.CoolingImpactOnHardware(all) {
+		t.Logf("[fig13L] %-12s HW day=%.1fX week=%.1fX month=%.1fX",
+			ci.Kind, ci.ByDay.Factor(), ci.ByWeek.Factor(), ci.ByMonth.Factor())
+	}
+	comps13 := []trace.HWComponent{trace.PowerSupply, trace.Memory, trace.NodeBoard, trace.Fan, trace.CPU, trace.MSCBoard, trace.Midplane}
+	for _, ci := range a.CoolingImpactOnComponents(all, comps13) {
+		t.Logf("[fig13R] %-12s %-12s month factor=%.1fX", ci.Kind, ci.Component, ci.Result.Factor())
+	}
+	tr, err := a.TemperatureRegressions(20)
+	if err != nil {
+		t.Fatalf("temperature regressions: %v", err)
+	}
+	for _, r := range tr {
+		t.Logf("[s8a] %s ~ %s: poisson p=%.3f nb p=%.3f", r.Target, r.Covariate, r.Poisson.P, r.NegBinom.P)
+	}
+
+	// --- Section IX ------------------------------------------------------
+	for _, sys := range []int{2, 18, 19, 20} {
+		dram := a.NeutronCorrelation(sys, "dram", trace.HWPred(trace.Memory))
+		cpu := a.NeutronCorrelation(sys, "cpu", trace.HWPred(trace.CPU))
+		t.Logf("[fig14] sys %d dram r=%.3f (p=%.2f) cpu r=%.3f (p=%.3f)",
+			sys, dram.Corr.R, dram.Corr.P, cpu.Corr.R, cpu.Corr.P)
+	}
+
+	// --- Section X -------------------------------------------------------
+	jr, err := a.JointRegression(20)
+	if err != nil {
+		t.Fatalf("joint regression: %v", err)
+	}
+	for _, c := range jr.Poisson.Coefs {
+		t.Logf("[tableII] %-14s est=%+.4f se=%.4f z=%+.2f p=%.4f", c.Name, c.Estimate, c.SE, c.Z, c.P)
+	}
+	for _, c := range jr.NegBinom.Coefs {
+		t.Logf("[tableIII] %-14s est=%+.4f se=%.4f z=%+.2f p=%.4f (theta=%.2f)", c.Name, c.Estimate, c.SE, c.Z, c.P, jr.NegBinom.Theta)
+	}
+}

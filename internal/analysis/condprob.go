@@ -1,0 +1,284 @@
+package analysis
+
+import (
+	"math"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/stats"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Scope selects the spatial granularity of a conditional-probability
+// question, matching the paper's three levels.
+type Scope int
+
+const (
+	// ScopeNode asks about follow-up failures of the same node.
+	ScopeNode Scope = iota + 1
+	// ScopeRack asks about failures of the other nodes in the anchor
+	// node's rack (systems with layouts only).
+	ScopeRack
+	// ScopeSystem asks about failures of the other nodes in the anchor
+	// node's system.
+	ScopeSystem
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	switch s {
+	case ScopeNode:
+		return "node"
+	case ScopeRack:
+		return "rack"
+	case ScopeSystem:
+		return "system"
+	default:
+		return "scope(?)"
+	}
+}
+
+// CondResult is one conditional-vs-baseline probability comparison — the
+// unit of every bar in Figures 1, 2, 3, 10, 11 and 13.
+type CondResult struct {
+	// Window is the look-ahead window length.
+	Window time.Duration
+	// Scope is the spatial granularity.
+	Scope Scope
+	// Conditional is P(target event in window | anchor event), estimated
+	// over all anchors.
+	Conditional stats.Proportion
+	// Baseline is P(target event in a random window for a random node).
+	Baseline stats.Proportion
+	// CondCI and BaseCI are 95% Wilson intervals.
+	CondCI stats.Interval
+	BaseCI stats.Interval
+	// FactorCI is a 95% delta-method interval for the conditional-over-
+	// baseline ratio (NaN bounds when either side has no successes).
+	FactorCI stats.Interval
+	// Test is the two-sample z-test of conditional vs baseline.
+	Test stats.TestResult
+}
+
+// Factor returns the increase of the conditional over the baseline (the
+// "NX" annotations of the paper's figures).
+func (r CondResult) Factor() float64 { return r.Conditional.FactorOver(r.Baseline) }
+
+// Significant reports whether the conditional differs from the baseline at
+// level alpha.
+func (r CondResult) Significant(alpha float64) bool { return r.Test.Significant(alpha) }
+
+// finishCond fills the derived fields of a CondResult.
+func finishCond(r *CondResult) {
+	r.CondCI = r.Conditional.WilsonCI(0.95)
+	r.BaseCI = r.Baseline.WilsonCI(0.95)
+	r.FactorCI = stats.RatioCI(r.Conditional, r.Baseline, 0.95)
+	if r.Conditional.Valid() && r.Baseline.Valid() {
+		if t, err := stats.TwoProportionZTest(r.Conditional, r.Baseline); err == nil {
+			r.Test = t
+		} else {
+			r.Test = stats.TestResult{Stat: math.NaN(), P: math.NaN()}
+		}
+	} else {
+		r.Test = stats.TestResult{Stat: math.NaN(), P: math.NaN()}
+	}
+}
+
+// BaselineNodeProb estimates the probability that a random node of the
+// given systems experiences at least one failure matching pred within a
+// random window of length w: each system's measurement period is cut into
+// consecutive windows and every (node, window) cell is one trial.
+func (a *Analyzer) BaselineNodeProb(systems []trace.SystemInfo, w time.Duration, pred trace.Pred) stats.Proportion {
+	successes, trials := 0, 0
+	for _, s := range systems {
+		nw := int(s.Period.Duration() / w)
+		if nw <= 0 {
+			continue
+		}
+		trials += nw * s.Nodes
+		// Mark (node, window) cells with a matching failure.
+		type cell struct{ node, win int }
+		seen := make(map[cell]bool)
+		for _, f := range a.Index.SystemFailures(s.ID) {
+			if !pred.Match(f) {
+				continue
+			}
+			wi := int(f.Time.Sub(s.Period.Start) / w)
+			if wi < 0 || wi >= nw {
+				continue
+			}
+			c := cell{f.Node, wi}
+			if !seen[c] {
+				seen[c] = true
+				successes++
+			}
+		}
+	}
+	return stats.Proportion{Successes: successes, Trials: trials}
+}
+
+// CondProb estimates P(target in the w-window after an anchor | anchor) at
+// the given scope over the given systems, against the matching baseline:
+//
+//   - ScopeNode: for each failure matching anchorPred, success when the
+//     same node has a later failure matching targetPred within w. Baseline:
+//     BaselineNodeProb(targetPred).
+//   - ScopeRack: every (anchor, rack-mate) pair is a trial; success when
+//     that rack-mate fails within w. Same baseline — the paper compares the
+//     per-node probability against the random-week probability.
+//   - ScopeSystem: every (anchor, other-node) pair is a trial.
+//
+// Systems without layouts contribute no rack-scope trials.
+func (a *Analyzer) CondProb(systems []trace.SystemInfo, anchorPred, targetPred trace.Pred, w time.Duration, scope Scope) CondResult {
+	res := CondResult{Window: w, Scope: scope}
+	res.Baseline = a.BaselineNodeProb(systems, w, targetPred)
+
+	for _, s := range systems {
+		lay := a.DS.Layouts[s.ID]
+		if scope == ScopeRack && lay == nil {
+			continue
+		}
+		for _, f := range a.Index.SystemFailures(s.ID) {
+			if !anchorPred.Match(f) {
+				continue
+			}
+			// Clip windows that would extend past the measurement period,
+			// so truncated exposure does not dilute the estimate.
+			end := f.Time.Add(w)
+			if end.After(s.Period.End) {
+				continue
+			}
+			iv := trace.Interval{Start: f.Time.Add(time.Nanosecond), End: end}
+			switch scope {
+			case ScopeNode:
+				res.Conditional.Trials++
+				if a.Index.NodeAny(s.ID, f.Node, iv, targetPred) {
+					res.Conditional.Successes++
+				}
+			case ScopeRack:
+				mates := lay.RackMates(f.Node)
+				for _, m := range mates {
+					res.Conditional.Trials++
+					if a.Index.NodeAny(s.ID, m, iv, targetPred) {
+						res.Conditional.Successes++
+					}
+				}
+			case ScopeSystem:
+				// Count distinct other nodes with a matching failure in
+				// the window by scanning the window once.
+				res.Conditional.Trials += s.Nodes - 1
+				res.Conditional.Successes += a.distinctOtherNodes(s.ID, f.Node, iv, targetPred)
+			}
+		}
+	}
+	finishCond(&res)
+	return res
+}
+
+// distinctOtherNodes counts distinct nodes (excluding exclude) with at
+// least one failure matching pred in iv.
+func (a *Analyzer) distinctOtherNodes(system, exclude int, iv trace.Interval, pred trace.Pred) int {
+	seen := make(map[int]bool)
+	for _, f := range a.windowFailures(system, iv) {
+		if f.Node == exclude || seen[f.Node] {
+			continue
+		}
+		if pred.Match(f) {
+			seen[f.Node] = true
+		}
+	}
+	return len(seen)
+}
+
+// windowFailures returns the failures of a system inside iv, using the
+// index's binary search.
+func (a *Analyzer) windowFailures(system int, iv trace.Interval) []trace.Failure {
+	all := a.Index.SystemFailures(system)
+	lo := searchTime(all, iv.Start)
+	hi := searchTime(all, iv.End)
+	return all[lo:hi]
+}
+
+func searchTime(fs []trace.Failure, t time.Time) int {
+	lo, hi := 0, len(fs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if fs[mid].Time.Before(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// FollowUp is a labelled CondResult, one bar of a figure.
+type FollowUp struct {
+	Label string
+	CondResult
+}
+
+// FollowUpByType computes, for every anchor category, the probability that
+// the target (any failure by default) follows within w at the given scope —
+// Figure 1a (ScopeNode), Figure 2a (ScopeRack) and Figure 3 (ScopeSystem).
+func (a *Analyzer) FollowUpByType(systems []trace.SystemInfo, w time.Duration, scope Scope) []FollowUp {
+	out := make([]FollowUp, 0, len(trace.FigureOrder)+1)
+	for _, c := range trace.FigureOrder {
+		r := a.CondProb(systems, trace.CategoryPred(c), nil, w, scope)
+		out = append(out, FollowUp{Label: c.String(), CondResult: r})
+	}
+	// Memory and CPU hardware anchors (the right-most bars of the paper's
+	// figures).
+	for _, hw := range []trace.HWComponent{trace.Memory, trace.CPU} {
+		r := a.CondProb(systems, trace.HWPred(hw), nil, w, scope)
+		out = append(out, FollowUp{Label: "HW/" + hw.String(), CondResult: r})
+	}
+	return out
+}
+
+// PairwiseResult holds the three bars of one Figure 1b / 2b group for a
+// target type Y: the probability of a Y failure after any failure, after a
+// failure of the same type, and in a random window.
+type PairwiseResult struct {
+	Label     string
+	AfterAny  CondResult
+	AfterSame CondResult
+}
+
+// PairwiseByType computes the same-type and any-type conditionals for every
+// category (plus Memory and CPU), at the given scope and window — Figures
+// 1b and 2b.
+func (a *Analyzer) PairwiseByType(systems []trace.SystemInfo, w time.Duration, scope Scope) []PairwiseResult {
+	out := make([]PairwiseResult, 0, len(trace.FigureOrder)+2)
+	for _, c := range trace.FigureOrder {
+		target := trace.CategoryPred(c)
+		out = append(out, PairwiseResult{
+			Label:     c.String(),
+			AfterAny:  a.CondProb(systems, nil, target, w, scope),
+			AfterSame: a.CondProb(systems, target, target, w, scope),
+		})
+	}
+	for _, hw := range []trace.HWComponent{trace.Memory, trace.CPU} {
+		target := trace.HWPred(hw)
+		out = append(out, PairwiseResult{
+			Label:     "HW/" + hw.String(),
+			AfterAny:  a.CondProb(systems, nil, target, w, scope),
+			AfterSame: a.CondProb(systems, target, target, w, scope),
+		})
+	}
+	return out
+}
+
+// PairMatrix computes the full pairwise conditional probability matrix
+// p(x, y) = P(type-y failure within w after a type-x failure) at ScopeNode,
+// the quantity behind Section III.A.3. Rows and columns follow
+// trace.Categories order.
+func (a *Analyzer) PairMatrix(systems []trace.SystemInfo, w time.Duration) [][]CondResult {
+	out := make([][]CondResult, len(trace.Categories))
+	for i, x := range trace.Categories {
+		out[i] = make([]CondResult, len(trace.Categories))
+		for j, y := range trace.Categories {
+			out[i][j] = a.CondProb(systems, trace.CategoryPred(x), trace.CategoryPred(y), w, ScopeNode)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// craftNeutrons builds a monthly-resolution neutron series with the given
+// per-month counts starting at the dataset period start.
+func craftNeutrons(ds *trace.Dataset, counts []float64) {
+	start := ds.Systems[0].Period.Start
+	for m, c := range counts {
+		base := start.AddDate(0, m, 0)
+		for d := 0; d < 28; d += 7 {
+			ds.Neutrons = append(ds.Neutrons, trace.NeutronSample{
+				Time:            base.AddDate(0, 0, d),
+				CountsPerMinute: c,
+			})
+		}
+	}
+	ds.Sort()
+}
+
+// craftLong builds a one-system dataset over a year.
+func craftLong(failures []trace.Failure) *trace.Dataset {
+	ds := &trace.Dataset{
+		Systems: []trace.SystemInfo{{
+			ID: 1, Group: trace.Group1, Nodes: 4, ProcsPerNode: 4,
+			Period: trace.Interval{Start: day(0), End: day(0).AddDate(1, 0, 0)},
+		}},
+		Failures: failures,
+	}
+	ds.Sort()
+	return ds
+}
+
+func cpuFailAt(node int, t time.Time) trace.Failure {
+	return trace.Failure{System: 1, Node: node, Time: t, Category: trace.Hardware, HW: trace.CPU}
+}
+
+func TestNeutronCorrelationPositive(t *testing.T) {
+	// Months alternate low/high counts; CPU failures happen only in
+	// high-count months.
+	var fails []trace.Failure
+	start := day(0)
+	counts := make([]float64, 12)
+	for m := 0; m < 12; m++ {
+		if m%2 == 1 {
+			counts[m] = 4500
+			fails = append(fails,
+				cpuFailAt(0, start.AddDate(0, m, 5)),
+				cpuFailAt(1, start.AddDate(0, m, 10)),
+			)
+		} else {
+			counts[m] = 3500
+		}
+	}
+	ds := craftLong(fails)
+	craftNeutrons(ds, counts)
+	a := New(ds)
+	series := a.NeutronCorrelation(1, "cpu", trace.HWPred(trace.CPU))
+	if len(series.Points) < 8 {
+		t.Fatalf("points = %d", len(series.Points))
+	}
+	if series.Corr.R < 0.8 {
+		t.Errorf("r = %g, want strongly positive", series.Corr.R)
+	}
+	// Probabilities are distinct-node fractions.
+	for _, p := range series.Points {
+		if p.Prob < 0 || p.Prob > 1 {
+			t.Errorf("prob %g out of range", p.Prob)
+		}
+		if p.Prob > 0 && math.Abs(p.Prob-0.5) > 1e-9 {
+			t.Errorf("two of four nodes fail: prob = %g", p.Prob)
+		}
+	}
+}
+
+func TestNeutronCorrelationFlat(t *testing.T) {
+	// Failures spread uniformly regardless of counts: |r| should be small
+	// in this symmetric construction.
+	var fails []trace.Failure
+	start := day(0)
+	counts := make([]float64, 12)
+	for m := 0; m < 12; m++ {
+		counts[m] = 3500 + 100*float64(m%2)
+		fails = append(fails, cpuFailAt(m%4, start.AddDate(0, m, 3)))
+	}
+	ds := craftLong(fails)
+	craftNeutrons(ds, counts)
+	a := New(ds)
+	series := a.NeutronCorrelation(1, "cpu", trace.HWPred(trace.CPU))
+	if math.Abs(series.Corr.R) > 0.5 {
+		t.Errorf("uniform failures should not correlate strongly: r=%g", series.Corr.R)
+	}
+}
+
+func TestNeutronCorrelationEmpty(t *testing.T) {
+	ds := craftLong(nil)
+	a := New(ds)
+	series := a.NeutronCorrelation(1, "cpu", trace.HWPred(trace.CPU))
+	if len(series.Points) != 0 {
+		t.Error("no neutron data should give no points")
+	}
+}
+
+func TestNeutronBinned(t *testing.T) {
+	s := NeutronSeries{Points: []NeutronMonth{
+		{Counts: 3500, Prob: 0.1},
+		{Counts: 3600, Prob: 0.2},
+		{Counts: 4400, Prob: 0.5},
+		{Counts: 4500, Prob: 0.7},
+	}}
+	centers, probs := NeutronBinned(s, 2)
+	if len(centers) != 2 || len(probs) != 2 {
+		t.Fatalf("bins = %d", len(centers))
+	}
+	if math.Abs(probs[0]-0.15) > 1e-9 || math.Abs(probs[1]-0.6) > 1e-9 {
+		t.Errorf("bin means = %v", probs)
+	}
+	if centers[0] >= centers[1] {
+		t.Error("bin centers should ascend")
+	}
+	// Degenerate cases.
+	if c, _ := NeutronBinned(NeutronSeries{}, 3); c != nil {
+		t.Error("empty series should give nil")
+	}
+	one := NeutronSeries{Points: []NeutronMonth{{Counts: 4000, Prob: 0.3}}}
+	c, p := NeutronBinned(one, 4)
+	if len(c) != 1 || p[0] != 0.3 {
+		t.Error("single point should pass through")
+	}
+}
+
+func TestMonthKey(t *testing.T) {
+	x := time.Date(2003, 7, 19, 13, 5, 0, 0, time.UTC)
+	k := monthKey(x)
+	if k != time.Date(2003, 7, 1, 0, 0, 0, 0, time.UTC) {
+		t.Errorf("monthKey = %v", k)
+	}
+}

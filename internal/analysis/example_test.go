@@ -1,0 +1,56 @@
+package analysis_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// buildExampleDataset constructs a tiny deterministic trace: node 0 of a
+// four-node system fails twice in quick succession, node 1 once in
+// isolation.
+func buildExampleDataset() *trace.Dataset {
+	at := func(d int) time.Time {
+		return time.Date(2004, 1, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+	}
+	ds := &trace.Dataset{
+		Systems: []trace.SystemInfo{{
+			ID: 20, Group: trace.Group1, Nodes: 4, ProcsPerNode: 4,
+			Period: trace.Interval{Start: at(0).Add(-12 * time.Hour), End: at(98)},
+		}},
+		Failures: []trace.Failure{
+			{System: 20, Node: 0, Time: at(10), Category: trace.Network},
+			{System: 20, Node: 0, Time: at(12), Category: trace.Hardware, HW: trace.Memory},
+			{System: 20, Node: 1, Time: at(50), Category: trace.Software, SW: trace.OS},
+		},
+	}
+	ds.Sort()
+	return ds
+}
+
+func ExampleAnalyzer_CondProb() {
+	a := analysis.New(buildExampleDataset())
+	// How likely is a node to fail again within a week of a network
+	// failure, against the random-week baseline?
+	r := a.CondProb(a.DS.Systems, trace.CategoryPred(trace.Network), nil, trace.Week, analysis.ScopeNode)
+	fmt.Printf("conditional %d/%d, baseline %d/%d\n",
+		r.Conditional.Successes, r.Conditional.Trials,
+		r.Baseline.Successes, r.Baseline.Trials)
+	// Output: conditional 1/1, baseline 2/56
+}
+
+func ExampleAnalyzer_FailuresPerNode() {
+	a := analysis.New(buildExampleDataset())
+	nc := a.FailuresPerNode(20)
+	fmt.Printf("counts %v, worst node %d\n", nc.Counts, nc.MaxNode)
+	// Output: counts [2 1 0 0], worst node 0
+}
+
+func ExampleAnalyzer_RootCauseBreakdown() {
+	a := analysis.New(buildExampleDataset())
+	b := a.RootCauseBreakdown(20, func(n int) bool { return n == 0 })
+	fmt.Printf("node 0: %d failures, dominant %s\n", b.Total, b.Dominant())
+	// Output: node 0: 2 failures, dominant HW
+}

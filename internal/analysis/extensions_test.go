@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func TestInterArrivals(t *testing.T) {
+	// Node 0 fails on days 1, 2, 4: gaps 24h and 48h.
+	ds := craft([]trace.Failure{hwAt(0, 1), hwAt(0, 2), hwAt(0, 4), hwAt(1, 50)})
+	a := New(ds)
+	r := a.InterArrivals(ds.Systems)
+	if r.N != 2 {
+		t.Fatalf("gaps = %d, want 2", r.N)
+	}
+	if math.Abs(r.Summary.Mean-36) > 1e-9 {
+		t.Errorf("mean gap = %g h, want 36", r.Summary.Mean)
+	}
+	if r.Scope != "node" {
+		t.Errorf("scope = %q", r.Scope)
+	}
+	sys := a.SystemInterArrivals(ds.Systems)
+	if sys.N != 3 { // 4 failures in one system -> 3 gaps
+		t.Errorf("system gaps = %d", sys.N)
+	}
+	// Empty case.
+	empty := New(craft(nil)).InterArrivals(ds.Systems)
+	if empty.N != 0 {
+		t.Error("no failures should mean no gaps")
+	}
+}
+
+func TestInterArrivalsClusteredCV(t *testing.T) {
+	// Heavy clustering: bursts of gaps of 1h separated by ~20 days.
+	var fs []trace.Failure
+	for burst := 0; burst < 4; burst++ {
+		base := 1 + burst*20
+		for k := 0; k < 6; k++ {
+			fs = append(fs, trace.Failure{
+				System: 1, Node: 0,
+				Time:     day(base).Add(time.Duration(k) * time.Hour),
+				Category: trace.Hardware, HW: trace.CPU,
+			})
+		}
+	}
+	ds := craft(fs)
+	a := New(ds)
+	r := a.InterArrivals(ds.Systems)
+	if r.CV < 1.3 {
+		t.Errorf("clustered gaps CV = %.2f, want > 1.3", r.CV)
+	}
+	if !r.ExpFitKS.Significant(0.05) {
+		t.Errorf("exponential fit should be rejected for bursty gaps, p=%g", r.ExpFitKS.P)
+	}
+}
+
+func TestDailyCounts(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(0, 3), hwAt(1, 3), hwAt(2, 10)})
+	a := New(ds)
+	counts := a.DailyCounts(ds.Systems)
+	if len(counts) < 98 {
+		t.Fatalf("days = %d", len(counts))
+	}
+	if counts[3] != 2 || counts[10] != 1 || counts[4] != 0 {
+		t.Errorf("counts: day3=%g day10=%g day4=%g", counts[3], counts[10], counts[4])
+	}
+	if got := a.DailyCounts(nil); got != nil {
+		t.Error("no systems should give nil")
+	}
+}
+
+func TestDowntimeByCategoryAndAvailability(t *testing.T) {
+	f1 := hwAt(0, 1)
+	f1.Downtime = 4 * time.Hour
+	f2 := hwAt(1, 2)
+	f2.Downtime = 2 * time.Hour
+	f3 := swAt(2, 3) // no downtime recorded
+	ds := craft([]trace.Failure{f1, f2, f3})
+	a := New(ds)
+	stats := a.DowntimeByCategory(ds.Systems)
+	var hw DowntimeStats
+	for _, d := range stats {
+		if d.Category == trace.Hardware {
+			hw = d
+		}
+	}
+	if hw.N != 2 {
+		t.Fatalf("hw downtimes = %d", hw.N)
+	}
+	if math.Abs(hw.Summary.Mean-3) > 1e-9 || math.Abs(hw.TotalHours-6) > 1e-9 {
+		t.Errorf("hw downtime stats: mean=%g total=%g", hw.Summary.Mean, hw.TotalHours)
+	}
+	// Availability: 6 hours down over 4 nodes x 98 days.
+	av := a.Availability(ds.Systems)
+	want := 1 - 6.0/(4*98*24)
+	if math.Abs(av-want) > 1e-9 {
+		t.Errorf("availability = %.6f, want %.6f", av, want)
+	}
+	// MTBF: 3 failures over 4x98x24 node-hours.
+	mtbf := a.MTBFHours(ds.Systems)
+	if math.Abs(mtbf-4*98*24/3.0) > 1e-6 {
+		t.Errorf("mtbf = %g", mtbf)
+	}
+	if !math.IsInf(New(craft(nil)).MTBFHours(ds.Systems), 1) {
+		t.Error("no failures should give infinite MTBF")
+	}
+}
+
+func TestPositionEffects(t *testing.T) {
+	// Uniform failures across positions: not significant.
+	ds := craft([]trace.Failure{hwAt(0, 1), hwAt(1, 2), hwAt(2, 3), hwAt(3, 4)})
+	a := New(ds)
+	pe, err := a.PositionEffects(1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pe.ByPosition) < 2 {
+		t.Fatalf("positions = %d", len(pe.ByPosition))
+	}
+	total := 0.0
+	for _, c := range pe.ByPosition {
+		total += c
+	}
+	if total != 4 {
+		t.Errorf("total failures by position = %g", total)
+	}
+	if pe.PositionTest.Significant(0.01) {
+		t.Errorf("uniform layout falsely significant, p=%g", pe.PositionTest.P)
+	}
+	// Exclude node 0 drops its count.
+	pe2, err := a.PositionEffects(1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total2 := 0.0
+	for _, c := range pe2.ByPosition {
+		total2 += c
+	}
+	if total2 != 3 {
+		t.Errorf("total without node0 = %g", total2)
+	}
+	// Missing layout errors.
+	ds2 := craft(nil)
+	delete(ds2.Layouts, 1)
+	if _, err := New(ds2).PositionEffects(1, false); err == nil {
+		t.Error("missing layout should fail")
+	}
+	// Rates derived.
+	rates := pe.RatePerNode()
+	if len(rates) != len(pe.ByPosition) {
+		t.Error("rate vector length mismatch")
+	}
+}
+
+func TestPositionEffectsAll(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(1, 2), hwAt(2, 3)})
+	a := New(ds)
+	merged := a.PositionEffectsAll(ds.Systems)
+	if len(merged.ByPosition) == 0 {
+		t.Fatal("merged positions empty")
+	}
+	total := 0.0
+	for _, c := range merged.ByPosition {
+		total += c
+	}
+	if total != 2 {
+		t.Errorf("merged failures = %g", total)
+	}
+}
+
+func TestPredictorTrainAndEvaluate(t *testing.T) {
+	// Training portion (first 70% ~ day 68): NET failures always followed
+	// within a day; HW failures never.
+	var fs []trace.Failure
+	mkNet := func(node, d int) trace.Failure {
+		return trace.Failure{System: 1, Node: node, Time: day(d, 6), Category: trace.Network}
+	}
+	for d := 1; d < 60; d += 6 {
+		fs = append(fs, mkNet(0, d), hwAt(0, d)) // HW same day; NET followed by it? order within day
+	}
+	// Give NET failures an unambiguous follow-up: another failure 12h
+	// later.
+	fs = nil
+	for d := 1; d < 60; d += 6 {
+		fs = append(fs, mkNet(0, d))
+		fs = append(fs, trace.Failure{System: 1, Node: 0, Time: day(d, 18), Category: trace.Undetermined})
+		fs = append(fs, hwAt(1, d+2)) // isolated HW failures on node 1
+	}
+	// Held-out portion: same pattern.
+	for d := 70; d < 95; d += 6 {
+		fs = append(fs, mkNet(0, d))
+		fs = append(fs, trace.Failure{System: 1, Node: 0, Time: day(d, 18), Category: trace.Undetermined})
+		fs = append(fs, hwAt(1, d+2))
+	}
+	ds := craft(fs)
+	a := New(ds)
+	p, err := a.TrainPredictor(ds.Systems, trace.Day, 0.7, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Trained[trace.Network].P(); got < 0.9 {
+		t.Errorf("trained NET probability = %.2f, want ~1", got)
+	}
+	if got := p.Trained[trace.Hardware].P(); got > 0.2 {
+		t.Errorf("trained HW probability = %.2f, want ~0", got)
+	}
+	ev, err := a.Evaluate(p, ds.Systems, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Total == 0 || ev.Alerts == 0 {
+		t.Fatalf("evaluation empty: %+v", ev)
+	}
+	if ev.Precision() < 0.9 {
+		t.Errorf("precision = %.2f, want ~1 (NET alerts always followed)", ev.Precision())
+	}
+	if ev.Lift() <= 1 {
+		t.Errorf("lift = %.2f, want > 1", ev.Lift())
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	ds := craft(nil)
+	a := New(ds)
+	if _, err := a.TrainPredictor(ds.Systems, trace.Day, 0, 0.1); err == nil {
+		t.Error("split 0 should fail")
+	}
+	if _, err := a.TrainPredictor(ds.Systems, trace.Day, 1.5, 0.1); err == nil {
+		t.Error("split > 1 should fail")
+	}
+	if _, err := a.TrainPredictor(ds.Systems, -time.Hour, 0.5, 0.1); err == nil {
+		t.Error("negative horizon should fail")
+	}
+	p, err := a.TrainPredictor(ds.Systems, trace.Day, 0.5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Evaluate(p, ds.Systems, -1); err == nil {
+		t.Error("bad split in Evaluate should fail")
+	}
+	// Predict on unknown category is false.
+	if p.Predict(trace.Failure{Category: trace.Category(42)}) {
+		t.Error("unknown category should not alert")
+	}
+}
+
+func TestFollowUpLatency(t *testing.T) {
+	// Node 0 failures at days 1, 2, 10: delays 24h then 192h.
+	ds := craft([]trace.Failure{hwAt(0, 1), hwAt(0, 2), hwAt(0, 10), hwAt(1, 50)})
+	a := New(ds)
+	lp := a.FollowUpLatency(ds.Systems, nil, nil, trace.Month)
+	// Anchors with a full 30-day horizon: days 1, 2, 10, 50 are all <= 68.
+	if lp.Anchors != 4 {
+		t.Fatalf("anchors = %d, want 4", lp.Anchors)
+	}
+	if lp.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", lp.Hits)
+	}
+	if len(lp.DelaysHours) != 2 || lp.DelaysHours[0] != 24 || lp.DelaysHours[1] != 192 {
+		t.Errorf("delays = %v", lp.DelaysHours)
+	}
+	if lp.HitRate() != 0.5 {
+		t.Errorf("hit rate = %g", lp.HitRate())
+	}
+	// Cumulative share: 1 of 2 within 2 days.
+	if got := lp.CumulativeShare(48 * 3600 * 1e9); got != 0.5 {
+		t.Errorf("cumulative(2d) = %g", got)
+	}
+	bins := lp.LatencyBins(10)
+	if bins[0] != 1 { // 24h is in the first 3-day bin
+		t.Errorf("bins = %v", bins)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b
+	}
+	if total != 2 {
+		t.Errorf("bin mass = %d", total)
+	}
+	// Predicate-restricted: only SW targets -> no hits.
+	sw := a.FollowUpLatency(ds.Systems, nil, trace.CategoryPred(trace.Software), trace.Month)
+	if sw.Hits != 0 {
+		t.Errorf("sw hits = %d", sw.Hits)
+	}
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/layout"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// craftJoint builds a dataset rich enough for the joint regression: many
+// nodes with temps, jobs and a layout, where failures scale with job count.
+func craftJoint(t *testing.T, nodes int) *trace.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	period := trace.Interval{Start: day(0), End: day(200)}
+	ds := &trace.Dataset{
+		Systems: []trace.SystemInfo{{
+			ID: 20, Group: trace.Group1, Nodes: nodes, ProcsPerNode: 4, Period: period,
+		}},
+		Layouts: map[int]*layout.Layout{20: layout.Regular(20, nodes, 4)},
+	}
+	id := int64(1)
+	for n := 0; n < nodes; n++ {
+		// Usage: node-dependent job count.
+		jobs := 2 + rng.Intn(20)
+		for j := 0; j < jobs; j++ {
+			start := rng.Intn(190)
+			dur := 1 + rng.Float64()*40
+			dispatch := day(start)
+			end := dispatch.Add(time.Duration(dur * float64(time.Hour)))
+			ds.Jobs = append(ds.Jobs, trace.Job{
+				System: 20, ID: id, User: rng.Intn(5),
+				Submit: dispatch.Add(-time.Hour), Dispatch: dispatch, End: end,
+				Procs: 4, Nodes: []int{n},
+			})
+			id++
+		}
+		// Failures proportional to job count plus noise.
+		fails := jobs/4 + rng.Intn(2)
+		for f := 0; f < fails; f++ {
+			ds.Failures = append(ds.Failures, trace.Failure{
+				System: 20, Node: n, Time: day(1 + rng.Intn(195)),
+				Category: trace.Hardware, HW: trace.CPU,
+			})
+		}
+		// Temperatures unrelated to failures.
+		for d := 0; d < 200; d += 20 {
+			ds.Temps = append(ds.Temps, trace.TempSample{
+				System: 20, Node: n, Time: day(d, 2),
+				Celsius: 26 + 3*rng.Float64(),
+			})
+		}
+	}
+	ds.Sort()
+	return ds
+}
+
+func TestAssembleJoint(t *testing.T) {
+	ds := craftJoint(t, 40)
+	a := New(ds)
+	jv, err := a.AssembleJoint(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jv.Nodes) != 40 {
+		t.Fatalf("nodes = %d", len(jv.Nodes))
+	}
+	for i := range jv.Nodes {
+		if jv.Util[i] < 0 || jv.Util[i] > 100 {
+			t.Errorf("util %g out of percent range", jv.Util[i])
+		}
+		if jv.PIR[i] < 1 || jv.PIR[i] > 5 {
+			t.Errorf("PIR %g out of range", jv.PIR[i])
+		}
+		if jv.NumJobs[i] < 2 {
+			t.Errorf("num_jobs %g below construction minimum", jv.NumJobs[i])
+		}
+	}
+	sans := jv.WithoutNode(0)
+	if len(sans.Nodes) != 39 {
+		t.Errorf("WithoutNode left %d nodes", len(sans.Nodes))
+	}
+	for _, n := range sans.Nodes {
+		if n == 0 {
+			t.Error("node 0 still present")
+		}
+	}
+}
+
+func TestJointRegressionRecoversUsageEffect(t *testing.T) {
+	ds := craftJoint(t, 60)
+	a := New(ds)
+	jr, err := a.JointRegression(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nj, ok := jr.Poisson.Coef("num_jobs")
+	if !ok {
+		t.Fatal("num_jobs coefficient missing")
+	}
+	if nj.Estimate <= 0 {
+		t.Errorf("num_jobs estimate = %g, want positive (failures built from jobs)", nj.Estimate)
+	}
+	if !nj.Significant(0.05) {
+		t.Errorf("num_jobs should be significant, p=%g", nj.P)
+	}
+	at, _ := jr.Poisson.Coef("avg_temp")
+	if at.Significant(0.01) {
+		t.Errorf("avg_temp should be insignificant, p=%g", at.P)
+	}
+	if jr.NegBinom == nil || jr.PoissonSansZero == nil {
+		t.Fatal("companion fits missing")
+	}
+	if len(jr.NegBinom.Coefs) != 8 {
+		t.Errorf("NB coefficients = %d, want 8", len(jr.NegBinom.Coefs))
+	}
+}
+
+func TestAssembleJointErrors(t *testing.T) {
+	// Unknown system.
+	ds := craftJoint(t, 20)
+	a := New(ds)
+	if _, err := a.AssembleJoint(99); err == nil {
+		t.Error("unknown system should fail")
+	}
+	// Missing layout.
+	ds2 := craftJoint(t, 20)
+	delete(ds2.Layouts, 20)
+	if _, err := New(ds2).AssembleJoint(20); err == nil {
+		t.Error("missing layout should fail")
+	}
+	// Missing temperatures: summary covers all nodes with zero samples,
+	// so the usable-node filter rejects.
+	ds3 := craftJoint(t, 20)
+	ds3.Temps = nil
+	if _, err := New(ds3).AssembleJoint(20); err == nil {
+		t.Error("missing temps should fail")
+	}
+}
+
+func TestUsedSystems(t *testing.T) {
+	ds := craftJoint(t, 12)
+	a := New(ds)
+	used := a.UsedSystems()
+	if len(used) != 1 || used[0].ID != 20 {
+		t.Errorf("used = %+v", used)
+	}
+	ds2 := craft(nil)
+	if got := New(ds2).UsedSystems(); len(got) != 0 {
+		t.Errorf("bare dataset should have no joint-capable systems: %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func TestFailuresPerNode(t *testing.T) {
+	var fs []trace.Failure
+	// Node 0 fails 20 times, others once each.
+	for d := 1; d <= 20; d++ {
+		fs = append(fs, hwAt(0, d))
+	}
+	fs = append(fs, hwAt(1, 30), hwAt(2, 40), hwAt(3, 50))
+	ds := craft(fs)
+	a := New(ds)
+	nc := a.FailuresPerNode(1)
+	if nc.Counts[0] != 20 || nc.Counts[1] != 1 {
+		t.Errorf("counts = %v", nc.Counts)
+	}
+	if nc.MaxNode != 0 {
+		t.Errorf("max node = %d", nc.MaxNode)
+	}
+	if math.Abs(nc.Mean-23.0/4) > 1e-12 {
+		t.Errorf("mean = %g", nc.Mean)
+	}
+	if !nc.EqualRates.Significant(0.01) {
+		t.Errorf("unequal rates should be rejected, p=%g", nc.EqualRates.P)
+	}
+	// Without node 0 the rest are perfectly equal: not rejected.
+	if nc.EqualRatesSansZero.Significant(0.05) {
+		t.Errorf("equal rest should not be rejected, p=%g", nc.EqualRatesSansZero.P)
+	}
+}
+
+func TestRootCauseBreakdown(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(0, 1), hwAt(0, 2), swAt(0, 3), swAt(1, 4)})
+	a := New(ds)
+	node0 := a.RootCauseBreakdown(1, func(n int) bool { return n == 0 })
+	if node0.Total != 3 {
+		t.Fatalf("total = %d", node0.Total)
+	}
+	if math.Abs(node0.Share[trace.Hardware]-2.0/3) > 1e-12 {
+		t.Errorf("hw share = %g", node0.Share[trace.Hardware])
+	}
+	if node0.Dominant() != trace.Hardware {
+		t.Errorf("dominant = %v", node0.Dominant())
+	}
+	all := a.RootCauseBreakdown(1, nil)
+	if all.Total != 4 {
+		t.Errorf("all total = %d", all.Total)
+	}
+	empty := a.RootCauseBreakdown(1, func(n int) bool { return false })
+	if empty.Total != 0 || len(empty.Share) != 0 {
+		t.Error("empty selection should have no shares")
+	}
+}
+
+func TestNodeVsRestProb(t *testing.T) {
+	var fs []trace.Failure
+	// Node 0: SW failure every other day for 40 days -> ~every week hit.
+	for d := 1; d <= 40; d += 2 {
+		fs = append(fs, swAt(0, d))
+	}
+	fs = append(fs, swAt(1, 50))
+	ds := craft(fs)
+	a := New(ds)
+	r := a.NodeVsRestProb(1, 0, trace.Week, "SW", trace.CategoryPred(trace.Software))
+	if r.NodeProb.Trials != 14 {
+		t.Errorf("node trials = %d, want 14 weeks", r.NodeProb.Trials)
+	}
+	// Node 0 hits weeks 0..5 (days 1..39 cover weeks 0-5): 6 weeks.
+	if r.NodeProb.Successes != 6 {
+		t.Errorf("node successes = %d, want 6", r.NodeProb.Successes)
+	}
+	// Rest: 3 nodes x 14 weeks = 42 trials, 1 success (node1 week 7).
+	if r.RestProb.Trials != 42 || r.RestProb.Successes != 1 {
+		t.Errorf("rest = %+v", r.RestProb)
+	}
+	if r.Factor() < 10 {
+		t.Errorf("factor = %g, want >> 1", r.Factor())
+	}
+	if !r.Homogeneity.Significant(0.01) {
+		t.Errorf("homogeneity should be rejected, p=%g", r.Homogeneity.P)
+	}
+}
+
+func TestTopFailingNodes(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(2, 1), hwAt(2, 2), hwAt(1, 3), hwAt(2, 5), hwAt(1, 9)})
+	a := New(ds)
+	top := a.TopFailingNodes(1, 2)
+	if len(top) != 2 || top[0] != 2 || top[1] != 1 {
+		t.Errorf("top = %v", top)
+	}
+	all := a.TopFailingNodes(1, 0)
+	if len(all) != 4 {
+		t.Errorf("all = %v", all)
+	}
+}

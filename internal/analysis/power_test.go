@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func envAt(node, d int, cls trace.EnvClass) trace.Failure {
+	return trace.Failure{System: 1, Node: node, Time: day(d, 6), Category: trace.Environment, Env: cls}
+}
+
+func psuAt(node, d int) trace.Failure {
+	return trace.Failure{System: 1, Node: node, Time: day(d, 6), Category: trace.Hardware, HW: trace.PowerSupply}
+}
+
+func TestEnvBreakdown(t *testing.T) {
+	ds := craft([]trace.Failure{
+		envAt(0, 1, trace.PowerOutage),
+		envAt(1, 2, trace.PowerOutage),
+		envAt(2, 3, trace.PowerSpike),
+		envAt(3, 4, trace.UPS),
+		hwAt(0, 5), // not environmental: excluded
+	})
+	a := New(ds)
+	pie := a.EnvBreakdown(ds.Systems)
+	if math.Abs(pie[trace.PowerOutage]-0.5) > 1e-12 {
+		t.Errorf("outage share = %g", pie[trace.PowerOutage])
+	}
+	if math.Abs(pie[trace.PowerSpike]-0.25) > 1e-12 || math.Abs(pie[trace.UPS]-0.25) > 1e-12 {
+		t.Error("spike/UPS shares wrong")
+	}
+	if pie[trace.Chillers] != 0 {
+		t.Error("chiller share should be 0")
+	}
+}
+
+func TestPowerEventKindPreds(t *testing.T) {
+	cases := []struct {
+		kind PowerEventKind
+		f    trace.Failure
+	}{
+		{AfterOutage, envAt(0, 1, trace.PowerOutage)},
+		{AfterSpike, envAt(0, 1, trace.PowerSpike)},
+		{AfterUPSFail, envAt(0, 1, trace.UPS)},
+		{AfterPSUFail, psuAt(0, 1)},
+	}
+	for _, c := range cases {
+		if !c.kind.Pred()(c.f) {
+			t.Errorf("%s predicate should match its anchor", c.kind)
+		}
+	}
+	if AfterOutage.Pred()(envAt(0, 1, trace.UPS)) {
+		t.Error("outage predicate must not match UPS failures")
+	}
+}
+
+func TestPowerImpactOn(t *testing.T) {
+	ds := craft([]trace.Failure{
+		envAt(0, 10, trace.PowerOutage),
+		hwAt(0, 12), // hardware follow-up within week
+		envAt(1, 40, trace.PowerOutage),
+	})
+	a := New(ds)
+	pis := a.PowerImpactOn(ds.Systems, trace.CategoryPred(trace.Hardware))
+	if len(pis) != 4 {
+		t.Fatalf("kinds = %d", len(pis))
+	}
+	outage := pis[0]
+	if outage.Kind != AfterOutage {
+		t.Fatal("first kind should be outage")
+	}
+	// Two outage anchors; one followed by HW within a week.
+	if outage.ByWeek.Conditional.Trials != 2 || outage.ByWeek.Conditional.Successes != 1 {
+		t.Errorf("outage week = %+v", outage.ByWeek.Conditional)
+	}
+	// Day window: HW on day 12 is more than 24h after day 10: no hit.
+	if outage.ByDay.Conditional.Successes != 0 {
+		t.Errorf("outage day should have no hits: %+v", outage.ByDay.Conditional)
+	}
+}
+
+func TestPowerImpactOnComponents(t *testing.T) {
+	ds := craft([]trace.Failure{
+		envAt(0, 10, trace.PowerSpike),
+		{System: 1, Node: 0, Time: day(20, 6), Category: trace.Hardware, HW: trace.Memory},
+	})
+	a := New(ds)
+	cis := a.PowerImpactOnComponents(ds.Systems, []trace.HWComponent{trace.Memory, trace.CPU})
+	if len(cis) != 8 { // 4 kinds x 2 components
+		t.Fatalf("cells = %d", len(cis))
+	}
+	var spikeMem, spikeCPU ComponentImpact
+	for _, ci := range cis {
+		if ci.Kind == AfterSpike && ci.Component == trace.Memory {
+			spikeMem = ci
+		}
+		if ci.Kind == AfterSpike && ci.Component == trace.CPU {
+			spikeCPU = ci
+		}
+	}
+	if spikeMem.Result.Conditional.Successes != 1 {
+		t.Errorf("spike->memory = %+v", spikeMem.Result.Conditional)
+	}
+	if spikeCPU.Result.Conditional.Successes != 0 {
+		t.Errorf("spike->cpu should be empty: %+v", spikeCPU.Result.Conditional)
+	}
+}
+
+func TestMaintenanceAfterPower(t *testing.T) {
+	ds := craft([]trace.Failure{
+		envAt(0, 10, trace.PowerOutage),
+		envAt(1, 40, trace.PowerOutage),
+	})
+	ds.Maintenance = []trace.MaintenanceEvent{
+		{System: 1, Node: 0, Time: day(20), Scheduled: false, HardwareRelated: true},
+		// Scheduled and non-hardware events must be ignored.
+		{System: 1, Node: 1, Time: day(45), Scheduled: true, HardwareRelated: true},
+		{System: 1, Node: 1, Time: day(46), Scheduled: false, HardwareRelated: false},
+	}
+	ds.Sort()
+	a := New(ds)
+	mis := a.MaintenanceAfterPower(ds.Systems, trace.Month)
+	var outage MaintenanceImpact
+	for _, mi := range mis {
+		if mi.Kind == AfterOutage {
+			outage = mi
+		}
+	}
+	if outage.Conditional.Trials != 2 || outage.Conditional.Successes != 1 {
+		t.Errorf("outage maintenance = %+v", outage.Conditional)
+	}
+	if outage.Baseline.Trials == 0 {
+		t.Error("baseline should have trials")
+	}
+	if outage.Factor() <= 1 {
+		t.Errorf("factor = %g", outage.Factor())
+	}
+}
+
+func TestSpaceTime(t *testing.T) {
+	ds := craft([]trace.Failure{
+		// Outage hitting two nodes the same day: co-occurrence.
+		envAt(0, 10, trace.PowerOutage),
+		envAt(1, 10, trace.PowerOutage),
+		// PSU failures twice on the same node: node repeat, no
+		// co-occurrence.
+		psuAt(2, 20),
+		psuAt(2, 60),
+		// A spike alone.
+		envAt(3, 30, trace.PowerSpike),
+		// Non-power failure: excluded.
+		swAt(0, 5),
+	})
+	a := New(ds)
+	st := a.SpaceTime(1)
+	if len(st.Points) != 5 {
+		t.Fatalf("points = %d", len(st.Points))
+	}
+	if v := st.CoOccurrence[trace.PowerOutage]; math.Abs(v-1) > 1e-12 {
+		t.Errorf("outage co-occurrence = %g, want 1", v)
+	}
+	if v := st.CoOccurrence[PSUClass]; v != 0 {
+		t.Errorf("PSU co-occurrence = %g, want 0", v)
+	}
+	if v := st.NodeRepeat[PSUClass]; math.Abs(v-1) > 1e-12 {
+		t.Errorf("PSU node-repeat = %g, want 1", v)
+	}
+	if v := st.NodeRepeat[trace.PowerSpike]; v != 0 {
+		t.Errorf("spike node-repeat = %g, want 0", v)
+	}
+	// Day coordinates measured from period start.
+	for _, p := range st.Points {
+		if p.Day < 0 || p.Day > 98 {
+			t.Errorf("point day %g out of range", p.Day)
+		}
+	}
+}
+
+func TestMaintWindowCounting(t *testing.T) {
+	ds := craft(nil)
+	ds.Maintenance = []trace.MaintenanceEvent{
+		{System: 1, Node: 0, Time: day(5), HardwareRelated: true},
+		{System: 1, Node: 0, Time: day(6), HardwareRelated: true}, // same week
+		{System: 1, Node: 1, Time: day(20), HardwareRelated: true},
+	}
+	ds.Sort()
+	a := New(ds)
+	s, tr := a.maintCountWindows(ds.Systems, trace.Week)
+	if tr != 56 {
+		t.Errorf("trials = %d", tr)
+	}
+	if s != 2 { // node0 week0 counted once, node1 week2
+		t.Errorf("successes = %d", s)
+	}
+	if !a.maintAny(1, 0, trace.Interval{Start: day(5), End: day(7)}) {
+		t.Error("maintAny should find the event")
+	}
+	if a.maintAny(1, 0, trace.Interval{Start: day(7), End: day(9)}) {
+		t.Error("maintAny window miss expected")
+	}
+}
+
+func TestPowerKindStrings(t *testing.T) {
+	names := map[PowerEventKind]string{
+		AfterOutage: "PowerOutage", AfterSpike: "PowerSpike",
+		AfterPSUFail: "PowerSupplyFail", AfterUPSFail: "UPSFail",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %q", k, k.String())
+		}
+	}
+	var hits int
+	pred := PowerEventKind(99).Pred()
+	for _, f := range []trace.Failure{hwAt(0, 1), envAt(0, 1, trace.UPS)} {
+		if pred(f) {
+			hits++
+		}
+	}
+	if hits != 0 {
+		t.Error("unknown kind predicate should match nothing")
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func tempAt(node, d int, c float64) trace.TempSample {
+	return trace.TempSample{System: 1, Node: node, Time: day(d, 3), Celsius: c}
+}
+
+func TestTemperatureSummary(t *testing.T) {
+	ds := craft(nil)
+	ds.Temps = []trace.TempSample{
+		tempAt(0, 1, 30), tempAt(0, 2, 34), tempAt(0, 3, 44),
+		tempAt(1, 1, 25),
+	}
+	ds.Sort()
+	a := New(ds)
+	sum := a.TemperatureSummary(1)
+	if len(sum) != 4 {
+		t.Fatalf("nodes = %d", len(sum))
+	}
+	n0 := sum[0]
+	if n0.Samples != 3 {
+		t.Fatalf("samples = %d", n0.Samples)
+	}
+	if math.Abs(n0.Avg-36) > 1e-9 {
+		t.Errorf("avg = %g", n0.Avg)
+	}
+	if n0.Max != 44 {
+		t.Errorf("max = %g", n0.Max)
+	}
+	// Population variance of {30,34,44}: mean 36, sq dev 36+4+64=104/3.
+	if math.Abs(n0.Var-104.0/3) > 1e-6 {
+		t.Errorf("var = %g", n0.Var)
+	}
+	if n0.NumHighTemp != 1 {
+		t.Errorf("num high = %d", n0.NumHighTemp)
+	}
+	if sum[2].Samples != 0 {
+		t.Error("uncovered node should have zero samples")
+	}
+}
+
+func TestCoolingPreds(t *testing.T) {
+	fan := trace.Failure{System: 1, Node: 0, Time: day(1), Category: trace.Hardware, HW: trace.Fan}
+	chiller := trace.Failure{System: 1, Node: 0, Time: day(1), Category: trace.Environment, Env: trace.Chillers}
+	if !AfterFanFail.Pred()(fan) || AfterFanFail.Pred()(chiller) {
+		t.Error("fan predicate wrong")
+	}
+	if !AfterChillerFail.Pred()(chiller) || AfterChillerFail.Pred()(fan) {
+		t.Error("chiller predicate wrong")
+	}
+	if AfterFanFail.String() != "FanFail" || AfterChillerFail.String() != "ChillerFail" {
+		t.Error("names wrong")
+	}
+}
+
+func TestCoolingImpactOnHardware(t *testing.T) {
+	ds := craft([]trace.Failure{
+		{System: 1, Node: 0, Time: day(10, 6), Category: trace.Hardware, HW: trace.Fan},
+		{System: 1, Node: 0, Time: day(10, 20), Category: trace.Hardware, HW: trace.MSCBoard},
+	})
+	a := New(ds)
+	cis := a.CoolingImpactOnHardware(ds.Systems)
+	if len(cis) != 2 {
+		t.Fatalf("kinds = %d", len(cis))
+	}
+	var fan CoolingImpact
+	for _, ci := range cis {
+		if ci.Kind == AfterFanFail {
+			fan = ci
+		}
+	}
+	// MSC failure 14h after the fan failure: within the day window.
+	if fan.ByDay.Conditional.Trials != 1 || fan.ByDay.Conditional.Successes != 1 {
+		t.Errorf("fan day = %+v", fan.ByDay.Conditional)
+	}
+}
+
+func TestCoolingImpactOnComponents(t *testing.T) {
+	ds := craft([]trace.Failure{
+		{System: 1, Node: 0, Time: day(10, 6), Category: trace.Hardware, HW: trace.Fan},
+		{System: 1, Node: 0, Time: day(15, 6), Category: trace.Hardware, HW: trace.Midplane},
+	})
+	a := New(ds)
+	comps := a.CoolingImpactOnComponents(ds.Systems, []trace.HWComponent{trace.Midplane, trace.CPU})
+	var fanMid CoolingComponentImpact
+	for _, ci := range comps {
+		if ci.Kind == AfterFanFail && ci.Component == trace.Midplane {
+			fanMid = ci
+		}
+	}
+	if fanMid.Result.Conditional.Successes != 1 {
+		t.Errorf("fan->midplane = %+v", fanMid.Result.Conditional)
+	}
+}
+
+func TestTemperatureRegressionsNeedData(t *testing.T) {
+	ds := craft(nil)
+	a := New(ds)
+	if _, err := a.TemperatureRegressions(1); err == nil {
+		t.Error("no temperature data should error")
+	}
+}
+
+func TestTemperatureRegressionsRun(t *testing.T) {
+	// Build temps for every node plus enough failures to fit the models:
+	// constant-ish temperatures uncorrelated with failures.
+	ds := craft([]trace.Failure{hwAt(0, 5), hwAt(1, 20), hwAt(2, 30), hwAt(3, 44), hwAt(1, 60)})
+	for n := 0; n < 4; n++ {
+		for d := 1; d < 90; d += 10 {
+			ds.Temps = append(ds.Temps, tempAt(n, d, 28+float64(n)+0.1*float64(d%3)))
+		}
+	}
+	ds.Sort()
+	a := New(ds)
+	// 4 nodes is too few for a real fit; the model requires n > p. The
+	// single-covariate models have p=2, so n=4 works.
+	regs, err := a.TemperatureRegressions(1)
+	if err != nil {
+		t.Fatalf("regressions: %v", err)
+	}
+	if len(regs) != 9 { // 3 targets x 3 covariates
+		t.Fatalf("results = %d", len(regs))
+	}
+	for _, r := range regs {
+		if r.Target == "" || r.Covariate == "" {
+			t.Error("missing labels")
+		}
+	}
+}

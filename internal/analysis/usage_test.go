@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// craftWithJobs extends craft with a job log.
+func craftWithJobs(failures []trace.Failure, jobs []trace.Job) *trace.Dataset {
+	ds := craft(failures)
+	ds.Jobs = jobs
+	ds.Sort()
+	return ds
+}
+
+func mkJob(id int64, user, node, startDay int, days float64, failed bool) trace.Job {
+	start := day(startDay)
+	end := start.Add(time.Duration(days * 24 * float64(time.Hour)))
+	return trace.Job{
+		System: 1, ID: id, User: user,
+		Submit: start.Add(-time.Hour), Dispatch: start, End: end,
+		Procs: 4, Nodes: []int{node}, FailedByNode: failed,
+	}
+}
+
+func TestUsageVsFailures(t *testing.T) {
+	// Node 1 busy half the period with many jobs and many failures;
+	// node 3 idle with none.
+	jobs := []trace.Job{
+		mkJob(1, 1, 1, 0, 25, false),
+		mkJob(2, 1, 1, 30, 24, false),
+		mkJob(3, 2, 2, 10, 10, false),
+	}
+	fails := []trace.Failure{hwAt(1, 5), hwAt(1, 40), swAt(2, 15)}
+	ds := craftWithJobs(fails, jobs)
+	a := New(ds)
+	ur := a.UsageVsFailures(1)
+	if len(ur.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(ur.Nodes))
+	}
+	n1 := ur.Nodes[1]
+	if n1.Jobs != 2 || n1.Failures != 2 {
+		t.Errorf("node1 = %+v", n1)
+	}
+	if math.Abs(n1.Utilization-0.5) > 1e-9 {
+		t.Errorf("node1 utilization = %g, want 0.5", n1.Utilization)
+	}
+	if ur.Nodes[3].Jobs != 0 || ur.Nodes[3].Utilization != 0 {
+		t.Error("idle node should have zero usage")
+	}
+	if ur.JobsCorr.R <= 0 {
+		t.Errorf("jobs-failures correlation should be positive: %g", ur.JobsCorr.R)
+	}
+}
+
+func TestUserFailureRates(t *testing.T) {
+	jobs := []trace.Job{
+		mkJob(1, 10, 1, 0, 10, true),
+		mkJob(2, 10, 1, 20, 10, true),
+		mkJob(3, 10, 2, 40, 10, false),
+		mkJob(4, 11, 2, 0, 30, false),
+		mkJob(5, 12, 3, 0, 1, true),
+	}
+	ds := craftWithJobs(nil, jobs)
+	a := New(ds)
+	res, err := a.UserFailureRates(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Users) != 3 {
+		t.Fatalf("users = %d", len(res.Users))
+	}
+	// Heaviest by proc-days first: user 10 has 30 days x 4 procs = 120.
+	if res.Users[0].User != 10 && res.Users[0].User != 11 {
+		t.Errorf("heaviest user = %d", res.Users[0].User)
+	}
+	var u10 UserRate
+	for _, u := range res.Users {
+		if u.User == 10 {
+			u10 = u
+		}
+	}
+	if u10.NodeFailures != 2 {
+		t.Errorf("user 10 failures = %d", u10.NodeFailures)
+	}
+	if math.Abs(u10.ProcDays-120) > 1e-9 {
+		t.Errorf("user 10 procdays = %g", u10.ProcDays)
+	}
+	if math.Abs(u10.Rate()-2.0/120) > 1e-12 {
+		t.Errorf("user 10 rate = %g", u10.Rate())
+	}
+	if math.IsNaN(res.Anova.P) {
+		t.Error("ANOVA p should be defined")
+	}
+	// topK limits output.
+	res2, err := a.UserFailureRates(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Users) != 2 {
+		t.Errorf("topK users = %d", len(res2.Users))
+	}
+}
+
+func TestUserFailureRatesNoJobs(t *testing.T) {
+	ds := craft(nil)
+	a := New(ds)
+	if _, err := a.UserFailureRates(1, 10); err == nil {
+		t.Error("no jobs should produce an ANOVA error")
+	}
+}
+
+func TestUserRateZeroExposure(t *testing.T) {
+	u := UserRate{User: 1, NodeFailures: 3}
+	if u.Rate() != 0 {
+		t.Error("zero exposure rate should be 0")
+	}
+}

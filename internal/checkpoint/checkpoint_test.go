@@ -1,0 +1,159 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func tAt(h float64) time.Time {
+	return time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(h * float64(time.Hour)))
+}
+
+func period(hours float64) trace.Interval {
+	return trace.Interval{Start: tAt(0), End: tAt(hours)}
+}
+
+func TestYoungInterval(t *testing.T) {
+	// sqrt(2 * 10min * 1000h) = sqrt(2*600s*3.6e6s) ... check via formula.
+	got := YoungInterval(10*time.Minute, 1000*time.Hour)
+	want := time.Duration(math.Sqrt(2 * float64(10*time.Minute) * float64(1000*time.Hour)))
+	if got != want {
+		t.Errorf("young = %v, want %v", got, want)
+	}
+	if YoungInterval(0, time.Hour) != 0 || YoungInterval(time.Minute, 0) != 0 {
+		t.Error("degenerate Young inputs should give 0")
+	}
+}
+
+func TestReplayNoFailures(t *testing.T) {
+	res, err := Replay(period(100), nil, Fixed{Every: 10 * time.Hour}, 6*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoints at 10,20,...,90 (100 is not strictly before end): 9.
+	if res.Checkpoints != 9 {
+		t.Errorf("checkpoints = %d, want 9", res.Checkpoints)
+	}
+	if res.Lost != 0 || res.Failures != 0 {
+		t.Errorf("unexpected losses: %+v", res)
+	}
+	if res.Overhead != 9*6*time.Minute {
+		t.Errorf("overhead = %v", res.Overhead)
+	}
+	if res.Total() != res.Overhead {
+		t.Error("total should equal overhead without failures")
+	}
+}
+
+func TestReplayLostWork(t *testing.T) {
+	// Fixed every 10h; failure at h=25: last checkpoint at 20 -> lose 5h.
+	res, err := Replay(period(100), []time.Time{tAt(25)}, Fixed{Every: 10 * time.Hour}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d", res.Failures)
+	}
+	if res.Lost != 5*time.Hour {
+		t.Errorf("lost = %v, want 5h", res.Lost)
+	}
+}
+
+func TestReplayRiskAware(t *testing.T) {
+	pol := RiskAware{Base: 10 * time.Hour, Risky: 1 * time.Hour, Window: 24 * time.Hour}
+	// Failures at 25 and 30: under the risk-aware policy the second
+	// failure happens inside the risky window, with checkpoints every 1h,
+	// so at most 1h is lost.
+	failures := []time.Time{tAt(25), tAt(30)}
+	risky, err := Replay(period(100), failures, pol, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Replay(period(100), failures, Fixed{Every: 10 * time.Hour}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risky.Lost >= fixed.Lost {
+		t.Errorf("risk-aware lost %v should beat fixed %v", risky.Lost, fixed.Lost)
+	}
+	// The second failure loses at most the risky interval.
+	if risky.Lost > 5*time.Hour+1*time.Hour {
+		t.Errorf("risky lost = %v", risky.Lost)
+	}
+}
+
+func TestReplayClusteredFailuresFavorRiskAware(t *testing.T) {
+	// Clustered failures: pairs 3h apart every ~200h.
+	var failures []time.Time
+	for base := 50.0; base < 900; base += 200 {
+		failures = append(failures, tAt(base), tAt(base+3))
+	}
+	cost := 5 * time.Minute
+	fixed := Fixed{Every: 20 * time.Hour}
+	risky := RiskAware{Base: 20 * time.Hour, Risky: 2 * time.Hour, Window: 48 * time.Hour}
+	fr, err := Replay(period(1000), failures, fixed, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Replay(period(1000), failures, risky, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Total() >= fr.Total() {
+		t.Errorf("risk-aware total %v should beat fixed %v on clustered failures", rr.Total(), fr.Total())
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := Replay(period(10), nil, nil, time.Minute); !errors.Is(err, ErrBadConfig) {
+		t.Error("nil policy should fail")
+	}
+	if _, err := Replay(trace.Interval{Start: tAt(5), End: tAt(1)}, nil, Fixed{Every: time.Hour}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("inverted period should fail")
+	}
+	if _, err := Replay(period(10), []time.Time{tAt(8), tAt(2)}, Fixed{Every: time.Hour}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Error("unsorted failures should fail")
+	}
+}
+
+func TestReplayNodesAndCompare(t *testing.T) {
+	systems := []trace.SystemInfo{
+		{ID: 1, Nodes: 3, Group: trace.Group1, ProcsPerNode: 4, Period: period(500)},
+	}
+	failTimes := map[int][]time.Time{
+		0: {tAt(100), tAt(103)},
+		1: {tAt(250)},
+	}
+	get := func(system, node int) []time.Time { return failTimes[node] }
+	cost := 5 * time.Minute
+	results, err := Compare(systems, get, cost,
+		Fixed{Every: 24 * time.Hour},
+		RiskAware{Base: 24 * time.Hour, Risky: 3 * time.Hour, Window: 48 * time.Hour},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Failures != 3 || results[1].Failures != 3 {
+		t.Errorf("failure counts: %d, %d", results[0].Failures, results[1].Failures)
+	}
+	if results[1].Lost >= results[0].Lost {
+		t.Errorf("risk-aware should lose less on the clustered node: %v vs %v",
+			results[1].Lost, results[0].Lost)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Fixed{Every: time.Hour}).Name() == "" {
+		t.Error("fixed name empty")
+	}
+	if (RiskAware{Base: time.Hour, Risky: time.Minute, Window: time.Hour}).Name() == "" {
+		t.Error("risk-aware name empty")
+	}
+}

@@ -1,0 +1,34 @@
+package checkpoint_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func ExampleReplay() {
+	start := time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)
+	period := trace.Interval{Start: start, End: start.Add(1000 * time.Hour)}
+	// Two clustered failures: the second lands in the first's shadow.
+	failures := []time.Time{start.Add(100 * time.Hour), start.Add(104 * time.Hour)}
+
+	fixed, _ := checkpoint.Replay(period, failures, checkpoint.Fixed{Every: 24 * time.Hour}, 6*time.Minute)
+	risk, _ := checkpoint.Replay(period, failures, checkpoint.RiskAware{
+		Base: 24 * time.Hour, Risky: 2 * time.Hour, Window: 48 * time.Hour,
+	}, 6*time.Minute)
+
+	fmt.Printf("fixed: lost %s\n", fixed.Lost)
+	fmt.Printf("risk-aware: lost %s\n", risk.Lost)
+	// Output:
+	// fixed: lost 8h0m0s
+	// risk-aware: lost 4h0m0s
+}
+
+func ExampleYoungInterval() {
+	// A 10-minute checkpoint against a 5000-hour MTBF.
+	opt := checkpoint.YoungInterval(10*time.Minute, 5000*time.Hour)
+	fmt.Println(opt.Round(time.Hour))
+	// Output: 41h0m0s
+}

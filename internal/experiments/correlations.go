@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/report"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Sec3A1 reproduces the in-text numbers of Section III.A.1: unconditional
+// daily/weekly node-failure probabilities and the same probabilities in the
+// day/week following a failure.
+func (s *Suite) Sec3A1() Result {
+	res := Result{ID: "s3a1", Title: "Unconditional vs post-failure probabilities"}
+	type row struct {
+		name    string
+		systems []trace.SystemInfo
+		dayP    string
+		weekP   string
+	}
+	rows := []row{
+		{"group-1", s.G1, "0.31% -> 7.2% (~20X)", "2.04% -> 15.64%"},
+		{"group-2", s.G2, "4.6% -> 21.45% (~5X)", "22.5% -> 60.4%"},
+	}
+	tbl := report.NewTable("group", "window", "baseline", "after any failure", "factor", "p-value").AlignRight(2, 3, 4, 5)
+	for _, r := range rows {
+		day := s.A.CondProb(r.systems, nil, nil, trace.Day, analysis.ScopeNode)
+		week := s.A.CondProb(r.systems, nil, nil, trace.Week, analysis.ScopeNode)
+		tbl.AddRow(r.name, "day", report.Percent(day.Baseline.P(), 2), report.Percent(day.Conditional.P(), 2),
+			report.Factor(day.Factor()), report.PValue(day.Test.P))
+		tbl.AddRow(r.name, "week", report.Percent(week.Baseline.P(), 2), report.Percent(week.Conditional.P(), 2),
+			report.Factor(week.Factor()), report.PValue(week.Test.P))
+		res.Metrics = append(res.Metrics,
+			Metric{r.name + " daily", r.dayP,
+				fmt.Sprintf("%s -> %s (%s)", report.Percent(day.Baseline.P(), 2), report.Percent(day.Conditional.P(), 2), report.Factor(day.Factor()))},
+			Metric{r.name + " weekly", r.weekP,
+				fmt.Sprintf("%s -> %s (%s)", report.Percent(week.Baseline.P(), 2), report.Percent(week.Conditional.P(), 2), report.Factor(week.Factor()))},
+		)
+	}
+	res.Figure = tbl.Render()
+	return res
+}
+
+// followUpFigure renders a FollowUpByType result as a bar chart plus table.
+func followUpFigure(title string, fus []analysis.FollowUp) string {
+	bars := make([]report.Bar, 0, len(fus))
+	for _, fu := range fus {
+		bars = append(bars, report.Bar{
+			Label: fu.Label,
+			Value: fu.Conditional.P(),
+			Note:  report.Factor(fu.Factor()) + ", p=" + report.PValue(fu.Test.P),
+		})
+	}
+	return report.BarChart(title, 40, bars)
+}
+
+// Fig1a reproduces Figure 1a: the probability that any node failure follows
+// a failure of type X within a week, for both groups, at node scope.
+func (s *Suite) Fig1a() Result {
+	res := Result{ID: "fig1a", Title: "P(any failure within week after type X), same node"}
+	g1 := s.A.FollowUpByType(s.G1, trace.Week, analysis.ScopeNode)
+	g2 := s.A.FollowUpByType(s.G2, trace.Week, analysis.ScopeNode)
+	res.Figure = followUpFigure("group-1 (baseline "+report.Percent(g1[0].Baseline.P(), 2)+")", g1) +
+		followUpFigure("group-2 (baseline "+report.Percent(g2[0].Baseline.P(), 2)+")", g2)
+
+	find := func(fus []analysis.FollowUp, label string) analysis.FollowUp {
+		for _, fu := range fus {
+			if fu.Label == label {
+				return fu
+			}
+		}
+		return analysis.FollowUp{}
+	}
+	res.Metrics = []Metric{
+		{"G1 after NET/ENV factor", "14-23X", fmt.Sprintf("NET %s, ENV %s", report.Factor(find(g1, "NET").Factor()), report.Factor(find(g1, "ENV").Factor()))},
+		{"G1 typical factors", "7-10X", fmt.Sprintf("HW %s, SW %s", report.Factor(find(g1, "HW").Factor()), report.Factor(find(g1, "SW").Factor()))},
+		{"G1 P(fail in week after NET/ENV)", "30-50%", fmt.Sprintf("NET %s, ENV %s", report.Percent(find(g1, "NET").Conditional.P(), 0), report.Percent(find(g1, "ENV").Conditional.P(), 0))},
+		{"G2 after NET/ENV factor", "3-4X", fmt.Sprintf("NET %s, ENV %s", report.Factor(find(g2, "NET").Factor()), report.Factor(find(g2, "ENV").Factor()))},
+		{"G2 typical factors", "2-3X", fmt.Sprintf("HW %s, SW %s", report.Factor(find(g2, "HW").Factor()), report.Factor(find(g2, "SW").Factor()))},
+	}
+	return res
+}
+
+// Fig1b reproduces Figure 1b: the probability of a type-X failure within a
+// week after a same-type failure vs after any failure vs a random week.
+func (s *Suite) Fig1b() Result {
+	res := Result{ID: "fig1b", Title: "P(type X within week after same type / any / random), same node"}
+	for gi, group := range [][]trace.SystemInfo{s.G1, s.G2} {
+		name := []string{"group-1", "group-2"}[gi]
+		prs := s.A.PairwiseByType(group, trace.Week, analysis.ScopeNode)
+		tbl := report.NewTable("type", "after same", "after any", "random week", "same factor").AlignRight(1, 2, 3, 4)
+		for _, pr := range prs {
+			tbl.AddRow(pr.Label,
+				report.Percent(pr.AfterSame.Conditional.P(), 2),
+				report.Percent(pr.AfterAny.Conditional.P(), 2),
+				report.Percent(pr.AfterSame.Baseline.P(), 3),
+				report.Factor(pr.AfterSame.Factor()))
+		}
+		res.Figure += name + ":\n" + tbl.Render()
+		if gi == 0 {
+			var envF, netF float64
+			for _, pr := range prs {
+				switch pr.Label {
+				case "ENV":
+					envF = pr.AfterSame.Factor()
+				case "NET":
+					netF = pr.AfterSame.Factor()
+				}
+			}
+			res.Metrics = append(res.Metrics, Metric{
+				"G1 ENV/NET same-type factor", "~700X (to >7% absolute)",
+				fmt.Sprintf("ENV %s, NET %s", report.Factor(envF), report.Factor(netF)),
+			})
+		}
+	}
+	res.Metrics = append(res.Metrics, Metric{
+		"same-type always exceeds after-any", "yes",
+		fmt.Sprintf("%v", sameExceedsAny(s)),
+	})
+	return res
+}
+
+// sameExceedsAny reports whether same-type conditionals dominate after-any
+// conditionals for the common categories in group-1.
+func sameExceedsAny(s *Suite) bool {
+	prs := s.A.PairwiseByType(s.G1, trace.Week, analysis.ScopeNode)
+	ok := true
+	for _, pr := range prs {
+		// Skip sparse types where the estimate is unstable.
+		if pr.AfterSame.Conditional.Trials < 50 {
+			continue
+		}
+		if pr.AfterSame.Conditional.P() < pr.AfterAny.Conditional.P() {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// Sec3A4 reproduces the memory/CPU correlation numbers of Section III.A.4.
+func (s *Suite) Sec3A4() Result {
+	res := Result{ID: "s3a4", Title: "Memory and CPU failure correlations"}
+	memG1 := s.A.CondProb(s.G1, trace.HWPred(trace.Memory), trace.HWPred(trace.Memory), trace.Week, analysis.ScopeNode)
+	memG2 := s.A.CondProb(s.G2, trace.HWPred(trace.Memory), trace.HWPred(trace.Memory), trace.Week, analysis.ScopeNode)
+	cpuG1 := s.A.CondProb(s.G1, trace.HWPred(trace.CPU), trace.HWPred(trace.CPU), trace.Week, analysis.ScopeNode)
+	tbl := report.NewTable("pair", "group", "conditional", "random week", "factor", "p-value").AlignRight(2, 3, 4, 5)
+	tbl.AddRow("mem->mem", "group-1", report.Percent(memG1.Conditional.P(), 2), report.Percent(memG1.Baseline.P(), 3),
+		report.Factor(memG1.Factor()), report.PValue(memG1.Test.P))
+	tbl.AddRow("mem->mem", "group-2", report.Percent(memG2.Conditional.P(), 2), report.Percent(memG2.Baseline.P(), 3),
+		report.Factor(memG2.Factor()), report.PValue(memG2.Test.P))
+	tbl.AddRow("cpu->cpu", "group-1", report.Percent(cpuG1.Conditional.P(), 2), report.Percent(cpuG1.Baseline.P(), 3),
+		report.Factor(cpuG1.Factor()), report.PValue(cpuG1.Test.P))
+	res.Figure = tbl.Render()
+	res.Metrics = []Metric{
+		{"G1 weekly mem after mem", "20.23% vs 0.21% (~100X)",
+			fmt.Sprintf("%s vs %s (%s)", report.Percent(memG1.Conditional.P(), 2), report.Percent(memG1.Baseline.P(), 2), report.Factor(memG1.Factor()))},
+		{"G2 weekly mem after mem", "12.6% vs 4.2%",
+			fmt.Sprintf("%s vs %s", report.Percent(memG2.Conditional.P(), 1), report.Percent(memG2.Baseline.P(), 1))},
+		{"increases significant", "yes (two-sample test)",
+			fmt.Sprintf("mem G1 p=%s, G2 p=%s", report.PValue(memG1.Test.P), report.PValue(memG2.Test.P))},
+	}
+	return res
+}
+
+// Sec3B reproduces the rack-level in-text numbers of Section III.B.
+func (s *Suite) Sec3B() Result {
+	res := Result{ID: "s3b", Title: "Rack-level correlation"}
+	day := s.A.CondProb(s.G1, nil, nil, trace.Day, analysis.ScopeRack)
+	week := s.A.CondProb(s.G1, nil, nil, trace.Week, analysis.ScopeRack)
+	tbl := report.NewTable("window", "after rack-mate failure", "random", "factor", "p-value").AlignRight(1, 2, 3, 4)
+	tbl.AddRow("day", report.Percent(day.Conditional.P(), 2), report.Percent(day.Baseline.P(), 2),
+		report.Factor(day.Factor()), report.PValue(day.Test.P))
+	tbl.AddRow("week", report.Percent(week.Conditional.P(), 2), report.Percent(week.Baseline.P(), 2),
+		report.Factor(week.Factor()), report.PValue(week.Test.P))
+	res.Figure = tbl.Render()
+	res.Metrics = []Metric{
+		{"weekly after rack-mate", "4.6% vs 2.04%",
+			fmt.Sprintf("%s vs %s", report.Percent(week.Conditional.P(), 1), report.Percent(week.Baseline.P(), 2))},
+		{"daily after rack-mate", "1.2% vs 0.31% (~3X)",
+			fmt.Sprintf("%s vs %s (%s)", report.Percent(day.Conditional.P(), 2), report.Percent(day.Baseline.P(), 2), report.Factor(day.Factor()))},
+	}
+	return res
+}
+
+// Fig2a reproduces Figure 2a: per anchor type, the probability that any
+// failure follows in another node of the same rack within a week.
+func (s *Suite) Fig2a() Result {
+	res := Result{ID: "fig2a", Title: "P(any failure in rack-mate within week after type X)"}
+	fus := s.A.FollowUpByType(s.G1, trace.Week, analysis.ScopeRack)
+	res.Figure = followUpFigure("group-1 rack scope", fus)
+	lo, hi := 1e9, 0.0
+	for _, fu := range fus {
+		f := fu.Factor()
+		if fu.Conditional.Trials < 50 || f != f {
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	res.Metrics = []Metric{
+		{"factor range over types", "1.4-3X", fmt.Sprintf("%.1f-%.1fX", lo, hi)},
+	}
+	return res
+}
+
+// Fig2b reproduces Figure 2b: same-type follow-ups within a rack.
+func (s *Suite) Fig2b() Result {
+	res := Result{ID: "fig2b", Title: "Same-type follow-ups within a rack"}
+	prs := s.A.PairwiseByType(s.G1, trace.Week, analysis.ScopeRack)
+	tbl := report.NewTable("type", "after same", "after any", "random", "same factor", "p-value").AlignRight(1, 2, 3, 4, 5)
+	var envF, swF float64
+	for _, pr := range prs {
+		tbl.AddRow(pr.Label,
+			report.Percent(pr.AfterSame.Conditional.P(), 2),
+			report.Percent(pr.AfterAny.Conditional.P(), 2),
+			report.Percent(pr.AfterSame.Baseline.P(), 3),
+			report.Factor(pr.AfterSame.Factor()),
+			report.PValue(pr.AfterSame.Test.P))
+		switch pr.Label {
+		case "ENV":
+			envF = pr.AfterSame.Factor()
+		case "SW":
+			swF = pr.AfterSame.Factor()
+		}
+	}
+	res.Figure = tbl.Render()
+	res.Metrics = []Metric{
+		{"ENV same-type factor", "~170X", report.Factor(envF)},
+		{"SW same-type factor", "~9.8X", report.Factor(swF)},
+	}
+	return res
+}
+
+// Sec3C reproduces the system-level in-text numbers of Section III.C.
+func (s *Suite) Sec3C() Result {
+	res := Result{ID: "s3c", Title: "System-level correlation"}
+	w1 := s.A.CondProb(s.G1, nil, nil, trace.Week, analysis.ScopeSystem)
+	w2 := s.A.CondProb(s.G2, nil, nil, trace.Week, analysis.ScopeSystem)
+	tbl := report.NewTable("group", "after any failure elsewhere", "random", "factor").AlignRight(1, 2, 3)
+	tbl.AddRow("group-1", report.Percent(w1.Conditional.P(), 2), report.Percent(w1.Baseline.P(), 2), report.Factor(w1.Factor()))
+	tbl.AddRow("group-2", report.Percent(w2.Conditional.P(), 2), report.Percent(w2.Baseline.P(), 2), report.Factor(w2.Factor()))
+	res.Figure = tbl.Render()
+	res.Metrics = []Metric{
+		{"G1 weekly", "2.04% -> 2.68%", fmt.Sprintf("%s -> %s", report.Percent(w1.Baseline.P(), 2), report.Percent(w1.Conditional.P(), 2))},
+		{"G2 weekly", "22.5% -> 35.3%", fmt.Sprintf("%s -> %s", report.Percent(w2.Baseline.P(), 1), report.Percent(w2.Conditional.P(), 1))},
+	}
+	return res
+}
+
+// Fig3 reproduces Figure 3: per-type system-level follow-up probabilities.
+func (s *Suite) Fig3() Result {
+	res := Result{ID: "fig3", Title: "P(failure in another node of the system within week after type X)"}
+	g1 := s.A.FollowUpByType(s.G1, trace.Week, analysis.ScopeSystem)
+	g2 := s.A.FollowUpByType(s.G2, trace.Week, analysis.ScopeSystem)
+	res.Figure = followUpFigure("group-1 system scope", g1) + followUpFigure("group-2 system scope", g2)
+	find := func(fus []analysis.FollowUp, label string) float64 {
+		for _, fu := range fus {
+			if fu.Label == label {
+				return fu.Factor()
+			}
+		}
+		return 0
+	}
+	res.Metrics = []Metric{
+		{"G1 SW factor", "1.27X (significant)", report.Factor(find(g1, "SW"))},
+		{"G2 NET factor", "3.69X (largest)", report.Factor(find(g2, "NET"))},
+		{"G2 all types increase", "yes", fmt.Sprintf("min factor %.2f", minFactor(g2))},
+	}
+	return res
+}
+
+func minFactor(fus []analysis.FollowUp) float64 {
+	lo := 1e9
+	for _, fu := range fus {
+		if fu.Conditional.Trials < 20 {
+			continue
+		}
+		if f := fu.Factor(); f == f && f < lo {
+			lo = f
+		}
+	}
+	return lo
+}

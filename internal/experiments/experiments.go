@@ -1,0 +1,196 @@
+// Package experiments maps every table and figure of the DSN'13 paper to a
+// runnable reproduction: each runner executes the corresponding analysis
+// over a dataset, renders the figure as text, and records the measured
+// values next to the numbers the paper reports. The benchmark harness
+// (bench_test.go), the hpcreport command, and EXPERIMENTS.md are all built
+// on this package.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Metric is one paper-vs-measured comparison line.
+type Metric struct {
+	// Name identifies the quantity ("G1 weekly after NET", ...).
+	Name string
+	// Paper is the value the paper reports, as printed there.
+	Paper string
+	// Measured is the value this reproduction obtains.
+	Measured string
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (fig1a, tableII, ...).
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Metrics holds the paper-vs-measured comparisons.
+	Metrics []Metric
+	// Figure is the rendered text figure/table.
+	Figure string
+	// Err records a runner failure (nil on success).
+	Err error
+}
+
+// Suite runs experiments against one dataset.
+type Suite struct {
+	A *analysis.Analyzer
+	// G1 and G2 cache the group system lists.
+	G1, G2 []trace.SystemInfo
+}
+
+// NewSuite builds a suite over a dataset.
+func NewSuite(ds *trace.Dataset) *Suite {
+	a := analysis.New(ds)
+	return &Suite{
+		A:  a,
+		G1: ds.GroupSystems(trace.Group1),
+		G2: ds.GroupSystems(trace.Group2),
+	}
+}
+
+// DefaultDataset generates the standard synthetic dataset the harness
+// uses: the full catalog at the given scale.
+func DefaultDataset(seed int64, scale float64) (*trace.Dataset, error) {
+	return simulate.Generate(simulate.Options{Seed: seed, Scale: scale})
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(*Suite) Result
+}
+
+// All lists every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		{"s3a1", "Unconditional vs post-failure probabilities (Sec III.A.1)", (*Suite).Sec3A1},
+		{"fig1a", "Follow-up probability by failure type, same node (Fig 1a)", (*Suite).Fig1a},
+		{"fig1b", "Same-type follow-up probability, same node (Fig 1b)", (*Suite).Fig1b},
+		{"s3a4", "Memory/CPU failure correlations (Sec III.A.4)", (*Suite).Sec3A4},
+		{"s3b", "Rack-level correlation (Sec III.B)", (*Suite).Sec3B},
+		{"fig2a", "Follow-up probability by type, same rack (Fig 2a)", (*Suite).Fig2a},
+		{"fig2b", "Same-type follow-ups, same rack (Fig 2b)", (*Suite).Fig2b},
+		{"s3c", "System-level correlation (Sec III.C)", (*Suite).Sec3C},
+		{"fig3", "Follow-up probability by type, same system (Fig 3)", (*Suite).Fig3},
+		{"fig4", "Failures per node and equal-rates tests (Fig 4)", (*Suite).Fig4},
+		{"fig5", "Root-cause breakdown: node 0 vs rest (Fig 5)", (*Suite).Fig5},
+		{"fig6", "Per-type failure probability: node 0 vs rest (Fig 6)", (*Suite).Fig6},
+		{"fig7", "Usage vs failures (Fig 7)", (*Suite).Fig7},
+		{"fig8", "Per-user failure rates and ANOVA (Fig 8)", (*Suite).Fig8},
+		{"fig9", "Environmental failure breakdown (Fig 9)", (*Suite).Fig9},
+		{"s7", "Follow-up probability after environmental failures (Sec VII)", (*Suite).Sec7Intro},
+		{"fig10", "Power problems vs hardware failures (Fig 10)", (*Suite).Fig10},
+		{"s7a2", "Unscheduled maintenance after power problems (Sec VII.A.2)", (*Suite).Sec7A2},
+		{"fig11", "Power problems vs software failures (Fig 11)", (*Suite).Fig11},
+		{"fig12", "Space-time layout of power problems (Fig 12)", (*Suite).Fig12},
+		{"s8a", "Temperature regressions (Sec VIII.A/B)", (*Suite).Sec8A},
+		{"fig13", "Fan/chiller failures vs hardware failures (Fig 13)", (*Suite).Fig13},
+		{"fig14", "Neutron flux vs DRAM/CPU failures (Fig 14)", (*Suite).Fig14},
+		{"tableI", "Regression variable summary (Table I)", (*Suite).TableI},
+		{"tableII", "Poisson regression coefficients (Table II)", (*Suite).TableII},
+		{"tableIII", "Negative-binomial regression coefficients (Table III)", (*Suite).TableIII},
+		// In-text analyses and extensions beyond the numbered figures.
+		{"s3a3", "Pairwise follow-up matrix (Sec III.A.3)", (*Suite).Sec3A3},
+		{"s4c", "Machine-room position effects (Sec IV.C)", (*Suite).Sec4C},
+		{"ext-ia", "Inter-arrival statistics (classical view)", (*Suite).ExtInterArrival},
+		{"ext-downtime", "Downtime and availability", (*Suite).ExtDowntime},
+		{"ext-predict", "Root-cause-aware follow-up prediction", (*Suite).ExtPrediction},
+		{"ext-overview", "Per-system overview and rate scaling", (*Suite).ExtOverview},
+		{"ext-latency", "Follow-up latency profile", (*Suite).ExtLatency},
+	}
+}
+
+// Run executes one experiment by ID.
+func (s *Suite) Run(id string) (Result, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r.Run(s), nil
+		}
+	}
+	return Result{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// RunAll executes every experiment in order.
+func (s *Suite) RunAll() []Result {
+	runners := All()
+	out := make([]Result, 0, len(runners))
+	for _, r := range runners {
+		out = append(out, r.Run(s))
+	}
+	return out
+}
+
+// RunAllParallel executes every experiment concurrently with at most
+// workers goroutines (GOMAXPROCS when workers <= 0) and returns results in
+// the same order as RunAll. The analyzer is read-only after construction,
+// so runners are safe to execute in parallel.
+func (s *Suite) RunAllParallel(workers int) []Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runners := All()
+	out := make([]Result, len(runners))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, r := range runners {
+		wg.Add(1)
+		go func(i int, r Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = r.Run(s)
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// IDs returns every experiment ID in order.
+func IDs() []string {
+	runners := All()
+	ids := make([]string, len(runners))
+	for i, r := range runners {
+		ids[i] = r.ID
+	}
+	return ids
+}
+
+// Render formats a result for terminal output.
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Err != nil {
+		fmt.Fprintf(&b, "ERROR: %v\n", r.Err)
+		return b.String()
+	}
+	if r.Figure != "" {
+		b.WriteString(r.Figure)
+		if !strings.HasSuffix(r.Figure, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	if len(r.Metrics) > 0 {
+		width := 0
+		for _, m := range r.Metrics {
+			if len(m.Name) > width {
+				width = len(m.Name)
+			}
+		}
+		b.WriteString("paper vs measured:\n")
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "  %-*s  paper: %-18s measured: %s\n", width, m.Name, m.Paper, m.Measured)
+		}
+	}
+	return b.String()
+}

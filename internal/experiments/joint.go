@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hpcfail/hpcfail/internal/regress"
+	"github.com/hpcfail/hpcfail/internal/report"
+	"github.com/hpcfail/hpcfail/internal/stats"
+)
+
+// TableI reproduces Table I: the summary of the joint-regression variables,
+// with measured ranges from the assembled data.
+func (s *Suite) TableI() Result {
+	res := Result{ID: "tableI", Title: "Regression variable summary"}
+	jv, err := s.A.AssembleJoint(tempSystem)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	desc := map[string]string{
+		"fails_count":  "response: total node outages in the node's lifetime",
+		"avg_temp":     "average ambient temperature of a node",
+		"max_temp":     "maximum temperature reported by a node",
+		"temp_var":     "variance of all temperatures reported by a node",
+		"num_hightemp": "number of severe temperature warnings (>40C)",
+		"num_jobs":     "number of jobs assigned to the node",
+		"util":         "utilization of the node (percent)",
+		"PIR":          "position in rack (1=bottom, 5=top)",
+	}
+	vals := map[string][]float64{
+		"fails_count":  jv.FailsCount,
+		"avg_temp":     jv.AvgTemp,
+		"max_temp":     jv.MaxTemp,
+		"temp_var":     jv.TempVar,
+		"num_hightemp": jv.NumHighTemp,
+		"num_jobs":     jv.NumJobs,
+		"util":         jv.Util,
+		"PIR":          jv.PIR,
+	}
+	tbl := report.NewTable("variable", "description", "min", "mean", "max").AlignRight(2, 3, 4)
+	order := append([]string{"fails_count"}, []string{"avg_temp", "max_temp", "temp_var", "num_hightemp", "num_jobs", "util", "PIR"}...)
+	for _, name := range order {
+		v := vals[name]
+		tbl.AddRow(name, desc[name],
+			report.Float(stats.Min(v), 2),
+			report.Float(stats.Mean(v), 2),
+			report.Float(stats.Max(v), 2))
+	}
+	res.Figure = tbl.Render()
+	res.Metrics = []Metric{
+		{"variables assembled", "8 (Table I)", fmt.Sprintf("%d over %d nodes", len(order), len(jv.Nodes))},
+	}
+	return res
+}
+
+// coefTable renders a fitted model as the paper's coefficient tables.
+func coefTable(fit *regress.Fit) string {
+	tbl := report.NewTable("", "Estimate", "Std. Error", "z value", "Pr(>|z|)").AlignRight(1, 2, 3, 4)
+	for _, c := range fit.Coefs {
+		tbl.AddRow(c.Name,
+			report.Float(c.Estimate, 4),
+			report.Float(c.SE, 4),
+			report.Float(c.Z, 2),
+			report.PValue(c.P))
+	}
+	return tbl.Render()
+}
+
+// jointMetrics summarizes a fit against the paper's significance pattern.
+func jointMetrics(fit *regress.Fit, paperMaxTemp string) []Metric {
+	get := func(name string) regress.Coef {
+		c, _ := fit.Coef(name)
+		return c
+	}
+	nj, ut := get("num_jobs"), get("util")
+	mt, pir := get("max_temp"), get("PIR")
+	at := get("avg_temp")
+	return []Metric{
+		{"num_jobs significant (99%)", "yes (p<0.0001)", fmt.Sprintf("p=%s -> %v", report.PValue(nj.P), nj.Significant(0.01))},
+		{"util significant (99%)", "yes (p<0.001)", fmt.Sprintf("p=%s -> %v", report.PValue(ut.P), ut.Significant(0.01))},
+		{"max_temp", paperMaxTemp, fmt.Sprintf("p=%s", report.PValue(mt.P))},
+		{"avg_temp insignificant", "yes", fmt.Sprintf("p=%s -> %v", report.PValue(at.P), !at.Significant(0.05))},
+		{"PIR insignificant", "yes", fmt.Sprintf("p=%s -> %v", report.PValue(pir.P), !pir.Significant(0.05))},
+	}
+}
+
+// TableII reproduces Table II: the Poisson joint regression for system 20.
+func (s *Suite) TableII() Result {
+	res := Result{ID: "tableII", Title: "Poisson regression coefficients"}
+	jr, err := s.A.JointRegression(tempSystem)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Figure = coefTable(jr.Poisson)
+	res.Metrics = jointMetrics(jr.Poisson, "borderline significant (p=0.037)")
+	// The paper reruns without node 0: utilization stays significant.
+	if c, ok := jr.PoissonSansZero.Coef("util"); ok {
+		res.Metrics = append(res.Metrics, Metric{
+			"util still significant without node 0", "yes (slightly weaker)",
+			fmt.Sprintf("p=%s", report.PValue(c.P)),
+		})
+	}
+	return res
+}
+
+// TableIII reproduces Table III: the negative-binomial joint regression.
+func (s *Suite) TableIII() Result {
+	res := Result{ID: "tableIII", Title: "Negative-binomial regression coefficients"}
+	jr, err := s.A.JointRegression(tempSystem)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Figure = coefTable(jr.NegBinom) + fmt.Sprintf("theta = %.3f\n", jr.NegBinom.Theta)
+	res.Metrics = jointMetrics(jr.NegBinom, "insignificant (p=0.28)")
+	return res
+}

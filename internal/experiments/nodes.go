@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/report"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// bigSystems are the three largest group-1 systems the paper singles out in
+// Section IV (1024, 1024 and 512 nodes at LANL).
+var bigSystems = []int{18, 19, 20}
+
+// Fig4 reproduces Figure 4: total failures per node for systems 18, 19 and
+// 20, the node-0 effect, and the chi-square equal-rates tests.
+func (s *Suite) Fig4() Result {
+	res := Result{ID: "fig4", Title: "Failures per node and equal-rates tests"}
+	tbl := report.NewTable("system", "node0", "mean", "node0/mean", "equal-rates p", "equal-rates p (sans node0)").AlignRight(1, 2, 3, 4, 5)
+	minRatio, maxRatio := 1e9, 0.0
+	allReject, allRejectSans := true, true
+	for _, sys := range bigSystems {
+		nc := s.A.FailuresPerNode(sys)
+		if len(nc.Counts) == 0 {
+			res.Err = fmt.Errorf("system %d missing", sys)
+			return res
+		}
+		ratio := float64(nc.Counts[0]) / nc.Mean
+		tbl.AddRow(fmt.Sprintf("%d", sys),
+			fmt.Sprintf("%d", nc.Counts[0]),
+			report.Float(nc.Mean, 1),
+			report.Float(ratio, 1),
+			report.PValue(nc.EqualRates.P),
+			report.PValue(nc.EqualRatesSansZero.P))
+		if ratio < minRatio {
+			minRatio = ratio
+		}
+		if ratio > maxRatio {
+			maxRatio = ratio
+		}
+		if !nc.EqualRates.Significant(0.01) {
+			allReject = false
+		}
+		if !nc.EqualRatesSansZero.Significant(0.01) {
+			allRejectSans = false
+		}
+	}
+	res.Figure = tbl.Render()
+	res.Metrics = []Metric{
+		{"node0 over average", "19X (sys 20) to >30X (sys 19)", fmt.Sprintf("%.0f-%.0fX", minRatio, maxRatio)},
+		{"equal rates rejected (99%)", "yes, all systems", fmt.Sprintf("%v", allReject)},
+		{"rejected without node 0", "yes", fmt.Sprintf("%v", allRejectSans)},
+	}
+	return res
+}
+
+// Fig5 reproduces Figure 5: the root-cause breakdown of node 0 against the
+// rest of each big system.
+func (s *Suite) Fig5() Result {
+	res := Result{ID: "fig5", Title: "Root-cause breakdown: node 0 vs rest"}
+	swDominantEverywhere := true
+	for _, sys := range bigSystems {
+		node0 := s.A.RootCauseBreakdown(sys, func(n int) bool { return n == 0 })
+		rest := s.A.RootCauseBreakdown(sys, func(n int) bool { return n != 0 })
+		tbl := report.NewTable("category", "node 0", "rest").AlignRight(1, 2)
+		for _, c := range trace.Categories {
+			tbl.AddRow(c.String(), report.Percent(node0.Share[c], 1), report.Percent(rest.Share[c], 1))
+		}
+		res.Figure += fmt.Sprintf("system %d (node0 n=%d, rest n=%d):\n%s", sys, node0.Total, rest.Total, tbl.Render())
+		if node0.Dominant() != trace.Software {
+			swDominantEverywhere = false
+		}
+		if sys == bigSystems[0] {
+			res.Metrics = append(res.Metrics, Metric{
+				fmt.Sprintf("sys %d rest dominant mode", sys), "HW",
+				rest.Dominant().String(),
+			})
+		}
+	}
+	res.Metrics = append(res.Metrics,
+		Metric{"node0 dominant mode shifts HW->SW", "yes", fmt.Sprintf("SW dominant in all: %v", swDominantEverywhere)},
+	)
+	return res
+}
+
+// Fig6 reproduces Figure 6: per-type day/week/month failure probabilities
+// of node 0 against the rest of each system, with factor annotations and
+// per-type chi-square homogeneity tests.
+func (s *Suite) Fig6() Result {
+	res := Result{ID: "fig6", Title: "Per-type failure probability: node 0 vs rest"}
+	windows := map[string]time.Duration{"day": trace.Day, "week": trace.Week, "month": trace.Month}
+	order := []string{"day", "week", "month"}
+	cats := []trace.Category{trace.Environment, trace.Network, trace.Software, trace.Hardware, trace.Undetermined, trace.Human}
+
+	var envFactor, netFactor, swFactor, hwFactor float64
+	humanRejected := true
+	for _, sys := range bigSystems {
+		tbl := report.NewTable("type", "window", "node 0", "rest", "factor", "homogeneity p").AlignRight(2, 3, 4, 5)
+		for _, c := range cats {
+			for _, w := range order {
+				r := s.A.NodeVsRestProb(sys, 0, windows[w], c.String(), trace.CategoryPred(c))
+				tbl.AddRow(c.String(), w,
+					report.Percent(r.NodeProb.P(), 2),
+					report.Percent(r.RestProb.P(), 3),
+					report.Factor(r.Factor()),
+					report.PValue(r.Homogeneity.P))
+				if w == "month" && sys == 18 {
+					switch c {
+					case trace.Environment:
+						envFactor = r.Factor()
+					case trace.Network:
+						netFactor = r.Factor()
+					case trace.Software:
+						swFactor = r.Factor()
+					case trace.Hardware:
+						hwFactor = r.Factor()
+					}
+				}
+				if w == "month" && c == trace.Human && r.Homogeneity.Significant(0.01) {
+					// The paper fails to reject equal rates only for HUMAN.
+					humanRejected = false
+				}
+			}
+		}
+		res.Figure += fmt.Sprintf("system %d:\n%s", sys, tbl.Render())
+	}
+	res.Metrics = []Metric{
+		{"ENV factor (node0 vs rest)", "~2000X", report.Factor(envFactor)},
+		{"NET factor", "500-1000X", report.Factor(netFactor)},
+		{"SW factor", "36-118X", report.Factor(swFactor)},
+		{"HW factor", "5-10X", report.Factor(hwFactor)},
+		{"ordering ENV/NET > SW > HW", "yes",
+			fmt.Sprintf("%v", envFactor > swFactor && netFactor > swFactor && swFactor > hwFactor)},
+		{"HUMAN homogeneity not rejected", "yes", fmt.Sprintf("%v", humanRejected)},
+	}
+	return res
+}

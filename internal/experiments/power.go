@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/report"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Fig9 reproduces Figure 9: the breakdown of environmental failures.
+func (s *Suite) Fig9() Result {
+	res := Result{ID: "fig9", Title: "Environmental failure breakdown"}
+	pie := s.A.EnvBreakdown(s.A.DS.Systems)
+	labels := []string{}
+	shares := []float64{}
+	for _, c := range trace.EnvClasses {
+		labels = append(labels, c.String())
+		shares = append(shares, pie[c])
+	}
+	res.Figure = report.Pie("environmental failures by subtype", labels, shares)
+	paper := map[trace.EnvClass]string{
+		trace.PowerOutage: "49%", trace.PowerSpike: "21%", trace.UPS: "15%",
+		trace.Chillers: "9%", trace.OtherEnv: "6%",
+	}
+	for _, c := range trace.EnvClasses {
+		res.Metrics = append(res.Metrics, Metric{c.String(), paper[c], report.Percent(pie[c], 0)})
+	}
+	return res
+}
+
+// Sec7Intro reproduces the Section VII lead numbers: the chance of another
+// failure within a week of an environmental failure.
+func (s *Suite) Sec7Intro() Result {
+	res := Result{ID: "s7", Title: "Follow-up probability after environmental failures"}
+	g1 := s.A.CondProb(s.G1, trace.CategoryPred(trace.Environment), nil, trace.Week, analysis.ScopeNode)
+	g2 := s.A.CondProb(s.G2, trace.CategoryPred(trace.Environment), nil, trace.Week, analysis.ScopeNode)
+	tbl := report.NewTable("group", "P(failure within week after ENV)", "baseline").AlignRight(1, 2)
+	tbl.AddRow("group-1", report.Percent(g1.Conditional.P(), 1), report.Percent(g1.Baseline.P(), 2))
+	tbl.AddRow("group-2", report.Percent(g2.Conditional.P(), 1), report.Percent(g2.Baseline.P(), 1))
+	res.Figure = tbl.Render()
+	res.Metrics = []Metric{
+		{"group-1", "47.2%", report.Percent(g1.Conditional.P(), 1)},
+		{"group-2", "69.4%", report.Percent(g2.Conditional.P(), 1)},
+	}
+	return res
+}
+
+// powerImpactFigure renders a PowerImpactOn result.
+func powerImpactFigure(title string, pis []analysis.PowerImpact) string {
+	tbl := report.NewTable("after", "day", "week", "month", "day factor", "week factor", "month factor").AlignRight(1, 2, 3, 4, 5, 6)
+	for _, pi := range pis {
+		tbl.AddRow(pi.Kind.String(),
+			report.Percent(pi.ByDay.Conditional.P(), 2),
+			report.Percent(pi.ByWeek.Conditional.P(), 2),
+			report.Percent(pi.ByMonth.Conditional.P(), 2),
+			report.Factor(pi.ByDay.Factor()),
+			report.Factor(pi.ByWeek.Factor()),
+			report.Factor(pi.ByMonth.Factor()))
+	}
+	return title + "\n" + tbl.Render()
+}
+
+// fig10Components lists the Figure 10 component breakdown.
+var fig10Components = []trace.HWComponent{trace.PowerSupply, trace.Memory, trace.NodeBoard, trace.Fan, trace.CPU}
+
+// Fig10 reproduces Figure 10: power problems vs hardware failures, overall
+// by window and per component by month.
+func (s *Suite) Fig10() Result {
+	res := Result{ID: "fig10", Title: "Power problems vs hardware failures"}
+	all := s.A.DS.Systems
+	pis := s.A.PowerImpactOn(all, trace.CategoryPred(trace.Hardware))
+	res.Figure = powerImpactFigure("hardware failures after power problems:", pis)
+
+	cis := s.A.PowerImpactOnComponents(all, fig10Components)
+	tbl := report.NewTable("after", "component", "month prob", "random month", "factor", "p-value").AlignRight(2, 3, 4, 5)
+	factors := make(map[string]float64)
+	for _, ci := range cis {
+		tbl.AddRow(ci.Kind.String(), ci.Component.String(),
+			report.Percent(ci.Result.Conditional.P(), 2),
+			report.Percent(ci.Result.Baseline.P(), 2),
+			report.Factor(ci.Result.Factor()),
+			report.PValue(ci.Result.Test.P))
+		factors[ci.Kind.String()+"/"+ci.Component.String()] = ci.Result.Factor()
+	}
+	res.Figure += "per-component month breakdown:\n" + tbl.Render()
+
+	monthFactors := make([]float64, 0, len(pis))
+	for _, pi := range pis {
+		monthFactors = append(monthFactors, pi.ByMonth.Factor())
+	}
+	res.Metrics = []Metric{
+		{"month factors across all four", "5-10X", fmt.Sprintf("%.1f / %.1f / %.1f / %.1fX", monthFactors[0], monthFactors[1], monthFactors[2], monthFactors[3])},
+		{"outage: node board / power supply", "19.9X / 16.3X",
+			fmt.Sprintf("%s / %s", report.Factor(factors["PowerOutage/NodeBoard"]), report.Factor(factors["PowerOutage/PowerSupply"]))},
+		{"spike memory vs outage memory", "13.7X vs 5.0X",
+			fmt.Sprintf("%s vs %s", report.Factor(factors["PowerSpike/Memory"]), report.Factor(factors["PowerOutage/Memory"]))},
+		{"PSU-failure: fans/power supplies", ">40X",
+			fmt.Sprintf("%s / %s", report.Factor(factors["PowerSupplyFail/Fan"]), report.Factor(factors["PowerSupplyFail/PowerSupply"]))},
+		{"UPS: node board / memory", "27.3X / 8.9X",
+			fmt.Sprintf("%s / %s", report.Factor(factors["UPSFail/NodeBoard"]), report.Factor(factors["UPSFail/Memory"]))},
+		{"CPU shows no clear increase", "yes", fmt.Sprintf("max CPU factor %.1fX", maxCPU(factors))},
+	}
+	return res
+}
+
+func maxCPU(factors map[string]float64) float64 {
+	best := 0.0
+	for _, k := range analysis.PowerEventKinds {
+		if f := factors[k.String()+"/CPU"]; f == f && f > best {
+			best = f
+		}
+	}
+	return best
+}
+
+// Sec7A2 reproduces Section VII.A.2: unscheduled maintenance after power
+// problems.
+func (s *Suite) Sec7A2() Result {
+	res := Result{ID: "s7a2", Title: "Unscheduled maintenance after power problems"}
+	mis := s.A.MaintenanceAfterPower(s.A.DS.Systems, trace.Month)
+	tbl := report.NewTable("after", "month prob", "random month", "factor", "p-value").AlignRight(1, 2, 3, 4)
+	paper := map[analysis.PowerEventKind]string{
+		analysis.AfterOutage:  "~25% (~90X)",
+		analysis.AfterSpike:   "~25% (~90X)",
+		analysis.AfterPSUFail: "8% (~30X)",
+		analysis.AfterUPSFail: "28% (~100X)",
+	}
+	for _, mi := range mis {
+		tbl.AddRow(mi.Kind.String(),
+			report.Percent(mi.Conditional.P(), 1),
+			report.Percent(mi.Baseline.P(), 2),
+			report.Factor(mi.Factor()),
+			report.PValue(mi.Test.P))
+		res.Metrics = append(res.Metrics, Metric{
+			mi.Kind.String(), paper[mi.Kind],
+			fmt.Sprintf("%s (%s)", report.Percent(mi.Conditional.P(), 1), report.Factor(mi.Factor())),
+		})
+	}
+	res.Figure = tbl.Render()
+	return res
+}
+
+// fig11Classes lists the Figure 11 software breakdown.
+var fig11Classes = []trace.SWClass{trace.DST, trace.OtherSW, trace.PatchInstall, trace.OS, trace.PFS, trace.CFS}
+
+// Fig11 reproduces Figure 11: power problems vs software failures.
+func (s *Suite) Fig11() Result {
+	res := Result{ID: "fig11", Title: "Power problems vs software failures"}
+	all := s.A.DS.Systems
+	pis := s.A.PowerImpactOn(all, trace.CategoryPred(trace.Software))
+	res.Figure = powerImpactFigure("software failures after power problems:", pis)
+
+	cis := s.A.PowerImpactOnSWClasses(all, fig11Classes)
+	tbl := report.NewTable("after", "class", "month prob", "random month", "factor").AlignRight(2, 3, 4)
+	storage, other := 0.0, 0.0
+	for _, ci := range cis {
+		tbl.AddRow(ci.Kind.String(), ci.Class.String(),
+			report.Percent(ci.Result.Conditional.P(), 2),
+			report.Percent(ci.Result.Baseline.P(), 3),
+			report.Factor(ci.Result.Factor()))
+		if ci.Kind == analysis.AfterOutage {
+			switch ci.Class {
+			case trace.DST, trace.PFS, trace.CFS:
+				storage += ci.Result.Conditional.P()
+			default:
+				other += ci.Result.Conditional.P()
+			}
+		}
+	}
+	res.Figure += "per-class month breakdown:\n" + tbl.Render()
+
+	var wOut, wUPS, wSpike, wPSU float64
+	for _, pi := range pis {
+		switch pi.Kind {
+		case analysis.AfterOutage:
+			wOut = pi.ByWeek.Factor()
+		case analysis.AfterUPSFail:
+			wUPS = pi.ByWeek.Factor()
+		case analysis.AfterSpike:
+			wSpike = pi.ByWeek.Factor()
+		case analysis.AfterPSUFail:
+			wPSU = pi.ByWeek.Factor()
+		}
+	}
+	res.Metrics = []Metric{
+		{"weekly factor after outage / UPS", "45X / 29X", fmt.Sprintf("%s / %s", report.Factor(wOut), report.Factor(wUPS))},
+		{"weekly factor after spike / PSU", "10-20X", fmt.Sprintf("%s / %s", report.Factor(wSpike), report.Factor(wPSU))},
+		{"storage classes dominate after outages", "yes (DST/PFS/CFS)",
+			fmt.Sprintf("storage mass %.3f vs other %.3f: %v", storage, other, storage > other)},
+	}
+	return res
+}
+
+// Fig12 reproduces Figure 12: the space-time layout of power problems in
+// system 2, with the clustering summaries the paper reads off the plot.
+func (s *Suite) Fig12() Result {
+	res := Result{ID: "fig12", Title: "Space-time layout of power problems (system 2)"}
+	st := s.A.SpaceTime(2)
+	kinds := []struct {
+		cls  trace.EnvClass
+		name string
+	}{
+		{trace.PowerOutage, "power outages"},
+		{trace.PowerSpike, "power spikes"},
+		{trace.UPS, "UPS failures"},
+		{analysis.PSUClass, "power supply failures"},
+	}
+	for _, k := range kinds {
+		var pts []report.Point
+		for _, p := range st.Points {
+			if p.Kind == k.cls {
+				pts = append(pts, report.Point{X: p.Day, Y: float64(p.Node)})
+			}
+		}
+		res.Figure += report.Scatter(fmt.Sprintf("%s (n=%d)", k.name, len(pts)), 64, 10, pts)
+	}
+	co := st.CoOccurrence
+	rep := st.NodeRepeat
+	res.Metrics = []Metric{
+		{"outages/UPS correlated across nodes", "yes",
+			fmt.Sprintf("same-day co-occurrence: outage %.2f, UPS %.2f", co[trace.PowerOutage], co[trace.UPS])},
+		{"spikes close to random", "yes",
+			fmt.Sprintf("spike co-occurrence %.2f", co[trace.PowerSpike])},
+		{"PSU failures correlate within node only", "yes",
+			fmt.Sprintf("PSU co-occurrence %.2f, node-repeat %.2f", co[analysis.PSUClass], rep[analysis.PSUClass])},
+		{"PSU failures most common power problem", "yes",
+			fmt.Sprintf("%v", psuMostCommon(st))},
+	}
+	return res
+}
+
+func psuMostCommon(st analysis.SpaceTimeResult) bool {
+	counts := make(map[trace.EnvClass]int)
+	for _, p := range st.Points {
+		counts[p.Kind]++
+	}
+	psu := counts[analysis.PSUClass]
+	for cls, c := range counts {
+		if cls != analysis.PSUClass && c > psu {
+			return false
+		}
+	}
+	return psu > 0
+}

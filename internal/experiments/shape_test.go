@@ -1,0 +1,468 @@
+package experiments
+
+// Shape tests: run every experiment against a mid-size synthetic dataset
+// and assert the paper's *qualitative* findings — directions of effects,
+// orderings, and factor bands — with tolerances wide enough for sampling
+// noise at this scale. These are the reproduction's primary acceptance
+// tests; EXPERIMENTS.md records the precise measured values.
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+var (
+	shapeOnce  sync.Once
+	shapeSuite *Suite
+	shapeErr   error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	shapeOnce.Do(func() {
+		ds, err := DefaultDataset(1, 0.5)
+		if err != nil {
+			shapeErr = err
+			return
+		}
+		shapeSuite = NewSuite(ds)
+	})
+	if shapeErr != nil {
+		t.Fatal(shapeErr)
+	}
+	return shapeSuite
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	results := s.RunAll()
+	if len(results) != len(All()) {
+		t.Fatalf("ran %d of %d experiments", len(results), len(All()))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s failed: %v", r.ID, r.Err)
+			continue
+		}
+		if r.Figure == "" {
+			t.Errorf("%s produced no figure", r.ID)
+		}
+		if len(r.Metrics) == 0 {
+			t.Errorf("%s produced no metrics", r.ID)
+		}
+		if out := r.Render(); !strings.Contains(out, r.ID) {
+			t.Errorf("%s render misses its ID", r.ID)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	if _, err := s.Run("nope"); err == nil {
+		t.Error("unknown experiment ID should fail")
+	}
+}
+
+func TestIDsMatchRunners(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatal("IDs() out of sync")
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate experiment ID %s", id)
+		}
+		seen[id] = true
+	}
+	for _, want := range []string{"fig1a", "fig10", "tableII", "s7a2"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestShapeSec3Correlations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	a := s.A
+
+	// Baselines near the paper's: G1 daily 0.31%, G2 daily 4.6%.
+	d1 := a.CondProb(s.G1, nil, nil, trace.Day, analysis.ScopeNode)
+	if p := d1.Baseline.P(); p < 0.001 || p > 0.009 {
+		t.Errorf("G1 daily baseline %.4f outside [0.1%%, 0.9%%]", p)
+	}
+	if f := d1.Factor(); f < 5 || f > 60 {
+		t.Errorf("G1 daily conditional factor %.1f outside [5, 60] (paper ~20X)", f)
+	}
+	d2 := a.CondProb(s.G2, nil, nil, trace.Day, analysis.ScopeNode)
+	if p := d2.Baseline.P(); p < 0.02 || p > 0.12 {
+		t.Errorf("G2 daily baseline %.3f outside [2%%, 12%%]", p)
+	}
+	if f := d2.Factor(); f < 2 || f > 12 {
+		t.Errorf("G2 daily factor %.1f outside [2, 12] (paper ~5X)", f)
+	}
+
+	// Figure 1a: NET and ENV are the strongest omens in group-1.
+	fus := a.FollowUpByType(s.G1, trace.Week, analysis.ScopeNode)
+	byLabel := map[string]analysis.FollowUp{}
+	for _, fu := range fus {
+		byLabel[fu.Label] = fu
+	}
+	envF, netF := byLabel["ENV"].Factor(), byLabel["NET"].Factor()
+	hwF, humanF := byLabel["HW"].Factor(), byLabel["HUMAN"].Factor()
+	if envF <= hwF || netF <= hwF {
+		t.Errorf("ENV (%.1f) and NET (%.1f) should exceed HW (%.1f)", envF, netF, hwF)
+	}
+	if humanF >= envF {
+		t.Errorf("HUMAN (%.1f) should be among the weakest", humanF)
+	}
+	// 30-50% absolute chance after NET/ENV (generously 25-80%).
+	if p := byLabel["ENV"].Conditional.P(); p < 0.25 || p > 0.8 {
+		t.Errorf("P(fail | ENV) = %.2f outside [0.25, 0.8]", p)
+	}
+
+	// Figure 1b: same-type beats after-any for ENV and NET.
+	prs := a.PairwiseByType(s.G1, trace.Week, analysis.ScopeNode)
+	for _, pr := range prs {
+		if pr.Label != "ENV" && pr.Label != "NET" {
+			continue
+		}
+		if pr.AfterSame.Conditional.P() <= pr.AfterAny.Conditional.P() {
+			t.Errorf("%s same-type (%.3f) should beat after-any (%.3f)",
+				pr.Label, pr.AfterSame.Conditional.P(), pr.AfterAny.Conditional.P())
+		}
+		if pr.AfterSame.Factor() < 20 {
+			t.Errorf("%s same-type factor %.0f should be large", pr.Label, pr.AfterSame.Factor())
+		}
+	}
+
+	// Section III.A.4: memory-to-memory strongly correlated.
+	mem := a.CondProb(s.G1, trace.HWPred(trace.Memory), trace.HWPred(trace.Memory), trace.Week, analysis.ScopeNode)
+	if f := mem.Factor(); f < 15 {
+		t.Errorf("mem->mem weekly factor %.1f, want large (paper ~100X)", f)
+	}
+	if !mem.Significant(0.01) {
+		t.Error("mem->mem increase should be significant")
+	}
+}
+
+func TestShapeRackAndSystem(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	a := s.A
+
+	// Rack effect weaker than node effect, stronger than baseline.
+	nodeW := a.CondProb(s.G1, nil, nil, trace.Week, analysis.ScopeNode)
+	rackW := a.CondProb(s.G1, nil, nil, trace.Week, analysis.ScopeRack)
+	sysW := a.CondProb(s.G1, nil, nil, trace.Week, analysis.ScopeSystem)
+	if !(nodeW.Conditional.P() > rackW.Conditional.P()) {
+		t.Errorf("node (%.3f) should exceed rack (%.3f)", nodeW.Conditional.P(), rackW.Conditional.P())
+	}
+	if !(rackW.Conditional.P() > sysW.Conditional.P()) {
+		t.Errorf("rack (%.3f) should exceed system (%.3f)", rackW.Conditional.P(), sysW.Conditional.P())
+	}
+	if f := rackW.Factor(); f < 1.3 || f > 6 {
+		t.Errorf("rack weekly factor %.2f outside [1.3, 6] (paper ~2.3X)", f)
+	}
+
+	// Figure 2b: rack-level ENV same-type correlation enormous.
+	prs := a.PairwiseByType(s.G1, trace.Week, analysis.ScopeRack)
+	for _, pr := range prs {
+		if pr.Label == "ENV" {
+			if pr.AfterSame.Factor() < 20 {
+				t.Errorf("rack ENV same-type factor %.0f, want large (paper 170X)", pr.AfterSame.Factor())
+			}
+		}
+	}
+
+	// Figure 3 (G2): network failures ripple through the system.
+	g2 := a.FollowUpByType(s.G2, trace.Week, analysis.ScopeSystem)
+	for _, fu := range g2 {
+		if fu.Label == "NET" {
+			if f := fu.Factor(); f < 1.1 {
+				t.Errorf("G2 system NET factor %.2f, want > 1.1 (paper 3.69X)", f)
+			}
+		}
+	}
+}
+
+func TestShapeNodeZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	a := s.A
+	for _, sys := range bigSystems {
+		nc := a.FailuresPerNode(sys)
+		ratio := float64(nc.Counts[0]) / nc.Mean
+		if ratio < 8 {
+			t.Errorf("sys %d node0 ratio %.1f, want >> 1 (paper 19-30X)", sys, ratio)
+		}
+		if !nc.EqualRates.Significant(0.01) {
+			t.Errorf("sys %d equal rates not rejected", sys)
+		}
+		if !nc.EqualRatesSansZero.Significant(0.01) {
+			t.Errorf("sys %d equal rates (sans node0) not rejected", sys)
+		}
+	}
+	// Figure 5: dominant mode shifts to software on node 0.
+	shifted := 0
+	for _, sys := range bigSystems {
+		b := a.RootCauseBreakdown(sys, func(n int) bool { return n == 0 })
+		rest := a.RootCauseBreakdown(sys, func(n int) bool { return n != 0 })
+		if rest.Dominant() != trace.Hardware {
+			t.Errorf("sys %d rest should be HW dominant, got %v", sys, rest.Dominant())
+		}
+		if b.Dominant() == trace.Software {
+			shifted++
+		}
+	}
+	if shifted < 2 {
+		t.Errorf("node0 SW-dominant in only %d of 3 systems", shifted)
+	}
+}
+
+func TestShapeUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	a := s.A
+	for _, sys := range []int{8, 20} {
+		ur := a.UsageVsFailures(sys)
+		if ur.JobsCorr.R < 0.2 {
+			t.Errorf("sys %d jobs correlation %.2f, want clearly positive", sys, ur.JobsCorr.R)
+		}
+		if ur.JobsCorrSansZero.R >= ur.JobsCorr.R {
+			t.Errorf("sys %d correlation should drop without node 0 (%.2f -> %.2f)",
+				sys, ur.JobsCorr.R, ur.JobsCorrSansZero.R)
+		}
+		u, err := a.UserFailureRates(sys, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !u.Anova.Significant(0.01) {
+			t.Errorf("sys %d user-rate ANOVA not significant (p=%.3g); paper rejects at 99%%", sys, u.Anova.P)
+		}
+	}
+}
+
+func TestShapePower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	a := s.A
+	all := a.DS.Systems
+
+	// Figure 9: outages are the largest environmental slice.
+	pie := a.EnvBreakdown(all)
+	if pie[trace.PowerOutage] < pie[trace.PowerSpike] || pie[trace.PowerOutage] < pie[trace.UPS] {
+		t.Errorf("outage should dominate the pie: %v", pie)
+	}
+	if pie[trace.PowerOutage] < 0.3 || pie[trace.PowerOutage] > 0.65 {
+		t.Errorf("outage share %.2f outside [0.30, 0.65] (paper 0.49)", pie[trace.PowerOutage])
+	}
+
+	// Figure 10: all four power problems raise monthly HW failures 3-25X.
+	for _, pi := range a.PowerImpactOn(all, trace.CategoryPred(trace.Hardware)) {
+		if f := pi.ByMonth.Factor(); f < 3 || f > 25 {
+			t.Errorf("%s monthly HW factor %.1f outside [3, 25] (paper 5-10X)", pi.Kind, f)
+		}
+	}
+	// CPUs stay essentially unaffected compared to boards.
+	comps := a.PowerImpactOnComponents(all, []trace.HWComponent{trace.CPU, trace.NodeBoard})
+	factors := map[string]float64{}
+	for _, ci := range comps {
+		factors[ci.Kind.String()+"/"+ci.Component.String()] = ci.Result.Factor()
+	}
+	for _, kind := range analysis.PowerEventKinds {
+		cpu := factors[kind.String()+"/CPU"]
+		board := factors[kind.String()+"/NodeBoard"]
+		if cpu == cpu && board == board && cpu >= board {
+			t.Errorf("%s: CPU factor (%.1f) should trail NodeBoard (%.1f)", kind, cpu, board)
+		}
+	}
+
+	// Section VII.A.2: maintenance rises at least 10X after every power
+	// problem, most after UPS failures (paper ~100X).
+	for _, mi := range a.MaintenanceAfterPower(all, trace.Month) {
+		if f := mi.Factor(); f < 10 {
+			t.Errorf("%s maintenance factor %.1f, want >= 10 (paper 30-100X)", mi.Kind, f)
+		}
+	}
+
+	// Figure 11: software failures rise after power problems; storage
+	// (DST) carries the biggest monthly probability after outages.
+	swImpacts := a.PowerImpactOnSWClasses(all, []trace.SWClass{trace.DST, trace.OS})
+	var dst, os float64
+	for _, ci := range swImpacts {
+		if ci.Kind == analysis.AfterOutage {
+			switch ci.Class {
+			case trace.DST:
+				dst = ci.Result.Conditional.P()
+			case trace.OS:
+				os = ci.Result.Conditional.P()
+			}
+		}
+	}
+	if dst <= os {
+		t.Errorf("DST (%.3f) should dominate OS (%.3f) after outages", dst, os)
+	}
+
+	// Figure 12: outages cluster across nodes, PSU failures do not.
+	st := a.SpaceTime(2)
+	if st.CoOccurrence[trace.PowerOutage] <= st.CoOccurrence[analysis.PSUClass] {
+		t.Errorf("outage co-occurrence (%.2f) should exceed PSU (%.2f)",
+			st.CoOccurrence[trace.PowerOutage], st.CoOccurrence[analysis.PSUClass])
+	}
+}
+
+func TestShapeTemperatureAndCosmic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	a := s.A
+	all := a.DS.Systems
+
+	// Section VIII: average temperature insignificant for hardware
+	// failures.
+	regs, err := a.TemperatureRegressions(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range regs {
+		if r.Covariate == "avg_temp" && r.Target == "hardware" {
+			if r.Poisson.Significant(0.01) && r.NegBinom.Significant(0.01) {
+				t.Errorf("avg_temp significant in both models (p=%.3f/%.3f); paper finds none",
+					r.Poisson.P, r.NegBinom.P)
+			}
+		}
+	}
+
+	// Figure 13: fan failures are the strongest cooling-related omen.
+	var fanDay, chillerDay float64
+	for _, ci := range a.CoolingImpactOnHardware(all) {
+		switch ci.Kind {
+		case analysis.AfterFanFail:
+			fanDay = ci.ByDay.Factor()
+		case analysis.AfterChillerFail:
+			chillerDay = ci.ByDay.Factor()
+		}
+	}
+	if fanDay < 10 {
+		t.Errorf("fan-failure day factor %.1f, want large (paper 40X)", fanDay)
+	}
+	if fanDay <= chillerDay {
+		t.Errorf("fan (%.1f) should exceed chiller (%.1f)", fanDay, chillerDay)
+	}
+	// Fan -> fan is the single strongest component effect.
+	comps := a.CoolingImpactOnComponents(all, []trace.HWComponent{trace.Fan, trace.CPU})
+	var fanFan, fanCPU float64
+	for _, ci := range comps {
+		if ci.Kind == analysis.AfterFanFail {
+			switch ci.Component {
+			case trace.Fan:
+				fanFan = ci.Result.Factor()
+			case trace.CPU:
+				fanCPU = ci.Result.Factor()
+			}
+		}
+	}
+	if fanFan < 30 {
+		t.Errorf("fan->fan factor %.0f, want very large (paper 120X)", fanFan)
+	}
+	if fanCPU >= fanFan/3 {
+		t.Errorf("fan->CPU (%.1f) should trail fan->fan (%.1f) by far", fanCPU, fanFan)
+	}
+
+	// Figure 14: CPU correlates positively with neutron flux in most
+	// systems; DRAM does not correlate significantly anywhere.
+	cpuPos, dramFlat := 0, 0
+	for _, sys := range []int{2, 18, 19, 20} {
+		cpu := a.NeutronCorrelation(sys, "cpu", trace.HWPred(trace.CPU))
+		dram := a.NeutronCorrelation(sys, "dram", trace.HWPred(trace.Memory))
+		if cpu.Corr.R > 0 {
+			cpuPos++
+		}
+		if !dram.Corr.Significant(0.01) {
+			dramFlat++
+		}
+	}
+	if cpuPos < 2 {
+		t.Errorf("CPU-neutron positive in only %d of 4 systems (paper: 3)", cpuPos)
+	}
+	if dramFlat < 3 {
+		t.Errorf("DRAM-neutron flat in only %d of 4 systems (paper: all)", dramFlat)
+	}
+}
+
+func TestShapeJointRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	jr, err := s.A.JointRegression(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nj, _ := jr.Poisson.Coef("num_jobs")
+	ut, _ := jr.Poisson.Coef("util")
+	if !nj.Significant(0.01) {
+		t.Errorf("num_jobs should be significant in Poisson (p=%.4f)", nj.P)
+	}
+	if !ut.Significant(0.05) {
+		t.Errorf("util should be significant in Poisson (p=%.4f)", ut.P)
+	}
+	njNB, _ := jr.NegBinom.Coef("num_jobs")
+	if !njNB.Significant(0.05) {
+		t.Errorf("num_jobs should be significant in NB (p=%.4f)", njNB.P)
+	}
+	pir, _ := jr.Poisson.Coef("PIR")
+	if pir.Significant(0.01) {
+		t.Errorf("PIR should stay insignificant (p=%.4f); ground truth has no position effect", pir.P)
+	}
+	// Overdispersion: NB theta finite and NB AIC at least as good.
+	if jr.NegBinom.Theta > 1e6 {
+		t.Error("per-node counts should be overdispersed (finite theta)")
+	}
+}
+
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	serial := s.RunAll()
+	parallel := s.RunAllParallel(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].ID != parallel[i].ID {
+			t.Fatalf("order differs at %d: %s vs %s", i, serial[i].ID, parallel[i].ID)
+		}
+		if (serial[i].Err == nil) != (parallel[i].Err == nil) {
+			t.Errorf("%s error mismatch", serial[i].ID)
+		}
+		if serial[i].Figure != parallel[i].Figure {
+			t.Errorf("%s figure differs between serial and parallel runs", serial[i].ID)
+		}
+	}
+}

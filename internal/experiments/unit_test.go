@@ -1,0 +1,131 @@
+package experiments
+
+// Unit tests for individual runners on tiny crafted datasets, complementing
+// the generated-data shape tests: these pin exact counting behavior.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/layout"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// craftSuite builds a minimal two-system dataset (one per group) with a
+// layout, enough for most runners to produce non-error results.
+func craftSuite(t *testing.T) *Suite {
+	t.Helper()
+	at := func(d int) time.Time {
+		return time.Date(2004, 1, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+	}
+	lay := layout.Regular(18, 10, 2)
+	ds := &trace.Dataset{
+		Systems: []trace.SystemInfo{
+			{ID: 18, Group: trace.Group1, Nodes: 10, ProcsPerNode: 4,
+				Period: trace.Interval{Start: at(0).Add(-12 * time.Hour), End: at(200)}},
+			{ID: 2, Group: trace.Group2, Nodes: 4, ProcsPerNode: 128,
+				Period: trace.Interval{Start: at(0).Add(-12 * time.Hour), End: at(200)}},
+		},
+		Failures: []trace.Failure{
+			{System: 18, Node: 0, Time: at(10), Category: trace.Network, Downtime: time.Hour},
+			{System: 18, Node: 0, Time: at(11), Category: trace.Hardware, HW: trace.Memory, Downtime: 2 * time.Hour},
+			{System: 18, Node: 3, Time: at(40), Category: trace.Environment, Env: trace.PowerOutage},
+			{System: 18, Node: 3, Time: at(42), Category: trace.Hardware, HW: trace.NodeBoard},
+			{System: 18, Node: 7, Time: at(90), Category: trace.Software, SW: trace.DST},
+			{System: 2, Node: 1, Time: at(20), Category: trace.Hardware, HW: trace.CPU},
+			{System: 2, Node: 2, Time: at(21), Category: trace.Network},
+		},
+		Layouts: map[int]*layout.Layout{18: lay},
+	}
+	ds.Sort()
+	return NewSuite(ds)
+}
+
+func TestCraftFig9(t *testing.T) {
+	s := craftSuite(t)
+	res := s.Fig9()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !strings.Contains(res.Figure, "PowerOutage") {
+		t.Errorf("pie missing outage slice:\n%s", res.Figure)
+	}
+	// The single environmental failure is an outage: 100%.
+	if !strings.Contains(res.Figure, "100.0%") {
+		t.Errorf("outage share should be 100%%:\n%s", res.Figure)
+	}
+}
+
+func TestCraftSec3C(t *testing.T) {
+	s := craftSuite(t)
+	res := s.Sec3C()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Metrics) != 2 {
+		t.Errorf("metrics = %d", len(res.Metrics))
+	}
+}
+
+func TestCraftSec4C(t *testing.T) {
+	s := craftSuite(t)
+	res := s.Sec4C()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !strings.Contains(res.Figure, "position in rack") {
+		t.Errorf("figure:\n%s", res.Figure)
+	}
+}
+
+func TestCraftExtDowntime(t *testing.T) {
+	s := craftSuite(t)
+	res := s.ExtDowntime()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// Two hardware failures carry downtime in system 18... plus none in
+	// system 2; the HW row must be present.
+	if !strings.Contains(res.Figure, "HW") {
+		t.Errorf("downtime table:\n%s", res.Figure)
+	}
+	if len(res.Metrics) != 2 {
+		t.Errorf("metrics = %d", len(res.Metrics))
+	}
+}
+
+func TestCraftExtOverview(t *testing.T) {
+	s := craftSuite(t)
+	res := s.ExtOverview()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	for _, want := range []string{"18", "2", "group-1", "group-2"} {
+		if !strings.Contains(res.Figure, want) {
+			t.Errorf("overview missing %q:\n%s", want, res.Figure)
+		}
+	}
+}
+
+func TestCraftExtLatency(t *testing.T) {
+	s := craftSuite(t)
+	res := s.ExtLatency()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	// Node 0's day-10 failure is followed a day later; node 3's two days
+	// later: the first bin must hold mass.
+	if !strings.Contains(res.Figure, "anchors") {
+		t.Errorf("latency figure:\n%s", res.Figure)
+	}
+}
+
+func TestCraftRenderIncludesMetrics(t *testing.T) {
+	s := craftSuite(t)
+	res := s.Fig9()
+	out := res.Render()
+	if !strings.Contains(out, "paper vs measured") {
+		t.Errorf("render should list metrics:\n%s", out)
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/hpcfail/hpcfail/internal/report"
+)
+
+// jobLogSystems are the two systems with usage logs (Section V).
+var jobLogSystems = []int{8, 20}
+
+// Fig7 reproduces Figure 7: per-node failures against utilization and job
+// count for systems 8 and 20, with Pearson correlations with and without
+// node 0.
+func (s *Suite) Fig7() Result {
+	res := Result{ID: "fig7", Title: "Usage vs failures"}
+	paperR := map[int]string{8: "0.465", 20: "0.12"}
+	for _, sys := range jobLogSystems {
+		ur := s.A.UsageVsFailures(sys)
+		// Scatter of failures vs jobs (Figure 7b).
+		pts := make([]report.Point, 0, len(ur.Nodes))
+		ptsU := make([]report.Point, 0, len(ur.Nodes))
+		for _, n := range ur.Nodes {
+			mark := rune('o')
+			if n.Node == 0 {
+				mark = 'X'
+			}
+			pts = append(pts, report.Point{X: float64(n.Jobs), Y: float64(n.Failures), Mark: mark})
+			ptsU = append(ptsU, report.Point{X: 100 * n.Utilization, Y: float64(n.Failures), Mark: mark})
+		}
+		res.Figure += report.Scatter(fmt.Sprintf("system %d: failures vs utilization%% (X = node 0)", sys), 60, 12, ptsU)
+		res.Figure += report.Scatter(fmt.Sprintf("system %d: failures vs #jobs (X = node 0)", sys), 60, 12, pts)
+		node0Top := true
+		for _, n := range ur.Nodes {
+			if n.Jobs > ur.Nodes[0].Jobs {
+				node0Top = false
+				break
+			}
+		}
+		res.Metrics = append(res.Metrics,
+			Metric{fmt.Sprintf("sys %d Pearson r (jobs vs failures)", sys), paperR[sys],
+				report.Float(ur.JobsCorr.R, 3)},
+			Metric{fmt.Sprintf("sys %d r without node 0", sys), "insignificant",
+				fmt.Sprintf("%s (p=%s)", report.Float(ur.JobsCorrSansZero.R, 3), report.PValue(ur.JobsCorrSansZero.P))},
+			Metric{fmt.Sprintf("sys %d node 0 has most jobs / highest utilization", sys), "yes",
+				fmt.Sprintf("util=%s topJobs=%v", report.Percent(ur.Nodes[0].Utilization, 0), node0Top)},
+		)
+	}
+	return res
+}
+
+// Fig8 reproduces Figure 8: failures per processor-day for the 50 heaviest
+// users, and the saturated-vs-common-rate Poisson ANOVA.
+func (s *Suite) Fig8() Result {
+	res := Result{ID: "fig8", Title: "Per-user failure rates"}
+	for _, sys := range jobLogSystems {
+		u, err := s.A.UserFailureRates(sys, 50)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		bars := make([]report.Bar, 0, 12)
+		for i, ur := range u.Users {
+			if i >= 12 {
+				break
+			}
+			bars = append(bars, report.Bar{
+				Label: fmt.Sprintf("user %3d", ur.User),
+				Value: ur.Rate(),
+				Note:  fmt.Sprintf("%d fails / %.0f proc-days", ur.NodeFailures, ur.ProcDays),
+			})
+		}
+		res.Figure += report.BarChart(fmt.Sprintf("system %d: failures per processor-day (12 heaviest of top 50)", sys), 40, bars)
+		res.Metrics = append(res.Metrics,
+			Metric{fmt.Sprintf("sys %d ANOVA saturated vs common", sys), "significant at 99%",
+				fmt.Sprintf("LR=%.1f df=%.0f p=%s", u.Anova.Stat, u.Anova.DF, report.PValue(u.Anova.P))},
+		)
+	}
+	return res
+}

@@ -1,0 +1,172 @@
+// Package layout models the physical machine-room layout of an HPC system:
+// which rack a node sits in, its position inside the rack, and where the
+// rack stands on the machine-room floor. The DSN'13 study uses these
+// "machine layout" files (available for the group-1 LANL systems) to ask
+// whether failures correlate within a rack (Section III.B) and whether a
+// node's position predicts its failure rate (Sections IV.C and X).
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PositionsPerRack is the number of vertical node positions in a rack.
+// The paper's PIR (position-in-rack) variable ranges 1 (bottom) to 5 (top).
+const PositionsPerRack = 5
+
+// Place describes where a single node lives.
+type Place struct {
+	// Rack is the rack index within the system, starting at 0.
+	Rack int
+	// Position is the position in the rack: 1 = bottom ... 5 = top.
+	Position int
+	// Row and Aisle locate the rack on the machine-room floor.
+	Row   int
+	Aisle int
+}
+
+// Layout maps every node of one system to its place.
+type Layout struct {
+	system int
+	places map[int]Place
+	racks  map[int][]int // rack -> sorted node IDs
+}
+
+// New creates an empty layout for the given system.
+func New(system int) *Layout {
+	return &Layout{
+		system: system,
+		places: make(map[int]Place),
+		racks:  make(map[int][]int),
+	}
+}
+
+// System returns the system ID the layout describes.
+func (l *Layout) System() int { return l.system }
+
+// SetPlace records the place of a node, replacing any previous assignment.
+// It returns an error for out-of-range positions.
+func (l *Layout) SetPlace(node int, p Place) error {
+	if p.Position < 1 || p.Position > PositionsPerRack {
+		return fmt.Errorf("layout: position %d for node %d out of range [1,%d]", p.Position, node, PositionsPerRack)
+	}
+	if p.Rack < 0 {
+		return fmt.Errorf("layout: negative rack %d for node %d", p.Rack, node)
+	}
+	if old, ok := l.places[node]; ok {
+		l.removeFromRack(old.Rack, node)
+	}
+	l.places[node] = p
+	nodes := l.racks[p.Rack]
+	i := sort.SearchInts(nodes, node)
+	nodes = append(nodes, 0)
+	copy(nodes[i+1:], nodes[i:])
+	nodes[i] = node
+	l.racks[p.Rack] = nodes
+	return nil
+}
+
+func (l *Layout) removeFromRack(rack, node int) {
+	nodes := l.racks[rack]
+	i := sort.SearchInts(nodes, node)
+	if i < len(nodes) && nodes[i] == node {
+		l.racks[rack] = append(nodes[:i], nodes[i+1:]...)
+	}
+}
+
+// Place returns the place of a node and whether it is known.
+func (l *Layout) Place(node int) (Place, bool) {
+	p, ok := l.places[node]
+	return p, ok
+}
+
+// Rack returns the rack a node sits in, or -1 if the node is unknown.
+func (l *Layout) Rack(node int) int {
+	if p, ok := l.places[node]; ok {
+		return p.Rack
+	}
+	return -1
+}
+
+// Position returns the node's position in its rack (1..5), or 0 if unknown.
+func (l *Layout) Position(node int) int {
+	if p, ok := l.places[node]; ok {
+		return p.Position
+	}
+	return 0
+}
+
+// NodesInRack returns the node IDs in a rack in ascending order. The
+// returned slice is a copy and safe to modify.
+func (l *Layout) NodesInRack(rack int) []int {
+	nodes := l.racks[rack]
+	out := make([]int, len(nodes))
+	copy(out, nodes)
+	return out
+}
+
+// RackMates returns the other nodes that share a rack with node, in
+// ascending order. It returns nil when the node is unknown or alone.
+func (l *Layout) RackMates(node int) []int {
+	p, ok := l.places[node]
+	if !ok {
+		return nil
+	}
+	nodes := l.racks[p.Rack]
+	if len(nodes) <= 1 {
+		return nil
+	}
+	out := make([]int, 0, len(nodes)-1)
+	for _, n := range nodes {
+		if n != node {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Racks returns the rack indices present in the layout, ascending.
+func (l *Layout) Racks() []int {
+	out := make([]int, 0, len(l.racks))
+	for r := range l.racks {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Nodes returns every node with a known place, ascending.
+func (l *Layout) Nodes() []int {
+	out := make([]int, 0, len(l.places))
+	for n := range l.places {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Len returns the number of placed nodes.
+func (l *Layout) Len() int { return len(l.places) }
+
+// Regular builds the standard layout used for generated systems: nodes are
+// assigned to racks of PositionsPerRack nodes in ID order, racks are placed
+// on the floor in rows of racksPerRow. It mirrors how the LANL layout files
+// describe group-1 systems.
+func Regular(system, nodes, racksPerRow int) *Layout {
+	if racksPerRow < 1 {
+		racksPerRow = 1
+	}
+	l := New(system)
+	for n := 0; n < nodes; n++ {
+		rack := n / PositionsPerRack
+		// SetPlace cannot fail here: positions are constructed in range.
+		_ = l.SetPlace(n, Place{
+			Rack:     rack,
+			Position: n%PositionsPerRack + 1,
+			Row:      rack / racksPerRow,
+			Aisle:    rack % racksPerRow,
+		})
+	}
+	return l
+}

@@ -1,0 +1,159 @@
+package layout
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetPlaceAndLookups(t *testing.T) {
+	l := New(18)
+	if l.System() != 18 {
+		t.Errorf("system = %d", l.System())
+	}
+	if err := l.SetPlace(3, Place{Rack: 1, Position: 2, Row: 0, Aisle: 1}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := l.Place(3)
+	if !ok || p.Rack != 1 || p.Position != 2 {
+		t.Errorf("place = %+v ok=%v", p, ok)
+	}
+	if l.Rack(3) != 1 || l.Position(3) != 2 {
+		t.Error("Rack/Position lookups wrong")
+	}
+	if l.Rack(99) != -1 || l.Position(99) != 0 {
+		t.Error("unknown node lookups should be sentinel values")
+	}
+}
+
+func TestSetPlaceValidation(t *testing.T) {
+	l := New(1)
+	if err := l.SetPlace(0, Place{Rack: 0, Position: 0}); err == nil {
+		t.Error("position 0 should be rejected")
+	}
+	if err := l.SetPlace(0, Place{Rack: 0, Position: PositionsPerRack + 1}); err == nil {
+		t.Error("position above max should be rejected")
+	}
+	if err := l.SetPlace(0, Place{Rack: -1, Position: 1}); err == nil {
+		t.Error("negative rack should be rejected")
+	}
+}
+
+func TestReassignmentMovesRacks(t *testing.T) {
+	l := New(1)
+	_ = l.SetPlace(7, Place{Rack: 0, Position: 1})
+	_ = l.SetPlace(7, Place{Rack: 2, Position: 3})
+	if got := l.NodesInRack(0); len(got) != 0 {
+		t.Errorf("old rack still holds node: %v", got)
+	}
+	if got := l.NodesInRack(2); len(got) != 1 || got[0] != 7 {
+		t.Errorf("new rack contents: %v", got)
+	}
+	if l.Len() != 1 {
+		t.Errorf("len = %d", l.Len())
+	}
+}
+
+func TestRackMates(t *testing.T) {
+	l := New(1)
+	for n := 0; n < 5; n++ {
+		_ = l.SetPlace(n, Place{Rack: 0, Position: n + 1})
+	}
+	_ = l.SetPlace(5, Place{Rack: 1, Position: 1})
+	mates := l.RackMates(2)
+	want := []int{0, 1, 3, 4}
+	if !reflect.DeepEqual(mates, want) {
+		t.Errorf("mates = %v, want %v", mates, want)
+	}
+	if l.RackMates(5) != nil {
+		t.Error("lone node should have no mates")
+	}
+	if l.RackMates(42) != nil {
+		t.Error("unknown node should have no mates")
+	}
+}
+
+func TestNodesAndRacksSorted(t *testing.T) {
+	l := New(1)
+	for _, n := range []int{9, 2, 5} {
+		_ = l.SetPlace(n, Place{Rack: n % 2, Position: 1 + n%5})
+	}
+	nodes := l.Nodes()
+	if !reflect.DeepEqual(nodes, []int{2, 5, 9}) {
+		t.Errorf("nodes = %v", nodes)
+	}
+	racks := l.Racks()
+	if !reflect.DeepEqual(racks, []int{0, 1}) {
+		t.Errorf("racks = %v", racks)
+	}
+	// NodesInRack returns a copy.
+	in := l.NodesInRack(1)
+	if len(in) > 0 {
+		in[0] = -1
+		if l.NodesInRack(1)[0] == -1 {
+			t.Error("NodesInRack must return a copy")
+		}
+	}
+}
+
+func TestRegularLayout(t *testing.T) {
+	l := Regular(20, 23, 4)
+	if l.Len() != 23 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	// Node 0 in rack 0 position 1; node 4 in rack 0 position 5;
+	// node 5 starts rack 1.
+	if l.Rack(0) != 0 || l.Position(0) != 1 {
+		t.Error("node 0 placement wrong")
+	}
+	if l.Rack(4) != 0 || l.Position(4) != 5 {
+		t.Error("node 4 placement wrong")
+	}
+	if l.Rack(5) != 1 || l.Position(5) != 1 {
+		t.Error("node 5 placement wrong")
+	}
+	// Last partial rack holds the remainder.
+	if got := l.NodesInRack(4); len(got) != 3 {
+		t.Errorf("last rack = %v", got)
+	}
+	// Rows of 4 racks.
+	p, _ := l.Place(20) // rack 4 -> row 1, aisle 0
+	if p.Row != 1 || p.Aisle != 0 {
+		t.Errorf("floor position = %+v", p)
+	}
+	// Degenerate racksPerRow is clamped.
+	l2 := Regular(1, 6, 0)
+	if l2.Len() != 6 {
+		t.Error("clamped racksPerRow should still place all nodes")
+	}
+}
+
+func TestRegularProperty(t *testing.T) {
+	// Every node of a regular layout is placed exactly once, positions are
+	// in range, and rack sizes never exceed PositionsPerRack.
+	f := func(rawNodes uint8, rawRow uint8) bool {
+		nodes := int(rawNodes%200) + 1
+		l := Regular(1, nodes, int(rawRow%8)+1)
+		if l.Len() != nodes {
+			return false
+		}
+		seen := 0
+		for _, r := range l.Racks() {
+			in := l.NodesInRack(r)
+			if len(in) > PositionsPerRack {
+				return false
+			}
+			for _, n := range in {
+				p, ok := l.Place(n)
+				if !ok || p.Position < 1 || p.Position > PositionsPerRack {
+					return false
+				}
+				seen++
+			}
+		}
+		return seen == nodes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

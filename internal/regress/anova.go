@@ -1,0 +1,82 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcfail/hpcfail/internal/stats"
+)
+
+// Anova compares two nested fitted models of the same family on the same
+// data with a likelihood-ratio chi-square test (the analysis-of-deviance
+// "ANOVA" of GLM practice). The full model must nest the null model.
+func Anova(null, full *Fit) (stats.TestResult, error) {
+	if null.Family != full.Family {
+		return stats.TestResult{}, fmt.Errorf("%w: comparing %s against %s", ErrBadModel, null.Family, full.Family)
+	}
+	if null.N != full.N {
+		return stats.TestResult{}, fmt.Errorf("%w: models fit to different data (n=%d vs n=%d)", ErrBadModel, null.N, full.N)
+	}
+	dfNull := len(null.Coefs)
+	dfFull := len(full.Coefs)
+	return stats.LikelihoodRatioTest(null.LogLik, full.LogLik, dfNull, dfFull)
+}
+
+// RateGroup is one unit of a per-group rate comparison: Count events over
+// Exposure units of observation (for example, node failures over
+// processor-days of a user's jobs).
+type RateGroup struct {
+	Label    string
+	Count    float64
+	Exposure float64
+}
+
+// Rate returns the empirical event rate Count/Exposure.
+func (g RateGroup) Rate() float64 {
+	if g.Exposure <= 0 {
+		return math.NaN()
+	}
+	return g.Count / g.Exposure
+}
+
+// SaturatedVsCommonRate performs the exact comparison of the paper's
+// Section VI: a saturated Poisson model (every group has its own rate)
+// against a common-rate model (all groups share one rate), via a
+// likelihood-ratio ANOVA. Rejection means the groups genuinely differ in
+// their failure rates per unit of exposure.
+func SaturatedVsCommonRate(groups []RateGroup) (stats.TestResult, error) {
+	if len(groups) < 2 {
+		return stats.TestResult{}, fmt.Errorf("%w: need at least two groups", ErrBadModel)
+	}
+	totCount, totExp := 0.0, 0.0
+	for _, g := range groups {
+		if g.Exposure <= 0 {
+			return stats.TestResult{}, fmt.Errorf("%w: group %q has non-positive exposure", ErrBadModel, g.Label)
+		}
+		if g.Count < 0 {
+			return stats.TestResult{}, fmt.Errorf("%w: group %q has negative count", ErrBadModel, g.Label)
+		}
+		totCount += g.Count
+		totExp += g.Exposure
+	}
+	common := totCount / totExp
+	llCommon, llSat := 0.0, 0.0
+	for _, g := range groups {
+		llCommon += poissonRateLogLik(g.Count, common*g.Exposure)
+		// The saturated model's MLE rate is the group's own empirical rate.
+		llSat += poissonRateLogLik(g.Count, g.Count)
+	}
+	return stats.LikelihoodRatioTest(llCommon, llSat, 1, len(groups))
+}
+
+// poissonRateLogLik is the Poisson log-likelihood of observing count y with
+// mean mu, treating mu=0,y=0 as certain.
+func poissonRateLogLik(y, mu float64) float64 {
+	if mu <= 0 {
+		if y == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return y*math.Log(mu) - mu - stats.LogFactorial(int(y+0.5))
+}

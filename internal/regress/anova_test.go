@@ -1,0 +1,145 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAnovaNestedModels(t *testing.T) {
+	// Full model with a real extra predictor should beat the null.
+	m := syntheticPoisson(2000, 0.5, 0.8, -0.4, 11)
+	null := &Model{Response: m.Response, Terms: m.Terms[:1]}
+	nullFit, err := Poisson(null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullFit, err := Poisson(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anova(nullFit, fullFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.01) {
+		t.Errorf("real effect should be detected, p=%g", res.P)
+	}
+	if res.DF != 1 {
+		t.Errorf("df = %g", res.DF)
+	}
+}
+
+func TestAnovaNullEffect(t *testing.T) {
+	// Adding a junk predictor should usually NOT be significant.
+	rng := rand.New(rand.NewSource(12))
+	n := 2000
+	y := make([]float64, n)
+	x := make([]float64, n)
+	junk := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64()
+		junk[i] = rng.NormFloat64()
+		y[i] = samplePoisson(rng, math.Exp(0.5+0.5*x[i]))
+	}
+	null, err := Poisson(&Model{Response: y, Terms: []Term{{Name: "x", Values: x}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Poisson(&Model{Response: y, Terms: []Term{{Name: "x", Values: x}, {Name: "junk", Values: junk}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Anova(null, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.001) {
+		t.Errorf("junk predictor should not be highly significant, p=%g", res.P)
+	}
+}
+
+func TestAnovaErrors(t *testing.T) {
+	m := syntheticPoisson(500, 0.5, 0.5, 0, 13)
+	m.Terms = m.Terms[:1]
+	pf, _ := Poisson(m)
+	nf, _ := NegBinomial(m)
+	if _, err := Anova(pf, nf); err == nil {
+		t.Error("family mismatch should fail")
+	}
+	m2 := syntheticPoisson(400, 0.5, 0.5, 0, 14)
+	m2.Terms = m2.Terms[:1]
+	pf2, _ := Poisson(m2)
+	if _, err := Anova(pf, pf2); err == nil {
+		t.Error("different n should fail")
+	}
+}
+
+func TestSaturatedVsCommonRateDetectsSkew(t *testing.T) {
+	// Groups with a 5x rate spread.
+	rng := rand.New(rand.NewSource(15))
+	var groups []RateGroup
+	for i := 0; i < 40; i++ {
+		rate := 0.02
+		if i%2 == 0 {
+			rate = 0.1
+		}
+		exposure := 500 + rng.Float64()*500
+		groups = append(groups, RateGroup{
+			Label:    "u",
+			Count:    samplePoisson(rng, rate*exposure),
+			Exposure: exposure,
+		})
+	}
+	res, err := SaturatedVsCommonRate(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.01) {
+		t.Errorf("5x rate spread should be detected, p=%g", res.P)
+	}
+	if res.DF != float64(len(groups)-1) {
+		t.Errorf("df = %g, want %d", res.DF, len(groups)-1)
+	}
+}
+
+func TestSaturatedVsCommonRateHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	var groups []RateGroup
+	for i := 0; i < 40; i++ {
+		exposure := 1000.0
+		groups = append(groups, RateGroup{
+			Count:    samplePoisson(rng, 0.05*exposure),
+			Exposure: exposure,
+		})
+	}
+	res, err := SaturatedVsCommonRate(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.001) {
+		t.Errorf("homogeneous rates should not be strongly rejected, p=%g", res.P)
+	}
+}
+
+func TestSaturatedVsCommonRateErrors(t *testing.T) {
+	if _, err := SaturatedVsCommonRate(nil); err == nil {
+		t.Error("empty groups should fail")
+	}
+	if _, err := SaturatedVsCommonRate([]RateGroup{{Count: 1, Exposure: 1}, {Count: 1, Exposure: 0}}); err == nil {
+		t.Error("zero exposure should fail")
+	}
+	if _, err := SaturatedVsCommonRate([]RateGroup{{Count: -1, Exposure: 1}, {Count: 1, Exposure: 1}}); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+func TestRateGroupRate(t *testing.T) {
+	g := RateGroup{Count: 5, Exposure: 100}
+	if g.Rate() != 0.05 {
+		t.Errorf("rate = %g", g.Rate())
+	}
+	if !math.IsNaN((RateGroup{Count: 5}).Rate()) {
+		t.Error("zero exposure rate should be NaN")
+	}
+}

@@ -1,0 +1,43 @@
+package regress_test
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/hpcfail/hpcfail/internal/regress"
+)
+
+func ExamplePoisson() {
+	// Counts generated exactly as y = round(exp(0.5 + 0.8 x)): the fit
+	// recovers the log-linear trend.
+	var xs, ys []float64
+	for i := 0; i < 40; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, math.Round(math.Exp(0.5+0.8*x)))
+	}
+	fit, err := regress.Poisson(&regress.Model{
+		Response: ys,
+		Terms:    []regress.Term{{Name: "x", Values: xs}},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c, _ := fit.Coef("x")
+	fmt.Printf("slope %.2f, significant: %v\n", c.Estimate, c.Significant(0.01))
+	// Output: slope 0.80, significant: true
+}
+
+func ExampleSaturatedVsCommonRate() {
+	// Three users with equal exposure but very different failure counts:
+	// the ANOVA of Section VI rejects a common rate.
+	groups := []regress.RateGroup{
+		{Label: "user-1", Count: 40, Exposure: 1000},
+		{Label: "user-2", Count: 9, Exposure: 1000},
+		{Label: "user-3", Count: 11, Exposure: 1000},
+	}
+	r, _ := regress.SaturatedVsCommonRate(groups)
+	fmt.Printf("LR df %.0f, common rate rejected at 99%%: %v\n", r.DF, r.Significant(0.01))
+	// Output: LR df 2, common rate rejected at 99%: true
+}

@@ -1,0 +1,362 @@
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/hpcfail/hpcfail/internal/linalg"
+	"github.com/hpcfail/hpcfail/internal/stats"
+)
+
+// ErrNoConverge is returned when IRLS fails to reach its tolerance within
+// the iteration budget.
+var ErrNoConverge = errors.New("regress: IRLS did not converge")
+
+const (
+	irlsMaxIter = 100
+	irlsTol     = 1e-9
+	// poissonTheta is the dispersion reported for Poisson fits: effectively
+	// infinite (no overdispersion).
+	poissonTheta = math.MaxFloat64
+	// muFloor keeps fitted means strictly positive for the log link.
+	muFloor = 1e-10
+)
+
+// family abstracts the count families over IRLS with log link.
+type family interface {
+	name() string
+	// weight returns the IRLS working weight for mean mu.
+	weight(mu float64) float64
+	// logLik returns the contribution of observation (y, mu).
+	logLik(y, mu float64) float64
+	// devUnit returns the unit deviance contribution of (y, mu).
+	devUnit(y, mu float64) float64
+}
+
+type poissonFamily struct{}
+
+func (poissonFamily) name() string { return "poisson" }
+
+func (poissonFamily) weight(mu float64) float64 { return mu }
+
+func (poissonFamily) logLik(y, mu float64) float64 {
+	lf := stats.LogFactorial(int(y + 0.5))
+	return y*math.Log(mu) - mu - lf
+}
+
+func (poissonFamily) devUnit(y, mu float64) float64 {
+	t := -(y - mu)
+	if y > 0 {
+		t += y * math.Log(y/mu)
+	}
+	return 2 * t
+}
+
+type nbFamily struct{ theta float64 }
+
+func (nbFamily) name() string { return "negbinomial" }
+
+func (f nbFamily) weight(mu float64) float64 { return mu / (1 + mu/f.theta) }
+
+func (f nbFamily) logLik(y, mu float64) float64 {
+	return stats.NegBinomial{Mu: mu, Theta: f.theta}.LogPMF(int(y + 0.5))
+}
+
+func (f nbFamily) devUnit(y, mu float64) float64 {
+	th := f.theta
+	t := -(y + th) * math.Log((y+th)/(mu+th))
+	if y > 0 {
+		t += y * math.Log(y/mu)
+	}
+	return 2 * t
+}
+
+// Poisson fits a Poisson log-linear model by IRLS.
+func Poisson(m *Model) (*Fit, error) {
+	n, err := m.validate()
+	if err != nil {
+		return nil, err
+	}
+	return fitGLM(m, n, poissonFamily{})
+}
+
+// NegBinomial fits a negative-binomial (NB2) log-linear model, estimating
+// the dispersion theta by profile maximum likelihood: IRLS for the
+// coefficients alternates with a golden-section search for theta until the
+// dispersion stabilizes.
+func NegBinomial(m *Model) (*Fit, error) {
+	n, err := m.validate()
+	if err != nil {
+		return nil, err
+	}
+	// Start from the Poisson fit to get initial means.
+	fit, err := fitGLM(m, n, poissonFamily{})
+	if err != nil {
+		return nil, err
+	}
+	theta := momentTheta(m.Response, fit.Mu)
+	for outer := 0; outer < 25; outer++ {
+		nbFit, err := fitGLM(m, n, nbFamily{theta: theta})
+		if err != nil {
+			return nil, err
+		}
+		newTheta := mlTheta(m.Response, nbFit.Mu, theta)
+		fit = nbFit
+		if math.Abs(math.Log(newTheta)-math.Log(theta)) < 1e-7 {
+			theta = newTheta
+			break
+		}
+		theta = newTheta
+	}
+	// Final fit at the converged theta, reporting it.
+	final, err := fitGLM(m, n, nbFamily{theta: theta})
+	if err != nil {
+		return nil, err
+	}
+	final.Theta = theta
+	return final, nil
+}
+
+// momentTheta estimates theta from Pearson residual overdispersion as a
+// starting point, clamped to a sane range.
+func momentTheta(y, mu []float64) float64 {
+	num, den := 0.0, 0.0
+	for i := range y {
+		d := y[i] - mu[i]
+		num += d*d - mu[i]
+		den += mu[i] * mu[i]
+	}
+	if den <= 0 || num <= 0 {
+		return 1e6 // effectively Poisson
+	}
+	th := den / num
+	return clampTheta(th)
+}
+
+func clampTheta(th float64) float64 {
+	switch {
+	case math.IsNaN(th) || th > 1e7:
+		return 1e7
+	case th < 1e-3:
+		return 1e-3
+	default:
+		return th
+	}
+}
+
+// mlTheta maximizes the NB log-likelihood over theta for fixed means via
+// golden-section search on log(theta).
+func mlTheta(y, mu []float64, start float64) float64 {
+	ll := func(logTh float64) float64 {
+		th := math.Exp(logTh)
+		s := 0.0
+		f := nbFamily{theta: th}
+		for i := range y {
+			s += f.logLik(y[i], mu[i])
+		}
+		return s
+	}
+	lo, hi := math.Log(1e-3), math.Log(1e7)
+	// Golden-section maximize.
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := ll(c), ll(d)
+	for i := 0; i < 200 && b-a > 1e-8; i++ {
+		if fc >= fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = ll(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = ll(d)
+		}
+	}
+	best := (a + b) / 2
+	th := clampTheta(math.Exp(best))
+	if math.IsNaN(th) {
+		return clampTheta(start)
+	}
+	return th
+}
+
+// fitGLM runs IRLS with log link for the given family.
+func fitGLM(m *Model, n int, fam family) (*Fit, error) {
+	x := m.design(n)
+	p := x.Cols()
+	offset := m.Offset
+	off := func(i int) float64 {
+		if offset == nil {
+			return 0
+		}
+		return offset[i]
+	}
+
+	// Initialize the linear predictor from the response.
+	eta := make([]float64, n)
+	for i, y := range m.Response {
+		eta[i] = math.Log(math.Max(y, 0.5))
+	}
+	mu := make([]float64, n)
+	w := make([]float64, n)
+	z := make([]float64, n)
+	beta := make([]float64, p)
+
+	dev := math.Inf(1)
+	converged := false
+	iters := 0
+	for iter := 1; iter <= irlsMaxIter; iter++ {
+		iters = iter
+		for i := 0; i < n; i++ {
+			mu[i] = math.Max(math.Exp(eta[i]), muFloor)
+			w[i] = fam.weight(mu[i])
+			z[i] = (eta[i] - off(i)) + (m.Response[i]-mu[i])/mu[i]
+		}
+		gram, err := linalg.WeightedGram(x, w)
+		if err != nil {
+			return nil, err
+		}
+		ridge(gram)
+		rhs, err := linalg.WeightedXtY(x, w, z)
+		if err != nil {
+			return nil, err
+		}
+		newBeta, err := linalg.SolveSPD(gram, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("regress: normal equations: %w", err)
+		}
+		beta = newBeta
+		lin, err := x.MulVec(beta)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			eta[i] = lin[i] + off(i)
+			// Guard against overflow of exp.
+			if eta[i] > 700 {
+				eta[i] = 700
+			}
+		}
+		newDev := 0.0
+		for i := 0; i < n; i++ {
+			mi := math.Max(math.Exp(eta[i]), muFloor)
+			newDev += fam.devUnit(m.Response[i], mi)
+		}
+		if math.Abs(newDev-dev) < irlsTol*(math.Abs(newDev)+0.1) {
+			dev = newDev
+			converged = true
+			break
+		}
+		dev = newDev
+	}
+	for i := 0; i < n; i++ {
+		mu[i] = math.Max(math.Exp(eta[i]), muFloor)
+		w[i] = fam.weight(mu[i])
+	}
+	if !converged {
+		return nil, fmt.Errorf("%w after %d iterations (deviance %.6g)", ErrNoConverge, irlsMaxIter, dev)
+	}
+
+	// Covariance: (X^T W X)^{-1} at the solution. The same tiny ridge
+	// applied during IRLS keeps degenerate (constant) columns from making
+	// the matrix singular; their standard errors blow up instead, which
+	// renders the coefficient insignificant — the moral equivalent of R's
+	// NA.
+	gram, err := linalg.WeightedGram(x, w)
+	if err != nil {
+		return nil, err
+	}
+	ridge(gram)
+	cov, err := linalg.Inverse(gram)
+	if err != nil {
+		return nil, fmt.Errorf("regress: covariance: %w", err)
+	}
+
+	names := m.names()
+	coefs := make([]Coef, p)
+	for j := 0; j < p; j++ {
+		se := math.Sqrt(math.Max(cov.At(j, j), 0))
+		zstat := math.NaN()
+		pval := math.NaN()
+		if se > 0 {
+			zstat = beta[j] / se
+			pval = 2 * stats.StdNormal.Sf(math.Abs(zstat))
+			if pval > 1 {
+				pval = 1
+			}
+		}
+		coefs[j] = Coef{Name: names[j], Estimate: beta[j], SE: se, Z: zstat, P: pval}
+	}
+
+	ll := 0.0
+	for i := 0; i < n; i++ {
+		ll += fam.logLik(m.Response[i], mu[i])
+	}
+
+	fit := &Fit{
+		Family:     fam.name(),
+		Coefs:      coefs,
+		LogLik:     ll,
+		Deviance:   dev,
+		Theta:      poissonTheta,
+		Mu:         mu,
+		N:          n,
+		DF:         n - p,
+		Iterations: iters,
+		Converged:  converged,
+	}
+	if nb, ok := fam.(nbFamily); ok {
+		fit.Theta = nb.theta
+	}
+	fit.NullDeviance = nullDeviance(m, fam)
+	return fit, nil
+}
+
+// ridge adds a tiny diagonal regularizer scaled to the matrix magnitude,
+// keeping collinear or constant design columns from producing an exactly
+// singular normal matrix.
+func ridge(gram *linalg.Matrix) {
+	maxDiag := 0.0
+	for j := 0; j < gram.Rows(); j++ {
+		if d := gram.At(j, j); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	eps := 1e-10*maxDiag + 1e-12
+	for j := 0; j < gram.Rows(); j++ {
+		gram.Set(j, j, gram.At(j, j)+eps)
+	}
+}
+
+// nullDeviance computes the deviance of the intercept-only model (keeping
+// the offset), solving the one-parameter problem in closed form for the log
+// link: mu_i = exp(b0 + off_i) with b0 = log(sum y / sum exp(off)).
+func nullDeviance(m *Model, fam family) float64 {
+	n := len(m.Response)
+	sumY, sumExp := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		sumY += m.Response[i]
+		o := 0.0
+		if m.Offset != nil {
+			o = m.Offset[i]
+		}
+		sumExp += math.Exp(o)
+	}
+	if sumY == 0 || sumExp == 0 {
+		return math.NaN()
+	}
+	b0 := math.Log(sumY / sumExp)
+	dev := 0.0
+	for i := 0; i < n; i++ {
+		o := 0.0
+		if m.Offset != nil {
+			o = m.Offset[i]
+		}
+		mu := math.Max(math.Exp(b0+o), muFloor)
+		dev += fam.devUnit(m.Response[i], mu)
+	}
+	return dev
+}

@@ -1,0 +1,260 @@
+package regress
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.6g, want %.6g (tol %g)", name, got, want, tol)
+	}
+}
+
+// samplePoisson draws a Poisson variate by inversion (small means only in
+// these tests).
+func samplePoisson(rng *rand.Rand, mean float64) float64 {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return float64(k)
+		}
+		k++
+		if k > 1e6 {
+			return float64(k)
+		}
+	}
+}
+
+// sampleGamma draws Gamma(shape, scale=1) via Marsaglia-Tsang.
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// syntheticPoisson builds y ~ Poisson(exp(b0 + b1 x1 + b2 x2)).
+func syntheticPoisson(n int, b0, b1, b2 float64, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	x1 := make([]float64, n)
+	x2 := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1[i] = rng.Float64() * 2
+		x2[i] = rng.NormFloat64()
+		mu := math.Exp(b0 + b1*x1[i] + b2*x2[i])
+		y[i] = samplePoisson(rng, mu)
+	}
+	return &Model{
+		Response: y,
+		Terms:    []Term{{Name: "x1", Values: x1}, {Name: "x2", Values: x2}},
+	}
+}
+
+func TestPoissonRecoversCoefficients(t *testing.T) {
+	m := syntheticPoisson(4000, 0.5, 0.8, -0.3, 1)
+	fit, err := Poisson(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fit.Converged {
+		t.Fatal("IRLS did not converge")
+	}
+	c0, _ := fit.Coef("(Intercept)")
+	c1, _ := fit.Coef("x1")
+	c2, _ := fit.Coef("x2")
+	approx(t, "b0", c0.Estimate, 0.5, 0.08)
+	approx(t, "b1", c1.Estimate, 0.8, 0.08)
+	approx(t, "b2", c2.Estimate, -0.3, 0.06)
+	if !c1.Significant(0.01) || !c2.Significant(0.01) {
+		t.Error("true effects should be significant")
+	}
+	if fit.DF != 4000-3 {
+		t.Errorf("df = %d", fit.DF)
+	}
+	if fit.Deviance >= fit.NullDeviance {
+		t.Error("fit deviance should beat the null model")
+	}
+}
+
+func TestPoissonNullEffect(t *testing.T) {
+	// A predictor unrelated to the response should be insignificant in
+	// most draws; check its |z| is modest.
+	rng := rand.New(rand.NewSource(2))
+	n := 1500
+	y := make([]float64, n)
+	junk := make([]float64, n)
+	for i := range y {
+		y[i] = samplePoisson(rng, 2)
+		junk[i] = rng.NormFloat64()
+	}
+	fit, err := Poisson(&Model{Response: y, Terms: []Term{{Name: "junk", Values: junk}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := fit.Coef("junk")
+	if math.Abs(c.Z) > 4 {
+		t.Errorf("junk predictor |z| = %.2f, expected small", math.Abs(c.Z))
+	}
+}
+
+func TestPoissonWithOffset(t *testing.T) {
+	// y ~ Poisson(exposure * exp(b0 + b1 x)); with log-exposure offset the
+	// coefficients are recovered on the rate scale.
+	rng := rand.New(rand.NewSource(3))
+	n := 3000
+	x := make([]float64, n)
+	off := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64()
+		exposure := 0.5 + 4*rng.Float64()
+		off[i] = math.Log(exposure)
+		y[i] = samplePoisson(rng, exposure*math.Exp(0.2+0.9*x[i]))
+	}
+	fit, err := Poisson(&Model{
+		Response: y,
+		Terms:    []Term{{Name: "x", Values: x}},
+		Offset:   off,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := fit.Coef("(Intercept)")
+	c1, _ := fit.Coef("x")
+	approx(t, "offset b0", c0.Estimate, 0.2, 0.1)
+	approx(t, "offset b1", c1.Estimate, 0.9, 0.12)
+}
+
+func TestNegBinomialRecoversTheta(t *testing.T) {
+	// y ~ NB(mu = exp(0.7 + 0.5 x), theta = 2) via Gamma-Poisson mixture.
+	rng := rand.New(rand.NewSource(4))
+	const theta = 2.0
+	n := 4000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64() * 2
+		mu := math.Exp(0.7 + 0.5*x[i])
+		lambda := mu * sampleGamma(rng, theta) / theta
+		y[i] = samplePoisson(rng, lambda)
+	}
+	fit, err := NegBinomial(&Model{Response: y, Terms: []Term{{Name: "x", Values: x}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := fit.Coef("(Intercept)")
+	c1, _ := fit.Coef("x")
+	approx(t, "nb b0", c0.Estimate, 0.7, 0.12)
+	approx(t, "nb b1", c1.Estimate, 0.5, 0.1)
+	if fit.Theta < 1.4 || fit.Theta > 2.8 {
+		t.Errorf("theta = %.3f, want near 2", fit.Theta)
+	}
+	if fit.Family != "negbinomial" {
+		t.Errorf("family = %s", fit.Family)
+	}
+}
+
+func TestNegBinomialOnPoissonData(t *testing.T) {
+	// Equidispersed data: theta should be estimated large, and the NB
+	// coefficients should match Poisson's closely.
+	m := syntheticPoisson(2500, 0.4, 0.6, 0, 5)
+	m.Terms = m.Terms[:1]
+	pf, err := Poisson(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf, err := NegBinomial(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nf.Theta < 20 {
+		t.Errorf("theta on Poisson data = %.1f, expected large", nf.Theta)
+	}
+	pc, _ := pf.Coef("x1")
+	nc, _ := nf.Coef("x1")
+	approx(t, "poisson vs nb coef", nc.Estimate, pc.Estimate, 0.02)
+}
+
+func TestNBBeatsPoissonOnOverdispersed(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 2000
+	y := make([]float64, n)
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64()
+		mu := math.Exp(1 + 0.5*x[i])
+		y[i] = samplePoisson(rng, mu*sampleGamma(rng, 1.2)/1.2)
+	}
+	m := &Model{Response: y, Terms: []Term{{Name: "x", Values: x}}}
+	pf, _ := Poisson(m)
+	nf, _ := NegBinomial(m)
+	if nf.AIC() >= pf.AIC() {
+		t.Errorf("NB AIC %.1f should beat Poisson AIC %.1f on overdispersed data", nf.AIC(), pf.AIC())
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		m    *Model
+	}{
+		{"empty", &Model{}},
+		{"negative response", &Model{Response: []float64{1, -1, 2, 3, 4}}},
+		{"nan response", &Model{Response: []float64{1, math.NaN(), 2, 3, 4}}},
+		{"term length", &Model{Response: []float64{1, 2, 3, 4, 5}, Terms: []Term{{Name: "x", Values: []float64{1}}}}},
+		{"offset length", &Model{Response: []float64{1, 2, 3, 4, 5}, Offset: []float64{0}}},
+		{"underdetermined", &Model{Response: []float64{1, 2}, Terms: []Term{{Name: "x", Values: []float64{1, 2}}}}},
+		{"nonfinite term", &Model{Response: []float64{1, 2, 3, 4, 5}, Terms: []Term{{Name: "x", Values: []float64{1, 2, math.Inf(1), 4, 5}}}}},
+	}
+	for _, c := range cases {
+		if _, err := Poisson(c.m); !errors.Is(err, ErrBadModel) {
+			t.Errorf("%s: expected ErrBadModel, got %v", c.name, err)
+		}
+	}
+}
+
+func TestFitAccessors(t *testing.T) {
+	m := syntheticPoisson(500, 0.3, 0.5, 0, 7)
+	m.Terms = m.Terms[:1]
+	fit, err := Poisson(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fit.Coef("nope"); ok {
+		t.Error("unknown coefficient should not be found")
+	}
+	rr, ok := fit.RateRatio("x1")
+	if !ok {
+		t.Fatal("rate ratio missing")
+	}
+	c, _ := fit.Coef("x1")
+	approx(t, "rate ratio", rr, math.Exp(c.Estimate), 1e-12)
+	if len(fit.Mu) != 500 {
+		t.Errorf("fitted means length %d", len(fit.Mu))
+	}
+}

@@ -1,0 +1,163 @@
+// Package regress implements generalized linear models for count data —
+// Poisson regression and negative-binomial (NB2) regression with log link —
+// fitted by iteratively reweighted least squares (IRLS), plus the
+// likelihood-ratio ANOVA used to compare nested models. These are the tools
+// behind Sections VI, VIII, and X of the DSN'13 study (Tables II and III).
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/hpcfail/hpcfail/internal/linalg"
+)
+
+// ErrBadModel is returned for structurally invalid model specifications.
+var ErrBadModel = errors.New("regress: invalid model")
+
+// Term is one named predictor column.
+type Term struct {
+	Name   string
+	Values []float64
+}
+
+// Model specifies a count-regression problem: a non-negative integer-valued
+// response, named predictor terms, and an optional offset (log exposure).
+// An intercept is always included.
+type Model struct {
+	// Response holds the observed counts.
+	Response []float64
+	// Terms holds the predictors; all must match len(Response).
+	Terms []Term
+	// Offset, when non-nil, holds per-observation log-exposures added to
+	// the linear predictor with coefficient fixed at 1.
+	Offset []float64
+}
+
+// validate checks shapes and values, returning the observation count.
+func (m *Model) validate() (int, error) {
+	n := len(m.Response)
+	if n == 0 {
+		return 0, fmt.Errorf("%w: empty response", ErrBadModel)
+	}
+	for _, y := range m.Response {
+		if y < 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+			return 0, fmt.Errorf("%w: response values must be finite and non-negative", ErrBadModel)
+		}
+	}
+	for _, t := range m.Terms {
+		if len(t.Values) != n {
+			return 0, fmt.Errorf("%w: term %q has %d values, want %d", ErrBadModel, t.Name, len(t.Values), n)
+		}
+		for _, v := range t.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0, fmt.Errorf("%w: term %q contains non-finite values", ErrBadModel, t.Name)
+			}
+		}
+	}
+	if m.Offset != nil && len(m.Offset) != n {
+		return 0, fmt.Errorf("%w: offset has %d values, want %d", ErrBadModel, len(m.Offset), n)
+	}
+	if n <= len(m.Terms)+1 {
+		return 0, fmt.Errorf("%w: %d observations cannot identify %d coefficients", ErrBadModel, n, len(m.Terms)+1)
+	}
+	return n, nil
+}
+
+// design builds the n x (1+p) design matrix with a leading intercept
+// column.
+func (m *Model) design(n int) *linalg.Matrix {
+	p := len(m.Terms) + 1
+	x := linalg.New(n, p)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, 1)
+		for j, t := range m.Terms {
+			x.Set(i, j+1, t.Values[i])
+		}
+	}
+	return x
+}
+
+// names returns coefficient names: intercept first, then term names.
+func (m *Model) names() []string {
+	out := make([]string, 0, len(m.Terms)+1)
+	out = append(out, "(Intercept)")
+	for _, t := range m.Terms {
+		out = append(out, t.Name)
+	}
+	return out
+}
+
+// Coef is one fitted coefficient with its Wald test.
+type Coef struct {
+	Name string
+	// Estimate is the fitted coefficient on the log scale.
+	Estimate float64
+	// SE is the asymptotic standard error.
+	SE float64
+	// Z is Estimate/SE.
+	Z float64
+	// P is the two-sided p-value of the Wald z-test.
+	P float64
+}
+
+// Significant reports whether the coefficient differs from zero at level
+// alpha given the other terms in the model.
+func (c Coef) Significant(alpha float64) bool {
+	return !math.IsNaN(c.P) && c.P < alpha
+}
+
+// Fit is a fitted count-regression model.
+type Fit struct {
+	// Family names the fitted family: "poisson" or "negbinomial".
+	Family string
+	// Coefs holds the coefficient table in design order.
+	Coefs []Coef
+	// LogLik is the maximized log-likelihood.
+	LogLik float64
+	// Deviance is the residual deviance of the fit.
+	Deviance float64
+	// NullDeviance is the deviance of the intercept-only model.
+	NullDeviance float64
+	// Theta is the NB dispersion (clamped huge for Poisson).
+	Theta float64
+	// Mu holds fitted means per observation.
+	Mu []float64
+	// N is the observation count and DF the residual degrees of freedom.
+	N, DF int
+	// Iterations is the IRLS iteration count of the final fit.
+	Iterations int
+	// Converged reports whether IRLS met its tolerance.
+	Converged bool
+}
+
+// Coef returns the named coefficient.
+func (f *Fit) Coef(name string) (Coef, bool) {
+	for _, c := range f.Coefs {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Coef{}, false
+}
+
+// AIC returns Akaike's information criterion; NB counts theta as one extra
+// parameter.
+func (f *Fit) AIC() float64 {
+	k := float64(len(f.Coefs))
+	if f.Family == "negbinomial" {
+		k++
+	}
+	return 2*k - 2*f.LogLik
+}
+
+// RateRatio returns exp(estimate) for the named coefficient — the
+// multiplicative effect on the expected count per unit of the predictor.
+func (f *Fit) RateRatio(name string) (float64, bool) {
+	c, ok := f.Coef(name)
+	if !ok {
+		return math.NaN(), false
+	}
+	return math.Exp(c.Estimate), true
+}

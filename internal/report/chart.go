@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+	// Note is appended after the value (e.g. the paper's "12.3x" factor
+	// annotations).
+	Note string
+}
+
+// BarChart renders horizontal ASCII bars scaled to width characters.
+// Values must be non-negative; NaN values render as "NA".
+func BarChart(title string, width int, bars []Bar) string {
+	if width < 10 {
+		width = 10
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if !math.IsNaN(b.Value) && b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		sb.WriteString(fmt.Sprintf("%-*s |", maxLabel, b.Label))
+		if math.IsNaN(b.Value) {
+			sb.WriteString(" NA")
+		} else {
+			n := 0
+			if maxV > 0 {
+				n = int(math.Round(b.Value / maxV * float64(width)))
+			}
+			sb.WriteString(strings.Repeat("#", n))
+			sb.WriteString(fmt.Sprintf(" %.4g", b.Value))
+		}
+		if b.Note != "" {
+			sb.WriteString(" (" + b.Note + ")")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Point is one marker of a scatter plot.
+type Point struct {
+	X, Y float64
+	// Mark is the rune drawn for the point; 0 draws '*'.
+	Mark rune
+}
+
+// Scatter renders points on a w x h character grid with simple axis
+// annotations — enough to reproduce the shape of the paper's scatter
+// figures (7 and 12) in a terminal.
+func Scatter(title string, w, h int, pts []Point) string {
+	if w < 20 {
+		w = 20
+	}
+	if h < 8 {
+		h = 8
+	}
+	if len(pts) == 0 {
+		return title + "\n(no points)\n"
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, p := range pts {
+		x := int((p.X - minX) / (maxX - minX) * float64(w-1))
+		y := int((p.Y - minY) / (maxY - minY) * float64(h-1))
+		m := p.Mark
+		if m == 0 {
+			m = '*'
+		}
+		grid[h-1-y][x] = m
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(fmt.Sprintf("y: [%.4g, %.4g]\n", minY, maxY))
+	for _, row := range grid {
+		sb.WriteString("|")
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("+" + strings.Repeat("-", w) + "\n")
+	sb.WriteString(fmt.Sprintf("x: [%.4g, %.4g]\n", minX, maxX))
+	return sb.String()
+}
+
+// Histogram renders bin counts as a vertical profile: one line per bin with
+// a bar proportional to the count — the text form of a decay curve.
+func Histogram(title string, binLabels []string, counts []int, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	maxC := 0
+	maxLabel := 0
+	for i, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		if i < len(binLabels) && len(binLabels[i]) > maxLabel {
+			maxLabel = len(binLabels[i])
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for i, c := range counts {
+		label := ""
+		if i < len(binLabels) {
+			label = binLabels[i]
+		}
+		n := 0
+		if maxC > 0 {
+			n = int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		}
+		sb.WriteString(fmt.Sprintf("%-*s |%s %d\n", maxLabel, label, strings.Repeat("#", n), c))
+	}
+	return sb.String()
+}
+
+// Pie renders a share breakdown as labelled percentages (the textual
+// equivalent of the paper's Figure 9 pie chart), in the given label order.
+func Pie(title string, labels []string, shares []float64) string {
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	maxLabel := 0
+	for _, l := range labels {
+		if len(l) > maxLabel {
+			maxLabel = len(l)
+		}
+	}
+	for i, l := range labels {
+		v := 0.0
+		if i < len(shares) {
+			v = shares[i]
+		}
+		n := int(math.Round(v * 50))
+		sb.WriteString(fmt.Sprintf("%-*s %5.1f%% %s\n", maxLabel, l, 100*v, strings.Repeat("#", n)))
+	}
+	return sb.String()
+}

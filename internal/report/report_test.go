@@ -1,0 +1,182 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("name", "value").AlignRight(1)
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("b", "22")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator line: %q", lines[1])
+	}
+	// Right-aligned "1" under "value": ends with " 1"-ish alignment.
+	if !strings.HasSuffix(lines[2], "    1") {
+		t.Errorf("right alignment: %q", lines[2])
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("len = %d", tbl.Len())
+	}
+}
+
+func TestTableRowHandling(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow("only")        // missing cell renders empty
+	tbl.AddRow("x", "y", "z") // extra cell dropped
+	out := tbl.Render()
+	if strings.Contains(out, "z") {
+		t.Error("extra cell should be dropped")
+	}
+	tbl2 := NewTable("a")
+	tbl2.AddRowf(3.5, "txt")
+	if !strings.Contains(tbl2.Render(), "3.5") {
+		t.Error("AddRowf should format values")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := NewTable("k", "v").AlignRight(1)
+	tbl.AddRow("pipe|here", "1")
+	md := tbl.Markdown()
+	if !strings.Contains(md, "| k | v |") {
+		t.Errorf("markdown header: %q", md)
+	}
+	if !strings.Contains(md, "---:") {
+		t.Error("right-aligned separator missing")
+	}
+	if !strings.Contains(md, `pipe\|here`) {
+		t.Error("pipes must be escaped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Float(math.NaN(), 2) != "NA" {
+		t.Error("NaN should render NA")
+	}
+	if Float(math.Inf(1), 2) != "Inf" || Float(math.Inf(-1), 2) != "-Inf" {
+		t.Error("infinities")
+	}
+	if Float(1.23456, 2) != "1.23" {
+		t.Errorf("Float = %q", Float(1.23456, 2))
+	}
+	if Factor(12.34) != "12.3x" {
+		t.Errorf("Factor = %q", Factor(12.34))
+	}
+	if Factor(170.4) != "170x" {
+		t.Errorf("big Factor = %q", Factor(170.4))
+	}
+	if Factor(math.NaN()) != "NA" {
+		t.Error("NaN factor")
+	}
+	if Percent(0.123, 1) != "12.3%" {
+		t.Errorf("Percent = %q", Percent(0.123, 1))
+	}
+	if PValue(0.5) != "0.5000" {
+		t.Errorf("PValue = %q", PValue(0.5))
+	}
+	if !strings.Contains(PValue(1e-9), "e-") {
+		t.Errorf("tiny PValue = %q", PValue(1e-9))
+	}
+	if PValue(math.NaN()) != "NA" {
+		t.Error("NaN p-value")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	out := BarChart("title", 20, []Bar{
+		{Label: "big", Value: 10, Note: "10x"},
+		{Label: "small", Value: 1},
+		{Label: "none", Value: math.NaN()},
+	})
+	if !strings.HasPrefix(out, "title\n") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 20 {
+		t.Errorf("max bar should fill width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 2 {
+		t.Errorf("small bar: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "(10x)") {
+		t.Error("note missing")
+	}
+	if !strings.Contains(lines[3], "NA") {
+		t.Error("NaN bar should render NA")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	out := Scatter("pts", 30, 8, []Point{
+		{X: 0, Y: 0},
+		{X: 10, Y: 5, Mark: 'X'},
+	})
+	if !strings.Contains(out, "pts") || !strings.Contains(out, "X") || !strings.Contains(out, "*") {
+		t.Errorf("scatter content:\n%s", out)
+	}
+	if !strings.Contains(out, "x: [0, 10]") {
+		t.Errorf("x range missing:\n%s", out)
+	}
+	empty := Scatter("none", 30, 8, nil)
+	if !strings.Contains(empty, "no points") {
+		t.Error("empty scatter should say so")
+	}
+	// Degenerate ranges survive.
+	one := Scatter("one", 30, 8, []Point{{X: 3, Y: 3}})
+	if !strings.Contains(one, "*") {
+		t.Error("single point should render")
+	}
+}
+
+func TestPie(t *testing.T) {
+	out := Pie("shares", []string{"a", "bb"}, []float64{0.75, 0.25})
+	if !strings.Contains(out, "75.0%") || !strings.Contains(out, "25.0%") {
+		t.Errorf("pie output:\n%s", out)
+	}
+	// Missing share renders as zero.
+	out2 := Pie("", []string{"a", "b"}, []float64{1})
+	if !strings.Contains(out2, "0.0%") {
+		t.Error("missing share should render 0")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.AddRow("x,1", "2")
+	out := tbl.CSV()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("csv header: %q", out)
+	}
+	if !strings.Contains(out, `"x,1",2`) {
+		t.Errorf("csv quoting: %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram("h", []string{"0-1", "1-2"}, []int{10, 5}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %q", out)
+	}
+	if strings.Count(lines[1], "#") != 20 || strings.Count(lines[2], "#") != 10 {
+		t.Errorf("bar scaling: %q", out)
+	}
+	empty := Histogram("", []string{"a"}, []int{0}, 10)
+	if !strings.Contains(empty, "0") {
+		t.Error("zero bin should render a count")
+	}
+}

@@ -1,0 +1,204 @@
+// Package report renders analysis results for terminals and documents:
+// aligned text tables, horizontal ASCII bar charts, scatter plots, and
+// markdown emitters. The benchmark harness and the hpcreport tool use it to
+// regenerate each of the paper's tables and figures as text.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Align selects a column alignment.
+type Align int
+
+const (
+	// Left aligns cell content to the left edge.
+	Left Align = iota
+	// Right aligns cell content to the right edge.
+	Right
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	headers []string
+	aligns  []Align
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers. Columns default
+// to left alignment; use AlignRight to switch specific ones.
+func NewTable(headers ...string) *Table {
+	t := &Table{headers: headers, aligns: make([]Align, len(headers))}
+	return t
+}
+
+// AlignRight right-aligns the given column indices.
+func (t *Table) AlignRight(cols ...int) *Table {
+	for _, c := range cols {
+		if c >= 0 && c < len(t.aligns) {
+			t.aligns[c] = Right
+		}
+	}
+	return t
+}
+
+// AddRow appends a row; missing cells render empty, extra cells are
+// dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := 0; i < len(row) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row built from format/value pairs: each argument is
+// formatted with %v unless it is already a string.
+func (t *Table) AddRowf(cells ...interface{}) {
+	strs := make([]string, len(cells))
+	for i, c := range cells {
+		if s, ok := c.(string); ok {
+			strs[i] = s
+		} else {
+			strs[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.AddRow(strs...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render returns the table as aligned text with a header separator.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			pad := widths[i] - len(c)
+			if t.aligns[i] == Right {
+				b.WriteString(strings.Repeat(" ", pad))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				if i < len(cells)-1 {
+					b.WriteString(strings.Repeat(" ", pad))
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV returns the table in RFC-4180 form, header first, for downstream
+// plotting tools.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	_ = w.Write(t.headers)
+	for _, row := range t.rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// Markdown returns the table as a GitHub-flavored markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	b.WriteString("| " + strings.Join(t.headers, " | ") + " |\n")
+	seps := make([]string, len(t.headers))
+	for i := range seps {
+		if t.aligns[i] == Right {
+			seps[i] = "---:"
+		} else {
+			seps[i] = "---"
+		}
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.rows {
+		esc := make([]string, len(row))
+		for i, c := range row {
+			esc[i] = strings.ReplaceAll(c, "|", "\\|")
+		}
+		b.WriteString("| " + strings.Join(esc, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Float formats a float compactly: fixed precision, with NaN and Inf
+// rendered as the paper renders them ("NA").
+func Float(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	if math.IsInf(v, 1) {
+		return "Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Factor formats a conditional-over-baseline factor the way the paper
+// annotates bars: "12.3x", with NA for undefined factors.
+func Factor(v float64) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	if math.IsInf(v, 1) {
+		return "Infx"
+	}
+	if v >= 100 {
+		return fmt.Sprintf("%.0fx", v)
+	}
+	return fmt.Sprintf("%.1fx", v)
+}
+
+// Percent formats a probability as a percentage.
+func Percent(v float64, prec int) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.*f%%", prec, 100*v)
+}
+
+// PValue formats a p-value with scientific fallback for tiny values.
+func PValue(p float64) string {
+	switch {
+	case math.IsNaN(p):
+		return "NA"
+	case p < 1e-4:
+		return fmt.Sprintf("%.1e", p)
+	default:
+		return fmt.Sprintf("%.4f", p)
+	}
+}

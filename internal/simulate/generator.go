@@ -1,0 +1,824 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/layout"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Options configures dataset generation.
+type Options struct {
+	// Seed drives every random stream; equal seeds give equal datasets.
+	Seed int64
+	// Scale in (0,1] shrinks the default catalog (node counts, periods,
+	// job counts). Ignored when Systems is set. Zero means 1.
+	Scale float64
+	// Systems overrides the catalog.
+	Systems []SystemConfig
+	// Params overrides the calibrated parameters.
+	Params *Params
+
+	// DisableTriggering turns off all failure-to-failure triggering,
+	// producing a memoryless trace (ablation: correlations vanish).
+	DisableTriggering bool
+	// DisableEvents turns off exogenous facility events.
+	DisableEvents bool
+	// DisableNodeZero turns off the login-node hazard multipliers.
+	DisableNodeZero bool
+}
+
+// Generate builds a complete synthetic dataset.
+func Generate(opts Options) (*trace.Dataset, error) {
+	systems := opts.Systems
+	if systems == nil {
+		systems = Catalog(opts.Scale)
+	}
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("simulate: no systems configured")
+	}
+	params := DefaultParams()
+	if opts.Params != nil {
+		params = *opts.Params
+	}
+	if err := params.Validate(systems); err != nil {
+		return nil, err
+	}
+
+	// Global period for the neutron series.
+	gStart, gEnd := systems[0].Info.Period.Start, systems[0].Info.Period.End
+	for _, s := range systems[1:] {
+		if s.Info.Period.Start.Before(gStart) {
+			gStart = s.Info.Period.Start
+		}
+		if s.Info.Period.End.After(gEnd) {
+			gEnd = s.Info.Period.End
+		}
+	}
+	neutrons := genNeutrons(gStart, gEnd, params.NeutronStepHours, newRNG(subSeed(opts.Seed, 0xC05)))
+
+	// Systems are statistically independent (each has its own seeded
+	// stream), so they simulate concurrently; results land in per-system
+	// slots and are concatenated in catalog order, keeping the output
+	// byte-identical to a serial run.
+	type sysResult struct {
+		failures    []trace.Failure
+		maintenance []trace.MaintenanceEvent
+		jobs        []trace.Job
+		temps       []trace.TempSample
+		lay         *layout.Layout
+	}
+	results := make([]sysResult, len(systems))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range systems {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := systems[i]
+			sim := newSysSim(cfg, &params, &opts, neutrons)
+			sim.run()
+			r := &results[i]
+			r.failures = sim.failures
+			r.maintenance = sim.maintenance
+			r.lay = sim.lay
+			if cfg.HasJobs {
+				r.jobs = sim.work.jobs
+			}
+			if cfg.HasTemps {
+				r.temps = sim.genTemps()
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	ds := &trace.Dataset{Layouts: make(map[int]*layout.Layout)}
+	ds.Neutrons = neutrons.samples
+	for i, cfg := range systems {
+		ds.Systems = append(ds.Systems, cfg.Info)
+		r := &results[i]
+		ds.Failures = append(ds.Failures, r.failures...)
+		ds.Maintenance = append(ds.Maintenance, r.maintenance...)
+		ds.Jobs = append(ds.Jobs, r.jobs...)
+		ds.Temps = append(ds.Temps, r.temps...)
+		if r.lay != nil {
+			ds.Layouts[cfg.Info.ID] = r.lay
+		}
+	}
+	ds.Sort()
+	return ds, nil
+}
+
+// hw/sw component index helpers: components are indexed 0..len-1 in the
+// order of trace.HWComponents / trace.SWClasses.
+var (
+	hwIdx = func() map[trace.HWComponent]int {
+		m := make(map[trace.HWComponent]int, len(trace.HWComponents))
+		for i, c := range trace.HWComponents {
+			m[c] = i
+		}
+		return m
+	}()
+	swIdx = func() map[trace.SWClass]int {
+		m := make(map[trace.SWClass]int, len(trace.SWClasses))
+		for i, c := range trace.SWClasses {
+			m[c] = i
+		}
+		return m
+	}()
+)
+
+// numComps and numSW size the per-component and per-class hazard arrays;
+// they must match len(trace.HWComponents) and len(trace.SWClasses), which
+// newSysSim asserts.
+const (
+	numComps = 9
+	numSW    = 6
+)
+
+// boostEntry is one decaying hazard boost on a node.
+type boostEntry struct {
+	comp  int     // component or class index
+	amt   float64 // current daily hazard contribution
+	decay float64 // per-day multiplier
+}
+
+// tempEvent is a thermal excursion trigger for the temperature generator.
+type tempEvent struct {
+	node int // -1 means every node (chiller failure)
+	hour float64
+	bump float64
+}
+
+// facEvent is one scheduled facility event.
+type facEvent struct {
+	day  int
+	kind trace.EnvClass
+	ep   *EventParams
+}
+
+// sysSim simulates one system day by day.
+type sysSim struct {
+	cfg  SystemConfig
+	p    *Params
+	opts *Options
+	g    *rng
+	ns   *neutronSeries
+
+	gp     *GroupParams
+	lay    *layout.Layout
+	rackOf []int
+	racks  [][]int // rack -> nodes
+	work   *workload
+	days   int
+	nodes  int
+
+	// Static per-node hazard multipliers per category.
+	staticMult [][numCats]float64
+
+	// Excitation state. exNode[n][cat] aggregates the per-component /
+	// per-class detail kept in exHW / exSW.
+	exNode [][numCats]float64
+	exHW   [][numComps]float64
+	exSW   [][numSW]float64
+	exRack [][numCats]float64
+	exRkHW [][numComps]float64
+	exSys  [numCats]float64
+
+	hwBoost [][]boostEntry
+	swBoost [][]boostEntry
+	mtBoost [][]boostEntry
+
+	events     []facEvent
+	stickySets map[trace.EnvClass]map[int]bool // event kind -> susceptible racks/nodes
+
+	failures    []trace.Failure
+	maintenance []trace.MaintenanceEvent
+	tempEvents  []tempEvent
+
+	// Scratch buffers reused across days.
+	hCat  [numCats]float64
+	wComp [numComps]float64
+	wSW   [numSW]float64
+}
+
+func newSysSim(cfg SystemConfig, p *Params, opts *Options, ns *neutronSeries) *sysSim {
+	if numComps != len(trace.HWComponents) || numSW != len(trace.SWClasses) {
+		panic("simulate: component/class array sizes out of sync with trace package")
+	}
+	info := cfg.Info
+	s := &sysSim{
+		cfg:  cfg,
+		p:    p,
+		opts: opts,
+		g:    newRNG(subSeed(opts.Seed, uint64(info.ID)+1)),
+		ns:   ns,
+		days: int(info.Period.Duration().Hours() / 24),
+	}
+	s.nodes = info.Nodes
+	if info.Group == trace.Group2 {
+		s.gp = &p.Group2
+	} else {
+		s.gp = &p.Group1
+	}
+	if cfg.HasLayout {
+		s.lay = layout.Regular(info.ID, info.Nodes, max(cfg.RacksPerRow, 1))
+		s.rackOf = make([]int, info.Nodes)
+		nRacks := (info.Nodes + layout.PositionsPerRack - 1) / layout.PositionsPerRack
+		s.racks = make([][]int, nRacks)
+		for n := 0; n < info.Nodes; n++ {
+			r := s.lay.Rack(n)
+			s.rackOf[n] = r
+			s.racks[r] = append(s.racks[r], n)
+		}
+	}
+	s.work = genWorkload(cfg, p, newRNG(subSeed(opts.Seed, uint64(info.ID)*131+7)))
+
+	s.staticMult = make([][numCats]float64, s.nodes)
+	for n := 0; n < s.nodes; n++ {
+		lemon := 1.0
+		if n != 0 && s.g.Bern(p.LemonFraction) {
+			lemon = p.LemonMult
+		}
+		for c := 0; c < numCats; c++ {
+			// Frailty is drawn independently per category: a node with a
+			// marginal power supply is not thereby more likely to corrupt
+			// CPU state. Keeping the draws independent prevents the
+			// anchor-selection confound that would otherwise make CPU
+			// failure rates look elevated after power events (the paper
+			// finds CPUs unaffected). Lemons stay globally bad.
+			m := s.g.LogNormal(0, p.FrailtySigma) * lemon
+			if n == 0 && info.Group == trace.Group1 && !opts.DisableNodeZero {
+				m *= p.NodeZeroMult[c]
+			}
+			s.staticMult[n][c] = m
+		}
+	}
+
+	s.exNode = make([][numCats]float64, s.nodes)
+	s.exHW = make([][numComps]float64, s.nodes)
+	s.exSW = make([][numSW]float64, s.nodes)
+	if s.lay != nil {
+		s.exRack = make([][numCats]float64, len(s.racks))
+		s.exRkHW = make([][numComps]float64, len(s.racks))
+	}
+	s.hwBoost = make([][]boostEntry, s.nodes)
+	s.swBoost = make([][]boostEntry, s.nodes)
+	s.mtBoost = make([][]boostEntry, s.nodes)
+
+	if !opts.DisableEvents {
+		s.scheduleEvents()
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// scheduleEvents draws the facility event calendar for the system.
+func (s *sysSim) scheduleEvents() {
+	s.stickySets = make(map[trace.EnvClass]map[int]bool)
+	add := func(kind trace.EnvClass, ep *EventParams) {
+		for t := s.g.Exp(ep.MeanInterval); t < float64(s.days); t += s.g.Exp(ep.MeanInterval) {
+			s.events = append(s.events, facEvent{day: int(t), kind: kind, ep: ep})
+		}
+		if ep.Sticky {
+			set := make(map[int]bool)
+			if s.lay != nil {
+				for r := range s.racks {
+					if s.g.Bern(ep.StickyFraction) {
+						set[r] = true
+					}
+				}
+			} else {
+				for n := 0; n < s.nodes; n++ {
+					if s.g.Bern(ep.StickyFraction) {
+						set[n] = true
+					}
+				}
+			}
+			s.stickySets[kind] = set
+		}
+	}
+	add(trace.PowerOutage, &s.p.Outage)
+	add(trace.PowerSpike, &s.p.Spike)
+	add(trace.UPS, &s.p.UPSFail)
+	add(trace.Chillers, &s.p.Chiller)
+	if s.cfg.Info.Group == trace.Group2 {
+		add(netBurstKind, &s.p.NetBurst)
+	}
+	// The day loop consumes the calendar with a single cursor, so the
+	// merged schedule must be in day order.
+	sort.Slice(s.events, func(i, j int) bool { return s.events[i].day < s.events[j].day })
+}
+
+// netBurstKind is the sentinel event kind for group-2 interconnect bursts;
+// the value lies outside the trace.EnvClass enum on purpose (burst failures
+// are recorded as Network failures, not Environment failures).
+const netBurstKind trace.EnvClass = 98
+
+// dayTime converts (day, fractional hour) to a timestamp clamped to the
+// measurement period.
+func (s *sysSim) dayTime(day int, hour float64) time.Time {
+	t := s.cfg.Info.Period.Start.Add(time.Duration(float64(day)*24*float64(time.Hour)) +
+		time.Duration(hour*float64(time.Hour)))
+	if t.After(s.cfg.Info.Period.End) {
+		return s.cfg.Info.Period.End
+	}
+	return t
+}
+
+// run executes the day loop.
+func (s *sysSim) run() {
+	expNode := math.Exp(-1 / s.gp.NodeTau)
+	expRack := math.Exp(-1 / s.gp.RackTau)
+	expSys := math.Exp(-1 / s.gp.SystemTau)
+
+	baseCat := [numCats]float64{}
+	for c := 0; c < numCats; c++ {
+		baseCat[c] = s.gp.BaseDaily * s.gp.CategoryMix[c]
+	}
+	hwI := catIndex(trace.Hardware)
+	swI := catIndex(trace.Software)
+	envI := catIndex(trace.Environment)
+
+	eventPos := 0
+	for day := 0; day < s.days; day++ {
+		dayStart := s.dayTime(day, 0)
+		// Facility events first: they mark nodes and add boosts.
+		for eventPos < len(s.events) && s.events[eventPos].day <= day {
+			ev := s.events[eventPos]
+			if ev.day == day {
+				s.fireEvent(ev, day)
+			}
+			eventPos++
+		}
+
+		cpuMult := s.ns.cpuMult(dayStart, s.p.CosmicRef, s.p.CosmicBeta)
+
+		for n := 0; n < s.nodes; n++ {
+			usage := s.work.usageMult(n, day, s.p)
+			rack := -1
+			if s.rackOf != nil {
+				rack = s.rackOf[n]
+			}
+
+			// Assemble per-category hazards. The hardware category sums
+			// its per-component detail (base mix, cosmic-adjusted CPU,
+			// excitation, boosts); the other categories use their
+			// aggregate excitation slots directly.
+			hTotal := 0.0
+			for c := 0; c < numCats; c++ {
+				var h float64
+				if c == hwI {
+					h = s.hCatHardware(n, rack, baseCat[hwI], usage, cpuMult)
+				} else {
+					h = baseCat[c] * s.staticMult[n][c]
+					if c != envI && c != catIndex(trace.Human) {
+						h *= usage
+					}
+					h += s.exNode[n][c]
+					if rack >= 0 {
+						h += s.exRack[rack][c]
+					}
+					h += s.exSys[c]
+					if c == swI {
+						h += s.boostSum(s.swBoost[n])
+					}
+				}
+				s.hCat[c] = h
+				hTotal += h
+			}
+
+			if hTotal <= 0 {
+				continue
+			}
+			p := -math.Expm1(-hTotal)
+			if !s.g.Bern(p) {
+				// Maintenance can still fire on quiet days.
+				s.maybeMaintain(n, day)
+				continue
+			}
+			// Number of failures today: Poisson(hTotal) conditioned >= 1,
+			// via the pmf ratio chain P(k+1)/P(k) = h/(k+1).
+			count := 1
+			for count < 5 && s.g.Bern(hTotal/float64(count+1)) {
+				count++
+			}
+			for k := 0; k < count; k++ {
+				ci := s.g.PickWeighted(s.hCat[:])
+				if ci < 0 {
+					break
+				}
+				s.emitHazardFailure(n, rack, day, trace.Category(ci+1), baseCat, usage, cpuMult)
+			}
+			s.maybeMaintain(n, day)
+		}
+
+		// Decay excitation and boosts.
+		for n := 0; n < s.nodes; n++ {
+			decayRow(s.exNode[n][:], expNode)
+			decayRow(s.exHW[n][:], expNode)
+			decayRow(s.exSW[n][:], expNode)
+			s.hwBoost[n] = decayBoosts(s.hwBoost[n])
+			s.swBoost[n] = decayBoosts(s.swBoost[n])
+			s.mtBoost[n] = decayBoosts(s.mtBoost[n])
+		}
+		for r := range s.exRack {
+			decayRow(s.exRack[r][:], expRack)
+			decayRow(s.exRkHW[r][:], expRack)
+		}
+		decayRow(s.exSys[:], expSys)
+	}
+}
+
+// hCatHardware assembles the full hardware hazard of a node.
+func (s *sysSim) hCatHardware(n, rack int, baseHW, usage, cpuMult float64) float64 {
+	h := baseHW * s.staticMult[n][catIndex(trace.Hardware)] * usage
+	h *= 1 + s.p.HWMix[trace.CPU]*(cpuMult-1)
+	for c := 0; c < numComps; c++ {
+		h += s.exHW[n][c]
+		if rack >= 0 {
+			h += s.exRkHW[rack][c]
+		}
+	}
+	h += s.exSys[catIndex(trace.Hardware)]
+	h += s.boostSum(s.hwBoost[n])
+	return h
+}
+
+func decayRow(row []float64, f float64) {
+	for i, v := range row {
+		if v != 0 {
+			v *= f
+			if v < 1e-12 {
+				v = 0
+			}
+			row[i] = v
+		}
+	}
+}
+
+func decayBoosts(entries []boostEntry) []boostEntry {
+	out := entries[:0]
+	for _, e := range entries {
+		e.amt *= e.decay
+		if e.amt >= 1e-9 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (s *sysSim) boostSum(entries []boostEntry) float64 {
+	t := 0.0
+	for _, e := range entries {
+		t += e.amt
+	}
+	return t
+}
+
+// emitHazardFailure materializes one hazard-driven failure of the given
+// category at a node, picking the subtype and firing the triggers.
+func (s *sysSim) emitHazardFailure(n, rack, day int, cat trace.Category, baseCat [numCats]float64, usage, cpuMult float64) {
+	hour := s.work.failureHour(n, day, s.g.Float64)
+	f := trace.Failure{
+		System:   s.cfg.Info.ID,
+		Node:     n,
+		Time:     s.dayTime(day, hour),
+		Category: cat,
+		Downtime: s.downtime(),
+	}
+	switch cat {
+	case trace.Hardware:
+		f.HW = s.pickComponent(n, rack, baseCat[catIndex(trace.Hardware)], usage, cpuMult)
+	case trace.Software:
+		f.SW = s.pickSWClass(n, baseCat[catIndex(trace.Software)], usage)
+	case trace.Environment:
+		f.Env = s.pickEnvSub()
+	}
+	s.record(f)
+}
+
+// pickComponent draws the responsible hardware component proportionally to
+// its share of the node's current hardware hazard.
+func (s *sysSim) pickComponent(n, rack int, baseHW, usage, cpuMult float64) trace.HWComponent {
+	static := baseHW * s.staticMult[n][catIndex(trace.Hardware)] * usage
+	for i, comp := range trace.HWComponents {
+		w := static * s.p.HWMix[comp]
+		if comp == trace.CPU {
+			w *= cpuMult
+		}
+		w += s.exHW[n][i]
+		if rack >= 0 {
+			w += s.exRkHW[rack][i]
+		}
+		s.wComp[i] = w
+	}
+	for _, e := range s.hwBoost[n] {
+		s.wComp[e.comp] += e.amt
+	}
+	k := s.g.PickWeighted(s.wComp[:])
+	if k < 0 {
+		return trace.OtherHW
+	}
+	return trace.HWComponents[k]
+}
+
+// pickSWClass draws the responsible software class.
+func (s *sysSim) pickSWClass(n int, baseSW, usage float64) trace.SWClass {
+	static := baseSW * s.staticMult[n][catIndex(trace.Software)] * usage
+	for i, cls := range trace.SWClasses {
+		s.wSW[i] = static*s.p.SWMix[cls] + s.exSW[n][i]
+	}
+	for _, e := range s.swBoost[n] {
+		s.wSW[e.comp] += e.amt
+	}
+	k := s.g.PickWeighted(s.wSW[:])
+	if k < 0 {
+		return trace.OtherSW
+	}
+	return trace.SWClasses[k]
+}
+
+// pickEnvSub draws the subtype of a hazard-driven environment failure.
+func (s *sysSim) pickEnvSub() trace.EnvClass {
+	classes := trace.EnvClasses
+	weights := make([]float64, len(classes))
+	for i, c := range classes {
+		weights[i] = s.p.EnvSubMix[c]
+	}
+	k := s.g.PickWeighted(weights)
+	if k < 0 {
+		return trace.OtherEnv
+	}
+	return classes[k]
+}
+
+// downtime samples an outage repair time.
+func (s *sysSim) downtime() time.Duration {
+	h := s.g.LogNormal(math.Log(2), 1.0)
+	if h < 0.1 {
+		h = 0.1
+	}
+	if h > 96 {
+		h = 96
+	}
+	return time.Duration(h * float64(time.Hour))
+}
+
+// record appends the failure, kills running jobs, applies triggering, and
+// handles component side effects (PSU and fan cascades, fan thermal
+// excursions).
+func (s *sysSim) record(f trace.Failure) {
+	s.failures = append(s.failures, f)
+	s.work.killJobs(f.Node, f.Time)
+
+	if !s.opts.DisableTriggering {
+		s.applyTriggers(f)
+	}
+	if f.Category == trace.Hardware {
+		switch f.HW {
+		case trace.PowerSupply:
+			s.applyEffect(f.Node, &s.p.PSUEffect, 1)
+		case trace.Fan:
+			s.applyEffect(f.Node, &s.p.FanEffect, 1)
+			if s.cfg.HasTemps {
+				s.tempEvents = append(s.tempEvents, tempEvent{
+					node: f.Node,
+					hour: f.Time.Sub(s.cfg.Info.Period.Start).Hours(),
+					bump: s.p.FanTempBump * (0.8 + 0.4*s.g.Float64()),
+				})
+			}
+		}
+	}
+}
+
+// applyTriggers injects excitation for one failure at node, rack and
+// system scope.
+func (s *sysSim) applyTriggers(f trace.Failure) {
+	x := catIndex(f.Category)
+	n := f.Node
+	hwI := catIndex(trace.Hardware)
+	swI := catIndex(trace.Software)
+
+	// Same node.
+	rowN := s.gp.NodeTrigger[x]
+	for y := 0; y < numCats; y++ {
+		amt := rowN[y] / s.gp.NodeTau
+		if amt == 0 {
+			continue
+		}
+		if y == hwI && f.Category == trace.Hardware && f.HW == trace.Memory {
+			// Memory faults are usually hard errors and keep recurring
+			// until the DIMM is replaced (Section III.A.4).
+			amt *= s.p.MemTriggerBoost
+		}
+		s.exNode[n][y] += amt
+		switch y {
+		case hwI:
+			s.spreadHW(s.exHW[n][:], amt, f)
+		case swI:
+			s.spreadSW(s.exSW[n][:], amt, f)
+		}
+	}
+	// Rack (group-1 systems with layouts).
+	if s.rackOf != nil {
+		r := s.rackOf[n]
+		rowR := s.gp.RackTrigger[x]
+		for y := 0; y < numCats; y++ {
+			amt := rowR[y] / s.gp.RackTau
+			if amt == 0 {
+				continue
+			}
+			s.exRack[r][y] += amt
+			if y == hwI {
+				s.spreadHW(s.exRkHW[r][:], amt, f)
+			}
+		}
+	}
+	// System.
+	rowS := s.gp.SystemTrigger[x]
+	for y := 0; y < numCats; y++ {
+		if amt := rowS[y] / s.gp.SystemTau; amt != 0 {
+			s.exSys[y] += amt
+		}
+	}
+}
+
+// spreadHW distributes hardware excitation over components: a share goes to
+// the parent's own component when the parent is a hardware failure, and the
+// remainder follows the triggered-hardware mix (environment parents use the
+// power-sensitive mix, which leaves CPUs nearly untouched — Figure 10).
+func (s *sysSim) spreadHW(dst []float64, amt float64, parent trace.Failure) {
+	bias := 0.0
+	var parentIdx int
+	if parent.Category == trace.Hardware && parent.HW != trace.HWUnknown {
+		bias = s.p.SameComponentBias
+		parentIdx = hwIdx[parent.HW]
+	}
+	dst[parentIdx] += amt * bias
+	rest := amt * (1 - bias)
+	mix := s.p.TriggerHWMix
+	if parent.Category == trace.Environment {
+		mix = s.p.EnvHWMix
+	}
+	for i, comp := range trace.HWComponents {
+		dst[i] += rest * mix[comp]
+	}
+}
+
+// spreadSW distributes software excitation over classes; environment
+// parents push toward storage classes (Figure 11).
+func (s *sysSim) spreadSW(dst []float64, amt float64, parent trace.Failure) {
+	mix := s.p.SWMix
+	if parent.Category == trace.Environment {
+		mix = s.p.EnvSWMix
+	}
+	bias := 0.0
+	var parentIdx int
+	if parent.Category == trace.Software && parent.SW != trace.SWUnknown {
+		bias = s.p.SameSWClassBias
+		parentIdx = swIdx[parent.SW]
+	}
+	dst[parentIdx] += amt * bias
+	rest := amt * (1 - bias)
+	for i, cls := range trace.SWClasses {
+		dst[i] += rest * mix[cls]
+	}
+}
+
+// applyEffect adds the boost entries of one power/cooling effect to a node.
+func (s *sysSim) applyEffect(n int, e *PowerEffect, scale float64) {
+	if scale <= 0 {
+		return
+	}
+	if e.HWTau > 0 {
+		d := math.Exp(-1 / e.HWTau)
+		for comp, amt := range e.HWBoost {
+			if amt > 0 {
+				s.hwBoost[n] = append(s.hwBoost[n], boostEntry{comp: hwIdx[comp], amt: amt * scale, decay: d})
+			}
+		}
+	}
+	if e.SWTau > 0 {
+		d := math.Exp(-1 / e.SWTau)
+		for cls, amt := range e.SWBoost {
+			if amt > 0 {
+				s.swBoost[n] = append(s.swBoost[n], boostEntry{comp: swIdx[cls], amt: amt * scale, decay: d})
+			}
+		}
+	}
+	if e.MaintTau > 0 && e.MaintBoost > 0 {
+		d := math.Exp(-1 / e.MaintTau)
+		s.mtBoost[n] = append(s.mtBoost[n], boostEntry{amt: e.MaintBoost * scale, decay: d})
+	}
+}
+
+// fireEvent realizes one facility event: immediate environment failures on
+// the selected nodes plus hazard boosts.
+func (s *sysSim) fireEvent(ev facEvent, day int) {
+	hour := s.g.Float64() * 24
+	if ev.kind == netBurstKind {
+		for n := 0; n < s.nodes; n++ {
+			if !s.g.Bern(ev.ep.G2NodeProb) {
+				continue
+			}
+			f := trace.Failure{
+				System:   s.cfg.Info.ID,
+				Node:     n,
+				Time:     s.dayTime(day, hour+s.g.Float64()*0.5),
+				Category: trace.Network,
+				Downtime: s.downtime(),
+			}
+			s.record(f)
+			s.applyEffect(n, &ev.ep.Effect, 1)
+		}
+		// The fabric keeps flapping for days after the incident, raising
+		// every node's hazard (the strong system-wide network effect of
+		// Figure 3 for group-2).
+		s.exSys[catIndex(trace.Network)] += 0.020
+		s.exSys[catIndex(trace.Software)] += 0.012
+		s.exSys[catIndex(trace.Hardware)] += 0.010
+		s.exSys[catIndex(trace.Undetermined)] += 0.004
+		return
+	}
+	affect := func(n int, full bool) {
+		scale := ev.ep.RackSpillover
+		if full {
+			scale = 1
+			f := trace.Failure{
+				System:   s.cfg.Info.ID,
+				Node:     n,
+				Time:     s.dayTime(day, hour+s.g.Float64()*0.5),
+				Category: trace.Environment,
+				Env:      ev.kind,
+				Downtime: s.downtime(),
+			}
+			s.record(f)
+		}
+		s.applyEffect(n, &ev.ep.Effect, scale)
+	}
+
+	if s.lay != nil {
+		sticky := s.stickySets[ev.kind]
+		for r, nodes := range s.racks {
+			if ev.ep.Sticky && !sticky[r] {
+				continue
+			}
+			if !s.g.Bern(ev.ep.RackProb) {
+				continue
+			}
+			for _, n := range nodes {
+				affect(n, s.g.Bern(ev.ep.NodeProb))
+			}
+		}
+	} else {
+		sticky := s.stickySets[ev.kind]
+		for n := 0; n < s.nodes; n++ {
+			if ev.ep.Sticky && !sticky[n] {
+				continue
+			}
+			if s.g.Bern(ev.ep.G2NodeProb) {
+				affect(n, true)
+			}
+		}
+	}
+	// Chiller failures heat the whole room.
+	if ev.kind == trace.Chillers && s.cfg.HasTemps {
+		s.tempEvents = append(s.tempEvents, tempEvent{
+			node: -1,
+			hour: float64(day)*24 + hour,
+			bump: s.p.ChillerTempBump * (0.8 + 0.4*s.g.Float64()),
+		})
+	}
+}
+
+// maybeMaintain samples the unscheduled-maintenance process for a node-day.
+func (s *sysSim) maybeMaintain(n, day int) {
+	h := s.p.MaintBaseDaily + s.boostSum(s.mtBoost[n])
+	if h <= 0 {
+		return
+	}
+	if !s.g.Bern(-math.Expm1(-h)) {
+		return
+	}
+	s.maintenance = append(s.maintenance, trace.MaintenanceEvent{
+		System:          s.cfg.Info.ID,
+		Node:            n,
+		Time:            s.dayTime(day, s.g.Float64()*24),
+		Scheduled:       false,
+		HardwareRelated: s.g.Bern(s.p.MaintHardwareShare),
+	})
+}

@@ -1,0 +1,104 @@
+package simulate
+
+import (
+	"math"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// neutronSeries generates the synthetic neutron-monitor record and exposes
+// a per-day lookup for the cosmic-ray hazard multiplier. The shape follows
+// the Climax, CO record the paper uses: counts between roughly 3400 and
+// 4600 per minute, an ~11-year solar-cycle modulation (counts are LOWEST at
+// solar maximum), Forbush decreases after flares, and measurement noise.
+type neutronSeries struct {
+	start   time.Time
+	stepHrs int
+	samples []trace.NeutronSample
+	// dayAvg[i] is the mean counts/min of day i from start.
+	dayAvg []float64
+}
+
+const solarCycleDays = 11 * 365.25
+
+// genNeutrons builds the series covering [start, end) at the given step.
+func genNeutrons(start, end time.Time, stepHours int, g *rng) *neutronSeries {
+	if stepHours <= 0 {
+		stepHours = 6
+	}
+	totalDays := int(end.Sub(start).Hours()/24) + 1
+	ns := &neutronSeries{
+		start:   start,
+		stepHrs: stepHours,
+		dayAvg:  make([]float64, totalDays),
+	}
+	perDay := 24 / stepHours
+	if perDay < 1 {
+		perDay = 1
+	}
+	ns.samples = make([]trace.NeutronSample, 0, totalDays*perDay)
+
+	// Forbush decreases: sudden ~5-10% drops recovering over ~5 days.
+	type forbush struct {
+		day   float64
+		depth float64
+	}
+	var events []forbush
+	for d := 0.0; d < float64(totalDays); d += g.Exp(180) {
+		events = append(events, forbush{day: d, depth: 0.04 + 0.06*g.Float64()})
+	}
+
+	phase := 2 * math.Pi * g.Float64()
+	daySum := make([]float64, totalDays)
+	dayN := make([]int, totalDays)
+	for d := 0; d < totalDays; d++ {
+		for s := 0; s < perDay; s++ {
+			tDays := float64(d) + float64(s)/float64(perDay)
+			base := 4000 + 550*math.Sin(2*math.Pi*tDays/solarCycleDays+phase)
+			mult := 1.0
+			for _, ev := range events {
+				dt := tDays - ev.day
+				if dt >= 0 && dt < 30 {
+					mult *= 1 - ev.depth*math.Exp(-dt/5)
+				}
+			}
+			v := base*mult + g.Normal(0, 45)
+			ns.samples = append(ns.samples, trace.NeutronSample{
+				Time:            start.Add(time.Duration(d)*24*time.Hour + time.Duration(s*stepHours)*time.Hour),
+				CountsPerMinute: v,
+			})
+			daySum[d] += v
+			dayN[d]++
+		}
+	}
+	for d := range ns.dayAvg {
+		if dayN[d] > 0 {
+			ns.dayAvg[d] = daySum[d] / float64(dayN[d])
+		} else {
+			ns.dayAvg[d] = 4000
+		}
+	}
+	return ns
+}
+
+// countsOn returns the mean counts/min on the day containing t.
+func (ns *neutronSeries) countsOn(t time.Time) float64 {
+	d := int(t.Sub(ns.start).Hours() / 24)
+	if d < 0 {
+		d = 0
+	}
+	if d >= len(ns.dayAvg) {
+		d = len(ns.dayAvg) - 1
+	}
+	return ns.dayAvg[d]
+}
+
+// cpuMult returns the CPU-failure hazard multiplier for the day containing
+// t: (counts/ref)^beta, the weak positive coupling of Section IX.
+func (ns *neutronSeries) cpuMult(t time.Time, ref, beta float64) float64 {
+	if ref <= 0 || beta == 0 {
+		return 1
+	}
+	return math.Pow(ns.countsOn(t)/ref, beta)
+}

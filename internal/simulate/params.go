@@ -1,0 +1,503 @@
+package simulate
+
+import (
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// catIndex maps a Category (1..6) to a compact array index (0..5).
+func catIndex(c trace.Category) int { return int(c) - 1 }
+
+const numCats = 6
+
+// TriggerMatrix holds expected numbers of triggered follow-up failures:
+// entry [x][y] is the expected count of type-y failures triggered by one
+// type-x failure (integrated over the full decay of the kernel), at one
+// spatial granularity. Indices follow catIndex order: ENV, HW, HUMAN, NET,
+// SW, UNDET.
+type TriggerMatrix [numCats][numCats]float64
+
+// RowSum returns the total expected follow-ups triggered by a type-x
+// failure across all target types.
+func (m *TriggerMatrix) RowSum(x trace.Category) float64 {
+	s := 0.0
+	for _, v := range m[catIndex(x)] {
+		s += v
+	}
+	return s
+}
+
+// GroupParams holds the per-group generative parameters.
+type GroupParams struct {
+	// BaseDaily is the baseline (immigrant) total failure hazard per node
+	// per day, before triggering inflation.
+	BaseDaily float64
+	// CategoryMix is the share of each category among baseline failures,
+	// indexed by catIndex; it is normalized to sum to 1.
+	CategoryMix [numCats]float64
+	// NodeTrigger is the same-node triggering matrix.
+	NodeTrigger TriggerMatrix
+	// NodeTau is the decay time constant (days) of same-node triggering.
+	NodeTau float64
+	// RackTrigger is the per-rack-mate triggering matrix (group-1 only in
+	// practice; applied to every node in the source node's rack).
+	RackTrigger TriggerMatrix
+	// RackTau is the decay constant (days) of rack triggering.
+	RackTau float64
+	// SystemTrigger is the per-other-node triggering matrix at system
+	// scope. Entries must be tiny for group-1 since they apply to every
+	// node of systems with up to 1024 nodes.
+	SystemTrigger TriggerMatrix
+	// SystemTau is the decay constant (days) of system triggering.
+	SystemTau float64
+}
+
+// PowerEffect describes how one exogenous event type boosts hazards on the
+// nodes it touches. Boost entries are added to the per-day hazard at event
+// time and decay exponentially with the indicated time constants.
+type PowerEffect struct {
+	// HWBoost is the added daily hardware-failure hazard per component at
+	// event time, indexed by HWComponent.
+	HWBoost map[trace.HWComponent]float64
+	// HWTau is the decay constant (days) of the hardware boost.
+	HWTau float64
+	// SWBoost is the added daily software-failure hazard per class.
+	SWBoost map[trace.SWClass]float64
+	// SWTau is the decay constant (days) of the software boost.
+	SWTau float64
+	// MaintBoost is the added daily unscheduled-maintenance hazard.
+	MaintBoost float64
+	// MaintTau is the decay constant (days) of the maintenance boost.
+	MaintTau float64
+}
+
+// EventParams describes the occurrence process of one exogenous facility
+// event type.
+type EventParams struct {
+	// MeanInterval is the mean days between events per system.
+	MeanInterval float64
+	// RackProb is the probability a (susceptible) rack is affected by an
+	// event, for group-1 systems with layouts.
+	RackProb float64
+	// NodeProb is the probability a node in an affected rack records an
+	// immediate Environment failure.
+	NodeProb float64
+	// G2NodeProb is the direct per-node probability for group-2 systems,
+	// which have no rack structure.
+	G2NodeProb float64
+	// Sticky, when true, reuses a fixed susceptible rack (or node) subset
+	// across events of this type (bad feed / shared UPS), creating the
+	// space-time correlation Figure 12 shows for outages and UPS failures.
+	Sticky bool
+	// StickyFraction is the fraction of racks/nodes in the susceptible
+	// subset.
+	StickyFraction float64
+	// Effect is the hazard boost applied to nodes that record the
+	// immediate failure; other nodes in affected racks receive
+	// RackSpillover times the boost.
+	Effect PowerEffect
+	// RackSpillover scales the boost for non-failing nodes in affected
+	// racks.
+	RackSpillover float64
+}
+
+// Params bundles every generator tunable with calibrated defaults.
+type Params struct {
+	Group1 GroupParams
+	Group2 GroupParams
+
+	// HWMix is the component mix of baseline hardware failures: the paper
+	// reports 40% CPU and 20% memory among attributed hardware failures.
+	HWMix map[trace.HWComponent]float64
+	// SWMix is the class mix of baseline software failures.
+	SWMix map[trace.SWClass]float64
+	// EnvSWMix is the class mix used for software failures triggered by
+	// environment (power) failures: storage-heavy, per Figure 11.
+	EnvSWMix map[trace.SWClass]float64
+	// TriggerHWMix is the component mix used for the non-same-component
+	// share of triggered hardware failures. CPUs are underweighted: the
+	// paper finds CPU failures essentially uncorrelated with power and
+	// cooling problems (Figures 10 and 13) and with other failure types.
+	TriggerHWMix map[trace.HWComponent]float64
+	// EnvHWMix is the analogous mix for hardware failures triggered by
+	// environment (power) failures: boards and power supplies dominate.
+	EnvHWMix map[trace.HWComponent]float64
+	// EnvSubMix is the subtype mix for environment failures triggered by
+	// failure chains (event-driven environment failures carry the subtype
+	// of their event).
+	EnvSubMix map[trace.EnvClass]float64
+	// SameComponentBias is the probability a triggered hardware failure
+	// reuses its parent's component (driving the strong memory-to-memory
+	// and CPU-to-CPU correlations of Section III.A.4).
+	SameComponentBias float64
+	// SameSWClassBias is the analogous bias for software classes.
+	SameSWClassBias float64
+
+	// Outage, Spike, UPSFail, Chiller describe the exogenous event types.
+	Outage  EventParams
+	Spike   EventParams
+	UPSFail EventParams
+	Chiller EventParams
+	// NetBurst describes common-mode interconnect events in group-2
+	// systems: a fabric problem makes many of the few large NUMA nodes
+	// record network failures at once, producing the strong system-wide
+	// network effect of Figure 3 without supercritical triggering.
+	NetBurst EventParams
+	// MemTriggerBoost scales the same-node hardware triggering of
+	// memory-parent failures, reproducing the especially strong
+	// memory-to-memory correlation of Section III.A.4 (~100X weekly).
+	MemTriggerBoost float64
+
+	// PSUEffect and FanEffect are the boosts applied to a node after one
+	// of its hardware failures hits the power supply or a fan.
+	PSUEffect PowerEffect
+	FanEffect PowerEffect
+
+	// NodeZeroMult multiplies node 0's baseline hazard per category in
+	// group-1 systems (login/launch role: Section IV).
+	NodeZeroMult [numCats]float64
+	// LemonFraction of nodes (besides node 0) get LemonMult on all
+	// baseline hazards, so the equal-rates chi-square rejects even with
+	// node 0 removed.
+	LemonFraction float64
+	LemonMult     float64
+	// FrailtySigma is the sigma of the lognormal per-node frailty.
+	FrailtySigma float64
+
+	// UsageCoupling scales how a node's utilization moves its
+	// usage-sensitive hazard: multiplier = 1 + UsageCoupling*(u - 0.5).
+	UsageCoupling float64
+	// AggressionCoupling scales how the running jobs' user aggressiveness
+	// moves the hazard: multiplier = 1 + AggressionCoupling*(a - 1).
+	AggressionCoupling float64
+	// JobStartCoupling scales the stress of job launches: every job start
+	// on a node-day multiplies its hazard by (1 + JobStartCoupling).
+	// This is the direct channel behind the num_jobs significance of
+	// Table II: launching a job exercises boot, configuration, and load
+	// paths that steady running does not.
+	JobStartCoupling float64
+
+	// CosmicBeta couples CPU failures to neutron flux: the CPU hazard is
+	// multiplied by (counts/CosmicRef)^CosmicBeta. DRAM is uncoupled,
+	// matching Section IX.
+	CosmicBeta float64
+	CosmicRef  float64
+
+	// MaintBaseDaily is the background unscheduled-maintenance hazard.
+	MaintBaseDaily float64
+	// MaintHardwareShare is the fraction of unscheduled maintenance that
+	// is hardware related.
+	MaintHardwareShare float64
+
+	// Users is the number of distinct users per system with a job log.
+	Users int
+	// UserZipf is the Zipf exponent of user activity.
+	UserZipf float64
+	// AggrSigma is the lognormal sigma of per-user aggressiveness.
+	AggrSigma float64
+
+	// TempSampleEvery is the temperature sampling period in hours.
+	TempSampleEvery int
+	// FanTempBump and ChillerTempBump are the excursion magnitudes in
+	// Celsius added after fan/chiller failures.
+	FanTempBump     float64
+	ChillerTempBump float64
+	// ExcursionTauHours is the decay constant of excursions, hours.
+	ExcursionTauHours float64
+
+	// NeutronStepHours is the neutron series sampling period in hours.
+	NeutronStepHours int
+}
+
+// DefaultParams returns the calibrated parameter set. The values are
+// derived from the effects the paper reports (see DESIGN.md section 5):
+// each same-node trigger row sums approximately to the -log(1-p) intensity
+// implied by the conditional weekly probabilities of Figure 1a, and the
+// event boosts integrate (boost * tau * (1-exp(-30/tau))) to the monthly
+// factors of Figures 10, 11 and 13.
+func DefaultParams() Params {
+	var p Params
+
+	// ---- Group 1 ----------------------------------------------------
+	// Stationary daily failure probability ~0.31%; with branching ratio
+	// around 0.2 the immigrant rate is ~0.0025/node/day.
+	p.Group1.BaseDaily = 0.00115
+	p.Group1.CategoryMix = mix(map[trace.Category]float64{
+		trace.Environment:  0.002, // background only; power events add the rest
+		trace.Hardware:     0.582,
+		trace.Human:        0.035,
+		trace.Network:      0.045,
+		trace.Software:     0.200,
+		trace.Undetermined: 0.131,
+	})
+	p.Group1.NodeTau = 1.6
+	p.Group1.NodeTrigger = matrix(map[trace.Category]map[trace.Category]float64{
+		trace.Environment:  {trace.Environment: 0.0553, trace.Hardware: 0.0680, trace.Human: 0.0043, trace.Network: 0.0553, trace.Software: 0.0153, trace.Undetermined: 0.0382},
+		trace.Hardware:     {trace.Environment: 0.0008, trace.Hardware: 0.0612, trace.Human: 0.0013, trace.Network: 0.0026, trace.Software: 0.0093, trace.Undetermined: 0.0068},
+		trace.Human:        {trace.Environment: 0.0008, trace.Hardware: 0.0238, trace.Human: 0.0043, trace.Network: 0.0026, trace.Software: 0.0145, trace.Undetermined: 0.0093},
+		trace.Network:      {trace.Environment: 0.0382, trace.Hardware: 0.0553, trace.Human: 0.0043, trace.Network: 0.0510, trace.Software: 0.0723, trace.Undetermined: 0.0281},
+		trace.Software:     {trace.Environment: 0.0136, trace.Hardware: 0.0187, trace.Human: 0.0026, trace.Network: 0.0187, trace.Software: 0.0425, trace.Undetermined: 0.0093},
+		trace.Undetermined: {trace.Environment: 0.0026, trace.Hardware: 0.0281, trace.Human: 0.0026, trace.Network: 0.0051, trace.Software: 0.0145, trace.Undetermined: 0.0408},
+	})
+	// Rack: weekly conditional 4.6% vs 2.04% baseline implies ~0.027
+	// extra intensity per rack-mate; same-type entries dominate (ENV 170X,
+	// SW ~10X in Figure 2b).
+	p.Group1.RackTau = 3.0
+	p.Group1.RackTrigger = matrix(map[trace.Category]map[trace.Category]float64{
+		trace.Environment:  {trace.Environment: 0.0120, trace.Hardware: 0.0040, trace.Network: 0.0015, trace.Software: 0.0020, trace.Undetermined: 0.0010},
+		trace.Hardware:     {trace.Hardware: 0.0060, trace.Software: 0.0015, trace.Undetermined: 0.0007},
+		trace.Human:        {trace.Human: 0.0007, trace.Hardware: 0.0020, trace.Software: 0.0015},
+		trace.Network:      {trace.Network: 0.0040, trace.Hardware: 0.0030, trace.Software: 0.0020, trace.Environment: 0.0007},
+		trace.Software:     {trace.Software: 0.0200, trace.Hardware: 0.0030, trace.Network: 0.0010, trace.Undetermined: 0.0007},
+		trace.Undetermined: {trace.Undetermined: 0.0020, trace.Hardware: 0.0020, trace.Software: 0.0010},
+	})
+	// System: tiny per-node effects; software stands out (1.27X weekly in
+	// Figure 3). Entries are per other node, so a 1024-node system turns
+	// 3e-5 into a visible bump.
+	p.Group1.SystemTau = 3.0
+	p.Group1.SystemTrigger = matrix(map[trace.Category]map[trace.Category]float64{
+		trace.Software:     {trace.Software: 1.2e-4, trace.Hardware: 4.0e-5},
+		trace.Hardware:     {trace.Hardware: 1.8e-5, trace.Software: 1.1e-5},
+		trace.Human:        {trace.Software: 3.4e-5, trace.Hardware: 2.2e-5},
+		trace.Network:      {trace.Network: 5.2e-5, trace.Software: 3.4e-5},
+		trace.Environment:  {trace.Environment: 4.5e-5},
+		trace.Undetermined: {trace.Undetermined: 1.9e-5},
+	})
+
+	// ---- Group 2 ----------------------------------------------------
+	// NUMA nodes with 128 processors: much higher baseline, slower and
+	// stronger triggering (daily 4.6%, weekly conditional ~60%).
+	p.Group2.BaseDaily = 0.0115
+	p.Group2.CategoryMix = mix(map[trace.Category]float64{
+		trace.Environment:  0.008,
+		trace.Hardware:     0.560,
+		trace.Human:        0.040,
+		trace.Network:      0.062,
+		trace.Software:     0.220,
+		trace.Undetermined: 0.110,
+	})
+	p.Group2.NodeTau = 2.8
+	p.Group2.NodeTrigger = matrix(map[trace.Category]map[trace.Category]float64{
+		trace.Environment:  {trace.Environment: 0.10, trace.Hardware: 0.21, trace.Human: 0.02, trace.Network: 0.11, trace.Software: 0.18, trace.Undetermined: 0.08},
+		trace.Hardware:     {trace.Environment: 0.004, trace.Hardware: 0.30, trace.Human: 0.008, trace.Network: 0.016, trace.Software: 0.07, trace.Undetermined: 0.032},
+		trace.Human:        {trace.Environment: 0.008, trace.Hardware: 0.13, trace.Human: 0.025, trace.Network: 0.016, trace.Software: 0.10, trace.Undetermined: 0.05},
+		trace.Network:      {trace.Environment: 0.045, trace.Hardware: 0.175, trace.Human: 0.016, trace.Network: 0.175, trace.Software: 0.19, trace.Undetermined: 0.065},
+		trace.Software:     {trace.Environment: 0.02, trace.Hardware: 0.13, trace.Human: 0.008, trace.Network: 0.055, trace.Software: 0.21, trace.Undetermined: 0.04},
+		trace.Undetermined: {trace.Environment: 0.008, trace.Hardware: 0.16, trace.Human: 0.008, trace.Network: 0.024, trace.Software: 0.08, trace.Undetermined: 0.12},
+	})
+	// Group-2 systems have no layout; rack matrix unused but kept zero.
+	p.Group2.RackTau = 3.0
+	// System-level: few large nodes, so per-node entries can be larger;
+	// network failures ripple through the fabric (3.69X in Figure 3).
+	p.Group2.SystemTau = 3.5
+	p.Group2.SystemTrigger = matrix(map[trace.Category]map[trace.Category]float64{
+		trace.Network:      {trace.Network: 0.0024, trace.Software: 0.0020, trace.Hardware: 0.0016, trace.Undetermined: 0.0008},
+		trace.Software:     {trace.Software: 0.0012, trace.Hardware: 0.0008, trace.Network: 0.0004},
+		trace.Environment:  {trace.Environment: 0.0012, trace.Software: 0.0008, trace.Hardware: 0.0006},
+		trace.Undetermined: {trace.Undetermined: 0.0008, trace.Hardware: 0.0004},
+		trace.Human:        {trace.Software: 0.0002},
+		trace.Hardware:     {trace.Hardware: 0.0002},
+	})
+
+	// ---- Hardware / software mixes ----------------------------------
+	p.HWMix = map[trace.HWComponent]float64{
+		trace.CPU: 0.40, trace.Memory: 0.20, trace.NodeBoard: 0.12,
+		trace.PowerSupply: 0.10, trace.Fan: 0.06, trace.NIC: 0.04,
+		trace.MSCBoard: 0.02, trace.Midplane: 0.01, trace.OtherHW: 0.05,
+	}
+	p.SWMix = map[trace.SWClass]float64{
+		trace.DST: 0.30, trace.OS: 0.22, trace.PFS: 0.14, trace.CFS: 0.10,
+		trace.PatchInstall: 0.08, trace.OtherSW: 0.16,
+	}
+	p.TriggerHWMix = map[trace.HWComponent]float64{
+		trace.CPU: 0.03, trace.Memory: 0.24, trace.NodeBoard: 0.22,
+		trace.PowerSupply: 0.16, trace.Fan: 0.12, trace.NIC: 0.05,
+		trace.MSCBoard: 0.05, trace.Midplane: 0.03, trace.OtherHW: 0.10,
+	}
+	p.EnvHWMix = map[trace.HWComponent]float64{
+		trace.CPU: 0.01, trace.Memory: 0.22, trace.NodeBoard: 0.34,
+		trace.PowerSupply: 0.26, trace.Fan: 0.08, trace.NIC: 0.02,
+		trace.MSCBoard: 0.03, trace.Midplane: 0.02, trace.OtherHW: 0.02,
+	}
+	p.EnvSWMix = map[trace.SWClass]float64{
+		trace.DST: 0.45, trace.PFS: 0.18, trace.CFS: 0.12, trace.OS: 0.08,
+		trace.PatchInstall: 0.02, trace.OtherSW: 0.15,
+	}
+	p.EnvSubMix = map[trace.EnvClass]float64{
+		trace.PowerOutage: 0.30, trace.PowerSpike: 0.22, trace.UPS: 0.05,
+		trace.Chillers: 0.08, trace.OtherEnv: 0.12,
+	}
+	p.SameComponentBias = 0.72
+	p.SameSWClassBias = 0.55
+
+	// ---- Exogenous events --------------------------------------------
+	// Rates and footprints tuned so the environment-failure pie matches
+	// Figure 9 (outage 49%, spike 21%, UPS 15%, chillers 9%, other 6%)
+	// and the boosts integrate to the factors of Figures 10 and 11.
+	p.Outage = EventParams{
+		MeanInterval: 360, RackProb: 0.08, NodeProb: 0.55, G2NodeProb: 0.80,
+		Sticky: true, StickyFraction: 0.5, RackSpillover: 0.3,
+		Effect: PowerEffect{
+			HWBoost: map[trace.HWComponent]float64{
+				trace.NodeBoard: 0.0090, trace.PowerSupply: 0.0075,
+				trace.Memory: 0.0015, trace.Fan: 0.0012, trace.OtherHW: 0.0008,
+			},
+			HWTau: 15,
+			SWBoost: map[trace.SWClass]float64{
+				trace.DST: 0.036, trace.PFS: 0.011, trace.CFS: 0.007, trace.OtherSW: 0.002,
+			},
+			SWTau:      6,
+			MaintBoost: 0.100, MaintTau: 11,
+		},
+	}
+	p.Spike = EventParams{
+		MeanInterval: 420, RackProb: 0.02, NodeProb: 0.45, G2NodeProb: 0.20,
+		RackSpillover: 0.3,
+		Effect: PowerEffect{
+			HWBoost: map[trace.HWComponent]float64{
+				trace.Memory: 0.0090, trace.NodeBoard: 0.0075,
+				trace.PowerSupply: 0.0065, trace.OtherHW: 0.0006,
+			},
+			HWTau: 16, // spikes show their hardware effect at longer spans
+			SWBoost: map[trace.SWClass]float64{
+				trace.DST: 0.0015, trace.PFS: 0.0005, trace.OtherSW: 0.0005,
+			},
+			SWTau:      7,
+			MaintBoost: 0.090, MaintTau: 11,
+		},
+	}
+	p.UPSFail = EventParams{
+		MeanInterval: 650, RackProb: 0.11, NodeProb: 0.45, G2NodeProb: 0.70,
+		Sticky: true, StickyFraction: 0.35, RackSpillover: 0.3,
+		Effect: PowerEffect{
+			HWBoost: map[trace.HWComponent]float64{
+				trace.NodeBoard: 0.0200, trace.Memory: 0.0100,
+				trace.PowerSupply: 0.0008, trace.OtherHW: 0.0006,
+			},
+			HWTau: 8,
+			SWBoost: map[trace.SWClass]float64{
+				trace.DST: 0.012, trace.PFS: 0.005, trace.CFS: 0.003,
+			},
+			SWTau:      6,
+			MaintBoost: 0.200, MaintTau: 11,
+		},
+	}
+	p.Chiller = EventParams{
+		MeanInterval: 700, RackProb: 0.02, NodeProb: 0.30, G2NodeProb: 0.12,
+		RackSpillover: 0.3,
+		Effect: PowerEffect{
+			HWBoost: map[trace.HWComponent]float64{
+				trace.Memory: 0.0035, trace.NodeBoard: 0.0030,
+			},
+			HWTau:      10,
+			SWBoost:    map[trace.SWClass]float64{trace.OS: 0.001},
+			SWTau:      5,
+			MaintBoost: 0.004, MaintTau: 10,
+		},
+	}
+
+	p.NetBurst = EventParams{
+		MeanInterval: 140, G2NodeProb: 0.50,
+		Effect: PowerEffect{
+			SWBoost: map[trace.SWClass]float64{trace.OS: 0.004, trace.DST: 0.003},
+			SWTau:   4,
+		},
+	}
+	p.MemTriggerBoost = 2.2
+
+	// ---- Component-event effects -------------------------------------
+	// A failing power supply stresses everything it feeds (Figure 10
+	// right: >=40X for fans and power supplies, 14X memory, 28X boards).
+	p.PSUEffect = PowerEffect{
+		HWBoost: map[trace.HWComponent]float64{
+			trace.Fan: 0.0100, trace.PowerSupply: 0.0170,
+			trace.Memory: 0.0115, trace.NodeBoard: 0.0140, trace.OtherHW: 0.0010,
+		},
+		HWTau: 12,
+		SWBoost: map[trace.SWClass]float64{
+			trace.DST: 0.003, trace.PFS: 0.001, trace.OtherSW: 0.001,
+		},
+		SWTau:      7,
+		MaintBoost: 0.006, MaintTau: 11,
+	}
+	// A failing fan cooks the node briefly: the remaining fans, MSC boards
+	// and midplanes suffer most (Figure 13 right).
+	p.FanEffect = PowerEffect{
+		HWBoost: map[trace.HWComponent]float64{
+			trace.Fan: 0.0650, trace.MSCBoard: 0.0135, trace.Midplane: 0.0080,
+			trace.Memory: 0.0055, trace.NodeBoard: 0.0040, trace.PowerSupply: 0.0020,
+		},
+		HWTau:      9,
+		SWBoost:    map[trace.SWClass]float64{trace.OS: 0.002},
+		SWTau:      5,
+		MaintBoost: 0.006, MaintTau: 10,
+	}
+
+	// ---- Node heterogeneity ------------------------------------------
+	p.NodeZeroMult = rawVec(map[trace.Category]float64{
+		trace.Environment:  1800,
+		trace.Hardware:     6,
+		trace.Human:        1,
+		trace.Network:      150,
+		trace.Software:     90,
+		trace.Undetermined: 10,
+	})
+	p.LemonFraction = 0.03
+	p.LemonMult = 5.0
+	p.FrailtySigma = 0.30
+
+	p.UsageCoupling = 0.8
+	p.AggressionCoupling = 2.5
+	p.JobStartCoupling = 0.15
+
+	p.CosmicBeta = 4.0
+	p.CosmicRef = 4000
+
+	p.MaintBaseDaily = 0.000045
+	p.MaintHardwareShare = 0.9
+
+	p.Users = 450
+	p.UserZipf = 1.05
+	p.AggrSigma = 0.7
+
+	p.TempSampleEvery = 12
+	p.FanTempBump = 15
+	p.ChillerTempBump = 8
+	p.ExcursionTauHours = 30
+
+	p.NeutronStepHours = 6
+
+	return p
+}
+
+// mix converts a category->share map into a normalized array.
+func mix(m map[trace.Category]float64) [numCats]float64 {
+	var out [numCats]float64
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	for c, v := range m {
+		out[catIndex(c)] = v / total
+	}
+	return out
+}
+
+// rawVec converts a category->value map into an array without normalizing.
+func rawVec(m map[trace.Category]float64) [numCats]float64 {
+	var out [numCats]float64
+	for c, v := range m {
+		out[catIndex(c)] = v
+	}
+	return out
+}
+
+// matrix converts a nested map into a TriggerMatrix.
+func matrix(m map[trace.Category]map[trace.Category]float64) TriggerMatrix {
+	var out TriggerMatrix
+	for x, row := range m {
+		for y, v := range row {
+			out[catIndex(x)][catIndex(y)] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+)
+
+// rng wraps math/rand with the samplers the generator needs. Every system
+// gets its own stream derived deterministically from the master seed, so
+// adding a system to the catalog does not perturb the others.
+type rng struct {
+	r *rand.Rand
+}
+
+// newRNG creates a deterministic stream for the given seed.
+func newRNG(seed int64) *rng {
+	return &rng{r: rand.New(rand.NewSource(seed))}
+}
+
+// subSeed derives a stable per-purpose seed from a master seed using a
+// splitmix64 step over the combined key.
+func subSeed(master int64, key uint64) int64 {
+	z := uint64(master) ^ (key * 0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z & math.MaxInt64)
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *rng) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (g *rng) Intn(n int) int { return g.r.Intn(n) }
+
+// Bern returns true with probability p.
+func (g *rng) Bern(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return g.r.Float64() < p
+}
+
+// Exp returns an exponential variate with the given mean.
+func (g *rng) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Normal returns a normal variate.
+func (g *rng) Normal(mu, sigma float64) float64 {
+	return mu + sigma*g.r.NormFloat64()
+}
+
+// LogNormal returns exp(N(mu, sigma)).
+func (g *rng) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// Poisson returns a Poisson variate with the given mean, using inversion
+// for small means and the normal approximation above 30 (adequate for the
+// generator's bookkeeping uses).
+func (g *rng) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := int(math.Round(g.Normal(mean, math.Sqrt(mean))))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k
+		}
+	}
+}
+
+// Zipf returns a sampler over [0, n) with probability proportional to
+// 1/(rank+1)^s, used for user popularity.
+func (g *rng) Zipf(n int, s float64) func() int {
+	weights := make([]float64, n)
+	total := 0.0
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		total += weights[i]
+	}
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	return func() int {
+		u := g.r.Float64()
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+}
+
+// PickWeighted draws an index proportional to the given non-negative
+// weights; it returns -1 when all weights are zero.
+func (g *rng) PickWeighted(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return -1
+	}
+	u := g.r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,74 @@
+package simulate
+
+import (
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// TestSmokeGenerate prints headline statistics of a small generated
+// dataset; it is the calibration instrument used while tuning Params.
+func TestSmokeGenerate(t *testing.T) {
+	ds, err := Generate(Options{Seed: 42, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	t.Logf("failures=%d jobs=%d temps=%d maint=%d neutrons=%d",
+		len(ds.Failures), len(ds.Jobs), len(ds.Temps), len(ds.Maintenance), len(ds.Neutrons))
+
+	counts := map[trace.Category]int{}
+	env := map[trace.EnvClass]int{}
+	hw := map[trace.HWComponent]int{}
+	for _, f := range ds.Failures {
+		counts[f.Category]++
+		if f.Category == trace.Environment {
+			env[f.Env]++
+		}
+		if f.Category == trace.Hardware {
+			hw[f.HW]++
+		}
+	}
+	t.Logf("cats: %v", counts)
+	t.Logf("env: %v", env)
+	t.Logf("hw: %v", hw)
+
+	for _, g := range []trace.Group{trace.Group1, trace.Group2} {
+		sub := ds.FilterGroup(g)
+		nodeDays := 0.0
+		for _, s := range sub.Systems {
+			nodeDays += s.NodeDays()
+		}
+		t.Logf("%v: failures=%d nodeDays=%.0f failuresPerNodeDay=%.5f",
+			g, len(sub.Failures), nodeDays, float64(len(sub.Failures))/nodeDays)
+	}
+
+	for _, sys := range []int{18, 19, 20} {
+		fs := ds.SystemFailures(sys)
+		per := map[int]int{}
+		for _, f := range fs {
+			per[f.Node]++
+		}
+		tot := 0
+		for _, c := range per {
+			tot += c
+		}
+		s, ok := ds.System(sys)
+		if !ok {
+			t.Fatalf("system %d missing", sys)
+		}
+		t.Logf("sys %d: node0=%d avg=%.1f", sys, per[0], float64(tot)/float64(s.Nodes))
+	}
+
+	if len(ds.Failures) == 0 {
+		t.Fatal("no failures generated")
+	}
+	if len(ds.Jobs) == 0 {
+		t.Fatal("no jobs generated")
+	}
+	if len(ds.Temps) == 0 {
+		t.Fatal("no temperature samples generated")
+	}
+}

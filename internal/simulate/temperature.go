@@ -1,0 +1,93 @@
+package simulate
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// genTemps produces the periodic motherboard-sensor samples for a system
+// with HasTemps. The ground truth encodes the paper's Section VIII finding:
+// a node's *average* temperature (driven by its utilization, its position
+// in the rack, and sensor noise) has no effect on its failure hazard, while
+// fan and chiller failures create brief excursions that coincide with the
+// hazard boosts the generator applied when those failures occurred.
+func (s *sysSim) genTemps() []trace.TempSample {
+	if !s.cfg.HasTemps {
+		return nil
+	}
+	stepH := s.p.TempSampleEvery
+	if stepH <= 0 {
+		stepH = 12
+	}
+	totalHours := int(s.cfg.Info.Period.Duration().Hours())
+	nSteps := totalHours / stepH
+	g := newRNG(subSeed(s.opts.Seed, uint64(s.cfg.Info.ID)*977+3))
+
+	// Sort excursion events by hour and split per node (node == -1 events
+	// apply to everyone).
+	events := make([]tempEvent, len(s.tempEvents))
+	copy(events, s.tempEvents)
+	sort.Slice(events, func(i, j int) bool { return events[i].hour < events[j].hour })
+	global := make([]tempEvent, 0, 8)
+	perNode := make(map[int][]tempEvent)
+	for _, e := range events {
+		if e.node < 0 {
+			global = append(global, e)
+		} else {
+			perNode[e.node] = append(perNode[e.node], e)
+		}
+	}
+
+	tau := s.p.ExcursionTauHours
+	horizon := 6 * tau
+	excursion := func(evs []tempEvent, h float64) float64 {
+		total := 0.0
+		for _, e := range evs {
+			dt := h - e.hour
+			if dt < 0 || dt > horizon {
+				continue
+			}
+			total += e.bump * math.Exp(-dt/tau)
+		}
+		return total
+	}
+
+	out := make([]trace.TempSample, 0, s.nodes*nSteps)
+	for n := 0; n < s.nodes; n++ {
+		pos := 3
+		if s.lay != nil {
+			pos = s.lay.Position(n)
+		}
+		// The per-node offset dominates the average: ambient sensor
+		// readings vary with airflow and placement idiosyncrasies far more
+		// than with load, which is why the paper finds no usable signal in
+		// average temperature.
+		base := 26 + 1.0*s.work.util[n] + 0.8*float64(pos-3) + g.Normal(0, 2.5)
+		evs := perNode[n]
+		for k := 0; k < nSteps; k++ {
+			h := float64(k * stepH)
+			v := base +
+				1.5*math.Sin(2*math.Pi*math.Mod(h, 24)/24) +
+				g.Normal(0, 1.2) +
+				excursion(evs, h) +
+				excursion(global, h)
+			// Severe excursions usually force the node down before many
+			// samples are recorded (the paper notes periodic samples "might
+			// miss brief periods of very high temperatures"); most readings
+			// past the warning threshold never make it into the log.
+			if v > trace.HighTempThreshold+1 && g.Bern(0.75) {
+				continue
+			}
+			out = append(out, trace.TempSample{
+				System:  s.cfg.Info.ID,
+				Node:    n,
+				Time:    s.cfg.Info.Period.Start.Add(time.Duration(h * float64(time.Hour))),
+				Celsius: math.Round(v*100) / 100,
+			})
+		}
+	}
+	return out
+}

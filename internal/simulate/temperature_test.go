@@ -1,0 +1,73 @@
+package simulate
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// TestExcursionsFollowFanFailures checks the Section VIII ground truth in
+// the generated sensor stream: readings taken shortly after a node's fan
+// failure run hotter than the node's ordinary readings, while far-away
+// readings do not.
+func TestExcursionsFollowFanFailures(t *testing.T) {
+	ds, err := Generate(Options{Seed: 14, Scale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Collect fan-failure times per node of the sensor system (20).
+	fanAt := make(map[int][]time.Time)
+	for _, f := range ds.Failures {
+		if f.System == 20 && f.Category == trace.Hardware && f.HW == trace.Fan {
+			fanAt[f.Node] = append(fanAt[f.Node], f.Time)
+		}
+	}
+	if len(fanAt) == 0 {
+		t.Skip("no fan failures on the sensor system at this scale/seed")
+	}
+	var nearSum, farSum float64
+	var nearN, farN int
+	for _, s := range ds.Temps {
+		times := fanAt[s.Node]
+		if len(times) == 0 {
+			continue
+		}
+		near := false
+		for _, ft := range times {
+			d := s.Time.Sub(ft)
+			if d >= 0 && d < 24*time.Hour {
+				near = true
+				break
+			}
+		}
+		if near {
+			nearSum += s.Celsius
+			nearN++
+		} else {
+			farSum += s.Celsius
+			farN++
+		}
+	}
+	if nearN < 3 || farN < 10 {
+		t.Skipf("too few samples near fan failures (near=%d far=%d)", nearN, farN)
+	}
+	nearMean := nearSum / float64(nearN)
+	farMean := farSum / float64(farN)
+	if nearMean <= farMean+1 {
+		t.Errorf("post-fan-failure readings should run hot: near %.1fC vs far %.1fC (n=%d/%d)",
+			nearMean, farMean, nearN, farN)
+	}
+}
+
+// TestTempSamplesOnlyForSensorSystem pins the catalog convention.
+func TestTempSamplesOnlyForSensorSystem(t *testing.T) {
+	for _, cfg := range Catalog(1) {
+		if cfg.HasTemps && cfg.Info.ID != 20 {
+			t.Errorf("only system 20 should have sensors, found %d", cfg.Info.ID)
+		}
+		if cfg.HasJobs && cfg.Info.ID != 8 && cfg.Info.ID != 20 {
+			t.Errorf("only systems 8 and 20 should have job logs, found %d", cfg.Info.ID)
+		}
+	}
+}

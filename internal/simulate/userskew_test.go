@@ -1,0 +1,78 @@
+package simulate
+
+import (
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// TestUserSkewMechanism verifies that the user-aggressiveness coupling
+// actually surfaces as per-user differences in node-failure rates per
+// processor-day (the Section VI ground truth). It peeks at the generator's
+// internal aggressiveness values, which the analysis side cannot see.
+func TestUserSkewMechanism(t *testing.T) {
+	cfg := SystemConfig{
+		Info: trace.SystemInfo{
+			ID: 8, Group: trace.Group1, Nodes: 128, ProcsPerNode: 4,
+			Period: trace.Interval{
+				Start: date(2000, 1, 1),
+				End:   date(2003, 1, 1),
+			},
+		},
+		HasLayout: true, RacksPerRow: 8,
+		HasJobs: true, JobTarget: 60000,
+	}
+	p := DefaultParams()
+	opts := Options{Seed: 7, Systems: []SystemConfig{cfg}, Params: &p}
+	ds, err := Generate(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover the workload's aggressiveness values by regenerating the
+	// same stream.
+	w := genWorkload(cfg, &p, newRNG(subSeed(opts.Seed, uint64(cfg.Info.ID)*131+7)))
+
+	kills := make(map[int]int)
+	procDays := make(map[int]float64)
+	for _, j := range ds.Jobs {
+		procDays[j.User] += j.ProcDays()
+		if j.FailedByNode {
+			kills[j.User]++
+		}
+	}
+	type row struct {
+		user  int
+		aggr  float64
+		rate  float64
+		count int
+	}
+	var hi, lo []row
+	for u := 0; u < p.Users; u++ {
+		if procDays[u] < 2000 {
+			continue
+		}
+		r := row{user: u, aggr: w.userAggr[u], rate: float64(kills[u]) / procDays[u], count: kills[u]}
+		if r.aggr > 1.4 {
+			hi = append(hi, r)
+		} else if r.aggr < 0.7 {
+			lo = append(lo, r)
+		}
+	}
+	avg := func(rows []row) float64 {
+		s, n := 0.0, 0.0
+		for _, r := range rows {
+			s += r.rate
+			n++
+		}
+		return s / n
+	}
+	if len(hi) == 0 || len(lo) == 0 {
+		t.Skipf("not enough heavy users in both bins (hi=%d lo=%d)", len(hi), len(lo))
+	}
+	hiRate, loRate := avg(hi), avg(lo)
+	t.Logf("aggressive users (n=%d) rate=%.5f; gentle users (n=%d) rate=%.5f; ratio=%.2f",
+		len(hi), hiRate, len(lo), loRate, hiRate/loRate)
+	if hiRate <= loRate {
+		t.Errorf("aggressive users should see higher node-failure rates: %.5f vs %.5f", hiRate, loRate)
+	}
+}

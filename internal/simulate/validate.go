@@ -1,0 +1,142 @@
+package simulate
+
+import (
+	"fmt"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// BranchingReport summarizes the stability of a parameter set's
+// self-exciting process for one group at a given system size. The failure
+// process is a multi-type branching process: every failure of type x
+// triggers an expected NodeTrigger[x][y] follow-ups of type y at its own
+// node, RackTrigger[x][y] at each rack-mate, and SystemTrigger[x][y] at
+// every node of the system. If the effective branching ratio reaches 1 the
+// process is supercritical and the trace explodes; Validate guards against
+// parameter sets (or system sizes) that cross that line.
+type BranchingReport struct {
+	Group trace.Group
+	// Nodes is the system size the report was computed for.
+	Nodes int
+	// RowTotals[x] is the expected total direct offspring of one type-x
+	// failure across all scopes.
+	RowTotals [numCats]float64
+	// MixWeighted is the category-mix-weighted mean branching ratio — the
+	// expected offspring of a typical failure.
+	MixWeighted float64
+	// MaxRow is the largest per-type ratio (the most explosive lineage).
+	MaxRow float64
+}
+
+// Stable reports whether the mix-weighted branching ratio leaves a safety
+// margin below criticality.
+func (b BranchingReport) Stable() bool { return b.MixWeighted < 0.9 && b.MaxRow < 1.5 }
+
+// Branching computes the report for one group at the given system size
+// (rack size fixed at the layout's PositionsPerRack for group-1; group-2
+// systems have no racks).
+func (p *Params) Branching(g trace.Group, nodes, rackSize int) BranchingReport {
+	gp := &p.Group1
+	if g == trace.Group2 {
+		gp = &p.Group2
+		rackSize = 0
+	}
+	rep := BranchingReport{Group: g, Nodes: nodes}
+	for x := 0; x < numCats; x++ {
+		total := 0.0
+		for y := 0; y < numCats; y++ {
+			total += gp.NodeTrigger[x][y]
+			if rackSize > 0 {
+				// Rack excitation reaches every node of the rack.
+				total += gp.RackTrigger[x][y] * float64(rackSize)
+			}
+			total += gp.SystemTrigger[x][y] * float64(nodes)
+		}
+		rep.RowTotals[x] = total
+		if total > rep.MaxRow {
+			rep.MaxRow = total
+		}
+		rep.MixWeighted += gp.CategoryMix[x] * total
+	}
+	return rep
+}
+
+// Validate checks a parameter set for the failure modes that are easy to
+// introduce while tuning: supercritical branching at the catalog's largest
+// systems, non-normalizable mixes, and nonsensical event probabilities. It
+// returns the first problem found.
+func (p *Params) Validate(systems []SystemConfig) error {
+	maxNodes := map[trace.Group]int{}
+	for _, s := range systems {
+		if s.Info.Nodes > maxNodes[s.Info.Group] {
+			maxNodes[s.Info.Group] = s.Info.Nodes
+		}
+	}
+	gps := map[trace.Group]*GroupParams{trace.Group1: &p.Group1, trace.Group2: &p.Group2}
+	for g, gp := range gps {
+		if gp.BaseDaily <= 0 || gp.BaseDaily > 0.5 {
+			return fmt.Errorf("simulate: %v base daily hazard %.4f out of range", g, gp.BaseDaily)
+		}
+		if gp.NodeTau <= 0 || gp.RackTau <= 0 || gp.SystemTau <= 0 {
+			return fmt.Errorf("simulate: %v has a non-positive decay constant", g)
+		}
+		sum := 0.0
+		for _, v := range gp.CategoryMix {
+			if v < 0 {
+				return fmt.Errorf("simulate: %v category mix has a negative share", g)
+			}
+			sum += v
+		}
+		if sum < 0.99 || sum > 1.01 {
+			return fmt.Errorf("simulate: %v category mix sums to %.3f, want 1", g, sum)
+		}
+	}
+	for name, ep := range map[string]*EventParams{
+		"outage": &p.Outage, "spike": &p.Spike, "ups": &p.UPSFail,
+		"chiller": &p.Chiller, "netburst": &p.NetBurst,
+	} {
+		if ep.MeanInterval <= 0 {
+			return fmt.Errorf("simulate: %s event interval must be positive", name)
+		}
+		for flag, v := range map[string]float64{
+			"RackProb": ep.RackProb, "NodeProb": ep.NodeProb,
+			"G2NodeProb": ep.G2NodeProb, "StickyFraction": ep.StickyFraction,
+			"RackSpillover": ep.RackSpillover,
+		} {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("simulate: %s event %s = %.3f outside [0,1]", name, flag, v)
+			}
+		}
+	}
+	for name, mix := range map[string]map[trace.HWComponent]float64{
+		"HWMix": p.HWMix, "TriggerHWMix": p.TriggerHWMix, "EnvHWMix": p.EnvHWMix,
+	} {
+		sum := 0.0
+		for _, v := range mix {
+			if v < 0 {
+				return fmt.Errorf("simulate: %s has a negative share", name)
+			}
+			sum += v
+		}
+		if sum < 0.9 || sum > 1.1 {
+			return fmt.Errorf("simulate: %s sums to %.3f, want ~1", name, sum)
+		}
+	}
+	if p.SameComponentBias < 0 || p.SameComponentBias > 1 || p.SameSWClassBias < 0 || p.SameSWClassBias > 1 {
+		return fmt.Errorf("simulate: same-type biases must lie in [0,1]")
+	}
+	// Stability last: the branching computation assumes the shares above
+	// are sane.
+	for _, g := range []trace.Group{trace.Group1, trace.Group2} {
+		n := maxNodes[g]
+		if n == 0 {
+			continue
+		}
+		rep := p.Branching(g, n, 5)
+		if !rep.Stable() {
+			return fmt.Errorf("simulate: %v triggering unstable at %d nodes (mix-weighted branching %.2f, max row %.2f)",
+				g, n, rep.MixWeighted, rep.MaxRow)
+		}
+	}
+	return nil
+}

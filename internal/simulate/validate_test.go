@@ -1,0 +1,79 @@
+package simulate
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func TestDefaultParamsValidateAtFullScale(t *testing.T) {
+	p := DefaultParams()
+	if err := p.Validate(Catalog(1)); err != nil {
+		t.Fatalf("default parameters must validate at full scale: %v", err)
+	}
+}
+
+func TestBranchingReportSubcritical(t *testing.T) {
+	p := DefaultParams()
+	for _, g := range []trace.Group{trace.Group1, trace.Group2} {
+		nodes := 1024
+		if g == trace.Group2 {
+			nodes = 44
+		}
+		rep := p.Branching(g, nodes, 5)
+		if !rep.Stable() {
+			t.Errorf("%v branching unstable: mix=%.2f max=%.2f", g, rep.MixWeighted, rep.MaxRow)
+		}
+		if rep.MixWeighted <= 0 {
+			t.Errorf("%v branching should be positive", g)
+		}
+	}
+}
+
+func TestValidateCatchesSupercritical(t *testing.T) {
+	p := DefaultParams()
+	// Reinstate the bug this check was born from: per-node system
+	// triggering that explodes once multiplied by the node count.
+	p.Group2.SystemTrigger[catIndex(trace.Network)][catIndex(trace.Network)] = 0.05
+	err := p.Validate(Catalog(1))
+	if err == nil {
+		t.Fatal("supercritical triggering should be rejected")
+	}
+	if !strings.Contains(err.Error(), "unstable") {
+		t.Errorf("error should mention instability: %v", err)
+	}
+	// Generate surfaces the same error.
+	if _, err := Generate(Options{Seed: 1, Scale: 0.5, Params: &p}); err == nil {
+		t.Error("Generate should refuse unstable parameters")
+	}
+}
+
+func TestValidateCatchesBadInputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+		want   string
+	}{
+		{"zero base", func(p *Params) { p.Group1.BaseDaily = 0 }, "base daily"},
+		{"bad tau", func(p *Params) { p.Group2.NodeTau = -1 }, "decay constant"},
+		{"bad mix", func(p *Params) { p.Group1.CategoryMix[0] = 5 }, "category mix"},
+		{"bad event interval", func(p *Params) { p.Spike.MeanInterval = 0 }, "interval"},
+		{"bad probability", func(p *Params) { p.Outage.NodeProb = 1.5 }, "outside [0,1]"},
+		{"bad hw mix", func(p *Params) { p.HWMix[trace.CPU] = 9 }, "sums to"},
+		{"bad bias", func(p *Params) { p.SameComponentBias = 2 }, "biases"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := DefaultParams()
+			c.mutate(&p)
+			err := p.Validate(Catalog(1))
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q should mention %q", err, c.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,396 @@
+package simulate
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// workload models how a system is used. For systems with job logs (8 and
+// 20) it generates the full log — arrival times, users, node assignments —
+// and derives per-node-per-day busy fractions and user-aggressiveness
+// levels that feed back into the failure hazard (the usage coupling of
+// Sections V, VI and X). For the other systems it draws a latent per-node
+// utilization that shapes hazards without emitting job records.
+type workload struct {
+	hasJobs bool
+	start   time.Time
+	days    int
+	nodes   int
+
+	// jobs is the generated log (empty without HasJobs).
+	jobs []trace.Job
+	// userAggr is the per-user hazard aggressiveness (lognormal around 1).
+	userAggr []float64
+	// util is the per-node average utilization in [0,1].
+	util []float64
+	// busyFrac[node*days+day] is the busy fraction of that node-day.
+	busyFrac []float32
+	// aggrDay[node*days+day] is the max user aggressiveness running on
+	// that node-day (1 when idle).
+	aggrDay []float32
+	// starts[node*days+day] counts job launches on that node-day.
+	starts []float32
+	// nodeJobs[node] lists job indices sorted by dispatch time.
+	nodeJobs [][]int32
+}
+
+// maxJobDays caps job runtimes so failure attribution can scan a bounded
+// window of the per-node job list.
+const maxJobDays = 10
+
+// genWorkload builds the workload for one system.
+func genWorkload(cfg SystemConfig, p *Params, g *rng) *workload {
+	info := cfg.Info
+	days := int(info.Period.Duration().Hours()/24) + 1
+	w := &workload{
+		hasJobs: cfg.HasJobs,
+		start:   info.Period.Start,
+		days:    days,
+		nodes:   info.Nodes,
+		util:    make([]float64, info.Nodes),
+	}
+	if !cfg.HasJobs {
+		// Latent utilization only.
+		for n := 0; n < info.Nodes; n++ {
+			w.util[n] = 0.25 + 0.65*g.Float64()
+		}
+		if info.Group == trace.Group1 {
+			w.util[0] = 0.97 // login/launch node
+		}
+		return w
+	}
+
+	w.userAggr = make([]float64, p.Users)
+	for u := range w.userAggr {
+		w.userAggr[u] = g.LogNormal(0, p.AggrSigma)
+	}
+	pickUser := g.Zipf(p.Users, p.UserZipf)
+
+	total := cfg.JobTarget
+	if total < 100 {
+		total = 100
+	}
+	regular := int(float64(total) * 0.94)
+	launch := total - regular
+
+	sizeWeights := []float64{0.45, 0.25, 0.15, 0.08, 0.05, 0.015, 0.005}
+	sizes := []int{1, 2, 4, 8, 16, 32, 64}
+	periodHours := info.Period.Duration().Hours()
+
+	w.jobs = make([]trace.Job, 0, total)
+	addJob := func(user int, nodes []int, submitH, dispatchH, durH float64) {
+		// Truncate to whole seconds, as operational logs do; the scheduler
+		// works in float hours, so this also removes sub-nanosecond
+		// adjacency artifacts between back-to-back jobs.
+		submit := info.Period.Start.Add(time.Duration(submitH * float64(time.Hour))).Truncate(time.Second)
+		dispatch := info.Period.Start.Add(time.Duration(dispatchH * float64(time.Hour))).Truncate(time.Second).Add(time.Second)
+		end := dispatch.Add(time.Duration(durH * float64(time.Hour))).Truncate(time.Second)
+		if end.After(info.Period.End) {
+			end = info.Period.End
+		}
+		if dispatch.After(info.Period.End) {
+			dispatch = info.Period.End
+		}
+		if end.Before(dispatch) {
+			end = dispatch
+		}
+		if dispatch.Before(submit) {
+			dispatch = submit
+		}
+		w.jobs = append(w.jobs, trace.Job{
+			System:   info.ID,
+			User:     user,
+			Submit:   submit,
+			Dispatch: dispatch,
+			End:      end,
+			Procs:    len(nodes) * info.ProcsPerNode,
+			Nodes:    nodes,
+		})
+	}
+
+	// Compute nodes are allocated exclusively (one job per node at a
+	// time), as on the LANL SMP clusters; free[n] is the hour node n
+	// becomes available. Node 0 is the shared login/launch node and is
+	// exempt from exclusivity.
+	free := make([]float64, info.Nodes)
+	type request struct {
+		submitH float64
+		user    int
+		size    int
+		durH    float64
+	}
+	reqs := make([]request, 0, regular)
+	for i := 0; i < regular; i++ {
+		size := sizes[g.PickWeighted(sizeWeights)]
+		if size > info.Nodes {
+			size = info.Nodes
+		}
+		reqs = append(reqs, request{
+			submitH: g.Float64() * periodHours,
+			user:    pickUser(),
+			size:    size,
+			durH:    math.Min(math.Max(g.LogNormal(math.Log(8), 1.1), 0.05), 24*maxJobDays),
+		})
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].submitH < reqs[j].submitH })
+	blockFree := func(start, size int) float64 {
+		worst := 0.0
+		for n := start; n < start+size; n++ {
+			if n == 0 {
+				continue // login node is never exclusive
+			}
+			if free[n] > worst {
+				worst = free[n]
+			}
+		}
+		return worst
+	}
+	for _, r := range reqs {
+		span := info.Nodes - r.size + 1
+		// The scheduler drains short jobs into the low node range and
+		// parks long-running jobs high, so a node's job COUNT and its
+		// UTILIZATION carry distinct information (Section X finds both
+		// significant given the other).
+		pickStart := func() int {
+			if g.Bern(0.7) {
+				if r.durH < 5 {
+					return g.Intn(max(span/2, 1))
+				}
+				return span/2 + g.Intn(max(span-span/2, 1))
+			}
+			return g.Intn(span)
+		}
+		best, bestFree := 0, math.Inf(1)
+		for c := 0; c < 5; c++ {
+			cand := pickStart()
+			if f := blockFree(cand, r.size); f < bestFree {
+				best, bestFree = cand, f
+			}
+		}
+		// The login node participates in a share of runs (launch
+		// scripts, IO forwarders), raising its utilization; those runs
+		// start at node 0 without exclusivity pressure from it.
+		if g.Bern(0.18) && r.size < info.Nodes {
+			best = 0
+			bestFree = blockFree(0, r.size)
+		}
+		dispatchH := math.Max(r.submitH+g.Exp(0.3), bestFree)
+		if dispatchH > periodHours {
+			continue // never ran before the measurement period ended
+		}
+		nodes := make([]int, r.size)
+		for j := range nodes {
+			nodes[j] = best + j
+			if best+j != 0 {
+				free[best+j] = dispatchH + r.durH
+			}
+		}
+		addJob(r.user, nodes, r.submitH, dispatchH, r.durH)
+	}
+	// Launch/login jobs pinned to node 0: short and numerous, freely
+	// concurrent.
+	for i := 0; i < launch; i++ {
+		submitH := g.Float64() * periodHours
+		dur := math.Min(math.Max(g.LogNormal(math.Log(0.4), 0.8), 0.02), 12)
+		addJob(pickUser(), []int{0}, submitH, submitH+g.Exp(0.1), dur)
+	}
+
+	sort.Slice(w.jobs, func(i, j int) bool { return w.jobs[i].Submit.Before(w.jobs[j].Submit) })
+	for i := range w.jobs {
+		w.jobs[i].ID = int64(i + 1)
+	}
+
+	w.index(p)
+	return w
+}
+
+// index builds the per-node-day aggregates and per-node job lists.
+func (w *workload) index(p *Params) {
+	w.busyFrac = make([]float32, w.nodes*w.days)
+	w.aggrDay = make([]float32, w.nodes*w.days)
+	for i := range w.aggrDay {
+		w.aggrDay[i] = 1
+	}
+	w.starts = make([]float32, w.nodes*w.days)
+	w.nodeJobs = make([][]int32, w.nodes)
+	busyHours := make([]float32, w.nodes*w.days)
+
+	for ji := range w.jobs {
+		j := &w.jobs[ji]
+		startH := j.Dispatch.Sub(w.start).Hours()
+		endH := j.End.Sub(w.start).Hours()
+		if endH <= startH {
+			continue
+		}
+		aggr := float32(1)
+		if j.User < len(w.userAggr) {
+			aggr = float32(w.userAggr[j.User])
+		}
+		d0 := int(startH / 24)
+		d1 := int(endH / 24)
+		for _, n := range j.Nodes {
+			w.nodeJobs[n] = append(w.nodeJobs[n], int32(ji))
+			if d0 >= 0 && d0 < w.days {
+				w.starts[n*w.days+d0]++
+			}
+			for d := d0; d <= d1 && d < w.days; d++ {
+				if d < 0 {
+					continue
+				}
+				lo := math.Max(startH, float64(d)*24)
+				hi := math.Min(endH, float64(d+1)*24)
+				if hi <= lo {
+					continue
+				}
+				idx := n*w.days + d
+				busyHours[idx] += float32(hi - lo)
+				if aggr > w.aggrDay[idx] {
+					w.aggrDay[idx] = aggr
+				}
+			}
+		}
+	}
+	for n := 0; n < w.nodes; n++ {
+		var sum float64
+		for d := 0; d < w.days; d++ {
+			f := busyHours[n*w.days+d] / 24
+			if f > 1 {
+				f = 1
+			}
+			w.busyFrac[n*w.days+d] = f
+			sum += float64(f)
+		}
+		w.util[n] = sum / float64(w.days)
+	}
+	// nodeJobs entries were appended in submit order, which matches
+	// dispatch order closely but not exactly; sort by dispatch.
+	for n := range w.nodeJobs {
+		jobs := w.jobs
+		list := w.nodeJobs[n]
+		sort.Slice(list, func(a, b int) bool {
+			return jobs[list[a]].Dispatch.Before(jobs[list[b]].Dispatch)
+		})
+	}
+}
+
+// usageMult returns the hazard multiplier from usage for a node-day:
+// utilization pushes it via UsageCoupling and the most aggressive running
+// user via AggressionCoupling.
+func (w *workload) usageMult(node, day int, p *Params) float64 {
+	var u, a, st float64
+	if w.busyFrac != nil {
+		if day < 0 {
+			day = 0
+		}
+		if day >= w.days {
+			day = w.days - 1
+		}
+		u = float64(w.busyFrac[node*w.days+day])
+		a = float64(w.aggrDay[node*w.days+day])
+		st = float64(w.starts[node*w.days+day])
+	} else {
+		u = w.util[node]
+		a = 1
+	}
+	// Launch stress saturates: a node cycling many short jobs is not
+	// arbitrarily more fragile than one starting a couple.
+	m := (1 + p.UsageCoupling*(u-0.5)) * (1 + p.AggressionCoupling*(a-1)) * (1 + p.JobStartCoupling*math.Min(st, 3))
+	if m < 0.1 {
+		m = 0.1
+	}
+	return m
+}
+
+// failureHour picks the hour-of-day for a hazard-driven failure on a node.
+// Usage-induced failures manifest under load, so when jobs run on the node
+// that day the failure lands inside a running job's interval with high
+// probability, weighted by the job's user aggressiveness — this is what
+// turns the per-user hazard coupling into the per-user failure-rate skew
+// of Section VI.
+func (w *workload) failureHour(node, day int, uniform func() float64) float64 {
+	if !w.hasJobs || node >= len(w.nodeJobs) {
+		return uniform() * 24
+	}
+	dayStart := w.start.Add(time.Duration(day) * 24 * time.Hour)
+	dayEnd := dayStart.Add(24 * time.Hour)
+	list := w.nodeJobs[node]
+	lo := sort.Search(len(list), func(i int) bool {
+		return w.jobs[list[i]].Dispatch.After(dayStart.Add(-maxJobDays * 24 * time.Hour))
+	})
+	// Gather the in-day intervals of running jobs with aggression weights.
+	type span struct {
+		s, e float64 // hours within the day
+		wgt  float64
+	}
+	var spans []span
+	total := 0.0
+	for i := lo; i < len(list); i++ {
+		j := &w.jobs[list[i]]
+		if j.Dispatch.After(dayEnd) {
+			break
+		}
+		if !j.End.After(dayStart) {
+			continue
+		}
+		s := j.Dispatch.Sub(dayStart).Hours()
+		if s < 0 {
+			s = 0
+		}
+		e := j.End.Sub(dayStart).Hours()
+		if e > 24 {
+			e = 24
+		}
+		if e <= s {
+			continue
+		}
+		aggr := 1.0
+		if j.User < len(w.userAggr) {
+			aggr = w.userAggr[j.User]
+		}
+		sp := span{s: s, e: e, wgt: (e - s) * aggr * aggr}
+		spans = append(spans, sp)
+		total += sp.wgt
+	}
+	// With probability 0.8 the failure strikes under load (when there is
+	// any); otherwise anywhere in the day.
+	if len(spans) == 0 || total <= 0 || uniform() > 0.8 {
+		return uniform() * 24
+	}
+	u := uniform() * total
+	for _, sp := range spans {
+		if u < sp.wgt {
+			return sp.s + uniform()*(sp.e-sp.s)
+		}
+		u -= sp.wgt
+	}
+	return uniform() * 24
+}
+
+// killJobs marks every job running on the node at time t as failed by the
+// node outage and returns how many were hit.
+func (w *workload) killJobs(node int, t time.Time) int {
+	if !w.hasJobs || node >= len(w.nodeJobs) {
+		return 0
+	}
+	list := w.nodeJobs[node]
+	// Jobs are sorted by dispatch; any job active at t dispatched within
+	// the last maxJobDays days.
+	lo := sort.Search(len(list), func(i int) bool {
+		return w.jobs[list[i]].Dispatch.After(t.Add(-maxJobDays * 24 * time.Hour))
+	})
+	hit := 0
+	for i := lo; i < len(list); i++ {
+		j := &w.jobs[list[i]]
+		if j.Dispatch.After(t) {
+			break
+		}
+		if j.End.After(t) && !j.FailedByNode {
+			j.FailedByNode = true
+			hit++
+		}
+	}
+	return hit
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Correlation is an estimated correlation coefficient with its significance
+// test.
+type Correlation struct {
+	// R is the coefficient in [-1, 1].
+	R float64
+	// N is the sample size.
+	N int
+	// T is the t statistic of the test against rho = 0.
+	T float64
+	// P is the two-sided p-value of that test.
+	P float64
+}
+
+// Significant reports whether the correlation differs from zero at level
+// alpha.
+func (c Correlation) Significant(alpha float64) bool {
+	return !math.IsNaN(c.P) && c.P < alpha
+}
+
+// Pearson computes the Pearson product-moment correlation between xs and ys
+// (equal lengths, n >= 3) together with the two-sided t-test against zero
+// correlation. The paper uses it to relate per-node job counts to per-node
+// failure counts (Section V).
+func Pearson(xs, ys []float64) Correlation {
+	n := len(xs)
+	if n != len(ys) || n < 3 {
+		return Correlation{R: math.NaN(), N: n, T: math.NaN(), P: math.NaN()}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return Correlation{R: math.NaN(), N: n, T: math.NaN(), P: math.NaN()}
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp tiny numerical overshoot.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	nu := float64(n - 2)
+	var t, p float64
+	if math.Abs(r) == 1 {
+		t = math.Inf(int(math.Copysign(1, r)))
+		p = 0
+	} else {
+		t = r * math.Sqrt(nu/(1-r*r))
+		p = StudentsT{Nu: nu}.TwoSidedP(t)
+	}
+	return Correlation{R: r, N: n, T: t, P: p}
+}
+
+// Spearman computes the Spearman rank correlation (Pearson on ranks, with
+// mid-ranks for ties) and its t-approximation significance test.
+func Spearman(xs, ys []float64) Correlation {
+	n := len(xs)
+	if n != len(ys) || n < 3 {
+		return Correlation{R: math.NaN(), N: n, T: math.NaN(), P: math.NaN()}
+	}
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+// ranks assigns mid-ranks (1-based) to xs, averaging ranks across ties.
+func ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		// Average of ranks i+1..j+1.
+		mid := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = mid
+		}
+		i = j + 1
+	}
+	return out
+}
+
+// AutoCorrelation returns the lag-k sample autocorrelation of xs, or NaN
+// when undefined. It supports diagnostics over failure count series.
+func AutoCorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n || n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonReference(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 5, 4, 5}
+	c := Pearson(xs, ys)
+	approx(t, "r", c.R, 6/math.Sqrt(60), 1e-12)
+	approx(t, "t", c.T, c.R*math.Sqrt(3/(1-c.R*c.R)), 1e-12)
+	if c.N != 5 {
+		t.Errorf("N = %d", c.N)
+	}
+	// Two-sided p for t=2.1213, nu=3 is about 0.124.
+	approx(t, "p", c.P, 0.1240, 1e-3)
+	if c.Significant(0.05) {
+		t.Error("r=0.77 with n=5 should not be significant at 5%")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	c := Pearson(xs, ys)
+	approx(t, "perfect r", c.R, 1, 1e-12)
+	if c.P != 0 {
+		t.Errorf("perfect correlation p = %g, want 0", c.P)
+	}
+	neg := Pearson(xs, []float64{8, 6, 4, 2})
+	approx(t, "perfect negative", neg.R, -1, 1e-12)
+}
+
+func TestPearsonDegenerate(t *testing.T) {
+	if c := Pearson([]float64{1, 2}, []float64{3, 4}); !math.IsNaN(c.R) {
+		t.Error("n<3 should give NaN")
+	}
+	if c := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); !math.IsNaN(c.R) {
+		t.Error("constant x should give NaN")
+	}
+	if c := Pearson([]float64{1, 2, 3}, []float64{1, 2}); !math.IsNaN(c.R) {
+		t.Error("length mismatch should give NaN")
+	}
+}
+
+func TestPearsonInvariance(t *testing.T) {
+	// r is invariant to affine transforms with positive scale.
+	f := func(seedRaw int64) bool {
+		xs := []float64{1, 4, 2, 8, 5, 7, 3}
+		ys := []float64{2, 3, 1, 9, 6, 6, 2}
+		base := Pearson(xs, ys).R
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3*x + 17
+		}
+		return math.Abs(Pearson(scaled, ys).R-base) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone nonlinear relation: Spearman 1, Pearson < 1.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 8, 27, 64, 125}
+	s := Spearman(xs, ys)
+	approx(t, "spearman monotone", s.R, 1, 1e-12)
+	p := Pearson(xs, ys)
+	if p.R >= 1 {
+		t.Error("pearson of convex curve should be below 1")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 20, 30})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		approx(t, "rank", r[i], want[i], 1e-12)
+	}
+	r2 := ranks([]float64{5, 5, 5})
+	for _, v := range r2 {
+		approx(t, "all tied", v, 2, 1e-12)
+	}
+}
+
+func TestAutoCorrelation(t *testing.T) {
+	// Perfectly alternating series: lag-1 autocorrelation -1.
+	xs := []float64{1, -1, 1, -1, 1, -1, 1, -1}
+	approx(t, "lag0", AutoCorrelation(xs, 0), 1, 1e-12)
+	if ac := AutoCorrelation(xs, 1); ac > -0.8 {
+		t.Errorf("alternating lag-1 autocorrelation = %g, want near -1", ac)
+	}
+	if !math.IsNaN(AutoCorrelation(xs, len(xs))) {
+		t.Error("lag >= n should be NaN")
+	}
+	if !math.IsNaN(AutoCorrelation([]float64{3, 3, 3}, 1)) {
+		t.Error("constant series should be NaN")
+	}
+}

@@ -1,0 +1,271 @@
+package stats
+
+import "math"
+
+// Probability distributions used by the hypothesis tests and regressions.
+// Each distribution exposes the pieces the analyses need (CDF, survival
+// function, quantiles, and PMF/PDF where useful); quantiles of the normal
+// use the Acklam rational approximation refined by one Halley step, and the
+// chi-square quantile inverts the CDF by bisection.
+
+// Normal is the normal distribution with mean Mu and deviation Sigma.
+type Normal struct {
+	Mu    float64
+	Sigma float64
+}
+
+// StdNormal is the standard normal distribution.
+var StdNormal = Normal{Mu: 0, Sigma: 1}
+
+// PDF returns the density at x.
+func (n Normal) PDF(x float64) float64 {
+	z := (x - n.Mu) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF returns P(X <= x).
+func (n Normal) CDF(x float64) float64 {
+	z := (x - n.Mu) / (n.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(-z)
+}
+
+// Sf returns the survival function P(X > x).
+func (n Normal) Sf(x float64) float64 {
+	z := (x - n.Mu) / (n.Sigma * math.Sqrt2)
+	return 0.5 * math.Erfc(z)
+}
+
+// Quantile returns the p-th quantile, p in (0,1).
+func (n Normal) Quantile(p float64) float64 {
+	return n.Mu + n.Sigma*stdNormalQuantile(p)
+}
+
+// stdNormalQuantile implements Acklam's inverse-normal approximation with a
+// single Halley refinement step, giving ~1e-15 relative accuracy.
+func stdNormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		switch {
+		case p == 0:
+			return math.Inf(-1)
+		case p == 1:
+			return math.Inf(1)
+		default:
+			return math.NaN()
+		}
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley step against the exact CDF.
+	e := StdNormal.CDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// ChiSquared is the chi-square distribution with K degrees of freedom.
+type ChiSquared struct {
+	K float64
+}
+
+// CDF returns P(X <= x).
+func (c ChiSquared) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return GammaP(c.K/2, x/2)
+}
+
+// Sf returns P(X > x), the tail probability used for p-values.
+func (c ChiSquared) Sf(x float64) float64 {
+	if x <= 0 {
+		return 1
+	}
+	return GammaQ(c.K/2, x/2)
+}
+
+// Quantile returns the p-th quantile by bisection on the CDF.
+func (c ChiSquared) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := 0.0, c.K+10
+	for c.CDF(hi) < p {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return math.NaN()
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if c.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// StudentsT is Student's t distribution with Nu degrees of freedom.
+type StudentsT struct {
+	Nu float64
+}
+
+// CDF returns P(T <= t).
+func (s StudentsT) CDF(t float64) float64 {
+	if math.IsNaN(t) {
+		return math.NaN()
+	}
+	x := s.Nu / (s.Nu + t*t)
+	half := 0.5 * BetaInc(s.Nu/2, 0.5, x)
+	if t > 0 {
+		return 1 - half
+	}
+	return half
+}
+
+// Sf returns P(T > t).
+func (s StudentsT) Sf(t float64) float64 { return 1 - s.CDF(t) }
+
+// TwoSidedP returns P(|T| >= |t|), the two-sided p-value for statistic t.
+func (s StudentsT) TwoSidedP(t float64) float64 {
+	x := s.Nu / (s.Nu + t*t)
+	return BetaInc(s.Nu/2, 0.5, x)
+}
+
+// FDist is the F distribution with D1 and D2 degrees of freedom.
+type FDist struct {
+	D1, D2 float64
+}
+
+// CDF returns P(F <= x).
+func (f FDist) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return BetaInc(f.D1/2, f.D2/2, f.D1*x/(f.D1*x+f.D2))
+}
+
+// Sf returns P(F > x).
+func (f FDist) Sf(x float64) float64 { return 1 - f.CDF(x) }
+
+// Poisson is the Poisson distribution with rate Lambda.
+type Poisson struct {
+	Lambda float64
+}
+
+// PMF returns P(X = k).
+func (p Poisson) PMF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	return math.Exp(p.LogPMF(k))
+}
+
+// LogPMF returns log P(X = k).
+func (p Poisson) LogPMF(k int) float64 {
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	if p.Lambda == 0 {
+		if k == 0 {
+			return 0
+		}
+		return math.Inf(-1)
+	}
+	return float64(k)*math.Log(p.Lambda) - p.Lambda - LogFactorial(k)
+}
+
+// CDF returns P(X <= k) via the incomplete gamma identity.
+func (p Poisson) CDF(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	return GammaQ(float64(k)+1, p.Lambda)
+}
+
+// Mean returns the distribution mean.
+func (p Poisson) Mean() float64 { return p.Lambda }
+
+// NegBinomial is the negative binomial distribution in its GLM ("NB2")
+// parameterization: mean Mu and dispersion Theta, with variance
+// Mu + Mu^2/Theta. As Theta goes to infinity it approaches Poisson(Mu).
+type NegBinomial struct {
+	Mu    float64
+	Theta float64
+}
+
+// LogPMF returns log P(X = k).
+func (nb NegBinomial) LogPMF(k int) float64 {
+	if k < 0 {
+		return math.Inf(-1)
+	}
+	y := float64(k)
+	th := nb.Theta
+	lg1, _ := math.Lgamma(y + th)
+	lg2, _ := math.Lgamma(th)
+	return lg1 - lg2 - LogFactorial(k) +
+		th*math.Log(th/(th+nb.Mu)) + y*math.Log(nb.Mu/(th+nb.Mu))
+}
+
+// PMF returns P(X = k).
+func (nb NegBinomial) PMF(k int) float64 { return math.Exp(nb.LogPMF(k)) }
+
+// Mean returns the distribution mean.
+func (nb NegBinomial) Mean() float64 { return nb.Mu }
+
+// Var returns the distribution variance Mu + Mu^2/Theta.
+func (nb NegBinomial) Var() float64 { return nb.Mu + nb.Mu*nb.Mu/nb.Theta }
+
+// Exponential is the exponential distribution with the given Rate.
+type Exponential struct {
+	Rate float64
+}
+
+// CDF returns P(X <= x).
+func (e Exponential) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-e.Rate * x)
+}
+
+// Quantile returns the p-th quantile.
+func (e Exponential) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / e.Rate
+}

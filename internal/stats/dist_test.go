@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalCDFReference(t *testing.T) {
+	// Reference values from standard normal tables.
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{2.5758293035489004, 0.995},
+		{-3, 0.0013498980316300933},
+	}
+	for _, c := range cases {
+		approx(t, "Normal.CDF", StdNormal.CDF(c.x), c.want, 1e-12)
+		approx(t, "Normal.Sf", StdNormal.Sf(c.x), 1-c.want, 1e-12)
+	}
+}
+
+func TestNormalQuantileReference(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959963984540054},
+		{0.995, 2.5758293035489004},
+		{0.025, -1.959963984540054},
+		{1e-6, -4.753424308822899},
+	}
+	for _, c := range cases {
+		approx(t, "Normal.Quantile", StdNormal.Quantile(c.p), c.want, 1e-8)
+	}
+	if !math.IsInf(StdNormal.Quantile(0), -1) || !math.IsInf(StdNormal.Quantile(1), 1) {
+		t.Error("quantiles at 0 and 1 should be infinite")
+	}
+	if !math.IsNaN(StdNormal.Quantile(-0.1)) {
+		t.Error("quantile outside (0,1) should be NaN")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	f := func(raw float64) bool {
+		p := 0.001 + 0.998*math.Abs(math.Mod(raw, 1))
+		q := StdNormal.Quantile(p)
+		return math.Abs(StdNormal.CDF(q)-p) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalScaled(t *testing.T) {
+	n := Normal{Mu: 10, Sigma: 2}
+	approx(t, "scaled CDF", n.CDF(12), StdNormal.CDF(1), 1e-12)
+	approx(t, "scaled quantile", n.Quantile(0.975), 10+2*1.959963984540054, 1e-8)
+	approx(t, "pdf peak", n.PDF(10), 1/(2*math.Sqrt(2*math.Pi)), 1e-12)
+}
+
+func TestChiSquaredReference(t *testing.T) {
+	// 95th percentiles from chi-square tables.
+	cases := []struct{ k, q95 float64 }{
+		{1, 3.841458820694124},
+		{2, 5.991464547107979},
+		{5, 11.070497693516351},
+		{10, 18.307038053275146},
+	}
+	for _, c := range cases {
+		d := ChiSquared{K: c.k}
+		approx(t, "ChiSq.CDF at q95", d.CDF(c.q95), 0.95, 1e-10)
+		approx(t, "ChiSq.Quantile(0.95)", d.Quantile(0.95), c.q95, 1e-6)
+	}
+	// df=2 has closed form CDF 1-exp(-x/2).
+	d := ChiSquared{K: 2}
+	for _, x := range []float64{0.5, 2, 8} {
+		approx(t, "ChiSq2 closed form", d.CDF(x), 1-math.Exp(-x/2), 1e-12)
+	}
+	if d.CDF(-1) != 0 || d.Sf(-1) != 1 {
+		t.Error("negative support should give CDF 0")
+	}
+}
+
+func TestStudentsTReference(t *testing.T) {
+	// t-table: P(T_10 <= 2.228138852) = 0.975.
+	d := StudentsT{Nu: 10}
+	approx(t, "T10 CDF", d.CDF(2.2281388519649385), 0.975, 1e-9)
+	approx(t, "T10 symmetric", d.CDF(-2.2281388519649385), 0.025, 1e-9)
+	approx(t, "T CDF(0)", d.CDF(0), 0.5, 1e-12)
+	approx(t, "two-sided", d.TwoSidedP(2.2281388519649385), 0.05, 1e-9)
+	// Large nu approaches the normal.
+	big := StudentsT{Nu: 1e6}
+	approx(t, "T->Normal", big.CDF(1.96), StdNormal.CDF(1.96), 1e-5)
+	// nu=1 is Cauchy: CDF(1) = 3/4.
+	cauchy := StudentsT{Nu: 1}
+	approx(t, "Cauchy CDF(1)", cauchy.CDF(1), 0.75, 1e-10)
+}
+
+func TestFDistReference(t *testing.T) {
+	// F(2,10) 95th percentile = 4.102821015.
+	d := FDist{D1: 2, D2: 10}
+	approx(t, "F CDF", d.CDF(4.102821015), 0.95, 1e-7)
+	if d.CDF(0) != 0 {
+		t.Error("F CDF at 0 should be 0")
+	}
+	approx(t, "F Sf", d.Sf(4.102821015), 0.05, 1e-7)
+}
+
+func TestPoissonReference(t *testing.T) {
+	p := Poisson{Lambda: 3}
+	approx(t, "Poisson PMF(2)", p.PMF(2), 4.5*math.Exp(-3), 1e-12)
+	approx(t, "Poisson CDF(2)", p.CDF(2), math.Exp(-3)*(1+3+4.5), 1e-10)
+	if p.PMF(-1) != 0 {
+		t.Error("PMF at negative k should be 0")
+	}
+	approx(t, "Poisson mean", p.Mean(), 3, 0)
+	zero := Poisson{Lambda: 0}
+	approx(t, "Poisson(0) PMF(0)", zero.PMF(0), 1, 1e-12)
+	approx(t, "Poisson(0) PMF(1)", zero.PMF(1), 0, 1e-12)
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lam := range []float64{0.3, 2, 9.5} {
+		p := Poisson{Lambda: lam}
+		sum := 0.0
+		for k := 0; k < 100; k++ {
+			sum += p.PMF(k)
+		}
+		approx(t, "Poisson sums to 1", sum, 1, 1e-9)
+	}
+}
+
+func TestNegBinomialReference(t *testing.T) {
+	nb := NegBinomial{Mu: 2, Theta: 3}
+	// PMF(0) = (theta/(theta+mu))^theta = (3/5)^3.
+	approx(t, "NB PMF(0)", nb.PMF(0), math.Pow(0.6, 3), 1e-12)
+	approx(t, "NB mean", nb.Mean(), 2, 0)
+	approx(t, "NB var", nb.Var(), 2+4.0/3, 1e-12)
+	sum, mean := 0.0, 0.0
+	for k := 0; k < 300; k++ {
+		p := nb.PMF(k)
+		sum += p
+		mean += float64(k) * p
+	}
+	approx(t, "NB sums to 1", sum, 1, 1e-9)
+	approx(t, "NB mean from PMF", mean, 2, 1e-8)
+	// Large theta approaches Poisson.
+	nbBig := NegBinomial{Mu: 2, Theta: 1e8}
+	pois := Poisson{Lambda: 2}
+	for k := 0; k < 8; k++ {
+		approx(t, "NB->Poisson", nbBig.PMF(k), pois.PMF(k), 1e-6)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Rate: 2}
+	approx(t, "Exp CDF", e.CDF(1), 1-math.Exp(-2), 1e-12)
+	approx(t, "Exp quantile", e.Quantile(0.5), math.Log(2)/2, 1e-12)
+	if e.CDF(-1) != 0 {
+		t.Error("Exp CDF negative support")
+	}
+	if !math.IsInf(e.Quantile(1), 1) {
+		t.Error("Exp quantile at 1 should be +Inf")
+	}
+}

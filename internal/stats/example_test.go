@@ -1,0 +1,54 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/hpcfail/hpcfail/internal/stats"
+)
+
+func ExampleProportion_WilsonCI() {
+	// 8 of 10 anchored windows saw a follow-up failure.
+	p := stats.Proportion{Successes: 8, Trials: 10}
+	ci := p.WilsonCI(0.95)
+	fmt.Printf("P = %.2f, 95%% CI [%.3f, %.3f]\n", p.P(), ci.Lo, ci.Hi)
+	// Output: P = 0.80, 95% CI [0.490, 0.943]
+}
+
+func ExampleTwoProportionZTest() {
+	// Conditional 50/100 vs baseline 30/100: is the increase real?
+	r, _ := stats.TwoProportionZTest(
+		stats.Proportion{Successes: 50, Trials: 100},
+		stats.Proportion{Successes: 30, Trials: 100},
+	)
+	fmt.Printf("z = %.2f, significant at 1%%: %v\n", r.Stat, r.Significant(0.01))
+	// Output: z = 2.89, significant at 1%: true
+}
+
+func ExampleChiSquareEqualRates() {
+	// Do four nodes with equal lifetimes fail at the same rate?
+	counts := []float64{30, 4, 5, 3}
+	exposure := []float64{1, 1, 1, 1}
+	r, _ := stats.ChiSquareEqualRates(counts, exposure)
+	fmt.Printf("X2 = %.1f (df %.0f), equal rates rejected: %v\n", r.Stat, r.DF, r.Significant(0.01))
+	// Output: X2 = 48.5 (df 3), equal rates rejected: true
+}
+
+func ExamplePearson() {
+	jobs := []float64{10, 20, 30, 40, 50}
+	failures := []float64{1, 2, 2, 4, 5}
+	c := stats.Pearson(jobs, failures)
+	fmt.Printf("r = %.3f\n", c.R)
+	// Output: r = 0.962
+}
+
+func ExampleFitWeibull() {
+	// Gaps drawn from an exact Weibull grid recover its parameters.
+	truth := stats.Weibull{Shape: 0.8, Scale: 24}
+	var gaps []float64
+	for i := 1; i < 200; i++ {
+		gaps = append(gaps, truth.Quantile(float64(i)/200))
+	}
+	fit, _ := stats.FitWeibull(gaps)
+	fmt.Printf("shape %.1f scale %.0f\n", fit.Shape, fit.Scale)
+	// Output: shape 0.8 scale 24
+}

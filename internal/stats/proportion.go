@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Proportion is an estimated binomial proportion: Successes events out of
+// Trials opportunities. It is the basic quantity of the paper's
+// conditional-probability analyses ("the probability that a node fails in
+// the week following X"), always reported together with a 95% confidence
+// interval.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// P returns the point estimate Successes/Trials, or NaN with no trials.
+func (p Proportion) P() float64 {
+	if p.Trials == 0 {
+		return math.NaN()
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// Valid reports whether the proportion has at least one trial.
+func (p Proportion) Valid() bool { return p.Trials > 0 }
+
+// String formats the proportion for human inspection.
+func (p Proportion) String() string {
+	if !p.Valid() {
+		return "n/a (0 trials)"
+	}
+	return fmt.Sprintf("%.4f (%d/%d)", p.P(), p.Successes, p.Trials)
+}
+
+// Interval is a two-sided confidence interval for a proportion.
+type Interval struct {
+	Lo, Hi float64
+	// Level is the confidence level, e.g. 0.95.
+	Level float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// WaldCI returns the normal-approximation (Wald) confidence interval at the
+// given level, clamped to [0,1]. For Trials == 0 it returns the vacuous
+// [0,1] interval.
+func (p Proportion) WaldCI(level float64) Interval {
+	if p.Trials == 0 {
+		return Interval{Lo: 0, Hi: 1, Level: level}
+	}
+	z := StdNormal.Quantile(0.5 + level/2)
+	ph := p.P()
+	n := float64(p.Trials)
+	half := z * math.Sqrt(ph*(1-ph)/n)
+	return Interval{
+		Lo:    math.Max(0, ph-half),
+		Hi:    math.Min(1, ph+half),
+		Level: level,
+	}
+}
+
+// WilsonCI returns the Wilson score interval at the given level. It behaves
+// much better than Wald for small counts and proportions near 0 or 1, which
+// the rarest failure types produce.
+func (p Proportion) WilsonCI(level float64) Interval {
+	if p.Trials == 0 {
+		return Interval{Lo: 0, Hi: 1, Level: level}
+	}
+	z := StdNormal.Quantile(0.5 + level/2)
+	n := float64(p.Trials)
+	ph := p.P()
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (ph + z2/(2*n)) / denom
+	half := z / denom * math.Sqrt(ph*(1-ph)/n+z2/(4*n*n))
+	return Interval{
+		Lo:    math.Max(0, center-half),
+		Hi:    math.Min(1, center+half),
+		Level: level,
+	}
+}
+
+// FactorOver returns the ratio p/q of the two point estimates — the "NX
+// increase over a random week" factor quoted throughout the paper. It
+// returns NaN when either proportion is invalid and +Inf when q is zero
+// but p is not.
+func (p Proportion) FactorOver(q Proportion) float64 {
+	if !p.Valid() || !q.Valid() {
+		return math.NaN()
+	}
+	pp, qq := p.P(), q.P()
+	if qq == 0 {
+		if pp == 0 {
+			return math.NaN()
+		}
+		return math.Inf(1)
+	}
+	return pp / qq
+}

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestProportionBasics(t *testing.T) {
+	p := Proportion{Successes: 8, Trials: 10}
+	approx(t, "P", p.P(), 0.8, 1e-12)
+	if !p.Valid() {
+		t.Error("valid proportion reported invalid")
+	}
+	empty := Proportion{}
+	if empty.Valid() || !math.IsNaN(empty.P()) {
+		t.Error("empty proportion should be invalid with NaN estimate")
+	}
+	if !strings.Contains(p.String(), "8/10") {
+		t.Errorf("String() = %q", p.String())
+	}
+	if !strings.Contains(empty.String(), "0 trials") {
+		t.Errorf("empty String() = %q", empty.String())
+	}
+}
+
+func TestWilsonCIReference(t *testing.T) {
+	// Known Wilson interval for 8/10 at 95%: (0.4902, 0.9433).
+	iv := Proportion{Successes: 8, Trials: 10}.WilsonCI(0.95)
+	approx(t, "Wilson lo", iv.Lo, 0.4901625, 1e-4)
+	approx(t, "Wilson hi", iv.Hi, 0.9433178, 1e-4)
+	if !iv.Contains(0.8) {
+		t.Error("Wilson interval should contain the point estimate")
+	}
+	// Zero successes keep a positive upper bound and a zero lower bound.
+	z := Proportion{Successes: 0, Trials: 20}.WilsonCI(0.95)
+	if z.Lo > 1e-12 || z.Hi <= 0 {
+		t.Errorf("Wilson CI for 0/20 = [%g, %g]", z.Lo, z.Hi)
+	}
+}
+
+func TestWaldCIReference(t *testing.T) {
+	iv := Proportion{Successes: 50, Trials: 100}.WaldCI(0.95)
+	half := 1.959963984540054 * math.Sqrt(0.25/100)
+	approx(t, "Wald lo", iv.Lo, 0.5-half, 1e-9)
+	approx(t, "Wald hi", iv.Hi, 0.5+half, 1e-9)
+	// Degenerate proportion at 1 clamps.
+	one := Proportion{Successes: 10, Trials: 10}.WaldCI(0.95)
+	if one.Hi > 1 || one.Lo > 1 {
+		t.Error("Wald CI must clamp to [0,1]")
+	}
+	// No trials: vacuous interval.
+	v := Proportion{}.WaldCI(0.95)
+	if v.Lo != 0 || v.Hi != 1 {
+		t.Error("no-trials CI should be [0,1]")
+	}
+}
+
+func TestCIProperties(t *testing.T) {
+	f := func(s, n uint16) bool {
+		trials := int(n%1000) + 1
+		successes := int(s) % (trials + 1)
+		p := Proportion{Successes: successes, Trials: trials}
+		w := p.WilsonCI(0.95)
+		wd := p.WaldCI(0.95)
+		ok := w.Lo >= 0 && w.Hi <= 1 && w.Lo <= w.Hi
+		ok = ok && wd.Lo >= 0 && wd.Hi <= 1 && wd.Lo <= wd.Hi
+		// Wilson always contains the point estimate (up to rounding at
+		// the boundary for all-success / all-failure samples).
+		est := p.P()
+		ok = ok && w.Lo <= est+1e-9 && w.Hi >= est-1e-9
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCINarrowsWithN(t *testing.T) {
+	small := Proportion{Successes: 5, Trials: 10}.WilsonCI(0.95)
+	big := Proportion{Successes: 500, Trials: 1000}.WilsonCI(0.95)
+	if big.Hi-big.Lo >= small.Hi-small.Lo {
+		t.Error("CI should narrow as n grows")
+	}
+}
+
+func TestFactorOver(t *testing.T) {
+	a := Proportion{Successes: 20, Trials: 100}
+	b := Proportion{Successes: 2, Trials: 100}
+	approx(t, "FactorOver", a.FactorOver(b), 10, 1e-12)
+	zero := Proportion{Successes: 0, Trials: 100}
+	if !math.IsInf(a.FactorOver(zero), 1) {
+		t.Error("factor over zero baseline should be +Inf")
+	}
+	if !math.IsNaN(zero.FactorOver(zero)) {
+		t.Error("0/0 factor should be NaN")
+	}
+	if !math.IsNaN(a.FactorOver(Proportion{})) {
+		t.Error("factor over invalid should be NaN")
+	}
+}

@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Weibull is the two-parameter Weibull distribution. It is the classical
+// model for times between failures in HPC systems (Schroeder & Gibson,
+// DSN'06 — reference [12] of the paper): a shape below 1 means a
+// decreasing hazard rate, i.e. failures cluster, which is exactly the
+// correlation structure the DSN'13 study quantifies with conditional
+// probabilities.
+type Weibull struct {
+	// Shape is k; Scale is lambda.
+	Shape, Scale float64
+}
+
+// PDF returns the density at x.
+func (w Weibull) PDF(x float64) float64 {
+	if x < 0 || w.Shape <= 0 || w.Scale <= 0 {
+		return 0
+	}
+	if x == 0 {
+		if w.Shape < 1 {
+			return math.Inf(1)
+		}
+		if w.Shape == 1 {
+			return 1 / w.Scale
+		}
+		return 0
+	}
+	z := x / w.Scale
+	return w.Shape / w.Scale * math.Pow(z, w.Shape-1) * math.Exp(-math.Pow(z, w.Shape))
+}
+
+// CDF returns P(X <= x).
+func (w Weibull) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return -math.Expm1(-math.Pow(x/w.Scale, w.Shape))
+}
+
+// Quantile returns the p-th quantile.
+func (w Weibull) Quantile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return w.Scale * math.Pow(-math.Log(1-p), 1/w.Shape)
+}
+
+// Mean returns the distribution mean lambda * Gamma(1 + 1/k).
+func (w Weibull) Mean() float64 {
+	g, _ := math.Lgamma(1 + 1/w.Shape)
+	return w.Scale * math.Exp(g)
+}
+
+// ErrWeibullFit is returned when the MLE cannot be computed.
+var ErrWeibullFit = errors.New("stats: weibull fit failed")
+
+// FitWeibull computes the maximum-likelihood Weibull parameters for a
+// positive sample by Newton iteration on the profile equation for the
+// shape:
+//
+//	1/k = sum(x^k ln x)/sum(x^k) - mean(ln x)
+//
+// followed by the closed-form scale. Samples need at least three distinct
+// positive values.
+func FitWeibull(xs []float64) (Weibull, error) {
+	n := 0
+	var sumLog float64
+	distinct := make(map[float64]struct{}, 8)
+	for _, x := range xs {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		n++
+		sumLog += math.Log(x)
+		if len(distinct) < 3 {
+			distinct[x] = struct{}{}
+		}
+	}
+	if n < 3 || len(distinct) < 2 {
+		return Weibull{}, ErrWeibullFit
+	}
+	meanLog := sumLog / float64(n)
+
+	f := func(k float64) (val, deriv float64) {
+		var sk, skl, skl2 float64
+		for _, x := range xs {
+			if x <= 0 {
+				continue
+			}
+			lx := math.Log(x)
+			xk := math.Pow(x, k)
+			sk += xk
+			skl += xk * lx
+			skl2 += xk * lx * lx
+		}
+		val = skl/sk - meanLog - 1/k
+		deriv = (skl2*sk-skl*skl)/(sk*sk) + 1/(k*k)
+		return val, deriv
+	}
+
+	k := 1.0
+	for i := 0; i < 200; i++ {
+		val, deriv := f(k)
+		if math.IsNaN(val) || deriv == 0 {
+			return Weibull{}, ErrWeibullFit
+		}
+		next := k - val/deriv
+		if next <= 0 {
+			next = k / 2
+		}
+		if next > 100 {
+			next = 100
+		}
+		if math.Abs(next-k) < 1e-10*(1+k) {
+			k = next
+			break
+		}
+		k = next
+	}
+	if k <= 0 || math.IsNaN(k) {
+		return Weibull{}, ErrWeibullFit
+	}
+	var sk float64
+	for _, x := range xs {
+		if x > 0 {
+			sk += math.Pow(x, k)
+		}
+	}
+	lambda := math.Pow(sk/float64(n), 1/k)
+	if lambda <= 0 || math.IsNaN(lambda) {
+		return Weibull{}, ErrWeibullFit
+	}
+	return Weibull{Shape: k, Scale: lambda}, nil
+}
+
+// Bootstrap computes a percentile bootstrap confidence interval for an
+// arbitrary statistic of a sample, with a deterministic resampling stream
+// (xorshift) so analyses stay reproducible. level is e.g. 0.95; rounds of
+// 1000 are typical.
+func Bootstrap(xs []float64, stat func([]float64) float64, rounds int, level float64, seed uint64) (Interval, error) {
+	if len(xs) < 2 || rounds < 10 || level <= 0 || level >= 1 {
+		return Interval{}, ErrDegenerate
+	}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	next := func() uint64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed
+	}
+	resample := make([]float64, len(xs))
+	vals := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		for i := range resample {
+			resample[i] = xs[next()%uint64(len(xs))]
+		}
+		v := stat(resample)
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) < rounds/2 {
+		return Interval{}, ErrDegenerate
+	}
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    Quantile(vals, alpha),
+		Hi:    Quantile(vals, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// RatioCI returns an approximate confidence interval for the ratio of two
+// independent proportions (the "factor increase" the paper annotates on
+// every bar), using the delta method on the log scale. The interval is
+// undefined (NaN bounds) when either proportion has no successes.
+func RatioCI(num, den Proportion, level float64) Interval {
+	if !num.Valid() || !den.Valid() || num.Successes == 0 || den.Successes == 0 {
+		return Interval{Lo: math.NaN(), Hi: math.NaN(), Level: level}
+	}
+	p1, p2 := num.P(), den.P()
+	ratio := p1 / p2
+	// Var(log ratio) = (1-p1)/(n1 p1) + (1-p2)/(n2 p2).
+	se := math.Sqrt((1-p1)/(float64(num.Trials)*p1) + (1-p2)/(float64(den.Trials)*p2))
+	z := StdNormal.Quantile(0.5 + level/2)
+	return Interval{
+		Lo:    ratio * math.Exp(-z*se),
+		Hi:    ratio * math.Exp(z*se),
+		Level: level,
+	}
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWeibullDistribution(t *testing.T) {
+	// Shape 1 is the exponential distribution.
+	w := Weibull{Shape: 1, Scale: 2}
+	e := Exponential{Rate: 0.5}
+	for _, x := range []float64{0.1, 1, 3, 10} {
+		approx(t, "weibull(1)=exp CDF", w.CDF(x), e.CDF(x), 1e-12)
+	}
+	approx(t, "weibull mean shape1", w.Mean(), 2, 1e-10)
+	// Quantile inverts CDF.
+	w2 := Weibull{Shape: 0.7, Scale: 5}
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		approx(t, "quantile roundtrip", w2.CDF(w2.Quantile(p)), p, 1e-10)
+	}
+	if w2.CDF(-1) != 0 || w2.PDF(-1) != 0 {
+		t.Error("negative support")
+	}
+	// PDF integrates to ~1 (coarse Riemann check).
+	sum := 0.0
+	dx := 0.01
+	for x := dx / 2; x < 60; x += dx {
+		sum += w2.PDF(x) * dx
+	}
+	approx(t, "pdf mass", sum, 1, 1e-2)
+}
+
+func TestFitWeibullRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, truth := range []Weibull{
+		{Shape: 0.7, Scale: 10},
+		{Shape: 1.0, Scale: 3},
+		{Shape: 2.5, Scale: 1.5},
+	} {
+		xs := make([]float64, 4000)
+		for i := range xs {
+			xs[i] = truth.Quantile(rng.Float64())
+		}
+		fit, err := FitWeibull(xs)
+		if err != nil {
+			t.Fatalf("fit %+v: %v", truth, err)
+		}
+		if math.Abs(fit.Shape-truth.Shape) > 0.1*truth.Shape {
+			t.Errorf("shape = %.3f, want %.3f", fit.Shape, truth.Shape)
+		}
+		if math.Abs(fit.Scale-truth.Scale) > 0.1*truth.Scale {
+			t.Errorf("scale = %.3f, want %.3f", fit.Scale, truth.Scale)
+		}
+	}
+}
+
+func TestFitWeibullClusteredGapsHaveShapeBelowOne(t *testing.T) {
+	// A mixture of short and long gaps (clustering) yields k < 1, the
+	// classical HPC inter-arrival result.
+	rng := rand.New(rand.NewSource(22))
+	xs := make([]float64, 3000)
+	for i := range xs {
+		if rng.Float64() < 0.7 {
+			xs[i] = rng.ExpFloat64() * 1 // bursts
+		} else {
+			xs[i] = rng.ExpFloat64() * 50 // quiet stretches
+		}
+	}
+	fit, err := FitWeibull(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.Shape >= 1 {
+		t.Errorf("clustered gaps should fit shape < 1, got %.3f", fit.Shape)
+	}
+}
+
+func TestFitWeibullDegenerate(t *testing.T) {
+	if _, err := FitWeibull([]float64{1, 2}); !errors.Is(err, ErrWeibullFit) {
+		t.Error("too few points should fail")
+	}
+	if _, err := FitWeibull([]float64{3, 3, 3, 3}); !errors.Is(err, ErrWeibullFit) {
+		t.Error("constant sample should fail")
+	}
+	if _, err := FitWeibull([]float64{-1, 0, math.NaN()}); !errors.Is(err, ErrWeibullFit) {
+		t.Error("no positive values should fail")
+	}
+	// Non-positive values are ignored, not fatal, when enough remain.
+	if _, err := FitWeibull([]float64{-1, 0, 1, 2, 3, 4}); err != nil {
+		t.Errorf("mixed sample should fit: %v", err)
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	iv, err := Bootstrap(xs, Mean, 1000, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(Mean(xs)) {
+		t.Errorf("bootstrap CI [%.3f, %.3f] should contain the sample mean %.3f", iv.Lo, iv.Hi, Mean(xs))
+	}
+	// Roughly mean +- 2*sd/sqrt(n) = 10 +- 0.2.
+	if iv.Lo < 9.4 || iv.Hi > 10.6 {
+		t.Errorf("bootstrap CI [%.3f, %.3f] implausibly wide", iv.Lo, iv.Hi)
+	}
+	// Deterministic under the same seed.
+	iv2, _ := Bootstrap(xs, Mean, 1000, 0.95, 7)
+	if iv != iv2 {
+		t.Error("bootstrap must be deterministic for a fixed seed")
+	}
+	if _, err := Bootstrap([]float64{1}, Mean, 1000, 0.95, 1); !errors.Is(err, ErrDegenerate) {
+		t.Error("tiny sample should be degenerate")
+	}
+	if _, err := Bootstrap(xs, Mean, 5, 0.95, 1); !errors.Is(err, ErrDegenerate) {
+		t.Error("too few rounds should be degenerate")
+	}
+}
+
+func TestRatioCI(t *testing.T) {
+	num := Proportion{Successes: 40, Trials: 100}
+	den := Proportion{Successes: 10, Trials: 200}
+	iv := RatioCI(num, den, 0.95)
+	ratio := num.P() / den.P()
+	if !(iv.Lo < ratio && ratio < iv.Hi) {
+		t.Errorf("ratio CI [%.2f, %.2f] should bracket %.2f", iv.Lo, iv.Hi, ratio)
+	}
+	if iv.Lo <= 1 {
+		t.Errorf("clear 8x effect should have CI above 1: [%.2f, %.2f]", iv.Lo, iv.Hi)
+	}
+	// Zero successes: undefined.
+	z := RatioCI(Proportion{Successes: 0, Trials: 10}, den, 0.95)
+	if !math.IsNaN(z.Lo) {
+		t.Error("zero-success ratio CI should be NaN")
+	}
+	// Larger samples narrow the interval.
+	big := RatioCI(Proportion{Successes: 400, Trials: 1000}, Proportion{Successes: 100, Trials: 2000}, 0.95)
+	if big.Hi-big.Lo >= iv.Hi-iv.Lo {
+		t.Error("CI should narrow with sample size")
+	}
+}

@@ -1,0 +1,609 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/layout"
+)
+
+// The CSV codecs serialize datasets into a directory of plain CSV files,
+// one per record type, with a header row. The column layout follows the
+// spirit of the released LANL tables (node number, timestamps, root-cause
+// fields) while staying strictly machine-readable.
+
+const timeLayout = time.RFC3339
+
+// File names used inside a dataset directory.
+const (
+	SystemsFile     = "systems.csv"
+	FailuresFile    = "failures.csv"
+	JobsFile        = "jobs.csv"
+	TempsFile       = "temps.csv"
+	MaintenanceFile = "maintenance.csv"
+	NeutronsFile    = "neutrons.csv"
+)
+
+// LayoutFile returns the per-system layout file name.
+func LayoutFile(system int) string {
+	return fmt.Sprintf("layout_%d.csv", system)
+}
+
+func parseTime(s string) (time.Time, error) {
+	t, err := time.Parse(timeLayout, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("parse time %q: %w", s, err)
+	}
+	return t, nil
+}
+
+// WriteFailures writes failures as CSV with a header row.
+func WriteFailures(w io.Writer, failures []Failure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"system", "node", "time", "category", "hw", "sw", "env", "downtime_s"}); err != nil {
+		return err
+	}
+	for _, f := range failures {
+		hw, sw, env := "", "", ""
+		if f.HW != HWUnknown {
+			hw = f.HW.String()
+		}
+		if f.SW != SWUnknown {
+			sw = f.SW.String()
+		}
+		if f.Env != EnvUnknown {
+			env = f.Env.String()
+		}
+		rec := []string{
+			strconv.Itoa(f.System),
+			strconv.Itoa(f.Node),
+			f.Time.Format(timeLayout),
+			f.Category.String(),
+			hw, sw, env,
+			strconv.FormatInt(int64(f.Downtime/time.Second), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadFailures parses CSV produced by WriteFailures.
+func ReadFailures(r io.Reader) ([]Failure, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 8
+	var out []Failure
+	for line := 0; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("failures line %d: %w", line+1, err)
+		}
+		if line == 0 {
+			continue // header
+		}
+		f, err := parseFailure(rec)
+		if err != nil {
+			return nil, fmt.Errorf("failures line %d: %w", line+1, err)
+		}
+		out = append(out, f)
+	}
+}
+
+func parseFailure(rec []string) (Failure, error) {
+	var f Failure
+	var err error
+	if f.System, err = strconv.Atoi(rec[0]); err != nil {
+		return f, fmt.Errorf("system: %w", err)
+	}
+	if f.Node, err = strconv.Atoi(rec[1]); err != nil {
+		return f, fmt.Errorf("node: %w", err)
+	}
+	if f.Time, err = parseTime(rec[2]); err != nil {
+		return f, err
+	}
+	if f.Category, err = ParseCategory(rec[3]); err != nil {
+		return f, err
+	}
+	if f.HW, err = ParseHWComponent(rec[4]); err != nil {
+		return f, err
+	}
+	if f.SW, err = ParseSWClass(rec[5]); err != nil {
+		return f, err
+	}
+	if f.Env, err = ParseEnvClass(rec[6]); err != nil {
+		return f, err
+	}
+	secs, err := strconv.ParseInt(rec[7], 10, 64)
+	if err != nil {
+		return f, fmt.Errorf("downtime: %w", err)
+	}
+	f.Downtime = time.Duration(secs) * time.Second
+	return f, nil
+}
+
+// WriteJobs writes jobs as CSV with a header row. Node lists are encoded as
+// space-separated IDs inside one field.
+func WriteJobs(w io.Writer, jobs []Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"system", "id", "user", "submit", "dispatch", "end", "procs", "nodes", "failed_by_node"}); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		nodes := ""
+		for i, n := range j.Nodes {
+			if i > 0 {
+				nodes += " "
+			}
+			nodes += strconv.Itoa(n)
+		}
+		rec := []string{
+			strconv.Itoa(j.System),
+			strconv.FormatInt(j.ID, 10),
+			strconv.Itoa(j.User),
+			j.Submit.Format(timeLayout),
+			j.Dispatch.Format(timeLayout),
+			j.End.Format(timeLayout),
+			strconv.Itoa(j.Procs),
+			nodes,
+			strconv.FormatBool(j.FailedByNode),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadJobs parses CSV produced by WriteJobs.
+func ReadJobs(r io.Reader) ([]Job, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 9
+	var out []Job
+	for line := 0; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("jobs line %d: %w", line+1, err)
+		}
+		if line == 0 {
+			continue
+		}
+		j, err := parseJob(rec)
+		if err != nil {
+			return nil, fmt.Errorf("jobs line %d: %w", line+1, err)
+		}
+		out = append(out, j)
+	}
+}
+
+func parseJob(rec []string) (Job, error) {
+	var j Job
+	var err error
+	if j.System, err = strconv.Atoi(rec[0]); err != nil {
+		return j, fmt.Errorf("system: %w", err)
+	}
+	if j.ID, err = strconv.ParseInt(rec[1], 10, 64); err != nil {
+		return j, fmt.Errorf("id: %w", err)
+	}
+	if j.User, err = strconv.Atoi(rec[2]); err != nil {
+		return j, fmt.Errorf("user: %w", err)
+	}
+	if j.Submit, err = parseTime(rec[3]); err != nil {
+		return j, err
+	}
+	if j.Dispatch, err = parseTime(rec[4]); err != nil {
+		return j, err
+	}
+	if j.End, err = parseTime(rec[5]); err != nil {
+		return j, err
+	}
+	if j.Procs, err = strconv.Atoi(rec[6]); err != nil {
+		return j, fmt.Errorf("procs: %w", err)
+	}
+	if rec[7] != "" {
+		start := 0
+		s := rec[7]
+		for i := 0; i <= len(s); i++ {
+			if i == len(s) || s[i] == ' ' {
+				if i > start {
+					n, err := strconv.Atoi(s[start:i])
+					if err != nil {
+						return j, fmt.Errorf("nodes: %w", err)
+					}
+					j.Nodes = append(j.Nodes, n)
+				}
+				start = i + 1
+			}
+		}
+	}
+	if j.FailedByNode, err = strconv.ParseBool(rec[8]); err != nil {
+		return j, fmt.Errorf("failed_by_node: %w", err)
+	}
+	return j, nil
+}
+
+// WriteTemps writes temperature samples as CSV with a header row.
+func WriteTemps(w io.Writer, temps []TempSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"system", "node", "time", "celsius"}); err != nil {
+		return err
+	}
+	for _, t := range temps {
+		rec := []string{
+			strconv.Itoa(t.System),
+			strconv.Itoa(t.Node),
+			t.Time.Format(timeLayout),
+			strconv.FormatFloat(t.Celsius, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTemps parses CSV produced by WriteTemps.
+func ReadTemps(r io.Reader) ([]TempSample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var out []TempSample
+	for line := 0; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("temps line %d: %w", line+1, err)
+		}
+		if line == 0 {
+			continue
+		}
+		var t TempSample
+		if t.System, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("temps line %d system: %w", line+1, err)
+		}
+		if t.Node, err = strconv.Atoi(rec[1]); err != nil {
+			return nil, fmt.Errorf("temps line %d node: %w", line+1, err)
+		}
+		if t.Time, err = parseTime(rec[2]); err != nil {
+			return nil, fmt.Errorf("temps line %d: %w", line+1, err)
+		}
+		if t.Celsius, err = strconv.ParseFloat(rec[3], 64); err != nil {
+			return nil, fmt.Errorf("temps line %d celsius: %w", line+1, err)
+		}
+		out = append(out, t)
+	}
+}
+
+// WriteMaintenance writes maintenance events as CSV with a header row.
+func WriteMaintenance(w io.Writer, events []MaintenanceEvent) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"system", "node", "time", "scheduled", "hardware"}); err != nil {
+		return err
+	}
+	for _, m := range events {
+		rec := []string{
+			strconv.Itoa(m.System),
+			strconv.Itoa(m.Node),
+			m.Time.Format(timeLayout),
+			strconv.FormatBool(m.Scheduled),
+			strconv.FormatBool(m.HardwareRelated),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadMaintenance parses CSV produced by WriteMaintenance.
+func ReadMaintenance(r io.Reader) ([]MaintenanceEvent, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	var out []MaintenanceEvent
+	for line := 0; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("maintenance line %d: %w", line+1, err)
+		}
+		if line == 0 {
+			continue
+		}
+		var m MaintenanceEvent
+		if m.System, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("maintenance line %d system: %w", line+1, err)
+		}
+		if m.Node, err = strconv.Atoi(rec[1]); err != nil {
+			return nil, fmt.Errorf("maintenance line %d node: %w", line+1, err)
+		}
+		if m.Time, err = parseTime(rec[2]); err != nil {
+			return nil, fmt.Errorf("maintenance line %d: %w", line+1, err)
+		}
+		if m.Scheduled, err = strconv.ParseBool(rec[3]); err != nil {
+			return nil, fmt.Errorf("maintenance line %d scheduled: %w", line+1, err)
+		}
+		if m.HardwareRelated, err = strconv.ParseBool(rec[4]); err != nil {
+			return nil, fmt.Errorf("maintenance line %d hardware: %w", line+1, err)
+		}
+		out = append(out, m)
+	}
+}
+
+// WriteNeutrons writes neutron samples as CSV with a header row.
+func WriteNeutrons(w io.Writer, samples []NeutronSample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "counts_per_minute"}); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		rec := []string{
+			s.Time.Format(timeLayout),
+			strconv.FormatFloat(s.CountsPerMinute, 'f', 2, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadNeutrons parses CSV produced by WriteNeutrons.
+func ReadNeutrons(r io.Reader) ([]NeutronSample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	var out []NeutronSample
+	for line := 0; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("neutrons line %d: %w", line+1, err)
+		}
+		if line == 0 {
+			continue
+		}
+		var s NeutronSample
+		if s.Time, err = parseTime(rec[0]); err != nil {
+			return nil, fmt.Errorf("neutrons line %d: %w", line+1, err)
+		}
+		if s.CountsPerMinute, err = strconv.ParseFloat(rec[1], 64); err != nil {
+			return nil, fmt.Errorf("neutrons line %d counts: %w", line+1, err)
+		}
+		out = append(out, s)
+	}
+}
+
+// WriteSystems writes system descriptors as CSV with a header row.
+func WriteSystems(w io.Writer, systems []SystemInfo) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "group", "nodes", "procs_per_node", "start", "end"}); err != nil {
+		return err
+	}
+	for _, s := range systems {
+		rec := []string{
+			strconv.Itoa(s.ID),
+			strconv.Itoa(int(s.Group)),
+			strconv.Itoa(s.Nodes),
+			strconv.Itoa(s.ProcsPerNode),
+			s.Period.Start.Format(timeLayout),
+			s.Period.End.Format(timeLayout),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSystems parses CSV produced by WriteSystems.
+func ReadSystems(r io.Reader) ([]SystemInfo, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 6
+	var out []SystemInfo
+	for line := 0; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("systems line %d: %w", line+1, err)
+		}
+		if line == 0 {
+			continue
+		}
+		var s SystemInfo
+		if s.ID, err = strconv.Atoi(rec[0]); err != nil {
+			return nil, fmt.Errorf("systems line %d id: %w", line+1, err)
+		}
+		g, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("systems line %d group: %w", line+1, err)
+		}
+		s.Group = Group(g)
+		if s.Nodes, err = strconv.Atoi(rec[2]); err != nil {
+			return nil, fmt.Errorf("systems line %d nodes: %w", line+1, err)
+		}
+		if s.ProcsPerNode, err = strconv.Atoi(rec[3]); err != nil {
+			return nil, fmt.Errorf("systems line %d procs: %w", line+1, err)
+		}
+		if s.Period.Start, err = parseTime(rec[4]); err != nil {
+			return nil, fmt.Errorf("systems line %d: %w", line+1, err)
+		}
+		if s.Period.End, err = parseTime(rec[5]); err != nil {
+			return nil, fmt.Errorf("systems line %d: %w", line+1, err)
+		}
+		out = append(out, s)
+	}
+}
+
+// WriteLayout writes one system's layout as CSV with a header row.
+func WriteLayout(w io.Writer, l *layout.Layout) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"node", "rack", "position", "row", "aisle"}); err != nil {
+		return err
+	}
+	for _, n := range l.Nodes() {
+		p, _ := l.Place(n)
+		rec := []string{
+			strconv.Itoa(n),
+			strconv.Itoa(p.Rack),
+			strconv.Itoa(p.Position),
+			strconv.Itoa(p.Row),
+			strconv.Itoa(p.Aisle),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadLayout parses CSV produced by WriteLayout into a layout for system.
+func ReadLayout(r io.Reader, system int) (*layout.Layout, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	l := layout.New(system)
+	for line := 0; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return l, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("layout line %d: %w", line+1, err)
+		}
+		if line == 0 {
+			continue
+		}
+		vals := make([]int, 5)
+		for i, s := range rec {
+			if vals[i], err = strconv.Atoi(s); err != nil {
+				return nil, fmt.Errorf("layout line %d field %d: %w", line+1, i, err)
+			}
+		}
+		if err := l.SetPlace(vals[0], layout.Place{Rack: vals[1], Position: vals[2], Row: vals[3], Aisle: vals[4]}); err != nil {
+			return nil, fmt.Errorf("layout line %d: %w", line+1, err)
+		}
+	}
+}
+
+// SaveDir writes the full dataset into a directory, one CSV file per record
+// type plus one layout file per system with a layout. The directory is
+// created if needed.
+func SaveDir(dir string, d *Dataset) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("save dataset: %w", err)
+	}
+	save := func(name string, write func(io.Writer) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", name, err)
+		}
+		return f.Close()
+	}
+	if err := save(SystemsFile, func(w io.Writer) error { return WriteSystems(w, d.Systems) }); err != nil {
+		return err
+	}
+	if err := save(FailuresFile, func(w io.Writer) error { return WriteFailures(w, d.Failures) }); err != nil {
+		return err
+	}
+	if err := save(JobsFile, func(w io.Writer) error { return WriteJobs(w, d.Jobs) }); err != nil {
+		return err
+	}
+	if err := save(TempsFile, func(w io.Writer) error { return WriteTemps(w, d.Temps) }); err != nil {
+		return err
+	}
+	if err := save(MaintenanceFile, func(w io.Writer) error { return WriteMaintenance(w, d.Maintenance) }); err != nil {
+		return err
+	}
+	if err := save(NeutronsFile, func(w io.Writer) error { return WriteNeutrons(w, d.Neutrons) }); err != nil {
+		return err
+	}
+	for id, l := range d.Layouts {
+		lay := l
+		if err := save(LayoutFile(id), func(w io.Writer) error { return WriteLayout(w, lay) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads a dataset directory written by SaveDir.
+func LoadDir(dir string) (*Dataset, error) {
+	d := &Dataset{Layouts: make(map[int]*layout.Layout)}
+	load := func(name string, read func(io.Reader) error) error {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := read(f); err != nil {
+			return fmt.Errorf("read %s: %w", name, err)
+		}
+		return nil
+	}
+	var err error
+	if lerr := load(SystemsFile, func(r io.Reader) error { d.Systems, err = ReadSystems(r); return err }); lerr != nil {
+		return nil, lerr
+	}
+	if lerr := load(FailuresFile, func(r io.Reader) error { d.Failures, err = ReadFailures(r); return err }); lerr != nil {
+		return nil, lerr
+	}
+	if lerr := load(JobsFile, func(r io.Reader) error { d.Jobs, err = ReadJobs(r); return err }); lerr != nil {
+		return nil, lerr
+	}
+	if lerr := load(TempsFile, func(r io.Reader) error { d.Temps, err = ReadTemps(r); return err }); lerr != nil {
+		return nil, lerr
+	}
+	if lerr := load(MaintenanceFile, func(r io.Reader) error { d.Maintenance, err = ReadMaintenance(r); return err }); lerr != nil {
+		return nil, lerr
+	}
+	if lerr := load(NeutronsFile, func(r io.Reader) error { d.Neutrons, err = ReadNeutrons(r); return err }); lerr != nil {
+		return nil, lerr
+	}
+	for _, s := range d.Systems {
+		path := filepath.Join(dir, LayoutFile(s.ID))
+		if _, statErr := os.Stat(path); statErr != nil {
+			continue // layouts are optional per system
+		}
+		sys := s.ID
+		if lerr := load(LayoutFile(sys), func(r io.Reader) error {
+			l, rerr := ReadLayout(r, sys)
+			if rerr != nil {
+				return rerr
+			}
+			d.Layouts[sys] = l
+			return nil
+		}); lerr != nil {
+			return nil, lerr
+		}
+	}
+	d.Sort()
+	return d, nil
+}

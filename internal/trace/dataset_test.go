@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func validDataset() *Dataset {
+	ds := &Dataset{
+		Systems: []SystemInfo{
+			{ID: 1, Group: Group1, Nodes: 8, ProcsPerNode: 4, Period: Interval{Start: ts(0), End: ts(24 * 30)}},
+			{ID: 2, Group: Group2, Nodes: 4, ProcsPerNode: 128, Period: Interval{Start: ts(0), End: ts(24 * 60)}},
+		},
+		Failures: []Failure{
+			{System: 1, Node: 3, Time: ts(10), Category: Hardware, HW: CPU},
+			{System: 2, Node: 1, Time: ts(4), Category: Software, SW: OS},
+			{System: 1, Node: 0, Time: ts(4), Category: Network},
+		},
+		Jobs: []Job{
+			{System: 1, ID: 9, User: 1, Submit: ts(1), Dispatch: ts(2), End: ts(8), Procs: 4, Nodes: []int{3}},
+		},
+		Temps: []TempSample{
+			{System: 1, Node: 2, Time: ts(6), Celsius: 30},
+		},
+		Maintenance: []MaintenanceEvent{
+			{System: 2, Node: 0, Time: ts(12)},
+		},
+		Neutrons: []NeutronSample{
+			{Time: ts(0), CountsPerMinute: 4000},
+			{Time: ts(6), CountsPerMinute: 3990},
+		},
+	}
+	ds.Sort()
+	return ds
+}
+
+func TestDatasetSortOrders(t *testing.T) {
+	ds := validDataset()
+	for i := 1; i < len(ds.Failures); i++ {
+		if ds.Failures[i].Time.Before(ds.Failures[i-1].Time) {
+			t.Fatal("failures not sorted")
+		}
+	}
+	// Tie at ts(4) broken by system.
+	if ds.Failures[0].System != 1 || ds.Failures[1].System != 2 {
+		t.Error("tie-break by system failed")
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	ds := validDataset()
+	if s, ok := ds.System(2); !ok || s.Group != Group2 {
+		t.Error("System lookup failed")
+	}
+	if _, ok := ds.System(99); ok {
+		t.Error("unknown system should not be found")
+	}
+	ids := ds.SystemIDs()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("ids = %v", ids)
+	}
+	if got := len(ds.GroupSystems(Group1)); got != 1 {
+		t.Errorf("group-1 systems = %d", got)
+	}
+	if got := len(ds.SystemFailures(1)); got != 2 {
+		t.Errorf("system 1 failures = %d", got)
+	}
+	if got := len(ds.SystemJobs(1)); got != 1 {
+		t.Errorf("system 1 jobs = %d", got)
+	}
+}
+
+func TestFilterSystems(t *testing.T) {
+	ds := validDataset()
+	sub := ds.FilterSystems(1)
+	if len(sub.Systems) != 1 || len(sub.Failures) != 2 || len(sub.Jobs) != 1 || len(sub.Maintenance) != 0 {
+		t.Errorf("filtered shape wrong: %d systems %d failures %d jobs %d maint",
+			len(sub.Systems), len(sub.Failures), len(sub.Jobs), len(sub.Maintenance))
+	}
+	// Neutron series is external and kept.
+	if len(sub.Neutrons) != 2 {
+		t.Error("neutrons should be preserved")
+	}
+	g2 := ds.FilterGroup(Group2)
+	if len(g2.Systems) != 1 || g2.Systems[0].ID != 2 {
+		t.Error("FilterGroup wrong")
+	}
+}
+
+func TestValidateAcceptsValid(t *testing.T) {
+	if err := validDataset().Validate(); err != nil {
+		t.Fatalf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Dataset)
+		substr string
+	}{
+		{"unknown system", func(d *Dataset) {
+			d.Failures = append(d.Failures, Failure{System: 99, Node: 0, Time: ts(1), Category: Hardware})
+		}, "unknown system"},
+		{"node out of range", func(d *Dataset) {
+			d.Failures = append(d.Failures, Failure{System: 1, Node: 64, Time: ts(1), Category: Hardware})
+		}, "out of range"},
+		{"time outside period", func(d *Dataset) {
+			d.Failures = append(d.Failures, Failure{System: 1, Node: 0, Time: ts(24 * 4000), Category: Hardware})
+		}, "outside system"},
+		{"invalid category", func(d *Dataset) {
+			d.Failures = append(d.Failures, Failure{System: 1, Node: 0, Time: ts(1), Category: Category(17)})
+		}, "invalid category"},
+		{"hw subtype on sw failure", func(d *Dataset) {
+			d.Failures = append(d.Failures, Failure{System: 1, Node: 0, Time: ts(1), Category: Software, HW: CPU})
+		}, "hardware component"},
+		{"env subtype on hw failure", func(d *Dataset) {
+			d.Failures = append(d.Failures, Failure{System: 1, Node: 0, Time: ts(1), Category: Hardware, Env: UPS})
+		}, "environment class"},
+		{"negative downtime", func(d *Dataset) {
+			d.Failures = append(d.Failures, Failure{System: 1, Node: 0, Time: ts(1), Category: Hardware, Downtime: -time.Hour})
+		}, "negative downtime"},
+		{"dispatch before submit", func(d *Dataset) {
+			d.Jobs = append(d.Jobs, Job{System: 1, Submit: ts(5), Dispatch: ts(4), End: ts(6), Procs: 1})
+		}, "dispatch before submit"},
+		{"end before dispatch", func(d *Dataset) {
+			d.Jobs = append(d.Jobs, Job{System: 1, Submit: ts(3), Dispatch: ts(4), End: ts(3), Procs: 1})
+		}, "end before dispatch"},
+		{"zero procs", func(d *Dataset) {
+			d.Jobs = append(d.Jobs, Job{System: 1, Submit: ts(3), Dispatch: ts(4), End: ts(6)})
+		}, "proc count"},
+		{"job node range", func(d *Dataset) {
+			d.Jobs = append(d.Jobs, Job{System: 1, Submit: ts(3), Dispatch: ts(4), End: ts(6), Procs: 4, Nodes: []int{88}})
+		}, "out of range"},
+		{"duplicate system", func(d *Dataset) {
+			d.Systems = append(d.Systems, d.Systems[0])
+		}, "duplicate system"},
+		{"neutrons out of order", func(d *Dataset) {
+			d.Neutrons = append(d.Neutrons, NeutronSample{Time: ts(-100)})
+		}, "out of order"},
+		{"bad group", func(d *Dataset) {
+			d.Systems[0].Group = Group(7)
+		}, "unknown group"},
+		{"empty period", func(d *Dataset) {
+			d.Systems[0].Period.End = d.Systems[0].Period.Start
+		}, "empty measurement period"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ds := validDataset()
+			c.mutate(ds)
+			err := ds.Validate()
+			if err == nil {
+				t.Fatal("expected validation error")
+			}
+			if !strings.Contains(err.Error(), c.substr) {
+				t.Errorf("error %q does not mention %q", err, c.substr)
+			}
+		})
+	}
+}

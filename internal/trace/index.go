@@ -1,0 +1,294 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// NodeKey identifies one node of one system.
+type NodeKey struct {
+	System int
+	Node   int
+}
+
+// Index provides time-ordered access to a failure log by node and by
+// system, with binary-search window queries. It is the workhorse behind the
+// conditional-probability analyses: "did node n (or its rack, or its
+// system) see a failure matching pred within window iv?".
+//
+// The failures slice must be sorted by time (Dataset.Sort does this); Index
+// keeps references, not copies.
+type Index struct {
+	failures []Failure
+	byNode   map[NodeKey][]int
+	bySystem map[int][]int
+}
+
+// NewIndex builds an index over failures, which must be sorted by time.
+func NewIndex(failures []Failure) *Index {
+	ix := &Index{
+		failures: failures,
+		byNode:   make(map[NodeKey][]int),
+		bySystem: make(map[int][]int),
+	}
+	for i, f := range failures {
+		k := NodeKey{f.System, f.Node}
+		ix.byNode[k] = append(ix.byNode[k], i)
+		ix.bySystem[f.System] = append(ix.bySystem[f.System], i)
+	}
+	return ix
+}
+
+// Len returns the number of indexed failures.
+func (ix *Index) Len() int { return len(ix.failures) }
+
+// Failures returns the underlying time-sorted failure slice. Callers must
+// not modify it.
+func (ix *Index) Failures() []Failure { return ix.failures }
+
+// NodeCount returns the number of failures recorded for a node.
+func (ix *Index) NodeCount(system, node int) int {
+	return len(ix.byNode[NodeKey{system, node}])
+}
+
+// NodeFailures returns the failures of a node in time order. The returned
+// slice is freshly allocated.
+func (ix *Index) NodeFailures(system, node int) []Failure {
+	idxs := ix.byNode[NodeKey{system, node}]
+	out := make([]Failure, len(idxs))
+	for i, j := range idxs {
+		out[i] = ix.failures[j]
+	}
+	return out
+}
+
+// SystemFailures returns the failures of a system in time order. The
+// returned slice is freshly allocated.
+func (ix *Index) SystemFailures(system int) []Failure {
+	idxs := ix.bySystem[system]
+	out := make([]Failure, len(idxs))
+	for i, j := range idxs {
+		out[i] = ix.failures[j]
+	}
+	return out
+}
+
+// timeRange returns the half-open [lo,hi) positions of idxs whose failure
+// times fall inside iv.
+func (ix *Index) timeRange(idxs []int, iv Interval) (int, int) {
+	lo := sort.Search(len(idxs), func(i int) bool {
+		return !ix.failures[idxs[i]].Time.Before(iv.Start)
+	})
+	hi := sort.Search(len(idxs), func(i int) bool {
+		return !ix.failures[idxs[i]].Time.Before(iv.End)
+	})
+	return lo, hi
+}
+
+// Pred is a failure predicate. A nil Pred matches every failure.
+type Pred func(Failure) bool
+
+// Match reports whether f satisfies p, treating nil as match-all.
+func (p Pred) Match(f Failure) bool { return p == nil || p(f) }
+
+// CategoryPred matches failures of one high-level category.
+func CategoryPred(c Category) Pred {
+	return func(f Failure) bool { return f.Category == c }
+}
+
+// HWPred matches hardware failures of one component.
+func HWPred(h HWComponent) Pred {
+	return func(f Failure) bool { return f.Category == Hardware && f.HW == h }
+}
+
+// SWPred matches software failures of one class.
+func SWPred(s SWClass) Pred {
+	return func(f Failure) bool { return f.Category == Software && f.SW == s }
+}
+
+// EnvPred matches environment failures of one subtype.
+func EnvPred(e EnvClass) Pred {
+	return func(f Failure) bool { return f.Category == Environment && f.Env == e }
+}
+
+// NodeAny reports whether the node has at least one failure matching pred
+// inside iv.
+func (ix *Index) NodeAny(system, node int, iv Interval, pred Pred) bool {
+	idxs := ix.byNode[NodeKey{system, node}]
+	lo, hi := ix.timeRange(idxs, iv)
+	for i := lo; i < hi; i++ {
+		if pred.Match(ix.failures[idxs[i]]) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeCountIn returns the number of failures of the node matching pred
+// inside iv.
+func (ix *Index) NodeCountIn(system, node int, iv Interval, pred Pred) int {
+	idxs := ix.byNode[NodeKey{system, node}]
+	lo, hi := ix.timeRange(idxs, iv)
+	n := 0
+	for i := lo; i < hi; i++ {
+		if pred.Match(ix.failures[idxs[i]]) {
+			n++
+		}
+	}
+	return n
+}
+
+// NodesAny reports whether any of the listed nodes has a failure matching
+// pred inside iv. Used for rack-level queries with the node's rack-mates.
+func (ix *Index) NodesAny(system int, nodes []int, iv Interval, pred Pred) bool {
+	for _, n := range nodes {
+		if ix.NodeAny(system, n, iv, pred) {
+			return true
+		}
+	}
+	return false
+}
+
+// SystemAnyExcluding reports whether any node of the system other than
+// exclude has a failure matching pred inside iv. Pass exclude < 0 to
+// consider every node.
+func (ix *Index) SystemAnyExcluding(system, exclude int, iv Interval, pred Pred) bool {
+	idxs := ix.bySystem[system]
+	lo, hi := ix.timeRange(idxs, iv)
+	for i := lo; i < hi; i++ {
+		f := ix.failures[idxs[i]]
+		if f.Node == exclude {
+			continue
+		}
+		if pred.Match(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// SystemCountIn returns the number of failures in the system matching pred
+// inside iv, excluding node exclude (pass exclude < 0 to count all nodes).
+func (ix *Index) SystemCountIn(system, exclude int, iv Interval, pred Pred) int {
+	idxs := ix.bySystem[system]
+	lo, hi := ix.timeRange(idxs, iv)
+	n := 0
+	for i := lo; i < hi; i++ {
+		f := ix.failures[idxs[i]]
+		if f.Node == exclude {
+			continue
+		}
+		if pred.Match(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// JobIndex provides per-node interval queries over a job log: how many jobs
+// touched a node, and whether a node was busy at a given time. It backs the
+// usage analyses of Sections V and X.
+type JobIndex struct {
+	jobs   []Job
+	byNode map[NodeKey][]int // job indices sorted by dispatch time
+}
+
+// NewJobIndex builds an index over jobs, which should be sorted by submit
+// time; per-node lists are re-sorted by dispatch time.
+func NewJobIndex(jobs []Job) *JobIndex {
+	jx := &JobIndex{jobs: jobs, byNode: make(map[NodeKey][]int)}
+	for i, j := range jobs {
+		for _, n := range j.Nodes {
+			k := NodeKey{j.System, n}
+			jx.byNode[k] = append(jx.byNode[k], i)
+		}
+	}
+	for _, idxs := range jx.byNode {
+		sort.Slice(idxs, func(a, b int) bool {
+			return jx.jobs[idxs[a]].Dispatch.Before(jx.jobs[idxs[b]].Dispatch)
+		})
+	}
+	return jx
+}
+
+// NodeJobCount returns the number of jobs ever assigned to the node — the
+// paper's num_jobs usage metric.
+func (jx *JobIndex) NodeJobCount(system, node int) int {
+	return len(jx.byNode[NodeKey{system, node}])
+}
+
+// NodeJobs returns the jobs assigned to a node ordered by dispatch time.
+func (jx *JobIndex) NodeJobs(system, node int) []Job {
+	idxs := jx.byNode[NodeKey{system, node}]
+	out := make([]Job, len(idxs))
+	for i, j := range idxs {
+		out[i] = jx.jobs[j]
+	}
+	return out
+}
+
+// NodeBusyTime returns the total time within period during which at least
+// one job was assigned to the node (overlapping jobs are merged), the
+// numerator of the paper's utilization metric.
+func (jx *JobIndex) NodeBusyTime(system, node int, period Interval) time.Duration {
+	idxs := jx.byNode[NodeKey{system, node}]
+	var busy time.Duration
+	var curStart, curEnd time.Time
+	have := false
+	flush := func() {
+		if have {
+			busy += curEnd.Sub(curStart)
+			have = false
+		}
+	}
+	for _, i := range idxs {
+		j := jx.jobs[i]
+		s, e := j.Dispatch, j.End
+		if s.Before(period.Start) {
+			s = period.Start
+		}
+		if e.After(period.End) {
+			e = period.End
+		}
+		if !e.After(s) {
+			continue
+		}
+		if have && !s.After(curEnd) {
+			if e.After(curEnd) {
+				curEnd = e
+			}
+			continue
+		}
+		flush()
+		curStart, curEnd = s, e
+		have = true
+	}
+	flush()
+	return busy
+}
+
+// NodeUtilization returns the fraction of period during which the node was
+// busy, in [0,1] — the paper's util metric ("a node is utilized if at least
+// one job is currently assigned to it").
+func (jx *JobIndex) NodeUtilization(system, node int, period Interval) float64 {
+	total := period.Duration()
+	if total <= 0 {
+		return 0
+	}
+	return float64(jx.NodeBusyTime(system, node, period)) / float64(total)
+}
+
+// BusyAt reports whether the node had at least one job assigned at time t.
+func (jx *JobIndex) BusyAt(system, node int, t time.Time) bool {
+	idxs := jx.byNode[NodeKey{system, node}]
+	for _, i := range idxs {
+		j := jx.jobs[i]
+		if j.Dispatch.After(t) {
+			break
+		}
+		if !t.Before(j.Dispatch) && t.Before(j.End) {
+			return true
+		}
+	}
+	return false
+}

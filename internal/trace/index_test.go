@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func indexedFailures() []Failure {
+	return []Failure{
+		{System: 1, Node: 0, Time: ts(0), Category: Hardware, HW: Memory},
+		{System: 1, Node: 0, Time: ts(10), Category: Software, SW: DST},
+		{System: 1, Node: 1, Time: ts(5), Category: Network},
+		{System: 1, Node: 2, Time: ts(20), Category: Hardware, HW: CPU},
+		{System: 2, Node: 0, Time: ts(7), Category: Environment, Env: UPS},
+	}
+}
+
+func sortedIndex() *Index {
+	ds := &Dataset{Failures: indexedFailures()}
+	ds.Sort()
+	return NewIndex(ds.Failures)
+}
+
+func TestIndexCounts(t *testing.T) {
+	ix := sortedIndex()
+	if ix.Len() != 5 {
+		t.Fatalf("len = %d", ix.Len())
+	}
+	if ix.NodeCount(1, 0) != 2 || ix.NodeCount(1, 1) != 1 || ix.NodeCount(9, 9) != 0 {
+		t.Error("node counts wrong")
+	}
+	fs := ix.NodeFailures(1, 0)
+	if len(fs) != 2 || !fs[0].Time.Before(fs[1].Time) {
+		t.Error("node failures should be time ordered")
+	}
+	sys := ix.SystemFailures(1)
+	if len(sys) != 4 {
+		t.Errorf("system failures = %d", len(sys))
+	}
+}
+
+func TestIndexWindows(t *testing.T) {
+	ix := sortedIndex()
+	// Window [ts(0), ts(6)) contains node0@0 and node1@5.
+	iv := Interval{Start: ts(0), End: ts(6)}
+	if !ix.NodeAny(1, 0, iv, nil) {
+		t.Error("node 0 has a failure in window")
+	}
+	if !ix.NodeAny(1, 1, iv, nil) {
+		t.Error("node 1 has a failure in window")
+	}
+	if ix.NodeAny(1, 2, iv, nil) {
+		t.Error("node 2 has no failure in window")
+	}
+	// Right-open: ts(5) excluded when End = ts(5).
+	if ix.NodeAny(1, 1, Interval{Start: ts(0), End: ts(5)}, nil) {
+		t.Error("window end must be exclusive")
+	}
+	// Predicate filter.
+	if ix.NodeAny(1, 0, iv, CategoryPred(Software)) {
+		t.Error("node 0's window failure is HW, not SW")
+	}
+	if n := ix.NodeCountIn(1, 0, Interval{Start: ts(0), End: ts(24)}, nil); n != 2 {
+		t.Errorf("NodeCountIn = %d", n)
+	}
+	if n := ix.NodeCountIn(1, 0, Interval{Start: ts(0), End: ts(24)}, HWPred(Memory)); n != 1 {
+		t.Errorf("NodeCountIn memory = %d", n)
+	}
+}
+
+func TestIndexSystemQueries(t *testing.T) {
+	ix := sortedIndex()
+	iv := Interval{Start: ts(0), End: ts(24)}
+	if !ix.SystemAnyExcluding(1, 0, iv, nil) {
+		t.Error("system 1 has failures on other nodes")
+	}
+	// Excluding every failing node leaves nothing in a narrow window.
+	if ix.SystemAnyExcluding(1, 1, Interval{Start: ts(4), End: ts(6)}, nil) {
+		t.Error("only node 1 fails in that window")
+	}
+	if n := ix.SystemCountIn(1, -1, iv, nil); n != 4 {
+		t.Errorf("SystemCountIn = %d", n)
+	}
+	if n := ix.SystemCountIn(1, 0, iv, nil); n != 2 {
+		t.Errorf("SystemCountIn excluding node 0 = %d", n)
+	}
+	if !ix.NodesAny(1, []int{1, 2}, iv, CategoryPred(Network)) {
+		t.Error("NodesAny should find node 1's network failure")
+	}
+	if ix.NodesAny(1, []int{2}, iv, CategoryPred(Network)) {
+		t.Error("node 2 has no network failure")
+	}
+}
+
+func TestPredHelpers(t *testing.T) {
+	f := Failure{Category: Hardware, HW: Fan}
+	if !HWPred(Fan)(f) || HWPred(CPU)(f) {
+		t.Error("HWPred wrong")
+	}
+	if !CategoryPred(Hardware)(f) || CategoryPred(Software)(f) {
+		t.Error("CategoryPred wrong")
+	}
+	sw := Failure{Category: Software, SW: PFS}
+	if !SWPred(PFS)(sw) || SWPred(DST)(sw) {
+		t.Error("SWPred wrong")
+	}
+	env := Failure{Category: Environment, Env: Chillers}
+	if !EnvPred(Chillers)(env) || EnvPred(UPS)(env) {
+		t.Error("EnvPred wrong")
+	}
+	var nilPred Pred
+	if !nilPred.Match(f) {
+		t.Error("nil predicate must match everything")
+	}
+}
+
+func jobFixture() []Job {
+	return []Job{
+		{System: 8, ID: 1, User: 1, Submit: ts(0), Dispatch: ts(1), End: ts(5), Procs: 4, Nodes: []int{0, 1}},
+		{System: 8, ID: 2, User: 2, Submit: ts(2), Dispatch: ts(3), End: ts(7), Procs: 4, Nodes: []int{1}},
+		{System: 8, ID: 3, User: 1, Submit: ts(8), Dispatch: ts(10), End: ts(20), Procs: 4, Nodes: []int{2}},
+	}
+}
+
+func TestJobIndexCountsAndJobs(t *testing.T) {
+	jx := NewJobIndex(jobFixture())
+	if jx.NodeJobCount(8, 1) != 2 || jx.NodeJobCount(8, 0) != 1 || jx.NodeJobCount(8, 5) != 0 {
+		t.Error("job counts wrong")
+	}
+	jobs := jx.NodeJobs(8, 1)
+	if len(jobs) != 2 || !jobs[0].Dispatch.Before(jobs[1].Dispatch) {
+		t.Error("node jobs should be dispatch ordered")
+	}
+}
+
+func TestJobIndexBusyTimeMergesOverlaps(t *testing.T) {
+	jx := NewJobIndex(jobFixture())
+	period := Interval{Start: ts(0), End: ts(10)}
+	// Node 1: job1 [1,5) and job2 [3,7) merge into [1,7) = 6h.
+	if busy := jx.NodeBusyTime(8, 1, period); busy != 6*time.Hour {
+		t.Errorf("busy = %v, want 6h", busy)
+	}
+	if u := jx.NodeUtilization(8, 1, period); u != 0.6 {
+		t.Errorf("utilization = %g, want 0.6", u)
+	}
+	// Clipping to the period.
+	short := Interval{Start: ts(0), End: ts(4)}
+	if busy := jx.NodeBusyTime(8, 1, short); busy != 3*time.Hour {
+		t.Errorf("clipped busy = %v, want 3h", busy)
+	}
+	// Idle node.
+	if u := jx.NodeUtilization(8, 7, period); u != 0 {
+		t.Errorf("idle utilization = %g", u)
+	}
+	// Degenerate period.
+	if u := jx.NodeUtilization(8, 1, Interval{Start: ts(5), End: ts(5)}); u != 0 {
+		t.Error("zero-length period utilization should be 0")
+	}
+}
+
+func TestJobIndexBusyAt(t *testing.T) {
+	jx := NewJobIndex(jobFixture())
+	if !jx.BusyAt(8, 0, ts(2)) {
+		t.Error("node 0 busy at ts(2)")
+	}
+	if jx.BusyAt(8, 0, ts(6)) {
+		t.Error("node 0 idle at ts(6)")
+	}
+	// Dispatch boundary inclusive, end exclusive.
+	if !jx.BusyAt(8, 2, ts(10)) {
+		t.Error("dispatch instant should count as busy")
+	}
+	if jx.BusyAt(8, 2, ts(20)) {
+		t.Error("end instant should not count as busy")
+	}
+}

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCategoryStringsAndParse(t *testing.T) {
+	for _, c := range Categories {
+		parsed, err := ParseCategory(c.String())
+		if err != nil {
+			t.Errorf("ParseCategory(%q): %v", c.String(), err)
+			continue
+		}
+		if parsed != c {
+			t.Errorf("roundtrip %v -> %q -> %v", c, c.String(), parsed)
+		}
+	}
+	// Lowercase long names parse too.
+	if c, err := ParseCategory("hardware"); err != nil || c != Hardware {
+		t.Errorf("ParseCategory(hardware) = %v, %v", c, err)
+	}
+	if _, err := ParseCategory("bogus"); err == nil {
+		t.Error("bogus category should fail")
+	}
+}
+
+func TestHWComponentRoundtrip(t *testing.T) {
+	for _, c := range HWComponents {
+		parsed, err := ParseHWComponent(c.String())
+		if err != nil || parsed != c {
+			t.Errorf("roundtrip %v: got %v, %v", c, parsed, err)
+		}
+	}
+	if c, err := ParseHWComponent(""); err != nil || c != HWUnknown {
+		t.Error("empty component should parse to HWUnknown")
+	}
+	if _, err := ParseHWComponent("Flux"); err == nil {
+		t.Error("unknown component should fail")
+	}
+}
+
+func TestSWClassRoundtrip(t *testing.T) {
+	for _, c := range SWClasses {
+		parsed, err := ParseSWClass(c.String())
+		if err != nil || parsed != c {
+			t.Errorf("roundtrip %v: got %v, %v", c, parsed, err)
+		}
+	}
+	if c, err := ParseSWClass(""); err != nil || c != SWUnknown {
+		t.Error("empty class should parse to SWUnknown")
+	}
+}
+
+func TestEnvClassRoundtrip(t *testing.T) {
+	for _, c := range EnvClasses {
+		parsed, err := ParseEnvClass(c.String())
+		if err != nil || parsed != c {
+			t.Errorf("roundtrip %v: got %v, %v", c, parsed, err)
+		}
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	if Group1.String() != "group-1" || Group2.String() != "group-2" {
+		t.Error("group names wrong")
+	}
+	if Group(9).String() == "" {
+		t.Error("unknown group should still render")
+	}
+}
+
+func TestSubtypeLabel(t *testing.T) {
+	cases := []struct {
+		f    Failure
+		want string
+	}{
+		{Failure{Category: Hardware, HW: Memory}, "Memory"},
+		{Failure{Category: Hardware}, "HW"},
+		{Failure{Category: Software, SW: DST}, "DST"},
+		{Failure{Category: Environment, Env: PowerOutage}, "PowerOutage"},
+		{Failure{Category: Network}, "NET"},
+	}
+	for _, c := range cases {
+		if got := c.f.SubtypeLabel(); got != c.want {
+			t.Errorf("SubtypeLabel = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestJobDerived(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	j := Job{
+		Procs:    8,
+		Dispatch: base,
+		End:      base.Add(12 * time.Hour),
+	}
+	if j.Runtime() != 12*time.Hour {
+		t.Errorf("runtime = %v", j.Runtime())
+	}
+	if got, want := j.ProcDays(), 8*0.5; got != want {
+		t.Errorf("procdays = %g, want %g", got, want)
+	}
+	// Malformed: end before dispatch.
+	bad := Job{Procs: 4, Dispatch: base, End: base.Add(-time.Hour)}
+	if bad.Runtime() != 0 || bad.ProcDays() != 0 {
+		t.Error("inverted job should have zero runtime")
+	}
+}
+
+func TestInterval(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	iv := Interval{Start: base, End: base.Add(time.Hour)}
+	if !iv.Contains(base) {
+		t.Error("interval should contain its start")
+	}
+	if iv.Contains(base.Add(time.Hour)) {
+		t.Error("right-open interval must exclude its end")
+	}
+	if iv.Duration() != time.Hour {
+		t.Errorf("duration = %v", iv.Duration())
+	}
+	inverted := Interval{Start: base.Add(time.Hour), End: base}
+	if inverted.Duration() != 0 {
+		t.Error("inverted interval duration should be 0")
+	}
+	other := Interval{Start: base.Add(30 * time.Minute), End: base.Add(2 * time.Hour)}
+	if !iv.Overlaps(other) || !other.Overlaps(iv) {
+		t.Error("overlapping intervals not detected")
+	}
+	disjoint := Interval{Start: base.Add(2 * time.Hour), End: base.Add(3 * time.Hour)}
+	if iv.Overlaps(disjoint) {
+		t.Error("disjoint intervals reported overlapping")
+	}
+	// Adjacent intervals do not overlap (right-open).
+	adjacent := Interval{Start: base.Add(time.Hour), End: base.Add(2 * time.Hour)}
+	if iv.Overlaps(adjacent) {
+		t.Error("adjacent right-open intervals must not overlap")
+	}
+}
+
+func TestIntervalOverlapSymmetryProperty(t *testing.T) {
+	base := time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(a1, a2, b1, b2 int16) bool {
+		mk := func(x, y int16) Interval {
+			lo, hi := int(x), int(y)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return Interval{Start: base.Add(time.Duration(lo) * time.Minute), End: base.Add(time.Duration(hi) * time.Minute)}
+		}
+		p, q := mk(a1, a2), mk(b1, b2)
+		return p.Overlaps(q) == q.Overlaps(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowName(t *testing.T) {
+	if WindowName(Day) != "day" || WindowName(Week) != "week" || WindowName(Month) != "month" {
+		t.Error("standard window names wrong")
+	}
+	if WindowName(2*time.Hour) != "2h0m0s" {
+		t.Errorf("custom window name = %q", WindowName(2*time.Hour))
+	}
+}
+
+func TestSystemInfoDerived(t *testing.T) {
+	s := SystemInfo{
+		Nodes: 10, ProcsPerNode: 4,
+		Period: Interval{
+			Start: time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC),
+			End:   time.Date(2000, 1, 11, 0, 0, 0, 0, time.UTC),
+		},
+	}
+	if s.Procs() != 40 {
+		t.Errorf("procs = %d", s.Procs())
+	}
+	if s.NodeDays() != 100 {
+		t.Errorf("node-days = %g", s.NodeDays())
+	}
+}
