@@ -6,24 +6,21 @@
 //
 //	hpcanalyze -data dir -anchor NET -target SW -window week -scope node [-group 1]
 //	hpcanalyze -data dir -anchor HW/Memory -window day
-//	hpcanalyze -data dir -summary
+//	hpcanalyze -data dir -strictness lenient -max-skip-rate 0.05 -summary
 package main
 
 import (
 	"flag"
 	"fmt"
-	"os"
 	"strings"
 	"time"
 
 	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hpcanalyze:", err)
-		os.Exit(1)
-	}
+	cli.Main("hpcanalyze", run)
 }
 
 func run(args []string) error {
@@ -35,17 +32,24 @@ func run(args []string) error {
 	scope := fs.String("scope", "node", "scope: node, rack, or system")
 	group := fs.Int("group", 0, "restrict to group 1 or 2 (0 = all systems)")
 	summary := fs.Bool("summary", false, "print a dataset summary and exit")
+	policyOf := cli.PolicyFlags(fs, "strict")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *data == "" {
 		fs.Usage()
-		return fmt.Errorf("-data is required")
+		return cli.Usagef("-data is required")
 	}
-	ds, err := hpcfail.LoadDataset(*data)
+	policy, err := policyOf()
 	if err != nil {
 		return err
 	}
+	ds, rep, err := hpcfail.LoadDatasetWith(*data, policy)
+	if err != nil {
+		cli.PrintReport("hpcanalyze", rep, 5)
+		return err
+	}
+	cli.PrintReport("hpcanalyze", rep, 5)
 	if *summary {
 		printSummary(ds)
 		return nil

@@ -13,17 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hpccheckpoint:", err)
-		os.Exit(1)
-	}
+	cli.Main("hpccheckpoint", run)
 }
 
 func run(args []string) error {
@@ -39,10 +36,10 @@ func run(args []string) error {
 	}
 	if *data == "" {
 		fs.Usage()
-		return fmt.Errorf("-data is required")
+		return cli.Usagef("-data is required")
 	}
 	if *cost <= 0 {
-		return fmt.Errorf("-cost must be positive")
+		return cli.Usagef("-cost must be positive")
 	}
 	ds, err := hpcfail.LoadDataset(*data)
 	if err != nil {

@@ -10,16 +10,13 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hpcgen:", err)
-		os.Exit(1)
-	}
+	cli.Main("hpcgen", run)
 }
 
 func run(args []string) error {
@@ -36,7 +33,7 @@ func run(args []string) error {
 	}
 	if *out == "" {
 		fs.Usage()
-		return fmt.Errorf("-out is required")
+		return cli.Usagef("-out is required")
 	}
 	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{
 		Seed:              *seed,

@@ -1,25 +1,28 @@
 // Command hpcimport converts a failure table in the public LANL release
 // format into a dataset directory that hpcanalyze and hpcreport understand.
+// Real field data is rarely clean: -strictness picks how corrupt rows are
+// treated and -max-skip-rate bounds how many may be dropped before the
+// import fails (exit code 3).
 //
 // Usage:
 //
 //	hpcimport -in lanl_failures.csv -out data/
+//	hpcimport -in lanl_failures.csv -out data/ -strictness repair -max-skip-rate 0.05
 //	hpcimport -in lanl_failures.csv -out data/ -node-col nodenum -started-col "Prob Started"
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hpcimport:", err)
-		os.Exit(1)
-	}
+	cli.Main("hpcimport", run)
 }
 
 func run(args []string) error {
@@ -30,12 +33,17 @@ func run(args []string) error {
 	nodeCol := fs.String("node-col", "", "override the node-number column name")
 	startedCol := fs.String("started-col", "", "override the outage-start column name")
 	quiet := fs.Bool("q", false, "suppress the summary")
+	policyOf := cli.PolicyFlags(fs, "lenient")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" || *out == "" {
 		fs.Usage()
-		return fmt.Errorf("-in and -out are required")
+		return cli.Usagef("-in and -out are required")
+	}
+	policy, err := policyOf()
+	if err != nil {
+		return err
 	}
 
 	f, err := os.Open(*in)
@@ -55,8 +63,11 @@ func run(args []string) error {
 		m.Started = *startedCol
 	}
 
-	ds, res, err := hpcfail.ImportLANL(f, m)
+	ds, rep, err := hpcfail.ImportLANLWith(f, m, policy)
 	if err != nil {
+		if errors.Is(err, hpcfail.ErrBudgetExceeded) {
+			cli.PrintReport("hpcimport", rep, 5)
+		}
 		return err
 	}
 	if err := hpcfail.SaveDataset(*out, ds); err != nil {
@@ -65,16 +76,7 @@ func run(args []string) error {
 	if !*quiet {
 		fmt.Printf("imported %d failures across %d systems into %s\n",
 			len(ds.Failures), len(ds.Systems), *out)
-		if len(res.Issues) > 0 {
-			fmt.Printf("skipped %d rows; first issues:\n", len(res.Issues))
-			for i, is := range res.Issues {
-				if i >= 5 {
-					fmt.Println("  ...")
-					break
-				}
-				fmt.Printf("  line %d: %v\n", is.Line, is.Err)
-			}
-		}
+		cli.PrintReport("hpcimport", rep, 5)
 	}
 	return nil
 }

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/cli"
 )
 
 const sample = `System,nodenumz,Prob Started,Prob Fixed,Down Time,Facilities,Hardware,Human Error,Network,Undetermined,Software
@@ -56,5 +58,50 @@ func TestRunImportErrors(t *testing.T) {
 	}
 	if err := run([]string{"-in", "/nope.csv", "-out", t.TempDir()}); err == nil {
 		t.Error("missing input file should fail")
+	}
+}
+
+func TestRunImportBudgetExceeded(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "corrupt.csv")
+	// Two of four records are broken: a 50% skip rate.
+	corrupt := sample +
+		"20,0,not a time,,,,CPU,,,,\n" +
+		"X,0,07/20/2003 09:30,,,,CPU,,,,\n"
+	if err := os.WriteFile(in, []byte(corrupt), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "data")
+
+	err := run([]string{"-in", in, "-out", out, "-q", "-max-skip-rate", "0.1"})
+	if !errors.Is(err, hpcfail.ErrBudgetExceeded) {
+		t.Fatalf("want budget error, got %v", err)
+	}
+	if cli.CodeOf(err) != cli.CodeData {
+		t.Errorf("budget error maps to exit code %d, want %d", cli.CodeOf(err), cli.CodeData)
+	}
+
+	// A generous budget accepts the same input and still writes the dataset.
+	if err := run([]string{"-in", in, "-out", out, "-q", "-max-skip-rate", "0.9"}); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := hpcfail.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failures) != 3 {
+		t.Errorf("lenient import kept %d failures, want 3", len(ds.Failures))
+	}
+}
+
+func TestRunImportStrictAborts(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "corrupt.csv")
+	if err := os.WriteFile(in, []byte(sample+"20,0,not a time,,,,CPU,,,,\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", in, "-out", filepath.Join(dir, "data"), "-q", "-strictness", "strict"})
+	if err == nil {
+		t.Fatal("strict import of corrupt input should fail")
 	}
 }

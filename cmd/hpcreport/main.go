@@ -4,23 +4,26 @@
 //
 // Usage:
 //
+// A SIGINT cancels the sweep: experiments in flight finish, the rest are
+// skipped, and the command exits with code 4.
+//
 //	hpcreport [-data dir | -seed 1 -scale 1] [-only fig1a,fig10] [-markdown]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/cli"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hpcreport:", err)
-		os.Exit(1)
-	}
+	cli.Main("hpcreport", run)
 }
 
 func run(args []string) error {
@@ -42,6 +45,11 @@ func run(args []string) error {
 		return nil
 	}
 
+	// Install the interrupt handler before the (potentially slow) dataset
+	// load so an early SIGINT is not lost to the default disposition.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	var ds *hpcfail.Dataset
 	var err error
 	if *data != "" {
@@ -53,6 +61,9 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 
 	suite := hpcfail.NewExperimentSuite(ds)
 	ids := hpcfail.ExperimentIDs()
@@ -61,11 +72,15 @@ func run(args []string) error {
 	}
 
 	var results []hpcfail.ExperimentResult
+	var runErr error
 	if *only == "" {
 		// Full sweep: experiments are independent, run them in parallel.
-		results = suite.RunAllParallel(0)
+		results, runErr = suite.RunAllParallelCtx(ctx, 0)
 	} else {
 		for _, id := range ids {
+			if runErr = ctx.Err(); runErr != nil {
+				break
+			}
 			res, err := suite.Run(strings.TrimSpace(id))
 			if err != nil {
 				return err
@@ -85,12 +100,15 @@ func run(args []string) error {
 	}
 	if *markdown {
 		printMarkdown(out, results)
-		return nil
+		return runErr
 	}
 	for _, res := range results {
 		fmt.Fprintln(out, res.Render())
 	}
-	return nil
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "hpcreport: interrupted; partial report written")
+	}
+	return runErr
 }
 
 func printMarkdown(out *os.File, results []hpcfail.ExperimentResult) {

@@ -40,9 +40,11 @@ import (
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
 	"github.com/hpcfail/hpcfail/internal/experiments"
+	"github.com/hpcfail/hpcfail/internal/faultinject"
 	"github.com/hpcfail/hpcfail/internal/lanl"
 	"github.com/hpcfail/hpcfail/internal/simulate"
 	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/validate"
 )
 
 // Core data model re-exports.
@@ -235,4 +237,86 @@ func DefaultLANLMapping() LANLMapping { return lanl.DefaultMapping() }
 // result lists rows that were skipped.
 func ImportLANL(r io.Reader, m LANLMapping) (*Dataset, *LANLImportResult, error) {
 	return lanl.ImportDataset(r, m)
+}
+
+// Validation re-exports: ingest messy real logs under an explicit policy.
+type (
+	// ValidationPolicy governs how ingestion treats corrupt records.
+	ValidationPolicy = validate.Policy
+	// ValidationMode selects fail-fast, skip-and-report, or repair.
+	ValidationMode = validate.Mode
+	// ValidationReport aggregates the diagnostics of one load.
+	ValidationReport = validate.Report
+	// Diagnostic is one line-anchored validation finding.
+	Diagnostic = validate.Diagnostic
+)
+
+// Validation modes.
+const (
+	// Strict aborts the load on the first corrupt record.
+	Strict = validate.Strict
+	// Lenient skips corrupt records, reporting each one.
+	Lenient = validate.Lenient
+	// Repair coerces near-miss records into canonical form where possible
+	// and skips the rest.
+	Repair = validate.Repair
+)
+
+// ErrBudgetExceeded is wrapped by load errors when a dataset's skip-rate
+// exceeds the policy's error budget.
+var ErrBudgetExceeded = validate.ErrBudgetExceeded
+
+// DefaultValidationPolicy returns the Lenient policy with the standard
+// plausibility bounds and no error budget.
+func DefaultValidationPolicy() ValidationPolicy { return validate.DefaultPolicy() }
+
+// ParseValidationMode parses "strict", "lenient" or "repair".
+func ParseValidationMode(s string) (ValidationMode, error) { return validate.ParseMode(s) }
+
+// LoadDatasetWith reads a dataset directory under a validation policy,
+// returning the dataset together with the validation report. The dataset
+// and report are returned even when only the policy's error budget fails,
+// so callers can inspect what loaded.
+func LoadDatasetWith(dir string, p ValidationPolicy) (*Dataset, *ValidationReport, error) {
+	return trace.LoadDirWith(dir, p)
+}
+
+// ValidateDataset applies the validation/repair engine to an in-memory
+// dataset: cross-record failure checks (duplicates, overlapping outages,
+// dangling references) plus reference checks for the auxiliary tables. It
+// returns a sanitized copy, leaving the input unmodified.
+func ValidateDataset(ds *Dataset, p ValidationPolicy) (*Dataset, *ValidationReport, error) {
+	return trace.SanitizeDataset(ds, p)
+}
+
+// ImportLANLWith imports a LANL-style failure CSV under a validation
+// policy, classifying skipped rows, applying plausibility checks and
+// repairs, sanitizing cross-record problems, and enforcing the policy's
+// error budget.
+func ImportLANLWith(r io.Reader, m LANLMapping, p ValidationPolicy) (*Dataset, *ValidationReport, error) {
+	return lanl.ImportDatasetWith(r, m, p)
+}
+
+// Fault-injection re-exports: deterministic corruption for robustness
+// testing of ingestion pipelines.
+type (
+	// FaultSpec configures a corruption pass.
+	FaultSpec = faultinject.Spec
+	// FaultClass enumerates the injectable fault classes.
+	FaultClass = faultinject.Class
+	// FaultInjection is the ground truth of one injected fault.
+	FaultInjection = faultinject.Injection
+)
+
+// Corrupt serializes failures into the canonical CSV and injects the
+// spec's fault mix, returning the corrupted bytes and per-fault ground
+// truth.
+func Corrupt(failures []Failure, spec FaultSpec) ([]byte, []FaultInjection, error) {
+	return faultinject.CorruptFailures(failures, spec)
+}
+
+// CorruptDataset writes ds into dir and replaces its failures table with a
+// corrupted copy, returning the injection ground truth.
+func CorruptDataset(dir string, ds *Dataset, spec FaultSpec) ([]FaultInjection, error) {
+	return faultinject.CorruptDataset(dir, ds, spec)
 }

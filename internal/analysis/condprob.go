@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -129,15 +130,35 @@ func (a *Analyzer) BaselineNodeProb(systems []trace.SystemInfo, w time.Duration,
 //
 // Systems without layouts contribute no rack-scope trials.
 func (a *Analyzer) CondProb(systems []trace.SystemInfo, anchorPred, targetPred trace.Pred, w time.Duration, scope Scope) CondResult {
+	res, _ := a.CondProbCtx(context.Background(), systems, anchorPred, targetPred, w, scope)
+	return res
+}
+
+// CondProbCtx is CondProb with cooperative cancellation: the scan checks ctx
+// once per system and every 1024 anchor failures, and returns ctx.Err() with
+// a partial (unfinished) result as soon as the context is done. This is the
+// hot loop of every figure, so it is the cancellation point for the whole
+// experiment suite.
+func (a *Analyzer) CondProbCtx(ctx context.Context, systems []trace.SystemInfo, anchorPred, targetPred trace.Pred, w time.Duration, scope Scope) (CondResult, error) {
 	res := CondResult{Window: w, Scope: scope}
 	res.Baseline = a.BaselineNodeProb(systems, w, targetPred)
 
+	scanned := 0
 	for _, s := range systems {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		lay := a.DS.Layouts[s.ID]
 		if scope == ScopeRack && lay == nil {
 			continue
 		}
 		for _, f := range a.Index.SystemFailures(s.ID) {
+			scanned++
+			if scanned%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+			}
 			if !anchorPred.Match(f) {
 				continue
 			}
@@ -171,7 +192,7 @@ func (a *Analyzer) CondProb(systems []trace.SystemInfo, anchorPred, targetPred t
 		}
 	}
 	finishCond(&res)
-	return res
+	return res, nil
 }
 
 // distinctOtherNodes counts distinct nodes (excluding exclude) with at

@@ -1,0 +1,45 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func TestCondProbCtxCancelled(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(0, 10), swAt(0, 12), hwAt(1, 50)})
+	a := New(ds)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.CondProbCtx(ctx, ds.Systems, trace.CategoryPred(trace.Hardware), trace.CategoryPred(trace.Software), trace.Week, ScopeNode)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestCondProbCtxBackgroundMatchesCondProb(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(0, 10), swAt(0, 12), hwAt(1, 50)})
+	a := New(ds)
+	want := a.CondProb(ds.Systems, trace.CategoryPred(trace.Hardware), trace.CategoryPred(trace.Software), trace.Week, ScopeNode)
+	got, err := a.CondProbCtx(context.Background(), ds.Systems, trace.CategoryPred(trace.Hardware), trace.CategoryPred(trace.Software), trace.Week, ScopeNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("CondProbCtx = %+v, CondProb = %+v", got, want)
+	}
+}
+
+func TestCondProbCtxDeadline(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(0, 10)})
+	a := New(ds)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := a.CondProbCtx(ctx, ds.Systems, trace.CategoryPred(trace.Hardware), trace.CategoryPred(trace.Software), trace.Week, ScopeNode)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// A failure landing exactly on a checkpoint boundary loses nothing: the
+// checkpoint commits first, then the failure rolls back zero work.
+func TestReplayFailureAtCheckpointBoundary(t *testing.T) {
+	res, err := Replay(period(25), []time.Time{tAt(10)}, Fixed{Every: 10 * time.Hour}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", res.Failures)
+	}
+	if res.Lost != 0 {
+		t.Errorf("lost = %v, want 0 (checkpoint commits before the failure)", res.Lost)
+	}
+	// Contrast: one second before the boundary loses a full interval.
+	res, err = Replay(period(25), []time.Time{tAt(10).Add(-time.Second)}, Fixed{Every: 10 * time.Hour}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 10*time.Hour - time.Second; res.Lost != want {
+		t.Errorf("lost = %v, want %v", res.Lost, want)
+	}
+}
+
+// A checkpoint cost exceeding the checkpoint interval is pathological but
+// legal: the replay still terminates and charges full overhead per commit.
+func TestReplayCostLongerThanInterval(t *testing.T) {
+	res, err := Replay(period(10), nil, Fixed{Every: time.Hour}, 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints != 9 {
+		t.Fatalf("checkpoints = %d, want 9 (hours 1..9; hour 10 hits the period end)", res.Checkpoints)
+	}
+	if want := 18 * time.Hour; res.Overhead != want {
+		t.Errorf("overhead = %v, want %v", res.Overhead, want)
+	}
+	if res.Lost != 0 || res.Total() != res.Overhead {
+		t.Errorf("lost = %v, total = %v", res.Lost, res.Total())
+	}
+}
+
+// An empty period (Start == End) is a configuration error, not a silent
+// zero-result.
+func TestReplayEmptyPeriod(t *testing.T) {
+	empty := trace.Interval{Start: tAt(5), End: tAt(5)}
+	if _, err := Replay(empty, nil, Fixed{Every: time.Hour}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty period: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// A failure before the first checkpoint ever fires loses work back to the
+// period start.
+func TestReplayFailureBeforeFirstCheckpoint(t *testing.T) {
+	res, err := Replay(period(25), []time.Time{tAt(3)}, Fixed{Every: 10 * time.Hour}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * time.Hour; res.Lost != want {
+		t.Errorf("lost = %v, want %v", res.Lost, want)
+	}
+}

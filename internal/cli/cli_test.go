@@ -1,0 +1,109 @@
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/validate"
+)
+
+func TestCodeOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, CodeOK},
+		{flag.ErrHelp, CodeOK},
+		{Usagef("bad flag"), CodeUsage},
+		{fmt.Errorf("wrapped: %w", UsageError{Err: errors.New("x")}), CodeUsage},
+		{fmt.Errorf("load: %w", validate.ErrBudgetExceeded), CodeData},
+		{context.Canceled, CodeCanceled},
+		{fmt.Errorf("sweep: %w", context.DeadlineExceeded), CodeCanceled},
+		{errors.New("anything else"), CodeError},
+	}
+	for _, c := range cases {
+		if got := CodeOf(c.err); got != c.want {
+			t.Errorf("CodeOf(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	code := Run("boom", nil, func([]string) error { panic("kaboom") })
+	if code != CodePanic {
+		t.Errorf("panicking command exited %d, want %d", code, CodePanic)
+	}
+	code = Run("nilmap", nil, func([]string) error {
+		var m map[string]int
+		m["x"] = 1 // runtime panic, not an explicit one
+		return nil
+	})
+	if code != CodePanic {
+		t.Errorf("runtime panic exited %d, want %d", code, CodePanic)
+	}
+}
+
+func TestRunMapsErrors(t *testing.T) {
+	if code := Run("ok", nil, func([]string) error { return nil }); code != CodeOK {
+		t.Errorf("nil error exited %d", code)
+	}
+	if code := Run("usage", nil, func([]string) error { return Usagef("no args") }); code != CodeUsage {
+		t.Errorf("usage error exited %d", code)
+	}
+	if code := Run("budget", nil, func([]string) error {
+		return fmt.Errorf("import: %w", validate.ErrBudgetExceeded)
+	}); code != CodeData {
+		t.Errorf("budget error exited %d", code)
+	}
+}
+
+func TestPolicyFlags(t *testing.T) {
+	newFS := func() (*flag.FlagSet, func() (validate.Policy, error)) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		return fs, PolicyFlags(fs, "lenient")
+	}
+
+	fs, policy := newFS()
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	p, err := policy()
+	if err != nil || p.Mode != validate.Lenient || p.MaxSkipRate != 1 {
+		t.Errorf("defaults: %+v, %v", p, err)
+	}
+
+	fs, policy = newFS()
+	if err := fs.Parse([]string{"-strictness", "repair", "-max-skip-rate", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	p, err = policy()
+	if err != nil || p.Mode != validate.Repair || p.MaxSkipRate != 0.05 {
+		t.Errorf("overrides: %+v, %v", p, err)
+	}
+
+	fs, policy = newFS()
+	if err := fs.Parse([]string{"-strictness", "yolo"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := policy(); CodeOf(err) != CodeUsage {
+		t.Errorf("bad mode should be a usage error, got %v", err)
+	}
+
+	fs, policy = newFS()
+	if err := fs.Parse([]string{"-max-skip-rate", "1.5"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := policy(); CodeOf(err) != CodeUsage {
+		t.Errorf("out-of-range budget should be a usage error, got %v", err)
+	}
+}
+
+func TestPrintReportNilSafe(t *testing.T) {
+	PrintReport("t", nil, 5) // must not panic
+	PrintReport("t", &validate.Report{}, 5)
+}

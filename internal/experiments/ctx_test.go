@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestRunAllCtxCancelledReturnsPartial(t *testing.T) {
+	s := testSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := s.RunAllCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) >= len(All()) {
+		t.Errorf("cancelled run returned %d of %d results", len(results), len(All()))
+	}
+}
+
+func TestRunAllParallelCtxCancelled(t *testing.T) {
+	s := testSuite(t)
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := s.RunAllParallelCtx(ctx, 2)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("parallel run returned %d slots, want %d (unstarted runners carry ctx.Err())", len(results), len(All()))
+	}
+	cancelled := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no result carries the cancellation error")
+	}
+
+	// All worker goroutines must have been joined before return.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d before, %d after", before, after)
+	}
+}
+
+func TestRunAllParallelCtxMidRunCancel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := s.RunAllParallelCtx(ctx, 1)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Runners already in flight finish, but nothing new starts; with one
+	// worker the return must come long before a full serial sweep would.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("cancelled sweep took %v", elapsed)
+	}
+}
+
+func TestRunAllCtxBackgroundMatchesRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration suite is slow")
+	}
+	s := testSuite(t)
+	results, err := s.RunAllCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(All()) {
+		t.Fatalf("ran %d of %d experiments", len(results), len(All()))
+	}
+}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -123,12 +124,23 @@ func (s *Suite) Run(id string) (Result, error) {
 
 // RunAll executes every experiment in order.
 func (s *Suite) RunAll() []Result {
+	out, _ := s.RunAllCtx(context.Background())
+	return out
+}
+
+// RunAllCtx executes experiments in order until ctx is cancelled, returning
+// the results completed so far together with ctx.Err(). Cancellation is
+// checked between runners, so the suite stops after the runner in flight.
+func (s *Suite) RunAllCtx(ctx context.Context) ([]Result, error) {
 	runners := All()
 	out := make([]Result, 0, len(runners))
 	for _, r := range runners {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		out = append(out, r.Run(s))
 	}
-	return out
+	return out, nil
 }
 
 // RunAllParallel executes every experiment concurrently with at most
@@ -136,6 +148,16 @@ func (s *Suite) RunAll() []Result {
 // the same order as RunAll. The analyzer is read-only after construction,
 // so runners are safe to execute in parallel.
 func (s *Suite) RunAllParallel(workers int) []Result {
+	out, _ := s.RunAllParallelCtx(context.Background(), workers)
+	return out
+}
+
+// RunAllParallelCtx is RunAllParallel with cooperative cancellation: once
+// ctx is done, experiments that have not started record ctx.Err() as their
+// Result.Err instead of running, and the call returns ctx.Err(). Every
+// spawned goroutine is joined before returning, so cancellation never leaks
+// goroutines; results keep RunAll order.
+func (s *Suite) RunAllParallelCtx(ctx context.Context, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -147,13 +169,22 @@ func (s *Suite) RunAllParallel(workers int) []Result {
 		wg.Add(1)
 		go func(i int, r Runner) {
 			defer wg.Done()
-			sem <- struct{}{}
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				out[i] = Result{ID: r.ID, Title: r.Title, Err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				out[i] = Result{ID: r.ID, Title: r.Title, Err: err}
+				return
+			}
 			out[i] = r.Run(s)
 		}(i, r)
 	}
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }
 
 // IDs returns every experiment ID in order.

@@ -1,0 +1,309 @@
+// Package faultinject is a deterministic, seedable corruptor for failure
+// datasets: it takes clean records, serializes them into the canonical CSV,
+// and injects a configurable mix of the faults real operator-entered logs
+// exhibit — truncated and extra fields, garbled and out-of-range timestamps,
+// negative and absurd downtimes, duplicated rows, overlapping outages on one
+// node, references to systems and nodes that do not exist, swapped columns,
+// mixed timestamp layouts, and BOM/control-byte junk.
+//
+// Every injection is recorded as ground truth (which fault, which output
+// line), so the validation/repair engine's claims are testable end to end:
+// corrupt a dataset, re-ingest it, and assert that the report attributes
+// each injected fault to the expected class at the expected line.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/validate"
+)
+
+// Class enumerates the injectable fault classes.
+type Class int
+
+const (
+	// TruncatedField drops trailing fields from a row.
+	TruncatedField Class = iota + 1
+	// ExtraField appends a surplus field to a row.
+	ExtraField
+	// GarbledTimestamp replaces the timestamp with unparseable text.
+	GarbledTimestamp
+	// OutOfRangeTimestamp moves the timestamp outside the plausible epoch.
+	OutOfRangeTimestamp
+	// NegativeDowntime makes the downtime negative.
+	NegativeDowntime
+	// AbsurdDowntime makes the downtime implausibly long.
+	AbsurdDowntime
+	// DuplicateRow repeats a row verbatim.
+	DuplicateRow
+	// OverlappingOutage inserts a second outage of the same node starting
+	// at the same instant.
+	OverlappingOutage
+	// UnknownSystem points the row at a system absent from the catalog.
+	UnknownSystem
+	// UnknownNode points the row at a node ID outside any system's range.
+	UnknownNode
+	// SwappedColumns swaps the timestamp and category cells.
+	SwappedColumns
+	// MixedTimeLayout rewrites the timestamp in a non-canonical layout.
+	MixedTimeLayout
+	// EncodingJunk prepends a BOM and a control byte to the row.
+	EncodingJunk
+)
+
+// Classes lists every injectable fault class.
+var Classes = []Class{
+	TruncatedField, ExtraField, GarbledTimestamp, OutOfRangeTimestamp,
+	NegativeDowntime, AbsurdDowntime, DuplicateRow, OverlappingOutage,
+	UnknownSystem, UnknownNode, SwappedColumns, MixedTimeLayout, EncodingJunk,
+}
+
+// String names the fault class.
+func (c Class) String() string {
+	switch c {
+	case TruncatedField:
+		return "truncated-field"
+	case ExtraField:
+		return "extra-field"
+	case GarbledTimestamp:
+		return "garbled-timestamp"
+	case OutOfRangeTimestamp:
+		return "out-of-range-timestamp"
+	case NegativeDowntime:
+		return "negative-downtime"
+	case AbsurdDowntime:
+		return "absurd-downtime"
+	case DuplicateRow:
+		return "duplicate-row"
+	case OverlappingOutage:
+		return "overlapping-outage"
+	case UnknownSystem:
+		return "unknown-system"
+	case UnknownNode:
+		return "unknown-node"
+	case SwappedColumns:
+		return "swapped-columns"
+	case MixedTimeLayout:
+		return "mixed-time-layout"
+	case EncodingJunk:
+		return "encoding-junk"
+	default:
+		return fmt.Sprintf("fault(%d)", int(c))
+	}
+}
+
+// Expected returns the validate.Class a conforming validation engine
+// attributes this fault to. SwappedColumns surfaces as a bad timestamp
+// because the timestamp cell is the first one the parser rejects.
+func (c Class) Expected() validate.Class {
+	switch c {
+	case TruncatedField, ExtraField:
+		return validate.BadRow
+	case GarbledTimestamp, SwappedColumns, MixedTimeLayout:
+		return validate.BadTimestamp
+	case OutOfRangeTimestamp:
+		return validate.TimestampOutOfRange
+	case NegativeDowntime:
+		return validate.NegativeDowntime
+	case AbsurdDowntime:
+		return validate.AbsurdDowntime
+	case DuplicateRow:
+		return validate.DuplicateRecord
+	case OverlappingOutage:
+		return validate.OverlappingOutage
+	case UnknownSystem:
+		return validate.UnknownSystem
+	case UnknownNode:
+		return validate.UnknownNode
+	case EncodingJunk:
+		return validate.EncodingJunk
+	default:
+		return 0
+	}
+}
+
+// Injection is the ground truth of one injected fault.
+type Injection struct {
+	// Line is the 1-based line in the corrupted CSV the fault lands on
+	// (for inserted rows, the inserted line).
+	Line int
+	// Class is the injected fault class.
+	Class Class
+}
+
+// Spec configures a corruption pass.
+type Spec struct {
+	// Seed makes the pass deterministic.
+	Seed int64
+	// Rate is the fraction of data rows corrupted, in (0,1]; 0 means the
+	// default of 0.25.
+	Rate float64
+	// Classes restricts the fault mix; nil draws from every class.
+	Classes []Class
+}
+
+func (s Spec) rate() float64 {
+	if s.Rate <= 0 {
+		return 0.25
+	}
+	if s.Rate > 1 {
+		return 1
+	}
+	return s.Rate
+}
+
+func (s Spec) classes() []Class {
+	if len(s.Classes) == 0 {
+		return Classes
+	}
+	return s.Classes
+}
+
+// CorruptFailures serializes the failures into the canonical CSV and
+// corrupts data rows per the spec, returning the corrupted bytes and the
+// injection ground truth in line order.
+func CorruptFailures(failures []trace.Failure, spec Spec) ([]byte, []Injection, error) {
+	var clean bytes.Buffer
+	if err := trace.WriteFailures(&clean, failures); err != nil {
+		return nil, nil, fmt.Errorf("faultinject: serialize: %w", err)
+	}
+	rows := strings.Split(strings.TrimRight(clean.String(), "\n"), "\n")
+	rng := rand.New(rand.NewSource(spec.Seed))
+	classes := spec.classes()
+	rate := spec.rate()
+
+	var out strings.Builder
+	var injected []Injection
+	line := 0
+	emit := func(fields []string) int {
+		line++
+		out.WriteString(strings.Join(fields, ","))
+		out.WriteByte('\n')
+		return line
+	}
+	for i, row := range rows {
+		fields := strings.Split(row, ",")
+		if i == 0 {
+			emit(fields) // header
+			continue
+		}
+		if rng.Float64() >= rate {
+			emit(fields)
+			continue
+		}
+		c := classes[rng.Intn(len(classes))]
+		switch c {
+		case TruncatedField:
+			drop := 1 + rng.Intn(3)
+			injected = append(injected, Injection{emit(fields[:len(fields)-drop]), c})
+		case ExtraField:
+			injected = append(injected, Injection{emit(append(fields, "junk")), c})
+		case GarbledTimestamp:
+			fields[2] = "yesterday-ish"
+			injected = append(injected, Injection{emit(fields), c})
+		case OutOfRangeTimestamp:
+			fields[2] = "1805-07-14T09:30:00Z"
+			injected = append(injected, Injection{emit(fields), c})
+		case NegativeDowntime:
+			fields[7] = "-3600"
+			injected = append(injected, Injection{emit(fields), c})
+		case AbsurdDowntime:
+			fields[7] = strconv.Itoa(400 * 24 * 3600) // ~400 days
+			injected = append(injected, Injection{emit(fields), c})
+		case DuplicateRow:
+			emit(fields)
+			injected = append(injected, Injection{emit(fields), c})
+		case OverlappingOutage:
+			emit(fields)
+			over := append([]string(nil), fields...)
+			over[3] = "HUMAN" // no subtype columns to keep consistent
+			if fields[3] == "HUMAN" {
+				over[3] = "NET"
+			}
+			over[4], over[5], over[6] = "", "", ""
+			over[7] = "7200"
+			injected = append(injected, Injection{emit(over), c})
+		case UnknownSystem:
+			fields[0] = "99999"
+			injected = append(injected, Injection{emit(fields), c})
+		case UnknownNode:
+			fields[1] = "9999999"
+			injected = append(injected, Injection{emit(fields), c})
+		case SwappedColumns:
+			fields[2], fields[3] = fields[3], fields[2]
+			injected = append(injected, Injection{emit(fields), c})
+		case MixedTimeLayout:
+			if t, err := time.Parse(time.RFC3339, fields[2]); err == nil {
+				fields[2] = t.Format("2006-01-02 15:04:05")
+			} else {
+				fields[2] = "2004-13-40 99:99:99"
+			}
+			injected = append(injected, Injection{emit(fields), c})
+		case EncodingJunk:
+			fields[0] = "\uFEFF\x01" + fields[0]
+			injected = append(injected, Injection{emit(fields), c})
+		default:
+			emit(fields)
+		}
+	}
+	return []byte(out.String()), injected, nil
+}
+
+// CorruptDataset writes ds into dir as a normal dataset directory and then
+// replaces its failures table with a corrupted copy, returning the
+// injection ground truth.
+func CorruptDataset(dir string, ds *trace.Dataset, spec Spec) ([]Injection, error) {
+	if err := trace.SaveDir(dir, ds); err != nil {
+		return nil, err
+	}
+	data, injected, err := CorruptFailures(ds.Failures, spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, trace.FailuresFile), data, 0o644); err != nil {
+		return nil, err
+	}
+	return injected, nil
+}
+
+// sampleFailures is a tiny handwritten clean failure set used for fuzz seed
+// corpora: two systems, several nodes, all six categories represented.
+func sampleFailures() []trace.Failure {
+	base := time.Date(2004, 3, 1, 8, 0, 0, 0, time.UTC)
+	return []trace.Failure{
+		{System: 20, Node: 0, Time: base, Category: trace.Hardware, HW: trace.Memory, Downtime: 2 * time.Hour},
+		{System: 20, Node: 3, Time: base.Add(26 * time.Hour), Category: trace.Software, SW: trace.PFS, Downtime: 45 * time.Minute},
+		{System: 20, Node: 7, Time: base.Add(50 * time.Hour), Category: trace.Environment, Env: trace.PowerOutage, Downtime: 5 * time.Hour},
+		{System: 18, Node: 1, Time: base.Add(80 * time.Hour), Category: trace.Network, Downtime: 30 * time.Minute},
+		{System: 18, Node: 2, Time: base.Add(120 * time.Hour), Category: trace.Human, Downtime: 10 * time.Minute},
+		{System: 18, Node: 2, Time: base.Add(200 * time.Hour), Category: trace.Undetermined, Downtime: 0},
+	}
+}
+
+// SeedCorpus returns a fuzz seed corpus for failure-CSV readers: one clean
+// serialization plus one corrupted blob per fault class, all deterministic
+// in the seed.
+func SeedCorpus(seed int64) [][]byte {
+	fs := sampleFailures()
+	var clean bytes.Buffer
+	if err := trace.WriteFailures(&clean, fs); err != nil {
+		panic(err) // cannot fail on an in-memory buffer
+	}
+	out := [][]byte{clean.Bytes()}
+	for _, c := range Classes {
+		data, _, err := CorruptFailures(fs, Spec{Seed: seed + int64(c), Rate: 1, Classes: []Class{c}})
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, data)
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/experiments"
+	"github.com/hpcfail/hpcfail/internal/faultinject"
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/validate"
+)
+
+func smallDataset(t *testing.T) *trace.Dataset {
+	t.Helper()
+	ds, err := simulate.Generate(simulate.Options{Seed: 5, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// TestRoundTripPerClass is the fault-injection round-trip property: for
+// every fault class, importing the corrupted dataset in Lenient mode never
+// panics, returns a non-nil dataset, and the validation report attributes
+// each injected fault to the expected class at the injected line.
+func TestRoundTripPerClass(t *testing.T) {
+	ds := smallDataset(t)
+	for _, class := range faultinject.Classes {
+		class := class
+		t.Run(class.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			injected, err := faultinject.CorruptDataset(dir, ds, faultinject.Spec{
+				Seed: 100 + int64(class), Rate: 0.3, Classes: []faultinject.Class{class},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(injected) == 0 {
+				t.Fatal("corruptor injected nothing")
+			}
+			got, rep, err := trace.LoadDirWith(dir, validate.DefaultPolicy())
+			if err != nil {
+				t.Fatalf("lenient load: %v", err)
+			}
+			if got == nil {
+				t.Fatal("lenient load returned nil dataset")
+			}
+			want := class.Expected()
+			for _, inj := range injected {
+				if !rep.Has(want, trace.FailuresFile, inj.Line) {
+					t.Errorf("injection %s at line %d: no %s diagnostic at that line", inj.Class, inj.Line, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairCorpusRunsSuite corrupts a dataset with duplicates and
+// overlapping outages, repairs it on load, and runs the full experiment
+// suite over the result.
+func TestRepairCorpusRunsSuite(t *testing.T) {
+	ds := smallDataset(t)
+	dir := t.TempDir()
+	injected, err := faultinject.CorruptDataset(dir, ds, faultinject.Spec{
+		Seed: 11, Rate: 0.4,
+		Classes: []faultinject.Class{faultinject.DuplicateRow, faultinject.OverlappingOutage},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injected) == 0 {
+		t.Fatal("corruptor injected nothing")
+	}
+	repaired, rep, err := trace.LoadDirWith(dir, validate.RepairPolicy())
+	if err != nil {
+		t.Fatalf("repair load: %v", err)
+	}
+	if rep.Repaired == 0 {
+		t.Fatalf("repair load repaired nothing: %s", rep.Summary())
+	}
+	if err := repaired.Validate(); err != nil {
+		t.Fatalf("repaired dataset fails invariants: %v", err)
+	}
+	for _, res := range experiments.NewSuite(repaired).RunAll() {
+		if res.Err != nil {
+			t.Errorf("experiment %s failed on repaired dataset: %v", res.ID, res.Err)
+		}
+	}
+}
+
+// TestLenientFullMixNeverAborts corrupts with the full fault mix and checks
+// the lenient load survives with a usable dataset and a budget-relevant
+// report.
+func TestLenientFullMixNeverAborts(t *testing.T) {
+	ds := smallDataset(t)
+	dir := t.TempDir()
+	if _, err := faultinject.CorruptDataset(dir, ds, faultinject.Spec{Seed: 3, Rate: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := trace.LoadDirWith(dir, validate.DefaultPolicy())
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if got == nil || len(got.Failures) == 0 {
+		t.Fatal("lenient load lost every record")
+	}
+	if rep.Skipped == 0 {
+		t.Error("a 50% fault mix should skip at least one record")
+	}
+	if rep.SkipRate() <= 0 || rep.SkipRate() >= 1 {
+		t.Errorf("skip rate %v out of (0,1)", rep.SkipRate())
+	}
+	if err := (validate.Policy{MaxSkipRate: 0.01}).CheckBudget(rep); err == nil {
+		t.Error("tight budget should reject this skip rate")
+	}
+}
+
+// TestDeterminism: identical specs produce identical corpora.
+func TestDeterminism(t *testing.T) {
+	fs := smallDataset(t).Failures[:200]
+	a, injA, err := faultinject.CorruptFailures(fs, faultinject.Spec{Seed: 42, Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, injB, err := faultinject.CorruptFailures(fs, faultinject.Spec{Seed: 42, Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("same seed produced different bytes")
+	}
+	if len(injA) != len(injB) {
+		t.Fatalf("same seed produced %d vs %d injections", len(injA), len(injB))
+	}
+	c, _, err := faultinject.CorruptFailures(fs, faultinject.Spec{Seed: 43, Rate: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Error("different seeds produced identical bytes")
+	}
+}
+
+func TestSeedCorpus(t *testing.T) {
+	corpus := faultinject.SeedCorpus(1)
+	if len(corpus) != len(faultinject.Classes)+1 {
+		t.Fatalf("corpus has %d entries, want %d", len(corpus), len(faultinject.Classes)+1)
+	}
+	for i, blob := range corpus {
+		fs, _, rep, err := trace.DecodeFailuresCSV(bytes.NewReader(blob), validate.DefaultPolicy())
+		if err != nil {
+			t.Fatalf("corpus[%d]: lenient decode errored: %v", i, err)
+		}
+		if i == 0 && (len(fs) == 0 || len(rep.Diagnostics) != 0) {
+			t.Errorf("clean corpus entry: %d failures, %d diagnostics", len(fs), len(rep.Diagnostics))
+		}
+	}
+}

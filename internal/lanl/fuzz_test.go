@@ -1,0 +1,53 @@
+package lanl_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/faultinject"
+	"github.com/hpcfail/hpcfail/internal/lanl"
+	"github.com/hpcfail/hpcfail/internal/validate"
+)
+
+const lanlSeed = `System,nodenumz,Prob Started,Prob Fixed,Down Time,Facilities,Hardware,Human Error,Network,Undetermined,Software
+20,0,07/14/2003 09:30,07/14/2003 11:00,,,Memory Dimm,,,,
+20,3,07/15/2003 02:10,,120,,,,,Unresolvable,
+18,12,08/01/2003 17:45,08/01/2003 18:45,,Power Outage,,,,,
+2,1,08/03/2003 12:00,08/03/2003 13:30,,,,,,,"DST crash"
+`
+
+// FuzzImportLANL asserts the LANL record importer never panics on
+// arbitrary input. Seeds cover the real LANL column layout, the
+// fault-injection corpus (trace-format corruptions, which the importer
+// must reject gracefully rather than crash on), and structural edge
+// cases like truncated quotes and header-only files.
+func FuzzImportLANL(f *testing.F) {
+	f.Add([]byte(lanlSeed))
+	for _, seed := range faultinject.SeedCorpus(2) {
+		f.Add(seed)
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("System,nodenumz,Prob Started\n"))
+	f.Add([]byte("System,nodenumz,Prob Started\n20,0,\"07/14/2003"))
+	f.Add([]byte("\xEF\xBB\xBFSystem,nodenumz,Prob Started,Prob Fixed,Down Time,Facilities,Hardware,Human Error,Network,Undetermined,Software\n20,0,07/14/2003 09:30,,,,CPU,,,,\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := lanl.ImportFailures(bytes.NewReader(data), lanl.DefaultMapping())
+		if err == nil && res == nil {
+			t.Fatal("nil result without error")
+		}
+		// The full pipeline behind hpcimport must be equally crash-proof.
+		for _, p := range []validate.Policy{validate.DefaultPolicy(), validate.RepairPolicy()} {
+			ds, rep, err := lanl.ImportDatasetWith(bytes.NewReader(data), lanl.DefaultMapping(), p)
+			if err != nil {
+				continue
+			}
+			if ds == nil || rep == nil {
+				t.Fatal("nil dataset or report without error")
+			}
+			if verr := ds.Validate(); verr != nil {
+				t.Fatalf("imported dataset fails its own invariants: %v", verr)
+			}
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/validate"
 )
 
 // Mapping declares the column layout of a LANL-style failure table.
@@ -83,7 +84,10 @@ type Issue struct {
 // Result bundles imported failures with per-row issues.
 type Result struct {
 	Failures []trace.Failure
-	Issues   []Issue
+	// Lines holds the 1-based CSV line of each imported failure, parallel
+	// to Failures.
+	Lines  []int
+	Issues []Issue
 }
 
 // ImportFailures parses a LANL-style failure CSV. Rows that cannot be
@@ -153,6 +157,7 @@ func ImportFailures(r io.Reader, m Mapping) (*Result, error) {
 			continue
 		}
 		out.Failures = append(out.Failures, f)
+		out.Lines = append(out.Lines, line)
 	}
 }
 
@@ -375,4 +380,121 @@ func ImportDataset(r io.Reader, m Mapping) (*trace.Dataset, *Result, error) {
 	}
 	ds.Sort()
 	return ds, res, nil
+}
+
+// ImportFile is the table name diagnostics from the policy-aware importer
+// anchor to.
+const ImportFile = "lanl-failures"
+
+// classifyIssue maps an import issue onto the validation taxonomy: CSV-level
+// problems are bad rows, timestamp problems bad timestamps, everything else
+// a bad field.
+func classifyIssue(err error) validate.Class {
+	var pe *csv.ParseError
+	switch {
+	case errors.As(err, &pe):
+		return validate.BadRow
+	case strings.Contains(err.Error(), "timestamp"):
+		return validate.BadTimestamp
+	default:
+		return validate.BadField
+	}
+}
+
+// checkImported applies the policy's plausibility checks to one imported
+// failure: epoch range, negative and absurd downtimes. Repair clamps
+// downtimes; range violations are never repairable.
+func checkImported(f trace.Failure, p validate.Policy) (trace.Failure, []validate.Diagnostic) {
+	var ds []validate.Diagnostic
+	if !p.InRange(f.Time) {
+		ds = append(ds, validate.Diagnostic{Class: validate.TimestampOutOfRange, Severity: validate.Error,
+			Msg: fmt.Sprintf("timestamp %s outside plausible epoch [%s, %s)",
+				f.Time.Format(time.RFC3339), p.MinTime.Format(time.RFC3339), p.MaxTime.Format(time.RFC3339))})
+	}
+	if f.Downtime < 0 {
+		if p.Mode == validate.Repair {
+			ds = append(ds, validate.Diagnostic{Class: validate.NegativeDowntime, Severity: validate.Warning,
+				Repaired: true, Msg: fmt.Sprintf("negative downtime %s clamped to 0", f.Downtime)})
+			f.Downtime = 0
+		} else {
+			ds = append(ds, validate.Diagnostic{Class: validate.NegativeDowntime, Severity: validate.Error,
+				Msg: fmt.Sprintf("negative downtime %s", f.Downtime)})
+		}
+	} else if p.AbsurdDowntime > 0 && f.Downtime > p.AbsurdDowntime {
+		if p.Mode == validate.Repair {
+			ds = append(ds, validate.Diagnostic{Class: validate.AbsurdDowntime, Severity: validate.Warning,
+				Repaired: true, Msg: fmt.Sprintf("downtime %s clamped to %s", f.Downtime, p.AbsurdDowntime)})
+			f.Downtime = p.AbsurdDowntime
+		} else {
+			ds = append(ds, validate.Diagnostic{Class: validate.AbsurdDowntime, Severity: validate.Error,
+				Msg: fmt.Sprintf("absurd downtime %s (limit %s)", f.Downtime, p.AbsurdDowntime)})
+		}
+	}
+	return f, ds
+}
+
+// ImportDatasetWith imports a failure table under a validation policy. On
+// top of the row-level import it classifies every skipped row into the
+// validation taxonomy, applies the policy's plausibility checks and repairs,
+// runs the cross-record sanitizer (duplicates, overlapping outages) against
+// the derived system catalog, and enforces the policy's error budget.
+// Strict mode aborts on the first problem. The dataset and report are
+// returned even when only the budget check fails, so callers can inspect
+// what loaded.
+func ImportDatasetWith(r io.Reader, m Mapping, p validate.Policy) (*trace.Dataset, *validate.Report, error) {
+	rep := &validate.Report{}
+	res, err := ImportFailures(r, m)
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Scan(ImportFile, len(res.Failures)+len(res.Issues))
+	for _, is := range res.Issues {
+		if p.Mode == validate.Strict {
+			return nil, rep, fmt.Errorf("%s:%d: %v", ImportFile, is.Line, is.Err)
+		}
+		rep.Skip(ImportFile)
+		rep.Add(validate.Diagnostic{File: ImportFile, Line: is.Line,
+			Class: classifyIssue(is.Err), Severity: validate.Error, Msg: is.Err.Error()})
+	}
+	kept := make([]trace.Failure, 0, len(res.Failures))
+	lines := make([]int, 0, len(res.Failures))
+	for i, f := range res.Failures {
+		line := 0
+		if i < len(res.Lines) {
+			line = res.Lines[i]
+		}
+		f, diags := checkImported(f, p)
+		dead, fixed := false, false
+		for _, d := range diags {
+			d.File, d.Line = ImportFile, line
+			if d.Severity == validate.Error {
+				dead = true
+				if p.Mode == validate.Strict {
+					return nil, rep, fmt.Errorf("%s:%d: [%s] %s", ImportFile, line, d.Class, d.Msg)
+				}
+			}
+			fixed = fixed || d.Repaired
+			rep.Add(d)
+		}
+		if dead {
+			rep.Skip(ImportFile)
+			continue
+		}
+		if fixed {
+			rep.Repair(ImportFile)
+		}
+		kept = append(kept, f)
+		lines = append(lines, line)
+	}
+	if len(kept) == 0 {
+		return nil, rep, errors.New("lanl: no importable failure records")
+	}
+	systems := BuildSystems(kept, StudyGroup2)
+	fs, err := trace.SanitizeFailures(ImportFile, kept, lines, systems, p, rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	ds := &trace.Dataset{Systems: systems, Failures: fs}
+	ds.Sort()
+	return ds, rep, p.CheckBudget(rep)
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/validate"
 )
 
 const sampleCSV = `System,nodenumz,Prob Started,Prob Fixed,Down Time,Facilities,Hardware,Human Error,Network,Undetermined,Software
@@ -192,5 +193,50 @@ func TestImportDataset(t *testing.T) {
 	// Empty input errors.
 	if _, _, err := ImportDataset(strings.NewReader("System,nodenumz,Prob Started,Prob Fixed,Down Time,Facilities,Hardware,Human Error,Network,Undetermined,Software\n"), DefaultMapping()); err == nil {
 		t.Error("empty table should error")
+	}
+}
+
+func TestImportDatasetWithPolicies(t *testing.T) {
+	corrupt := sampleCSV +
+		"20,0,not a time,,,,CPU,,,,\n" + // unparseable timestamp
+		"20,5,08/06/2003 08:00,,-30,,CPU,,,,\n" // negative downtime
+
+	// Lenient: both bad records are skipped with diagnostics.
+	ds, rep, err := ImportDatasetWith(strings.NewReader(corrupt), DefaultMapping(), validate.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failures) != 7 {
+		t.Errorf("lenient import kept %d failures, want 7", len(ds.Failures))
+	}
+	if rep.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2: %s", rep.Skipped, rep.Summary())
+	}
+	if !rep.Has(validate.BadTimestamp, ImportFile, 0) {
+		t.Errorf("missing bad-timestamp diagnostic:\n%s", rep.Summary())
+	}
+
+	// Repair: the negative downtime is clamped instead of dropped.
+	ds, rep, err = ImportDatasetWith(strings.NewReader(corrupt), DefaultMapping(), validate.RepairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Failures) != 8 {
+		t.Errorf("repair import kept %d failures, want 8: %s", len(ds.Failures), rep.Summary())
+	}
+	if rep.Repaired == 0 {
+		t.Errorf("repair import repaired nothing: %s", rep.Summary())
+	}
+
+	// Strict: the first bad record aborts the import.
+	if _, _, err := ImportDatasetWith(strings.NewReader(corrupt), DefaultMapping(), validate.StrictPolicy()); err == nil {
+		t.Error("strict import of corrupt input should fail")
+	}
+
+	// Tight budget: the import errors with ErrBudgetExceeded.
+	p := validate.DefaultPolicy()
+	p.MaxSkipRate = 0.1
+	if _, _, err := ImportDatasetWith(strings.NewReader(corrupt), DefaultMapping(), p); !errors.Is(err, validate.ErrBudgetExceeded) {
+		t.Errorf("want budget error, got %v", err)
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/layout"
+	"github.com/hpcfail/hpcfail/internal/validate"
 )
 
 // The CSV codecs serialize datasets into a directory of plain CSV files,
@@ -273,21 +274,30 @@ func ReadTemps(r io.Reader) ([]TempSample, error) {
 		if line == 0 {
 			continue
 		}
-		var t TempSample
-		if t.System, err = strconv.Atoi(rec[0]); err != nil {
-			return nil, fmt.Errorf("temps line %d system: %w", line+1, err)
-		}
-		if t.Node, err = strconv.Atoi(rec[1]); err != nil {
-			return nil, fmt.Errorf("temps line %d node: %w", line+1, err)
-		}
-		if t.Time, err = parseTime(rec[2]); err != nil {
+		t, err := parseTemp(rec)
+		if err != nil {
 			return nil, fmt.Errorf("temps line %d: %w", line+1, err)
-		}
-		if t.Celsius, err = strconv.ParseFloat(rec[3], 64); err != nil {
-			return nil, fmt.Errorf("temps line %d celsius: %w", line+1, err)
 		}
 		out = append(out, t)
 	}
+}
+
+func parseTemp(rec []string) (TempSample, error) {
+	var t TempSample
+	var err error
+	if t.System, err = strconv.Atoi(rec[0]); err != nil {
+		return t, fmt.Errorf("system: %w", err)
+	}
+	if t.Node, err = strconv.Atoi(rec[1]); err != nil {
+		return t, fmt.Errorf("node: %w", err)
+	}
+	if t.Time, err = parseTime(rec[2]); err != nil {
+		return t, err
+	}
+	if t.Celsius, err = strconv.ParseFloat(rec[3], 64); err != nil {
+		return t, fmt.Errorf("celsius: %w", err)
+	}
+	return t, nil
 }
 
 // WriteMaintenance writes maintenance events as CSV with a header row.
@@ -328,24 +338,33 @@ func ReadMaintenance(r io.Reader) ([]MaintenanceEvent, error) {
 		if line == 0 {
 			continue
 		}
-		var m MaintenanceEvent
-		if m.System, err = strconv.Atoi(rec[0]); err != nil {
-			return nil, fmt.Errorf("maintenance line %d system: %w", line+1, err)
-		}
-		if m.Node, err = strconv.Atoi(rec[1]); err != nil {
-			return nil, fmt.Errorf("maintenance line %d node: %w", line+1, err)
-		}
-		if m.Time, err = parseTime(rec[2]); err != nil {
+		m, err := parseMaintenance(rec)
+		if err != nil {
 			return nil, fmt.Errorf("maintenance line %d: %w", line+1, err)
-		}
-		if m.Scheduled, err = strconv.ParseBool(rec[3]); err != nil {
-			return nil, fmt.Errorf("maintenance line %d scheduled: %w", line+1, err)
-		}
-		if m.HardwareRelated, err = strconv.ParseBool(rec[4]); err != nil {
-			return nil, fmt.Errorf("maintenance line %d hardware: %w", line+1, err)
 		}
 		out = append(out, m)
 	}
+}
+
+func parseMaintenance(rec []string) (MaintenanceEvent, error) {
+	var m MaintenanceEvent
+	var err error
+	if m.System, err = strconv.Atoi(rec[0]); err != nil {
+		return m, fmt.Errorf("system: %w", err)
+	}
+	if m.Node, err = strconv.Atoi(rec[1]); err != nil {
+		return m, fmt.Errorf("node: %w", err)
+	}
+	if m.Time, err = parseTime(rec[2]); err != nil {
+		return m, err
+	}
+	if m.Scheduled, err = strconv.ParseBool(rec[3]); err != nil {
+		return m, fmt.Errorf("scheduled: %w", err)
+	}
+	if m.HardwareRelated, err = strconv.ParseBool(rec[4]); err != nil {
+		return m, fmt.Errorf("hardware: %w", err)
+	}
+	return m, nil
 }
 
 // WriteNeutrons writes neutron samples as CSV with a header row.
@@ -383,15 +402,24 @@ func ReadNeutrons(r io.Reader) ([]NeutronSample, error) {
 		if line == 0 {
 			continue
 		}
-		var s NeutronSample
-		if s.Time, err = parseTime(rec[0]); err != nil {
+		s, err := parseNeutron(rec)
+		if err != nil {
 			return nil, fmt.Errorf("neutrons line %d: %w", line+1, err)
-		}
-		if s.CountsPerMinute, err = strconv.ParseFloat(rec[1], 64); err != nil {
-			return nil, fmt.Errorf("neutrons line %d counts: %w", line+1, err)
 		}
 		out = append(out, s)
 	}
+}
+
+func parseNeutron(rec []string) (NeutronSample, error) {
+	var s NeutronSample
+	var err error
+	if s.Time, err = parseTime(rec[0]); err != nil {
+		return s, err
+	}
+	if s.CountsPerMinute, err = strconv.ParseFloat(rec[1], 64); err != nil {
+		return s, fmt.Errorf("counts: %w", err)
+	}
+	return s, nil
 }
 
 // WriteSystems writes system descriptors as CSV with a header row.
@@ -433,29 +461,38 @@ func ReadSystems(r io.Reader) ([]SystemInfo, error) {
 		if line == 0 {
 			continue
 		}
-		var s SystemInfo
-		if s.ID, err = strconv.Atoi(rec[0]); err != nil {
-			return nil, fmt.Errorf("systems line %d id: %w", line+1, err)
-		}
-		g, err := strconv.Atoi(rec[1])
+		s, err := parseSystem(rec)
 		if err != nil {
-			return nil, fmt.Errorf("systems line %d group: %w", line+1, err)
-		}
-		s.Group = Group(g)
-		if s.Nodes, err = strconv.Atoi(rec[2]); err != nil {
-			return nil, fmt.Errorf("systems line %d nodes: %w", line+1, err)
-		}
-		if s.ProcsPerNode, err = strconv.Atoi(rec[3]); err != nil {
-			return nil, fmt.Errorf("systems line %d procs: %w", line+1, err)
-		}
-		if s.Period.Start, err = parseTime(rec[4]); err != nil {
-			return nil, fmt.Errorf("systems line %d: %w", line+1, err)
-		}
-		if s.Period.End, err = parseTime(rec[5]); err != nil {
 			return nil, fmt.Errorf("systems line %d: %w", line+1, err)
 		}
 		out = append(out, s)
 	}
+}
+
+func parseSystem(rec []string) (SystemInfo, error) {
+	var s SystemInfo
+	var err error
+	if s.ID, err = strconv.Atoi(rec[0]); err != nil {
+		return s, fmt.Errorf("id: %w", err)
+	}
+	g, err := strconv.Atoi(rec[1])
+	if err != nil {
+		return s, fmt.Errorf("group: %w", err)
+	}
+	s.Group = Group(g)
+	if s.Nodes, err = strconv.Atoi(rec[2]); err != nil {
+		return s, fmt.Errorf("nodes: %w", err)
+	}
+	if s.ProcsPerNode, err = strconv.Atoi(rec[3]); err != nil {
+		return s, fmt.Errorf("procs: %w", err)
+	}
+	if s.Period.Start, err = parseTime(rec[4]); err != nil {
+		return s, err
+	}
+	if s.Period.End, err = parseTime(rec[5]); err != nil {
+		return s, err
+	}
+	return s, nil
 }
 
 // WriteLayout writes one system's layout as CSV with a header row.
@@ -554,56 +591,15 @@ func SaveDir(dir string, d *Dataset) error {
 	return nil
 }
 
-// LoadDir reads a dataset directory written by SaveDir.
+// LoadDir reads a dataset directory written by SaveDir. Parsing is strict —
+// any malformed record aborts the load — but missing optional tables (jobs,
+// temperatures, maintenance, neutrons, layouts) degrade to empty series so
+// partial datasets remain analyzable. Use LoadDirWith to choose a lenient or
+// repairing policy and to inspect the diagnostics.
 func LoadDir(dir string) (*Dataset, error) {
-	d := &Dataset{Layouts: make(map[int]*layout.Layout)}
-	load := func(name string, read func(io.Reader) error) error {
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := read(f); err != nil {
-			return fmt.Errorf("read %s: %w", name, err)
-		}
-		return nil
+	d, _, err := LoadDirWith(dir, validate.StrictPolicy())
+	if err != nil {
+		return nil, err
 	}
-	var err error
-	if lerr := load(SystemsFile, func(r io.Reader) error { d.Systems, err = ReadSystems(r); return err }); lerr != nil {
-		return nil, lerr
-	}
-	if lerr := load(FailuresFile, func(r io.Reader) error { d.Failures, err = ReadFailures(r); return err }); lerr != nil {
-		return nil, lerr
-	}
-	if lerr := load(JobsFile, func(r io.Reader) error { d.Jobs, err = ReadJobs(r); return err }); lerr != nil {
-		return nil, lerr
-	}
-	if lerr := load(TempsFile, func(r io.Reader) error { d.Temps, err = ReadTemps(r); return err }); lerr != nil {
-		return nil, lerr
-	}
-	if lerr := load(MaintenanceFile, func(r io.Reader) error { d.Maintenance, err = ReadMaintenance(r); return err }); lerr != nil {
-		return nil, lerr
-	}
-	if lerr := load(NeutronsFile, func(r io.Reader) error { d.Neutrons, err = ReadNeutrons(r); return err }); lerr != nil {
-		return nil, lerr
-	}
-	for _, s := range d.Systems {
-		path := filepath.Join(dir, LayoutFile(s.ID))
-		if _, statErr := os.Stat(path); statErr != nil {
-			continue // layouts are optional per system
-		}
-		sys := s.ID
-		if lerr := load(LayoutFile(sys), func(r io.Reader) error {
-			l, rerr := ReadLayout(r, sys)
-			if rerr != nil {
-				return rerr
-			}
-			d.Layouts[sys] = l
-			return nil
-		}); lerr != nil {
-			return nil, lerr
-		}
-	}
-	d.Sort()
 	return d, nil
 }

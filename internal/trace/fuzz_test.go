@@ -1,0 +1,49 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/faultinject"
+	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/validate"
+)
+
+// FuzzLoadFailuresCSV asserts the failure-table decoder never panics,
+// whatever bytes it is handed. The corpus is seeded from the
+// fault-injection harness so every corruption class the corruptor knows
+// about is explored from the first iteration, plus a handful of
+// structural edge cases the corruptor never emits.
+func FuzzLoadFailuresCSV(f *testing.F) {
+	for _, seed := range faultinject.SeedCorpus(1) {
+		f.Add(seed)
+	}
+	f.Add([]byte(""))
+	f.Add([]byte("\xEF\xBB\xBFsystem,node,time,category,hw,sw,env,downtime_s\n"))
+	f.Add([]byte("system,node,time\n1,2\n\"unterminated"))
+	f.Add([]byte("system,node,time,category,hw,sw,env,downtime_s\n" +
+		"20,0,2004-03-01T08:00:00Z,HW,Memory,,,7200\n" +
+		"20,0,2004-03-01T08:00:00Z,HW,Memory,,,7200\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range []validate.Policy{
+			validate.DefaultPolicy(),
+			validate.StrictPolicy(),
+			validate.RepairPolicy(),
+		} {
+			fs, lines, rep, err := trace.DecodeFailuresCSV(bytes.NewReader(data), p)
+			if err != nil {
+				continue // rejecting garbage is fine; panicking is not
+			}
+			if len(fs) != len(lines) {
+				t.Fatalf("%d failures but %d line anchors", len(fs), len(lines))
+			}
+			if rep == nil {
+				t.Fatal("nil report without error")
+			}
+			if rep.Skipped > rep.Records {
+				t.Fatalf("skipped %d of %d records", rep.Skipped, rep.Records)
+			}
+		}
+	})
+}

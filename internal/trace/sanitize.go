@@ -1,0 +1,664 @@
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/layout"
+	"github.com/hpcfail/hpcfail/internal/validate"
+)
+
+// This file is the dataset validation/repair engine: tolerant CSV decoding
+// with line-anchored diagnostics, cross-record sanitation (duplicates,
+// overlapping outages, dangling references), and the policy-aware directory
+// loader. The strict readers in codec.go stay byte-compatible with old
+// datasets; everything here is for field data that is not guaranteed clean.
+
+// DecodeFailuresCSV reads a failures CSV stream under a validation policy.
+// It never panics on arbitrary input. Under Strict the first problem aborts
+// with an error; under Lenient broken rows are skipped with one diagnostic
+// each; under Repair near-miss timestamps are coerced, out-of-range
+// downtimes clamped, and stray subtype labels zeroed. It returns the decoded
+// failures, the 1-based CSV line of each, and the report.
+func DecodeFailuresCSV(r io.Reader, p validate.Policy) ([]Failure, []int, *validate.Report, error) {
+	rep := &validate.Report{}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = p.Mode != validate.Strict
+	var out []Failure
+	var lines []int
+	first := true
+	lastOffset := int64(-1)
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, lines, rep, nil
+		}
+		if err != nil {
+			if p.Mode == validate.Strict {
+				return nil, nil, rep, fmt.Errorf("%s: %w", FailuresFile, err)
+			}
+			line := 0
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				line = pe.StartLine
+			}
+			rep.Scan(FailuresFile, 1)
+			rep.Skip(FailuresFile)
+			rep.Add(validate.Diagnostic{
+				File: FailuresFile, Line: line, Class: validate.BadRow,
+				Severity: validate.Error, Msg: err.Error(),
+			})
+			if cr.InputOffset() == lastOffset {
+				// The reader cannot advance past this error; stop rather
+				// than report it forever.
+				return out, lines, rep, nil
+			}
+			lastOffset = cr.InputOffset()
+			continue
+		}
+		lastOffset = cr.InputOffset()
+		line, _ := cr.FieldPos(0)
+		junk := false
+		for i := range rec {
+			clean, scrubbed := validate.ScrubField(rec[i])
+			rec[i] = strings.TrimSpace(clean)
+			junk = junk || scrubbed
+		}
+		if first {
+			first = false
+			if len(rec) > 0 && strings.EqualFold(rec[0], "system") {
+				continue // header row
+			}
+		}
+		rep.Scan(FailuresFile, 1)
+		rowRepaired := false
+		if junk {
+			d := validate.Diagnostic{
+				File: FailuresFile, Line: line, Class: validate.EncodingJunk,
+				Severity: validate.Warning, Repaired: p.Mode == validate.Repair,
+				Msg: "BOM or control bytes scrubbed from record",
+			}
+			if p.Mode == validate.Strict {
+				return nil, nil, rep, fmt.Errorf("%s:%d: %s", FailuresFile, line, d.Msg)
+			}
+			rowRepaired = rowRepaired || d.Repaired
+			rep.Add(d)
+		}
+		if len(rec) != 8 {
+			d := validate.Diagnostic{
+				File: FailuresFile, Line: line, Class: validate.BadRow,
+				Severity: validate.Error,
+				Msg:      fmt.Sprintf("want 8 fields, got %d", len(rec)),
+			}
+			if p.Mode == validate.Strict {
+				return nil, nil, rep, fmt.Errorf("%s:%d: %s", FailuresFile, line, d.Msg)
+			}
+			rep.Skip(FailuresFile)
+			rep.Add(d)
+			continue
+		}
+		f, diags := parseFailureLenient(rec, p)
+		dead := false
+		for _, d := range diags {
+			d.File, d.Line = FailuresFile, line
+			if d.Severity == validate.Error {
+				dead = true
+				if p.Mode == validate.Strict {
+					return nil, nil, rep, fmt.Errorf("%s:%d: [%s] %s", FailuresFile, line, d.Class, d.Msg)
+				}
+			}
+			rowRepaired = rowRepaired || d.Repaired
+			rep.Add(d)
+		}
+		if dead {
+			rep.Skip(FailuresFile)
+			continue
+		}
+		if rowRepaired {
+			rep.Repair(FailuresFile)
+		}
+		out = append(out, f)
+		lines = append(lines, line)
+	}
+}
+
+// parseFailureLenient parses one 8-field failure row, classifying every
+// problem. Under Repair it coerces what the repair set allows; the row is
+// unusable iff any returned diagnostic has Error severity.
+func parseFailureLenient(rec []string, p validate.Policy) (Failure, []validate.Diagnostic) {
+	var f Failure
+	var ds []validate.Diagnostic
+	fail := func(c validate.Class, format string, args ...any) {
+		ds = append(ds, validate.Diagnostic{Class: c, Severity: validate.Error, Msg: fmt.Sprintf(format, args...)})
+	}
+	repaired := func(c validate.Class, format string, args ...any) {
+		ds = append(ds, validate.Diagnostic{Class: c, Severity: validate.Warning, Repaired: true, Msg: fmt.Sprintf(format, args...)})
+	}
+	var err error
+	if f.System, err = strconv.Atoi(rec[0]); err != nil {
+		fail(validate.BadField, "system: %v", err)
+	}
+	if f.Node, err = strconv.Atoi(rec[1]); err != nil {
+		fail(validate.BadField, "node: %v", err)
+	}
+	timeOK := false
+	if f.Time, err = time.Parse(timeLayout, rec[2]); err == nil {
+		timeOK = true
+	} else if p.Mode == validate.Repair {
+		if t, _, cerr := validate.CoerceTime(rec[2], timeLayout); cerr == nil {
+			f.Time = t
+			timeOK = true
+			repaired(validate.BadTimestamp, "coerced non-canonical timestamp %q", rec[2])
+		} else {
+			fail(validate.BadTimestamp, "unparseable timestamp %q", rec[2])
+		}
+	} else {
+		fail(validate.BadTimestamp, "unparseable timestamp %q", rec[2])
+	}
+	if timeOK && !p.InRange(f.Time) {
+		fail(validate.TimestampOutOfRange, "timestamp %s outside plausible epoch [%s, %s)",
+			f.Time.Format(timeLayout), p.MinTime.Format(timeLayout), p.MaxTime.Format(timeLayout))
+	}
+	catOK := false
+	if f.Category, err = ParseCategory(rec[3]); err != nil {
+		fail(validate.BadField, "category: %v", err)
+	} else {
+		catOK = true
+	}
+	subtype := func(name string, parse func() error, clear func(), set func() bool, want Category) {
+		if err := parse(); err != nil {
+			if p.Mode == validate.Repair {
+				clear()
+				repaired(validate.BadField, "%s: %v; subtype dropped", name, err)
+			} else {
+				fail(validate.BadField, "%s: %v", name, err)
+			}
+			return
+		}
+		if catOK && set() && f.Category != want {
+			if p.Mode == validate.Repair {
+				clear()
+				repaired(validate.BadField, "%s subtype on %s failure dropped", name, f.Category)
+			} else {
+				fail(validate.BadField, "%s subtype on %s failure", name, f.Category)
+			}
+		}
+	}
+	subtype("hw", func() (e error) { f.HW, e = ParseHWComponent(rec[4]); return },
+		func() { f.HW = HWUnknown }, func() bool { return f.HW != HWUnknown }, Hardware)
+	subtype("sw", func() (e error) { f.SW, e = ParseSWClass(rec[5]); return },
+		func() { f.SW = SWUnknown }, func() bool { return f.SW != SWUnknown }, Software)
+	subtype("env", func() (e error) { f.Env, e = ParseEnvClass(rec[6]); return },
+		func() { f.Env = EnvUnknown }, func() bool { return f.Env != EnvUnknown }, Environment)
+	secs, err := strconv.ParseInt(rec[7], 10, 64)
+	if err != nil {
+		if fsecs, ferr := strconv.ParseFloat(rec[7], 64); ferr == nil && p.Mode == validate.Repair {
+			secs = int64(fsecs)
+			repaired(validate.BadField, "coerced fractional downtime %q", rec[7])
+		} else {
+			fail(validate.BadField, "downtime: %v", err)
+			return f, ds
+		}
+	}
+	f.Downtime = time.Duration(secs) * time.Second
+	if f.Downtime < 0 {
+		if p.Mode == validate.Repair {
+			f.Downtime = 0
+			repaired(validate.NegativeDowntime, "negative downtime %ds clamped to 0", secs)
+		} else {
+			fail(validate.NegativeDowntime, "negative downtime %ds", secs)
+		}
+	} else if p.AbsurdDowntime > 0 && f.Downtime > p.AbsurdDowntime {
+		if p.Mode == validate.Repair {
+			f.Downtime = p.AbsurdDowntime
+			repaired(validate.AbsurdDowntime, "downtime %ds clamped to %s", secs, p.AbsurdDowntime)
+		} else {
+			fail(validate.AbsurdDowntime, "absurd downtime %ds (limit %s)", secs, p.AbsurdDowntime)
+		}
+	}
+	return f, ds
+}
+
+// SanitizeFailures applies the cross-record checks: references against the
+// system catalog (nil disables them), exact duplicates, and overlapping
+// outages of one node. file names the source table for diagnostics and
+// budget tallies; lines anchors diagnostics to CSV lines (nil for in-memory
+// data). Repair merges duplicates and truncates the earlier of two
+// overlapping outages; Lenient skips the offending later record; Strict
+// fails on the first finding. The input slice is not modified.
+func SanitizeFailures(file string, failures []Failure, lines []int, systems []SystemInfo, p validate.Policy, rep *validate.Report) ([]Failure, error) {
+	lineOf := func(i int) int {
+		if lines != nil && i < len(lines) {
+			return lines[i]
+		}
+		return 0
+	}
+	problem := func(i int, c validate.Class, repairable bool, format string, args ...any) error {
+		d := validate.Diagnostic{
+			File: file, Line: lineOf(i), Class: c,
+			Severity: validate.Error, Msg: fmt.Sprintf(format, args...),
+		}
+		if p.Mode == validate.Strict {
+			return fmt.Errorf("%s:%d: [%s] %s", file, d.Line, c, d.Msg)
+		}
+		if p.Mode == validate.Repair && repairable {
+			d.Severity = validate.Warning
+			d.Repaired = true
+			rep.Repair(file)
+		} else {
+			rep.Skip(file)
+		}
+		rep.Add(d)
+		return nil
+	}
+
+	fs := append([]Failure(nil), failures...)
+	keep := make([]bool, len(fs))
+	var catalog map[int]int
+	if systems != nil {
+		catalog = make(map[int]int, len(systems))
+		for _, s := range systems {
+			catalog[s.ID] = s.Nodes
+		}
+	}
+	seen := make(map[Failure]int, len(fs))
+	for i, f := range fs {
+		if catalog != nil {
+			nodes, ok := catalog[f.System]
+			if !ok {
+				if err := problem(i, validate.UnknownSystem, false, "references unknown system %d", f.System); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if f.Node < 0 || f.Node >= nodes {
+				if err := problem(i, validate.UnknownNode, false, "node %d out of range [0,%d) for system %d", f.Node, nodes, f.System); err != nil {
+					return nil, err
+				}
+				continue
+			}
+		}
+		if j, dup := seen[f]; dup {
+			if err := problem(i, validate.DuplicateRecord, true, "exact duplicate of line %d", lineOf(j)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		seen[f] = i
+		keep[i] = true
+	}
+
+	// Overlap resolution per node, in time order (line order breaks ties so
+	// the later row is always the one reported).
+	byNode := make(map[NodeKey][]int)
+	for i, ok := range keep {
+		if ok {
+			k := NodeKey{System: fs[i].System, Node: fs[i].Node}
+			byNode[k] = append(byNode[k], i)
+		}
+	}
+	for _, idxs := range byNode {
+		sort.Slice(idxs, func(a, b int) bool {
+			fa, fb := fs[idxs[a]], fs[idxs[b]]
+			if !fa.Time.Equal(fb.Time) {
+				return fa.Time.Before(fb.Time)
+			}
+			return lineOf(idxs[a]) < lineOf(idxs[b])
+		})
+		prev := -1
+		for _, i := range idxs {
+			if prev < 0 {
+				prev = i
+				continue
+			}
+			cur := fs[i]
+			pf := fs[prev]
+			sameStart := cur.Time.Equal(pf.Time)
+			overlaps := pf.Downtime > 0 && cur.Time.Before(pf.Time.Add(pf.Downtime))
+			if !sameStart && !overlaps {
+				prev = i
+				continue
+			}
+			switch {
+			case p.Mode == validate.Repair && !sameStart:
+				// Truncate the earlier outage so the two no longer overlap.
+				fs[prev].Downtime = cur.Time.Sub(pf.Time)
+				if err := problem(i, validate.OverlappingOutage, true, "overlapped outage at line %d truncated to %s", lineOf(prev), fs[prev].Downtime); err != nil {
+					return nil, err
+				}
+				prev = i
+			case p.Mode == validate.Repair:
+				// Same start instant: keep the earlier row, drop this one.
+				keep[i] = false
+				if err := problem(i, validate.OverlappingOutage, true, "outage starts at the same instant as line %d; merged", lineOf(prev)); err != nil {
+					return nil, err
+				}
+			case sameStart:
+				// Two outages of one node starting at the same instant is a
+				// data-entry artifact: Strict fails, Lenient skips the later
+				// row.
+				keep[i] = false
+				if err := problem(i, validate.OverlappingOutage, false, "outage starts at the same instant as line %d on system %d node %d", lineOf(prev), cur.System, cur.Node); err != nil {
+					return nil, err
+				}
+			default:
+				// A node failing again while still down is physically
+				// plausible (a second problem logged during the repair), so
+				// Strict and Lenient keep both records and warn.
+				rep.Add(validate.Diagnostic{
+					File: file, Line: lineOf(i), Class: validate.OverlappingOutage,
+					Severity: validate.Warning,
+					Msg:      fmt.Sprintf("outage overlaps line %d on system %d node %d", lineOf(prev), cur.System, cur.Node),
+				})
+				prev = i
+			}
+		}
+	}
+
+	out := make([]Failure, 0, len(fs))
+	for i, ok := range keep {
+		if ok {
+			out = append(out, fs[i])
+		}
+	}
+	return out, nil
+}
+
+// ValidateFailuresCSV decodes a failures CSV stream, sanitizes it against
+// the given system catalog (nil skips reference checks), and enforces the
+// policy's error budget. The returned failures are non-nil-safe to use even
+// when the budget error is returned.
+func ValidateFailuresCSV(r io.Reader, systems []SystemInfo, p validate.Policy) ([]Failure, *validate.Report, error) {
+	fs, lines, rep, err := DecodeFailuresCSV(r, p)
+	if err != nil {
+		return nil, rep, err
+	}
+	fs, err = SanitizeFailures(FailuresFile, fs, lines, systems, p, rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	return fs, rep, p.CheckBudget(rep)
+}
+
+// SanitizeDataset validates an in-memory dataset under a policy: failures
+// get the full cross-record treatment (duplicates, overlaps, references,
+// downtime clamps are already a parse-time concern and are not re-checked
+// here), and jobs, temperature and maintenance records referencing unknown
+// systems or out-of-range nodes are dropped with diagnostics. It returns a
+// sanitized copy, leaving the input unmodified.
+func SanitizeDataset(ds *Dataset, p validate.Policy) (*Dataset, *validate.Report, error) {
+	rep := &validate.Report{}
+	out := &Dataset{
+		Systems:  append([]SystemInfo(nil), ds.Systems...),
+		Neutrons: append([]NeutronSample(nil), ds.Neutrons...),
+		Layouts:  make(map[int]*layout.Layout, len(ds.Layouts)),
+	}
+	for id, l := range ds.Layouts {
+		out.Layouts[id] = l
+	}
+	rep.Scan(FailuresFile, len(ds.Failures))
+	fs, err := SanitizeFailures(FailuresFile, ds.Failures, nil, ds.Systems, p, rep)
+	if err != nil {
+		return nil, rep, err
+	}
+	out.Failures = fs
+
+	catalog := make(map[int]int, len(ds.Systems))
+	for _, s := range ds.Systems {
+		catalog[s.ID] = s.Nodes
+	}
+	checkRef := func(kind, file string, system, node int) error {
+		nodes, ok := catalog[system]
+		if !ok {
+			d := validate.Diagnostic{File: file, Class: validate.UnknownSystem, Severity: validate.Error,
+				Msg: fmt.Sprintf("%s record references unknown system %d", kind, system)}
+			if p.Mode == validate.Strict {
+				return errors.New(d.Msg)
+			}
+			rep.Skip(file)
+			rep.Add(d)
+			return errSkipRecord
+		}
+		if node < 0 || node >= nodes {
+			d := validate.Diagnostic{File: file, Class: validate.UnknownNode, Severity: validate.Error,
+				Msg: fmt.Sprintf("%s record: node %d out of range [0,%d) for system %d", kind, node, nodes, system)}
+			if p.Mode == validate.Strict {
+				return errors.New(d.Msg)
+			}
+			rep.Skip(file)
+			rep.Add(d)
+			return errSkipRecord
+		}
+		return nil
+	}
+	for _, j := range ds.Jobs {
+		rep.Scan(JobsFile, 1)
+		if _, ok := catalog[j.System]; !ok {
+			if p.Mode == validate.Strict {
+				return nil, rep, fmt.Errorf("job %d references unknown system %d", j.ID, j.System)
+			}
+			rep.Skip(JobsFile)
+			rep.Add(validate.Diagnostic{File: JobsFile, Class: validate.UnknownSystem, Severity: validate.Error,
+				Msg: fmt.Sprintf("job %d references unknown system %d", j.ID, j.System)})
+			continue
+		}
+		out.Jobs = append(out.Jobs, j)
+	}
+	for _, t := range ds.Temps {
+		rep.Scan(TempsFile, 1)
+		switch err := checkRef("temperature", TempsFile, t.System, t.Node); {
+		case err == errSkipRecord:
+		case err != nil:
+			return nil, rep, err
+		default:
+			out.Temps = append(out.Temps, t)
+		}
+	}
+	for _, m := range ds.Maintenance {
+		rep.Scan(MaintenanceFile, 1)
+		switch err := checkRef("maintenance", MaintenanceFile, m.System, m.Node); {
+		case err == errSkipRecord:
+		case err != nil:
+			return nil, rep, err
+		default:
+			out.Maintenance = append(out.Maintenance, m)
+		}
+	}
+	out.Sort()
+	return out, rep, p.CheckBudget(rep)
+}
+
+// errSkipRecord is an internal sentinel: the record was rejected and
+// reported, and the caller should move on.
+var errSkipRecord = errors.New("skip record")
+
+// lenientTable reads one non-failure CSV table under a policy: the header
+// row is skipped, rows with CSV-level problems are BadRow, rows the parse
+// function rejects are BadField. Strict aborts on the first problem.
+func lenientTable[T any](file string, r io.Reader, fields int, parse func([]string) (T, error), p validate.Policy, rep *validate.Report) ([]T, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.LazyQuotes = p.Mode != validate.Strict
+	var out []T
+	first := true
+	lastOffset := int64(-1)
+	for {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			if p.Mode == validate.Strict {
+				return nil, fmt.Errorf("%s: %w", file, err)
+			}
+			line := 0
+			var pe *csv.ParseError
+			if errors.As(err, &pe) {
+				line = pe.StartLine
+			}
+			rep.Scan(file, 1)
+			rep.Skip(file)
+			rep.Add(validate.Diagnostic{File: file, Line: line, Class: validate.BadRow,
+				Severity: validate.Error, Msg: err.Error()})
+			if cr.InputOffset() == lastOffset {
+				return out, nil
+			}
+			lastOffset = cr.InputOffset()
+			continue
+		}
+		lastOffset = cr.InputOffset()
+		line, _ := cr.FieldPos(0)
+		if first {
+			first = false
+			continue // header
+		}
+		rep.Scan(file, 1)
+		junkRepaired := false
+		if p.Mode != validate.Strict {
+			junk := false
+			for i := range rec {
+				clean, scrubbed := validate.ScrubField(rec[i])
+				rec[i] = strings.TrimSpace(clean)
+				junk = junk || scrubbed
+			}
+			if junk {
+				junkRepaired = p.Mode == validate.Repair
+				rep.Add(validate.Diagnostic{File: file, Line: line, Class: validate.EncodingJunk,
+					Severity: validate.Warning, Repaired: junkRepaired,
+					Msg: "BOM or control bytes scrubbed from record"})
+			}
+		}
+		if len(rec) != fields {
+			if p.Mode == validate.Strict {
+				return nil, fmt.Errorf("%s:%d: want %d fields, got %d", file, line, fields, len(rec))
+			}
+			rep.Skip(file)
+			rep.Add(validate.Diagnostic{File: file, Line: line, Class: validate.BadRow,
+				Severity: validate.Error, Msg: fmt.Sprintf("want %d fields, got %d", fields, len(rec))})
+			continue
+		}
+		v, err := parse(rec)
+		if err != nil {
+			if p.Mode == validate.Strict {
+				return nil, fmt.Errorf("%s:%d: %w", file, line, err)
+			}
+			rep.Skip(file)
+			rep.Add(validate.Diagnostic{File: file, Line: line, Class: validate.BadField,
+				Severity: validate.Error, Msg: err.Error()})
+			continue
+		}
+		if junkRepaired {
+			rep.Repair(file)
+		}
+		out = append(out, v)
+	}
+}
+
+// LoadDirWith reads a dataset directory under a validation policy. The
+// systems and failures tables are required; every other table is optional
+// and degrades to an empty series with a MissingTable diagnostic. Failures
+// get the full decode/sanitize treatment (including reference checks
+// against the systems catalog); the remaining tables are read row-leniently
+// under the same mode. A dataset is returned together with the report even
+// when the error budget is exceeded, so callers can inspect what loaded.
+func LoadDirWith(dir string, p validate.Policy) (*Dataset, *validate.Report, error) {
+	rep := &validate.Report{}
+	d := &Dataset{Layouts: make(map[int]*layout.Layout)}
+
+	open := func(name string) (*os.File, error) { return os.Open(filepath.Join(dir, name)) }
+
+	sf, err := open(SystemsFile)
+	if err != nil {
+		return nil, rep, fmt.Errorf("load dataset: %w", err)
+	}
+	d.Systems, err = lenientTable(SystemsFile, sf, 6, parseSystem, p, rep)
+	sf.Close()
+	if err != nil {
+		return nil, rep, err
+	}
+
+	ff, err := open(FailuresFile)
+	if err != nil {
+		return nil, rep, fmt.Errorf("load dataset: %w", err)
+	}
+	fs, lines, frep, err := DecodeFailuresCSV(ff, p)
+	ff.Close()
+	rep.Merge(frep)
+	if err != nil {
+		return nil, rep, err
+	}
+	if d.Failures, err = SanitizeFailures(FailuresFile, fs, lines, d.Systems, p, rep); err != nil {
+		return nil, rep, err
+	}
+
+	optional := func(name string, read func(io.Reader) error) error {
+		f, err := open(name)
+		if os.IsNotExist(err) {
+			rep.Add(validate.Diagnostic{File: name, Class: validate.MissingTable,
+				Severity: validate.Info, Msg: "optional table missing; series degrades to empty"})
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("load dataset: %w", err)
+		}
+		defer f.Close()
+		return read(f)
+	}
+	if err := optional(JobsFile, func(r io.Reader) (e error) {
+		d.Jobs, e = lenientTable(JobsFile, r, 9, parseJob, p, rep)
+		return
+	}); err != nil {
+		return nil, rep, err
+	}
+	if err := optional(TempsFile, func(r io.Reader) (e error) {
+		d.Temps, e = lenientTable(TempsFile, r, 4, parseTemp, p, rep)
+		return
+	}); err != nil {
+		return nil, rep, err
+	}
+	if err := optional(MaintenanceFile, func(r io.Reader) (e error) {
+		d.Maintenance, e = lenientTable(MaintenanceFile, r, 5, parseMaintenance, p, rep)
+		return
+	}); err != nil {
+		return nil, rep, err
+	}
+	if err := optional(NeutronsFile, func(r io.Reader) (e error) {
+		d.Neutrons, e = lenientTable(NeutronsFile, r, 2, parseNeutron, p, rep)
+		return
+	}); err != nil {
+		return nil, rep, err
+	}
+
+	for _, s := range d.Systems {
+		path := filepath.Join(dir, LayoutFile(s.ID))
+		f, err := os.Open(path)
+		if os.IsNotExist(err) {
+			continue // layouts are optional per system, silently
+		}
+		if err != nil {
+			return nil, rep, fmt.Errorf("load dataset: %w", err)
+		}
+		l, rerr := ReadLayout(f, s.ID)
+		f.Close()
+		if rerr != nil {
+			if p.Mode == validate.Strict {
+				return nil, rep, fmt.Errorf("read %s: %w", LayoutFile(s.ID), rerr)
+			}
+			rep.Add(validate.Diagnostic{File: LayoutFile(s.ID), Class: validate.BadRow,
+				Severity: validate.Warning, Msg: fmt.Sprintf("layout unreadable, dropped: %v", rerr)})
+			continue
+		}
+		d.Layouts[s.ID] = l
+	}
+	d.Sort()
+	return d, rep, p.CheckBudget(rep)
+}

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/validate"
+)
+
+func mustTime(t *testing.T, s string) time.Time {
+	t.Helper()
+	tm, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+const cleanFailures = `system,node,time,category,hw,sw,env,downtime_s
+20,0,2004-03-01T08:00:00Z,HW,Memory,,,7200
+20,3,2004-03-02T10:00:00Z,SW,,PFS,,2700
+18,1,2004-03-03T12:00:00Z,NET,,,,1800
+`
+
+func TestDecodeFailuresCSVClean(t *testing.T) {
+	fs, lines, rep, err := DecodeFailuresCSV(strings.NewReader(cleanFailures), validate.StrictPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 || len(lines) != 3 {
+		t.Fatalf("decoded %d failures, lines %v", len(fs), lines)
+	}
+	if lines[0] != 2 || lines[2] != 4 {
+		t.Errorf("line anchors = %v (header is line 1)", lines)
+	}
+	if len(rep.Diagnostics) != 0 || rep.Records != 3 {
+		t.Errorf("clean decode report: %s", rep.Summary())
+	}
+}
+
+func TestDecodeFailuresCSVLenientSkips(t *testing.T) {
+	in := cleanFailures +
+		"20,0,not-a-time,HW,Memory,,,60\n" + // line 5: bad timestamp
+		"20,0,2004-03-05T08:00:00Z,HW,Memory,,,-60\n" + // line 6: negative downtime
+		"20,0,2004-03-06T08:00:00Z,HW\n" // line 7: truncated row
+	fs, _, rep, err := DecodeFailuresCSV(strings.NewReader(in), validate.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("lenient decode kept %d failures, want 3", len(fs))
+	}
+	if rep.Skipped != 3 {
+		t.Errorf("skipped = %d, want 3: %s", rep.Skipped, rep.Summary())
+	}
+	for _, want := range []struct {
+		class validate.Class
+		line  int
+	}{
+		{validate.BadTimestamp, 5},
+		{validate.NegativeDowntime, 6},
+		{validate.BadRow, 7},
+	} {
+		if !rep.Has(want.class, FailuresFile, want.line) {
+			t.Errorf("missing %s at line %d:\n%s", want.class, want.line, rep.Summary())
+		}
+	}
+}
+
+func TestDecodeFailuresCSVStrictAborts(t *testing.T) {
+	in := cleanFailures + "20,0,not-a-time,HW,Memory,,,60\n"
+	_, _, _, err := DecodeFailuresCSV(strings.NewReader(in), validate.StrictPolicy())
+	if err == nil || !strings.Contains(err.Error(), "bad-timestamp") {
+		t.Fatalf("strict decode should fail on the timestamp, got %v", err)
+	}
+}
+
+func TestDecodeFailuresCSVRepairs(t *testing.T) {
+	in := "system,node,time,category,hw,sw,env,downtime_s\n" +
+		"20,0,2004-03-01 08:00:00,HW,Memory,,,7200\n" + // non-canonical layout
+		"20,1,2004-03-02T08:00:00Z,HW,Memory,,,-60\n" + // negative downtime
+		"20,2,2004-03-03T08:00:00Z,HW,Memory,,,999999999\n" // absurd downtime
+	fs, _, rep, err := DecodeFailuresCSV(strings.NewReader(in), validate.RepairPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 3 {
+		t.Fatalf("repair decode kept %d failures, want 3: %s", len(fs), rep.Summary())
+	}
+	if fs[0].Time != mustTime(t, "2004-03-01T08:00:00Z") {
+		t.Errorf("coerced time = %v", fs[0].Time)
+	}
+	if fs[1].Downtime != 0 {
+		t.Errorf("negative downtime clamped to %v, want 0", fs[1].Downtime)
+	}
+	if want := validate.RepairPolicy().AbsurdDowntime; fs[2].Downtime != want {
+		t.Errorf("absurd downtime clamped to %v, want %v", fs[2].Downtime, want)
+	}
+	if rep.Repaired != 3 || rep.Skipped != 0 {
+		t.Errorf("repair tallies: %s", rep.Summary())
+	}
+}
+
+func TestSanitizeFailuresDuplicatesAndRefs(t *testing.T) {
+	systems := []SystemInfo{{ID: 20, Nodes: 4}}
+	f := Failure{System: 20, Node: 0, Time: mustTime(t, "2004-03-01T08:00:00Z"), Category: Hardware, HW: Memory}
+	unknownSys := f
+	unknownSys.System = 99
+	unknownNode := f
+	unknownNode.Node = 7
+	in := []Failure{f, f, unknownSys, unknownNode}
+
+	rep := &validate.Report{}
+	out, err := SanitizeFailures(FailuresFile, in, []int{2, 3, 4, 5}, systems, validate.DefaultPolicy(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("kept %d failures, want 1: %s", len(out), rep.Summary())
+	}
+	if !rep.Has(validate.DuplicateRecord, FailuresFile, 3) ||
+		!rep.Has(validate.UnknownSystem, FailuresFile, 4) ||
+		!rep.Has(validate.UnknownNode, FailuresFile, 5) {
+		t.Errorf("missing diagnostics:\n%s", rep.Summary())
+	}
+	if len(in) != 4 {
+		t.Error("input slice was modified")
+	}
+
+	// Repair merges the duplicate instead of erroring.
+	rep = &validate.Report{}
+	out, err = SanitizeFailures(FailuresFile, []Failure{f, f}, nil, systems, validate.RepairPolicy(), rep)
+	if err != nil || len(out) != 1 || rep.Repaired != 1 {
+		t.Errorf("repair dedup: %d kept, err %v, %s", len(out), err, rep.Summary())
+	}
+}
+
+func TestSanitizeFailuresOverlaps(t *testing.T) {
+	base := mustTime(t, "2004-03-01T08:00:00Z")
+	a := Failure{System: 20, Node: 0, Time: base, Category: Hardware, HW: Memory, Downtime: 4 * time.Hour}
+	b := Failure{System: 20, Node: 0, Time: base.Add(time.Hour), Category: Network, Downtime: time.Hour}
+	sameStart := Failure{System: 20, Node: 0, Time: base, Category: Human, Downtime: time.Hour}
+
+	// Interval overlap: kept in Lenient with a warning.
+	rep := &validate.Report{}
+	out, err := SanitizeFailures(FailuresFile, []Failure{a, b}, nil, nil, validate.DefaultPolicy(), rep)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("lenient overlap: kept %d, err %v", len(out), err)
+	}
+	if !rep.Has(validate.OverlappingOutage, FailuresFile, 0) || rep.Skipped != 0 {
+		t.Errorf("interval overlap should warn without skipping: %s", rep.Summary())
+	}
+
+	// Interval overlap: Repair truncates the earlier downtime.
+	rep = &validate.Report{}
+	out, err = SanitizeFailures(FailuresFile, []Failure{a, b}, nil, nil, validate.RepairPolicy(), rep)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("repair overlap: kept %d, err %v", len(out), err)
+	}
+	for _, f := range out {
+		if f.Time.Equal(base) && f.Downtime != time.Hour {
+			t.Errorf("earlier outage truncated to %v, want 1h", f.Downtime)
+		}
+	}
+
+	// Same-start collision: Lenient skips, Strict errors, Repair merges.
+	rep = &validate.Report{}
+	out, err = SanitizeFailures(FailuresFile, []Failure{a, sameStart}, nil, nil, validate.DefaultPolicy(), rep)
+	if err != nil || len(out) != 1 || rep.Skipped != 1 {
+		t.Errorf("lenient same-start: kept %d, err %v, %s", len(out), err, rep.Summary())
+	}
+	if _, err := SanitizeFailures(FailuresFile, []Failure{a, sameStart}, nil, nil, validate.StrictPolicy(), &validate.Report{}); err == nil {
+		t.Error("strict same-start should error")
+	}
+	rep = &validate.Report{}
+	out, err = SanitizeFailures(FailuresFile, []Failure{a, sameStart}, nil, nil, validate.RepairPolicy(), rep)
+	if err != nil || len(out) != 1 || rep.Repaired != 1 {
+		t.Errorf("repair same-start: kept %d, err %v, %s", len(out), err, rep.Summary())
+	}
+}
+
+func TestValidateFailuresCSVBudget(t *testing.T) {
+	in := cleanFailures + "20,0,garbage,HW,Memory,,,60\n"
+	p := validate.DefaultPolicy()
+	p.MaxSkipRate = 0.1 // one of four rows skipped = 25% > 10%
+	_, rep, err := ValidateFailuresCSV(strings.NewReader(in), nil, p)
+	if !errors.Is(err, validate.ErrBudgetExceeded) {
+		t.Fatalf("want budget error, got %v (%s)", err, rep.Summary())
+	}
+}
+
+// TestLoadDirMissingOptionalTables is the graceful-degradation contract:
+// a dataset directory holding only the required systems and failures
+// tables loads under every mode, with empty auxiliary series and one
+// MissingTable diagnostic per absent file.
+func TestLoadDirMissingOptionalTables(t *testing.T) {
+	dir := t.TempDir()
+	writeFile := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeFile(SystemsFile, "id,group,nodes,procs_per_node,period_start,period_end\n"+
+		"20,1,4,4,2004-01-01T00:00:00Z,2005-01-01T00:00:00Z\n"+
+		"18,1,2,4,2004-01-01T00:00:00Z,2005-01-01T00:00:00Z\n")
+	writeFile(FailuresFile, cleanFailures)
+
+	// The plain strict loader must tolerate the missing optional tables.
+	ds, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir with missing optional tables: %v", err)
+	}
+	if len(ds.Failures) != 3 || len(ds.Systems) != 2 {
+		t.Fatalf("loaded %d failures, %d systems", len(ds.Failures), len(ds.Systems))
+	}
+	if len(ds.Jobs) != 0 || len(ds.Temps) != 0 || len(ds.Maintenance) != 0 || len(ds.Neutrons) != 0 {
+		t.Error("missing tables should degrade to empty series")
+	}
+
+	_, rep, err := LoadDirWith(dir, validate.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range []string{JobsFile, TempsFile, MaintenanceFile, NeutronsFile} {
+		if !rep.Has(validate.MissingTable, file, 0) {
+			t.Errorf("no MissingTable diagnostic for %s:\n%s", file, rep.Summary())
+		}
+	}
+
+	// The required tables still gate the load.
+	if err := os.Remove(filepath.Join(dir, FailuresFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadDirWith(dir, validate.DefaultPolicy()); err == nil {
+		t.Error("missing failures table must be an error")
+	}
+}
+
+func TestSanitizeDataset(t *testing.T) {
+	base := mustTime(t, "2004-03-01T08:00:00Z")
+	ds := &Dataset{
+		Systems: []SystemInfo{{ID: 20, Nodes: 4, Period: Interval{Start: base.Add(-24 * time.Hour), End: base.Add(24 * time.Hour)}}},
+		Failures: []Failure{
+			{System: 20, Node: 0, Time: base, Category: Hardware, HW: Memory, Downtime: time.Hour},
+			{System: 20, Node: 0, Time: base, Category: Hardware, HW: Memory, Downtime: time.Hour}, // duplicate
+		},
+		Jobs:  []Job{{ID: 1, System: 99}},          // dangling system
+		Temps: []TempSample{{System: 20, Node: 9}},  // node out of range
+	}
+	out, rep, err := SanitizeDataset(ds, validate.DefaultPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failures) != 1 || len(out.Jobs) != 0 || len(out.Temps) != 0 {
+		t.Errorf("sanitized: %d failures, %d jobs, %d temps", len(out.Failures), len(out.Jobs), len(out.Temps))
+	}
+	if rep.Skipped != 3 {
+		t.Errorf("skipped = %d, want 3: %s", rep.Skipped, rep.Summary())
+	}
+	if len(ds.Failures) != 2 || len(ds.Jobs) != 1 {
+		t.Error("input dataset was modified")
+	}
+}

@@ -1,0 +1,176 @@
+package validate
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]Mode{
+		"strict": Strict, "Strict": Strict,
+		"lenient": Lenient, "LENIENT": Lenient,
+		"repair": Repair,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseMode("paranoid"); err == nil {
+		t.Error("ParseMode should reject unknown modes")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "failures.csv", Line: 12, Class: BadTimestamp,
+		Severity: Warning, Repaired: true, Msg: "coerced"}
+	s := d.String()
+	for _, want := range []string{"failures.csv:12", "bad-timestamp", "coerced", "(repaired)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic %q missing %q", s, want)
+		}
+	}
+}
+
+func TestReportTallies(t *testing.T) {
+	var r Report
+	r.Scan("a.csv", 10)
+	r.Scan("b.csv", 100)
+	for i := 0; i < 5; i++ {
+		r.Skip("a.csv")
+	}
+	r.Repair("b.csv")
+	if r.Records != 110 || r.Skipped != 5 || r.Repaired != 1 {
+		t.Fatalf("tallies: %+v", r)
+	}
+	if got := r.SkipRate(); got != 5.0/110 {
+		t.Errorf("overall skip rate = %v", got)
+	}
+	file, worst := r.WorstSkipRate()
+	if file != "a.csv" || worst != 0.5 {
+		t.Errorf("worst = %q %v, want a.csv 0.5", file, worst)
+	}
+}
+
+func TestWorstSkipRateNotDiluted(t *testing.T) {
+	// A huge clean table must not hide a broken small one from the budget.
+	var r Report
+	r.Scan("big.csv", 100000)
+	r.Scan("small.csv", 10)
+	for i := 0; i < 9; i++ {
+		r.Skip("small.csv")
+	}
+	if err := (Policy{MaxSkipRate: 0.5}).CheckBudget(&r); err == nil {
+		t.Error("90% skips in small.csv should exceed a 50% budget despite dilution")
+	} else if !errors.Is(err, ErrBudgetExceeded) {
+		t.Errorf("budget error should wrap ErrBudgetExceeded: %v", err)
+	}
+	if err := (Policy{MaxSkipRate: 1}).CheckBudget(&r); err != nil {
+		t.Errorf("MaxSkipRate=1 disables the budget: %v", err)
+	}
+}
+
+func TestReportMerge(t *testing.T) {
+	var a, b Report
+	a.Scan("x.csv", 3)
+	a.Skip("x.csv")
+	b.Scan("x.csv", 7)
+	b.Repair("x.csv")
+	b.Add(Diagnostic{File: "x.csv", Line: 2, Class: BadRow, Severity: Error})
+	a.Merge(&b)
+	if a.Records != 10 || a.Skipped != 1 || a.Repaired != 1 || len(a.Diagnostics) != 1 {
+		t.Fatalf("merged: %+v", a)
+	}
+	if a.Tables["x.csv"].Records != 10 {
+		t.Errorf("per-table merge: %+v", a.Tables["x.csv"])
+	}
+	a.Merge(nil) // must be a no-op
+	if a.Records != 10 {
+		t.Error("Merge(nil) changed the report")
+	}
+}
+
+func TestReportHasAndCounts(t *testing.T) {
+	var r Report
+	r.Add(Diagnostic{File: "f.csv", Line: 3, Class: NegativeDowntime, Severity: Error})
+	r.Add(Diagnostic{File: "f.csv", Line: 9, Class: NegativeDowntime, Severity: Error})
+	r.Add(Diagnostic{File: "g.csv", Line: 1, Class: MissingTable, Severity: Info})
+	if !r.Has(NegativeDowntime, "f.csv", 3) {
+		t.Error("exact Has failed")
+	}
+	if !r.Has(NegativeDowntime, "", 0) {
+		t.Error("wildcard Has failed")
+	}
+	if r.Has(NegativeDowntime, "f.csv", 4) {
+		t.Error("Has matched the wrong line")
+	}
+	counts := r.CountByClass()
+	if counts[NegativeDowntime] != 2 || counts[MissingTable] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if s := r.Summary(); s == "" {
+		t.Error("summary should not be empty")
+	}
+}
+
+func TestPolicyInRange(t *testing.T) {
+	p := DefaultPolicy()
+	if !p.InRange(time.Date(2004, 6, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("2004 should be in the default epoch")
+	}
+	if p.InRange(time.Date(1805, 7, 14, 0, 0, 0, 0, time.UTC)) {
+		t.Error("1805 should be outside the default epoch")
+	}
+	if p.InRange(time.Date(2101, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("2101 should be outside the default epoch")
+	}
+	var zero Policy
+	if !zero.InRange(time.Date(1805, 1, 1, 0, 0, 0, 0, time.UTC)) {
+		t.Error("a zero policy has no range bounds")
+	}
+}
+
+func TestCoerceTime(t *testing.T) {
+	canonical := time.RFC3339
+	cases := []string{
+		"2004-03-01T08:00:00Z",
+		"2004-03-01 08:00:00",
+		"2004-03-01 08:00",
+		"03/01/2004 08:00:00",
+		"3/1/2004 08:00",
+		"2004-03-01",
+	}
+	for _, in := range cases {
+		got, _, err := CoerceTime(in, canonical)
+		if err != nil {
+			t.Errorf("CoerceTime(%q): %v", in, err)
+			continue
+		}
+		if got.Year() != 2004 || got.Month() != 3 || got.Day() != 1 {
+			t.Errorf("CoerceTime(%q) = %v", in, got)
+		}
+	}
+	if _, coerced, err := CoerceTime("2004-03-01T08:00:00Z", canonical); err != nil || coerced {
+		t.Errorf("canonical input should not count as coerced (coerced=%v err=%v)", coerced, err)
+	}
+	if _, coerced, err := CoerceTime("2004-03-01 08:00", canonical); err != nil || !coerced {
+		t.Errorf("fallback layout should count as coerced (coerced=%v err=%v)", coerced, err)
+	}
+	if _, _, err := CoerceTime("yesterday-ish", canonical); err == nil {
+		t.Error("garbage should not coerce")
+	}
+}
+
+func TestScrubField(t *testing.T) {
+	clean, scrubbed := ScrubField("\uFEFF\x01 20")
+	if !scrubbed || clean != " 20" {
+		t.Errorf("ScrubField = %q, %v", clean, scrubbed)
+	}
+	clean, scrubbed = ScrubField("plain\tvalue")
+	if scrubbed || clean != "plain\tvalue" {
+		t.Errorf("tab should survive: %q, %v", clean, scrubbed)
+	}
+}

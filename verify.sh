@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification: everything a change must pass before it lands.
+# Referenced from ROADMAP.md.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...
+
+# Fuzz smoke: the ingestion decoders must survive arbitrary bytes. Short
+# runs here; CI or a release gate should use -fuzztime=30s or more.
+go test -fuzz=FuzzLoadFailuresCSV -fuzztime=5s -run='^$' ./internal/trace/
+go test -fuzz=FuzzImportLANL -fuzztime=5s -run='^$' ./internal/lanl/
