@@ -33,8 +33,12 @@ func run(args []string) error {
 	group := fs.Int("group", 0, "restrict to group 1 or 2 (0 = all systems)")
 	summary := fs.Bool("summary", false, "print a dataset summary and exit")
 	policyOf := cli.PolicyFlags(fs, "strict")
+	versionOf := cli.VersionFlag(fs, "hpcanalyze")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if versionOf() {
+		return nil
 	}
 	if *data == "" {
 		fs.Usage()

@@ -31,8 +31,12 @@ func run(args []string) error {
 	risky := fs.Duration("risky", 0, "interval inside the post-failure window (default: base/6)")
 	window := fs.Duration("window", 72*time.Hour, "length of the post-failure high-risk window")
 	group := fs.Int("group", 1, "restrict to group 1 or 2 (0 = all systems)")
+	versionOf := cli.VersionFlag(fs, "hpccheckpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if versionOf() {
+		return nil
 	}
 	if *data == "" {
 		fs.Usage()

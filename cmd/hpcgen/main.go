@@ -28,8 +28,12 @@ func run(args []string) error {
 	noEvents := fs.Bool("no-events", false, "disable facility events (ablation)")
 	noNode0 := fs.Bool("no-node0", false, "disable the login-node effect (ablation)")
 	quiet := fs.Bool("q", false, "suppress the summary")
+	versionOf := cli.VersionFlag(fs, "hpcgen")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if versionOf() {
+		return nil
 	}
 	if *out == "" {
 		fs.Usage()

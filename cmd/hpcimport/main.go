@@ -34,8 +34,12 @@ func run(args []string) error {
 	startedCol := fs.String("started-col", "", "override the outage-start column name")
 	quiet := fs.Bool("q", false, "suppress the summary")
 	policyOf := cli.PolicyFlags(fs, "lenient")
+	versionOf := cli.VersionFlag(fs, "hpcimport")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if versionOf() {
+		return nil
 	}
 	if *in == "" || *out == "" {
 		fs.Usage()

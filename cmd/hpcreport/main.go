@@ -35,8 +35,12 @@ func run(args []string) error {
 	markdown := fs.Bool("markdown", false, "emit a markdown paper-vs-measured summary")
 	outFile := fs.String("out", "", "write the report to a file instead of stdout")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	versionOf := cli.VersionFlag(fs, "hpcreport")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if versionOf() {
+		return nil
 	}
 	if *list {
 		for _, id := range hpcfail.ExperimentIDs() {

@@ -1,0 +1,97 @@
+// Command hpcserve serves the online failure-risk API over one dataset:
+// live per-node risk scores from internal/risk and cached conditional-
+// probability queries from internal/analysis, as JSON over HTTP.
+//
+// Usage:
+//
+//	hpcserve [-data dir | -seed 1 -scale 0.5] [-addr 127.0.0.1:8080] [-window 24h]
+//
+// A SIGINT drains in-flight requests and exits 0.
+//
+// Endpoints (see internal/server):
+//
+//	GET  /v1/risk/{node}   one node's live follow-up-failure risk
+//	GET  /v1/risk/top?k=K  the K highest-risk nodes right now
+//	GET  /v1/condprob      cached conditional-vs-baseline query
+//	POST /v1/events        feed failure events into the engine
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus text metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/cli"
+	"github.com/hpcfail/hpcfail/internal/server"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func main() {
+	cli.Main("hpcserve", run)
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hpcserve", flag.ContinueOnError)
+	data := fs.String("data", "", "dataset directory (omit to generate)")
+	seed := fs.Int64("seed", 1, "seed when generating")
+	scale := fs.Float64("scale", 0.5, "catalog scale when generating")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	window := fs.Duration("window", trace.Day, "risk window and lift-table look-ahead")
+	policyOf := cli.PolicyFlags(fs, "lenient")
+	versionOf := cli.VersionFlag(fs, "hpcserve")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if versionOf() {
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if *window <= 0 {
+		return cli.Usagef("-window must be positive, got %v", *window)
+	}
+
+	// Install the interrupt handler before the (potentially slow) dataset
+	// load so an early SIGINT is not lost to the default disposition.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var ds *hpcfail.Dataset
+	if *data != "" {
+		policy, err := policyOf()
+		if err != nil {
+			return err
+		}
+		var rep *hpcfail.ValidationReport
+		ds, rep, err = hpcfail.LoadDatasetWith(*data, policy)
+		if err != nil {
+			cli.PrintReport("hpcserve", rep, 5)
+			return err
+		}
+		cli.PrintReport("hpcserve", rep, 5)
+	} else {
+		fmt.Fprintf(os.Stderr, "hpcserve: generating synthetic dataset (seed=%d scale=%.2f)...\n", *seed, *scale)
+		var err error
+		ds, err = hpcfail.Generate(hpcfail.GenerateOptions{Seed: *seed, Scale: *scale})
+		if err != nil {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	return server.Serve(ctx, *addr, server.Config{
+		Dataset: ds,
+		Window:  *window,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-window", "-1h"},
+		{"-window", "0"},
+		{"stray-arg"},
+		{"-data", filepath.Join(t.TempDir(), "nope")},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunVersion(t *testing.T) {
+	if err := run([]string{"-version"}); err != nil {
+		t.Fatalf("-version: %v", err)
+	}
+}
+
+// TestRunServesAndStopsOnInterrupt drives the whole binary body: generate a
+// dataset to disk, serve it on a free port, hit the API, then deliver a
+// SIGINT and watch run return cleanly.
+func TestRunServesAndStopsOnInterrupt(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "data")
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hpcfail.SaveDataset(dir, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a free port, then release it for the command to bind.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-data", dir, "-addr", addr, "-window", "24h"})
+	}()
+
+	url := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never came up on %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	resp, err := http.Get(url + "/v1/risk/top?k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("risk/top = %d", resp.StatusCode)
+	}
+
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after SIGINT, want nil", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("run did not return after SIGINT")
+	}
+}

@@ -17,7 +17,11 @@
 //   - a calibrated synthetic trace generator standing in for the LANL field
 //     data, whose ground truth encodes the paper's reported effects;
 //   - experiment runners that regenerate every table and figure of the
-//     paper and render them as text.
+//     paper and render them as text;
+//   - an online serving layer: a deterministic sliding-window risk engine
+//     that turns the conditional-probability findings into live per-node
+//     follow-up-failure scores, and an HTTP JSON API over it (see
+//     cmd/hpcserve).
 //
 // # Quick start
 //
@@ -34,6 +38,7 @@
 package hpcfail
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -42,6 +47,8 @@ import (
 	"github.com/hpcfail/hpcfail/internal/experiments"
 	"github.com/hpcfail/hpcfail/internal/faultinject"
 	"github.com/hpcfail/hpcfail/internal/lanl"
+	"github.com/hpcfail/hpcfail/internal/risk"
+	"github.com/hpcfail/hpcfail/internal/server"
 	"github.com/hpcfail/hpcfail/internal/simulate"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/validate"
@@ -307,6 +314,66 @@ type (
 	// FaultInjection is the ground truth of one injected fault.
 	FaultInjection = faultinject.Injection
 )
+
+// Serving-layer re-exports: online risk scoring and the HTTP API (see
+// internal/risk and internal/server).
+type (
+	// LiftTable is the precomputed conditional-probability table the risk
+	// engine scores against.
+	LiftTable = analysis.LiftTable
+	// LiftKey identifies one lift-table entry (anchor class and scope).
+	LiftKey = analysis.LiftKey
+	// LiftEntry is one lift-table entry.
+	LiftEntry = analysis.LiftEntry
+	// RiskEngine scores live follow-up-failure risk per node.
+	RiskEngine = risk.Engine
+	// RiskConfig assembles a RiskEngine from a lift table and catalog.
+	RiskConfig = risk.Config
+	// RiskScore is one node's risk at one instant.
+	RiskScore = risk.Score
+	// RiskContribution is one active event's effect on a score.
+	RiskContribution = risk.Contribution
+	// RiskSnapshot is a consistent view of an engine's state.
+	RiskSnapshot = risk.Snapshot
+	// ServerConfig assembles the HTTP serving layer.
+	ServerConfig = server.Config
+	// RiskServer answers the JSON API over one dataset.
+	RiskServer = server.Server
+)
+
+// BuildLiftTable precomputes the conditional-probability lift table for
+// the given systems of a dataset at the given look-ahead window.
+func BuildLiftTable(ds *Dataset, systems []SystemInfo, window time.Duration) (*LiftTable, error) {
+	return analysis.New(ds).BuildLiftTable(systems, window)
+}
+
+// TrainLiftTable precomputes a lift table from only the first split
+// fraction of each system's history, so the online scoring path can be
+// evaluated on the held-out remainder (see examples/prediction).
+func TrainLiftTable(ds *Dataset, systems []SystemInfo, window time.Duration, split float64) (*LiftTable, error) {
+	return analysis.New(ds).TrainLiftTable(systems, window, split)
+}
+
+// NewRiskEngine builds an online risk engine over a dataset: the lift
+// table is precomputed from the dataset's history, then live events fed to
+// Observe move per-node scores.
+func NewRiskEngine(ds *Dataset, window time.Duration) (*RiskEngine, error) {
+	return risk.FromDataset(ds, window)
+}
+
+// NewRiskEngineWith builds a risk engine from an explicit configuration —
+// a pre-built (or trained) lift table, catalog, and layouts.
+func NewRiskEngineWith(cfg RiskConfig) (*RiskEngine, error) { return risk.New(cfg) }
+
+// NewRiskServer builds the HTTP serving layer without listening; use its
+// Handler with any http.Server or test harness.
+func NewRiskServer(cfg ServerConfig) (*RiskServer, error) { return server.New(cfg) }
+
+// Serve runs the HTTP API on addr until ctx is cancelled, then drains
+// in-flight requests and returns nil. It is the body of cmd/hpcserve.
+func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
+	return server.Serve(ctx, addr, cfg)
+}
 
 // Corrupt serializes failures into the canonical CSV and injects the
 // spec's fault mix, returning the corrupted bytes and per-fault ground

@@ -1,6 +1,7 @@
 package hpcfail_test
 
 import (
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -121,6 +122,53 @@ func TestImportLANLFacade(t *testing.T) {
 	}
 	if ds.Failures[1].Env != hpcfail.PowerOutage {
 		t.Error("outage subtype not recovered")
+	}
+}
+
+// TestServingFacade exercises the serving layer through the exported API:
+// lift table, risk engine, and the HTTP handler.
+func TestServingFacade(t *testing.T) {
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 23, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	table, err := hpcfail.BuildLiftTable(ds, ds.Systems, hpcfail.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Keys()) == 0 {
+		t.Fatal("empty lift table")
+	}
+
+	engine, err := hpcfail.NewRiskEngine(ds, hpcfail.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ds.Systems[0]
+	now := sys.Period.End.Add(time.Hour)
+	if err := engine.Observe(hpcfail.Failure{
+		System: sys.ID, Node: 0, Time: now,
+		Category: hpcfail.Hardware, HW: hpcfail.CPU,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := engine.Score(sys.ID, 0, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Risk <= sc.Base {
+		t.Errorf("risk %v not above base %v after a hardware event", sc.Risk, sc.Base)
+	}
+
+	srv, err := hpcfail.NewRiskServer(hpcfail.ServerConfig{Dataset: ds, Window: hpcfail.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("healthz = %d", rec.Code)
 	}
 }
 

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/stats"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// LiftKey identifies one entry of a LiftTable: an anchor event class at one
+// spatial scope. The window is a property of the whole table, not the key.
+type LiftKey struct {
+	// Anchor is the anchor failure's high-level category.
+	Anchor trace.Category
+	// HW optionally refines a Hardware anchor to one component (the paper
+	// breaks out Memory and CPU anchors); HWUnknown means "any hardware".
+	HW trace.HWComponent
+	// Scope is the spatial granularity the entry applies at.
+	Scope Scope
+}
+
+// String names the key, e.g. "HW/Memory@node".
+func (k LiftKey) String() string {
+	label := k.Anchor.String()
+	if k.Anchor == trace.Hardware && k.HW != trace.HWUnknown {
+		label = "HW/" + k.HW.String()
+	}
+	return fmt.Sprintf("%s@%s", label, k.Scope)
+}
+
+// LiftEntry is one precomputed conditional-vs-baseline comparison, the unit
+// an online scorer combines: after an anchor of this class, the probability
+// that a node in scope fails within the table's window.
+type LiftEntry struct {
+	Key LiftKey
+	// Result carries the conditional, baseline, CIs and significance test.
+	Result CondResult
+}
+
+// Factor returns the entry's conditional-over-baseline increase.
+func (e LiftEntry) Factor() float64 { return e.Result.Factor() }
+
+// LiftTable is the offline product the online risk engine consumes: every
+// per-category (plus Memory/CPU-refined) conditional follow-up probability
+// at node, rack and system scope for one look-ahead window, together with
+// the per-system and pooled baselines. Build one with BuildLiftTable (full
+// trace) or TrainLiftTable (training prefix only), serialize-free and
+// read-only after construction.
+type LiftTable struct {
+	// Window is the look-ahead window every entry was computed for.
+	Window time.Duration
+	// Baseline is the pooled P(failure in a random window for a random
+	// node) over the systems the table was built from.
+	Baseline stats.Proportion
+	// BaselineCI is the pooled baseline's 95% Wilson interval.
+	BaselineCI stats.Interval
+	// BaselineBySystem holds each system's own random-window baseline;
+	// group-2 NUMA systems run an order of magnitude above group-1.
+	BaselineBySystem map[int]stats.Proportion
+	// Entries maps each anchor-class/scope pair to its comparison.
+	Entries map[LiftKey]LiftEntry
+}
+
+// liftAnchors enumerates the anchor classes a table covers: the six
+// categories plus the Memory- and CPU-refined hardware anchors the paper's
+// figures break out.
+func liftAnchors() []LiftKey {
+	keys := make([]LiftKey, 0, len(trace.Categories)+2)
+	for _, c := range trace.Categories {
+		keys = append(keys, LiftKey{Anchor: c})
+	}
+	keys = append(keys,
+		LiftKey{Anchor: trace.Hardware, HW: trace.Memory},
+		LiftKey{Anchor: trace.Hardware, HW: trace.CPU},
+	)
+	return keys
+}
+
+// predOf returns the anchor predicate of a key.
+func (k LiftKey) predOf() trace.Pred {
+	if k.Anchor == trace.Hardware && k.HW != trace.HWUnknown {
+		return trace.HWPred(k.HW)
+	}
+	return trace.CategoryPred(k.Anchor)
+}
+
+// Lookup returns the entry for an anchor failure at a scope, preferring the
+// component-refined entry for Hardware failures when the table has one.
+func (t *LiftTable) Lookup(f trace.Failure, scope Scope) (LiftEntry, bool) {
+	if f.Category == trace.Hardware && f.HW != trace.HWUnknown {
+		if e, ok := t.Entries[LiftKey{Anchor: trace.Hardware, HW: f.HW, Scope: scope}]; ok {
+			return e, ok
+		}
+	}
+	e, ok := t.Entries[LiftKey{Anchor: f.Category, Scope: scope}]
+	return e, ok
+}
+
+// SystemBaseline returns the per-system baseline when the table has one and
+// the pooled baseline otherwise.
+func (t *LiftTable) SystemBaseline(system int) stats.Proportion {
+	if b, ok := t.BaselineBySystem[system]; ok && b.Valid() {
+		return b
+	}
+	return t.Baseline
+}
+
+// Keys returns the table's keys in a deterministic order (anchor, HW,
+// scope).
+func (t *LiftTable) Keys() []LiftKey {
+	keys := make([]LiftKey, 0, len(t.Entries))
+	for k := range t.Entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Anchor != b.Anchor {
+			return a.Anchor < b.Anchor
+		}
+		if a.HW != b.HW {
+			return a.HW < b.HW
+		}
+		return a.Scope < b.Scope
+	})
+	return keys
+}
+
+// BuildLiftTable precomputes the conditional follow-up probabilities an
+// online scorer needs: for every anchor class and every scope, P(failure
+// within w | anchor) against the random-window baseline, over the given
+// systems. It is the offline half of the serving pipeline — run it once per
+// dataset (or training prefix) and hand the result to risk.New.
+func (a *Analyzer) BuildLiftTable(systems []trace.SystemInfo, w time.Duration) (*LiftTable, error) {
+	if w <= 0 {
+		return nil, fmt.Errorf("analysis: non-positive lift window %v", w)
+	}
+	if len(systems) == 0 {
+		return nil, fmt.Errorf("analysis: no systems to build a lift table from")
+	}
+	t := &LiftTable{
+		Window:           w,
+		Baseline:         a.BaselineNodeProb(systems, w, nil),
+		BaselineBySystem: make(map[int]stats.Proportion, len(systems)),
+		Entries:          make(map[LiftKey]LiftEntry),
+	}
+	t.BaselineCI = t.Baseline.WilsonCI(0.95)
+	for _, s := range systems {
+		t.BaselineBySystem[s.ID] = a.BaselineNodeProb([]trace.SystemInfo{s}, w, nil)
+	}
+	for _, key := range liftAnchors() {
+		pred := key.predOf()
+		for _, scope := range []Scope{ScopeNode, ScopeRack, ScopeSystem} {
+			k := key
+			k.Scope = scope
+			res := a.CondProb(systems, pred, nil, w, scope)
+			t.Entries[k] = LiftEntry{Key: k, Result: res}
+		}
+	}
+	return t, nil
+}
+
+// TrainLiftTable builds a lift table from only the first split fraction of
+// each system's trace, with the same clipping TrainPredictor uses: anchors
+// after the cut are excluded and windows may not extend past it. A table
+// trained this way makes the online risk engine reproduce the offline
+// predictor's alerting decisions exactly on held-out data.
+func (a *Analyzer) TrainLiftTable(systems []trace.SystemInfo, w time.Duration, split float64) (*LiftTable, error) {
+	if split <= 0 || split >= 1 {
+		return nil, fmt.Errorf("analysis: split %g outside (0,1)", split)
+	}
+	cut := splitTimes(systems, split)
+	clipped := &trace.Dataset{
+		Neutrons: a.DS.Neutrons,
+		Layouts:  a.DS.Layouts,
+	}
+	clippedSystems := make([]trace.SystemInfo, 0, len(systems))
+	inTrain := make(map[int]bool, len(systems))
+	for _, s := range systems {
+		s.Period.End = cut[s.ID]
+		clipped.Systems = append(clipped.Systems, s)
+		clippedSystems = append(clippedSystems, s)
+		inTrain[s.ID] = true
+	}
+	for _, f := range a.DS.Failures {
+		if inTrain[f.System] && f.Time.Before(cut[f.System]) {
+			clipped.Failures = append(clipped.Failures, f)
+		}
+	}
+	return New(clipped).BuildLiftTable(clippedSystems, w)
+}

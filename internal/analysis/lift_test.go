@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func TestBuildLiftTableEntries(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(0, 10), swAt(0, 12), hwAt(1, 50)})
+	a := New(ds)
+	tab, err := a.BuildLiftTable(ds.Systems, trace.Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 categories + HW/Memory + HW/CPU, each at 3 scopes.
+	if got, want := len(tab.Entries), 8*3; got != want {
+		t.Fatalf("entries = %d, want %d", got, want)
+	}
+	if len(tab.Keys()) != len(tab.Entries) {
+		t.Fatalf("Keys() returned %d keys for %d entries", len(tab.Keys()), len(tab.Entries))
+	}
+	// The node-scope HW entry must equal CondProb directly.
+	want := a.CondProb(ds.Systems, trace.CategoryPred(trace.Hardware), nil, trace.Week, ScopeNode)
+	got, ok := tab.Lookup(trace.Failure{Category: trace.Hardware}, ScopeNode)
+	if !ok {
+		t.Fatal("no node-scope HW entry")
+	}
+	if got.Result != want {
+		t.Errorf("HW@node = %+v, want %+v", got.Result, want)
+	}
+	// Pooled baseline matches BaselineNodeProb, and the sole system's
+	// per-system baseline matches the pooled one.
+	if tab.Baseline != a.BaselineNodeProb(ds.Systems, trace.Week, nil) {
+		t.Errorf("baseline mismatch: %+v", tab.Baseline)
+	}
+	if tab.SystemBaseline(1) != tab.Baseline {
+		t.Errorf("per-system baseline = %+v, want %+v", tab.SystemBaseline(1), tab.Baseline)
+	}
+	// Unknown systems fall back to the pooled baseline.
+	if tab.SystemBaseline(999) != tab.Baseline {
+		t.Errorf("unknown system baseline should fall back to pooled")
+	}
+}
+
+func TestLiftTableLookupPrefersRefinedHW(t *testing.T) {
+	ds := craft([]trace.Failure{hwAt(0, 10), swAt(0, 12)})
+	a := New(ds)
+	tab, err := a.BuildLiftTable(ds.Systems, trace.Week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hwAt crafts CPU failures, so the CPU-refined entry must differ from
+	// the any-hardware one in its trial count semantics and be preferred.
+	refined, ok := tab.Lookup(trace.Failure{Category: trace.Hardware, HW: trace.CPU}, ScopeNode)
+	if !ok {
+		t.Fatal("no CPU-refined entry")
+	}
+	if refined.Key.HW != trace.CPU {
+		t.Errorf("lookup returned %v, want CPU-refined key", refined.Key)
+	}
+	// A component without a refined entry falls back to the category entry.
+	fallback, ok := tab.Lookup(trace.Failure{Category: trace.Hardware, HW: trace.Fan}, ScopeNode)
+	if !ok {
+		t.Fatal("no fallback entry")
+	}
+	if fallback.Key.HW != trace.HWUnknown {
+		t.Errorf("Fan lookup returned %v, want any-hardware key", fallback.Key)
+	}
+}
+
+func TestBuildLiftTableRejectsBadInput(t *testing.T) {
+	ds := craft(nil)
+	a := New(ds)
+	if _, err := a.BuildLiftTable(ds.Systems, 0); err == nil {
+		t.Error("zero window should fail")
+	}
+	if _, err := a.BuildLiftTable(nil, trace.Week); err == nil {
+		t.Error("no systems should fail")
+	}
+	if _, err := a.TrainLiftTable(ds.Systems, trace.Week, 1.5); err == nil {
+		t.Error("out-of-range split should fail")
+	}
+}
+
+// TestTrainLiftTableMatchesTrainPredictor pins the contract the online
+// serving path relies on: a split-trained lift table's node-scope
+// conditionals equal the offline predictor's trained per-category
+// probabilities, so engine alerts reproduce predictor alerts.
+func TestTrainLiftTableMatchesTrainPredictor(t *testing.T) {
+	ds := craft([]trace.Failure{
+		hwAt(0, 10), swAt(0, 12), hwAt(1, 20), hwAt(1, 22),
+		swAt(2, 30), hwAt(3, 40), hwAt(0, 80), swAt(1, 90),
+	})
+	a := New(ds)
+	const split = 0.7
+	pred, err := a.TrainPredictor(ds.Systems, trace.Week, split, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := a.TrainLiftTable(ds.Systems, trace.Week, split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cat := range trace.Categories {
+		e, ok := tab.Entries[LiftKey{Anchor: cat, Scope: ScopeNode}]
+		if !ok {
+			t.Fatalf("no node-scope entry for %s", cat)
+		}
+		if e.Result.Conditional != pred.Trained[cat] {
+			t.Errorf("%s: lift conditional %+v != trained %+v",
+				cat, e.Result.Conditional, pred.Trained[cat])
+		}
+	}
+}

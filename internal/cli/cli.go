@@ -86,6 +86,67 @@ func Main(name string, run func([]string) error) {
 	os.Exit(Run(name, os.Args[1:], run))
 }
 
+// Version renders the build's version line from the binary's embedded
+// build info: module version when built from a tagged release, VCS
+// revision and commit time when built from a checkout, plus the Go
+// toolchain. A test binary with no build info reports "devel".
+func Version(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s devel", name)
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b.String()
+	}
+	b.Reset()
+	ver := info.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	fmt.Fprintf(&b, "%s %s", name, ver)
+	var rev, modified, when string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		case "vcs.time":
+			when = s.Value
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s", rev)
+		if modified == "true" {
+			b.WriteString("+dirty")
+		}
+		if when != "" {
+			fmt.Fprintf(&b, ", %s", when)
+		}
+		b.WriteString(")")
+	}
+	if info.GoVersion != "" {
+		fmt.Fprintf(&b, " %s", info.GoVersion)
+	}
+	return b.String()
+}
+
+// VersionFlag registers -version on fs and returns a func for the command
+// body to call after parsing: when the flag was given it prints the version
+// line to stdout and reports true, telling the command to exit cleanly.
+func VersionFlag(fs *flag.FlagSet, name string) func() bool {
+	show := fs.Bool("version", false, "print version and exit")
+	return func() bool {
+		if !*show {
+			return false
+		}
+		fmt.Println(Version(name))
+		return true
+	}
+}
+
 // PolicyFlags registers the -strictness and -max-skip-rate flags on fs
 // (defaulting to the given mode and no budget) and returns a resolver that
 // turns the parsed values into a validation policy.

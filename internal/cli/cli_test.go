@@ -6,6 +6,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"strings"
 	"testing"
 
 	"github.com/hpcfail/hpcfail/internal/validate"
@@ -100,6 +102,52 @@ func TestPolicyFlags(t *testing.T) {
 	}
 	if _, err := policy(); CodeOf(err) != CodeUsage {
 		t.Errorf("out-of-range budget should be a usage error, got %v", err)
+	}
+}
+
+func TestVersion(t *testing.T) {
+	got := Version("hpctool")
+	if !strings.HasPrefix(got, "hpctool ") {
+		t.Errorf("Version = %q, want the tool name first", got)
+	}
+	if strings.Count(got, "\n") != 0 {
+		t.Errorf("Version = %q, want a single line", got)
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	show := VersionFlag(fs, "hpctool")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if show() {
+		t.Error("version reported without -version")
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	show = VersionFlag(fs, "hpctool")
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	// Capture stdout so the version line does not leak into test output.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	shown := show()
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	if !shown {
+		t.Error("-version not reported")
+	}
+	if !strings.HasPrefix(string(out), "hpctool ") {
+		t.Errorf("printed %q, want the version line", out)
 	}
 }
 

@@ -1,0 +1,267 @@
+// Package risk is the online half of the serving pipeline: it turns the
+// offline conditional-probability analysis (internal/analysis, Section III
+// of the DSN'13 paper) into a live per-node follow-up-failure risk signal.
+//
+// An Engine ingests failure events one at a time (Observe), keeps them in
+// sliding per-system windows, and scores any node at any instant (Score,
+// TopK) by combining the active events with a precomputed LiftTable: an
+// event of category X on a node raises that node's risk toward
+// P(failure within W | X) at node scope, raises its rack-mates' risk via
+// the rack-scope conditional, and raises every other node of the system via
+// the system-scope conditional. Each contribution decays linearly as the
+// event ages out of the window, so risk relaxes back to the node's base
+// rate — the operator loop the paper's Section XI argues for ("after event
+// A, the chance of event B within window W jumps by factor k").
+//
+// The engine is deterministic (no internal clock; every query takes an
+// explicit time) and safe for concurrent use.
+package risk
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/layout"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Config assembles an Engine.
+type Config struct {
+	// Table is the precomputed lift table (analysis.BuildLiftTable); its
+	// Window is the engine's sliding-window length.
+	Table *analysis.LiftTable
+	// Systems describes the systems the engine accepts events for.
+	Systems []trace.SystemInfo
+	// Layouts maps system IDs to machine-room layouts; systems without a
+	// layout contribute no rack-scope risk.
+	Layouts map[int]*layout.Layout
+	// MaxEventsPerSystem bounds the retained events of one system; once
+	// exceeded, the oldest are dropped even if still inside the window.
+	// Zero means the default of 4096.
+	MaxEventsPerSystem int
+}
+
+// DefaultMaxEventsPerSystem bounds per-system event retention when the
+// config does not say otherwise.
+const DefaultMaxEventsPerSystem = 4096
+
+// Engine is the online scorer. Build one with New; all methods are safe for
+// concurrent use.
+type Engine struct {
+	table   *analysis.LiftTable
+	window  time.Duration
+	systems map[int]trace.SystemInfo
+	layouts map[int]*layout.Layout
+	maxPer  int
+
+	mu sync.RWMutex
+	// events holds each system's retained events sorted by time (ties by
+	// node, then category) — the sliding window's backing store.
+	events map[int][]trace.Failure
+	// observed counts every accepted event since construction.
+	observed uint64
+	// dropped counts events evicted by the per-system retention bound.
+	dropped uint64
+	// last is the newest accepted event time.
+	last time.Time
+}
+
+// New builds an engine over a lift table and system catalog.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("risk: nil lift table")
+	}
+	if cfg.Table.Window <= 0 {
+		return nil, fmt.Errorf("risk: lift table has non-positive window %v", cfg.Table.Window)
+	}
+	if len(cfg.Systems) == 0 {
+		return nil, fmt.Errorf("risk: no systems")
+	}
+	maxPer := cfg.MaxEventsPerSystem
+	if maxPer <= 0 {
+		maxPer = DefaultMaxEventsPerSystem
+	}
+	e := &Engine{
+		table:   cfg.Table,
+		window:  cfg.Table.Window,
+		systems: make(map[int]trace.SystemInfo, len(cfg.Systems)),
+		layouts: cfg.Layouts,
+		maxPer:  maxPer,
+		events:  make(map[int][]trace.Failure),
+	}
+	for _, s := range cfg.Systems {
+		e.systems[s.ID] = s
+	}
+	return e, nil
+}
+
+// FromDataset builds the whole offline-to-online pipeline in one call: an
+// analyzer over ds, a lift table for window w, and an engine over it.
+func FromDataset(ds *trace.Dataset, w time.Duration) (*Engine, error) {
+	a := analysis.New(ds)
+	table, err := a.BuildLiftTable(ds.Systems, w)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Table: table, Systems: ds.Systems, Layouts: ds.Layouts})
+}
+
+// Window returns the engine's sliding-window length.
+func (e *Engine) Window() time.Duration { return e.window }
+
+// Table returns the lift table the engine scores with.
+func (e *Engine) Table() *analysis.LiftTable { return e.table }
+
+// Systems returns the engine's system catalog in ascending ID order.
+func (e *Engine) Systems() []trace.SystemInfo {
+	out := make([]trace.SystemInfo, 0, len(e.systems))
+	for _, s := range e.systems {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// eventLess orders events by time, breaking ties by node then category so
+// replaying the same feed always yields the same internal state.
+func eventLess(a, b trace.Failure) bool {
+	if !a.Time.Equal(b.Time) {
+		return a.Time.Before(b.Time)
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Category < b.Category
+}
+
+// Observe ingests one failure event. It validates the event against the
+// catalog, inserts it in time order (late arrivals are fine as long as they
+// are still inside some retention bound), and slides the system's window
+// forward: events older than the system's newest event minus the window are
+// pruned immediately, so memory stays bounded without a background task.
+func (e *Engine) Observe(f trace.Failure) error {
+	s, ok := e.systems[f.System]
+	if !ok {
+		return fmt.Errorf("risk: unknown system %d", f.System)
+	}
+	if f.Node < 0 || f.Node >= s.Nodes {
+		return fmt.Errorf("risk: node %d out of range [0,%d) for system %d", f.Node, s.Nodes, f.System)
+	}
+	if f.Category < trace.Environment || f.Category > trace.Undetermined {
+		return fmt.Errorf("risk: invalid category %d", int(f.Category))
+	}
+	if f.Time.IsZero() {
+		return fmt.Errorf("risk: event has zero time")
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	evs := e.events[f.System]
+	i := sort.Search(len(evs), func(i int) bool { return !eventLess(evs[i], f) })
+	evs = append(evs, trace.Failure{})
+	copy(evs[i+1:], evs[i:])
+	evs[i] = f
+	// Slide: the newest event anchors the live window.
+	newest := evs[len(evs)-1].Time
+	evs = pruneBefore(evs, newest.Add(-e.window))
+	if over := len(evs) - e.maxPer; over > 0 {
+		evs = append(evs[:0], evs[over:]...)
+		e.dropped += uint64(over)
+	}
+	e.events[f.System] = evs
+	e.observed++
+	if f.Time.After(e.last) {
+		e.last = f.Time
+	}
+	return nil
+}
+
+// pruneBefore drops events at or before the cutoff (the window is the
+// half-open interval (cutoff, newest]).
+func pruneBefore(evs []trace.Failure, cutoff time.Time) []trace.Failure {
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Time.After(cutoff) })
+	if i == 0 {
+		return evs
+	}
+	return append(evs[:0], evs[i:]...)
+}
+
+// Decay slides every system's window forward to now, pruning events that
+// can no longer contribute to any score. Scoring already ignores expired
+// events, so Decay is a memory bound, not a correctness requirement.
+func (e *Engine) Decay(now time.Time) {
+	cutoff := now.Add(-e.window)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for id, evs := range e.events {
+		pruned := pruneBefore(evs, cutoff)
+		if len(pruned) == 0 {
+			delete(e.events, id)
+		} else {
+			e.events[id] = pruned
+		}
+	}
+}
+
+// Lag returns how far the engine's newest event trails now — the "engine
+// lag" a feed monitor alerts on. It returns zero before any event.
+func (e *Engine) Lag(now time.Time) time.Duration {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.last.IsZero() {
+		return 0
+	}
+	if d := now.Sub(e.last); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Snapshot is a race-free copy of the engine's state at one instant.
+type Snapshot struct {
+	// Window is the sliding-window length.
+	Window time.Duration
+	// Observed counts every event accepted since construction.
+	Observed uint64
+	// Dropped counts events evicted by the retention bound.
+	Dropped uint64
+	// LastEvent is the newest accepted event time (zero before any event).
+	LastEvent time.Time
+	// Active holds the retained events of every system, sorted by time
+	// (ties by system, node, category).
+	Active []trace.Failure
+}
+
+// Snapshot returns a consistent copy of the engine state: the retained
+// events of every system plus the feed counters. The copy is detached —
+// mutating it does not affect the engine.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	snap := Snapshot{
+		Window:    e.window,
+		Observed:  e.observed,
+		Dropped:   e.dropped,
+		LastEvent: e.last,
+	}
+	for _, evs := range e.events {
+		snap.Active = append(snap.Active, evs...)
+	}
+	sort.Slice(snap.Active, func(i, j int) bool {
+		a, b := snap.Active[i], snap.Active[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Category < b.Category
+	})
+	return snap
+}

@@ -1,0 +1,218 @@
+package risk
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Contribution is one active event's effect on a node's score.
+type Contribution struct {
+	// Event is the anchor event.
+	Event trace.Failure
+	// Scope is how the event reaches the scored node: node scope for the
+	// node's own events, rack scope for rack-mates, system scope for the
+	// rest of the system.
+	Scope analysis.Scope
+	// Age is how long before the query instant the event occurred.
+	Age time.Duration
+	// Weight is the remaining window fraction in [0,1]; contributions
+	// decay linearly as the event ages out of the window.
+	Weight float64
+	// Conditional is the lift table's P(failure within window | event) at
+	// this scope.
+	Conditional float64
+	// Excess is the decayed probability mass the event adds over the base
+	// rate, after weighting.
+	Excess float64
+}
+
+// Score is one node's follow-up-failure risk at one instant.
+type Score struct {
+	// System and Node identify the scored node.
+	System int
+	Node   int
+	// At is the query instant.
+	At time.Time
+	// Risk is P(failure within the engine window starting at At), in
+	// [Base, 1).
+	Risk float64
+	// Lo and Hi bound Risk by propagating the lift table's 95% confidence
+	// intervals through the same combination (a plug-in bound, not a joint
+	// interval).
+	Lo, Hi float64
+	// Base is the node's random-window base rate (per-system baseline).
+	Base float64
+	// Factor is Risk over Base — the live analogue of the paper's "NX"
+	// annotations.
+	Factor float64
+	// Contributions lists the active events that shaped the score, newest
+	// first. Empty at base rate.
+	Contributions []Contribution
+}
+
+// combine folds independent excess probabilities over a base rate:
+// risk = 1 - (1-base) * prod(1-excess_i), the noisy-or of the base hazard
+// and each anchor's decayed extra hazard. It is monotone in every input and
+// stays in [base, 1).
+func combine(base float64, excesses []float64) float64 {
+	if math.IsNaN(base) || base < 0 {
+		base = 0
+	}
+	if base > 1 {
+		base = 1
+	}
+	miss := 1.0
+	for _, x := range excesses {
+		if x > 0 {
+			miss *= 1 - math.Min(x, 1)
+		}
+	}
+	if miss == 1 {
+		// No excess mass: the risk is exactly the base rate, without the
+		// rounding 1-(1-base) would introduce.
+		return base
+	}
+	return 1 - (1-base)*miss
+}
+
+// Score computes the node's risk at the given instant from the events
+// currently inside the window (events strictly newer than now are ignored:
+// the engine answers "as of now" even if the feed ran ahead).
+func (e *Engine) Score(system, node int, now time.Time) (Score, error) {
+	s, ok := e.systems[system]
+	if !ok {
+		return Score{}, fmt.Errorf("risk: unknown system %d", system)
+	}
+	if node < 0 || node >= s.Nodes {
+		return Score{}, fmt.Errorf("risk: node %d out of range [0,%d) for system %d", node, s.Nodes, system)
+	}
+	e.mu.RLock()
+	evs := e.windowEvents(system, now)
+	sc := e.scoreLocked(s, node, now, evs)
+	e.mu.RUnlock()
+	return sc, nil
+}
+
+// windowEvents returns the retained events of a system inside (now-W, now],
+// newest last. Callers must hold e.mu.
+func (e *Engine) windowEvents(system int, now time.Time) []trace.Failure {
+	evs := e.events[system]
+	lo := sort.Search(len(evs), func(i int) bool {
+		return evs[i].Time.After(now.Add(-e.window))
+	})
+	hi := sort.Search(len(evs), func(i int) bool {
+		return evs[i].Time.After(now)
+	})
+	return evs[lo:hi]
+}
+
+// scoreLocked computes one node's score from the given in-window events.
+// Callers must hold e.mu (read or write).
+func (e *Engine) scoreLocked(s trace.SystemInfo, node int, now time.Time, evs []trace.Failure) Score {
+	base := e.table.SystemBaseline(s.ID)
+	baseCI := base.WilsonCI(0.95)
+	sc := Score{
+		System: s.ID,
+		Node:   node,
+		At:     now,
+		Base:   clamp01(base.P()),
+	}
+	lay := e.layouts[s.ID]
+	var excesses, los, his []float64
+	for i := len(evs) - 1; i >= 0; i-- {
+		f := evs[i]
+		scope := analysis.ScopeSystem
+		switch {
+		case f.Node == node:
+			scope = analysis.ScopeNode
+		case lay != nil && lay.Rack(node) >= 0 && lay.Rack(f.Node) == lay.Rack(node):
+			scope = analysis.ScopeRack
+		}
+		entry, ok := e.table.Lookup(f, scope)
+		if !ok || !entry.Result.Conditional.Valid() {
+			continue
+		}
+		age := now.Sub(f.Time)
+		weight := 1 - float64(age)/float64(e.window)
+		weight = math.Min(1, math.Max(0, weight))
+		cond := clamp01(entry.Result.Conditional.P())
+		c := Contribution{
+			Event:       f,
+			Scope:       scope,
+			Age:         age,
+			Weight:      weight,
+			Conditional: cond,
+			Excess:      math.Max(0, cond-sc.Base) * weight,
+		}
+		sc.Contributions = append(sc.Contributions, c)
+		excesses = append(excesses, c.Excess)
+		// Excess bounds use the same point-estimate base, so combine's
+		// monotonicity guarantees Lo <= Risk <= Hi.
+		los = append(los, math.Max(0, entry.Result.CondCI.Lo-sc.Base)*weight)
+		his = append(his, math.Max(0, entry.Result.CondCI.Hi-sc.Base)*weight)
+	}
+	sc.Risk = combine(sc.Base, excesses)
+	sc.Lo = combine(clamp01(baseCI.Lo), los)
+	sc.Hi = combine(clamp01(baseCI.Hi), his)
+	if sc.Base > 0 {
+		sc.Factor = sc.Risk / sc.Base
+	} else if sc.Risk > 0 {
+		sc.Factor = math.Inf(1)
+	}
+	return sc
+}
+
+func clamp01(v float64) float64 {
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TopK returns the k highest-risk nodes across every system at the given
+// instant, descending by risk with deterministic (system, node) tie-breaks.
+// Only systems with at least one in-window event are scanned: every other
+// node sits exactly at its base rate, so they can only pad the tail. Pass
+// k <= 0 for all scanned nodes.
+func (e *Engine) TopK(k int, now time.Time) []Score {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ids := make([]int, 0, len(e.events))
+	for id := range e.events {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var out []Score
+	for _, id := range ids {
+		evs := e.windowEvents(id, now)
+		if len(evs) == 0 {
+			continue
+		}
+		s := e.systems[id]
+		for n := 0; n < s.Nodes; n++ {
+			out = append(out, e.scoreLocked(s, n, now, evs))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Risk != b.Risk {
+			return a.Risk > b.Risk
+		}
+		if a.System != b.System {
+			return a.System < b.System
+		}
+		return a.Node < b.Node
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

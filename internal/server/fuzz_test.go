@@ -1,0 +1,63 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRiskQueryParams throws arbitrary query strings at both HTTP
+// query-parameter parsers. Beyond "no panic", it pins two invariants:
+// successful risk queries are in range, and successful condprob queries
+// canonicalize to a fixed point (re-parsing a cache key yields the same
+// key, so cache lookups cannot alias distinct queries or split identical
+// ones).
+func FuzzRiskQueryParams(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"k=10",
+		"system=1",
+		"system=1&k=3",
+		"k=0",
+		"k=1&k=2",
+		"system=-1",
+		"bogus=1",
+		"anchor=HW",
+		"anchor=hw/cpu&target=SW&window=week&scope=node",
+		"anchor=SW/OS&window=month&scope=rack&group=1",
+		"anchor=ENV/Power%20outage&window=day&scope=system",
+		"window=36h",
+		"window=never",
+		"scope=galaxy",
+		"anchor=HUMAN/whoops",
+		"anchor=%gg",
+		"a=1;b=2",
+		strings.Repeat("k=1&", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		if q, err := parseRiskQuery(raw); err == nil {
+			if q.K < 1 || q.K > maxTopK || q.System < 0 {
+				t.Fatalf("parseRiskQuery(%q) accepted out-of-range %+v", raw, q)
+			}
+		}
+		q, err := parseCondProbQuery(raw)
+		if err != nil {
+			return
+		}
+		if q.window <= 0 {
+			t.Fatalf("parseCondProbQuery(%q) accepted non-positive window %v", raw, q.window)
+		}
+		if _, _, err := q.preds(); err != nil {
+			t.Fatalf("canonical labels from %q do not re-parse: %v", raw, err)
+		}
+		key := q.Key()
+		q2, err := parseCondProbQuery(key)
+		if err != nil {
+			t.Fatalf("cache key %q (from %q) does not re-parse: %v", key, raw, err)
+		}
+		if q2.Key() != key {
+			t.Fatalf("canonicalization not a fixed point: %q -> %q -> %q", raw, key, q2.Key())
+		}
+	})
+}

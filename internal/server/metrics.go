@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is a tiny dependency-free Prometheus-text metrics registry: per
+// route/status request counters, per-route latency sums, cache and
+// singleflight counters, and engine gauges supplied at render time.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[routeCode]uint64 // route+status -> count
+	latency  map[string]*latencyAgg
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	shared      atomic.Uint64 // singleflight followers served by a leader's computation
+	eventsIn    atomic.Uint64 // events accepted via /v1/events
+	eventsBad   atomic.Uint64 // events rejected via /v1/events
+}
+
+type routeCode struct {
+	route string
+	code  int
+}
+
+type latencyAgg struct {
+	count uint64
+	sum   time.Duration
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeCode]uint64),
+		latency:  make(map[string]*latencyAgg),
+	}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	agg := m.latency[route]
+	if agg == nil {
+		agg = &latencyAgg{}
+		m.latency[route] = agg
+	}
+	agg.count++
+	agg.sum += d
+}
+
+// hitRate returns the condprob cache hit fraction in [0,1] (0 before any
+// lookup).
+func (m *metrics) hitRate() float64 {
+	h, miss := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+miss == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+miss)
+}
+
+// gauges carries point-in-time values the registry does not own.
+type gauges struct {
+	engineLag      time.Duration
+	activeEvents   int
+	observedEvents uint64
+	cacheEntries   int
+}
+
+// write renders the registry in Prometheus text exposition format, with
+// deterministic line order.
+func (m *metrics) write(w io.Writer, g gauges) {
+	m.mu.Lock()
+	reqKeys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].route != reqKeys[j].route {
+			return reqKeys[i].route < reqKeys[j].route
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	latKeys := make([]string, 0, len(m.latency))
+	for k := range m.latency {
+		latKeys = append(latKeys, k)
+	}
+	sort.Strings(latKeys)
+
+	fmt.Fprintln(w, "# HELP hpcserve_requests_total Completed HTTP requests by route and status code.")
+	fmt.Fprintln(w, "# TYPE hpcserve_requests_total counter")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "hpcserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_request_seconds Cumulative request latency by route.")
+	fmt.Fprintln(w, "# TYPE hpcserve_request_seconds summary")
+	for _, k := range latKeys {
+		agg := m.latency[k]
+		fmt.Fprintf(w, "hpcserve_request_seconds_sum{route=%q} %g\n", k, agg.sum.Seconds())
+		fmt.Fprintf(w, "hpcserve_request_seconds_count{route=%q} %d\n", k, agg.count)
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_hits_total Conditional-probability cache hits.")
+	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_hits_total counter")
+	fmt.Fprintf(w, "hpcserve_condprob_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_misses_total Conditional-probability cache misses.")
+	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_misses_total counter")
+	fmt.Fprintf(w, "hpcserve_condprob_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_hit_rate Cache hit fraction since start.")
+	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_hit_rate gauge")
+	fmt.Fprintf(w, "hpcserve_condprob_cache_hit_rate %g\n", m.hitRate())
+	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_entries Cached conditional-probability results.")
+	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_entries gauge")
+	fmt.Fprintf(w, "hpcserve_condprob_cache_entries %d\n", g.cacheEntries)
+	fmt.Fprintln(w, "# HELP hpcserve_condprob_shared_total Requests served by another request's in-flight computation.")
+	fmt.Fprintln(w, "# TYPE hpcserve_condprob_shared_total counter")
+	fmt.Fprintf(w, "hpcserve_condprob_shared_total %d\n", m.shared.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_events_accepted_total Events accepted by POST /v1/events.")
+	fmt.Fprintln(w, "# TYPE hpcserve_events_accepted_total counter")
+	fmt.Fprintf(w, "hpcserve_events_accepted_total %d\n", m.eventsIn.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_events_rejected_total Events rejected by POST /v1/events.")
+	fmt.Fprintln(w, "# TYPE hpcserve_events_rejected_total counter")
+	fmt.Fprintf(w, "hpcserve_events_rejected_total %d\n", m.eventsBad.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_engine_observed_events_total Events the risk engine has accepted since start.")
+	fmt.Fprintln(w, "# TYPE hpcserve_engine_observed_events_total counter")
+	fmt.Fprintf(w, "hpcserve_engine_observed_events_total %d\n", g.observedEvents)
+	fmt.Fprintln(w, "# HELP hpcserve_engine_active_events Events currently inside the engine's sliding windows.")
+	fmt.Fprintln(w, "# TYPE hpcserve_engine_active_events gauge")
+	fmt.Fprintf(w, "hpcserve_engine_active_events %d\n", g.activeEvents)
+	fmt.Fprintln(w, "# HELP hpcserve_engine_lag_seconds Time since the newest event the engine has seen.")
+	fmt.Fprintln(w, "# TYPE hpcserve_engine_lag_seconds gauge")
+	fmt.Fprintf(w, "hpcserve_engine_lag_seconds %g\n", g.engineLag.Seconds())
+}

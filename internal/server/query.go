@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// riskQuery is the parsed form of /v1/risk/{node} and /v1/risk/top query
+// strings.
+type riskQuery struct {
+	// System restricts the query to one system; 0 means "the only system"
+	// for node queries and "all systems" for top queries.
+	System int
+	// Node is the path's node ID (node queries only).
+	Node int
+	// K bounds /v1/risk/top output.
+	K int
+}
+
+// maxTopK caps /v1/risk/top so one request cannot serialize every node of
+// a large catalog.
+const maxTopK = 1000
+
+// parseRiskQuery parses a raw /v1/risk query string (without the node path
+// element). Unknown parameters are rejected so typos fail loudly instead of
+// silently falling back to defaults.
+func parseRiskQuery(raw string) (riskQuery, error) {
+	vals, err := url.ParseQuery(raw)
+	if err != nil {
+		return riskQuery{}, fmt.Errorf("bad query string: %w", err)
+	}
+	q := riskQuery{K: 10}
+	for key, vs := range vals {
+		if len(vs) != 1 {
+			return riskQuery{}, fmt.Errorf("parameter %q repeated", key)
+		}
+		v := vs[0]
+		switch key {
+		case "system":
+			q.System, err = strconv.Atoi(v)
+			if err != nil || q.System < 0 {
+				return riskQuery{}, fmt.Errorf("bad system %q", v)
+			}
+		case "k":
+			q.K, err = strconv.Atoi(v)
+			if err != nil || q.K < 1 || q.K > maxTopK {
+				return riskQuery{}, fmt.Errorf("k must be in [1,%d], got %q", maxTopK, v)
+			}
+		default:
+			return riskQuery{}, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	return q, nil
+}
+
+// condProbQuery is the parsed, canonicalized form of a /v1/condprob query.
+type condProbQuery struct {
+	anchor, target string // canonical event-spec labels ("" = any failure)
+	window         time.Duration
+	scope          analysis.Scope
+	group          int // 0 = all systems
+}
+
+// Key returns the canonical cache key: two requests that mean the same
+// query map to the same key regardless of parameter order or label case.
+func (q condProbQuery) Key() string {
+	return fmt.Sprintf("anchor=%s&target=%s&window=%s&scope=%s&group=%d",
+		q.anchor, q.target, q.window, q.scope, q.group)
+}
+
+// parseCondProbQuery parses a raw /v1/condprob query string. It shares the
+// event syntax of cmd/hpcanalyze: ENV|HW|HUMAN|NET|SW|UNDET, optionally
+// refined as HW/<component>, SW/<class>, or ENV/<subtype>.
+func parseCondProbQuery(raw string) (condProbQuery, error) {
+	vals, err := url.ParseQuery(raw)
+	if err != nil {
+		return condProbQuery{}, fmt.Errorf("bad query string: %w", err)
+	}
+	q := condProbQuery{window: trace.Week, scope: analysis.ScopeNode}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		vs := vals[key]
+		if len(vs) != 1 {
+			return condProbQuery{}, fmt.Errorf("parameter %q repeated", key)
+		}
+		v := vs[0]
+		switch key {
+		case "anchor":
+			if q.anchor, _, err = parseEventSpec(v); err != nil {
+				return condProbQuery{}, fmt.Errorf("anchor: %w", err)
+			}
+		case "target":
+			if q.target, _, err = parseEventSpec(v); err != nil {
+				return condProbQuery{}, fmt.Errorf("target: %w", err)
+			}
+		case "window":
+			if q.window, err = parseWindow(v); err != nil {
+				return condProbQuery{}, err
+			}
+		case "scope":
+			if q.scope, err = parseScope(v); err != nil {
+				return condProbQuery{}, err
+			}
+		case "group":
+			q.group, err = strconv.Atoi(v)
+			if err != nil || q.group < 0 || q.group > 2 {
+				return condProbQuery{}, fmt.Errorf("group must be 0, 1 or 2, got %q", v)
+			}
+		default:
+			return condProbQuery{}, fmt.Errorf("unknown parameter %q", key)
+		}
+	}
+	return q, nil
+}
+
+// preds resolves the canonical anchor/target labels back into predicates.
+// Canonical labels always re-parse; a failure here is a bug.
+func (q condProbQuery) preds() (anchor, target trace.Pred, err error) {
+	if _, anchor, err = parseEventSpec(q.anchor); err != nil {
+		return nil, nil, err
+	}
+	_, target, err = parseEventSpec(q.target)
+	return anchor, target, err
+}
+
+// parseEventSpec parses the CLI event syntax, returning the canonical label
+// (stable across case variants) and the predicate. An empty spec means "any
+// failure" and yields a nil predicate.
+func parseEventSpec(s string) (string, trace.Pred, error) {
+	if s == "" {
+		return "", nil, nil
+	}
+	catLabel, rest, refined := strings.Cut(s, "/")
+	cat, err := parseCategoryFold(catLabel)
+	if err != nil {
+		return "", nil, err
+	}
+	if !refined {
+		return cat.String(), trace.CategoryPred(cat), nil
+	}
+	switch cat {
+	case trace.Hardware:
+		for _, c := range trace.HWComponents {
+			if strings.EqualFold(c.String(), rest) {
+				return "HW/" + c.String(), trace.HWPred(c), nil
+			}
+		}
+		return "", nil, fmt.Errorf("unknown hardware component %q", rest)
+	case trace.Software:
+		for _, c := range trace.SWClasses {
+			if strings.EqualFold(c.String(), rest) {
+				return "SW/" + c.String(), trace.SWPred(c), nil
+			}
+		}
+		return "", nil, fmt.Errorf("unknown software class %q", rest)
+	case trace.Environment:
+		for _, c := range trace.EnvClasses {
+			if strings.EqualFold(c.String(), rest) {
+				return "ENV/" + c.String(), trace.EnvPred(c), nil
+			}
+		}
+		return "", nil, fmt.Errorf("unknown environment subtype %q", rest)
+	default:
+		return "", nil, fmt.Errorf("category %s has no subtypes", cat)
+	}
+}
+
+func parseCategoryFold(s string) (trace.Category, error) {
+	for _, c := range trace.Categories {
+		if strings.EqualFold(c.String(), s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown category %q", s)
+}
+
+// parseWindow accepts the paper's window names or a Go duration.
+func parseWindow(s string) (time.Duration, error) {
+	switch strings.ToLower(s) {
+	case "day":
+		return trace.Day, nil
+	case "week":
+		return trace.Week, nil
+	case "month":
+		return trace.Month, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad window %q (use day, week, month, or a duration)", s)
+	}
+	if d <= 0 || d > 10*365*trace.Day {
+		return 0, fmt.Errorf("window %v out of range", d)
+	}
+	return d, nil
+}
+
+func parseScope(s string) (analysis.Scope, error) {
+	switch strings.ToLower(s) {
+	case "node":
+		return analysis.ScopeNode, nil
+	case "rack":
+		return analysis.ScopeRack, nil
+	case "system":
+		return analysis.ScopeSystem, nil
+	default:
+		return 0, fmt.Errorf("unknown scope %q", s)
+	}
+}

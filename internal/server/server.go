@@ -1,0 +1,603 @@
+// Package server is the HTTP serving layer over the toolkit: a JSON API
+// exposing the online risk engine (internal/risk) and the offline
+// conditional-probability analysis (internal/analysis) of one in-memory
+// dataset.
+//
+// Endpoints:
+//
+//	GET  /v1/risk/{node}?system=S     one node's live follow-up-failure risk
+//	GET  /v1/risk/top?k=K&system=S    the K highest-risk nodes right now
+//	GET  /v1/condprob?anchor=&target=&window=&scope=&group=
+//	                                  cached conditional-vs-baseline query
+//	POST /v1/events                   feed failure events into the engine
+//	GET  /healthz                     liveness
+//	GET  /metrics                     Prometheus text metrics
+//
+// Conditional-probability responses are cached on the canonicalized query
+// and deduplicated singleflight-style: concurrent identical queries compute
+// once. Every request runs under a timeout, and Serve shuts down gracefully
+// when its context is cancelled.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/risk"
+	"github.com/hpcfail/hpcfail/internal/stats"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Dataset is the indexed in-memory dataset the server answers from.
+	// Required.
+	Dataset *trace.Dataset
+	// Window is the risk engine's sliding window (and the lift table's
+	// look-ahead). Defaults to one day. Ignored when Engine is set.
+	Window time.Duration
+	// Engine overrides the engine built from Dataset/Window — pass one to
+	// reuse a pre-built lift table.
+	Engine *risk.Engine
+	// RequestTimeout bounds each request's computation; defaults to 10s.
+	RequestTimeout time.Duration
+	// CacheSize bounds the condprob result cache; defaults to 256 entries.
+	CacheSize int
+	// Now supplies the clock; defaults to time.Now. Tests inject a fake.
+	Now func() time.Time
+	// Logf, when set, receives serve-lifecycle log lines.
+	Logf func(format string, args ...any)
+}
+
+// Server answers the API over one dataset. Build with New; the zero value
+// is not usable.
+type Server struct {
+	ds       *trace.Dataset
+	analyzer *analysis.Analyzer
+	engine   *risk.Engine
+	cache    *resultCache
+	metrics  *metrics
+	timeout  time.Duration
+	now      func() time.Time
+	logf     func(format string, args ...any)
+	// base is the lifecycle context detached computations run under, so a
+	// singleflight leader hanging up does not fail its followers.
+	base context.Context
+}
+
+// New builds a server over the config's dataset, constructing the risk
+// engine (analyzer, lift table, sliding windows) when one is not supplied.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("server: nil dataset")
+	}
+	if len(cfg.Dataset.Systems) == 0 {
+		return nil, fmt.Errorf("server: dataset has no systems")
+	}
+	w := cfg.Window
+	if w <= 0 {
+		w = trace.Day
+	}
+	engine := cfg.Engine
+	if engine == nil {
+		var err error
+		if engine, err = risk.FromDataset(cfg.Dataset, w); err != nil {
+			return nil, err
+		}
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize <= 0 {
+		cacheSize = 256
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{
+		ds:       cfg.Dataset,
+		analyzer: analysis.New(cfg.Dataset),
+		engine:   engine,
+		cache:    newResultCache(cacheSize),
+		metrics:  newMetrics(),
+		timeout:  timeout,
+		now:      now,
+		logf:     logf,
+		base:     context.Background(),
+	}, nil
+}
+
+// Engine returns the server's risk engine (shared, safe for concurrent
+// use) so callers can pre-seed events.
+func (s *Server) Engine() *risk.Engine { return s.engine }
+
+// Handler returns the server's routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	mux.Handle("GET /v1/risk/top", s.instrument("/v1/risk/top", s.handleRiskTop))
+	mux.Handle("GET /v1/risk/{node}", s.instrument("/v1/risk/{node}", s.handleRiskNode))
+	mux.Handle("GET /v1/condprob", s.instrument("/v1/condprob", s.handleCondProb))
+	mux.Handle("POST /v1/events", s.instrument("/v1/events", s.handleEvents))
+	return mux
+}
+
+// statusWriter captures the response code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-request timeout and metrics.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := s.now()
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r.WithContext(ctx))
+		s.metrics.observe(route, sw.code, s.now().Sub(start))
+	})
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		s.logf("server: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"systems": len(s.ds.Systems),
+		"window":  s.engine.Window().String(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.engine.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, gauges{
+		engineLag:      s.engine.Lag(s.now()),
+		activeEvents:   len(snap.Active),
+		observedEvents: snap.Observed,
+		cacheEntries:   s.cache.Len(),
+	})
+}
+
+// pickSystem resolves an optional system parameter: 0 means "the dataset's
+// only system" and is an error when there are several.
+func (s *Server) pickSystem(id int) (trace.SystemInfo, error) {
+	if id == 0 {
+		if len(s.ds.Systems) == 1 {
+			return s.ds.Systems[0], nil
+		}
+		return trace.SystemInfo{}, fmt.Errorf("dataset covers %d systems; pass ?system=", len(s.ds.Systems))
+	}
+	sys, ok := s.ds.System(id)
+	if !ok {
+		return trace.SystemInfo{}, fmt.Errorf("unknown system %d", id)
+	}
+	return sys, nil
+}
+
+// contributionJSON is one scored contribution on the wire.
+type contributionJSON struct {
+	Time        time.Time `json:"time"`
+	Node        int       `json:"node"`
+	Category    string    `json:"category"`
+	Subtype     string    `json:"subtype,omitempty"`
+	Scope       string    `json:"scope"`
+	AgeSeconds  float64   `json:"age_seconds"`
+	Weight      float64   `json:"weight"`
+	Conditional float64   `json:"conditional"`
+	Excess      float64   `json:"excess"`
+}
+
+// scoreJSON is one node score on the wire.
+type scoreJSON struct {
+	System        int                `json:"system"`
+	Node          int                `json:"node"`
+	At            time.Time          `json:"at"`
+	Risk          float64            `json:"risk"`
+	RiskLo        float64            `json:"risk_lo"`
+	RiskHi        float64            `json:"risk_hi"`
+	Base          float64            `json:"base"`
+	Factor        float64            `json:"factor"`
+	Window        string             `json:"window"`
+	Contributions []contributionJSON `json:"contributions,omitempty"`
+}
+
+func (s *Server) scoreJSON(sc risk.Score) scoreJSON {
+	out := scoreJSON{
+		System: sc.System,
+		Node:   sc.Node,
+		At:     sc.At,
+		Risk:   sc.Risk,
+		RiskLo: sc.Lo,
+		RiskHi: sc.Hi,
+		Base:   sc.Base,
+		Factor: finite(sc.Factor),
+		Window: s.engine.Window().String(),
+	}
+	for _, c := range sc.Contributions {
+		cj := contributionJSON{
+			Time:        c.Event.Time,
+			Node:        c.Event.Node,
+			Category:    c.Event.Category.String(),
+			Scope:       c.Scope.String(),
+			AgeSeconds:  c.Age.Seconds(),
+			Weight:      c.Weight,
+			Conditional: c.Conditional,
+			Excess:      c.Excess,
+		}
+		if sub := c.Event.SubtypeLabel(); sub != cj.Category {
+			cj.Subtype = sub
+		}
+		out.Contributions = append(out.Contributions, cj)
+	}
+	return out
+}
+
+// finite maps NaN/Inf (JSON-unencodable) to 0 and a large sentinel.
+func finite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+func (s *Server) handleRiskNode(w http.ResponseWriter, r *http.Request) {
+	node, err := strconv.Atoi(r.PathValue("node"))
+	if err != nil || node < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad node %q", r.PathValue("node")))
+		return
+	}
+	q, err := parseRiskQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sys, err := s.pickSystem(q.System)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	sc, err := s.engine.Score(sys.ID, node, s.now())
+	if err != nil {
+		s.writeError(w, http.StatusNotFound, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, s.scoreJSON(sc))
+}
+
+func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
+	q, err := parseRiskQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if q.System != 0 {
+		if _, err := s.pickSystem(q.System); err != nil {
+			s.writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	now := s.now()
+	scores := s.engine.TopK(0, now)
+	out := struct {
+		At     time.Time   `json:"at"`
+		Window string      `json:"window"`
+		Scores []scoreJSON `json:"scores"`
+	}{At: now, Window: s.engine.Window().String(), Scores: []scoreJSON{}}
+	for _, sc := range scores {
+		if q.System != 0 && sc.System != q.System {
+			continue
+		}
+		out.Scores = append(out.Scores, s.scoreJSON(sc))
+		if len(out.Scores) >= q.K {
+			break
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// proportionJSON is a stats.Proportion with its CI on the wire.
+type proportionJSON struct {
+	P         float64 `json:"p"`
+	Successes int     `json:"successes"`
+	Trials    int     `json:"trials"`
+	CILo      float64 `json:"ci_lo"`
+	CIHi      float64 `json:"ci_hi"`
+}
+
+func proportionOf(p stats.Proportion, ci stats.Interval) proportionJSON {
+	return proportionJSON{
+		P:         finite(p.P()),
+		Successes: p.Successes,
+		Trials:    p.Trials,
+		CILo:      finite(ci.Lo),
+		CIHi:      finite(ci.Hi),
+	}
+}
+
+// condProbJSON is the /v1/condprob response body.
+type condProbJSON struct {
+	Anchor      string         `json:"anchor"`
+	Target      string         `json:"target"`
+	Window      string         `json:"window"`
+	Scope       string         `json:"scope"`
+	Group       int            `json:"group"`
+	Conditional proportionJSON `json:"conditional"`
+	Baseline    proportionJSON `json:"baseline"`
+	Factor      float64        `json:"factor"`
+	FactorLo    float64        `json:"factor_lo"`
+	FactorHi    float64        `json:"factor_hi"`
+	PValue      float64        `json:"p_value"`
+	Significant bool           `json:"significant_5pct"`
+}
+
+func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
+	q, err := parseCondProbQuery(r.URL.RawQuery)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Compute under the server lifecycle context, not the request context:
+	// the result is shared with concurrent identical requests and cached,
+	// so one caller hanging up must not poison it. The request's own
+	// timeout still applies to the wait below.
+	val, oc, err := s.cache.Do(q.Key(), func() (any, error) {
+		ctx, cancel := context.WithTimeout(s.base, s.timeout)
+		defer cancel()
+		return s.computeCondProb(ctx, q)
+	})
+	switch oc {
+	case outcomeHit:
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("X-Cache", "HIT")
+	case outcomeShared:
+		s.metrics.cacheMisses.Add(1)
+		s.metrics.shared.Add(1)
+		w.Header().Set("X-Cache", "SHARED")
+	default:
+		s.metrics.cacheMisses.Add(1)
+		w.Header().Set("X-Cache", "MISS")
+	}
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusServiceUnavailable
+		}
+		s.writeError(w, code, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, val)
+}
+
+// computeCondProb runs the actual analysis for one canonical query.
+func (s *Server) computeCondProb(ctx context.Context, q condProbQuery) (condProbJSON, error) {
+	anchor, target, err := q.preds()
+	if err != nil {
+		return condProbJSON{}, err
+	}
+	systems := s.ds.Systems
+	switch q.group {
+	case 1:
+		systems = s.ds.GroupSystems(trace.Group1)
+	case 2:
+		systems = s.ds.GroupSystems(trace.Group2)
+	}
+	res, err := s.analyzer.CondProbCtx(ctx, systems, anchor, target, q.window, q.scope)
+	if err != nil {
+		return condProbJSON{}, err
+	}
+	return condProbJSON{
+		Anchor:      q.anchor,
+		Target:      q.target,
+		Window:      trace.WindowName(q.window),
+		Scope:       q.scope.String(),
+		Group:       q.group,
+		Conditional: proportionOf(res.Conditional, res.CondCI),
+		Baseline:    proportionOf(res.Baseline, res.BaseCI),
+		Factor:      finite(res.Factor()),
+		FactorLo:    finite(res.FactorCI.Lo),
+		FactorHi:    finite(res.FactorCI.Hi),
+		PValue:      finite(res.Test.P),
+		Significant: res.Significant(0.05),
+	}, nil
+}
+
+// eventJSON is one failure event on the wire.
+type eventJSON struct {
+	System   int        `json:"system"`
+	Node     int        `json:"node"`
+	Time     *time.Time `json:"time,omitempty"`
+	Category string     `json:"category"`
+	HW       string     `json:"hw,omitempty"`
+	SW       string     `json:"sw,omitempty"`
+	Env      string     `json:"env,omitempty"`
+}
+
+// toFailure converts a wire event, defaulting a missing time to now.
+func (e eventJSON) toFailure(now time.Time) (trace.Failure, error) {
+	f := trace.Failure{System: e.System, Node: e.Node, Time: now}
+	if e.Time != nil {
+		f.Time = *e.Time
+	}
+	var err error
+	if f.Category, err = trace.ParseCategory(e.Category); err != nil {
+		return f, err
+	}
+	if e.HW != "" {
+		if f.HW, err = trace.ParseHWComponent(e.HW); err != nil {
+			return f, err
+		}
+	}
+	if e.SW != "" {
+		if f.SW, err = trace.ParseSWClass(e.SW); err != nil {
+			return f, err
+		}
+	}
+	if e.Env != "" {
+		if f.Env, err = trace.ParseEnvClass(e.Env); err != nil {
+			return f, err
+		}
+	}
+	return f, nil
+}
+
+// maxEventBody bounds a POST /v1/events body (1 MiB).
+const maxEventBody = 1 << 20
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Events []eventJSON `json:"events"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxEventBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Events) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("no events in request"))
+		return
+	}
+	type rejection struct {
+		Index int    `json:"index"`
+		Error string `json:"error"`
+	}
+	now := s.now()
+	accepted := 0
+	var rejected []rejection
+	for i, e := range req.Events {
+		f, err := e.toFailure(now)
+		if err == nil {
+			err = s.engine.Observe(f)
+		}
+		if err != nil {
+			rejected = append(rejected, rejection{Index: i, Error: err.Error()})
+			s.metrics.eventsBad.Add(1)
+			continue
+		}
+		accepted++
+		s.metrics.eventsIn.Add(1)
+	}
+	code := http.StatusOK
+	if accepted == 0 {
+		code = http.StatusBadRequest
+	}
+	s.writeJSON(w, code, struct {
+		Accepted int         `json:"accepted"`
+		Rejected []rejection `json:"rejected,omitempty"`
+	}{Accepted: accepted, Rejected: rejected})
+}
+
+// Serve listens on addr and serves until ctx is cancelled, then drains
+// in-flight requests and returns nil. It is the body of cmd/hpcserve.
+func Serve(ctx context.Context, addr string, cfg Config) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, ln, cfg)
+}
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before giving up.
+const shutdownGrace = 5 * time.Second
+
+// ServeListener serves on an existing listener (which it takes ownership
+// of) until ctx is cancelled. Tests use it with a 127.0.0.1:0 listener.
+func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
+	s, err := New(cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	s.base = ctx
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		BaseContext:       func(net.Listener) context.Context { return ctx },
+	}
+
+	// Periodic decay keeps engine memory bounded while the feed is quiet.
+	// The derived context stops the goroutine on any exit path, including
+	// an immediate Serve error.
+	dctx, dcancel := context.WithCancel(ctx)
+	decayDone := make(chan struct{})
+	defer func() { dcancel(); <-decayDone }()
+	go func() {
+		defer close(decayDone)
+		t := time.NewTicker(30 * time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-dctx.Done():
+				return
+			case now := <-t.C:
+				s.engine.Decay(now)
+			}
+		}
+	}()
+
+	s.logf("hpcserve: listening on http://%s (window %s, %d systems)",
+		ln.Addr(), s.engine.Window(), len(s.ds.Systems))
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.logf("hpcserve: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err = hs.Shutdown(shctx)
+	if serveErr := <-errc; serveErr != nil && !errors.Is(serveErr, http.ErrServerClosed) && err == nil {
+		err = serveErr
+	}
+	return err
+}

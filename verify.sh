@@ -7,7 +7,12 @@ go vet ./...
 go build ./...
 go test -race ./...
 
-# Fuzz smoke: the ingestion decoders must survive arbitrary bytes. Short
-# runs here; CI or a release gate should use -fuzztime=30s or more.
+# Bench smoke: every benchmark must still compile and run one iteration.
+go test -bench=. -benchtime=1x -run='^$' ./...
+
+# Fuzz smoke: the ingestion decoders must survive arbitrary bytes, and the
+# server's query parser must survive arbitrary query strings. Short runs
+# here; CI or a release gate should use -fuzztime=30s or more.
 go test -fuzz=FuzzLoadFailuresCSV -fuzztime=5s -run='^$' ./internal/trace/
 go test -fuzz=FuzzImportLANL -fuzztime=5s -run='^$' ./internal/lanl/
+go test -fuzz=FuzzRiskQueryParams -fuzztime=5s -run='^$' ./internal/server/
