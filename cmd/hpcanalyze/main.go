@@ -23,7 +23,7 @@ func main() {
 	cli.Main("hpcanalyze", run)
 }
 
-func run(args []string) error {
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("hpcanalyze", flag.ContinueOnError)
 	data := fs.String("data", "", "dataset directory (required; use hpcgen to create one)")
 	anchor := fs.String("anchor", "", "anchor event: ENV|HW|HUMAN|NET|SW|UNDET, HW/<component>, SW/<class>, ENV/<subtype>, or empty for any failure")
@@ -34,12 +34,22 @@ func run(args []string) error {
 	summary := fs.Bool("summary", false, "print a dataset summary and exit")
 	policyOf := cli.PolicyFlags(fs, "strict")
 	versionOf := cli.VersionFlag(fs, "hpcanalyze")
+	profileOf := cli.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if versionOf() {
 		return nil
 	}
+	stopProf, err := profileOf()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
 	if *data == "" {
 		fs.Usage()
 		return cli.Usagef("-data is required")

@@ -1,0 +1,467 @@
+// Command hpcbench is the repeatable performance harness of the toolkit:
+// kernel micro-benchmarks pitting the indexed analysis core against the
+// frozen naive reference, macro benchmarks over the lift table and risk
+// engine, the end-to-end experiment suite, and server throughput over
+// httptest — all emitted as machine-readable JSON (BENCH_results.json).
+//
+// Usage:
+//
+//	hpcbench                      full run at scale 1, JSON on stdout
+//	hpcbench -quick               shorter measurements, skips end-to-end
+//	hpcbench -out BENCH_results.json
+//	hpcbench -baseline BENCH_results.json -tolerance 0.25
+//	                              regression gate: fail (exit 1) when any
+//	                              kernel bench is >25% slower than baseline
+//	hpcbench -min-speedup 1.5     fail unless every indexed/naive pair keeps
+//	                              at least this speedup
+//	hpcbench -bench 'condprob/.*' -cpuprofile cpu.out
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"runtime"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/cli"
+	"github.com/hpcfail/hpcfail/internal/experiments"
+	"github.com/hpcfail/hpcfail/internal/risk"
+	"github.com/hpcfail/hpcfail/internal/server"
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func main() {
+	cli.Main("hpcbench", run)
+}
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	// Name identifies the benchmark ("condprob/hw-hw/node/indexed", ...).
+	Name string `json:"name"`
+	// Group classifies it: "kernel" results gate CI regressions, "naive"
+	// are the frozen reference implementations, "macro"/"e2e"/"server" are
+	// informational.
+	Group       string  `json:"group"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Speedup compares one indexed kernel against its naive reference from the
+// same run on the same machine.
+type Speedup struct {
+	Name      string  `json:"name"`
+	NaiveNs   float64 `json:"naive_ns"`
+	IndexedNs float64 `json:"indexed_ns"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// Report is the JSON document hpcbench emits (committed as
+// BENCH_results.json at the repo root).
+type Report struct {
+	Seed       int64         `json:"seed"`
+	Scale      float64       `json:"scale"`
+	Quick      bool          `json:"quick"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []BenchResult `json:"results"`
+	Speedups   []Speedup     `json:"speedups"`
+}
+
+func run(args []string) (err error) {
+	fs := flag.NewFlagSet("hpcbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shorter measurement windows and no end-to-end suite (CI mode)")
+	seed := fs.Int64("seed", 1, "dataset seed")
+	scale := fs.Float64("scale", 1, "dataset scale (1 = full synthetic catalog)")
+	out := fs.String("out", "", "write the JSON report to this file (default stdout)")
+	baseline := fs.String("baseline", "", "compare kernel benches against this committed report and fail on regression")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs -baseline before failing")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail unless every indexed/naive speedup is at least this (0 disables)")
+	benchRe := fs.String("bench", "", "only run benchmarks whose name matches this regexp")
+	versionOf := cli.VersionFlag(fs, "hpcbench")
+	profileOf := cli.ProfileFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if versionOf() {
+		return nil
+	}
+	stopProf, err := profileOf()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && err == nil {
+			err = perr
+		}
+	}()
+	var filter *regexp.Regexp
+	if *benchRe != "" {
+		if filter, err = regexp.Compile(*benchRe); err != nil {
+			return cli.Usagef("-bench: %v", err)
+		}
+	}
+
+	ds, err := simulate.Generate(simulate.Options{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	b := &bencher{
+		minTime: 300 * time.Millisecond,
+		filter:  filter,
+		report: Report{
+			Seed:       *seed,
+			Scale:      *scale,
+			Quick:      *quick,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+	}
+	if *quick {
+		b.minTime = 40 * time.Millisecond
+	}
+
+	a := analysis.New(ds)
+	b.kernelBenches(a, ds)
+	b.macroBenches(a, ds)
+	if !*quick {
+		b.endToEnd(ds)
+	}
+	if err := b.serverBench(ds); err != nil {
+		return err
+	}
+
+	if err := writeReport(*out, &b.report); err != nil {
+		return err
+	}
+	printTable(os.Stderr, &b.report)
+	if *minSpeedup > 0 {
+		if err := checkSpeedups(&b.report, *minSpeedup); err != nil {
+			return err
+		}
+	}
+	if *baseline != "" {
+		if err := checkRegression(&b.report, *baseline, *tolerance); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bencher accumulates measurements into the report.
+type bencher struct {
+	minTime time.Duration
+	filter  *regexp.Regexp
+	report  Report
+}
+
+// measure runs fn in growing batches until one batch lasts at least minTime,
+// then records ns/op and per-op allocation deltas from runtime.MemStats.
+// A warmup call precedes measurement so one-time lazy work is not billed.
+func (b *bencher) measure(name, group string, fn func()) {
+	if b.filter != nil && !b.filter.MatchString(name) {
+		return
+	}
+	fn() // warmup
+	var n int64 = 1
+	for {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := int64(0); i < n; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if elapsed >= b.minTime || n >= 1e9 {
+			b.report.Results = append(b.report.Results, BenchResult{
+				Name:        name,
+				Group:       group,
+				Iters:       n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+			})
+			return
+		}
+		// Grow toward minTime like testing.B: predict with 20% headroom,
+		// at least double, at most 100x.
+		next := n * 2
+		if elapsed > 0 {
+			if predicted := int64(1.2 * float64(n) * float64(b.minTime) / float64(elapsed)); predicted > next {
+				next = predicted
+			}
+		}
+		if next > n*100 {
+			next = n * 100
+		}
+		n = next
+	}
+}
+
+// measureOnce times a single execution (after one warmup would be too
+// expensive) — used for the end-to-end suite.
+func (b *bencher) measureOnce(name, group string, fn func()) {
+	if b.filter != nil && !b.filter.MatchString(name) {
+		return
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	b.report.Results = append(b.report.Results, BenchResult{
+		Name:        name,
+		Group:       group,
+		Iters:       1,
+		NsPerOp:     float64(elapsed.Nanoseconds()),
+		AllocsPerOp: float64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  float64(after.TotalAlloc - before.TotalAlloc),
+	})
+}
+
+// pair measures the indexed and naive variants of one kernel and records
+// their speedup.
+func (b *bencher) pair(name string, indexed, naive func()) {
+	b.measure(name+"/indexed", "kernel", indexed)
+	b.measure(name+"/naive", "naive", naive)
+	iNs, iOK := b.lookup(name + "/indexed")
+	nNs, nOK := b.lookup(name + "/naive")
+	if !iOK || !nOK || iNs <= 0 {
+		return
+	}
+	b.report.Speedups = append(b.report.Speedups, Speedup{
+		Name:      name,
+		NaiveNs:   nNs,
+		IndexedNs: iNs,
+		Speedup:   nNs / iNs,
+	})
+}
+
+func (b *bencher) lookup(name string) (float64, bool) {
+	for _, r := range b.report.Results {
+		if r.Name == name {
+			return r.NsPerOp, true
+		}
+	}
+	return 0, false
+}
+
+// kernelBenches pits the indexed CondProb/Baseline kernels against the
+// frozen naive reference across predicate shapes and scopes.
+func (b *bencher) kernelBenches(a *analysis.Analyzer, ds *trace.Dataset) {
+	sys := ds.Systems
+	hw := trace.CategoryPred(trace.Hardware)
+	net := trace.CategoryPred(trace.Network)
+	sw := trace.CategoryPred(trace.Software)
+	mem := trace.HWPred(trace.Memory)
+	cases := []struct {
+		name           string
+		anchor, target trace.Pred
+		w              time.Duration
+		scope          analysis.Scope
+	}{
+		{"condprob/any-any/node", nil, nil, trace.Week, analysis.ScopeNode},
+		{"condprob/hw-any/node", hw, nil, trace.Week, analysis.ScopeNode},
+		{"condprob/hw-hw/node", hw, hw, trace.Week, analysis.ScopeNode},
+		{"condprob/mem-mem/node", mem, mem, trace.Day, analysis.ScopeNode},
+		{"condprob/hw-any/rack", hw, nil, trace.Week, analysis.ScopeRack},
+		{"condprob/net-sw/system", net, sw, trace.Week, analysis.ScopeSystem},
+	}
+	for _, c := range cases {
+		c := c
+		b.pair(c.name,
+			func() { a.CondProb(sys, c.anchor, c.target, c.w, c.scope) },
+			func() { a.CondProbNaive(sys, c.anchor, c.target, c.w, c.scope) },
+		)
+	}
+	b.pair("baseline/any/week",
+		func() { a.BaselineNodeProb(sys, trace.Week, nil) },
+		func() { a.BaselineNodeProbNaive(sys, trace.Week, nil) },
+	)
+}
+
+// macroBenches covers the composite paths built on the kernel: lift-table
+// construction and live risk scoring.
+func (b *bencher) macroBenches(a *analysis.Analyzer, ds *trace.Dataset) {
+	b.measure("lift/build-table/week", "macro", func() {
+		if _, err := a.BuildLiftTable(ds.Systems, trace.Week); err != nil {
+			panic(err)
+		}
+	})
+
+	engine, err := risk.FromDataset(ds, trace.Day)
+	if err != nil {
+		panic(err)
+	}
+	end := datasetEnd(ds)
+	for _, f := range ds.Failures {
+		if f.Time.After(end.Add(-trace.Day)) && !f.Time.After(end) {
+			if err := engine.Observe(f); err != nil {
+				panic(err)
+			}
+		}
+	}
+	b.measure("risk/topk-10", "macro", func() { engine.TopK(10, end) })
+}
+
+// endToEnd times one full parallel experiment-suite run.
+func (b *bencher) endToEnd(ds *trace.Dataset) {
+	s := experiments.NewSuite(ds)
+	b.measureOnce("experiments/suite-parallel", "e2e", func() {
+		for _, r := range s.RunAllParallel(0) {
+			if r.Err != nil {
+				panic(fmt.Sprintf("%s: %v", r.ID, r.Err))
+			}
+		}
+	})
+}
+
+// serverBench measures condprob request throughput against the real handler
+// stack (routing, query parsing, cache, JSON encoding) via httptest. The
+// query cycle revisits each distinct query, so the steady state exercises
+// the cache-hit path the way a dashboard does.
+func (b *bencher) serverBench(ds *trace.Dataset) error {
+	srv, err := server.New(server.Config{Dataset: ds})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	queries := []string{
+		"/v1/condprob?anchor=HW&window=week&scope=node",
+		"/v1/condprob?anchor=HW&target=HW&window=week&scope=node",
+		"/v1/condprob?anchor=NET&target=SW&window=day&scope=node",
+		"/v1/condprob?anchor=SW&window=week&scope=rack",
+	}
+	var reqErr error
+	i := 0
+	b.measure("server/condprob-http", "server", func() {
+		resp, err := http.Get(ts.URL + queries[i%len(queries)])
+		i++
+		if err != nil {
+			reqErr = err
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && reqErr == nil {
+			reqErr = fmt.Errorf("server: %s", resp.Status)
+		}
+	})
+	return reqErr
+}
+
+// datasetEnd returns the latest observation-period end across systems.
+func datasetEnd(ds *trace.Dataset) time.Time {
+	var end time.Time
+	for _, s := range ds.Systems {
+		if s.Period.End.After(end) {
+			end = s.Period.End
+		}
+	}
+	return end
+}
+
+func writeReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func printTable(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "hpcbench seed=%d scale=%g quick=%v %s GOMAXPROCS=%d\n",
+		rep.Seed, rep.Scale, rep.Quick, rep.GoVersion, rep.GOMAXPROCS)
+	for _, r := range rep.Results {
+		fmt.Fprintf(w, "  %-34s %-7s %10d iters  %14.0f ns/op  %10.0f allocs/op\n",
+			r.Name, r.Group, r.Iters, r.NsPerOp, r.AllocsPerOp)
+	}
+	for _, s := range rep.Speedups {
+		fmt.Fprintf(w, "  speedup %-28s %6.2fx  (naive %.0f ns -> indexed %.0f ns)\n",
+			s.Name, s.Speedup, s.NaiveNs, s.IndexedNs)
+	}
+}
+
+// checkSpeedups fails when any indexed kernel lost its edge over the naive
+// reference in this run.
+func checkSpeedups(rep *Report, min float64) error {
+	var bad []string
+	for _, s := range rep.Speedups {
+		if s.Speedup < min {
+			bad = append(bad, fmt.Sprintf("%s: %.2fx < %.2fx", s.Name, s.Speedup, min))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("hpcbench: speedup regressions:\n  %s", joinLines(bad))
+	}
+	return nil
+}
+
+// checkRegression compares this run's kernel benches against a committed
+// baseline report and fails when any is more than tolerance slower.
+func checkRegression(rep *Report, baselinePath string, tolerance float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	cur := map[string]BenchResult{}
+	for _, r := range rep.Results {
+		cur[r.Name] = r
+	}
+	var bad []string
+	checked := 0
+	for _, b := range base.Results {
+		if b.Group != "kernel" {
+			continue
+		}
+		c, ok := cur[b.Name]
+		if !ok {
+			continue // bench removed or filtered out of this run
+		}
+		checked++
+		if c.NsPerOp > b.NsPerOp*(1+tolerance) {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f ns/op (+%.0f%%, tolerance %.0f%%)",
+				b.Name, c.NsPerOp, b.NsPerOp, 100*(c.NsPerOp/b.NsPerOp-1), 100*tolerance))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("baseline %s: no kernel benches in common with this run", baselinePath)
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("hpcbench: ns/op regressions vs %s:\n  %s", baselinePath, joinLines(bad))
+	}
+	fmt.Fprintf(os.Stderr, "hpcbench: %d kernel benches within %.0f%% of %s\n", checked, 100*tolerance, baselinePath)
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}

@@ -163,6 +163,9 @@ var (
 	SWPred = trace.SWPred
 	// EnvPred matches environment failures of one subtype.
 	EnvPred = trace.EnvPred
+	// PredOf wraps an arbitrary filter function as a predicate; such
+	// predicates bypass the class-partitioned index fast path.
+	PredOf = trace.PredOf
 )
 
 // GenerateOptions configures synthetic dataset generation.

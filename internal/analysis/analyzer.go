@@ -29,6 +29,11 @@ type Analyzer struct {
 	// Jobs is the job-log index (usable only for systems with job logs).
 	Jobs *trace.JobIndex
 
+	// didx is the class-partitioned dataset index behind the indexed
+	// conditional-probability kernel. Nil only on hand-assembled Analyzers,
+	// which fall back to the naive scans.
+	didx *DatasetIndex
+
 	// maint maps nodes to sorted times of unscheduled hardware-related
 	// maintenance events.
 	maint map[trace.NodeKey][]time.Time
@@ -41,6 +46,7 @@ func New(ds *trace.Dataset) *Analyzer {
 		DS:    ds,
 		Index: trace.NewIndex(ds.Failures),
 		Jobs:  trace.NewJobIndex(ds.Jobs),
+		didx:  NewDatasetIndex(ds),
 		maint: make(map[trace.NodeKey][]time.Time),
 	}
 	for _, m := range ds.Maintenance {

@@ -87,8 +87,53 @@ func finishCond(r *CondResult) {
 // BaselineNodeProb estimates the probability that a random node of the
 // given systems experiences at least one failure matching pred within a
 // random window of length w: each system's measurement period is cut into
-// consecutive windows and every (node, window) cell is one trial.
+// consecutive windows and every (node, window) cell is one trial. It
+// answers from the dataset index; BaselineNodeProbNaive is the reference
+// scan it must agree with.
 func (a *Analyzer) BaselineNodeProb(systems []trace.SystemInfo, w time.Duration, pred trace.Pred) stats.Proportion {
+	if a.didx == nil {
+		return a.BaselineNodeProbNaive(systems, w, pred)
+	}
+	return a.baselineFromIndex(systems, w, pred, scratchFor(systems))
+}
+
+// baselineFromIndex is BaselineNodeProb over a caller-provided scratch, so
+// CondProbCtx can share one scratch between the baseline and the scan.
+func (a *Analyzer) baselineFromIndex(systems []trace.SystemInfo, w time.Duration, pred trace.Pred, sc *condScratch) stats.Proportion {
+	cls, fil := routePred(pred)
+	successes, trials := 0, 0
+	for _, s := range systems {
+		nw := int(s.Period.Duration() / w)
+		if nw <= 0 {
+			continue
+		}
+		trials += nw * s.Nodes
+		si := a.didx.system(s.ID)
+		if si == nil {
+			continue
+		}
+		sc.next()
+		for _, p := range si.byClass[cls] {
+			f := &si.fails[p]
+			if fil != nil && !fil.Match(*f) {
+				continue
+			}
+			wi := int64(f.Time.Sub(s.Period.Start) / w)
+			if wi < 0 || wi >= int64(nw) {
+				continue
+			}
+			if sc.markNodeWin(f.Node, wi) {
+				successes++
+			}
+		}
+	}
+	return stats.Proportion{Successes: successes, Trials: trials}
+}
+
+// BaselineNodeProbNaive is the reference implementation of
+// BaselineNodeProb: a full scan with map-based cell deduplication. It is
+// retained for differential tests and benchmarks against the indexed path.
+func (a *Analyzer) BaselineNodeProbNaive(systems []trace.SystemInfo, w time.Duration, pred trace.Pred) stats.Proportion {
 	successes, trials := 0, 0
 	for _, s := range systems {
 		nw := int(s.Period.Duration() / w)
@@ -135,13 +180,103 @@ func (a *Analyzer) CondProb(systems []trace.SystemInfo, anchorPred, targetPred t
 }
 
 // CondProbCtx is CondProb with cooperative cancellation: the scan checks ctx
-// once per system and every 1024 anchor failures, and returns ctx.Err() with
-// a partial (unfinished) result as soon as the context is done. This is the
+// once per system and every 1024 anchors, and returns ctx.Err() with a
+// partial (unfinished) result as soon as the context is done. This is the
 // hot loop of every figure, so it is the cancellation point for the whole
 // experiment suite.
+//
+// It answers from the dataset index: anchors come from the anchor class's
+// posting list clipped to the period by one binary search, and per-anchor
+// window membership is resolved against the target class's node, rack or
+// system posting lists. CondProbNaiveCtx is the reference scan the indexed
+// kernel must agree with bit for bit.
 func (a *Analyzer) CondProbCtx(ctx context.Context, systems []trace.SystemInfo, anchorPred, targetPred trace.Pred, w time.Duration, scope Scope) (CondResult, error) {
+	if a.didx == nil {
+		return a.CondProbNaiveCtx(ctx, systems, anchorPred, targetPred, w, scope)
+	}
 	res := CondResult{Window: w, Scope: scope}
-	res.Baseline = a.BaselineNodeProb(systems, w, targetPred)
+	sc := scratchFor(systems)
+	res.Baseline = a.baselineFromIndex(systems, w, targetPred, sc)
+
+	aCls, aFil := routePred(anchorPred)
+	tCls, tFil := routePred(targetPred)
+	scanned := 0
+	for _, s := range systems {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
+		if scope == ScopeRack && a.DS.Layouts[s.ID] == nil {
+			continue
+		}
+		si := a.didx.system(s.ID)
+		if si == nil {
+			continue
+		}
+		// Clip anchors whose window would extend past the measurement
+		// period, so truncated exposure does not dilute the estimate.
+		anchors := si.byClass[aCls]
+		anchors = anchors[:upperBoundAnchors(si.times, anchors, s.Period.End, w)]
+		for _, p := range anchors {
+			scanned++
+			if scanned%1024 == 0 {
+				if err := ctx.Err(); err != nil {
+					return res, err
+				}
+			}
+			f := &si.fails[p]
+			if aFil != nil && !aFil.Match(*f) {
+				continue
+			}
+			iv := trace.Interval{Start: f.Time.Add(time.Nanosecond), End: f.Time.Add(w)}
+			switch scope {
+			case ScopeNode:
+				res.Conditional.Trials++
+				if si.nodeAny(f.Node, tCls, tFil, iv) {
+					res.Conditional.Successes++
+				}
+			case ScopeRack:
+				mates := si.mates[f.Node]
+				if len(mates) == 0 {
+					continue
+				}
+				res.Conditional.Trials += len(mates)
+				// Early out: when the whole rack is quiet inside the
+				// window, no per-mate search can succeed.
+				r := si.rackOf[f.Node]
+				if !si.anyIn(si.rackClass[nodeClassKey{r, tCls}], tFil, iv) {
+					continue
+				}
+				for _, m := range mates {
+					if si.nodeAny(m, tCls, tFil, iv) {
+						res.Conditional.Successes++
+					}
+				}
+			case ScopeSystem:
+				// Count distinct other nodes with a matching failure in
+				// the window by scanning the window's posting list once.
+				res.Conditional.Trials += s.Nodes - 1
+				sc.next()
+				res.Conditional.Successes += si.distinctOther(f.Node, tCls, tFil, iv, sc)
+			}
+		}
+	}
+	finishCond(&res)
+	return res, nil
+}
+
+// CondProbNaive is CondProbNaiveCtx without cancellation.
+func (a *Analyzer) CondProbNaive(systems []trace.SystemInfo, anchorPred, targetPred trace.Pred, w time.Duration, scope Scope) CondResult {
+	res, _ := a.CondProbNaiveCtx(context.Background(), systems, anchorPred, targetPred, w, scope)
+	return res
+}
+
+// CondProbNaiveCtx is the reference implementation of CondProbCtx: a full
+// scan of every system's failures with per-anchor index probes. It is
+// retained for differential tests and benchmarks against the indexed path
+// and must stay semantically frozen.
+func (a *Analyzer) CondProbNaiveCtx(ctx context.Context, systems []trace.SystemInfo, anchorPred, targetPred trace.Pred, w time.Duration, scope Scope) (CondResult, error) {
+	res := CondResult{Window: w, Scope: scope}
+	res.Baseline = a.BaselineNodeProbNaive(systems, w, targetPred)
 
 	scanned := 0
 	for _, s := range systems {
@@ -242,17 +377,23 @@ type FollowUp struct {
 // the target (any failure by default) follows within w at the given scope —
 // Figure 1a (ScopeNode), Figure 2a (ScopeRack) and Figure 3 (ScopeSystem).
 func (a *Analyzer) FollowUpByType(systems []trace.SystemInfo, w time.Duration, scope Scope) []FollowUp {
-	out := make([]FollowUp, 0, len(trace.FigureOrder)+1)
+	type bar struct {
+		label string
+		pred  trace.Pred
+	}
+	bars := make([]bar, 0, len(trace.FigureOrder)+2)
 	for _, c := range trace.FigureOrder {
-		r := a.CondProb(systems, trace.CategoryPred(c), nil, w, scope)
-		out = append(out, FollowUp{Label: c.String(), CondResult: r})
+		bars = append(bars, bar{c.String(), trace.CategoryPred(c)})
 	}
 	// Memory and CPU hardware anchors (the right-most bars of the paper's
 	// figures).
 	for _, hw := range []trace.HWComponent{trace.Memory, trace.CPU} {
-		r := a.CondProb(systems, trace.HWPred(hw), nil, w, scope)
-		out = append(out, FollowUp{Label: "HW/" + hw.String(), CondResult: r})
+		bars = append(bars, bar{"HW/" + hw.String(), trace.HWPred(hw)})
 	}
+	out := make([]FollowUp, len(bars))
+	Shared().ForEach(len(bars), func(i int) {
+		out[i] = FollowUp{Label: bars[i].label, CondResult: a.CondProb(systems, bars[i].pred, nil, w, scope)}
+	})
 	return out
 }
 
@@ -269,23 +410,26 @@ type PairwiseResult struct {
 // category (plus Memory and CPU), at the given scope and window — Figures
 // 1b and 2b.
 func (a *Analyzer) PairwiseByType(systems []trace.SystemInfo, w time.Duration, scope Scope) []PairwiseResult {
-	out := make([]PairwiseResult, 0, len(trace.FigureOrder)+2)
+	type group struct {
+		label  string
+		target trace.Pred
+	}
+	groups := make([]group, 0, len(trace.FigureOrder)+2)
 	for _, c := range trace.FigureOrder {
-		target := trace.CategoryPred(c)
-		out = append(out, PairwiseResult{
-			Label:     c.String(),
-			AfterAny:  a.CondProb(systems, nil, target, w, scope),
-			AfterSame: a.CondProb(systems, target, target, w, scope),
-		})
+		groups = append(groups, group{c.String(), trace.CategoryPred(c)})
 	}
 	for _, hw := range []trace.HWComponent{trace.Memory, trace.CPU} {
-		target := trace.HWPred(hw)
-		out = append(out, PairwiseResult{
-			Label:     "HW/" + hw.String(),
-			AfterAny:  a.CondProb(systems, nil, target, w, scope),
-			AfterSame: a.CondProb(systems, target, target, w, scope),
-		})
+		groups = append(groups, group{"HW/" + hw.String(), trace.HWPred(hw)})
 	}
+	out := make([]PairwiseResult, len(groups))
+	Shared().ForEach(len(groups), func(i int) {
+		g := groups[i]
+		out[i] = PairwiseResult{
+			Label:     g.label,
+			AfterAny:  a.CondProb(systems, nil, g.target, w, scope),
+			AfterSame: a.CondProb(systems, g.target, g.target, w, scope),
+		}
+	})
 	return out
 }
 
@@ -294,12 +438,14 @@ func (a *Analyzer) PairwiseByType(systems []trace.SystemInfo, w time.Duration, s
 // the quantity behind Section III.A.3. Rows and columns follow
 // trace.Categories order.
 func (a *Analyzer) PairMatrix(systems []trace.SystemInfo, w time.Duration) [][]CondResult {
-	out := make([][]CondResult, len(trace.Categories))
-	for i, x := range trace.Categories {
-		out[i] = make([]CondResult, len(trace.Categories))
-		for j, y := range trace.Categories {
-			out[i][j] = a.CondProb(systems, trace.CategoryPred(x), trace.CategoryPred(y), w, ScopeNode)
-		}
+	n := len(trace.Categories)
+	out := make([][]CondResult, n)
+	for i := range out {
+		out[i] = make([]CondResult, n)
 	}
+	Shared().ForEach(n*n, func(k int) {
+		i, j := k/n, k%n
+		out[i][j] = a.CondProb(systems, trace.CategoryPred(trace.Categories[i]), trace.CategoryPred(trace.Categories[j]), w, ScopeNode)
+	})
 	return out
 }

@@ -1,0 +1,304 @@
+package analysis
+
+import (
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// DatasetIndex precomputes, once per dataset, everything the conditional-
+// probability kernel needs to answer an (anchor, target, window, scope)
+// query by binary search instead of a full scan: per-system time-sorted
+// event timelines with class-partitioned posting lists at system, node and
+// rack granularity, plus each node's precomputed rack-mates. A posting list
+// stores positions into the system timeline in time order, so an event's
+// position in its list doubles as the cumulative count of earlier same-class
+// events and a count-in-window is two binary searches.
+//
+// Predicates built from the standard constructors route to the posting list
+// of their trace.Class; PredOf predicates (trace.ClassOpaque) fall back to
+// the ClassAny timeline filtered per event, which is still window-bounded by
+// binary search. The index is immutable after construction and safe for
+// concurrent readers.
+type DatasetIndex struct {
+	sys map[int]*systemIndex
+}
+
+// nodeClassKey addresses one (node, class) or (rack, class) posting list.
+type nodeClassKey struct {
+	id  int
+	cls trace.Class
+}
+
+// systemIndex holds the per-system timelines and posting lists.
+type systemIndex struct {
+	fails []trace.Failure // the system's failures in dataset (time) order
+	times []time.Time     // times[i] == fails[i].Time, for dense access
+
+	byClass   [trace.NumClasses][]int32
+	nodeClass map[nodeClassKey][]int32
+	rackClass map[nodeClassKey][]int32
+
+	// rackOf and mates mirror the system's layout: rack per placed node and
+	// each placed node's other rack members, precomputed so rack-scope scans
+	// allocate nothing per anchor. Nil maps for systems without layouts.
+	rackOf map[int]int
+	mates  map[int][]int
+}
+
+// NewDatasetIndex builds the index over a sorted dataset. Every system
+// mentioned by ds.Systems or by a failure record gets an entry, so queries
+// over empty or unknown systems degrade to empty posting lists.
+func NewDatasetIndex(ds *trace.Dataset) *DatasetIndex {
+	x := &DatasetIndex{sys: make(map[int]*systemIndex, len(ds.Systems))}
+	sysOf := func(id int) *systemIndex {
+		si := x.sys[id]
+		if si == nil {
+			si = &systemIndex{
+				nodeClass: make(map[nodeClassKey][]int32),
+				rackClass: make(map[nodeClassKey][]int32),
+			}
+			x.sys[id] = si
+		}
+		return si
+	}
+	for _, s := range ds.Systems {
+		sysOf(s.ID)
+	}
+	for _, f := range ds.Failures {
+		si := sysOf(f.System)
+		si.fails = append(si.fails, f)
+	}
+	var clsBuf [4]trace.Class
+	for id, si := range x.sys {
+		if lay := ds.Layouts[id]; lay != nil {
+			nodes := lay.Nodes()
+			si.rackOf = make(map[int]int, len(nodes))
+			si.mates = make(map[int][]int, len(nodes))
+			for _, n := range nodes {
+				si.rackOf[n] = lay.Rack(n)
+				si.mates[n] = lay.RackMates(n)
+			}
+		}
+		si.times = make([]time.Time, len(si.fails))
+		for i := range si.fails {
+			f := &si.fails[i]
+			si.times[i] = f.Time
+			p := int32(i)
+			for _, c := range trace.ClassesOf(*f, clsBuf[:0]) {
+				si.byClass[c] = append(si.byClass[c], p)
+				k := nodeClassKey{f.Node, c}
+				si.nodeClass[k] = append(si.nodeClass[k], p)
+				if r, ok := si.rackOf[f.Node]; ok {
+					rk := nodeClassKey{r, c}
+					si.rackClass[rk] = append(si.rackClass[rk], p)
+				}
+			}
+		}
+	}
+	return x
+}
+
+// system returns the per-system index, or nil when the system has no entry.
+func (x *DatasetIndex) system(id int) *systemIndex {
+	if x == nil {
+		return nil
+	}
+	return x.sys[id]
+}
+
+// Systems returns the number of indexed systems.
+func (x *DatasetIndex) Systems() int { return len(x.sys) }
+
+// Events returns the total number of indexed failures.
+func (x *DatasetIndex) Events() int {
+	n := 0
+	for _, si := range x.sys {
+		n += len(si.fails)
+	}
+	return n
+}
+
+// CountInWindow returns the number of failures of the system matching pred
+// inside iv, from the cumulative posting-list positions: two binary searches
+// for class-routed predicates, a window-bounded filter for opaque ones.
+func (x *DatasetIndex) CountInWindow(system int, pred trace.Pred, iv trace.Interval) int {
+	si := x.system(system)
+	if si == nil {
+		return 0
+	}
+	cls, fil := routePred(pred)
+	list := si.byClass[cls]
+	lo := lowerBound(si.times, list, iv.Start)
+	if fil == nil {
+		return lowerBound(si.times, list, iv.End) - lo
+	}
+	n := 0
+	for i := lo; i < len(list) && si.times[list[i]].Before(iv.End); i++ {
+		if fil.Match(si.fails[list[i]]) {
+			n++
+		}
+	}
+	return n
+}
+
+// routePred splits a predicate into the posting-list class that answers it
+// and the residual per-event filter: class-routed predicates need no filter,
+// opaque ones scan the ClassAny timeline and keep the predicate as filter.
+func routePred(pred trace.Pred) (trace.Class, trace.Pred) {
+	cls := pred.Class()
+	if cls == trace.ClassOpaque {
+		return trace.ClassAny, pred
+	}
+	return cls, nil
+}
+
+// lowerBound returns the first position of list whose event time is not
+// before t. list holds positions into times in ascending time order.
+func lowerBound(times []time.Time, list []int32, t time.Time) int {
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if times[list[mid]].Before(t) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBoundAnchors returns the number of leading list positions whose
+// events start a w-window fitting inside the period (time + w <= period
+// end), the indexed form of the naive scan's per-anchor window clipping.
+func upperBoundAnchors(times []time.Time, list []int32, periodEnd time.Time, w time.Duration) int {
+	cutoff := periodEnd.Add(-w)
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if times[list[mid]].After(cutoff) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// anyIn reports whether list has an event inside iv passing fil (nil fil
+// accepts every event — the class-routed fast path: one binary search).
+func (si *systemIndex) anyIn(list []int32, fil trace.Pred, iv trace.Interval) bool {
+	lo := lowerBound(si.times, list, iv.Start)
+	if fil == nil {
+		return lo < len(list) && si.times[list[lo]].Before(iv.End)
+	}
+	for i := lo; i < len(list) && si.times[list[i]].Before(iv.End); i++ {
+		if fil.Match(si.fails[list[i]]) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeAny reports whether the node has an event of cls inside iv passing fil.
+func (si *systemIndex) nodeAny(node int, cls trace.Class, fil trace.Pred, iv trace.Interval) bool {
+	return si.anyIn(si.nodeClass[nodeClassKey{node, cls}], fil, iv)
+}
+
+// distinctOther counts the distinct nodes other than exclude with at least
+// one event of cls inside iv passing fil, deduplicating through sc.
+// Callers advance sc.next() first.
+func (si *systemIndex) distinctOther(exclude int, cls trace.Class, fil trace.Pred, iv trace.Interval, sc *condScratch) int {
+	list := si.byClass[cls]
+	n := 0
+	for i := lowerBound(si.times, list, iv.Start); i < len(list) && si.times[list[i]].Before(iv.End); i++ {
+		f := &si.fails[list[i]]
+		if f.Node == exclude {
+			continue
+		}
+		if fil != nil && !fil.Match(*f) {
+			continue
+		}
+		if sc.markNode(f.Node) {
+			n++
+		}
+	}
+	return n
+}
+
+// condScratch is the per-query deduplication state of the indexed kernel:
+// epoch-stamped per-node marks (with an overflow map for node IDs outside
+// the dense range) replace the per-anchor maps of the naive scan. One
+// scratch serves one CondProb call; queries never share one concurrently.
+type condScratch struct {
+	stamp []uint64
+	val   []int64
+	epoch uint64
+
+	overStamp map[int]uint64
+	overVal   map[int]int64
+}
+
+func newCondScratch(nodes int) *condScratch {
+	return &condScratch{stamp: make([]uint64, nodes), val: make([]int64, nodes)}
+}
+
+// next opens a fresh deduplication scope; prior marks become stale.
+func (sc *condScratch) next() { sc.epoch++ }
+
+func (sc *condScratch) overflow() (map[int]uint64, map[int]int64) {
+	if sc.overStamp == nil {
+		sc.overStamp = make(map[int]uint64)
+		sc.overVal = make(map[int]int64)
+	}
+	return sc.overStamp, sc.overVal
+}
+
+// markNode marks a node in the current scope, reporting whether it was new.
+func (sc *condScratch) markNode(n int) bool {
+	if n >= 0 && n < len(sc.stamp) {
+		if sc.stamp[n] == sc.epoch {
+			return false
+		}
+		sc.stamp[n] = sc.epoch
+		return true
+	}
+	over, _ := sc.overflow()
+	if over[n] == sc.epoch {
+		return false
+	}
+	over[n] = sc.epoch
+	return true
+}
+
+// markNodeWin marks a (node, window-index) cell in the current scope,
+// reporting whether it was new. Window indices arrive nondecreasing per
+// node (events are time-sorted), so one remembered value per node suffices.
+func (sc *condScratch) markNodeWin(n int, wi int64) bool {
+	if n >= 0 && n < len(sc.stamp) {
+		if sc.stamp[n] == sc.epoch && sc.val[n] == wi {
+			return false
+		}
+		sc.stamp[n] = sc.epoch
+		sc.val[n] = wi
+		return true
+	}
+	over, vals := sc.overflow()
+	if over[n] == sc.epoch && vals[n] == wi {
+		return false
+	}
+	over[n] = sc.epoch
+	vals[n] = wi
+	return true
+}
+
+// scratchFor sizes a scratch for the densest system under query.
+func scratchFor(systems []trace.SystemInfo) *condScratch {
+	max := 0
+	for _, s := range systems {
+		if s.Nodes > max {
+			max = s.Nodes
+		}
+	}
+	return newCondScratch(max)
+}

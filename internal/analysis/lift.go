@@ -146,17 +146,28 @@ func (a *Analyzer) BuildLiftTable(systems []trace.SystemInfo, w time.Duration) (
 		Entries:          make(map[LiftKey]LiftEntry),
 	}
 	t.BaselineCI = t.Baseline.WilsonCI(0.95)
-	for _, s := range systems {
-		t.BaselineBySystem[s.ID] = a.BaselineNodeProb([]trace.SystemInfo{s}, w, nil)
+	perSystem := make([]stats.Proportion, len(systems))
+	Shared().ForEach(len(systems), func(i int) {
+		perSystem[i] = a.BaselineNodeProb(systems[i:i+1], w, nil)
+	})
+	for i, s := range systems {
+		t.BaselineBySystem[s.ID] = perSystem[i]
 	}
+	keys := make([]LiftKey, 0, 3*(len(trace.Categories)+2))
 	for _, key := range liftAnchors() {
-		pred := key.predOf()
 		for _, scope := range []Scope{ScopeNode, ScopeRack, ScopeSystem} {
 			k := key
 			k.Scope = scope
-			res := a.CondProb(systems, pred, nil, w, scope)
-			t.Entries[k] = LiftEntry{Key: k, Result: res}
+			keys = append(keys, k)
 		}
+	}
+	entries := make([]LiftEntry, len(keys))
+	Shared().ForEach(len(keys), func(i int) {
+		k := keys[i]
+		entries[i] = LiftEntry{Key: k, Result: a.CondProb(systems, k.predOf(), nil, w, k.Scope)}
+	})
+	for _, e := range entries {
+		t.Entries[e.Key] = e
 	}
 	return t, nil
 }

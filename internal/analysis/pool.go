@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Pool is the sharded worker pool behind multi-query fan-out: lift-table
+// and pair-matrix construction, the experiment suite's parallel runner and
+// the serving layer's cache-miss computations all route through one. It has
+// two modes: ForEach shards a fixed-size task list across ephemeral worker
+// goroutines (no goroutine outlives the call), and Do admits one caller-run
+// task under the pool's concurrency limit, for callers that already live on
+// their own goroutine (e.g. HTTP handlers).
+type Pool struct {
+	workers int
+	slots   chan struct{}
+}
+
+// NewPool builds a pool of the given width; workers <= 0 means GOMAXPROCS.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, slots: make(chan struct{}, workers)}
+}
+
+var (
+	sharedOnce sync.Once
+	sharedPool *Pool
+)
+
+// Shared returns the process-wide pool, sized to GOMAXPROCS at first use.
+func Shared() *Pool {
+	sharedOnce.Do(func() { sharedPool = NewPool(0) })
+	return sharedPool
+}
+
+// Workers returns the pool's width.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), sharding the
+// index space across min(width, n) goroutines in strides (worker k handles
+// k, k+W, ...). It returns once every invocation has finished. fn is always
+// called for every index — cooperative cancellation belongs inside fn, so
+// abandoned tasks can record that they never ran.
+func (p *Pool) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func(k int) {
+			defer wg.Done()
+			for i := k; i < n; i += w {
+				fn(i)
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// Do runs fn on the calling goroutine under one of the pool's admission
+// slots, bounding how many expensive computations run at once across every
+// caller sharing the pool. It returns ctx.Err() without running fn when the
+// context is done before a slot frees up.
+func (p *Pool) Do(ctx context.Context, fn func() error) error {
+	select {
+	case p.slots <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	defer func() { <-p.slots }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return fn()
+}

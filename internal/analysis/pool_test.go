@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForEachCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		p := NewPool(workers)
+		const n = 100
+		var hits [n]int32
+		p.ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestPoolForEachEmptyAndDefaults(t *testing.T) {
+	p := NewPool(0)
+	if p.Workers() <= 0 {
+		t.Fatalf("default width = %d", p.Workers())
+	}
+	ran := false
+	p.ForEach(0, func(int) { ran = true })
+	p.ForEach(-3, func(int) { ran = true })
+	if ran {
+		t.Error("ForEach must not invoke fn for n <= 0")
+	}
+}
+
+func TestPoolDoRunsUnderSlotAndPropagatesError(t *testing.T) {
+	p := NewPool(2)
+	wantErr := errors.New("boom")
+	if err := p.Do(context.Background(), func() error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Errorf("Do error = %v, want %v", err, wantErr)
+	}
+	if err := p.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Errorf("Do = %v", err)
+	}
+}
+
+func TestPoolDoHonorsCancelledContext(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := p.Do(ctx, func() error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("Do on cancelled ctx = %v", err)
+	}
+	if ran {
+		t.Error("fn must not run once the context is done")
+	}
+}
+
+func TestPoolDoBlocksWhenFull(t *testing.T) {
+	p := NewPool(1)
+	hold := make(chan struct{})
+	inside := make(chan struct{})
+	go func() {
+		_ = p.Do(context.Background(), func() error {
+			close(inside)
+			<-hold
+			return nil
+		})
+	}()
+	<-inside
+	// With the only slot held, a second Do under a cancelled context must
+	// give up rather than run.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Do(ctx, func() error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Errorf("blocked Do = %v, want context.Canceled", err)
+	}
+	close(hold)
+}
+
+func TestSharedPoolSingleton(t *testing.T) {
+	if Shared() != Shared() {
+		t.Error("Shared must return one process-wide pool")
+	}
+}

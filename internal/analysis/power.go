@@ -78,7 +78,7 @@ func (k PowerEventKind) Pred() trace.Pred {
 	case AfterUPSFail:
 		return trace.EnvPred(trace.UPS)
 	default:
-		return func(trace.Failure) bool { return false }
+		return trace.PredOf(func(trace.Failure) bool { return false })
 	}
 }
 

@@ -47,11 +47,11 @@ func TestPowerEventKindPreds(t *testing.T) {
 		{AfterPSUFail, psuAt(0, 1)},
 	}
 	for _, c := range cases {
-		if !c.kind.Pred()(c.f) {
+		if !c.kind.Pred().Match(c.f) {
 			t.Errorf("%s predicate should match its anchor", c.kind)
 		}
 	}
-	if AfterOutage.Pred()(envAt(0, 1, trace.UPS)) {
+	if AfterOutage.Pred().Match(envAt(0, 1, trace.UPS)) {
 		t.Error("outage predicate must not match UPS failures")
 	}
 }
@@ -215,7 +215,7 @@ func TestPowerKindStrings(t *testing.T) {
 	var hits int
 	pred := PowerEventKind(99).Pred()
 	for _, f := range []trace.Failure{hwAt(0, 1), envAt(0, 1, trace.UPS)} {
-		if pred(f) {
+		if pred.Match(f) {
 			hits++
 		}
 	}

@@ -42,7 +42,7 @@ func (k CoolingEventKind) Pred() trace.Pred {
 	case AfterChillerFail:
 		return trace.EnvPred(trace.Chillers)
 	default:
-		return func(trace.Failure) bool { return false }
+		return trace.PredOf(func(trace.Failure) bool { return false })
 	}
 }
 

@@ -48,10 +48,10 @@ func TestTemperatureSummary(t *testing.T) {
 func TestCoolingPreds(t *testing.T) {
 	fan := trace.Failure{System: 1, Node: 0, Time: day(1), Category: trace.Hardware, HW: trace.Fan}
 	chiller := trace.Failure{System: 1, Node: 0, Time: day(1), Category: trace.Environment, Env: trace.Chillers}
-	if !AfterFanFail.Pred()(fan) || AfterFanFail.Pred()(chiller) {
+	if !AfterFanFail.Pred().Match(fan) || AfterFanFail.Pred().Match(chiller) {
 		t.Error("fan predicate wrong")
 	}
-	if !AfterChillerFail.Pred()(chiller) || AfterChillerFail.Pred()(fan) {
+	if !AfterChillerFail.Pred().Match(chiller) || AfterChillerFail.Pred().Match(fan) {
 		t.Error("chiller predicate wrong")
 	}
 	if AfterFanFail.String() != "FanFail" || AfterChillerFail.String() != "ChillerFail" {

@@ -18,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/hpcfail/hpcfail/internal/validate"
@@ -167,6 +169,56 @@ func PolicyFlags(fs *flag.FlagSet, defaultMode string) func() (validate.Policy, 
 		p.Mode = mode
 		p.MaxSkipRate = *maxSkip
 		return p, nil
+	}
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile on fs and returns a
+// starter for the command body to call after parsing. The starter begins CPU
+// profiling when requested and returns a stop func the body must run on every
+// exit path (defer it): stop finishes the CPU profile and, when -memprofile
+// was given, forces a GC and writes the heap profile.
+func ProfileFlags(fs *flag.FlagSet) func() (func() error, error) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return func() (func() error, error) {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("cpuprofile: %w", err)
+			}
+			cpuFile = f
+		}
+		stopped := false
+		return func() error {
+			if stopped {
+				return nil
+			}
+			stopped = true
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					return fmt.Errorf("cpuprofile: %w", err)
+				}
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					return fmt.Errorf("memprofile: %w", err)
+				}
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					f.Close()
+					return fmt.Errorf("memprofile: %w", err)
+				}
+				return f.Close()
+			}
+			return nil
+		}, nil
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -154,4 +155,55 @@ func TestVersionFlag(t *testing.T) {
 func TestPrintReportNilSafe(t *testing.T) {
 	PrintReport("t", nil, 5) // must not panic
 	PrintReport("t", &validate.Report{}, 5)
+}
+
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	profileOf := ProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := profileOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to write.
+	x := 0
+	for i := 0; i < 1e6; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("second stop must be a no-op, got %v", err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestProfileFlagsOff(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	profileOf := ProfileFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	stop, err := profileOf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop with no profiles requested = %v", err)
+	}
 }

@@ -9,9 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/simulate"
@@ -154,36 +152,21 @@ func (s *Suite) RunAllParallel(workers int) []Result {
 
 // RunAllParallelCtx is RunAllParallel with cooperative cancellation: once
 // ctx is done, experiments that have not started record ctx.Err() as their
-// Result.Err instead of running, and the call returns ctx.Err(). Every
-// spawned goroutine is joined before returning, so cancellation never leaks
-// goroutines; results keep RunAll order.
+// Result.Err instead of running, and the call returns ctx.Err(). The fan-out
+// goes through the analysis worker pool, whose shard goroutines are all
+// joined before returning, so cancellation never leaks goroutines; results
+// keep RunAll order.
 func (s *Suite) RunAllParallelCtx(ctx context.Context, workers int) ([]Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	runners := All()
 	out := make([]Result, len(runners))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, r := range runners {
-		wg.Add(1)
-		go func(i int, r Runner) {
-			defer wg.Done()
-			select {
-			case sem <- struct{}{}:
-			case <-ctx.Done():
-				out[i] = Result{ID: r.ID, Title: r.Title, Err: ctx.Err()}
-				return
-			}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				out[i] = Result{ID: r.ID, Title: r.Title, Err: err}
-				return
-			}
-			out[i] = r.Run(s)
-		}(i, r)
-	}
-	wg.Wait()
+	analysis.NewPool(workers).ForEach(len(runners), func(i int) {
+		r := runners[i]
+		if err := ctx.Err(); err != nil {
+			out[i] = Result{ID: r.ID, Title: r.Title, Err: err}
+			return
+		}
+		out[i] = r.Run(s)
+	})
 	return out, ctx.Err()
 }
 

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// TestRunAllParallelConcurrentIndexReads runs the parallel experiment suite
+// while other goroutines hammer the same analyzer's indexed kernel. Under
+// -race this proves the dataset index stays read-only during the suite's
+// pooled fan-out — the regression this guards against is query-evaluation
+// state leaking into the shared index.
+func TestRunAllParallelConcurrentIndexReads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite run")
+	}
+	ds, err := simulate.Generate(simulate.Options{Seed: 3, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(ds)
+	want := s.A.CondProb(ds.Systems, trace.CategoryPred(trace.Hardware), nil, trace.Week, analysis.ScopeSystem)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := s.A.CondProb(ds.Systems, trace.CategoryPred(trace.Hardware), nil, trace.Week, analysis.ScopeSystem)
+				if got.Conditional != want.Conditional {
+					t.Errorf("concurrent query diverged: %+v vs %+v", got.Conditional, want.Conditional)
+					return
+				}
+			}
+		}()
+	}
+	out, err := s.RunAllParallelCtx(context.Background(), 4)
+	close(stop)
+	readers.Wait()
+	if err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	if len(out) != len(All()) {
+		t.Fatalf("got %d results, want %d", len(out), len(All()))
+	}
+	for _, r := range out {
+		if r.Err != nil {
+			t.Errorf("%s: %v", r.ID, r.Err)
+		}
+	}
+}
+
+// TestRunAllParallelCancelMarksUnstarted pins the cancellation contract the
+// pooled rewrite must keep: with a pre-cancelled context every runner
+// records ctx.Err() and the call reports it.
+func TestRunAllParallelCancelMarksUnstarted(t *testing.T) {
+	ds, err := simulate.Generate(simulate.Options{Seed: 3, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSuite(ds)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := s.RunAllParallelCtx(ctx, 2)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, r := range out {
+		if r.Err != context.Canceled {
+			t.Errorf("%s: Err = %v, want context.Canceled", r.ID, r.Err)
+		}
+		if r.ID == "" {
+			t.Error("unstarted result must keep its runner ID")
+		}
+	}
+}

@@ -93,7 +93,7 @@ func (e *Engine) Score(system, node int, now time.Time) (Score, error) {
 	}
 	e.mu.RLock()
 	evs := e.windowEvents(system, now)
-	sc := e.scoreLocked(s, node, now, evs)
+	sc := e.scoreFromLifts(s, node, now, e.liftsFor(s, now, evs))
 	e.mu.RUnlock()
 	return sc, nil
 }
@@ -111,54 +111,122 @@ func (e *Engine) windowEvents(system int, now time.Time) []trace.Failure {
 	return evs[lo:hi]
 }
 
-// scoreLocked computes one node's score from the given in-window events.
-// Callers must hold e.mu (read or write).
-func (e *Engine) scoreLocked(s trace.SystemInfo, node int, now time.Time, evs []trace.Failure) Score {
+// scopeLift is one event's precomputed contribution at one scope: the
+// clamped conditional, the decayed excess over the system base rate, and
+// the CI-propagated excess bounds. None of these depend on the scored node,
+// only on which scope connects the node to the event.
+type scopeLift struct {
+	ok             bool
+	cond           float64
+	excess, lo, hi float64
+}
+
+// eventLift is one in-window event with everything node-independent
+// precomputed: age, decay weight, the event node's rack, and the lift at
+// each of the three scopes. Scoring a node against an event reduces to one
+// scope selection and array reads.
+type eventLift struct {
+	f      trace.Failure
+	rack   int // rack of f.Node, -1 when unknown or unplaced
+	age    time.Duration
+	weight float64
+	scopes [3]scopeLift // indexed by Scope-1
+}
+
+// systemLifts carries one system's precomputed scoring state for one query
+// instant: the clamped base rate with its CI bounds, and the in-window
+// events newest first.
+type systemLifts struct {
+	base, baseLo, baseHi float64
+	lifts                []eventLift
+}
+
+// liftsFor precomputes the node-independent half of scoring: per-event
+// ages, weights and per-scope lifts, plus the system base rate. Building it
+// once per (system, instant) turns TopK from events x nodes table lookups
+// into events lookups plus events x nodes scope selections, with results
+// bit-identical to scoring each node from scratch. Callers must hold e.mu.
+func (e *Engine) liftsFor(s trace.SystemInfo, now time.Time, evs []trace.Failure) *systemLifts {
 	base := e.table.SystemBaseline(s.ID)
 	baseCI := base.WilsonCI(0.95)
+	sl := &systemLifts{
+		base:   clamp01(base.P()),
+		baseLo: clamp01(baseCI.Lo),
+		baseHi: clamp01(baseCI.Hi),
+		lifts:  make([]eventLift, 0, len(evs)),
+	}
+	lay := e.layouts[s.ID]
+	for i := len(evs) - 1; i >= 0; i-- {
+		f := evs[i]
+		el := eventLift{f: f, rack: -1, age: now.Sub(f.Time)}
+		weight := 1 - float64(el.age)/float64(e.window)
+		el.weight = math.Min(1, math.Max(0, weight))
+		if lay != nil {
+			el.rack = lay.Rack(f.Node)
+		}
+		for _, scope := range []analysis.Scope{analysis.ScopeNode, analysis.ScopeRack, analysis.ScopeSystem} {
+			entry, ok := e.table.Lookup(f, scope)
+			if !ok || !entry.Result.Conditional.Valid() {
+				continue
+			}
+			cond := clamp01(entry.Result.Conditional.P())
+			el.scopes[scope-1] = scopeLift{
+				ok:   true,
+				cond: cond,
+				// Excess bounds use the same point-estimate base, so
+				// combine's monotonicity guarantees Lo <= Risk <= Hi.
+				excess: math.Max(0, cond-sl.base) * el.weight,
+				lo:     math.Max(0, entry.Result.CondCI.Lo-sl.base) * el.weight,
+				hi:     math.Max(0, entry.Result.CondCI.Hi-sl.base) * el.weight,
+			}
+		}
+		sl.lifts = append(sl.lifts, el)
+	}
+	return sl
+}
+
+// scoreFromLifts computes one node's score from the precomputed lifts,
+// newest event first. Callers must hold e.mu (read or write).
+func (e *Engine) scoreFromLifts(s trace.SystemInfo, node int, now time.Time, sl *systemLifts) Score {
 	sc := Score{
 		System: s.ID,
 		Node:   node,
 		At:     now,
-		Base:   clamp01(base.P()),
+		Base:   sl.base,
 	}
-	lay := e.layouts[s.ID]
+	nodeRack := -1
+	if lay := e.layouts[s.ID]; lay != nil {
+		nodeRack = lay.Rack(node)
+	}
 	var excesses, los, his []float64
-	for i := len(evs) - 1; i >= 0; i-- {
-		f := evs[i]
+	for i := range sl.lifts {
+		el := &sl.lifts[i]
 		scope := analysis.ScopeSystem
 		switch {
-		case f.Node == node:
+		case el.f.Node == node:
 			scope = analysis.ScopeNode
-		case lay != nil && lay.Rack(node) >= 0 && lay.Rack(f.Node) == lay.Rack(node):
+		case nodeRack >= 0 && el.rack == nodeRack:
 			scope = analysis.ScopeRack
 		}
-		entry, ok := e.table.Lookup(f, scope)
-		if !ok || !entry.Result.Conditional.Valid() {
+		v := el.scopes[scope-1]
+		if !v.ok {
 			continue
 		}
-		age := now.Sub(f.Time)
-		weight := 1 - float64(age)/float64(e.window)
-		weight = math.Min(1, math.Max(0, weight))
-		cond := clamp01(entry.Result.Conditional.P())
-		c := Contribution{
-			Event:       f,
+		sc.Contributions = append(sc.Contributions, Contribution{
+			Event:       el.f,
 			Scope:       scope,
-			Age:         age,
-			Weight:      weight,
-			Conditional: cond,
-			Excess:      math.Max(0, cond-sc.Base) * weight,
-		}
-		sc.Contributions = append(sc.Contributions, c)
-		excesses = append(excesses, c.Excess)
-		// Excess bounds use the same point-estimate base, so combine's
-		// monotonicity guarantees Lo <= Risk <= Hi.
-		los = append(los, math.Max(0, entry.Result.CondCI.Lo-sc.Base)*weight)
-		his = append(his, math.Max(0, entry.Result.CondCI.Hi-sc.Base)*weight)
+			Age:         el.age,
+			Weight:      el.weight,
+			Conditional: v.cond,
+			Excess:      v.excess,
+		})
+		excesses = append(excesses, v.excess)
+		los = append(los, v.lo)
+		his = append(his, v.hi)
 	}
 	sc.Risk = combine(sc.Base, excesses)
-	sc.Lo = combine(clamp01(baseCI.Lo), los)
-	sc.Hi = combine(clamp01(baseCI.Hi), his)
+	sc.Lo = combine(sl.baseLo, los)
+	sc.Hi = combine(sl.baseHi, his)
 	if sc.Base > 0 {
 		sc.Factor = sc.Risk / sc.Base
 	} else if sc.Risk > 0 {
@@ -197,8 +265,9 @@ func (e *Engine) TopK(k int, now time.Time) []Score {
 			continue
 		}
 		s := e.systems[id]
+		sl := e.liftsFor(s, now, evs)
 		for n := 0; n < s.Nodes; n++ {
-			out = append(out, e.scoreLocked(s, n, now, evs))
+			out = append(out, e.scoreFromLifts(s, n, now, sl))
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

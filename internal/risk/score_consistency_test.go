@@ -1,0 +1,50 @@
+package risk
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// TestTopKMatchesScore pins the precomputed-lift scoring path: every entry
+// TopK emits must be bit-identical to scoring that node individually, which
+// builds its own per-event lift state. A drift here means the per-system
+// precompute no longer matches per-node scoring.
+func TestTopKMatchesScore(t *testing.T) {
+	e := testEngine(t)
+	now := day(100)
+	events := []trace.Failure{
+		{System: 1, Node: 0, Time: now.Add(-time.Hour), Category: trace.Hardware, HW: trace.CPU},
+		{System: 1, Node: 1, Time: now.Add(-26 * time.Hour), Category: trace.Software, SW: trace.OS},
+		{System: 1, Node: 2, Time: now.Add(-3 * 24 * time.Hour), Category: trace.Network},
+		{System: 1, Node: 0, Time: now.Add(-5 * 24 * time.Hour), Category: trace.Hardware, HW: trace.Memory},
+	}
+	for _, f := range events {
+		if err := e.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := e.TopK(0, now)
+	if len(all) == 0 {
+		t.Fatal("TopK returned nothing with in-window events")
+	}
+	for _, got := range all {
+		want, err := e.Score(got.System, got.Node, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Risk != want.Risk || got.Lo != want.Lo || got.Hi != want.Hi ||
+			got.Base != want.Base || got.Factor != want.Factor {
+			t.Errorf("node %d: TopK %+v != Score %+v", got.Node, got, want)
+		}
+		if len(got.Contributions) != len(want.Contributions) {
+			t.Fatalf("node %d: contribution counts differ: %d vs %d", got.Node, len(got.Contributions), len(want.Contributions))
+		}
+		for i := range got.Contributions {
+			if got.Contributions[i] != want.Contributions[i] {
+				t.Errorf("node %d contribution %d: %+v != %+v", got.Node, i, got.Contributions[i], want.Contributions[i])
+			}
+		}
+	}
+}

@@ -427,7 +427,15 @@ func (s *Server) computeCondProb(ctx context.Context, q condProbQuery) (condProb
 	case 2:
 		systems = s.ds.GroupSystems(trace.Group2)
 	}
-	res, err := s.analyzer.CondProbCtx(ctx, systems, anchor, target, q.window, q.scope)
+	// Admission through the shared analysis pool bounds how many kernel
+	// computations run at once when many distinct queries miss the cache
+	// together.
+	var res analysis.CondResult
+	err = analysis.Shared().Do(ctx, func() error {
+		var cerr error
+		res, cerr = s.analyzer.CondProbCtx(ctx, systems, anchor, target, q.window, q.scope)
+		return cerr
+	})
 	if err != nil {
 		return condProbJSON{}, err
 	}

@@ -85,32 +85,6 @@ func (ix *Index) timeRange(idxs []int, iv Interval) (int, int) {
 	return lo, hi
 }
 
-// Pred is a failure predicate. A nil Pred matches every failure.
-type Pred func(Failure) bool
-
-// Match reports whether f satisfies p, treating nil as match-all.
-func (p Pred) Match(f Failure) bool { return p == nil || p(f) }
-
-// CategoryPred matches failures of one high-level category.
-func CategoryPred(c Category) Pred {
-	return func(f Failure) bool { return f.Category == c }
-}
-
-// HWPred matches hardware failures of one component.
-func HWPred(h HWComponent) Pred {
-	return func(f Failure) bool { return f.Category == Hardware && f.HW == h }
-}
-
-// SWPred matches software failures of one class.
-func SWPred(s SWClass) Pred {
-	return func(f Failure) bool { return f.Category == Software && f.SW == s }
-}
-
-// EnvPred matches environment failures of one subtype.
-func EnvPred(e EnvClass) Pred {
-	return func(f Failure) bool { return f.Category == Environment && f.Env == e }
-}
-
 // NodeAny reports whether the node has at least one failure matching pred
 // inside iv.
 func (ix *Index) NodeAny(system, node int, iv Interval, pred Pred) bool {

@@ -94,18 +94,18 @@ func TestIndexSystemQueries(t *testing.T) {
 
 func TestPredHelpers(t *testing.T) {
 	f := Failure{Category: Hardware, HW: Fan}
-	if !HWPred(Fan)(f) || HWPred(CPU)(f) {
+	if !HWPred(Fan).Match(f) || HWPred(CPU).Match(f) {
 		t.Error("HWPred wrong")
 	}
-	if !CategoryPred(Hardware)(f) || CategoryPred(Software)(f) {
+	if !CategoryPred(Hardware).Match(f) || CategoryPred(Software).Match(f) {
 		t.Error("CategoryPred wrong")
 	}
 	sw := Failure{Category: Software, SW: PFS}
-	if !SWPred(PFS)(sw) || SWPred(DST)(sw) {
+	if !SWPred(PFS).Match(sw) || SWPred(DST).Match(sw) {
 		t.Error("SWPred wrong")
 	}
 	env := Failure{Category: Environment, Env: Chillers}
-	if !EnvPred(Chillers)(env) || EnvPred(UPS)(env) {
+	if !EnvPred(Chillers).Match(env) || EnvPred(UPS).Match(env) {
 		t.Error("EnvPred wrong")
 	}
 	var nilPred Pred

@@ -250,7 +250,7 @@ func TestSanitizeDataset(t *testing.T) {
 			{System: 20, Node: 0, Time: base, Category: Hardware, HW: Memory, Downtime: time.Hour}, // duplicate
 		},
 		Jobs:  []Job{{ID: 1, System: 99}},          // dangling system
-		Temps: []TempSample{{System: 20, Node: 9}},  // node out of range
+		Temps: []TempSample{{System: 20, Node: 9}}, // node out of range
 	}
 	out, rep, err := SanitizeDataset(ds, validate.DefaultPolicy())
 	if err != nil {

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Bench regression gate: run the hpcbench kernel suite in quick mode and
+# compare against the committed baseline (BENCH_results.json). Fails when
+# any kernel bench is more than TOLERANCE slower than the baseline, or any
+# indexed kernel drops below MIN_SPEEDUP over its naive reference.
+# Shared by verify.sh and CI.
+set -eu
+
+dir=$(dirname "$0")
+repo=$(cd "$dir/.." && pwd)
+tolerance="${TOLERANCE:-0.25}"
+min_speedup="${MIN_SPEEDUP:-1.5}"
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+go run "$repo/cmd/hpcbench" -quick \
+    -baseline "$repo/BENCH_results.json" \
+    -tolerance "$tolerance" \
+    -min-speedup "$min_speedup" \
+    -out "$out"

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Formatting gate: fail (non-zero exit) when any tracked Go file is not
+# gofmt-clean, listing the offenders. Shared by verify.sh and CI.
+set -eu
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Fuzz smoke: run every target listed in scripts/fuzz_targets.txt for a
+# short burst. The ingestion decoders must survive arbitrary bytes and the
+# server's query parser arbitrary query strings. FUZZTIME overrides the
+# per-target budget (CI and release gates can use 30s or more).
+set -eu
+
+dir=$(dirname "$0")
+fuzztime="${FUZZTIME:-5s}"
+
+while read -r fn pkg; do
+    case "$fn" in ''|'#'*) continue ;; esac
+    echo "fuzz smoke: $fn $pkg ($fuzztime)"
+    go test -fuzz="^$fn\$" -fuzztime="$fuzztime" -run='^$' "$pkg"
+done < "$dir/fuzz_targets.txt"

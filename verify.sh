@@ -1,7 +1,14 @@
 #!/bin/sh
 # Tier-1 verification: everything a change must pass before it lands.
-# Referenced from ROADMAP.md.
+# Referenced from ROADMAP.md. CI (.github/workflows/ci.yml) runs the same
+# gates as separate jobs, sharing the scripts/ helpers so the two can never
+# drift, plus this script itself as one job.
 set -eux
+
+dir=$(dirname "$0")
+
+# Formatting gate: gofmt-clean or fail, listing offenders.
+"$dir/scripts/fmt.sh"
 
 go vet ./...
 go build ./...
@@ -10,9 +17,11 @@ go test -race ./...
 # Bench smoke: every benchmark must still compile and run one iteration.
 go test -bench=. -benchtime=1x -run='^$' ./...
 
-# Fuzz smoke: the ingestion decoders must survive arbitrary bytes, and the
-# server's query parser must survive arbitrary query strings. Short runs
-# here; CI or a release gate should use -fuzztime=30s or more.
-go test -fuzz=FuzzLoadFailuresCSV -fuzztime=5s -run='^$' ./internal/trace/
-go test -fuzz=FuzzImportLANL -fuzztime=5s -run='^$' ./internal/lanl/
-go test -fuzz=FuzzRiskQueryParams -fuzztime=5s -run='^$' ./internal/server/
+# Fuzz smoke: targets listed in scripts/fuzz_targets.txt, 5s each by
+# default (FUZZTIME overrides).
+"$dir/scripts/fuzzsmoke.sh"
+
+# Bench regression gate: kernel ns/op vs the committed BENCH_results.json
+# (TOLERANCE overrides), and indexed kernels must keep MIN_SPEEDUP over the
+# naive reference.
+"$dir/scripts/benchgate.sh"
