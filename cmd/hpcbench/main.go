@@ -27,6 +27,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/analysis"
@@ -36,6 +37,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/server"
 	"github.com/hpcfail/hpcfail/internal/simulate"
 	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/wal"
 )
 
 func main() {
@@ -137,6 +139,9 @@ func run(args []string) (err error) {
 		b.endToEnd(ds)
 	}
 	if err := b.serverBench(ds); err != nil {
+		return err
+	}
+	if err := b.serveIngestBench(ds); err != nil {
 		return err
 	}
 
@@ -360,6 +365,77 @@ func (b *bencher) serverBench(ds *trace.Dataset) error {
 		}
 	})
 	return reqErr
+}
+
+// serveIngestBench measures POST /v1/events throughput through the full
+// handler stack under three durability settings: no WAL, WAL without
+// fsync, and WAL with interval fsync (the production default). The spread
+// between them is the price of crash-safety on the ingest path.
+func (b *bencher) serveIngestBench(ds *trace.Dataset) error {
+	sys := ds.Systems[0]
+	configs := []struct {
+		name   string
+		policy wal.SyncPolicy
+		wal    bool
+	}{
+		{"server/ingest-http/no-wal", 0, false},
+		{"server/ingest-http/wal-never", wal.SyncNever, true},
+		{"server/ingest-http/wal-interval", wal.SyncInterval, true},
+	}
+	for _, c := range configs {
+		cfg := server.Config{Dataset: ds}
+		var journal *risk.Journal
+		if c.wal {
+			dir, err := os.MkdirTemp("", "hpcbench-wal-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			engine, err := risk.FromDataset(ds, trace.Day)
+			if err != nil {
+				return err
+			}
+			journal, _, err = risk.OpenJournal(risk.JournalConfig{
+				Engine: engine,
+				WAL:    wal.Options{Dir: dir, Policy: c.policy},
+			})
+			if err != nil {
+				return err
+			}
+			cfg.Engine = engine
+			cfg.Journal = journal
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		var reqErr error
+		i := 0
+		b.measure(c.name, "server", func() {
+			body := fmt.Sprintf(`{"events":[{"system":%d,"node":%d,"category":"HW","hw":"CPU"}]}`,
+				sys.ID, i%sys.Nodes)
+			i++
+			resp, err := http.Post(ts.URL+"/v1/events", "application/json", strings.NewReader(body))
+			if err != nil {
+				reqErr = err
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && reqErr == nil {
+				reqErr = fmt.Errorf("ingest: %s", resp.Status)
+			}
+		})
+		ts.Close()
+		if journal != nil {
+			journal.Close()
+		}
+		if reqErr != nil {
+			return reqErr
+		}
+	}
+	return nil
 }
 
 // datasetEnd returns the latest observation-period end across systems.

@@ -5,6 +5,15 @@
 // Usage:
 //
 //	hpcserve [-data dir | -seed 1 -scale 0.5] [-addr 127.0.0.1:8080] [-window 24h]
+//	         [-wal dir [-wal-fsync always|interval|never] [-snapshot-every 5m]]
+//	         [-chaos-seed N]
+//
+// With -wal, ingested events are write-ahead logged before the engine
+// observes them and the engine state is snapshotted periodically; on
+// startup the snapshot is restored and the WAL tail replayed, so a crashed
+// server resumes with state identical to an uninterrupted run. With
+// -chaos-seed, a deterministic fault injector wraps the handler (latency
+// spikes, 503s, aborted connections) for resilience testing.
 //
 // A SIGINT drains in-flight requests and exits 0.
 //
@@ -13,6 +22,7 @@
 //	GET  /v1/risk/{node}   one node's live follow-up-failure risk
 //	GET  /v1/risk/top?k=K  the K highest-risk nodes right now
 //	GET  /v1/condprob      cached conditional-vs-baseline query
+//	GET  /v1/snapshot      canonical engine state
 //	POST /v1/events        feed failure events into the engine
 //	GET  /healthz          liveness
 //	GET  /metrics          Prometheus text metrics
@@ -24,11 +34,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"github.com/hpcfail/hpcfail"
+	"github.com/hpcfail/hpcfail/internal/checkpoint"
 	"github.com/hpcfail/hpcfail/internal/cli"
+	"github.com/hpcfail/hpcfail/internal/faultinject"
+	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/server"
 	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/wal"
 )
 
 func main() {
@@ -42,6 +57,14 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.5, "catalog scale when generating")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	window := fs.Duration("window", trace.Day, "risk window and lift-table look-ahead")
+	walDir := fs.String("wal", "", "write-ahead-log directory (empty = no durability)")
+	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy: always, interval or never")
+	walFsyncEvery := fs.Duration("wal-fsync-interval", 100*time.Millisecond, "max time appends stay unsynced under -wal-fsync=interval")
+	snapEvery := fs.Duration("snapshot-every", 5*time.Minute, "engine snapshot spacing under -wal (0 = WAL only)")
+	chaosSeed := fs.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (0 = off)")
+	chaosLatency := fs.Float64("chaos-latency", 0.1, "chaos: probability of an injected delay")
+	chaosError := fs.Float64("chaos-error", 0.05, "chaos: probability of an injected 503")
+	chaosAbort := fs.Float64("chaos-abort", 0.02, "chaos: probability of an aborted connection")
 	policyOf := cli.PolicyFlags(fs, "lenient")
 	versionOf := cli.VersionFlag(fs, "hpcserve")
 	if err := fs.Parse(args); err != nil {
@@ -87,11 +110,54 @@ func run(args []string) error {
 		return err
 	}
 
-	return server.Serve(ctx, *addr, server.Config{
-		Dataset: ds,
-		Window:  *window,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
-	})
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	cfg := server.Config{Dataset: ds, Window: *window, Logf: logf}
+
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
+		engine, err := risk.FromDataset(ds, *window)
+		if err != nil {
+			return err
+		}
+		var snapPolicy checkpoint.Policy
+		if *snapEvery > 0 {
+			snapPolicy = checkpoint.Fixed{Every: *snapEvery}
+		}
+		journal, stats, err := risk.OpenJournal(risk.JournalConfig{
+			Engine: engine,
+			WAL: wal.Options{
+				Dir:      *walDir,
+				Policy:   policy,
+				Interval: *walFsyncEvery,
+			},
+			SnapshotPolicy: snapPolicy,
+		})
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		logf("hpcserve: wal %s: snapshot=%v (%d events), replayed %d, skipped %d",
+			*walDir, stats.SnapshotLoaded, stats.SnapshotEvents, stats.Replayed, stats.Skipped)
+		cfg.Engine = engine
+		cfg.Journal = journal
+	}
+
+	if *chaosSeed != 0 {
+		chaos := faultinject.NewChaos(faultinject.ChaosSpec{
+			Seed:        *chaosSeed,
+			LatencyProb: *chaosLatency,
+			MaxLatency:  200 * time.Millisecond,
+			ErrorProb:   *chaosError,
+			AbortProb:   *chaosAbort,
+		})
+		cfg.Middleware = chaos.Middleware
+		logf("hpcserve: chaos injection enabled (seed=%d)", *chaosSeed)
+	}
+
+	return server.Serve(ctx, *addr, cfg)
 }

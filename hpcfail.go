@@ -44,6 +44,7 @@ import (
 
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/client"
 	"github.com/hpcfail/hpcfail/internal/experiments"
 	"github.com/hpcfail/hpcfail/internal/faultinject"
 	"github.com/hpcfail/hpcfail/internal/lanl"
@@ -52,6 +53,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/simulate"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/validate"
+	"github.com/hpcfail/hpcfail/internal/wal"
 )
 
 // Core data model re-exports.
@@ -377,6 +379,64 @@ func NewRiskServer(cfg ServerConfig) (*RiskServer, error) { return server.New(cf
 func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
 	return server.Serve(ctx, addr, cfg)
 }
+
+// Durability re-exports: crash-safe serving via a write-ahead log plus
+// periodic snapshots (see internal/wal and internal/risk).
+type (
+	// WALOptions configures the write-ahead log backing a Journal.
+	WALOptions = wal.Options
+	// WALSyncPolicy selects when WAL appends reach stable storage.
+	WALSyncPolicy = wal.SyncPolicy
+	// JournalConfig assembles a Journal around a RiskEngine.
+	JournalConfig = risk.JournalConfig
+	// Journal is the durable ingest path: WAL-first observation with
+	// periodic engine snapshots; pass it to ServerConfig.Journal.
+	Journal = risk.Journal
+	// RecoveryStats reports what OpenJournal reconstructed on startup.
+	RecoveryStats = risk.RecoveryStats
+)
+
+// WAL fsync policies, in decreasing durability order.
+const (
+	WALSyncAlways   = wal.SyncAlways
+	WALSyncInterval = wal.SyncInterval
+	WALSyncNever    = wal.SyncNever
+)
+
+// OpenJournal opens (or recovers) a durable journal over the engine: the
+// newest valid snapshot is restored, the WAL tail past it replayed, and
+// subsequent Observe calls are logged before they mutate engine state.
+func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
+	return risk.OpenJournal(cfg)
+}
+
+// Client re-exports: the resilient API client (see internal/client).
+type (
+	// ClientConfig assembles a Client.
+	ClientConfig = client.Config
+	// Client calls the hpcserve API with jittered retries, Retry-After
+	// handling, and automatic idempotency keys on event posts.
+	Client = client.Client
+	// ClientEvent is one failure event for Client.PostEvents.
+	ClientEvent = client.Event
+	// APIError is a non-2xx server response the client did not retry away.
+	APIError = client.APIError
+)
+
+// NewClient builds a resilient hpcserve API client.
+func NewClient(cfg ClientConfig) (*Client, error) { return client.New(cfg) }
+
+// Chaos re-exports: deterministic HTTP fault injection (see
+// internal/faultinject). Wire Middleware into ServerConfig.Middleware.
+type (
+	// ChaosSpec configures a Chaos injector.
+	ChaosSpec = faultinject.ChaosSpec
+	// Chaos injects seeded latency, errors, and aborts as middleware.
+	Chaos = faultinject.Chaos
+)
+
+// NewChaos builds a deterministic HTTP fault injector.
+func NewChaos(spec ChaosSpec) *Chaos { return faultinject.NewChaos(spec) }
 
 // Corrupt serializes failures into the canonical CSV and injects the
 // spec's fault mix, returning the corrupted bytes and per-fault ground

@@ -4,6 +4,14 @@
 // optimum is the classical baseline; the risk-aware policy exploits
 // Section III (a node that just failed is 5-20X more likely to fail again)
 // by checkpointing more aggressively inside the post-failure window.
+//
+// The serving layer reuses the same Policy interface to space its own
+// engine snapshots: internal/risk.Journal consults a Policy (passing the
+// engine's last observed failure as lastFailure) to decide when the next
+// WAL-compacting snapshot is due — so snapshot cadence and the paper's
+// checkpoint-interval machinery share one vocabulary, and a risk-aware
+// policy snapshots more eagerly right after a failure burst, exactly when
+// the state is changing fastest.
 package checkpoint
 
 import (

@@ -1,0 +1,295 @@
+// Package client is a resilient Go client for the hpcserve API. It wraps
+// the plain HTTP endpoints with the retry discipline a load-shedding,
+// crash-recovering server expects from its callers:
+//
+//   - capped exponential backoff with equal jitter, so a fleet of clients
+//     retrying a shed burst spreads out instead of stampeding in lockstep;
+//   - Retry-After honored when the server states its own horizon;
+//   - retries only on transport errors and retryable statuses (429, 502,
+//     503, 504) — a 400 is the caller's bug and fails fast;
+//   - idempotency keys on event POSTs, generated once per call and reused
+//     across its retries, so "did my first attempt land?" ambiguity after
+//     a network error cannot double-ingest events.
+//
+// All calls are context-aware: cancellation interrupts both the request in
+// flight and any backoff sleep.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config assembles a Client. The zero value of every field but BaseURL is
+// usable.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7700". Required.
+	BaseURL string
+	// HTTP overrides the underlying HTTP client (and its per-attempt
+	// timeout); defaults to a client with a 30s timeout.
+	HTTP *http.Client
+	// MaxRetries bounds retry attempts after the first try; defaults to 4.
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff; defaults to 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff step; defaults to 5s.
+	MaxDelay time.Duration
+	// Seed drives jitter and idempotency-key generation, making retry
+	// schedules reproducible in tests. Zero seeds from the clock.
+	Seed int64
+	// Sleep overrides the backoff sleep; tests capture delays through it.
+	// The default honors context cancellation.
+	Sleep func(context.Context, time.Duration) error
+}
+
+// Client calls the hpcserve API with retries. Build with New; safe for
+// concurrent use.
+type Client struct {
+	base    string
+	http    *http.Client
+	retries int
+	baseDel time.Duration
+	maxDel  time.Duration
+	sleep   func(context.Context, time.Duration) error
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("client: empty base URL")
+	}
+	hc := cfg.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	retries := cfg.MaxRetries
+	if retries <= 0 {
+		retries = 4
+	}
+	baseDel := cfg.BaseDelay
+	if baseDel <= 0 {
+		baseDel = 100 * time.Millisecond
+	}
+	maxDel := cfg.MaxDelay
+	if maxDel <= 0 {
+		maxDel = 5 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return &Client{
+		base:    cfg.BaseURL,
+		http:    hc,
+		retries: retries,
+		baseDel: baseDel,
+		maxDel:  maxDel,
+		sleep:   sleep,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// APIError is a non-2xx response that was not retried away.
+type APIError struct {
+	Code int
+	Body string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: server returned %d: %s", e.Code, e.Body)
+}
+
+// retryable reports whether a status code is worth another attempt.
+func retryable(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff returns the attempt'th delay: capped exponential with equal
+// jitter (half fixed, half uniform in [0, d/2]), never below a server's
+// Retry-After hint.
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := c.baseDel << attempt
+	if d > c.maxDel || d <= 0 {
+		d = c.maxDel
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d/2) + 1))
+	c.mu.Unlock()
+	s := d/2 + j
+	if retryAfter > s {
+		s = retryAfter
+	}
+	return s
+}
+
+// newIdemKey draws a fresh idempotency key.
+func (c *Client) newIdemKey() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("%016x%016x", c.rng.Uint64(), c.rng.Uint64())
+}
+
+// parseRetryAfter reads a Retry-After header (seconds form only).
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(h)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// do runs one request-with-retries loop. build must return a fresh request
+// each attempt (bodies are consumed).
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := build()
+		if err != nil {
+			return nil, err
+		}
+		req = req.WithContext(ctx)
+		resp, err := c.http.Do(req)
+		var retryAfter time.Duration
+		switch {
+		case err != nil:
+			// Transport error: the attempt may or may not have reached the
+			// server — exactly what idempotency keys exist for.
+			lastErr = err
+		default:
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				lastErr = rerr
+				break
+			}
+			if resp.StatusCode < 300 {
+				return body, nil
+			}
+			apiErr := &APIError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+			if !retryable(resp.StatusCode) {
+				return nil, apiErr
+			}
+			lastErr = apiErr
+			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt >= c.retries {
+			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Get fetches path (e.g. "/v1/risk/top?k=3") with retries and returns the
+// raw response body.
+func (c *Client) Get(ctx context.Context, path string) ([]byte, error) {
+	return c.do(ctx, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, c.base+path, nil)
+	})
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	_, err := c.Get(ctx, "/healthz")
+	return err
+}
+
+// Snapshot returns the server's canonical engine state bytes.
+func (c *Client) Snapshot(ctx context.Context) ([]byte, error) {
+	return c.Get(ctx, "/v1/snapshot")
+}
+
+// RiskTop returns the raw /v1/risk/top response for k nodes; a non-zero at
+// pins the scoring instant for deterministic answers.
+func (c *Client) RiskTop(ctx context.Context, k int, at time.Time) ([]byte, error) {
+	path := fmt.Sprintf("/v1/risk/top?k=%d", k)
+	if !at.IsZero() {
+		path += "&at=" + at.UTC().Format(time.RFC3339)
+	}
+	return c.Get(ctx, path)
+}
+
+// Event is one failure event to ingest. Zero Time means "server now".
+type Event struct {
+	System   int        `json:"system"`
+	Node     int        `json:"node"`
+	Time     *time.Time `json:"time,omitempty"`
+	Category string     `json:"category"`
+	HW       string     `json:"hw,omitempty"`
+	SW       string     `json:"sw,omitempty"`
+	Env      string     `json:"env,omitempty"`
+}
+
+// EventsResult is the server's ingest verdict.
+type EventsResult struct {
+	Accepted int `json:"accepted"`
+	Rejected []struct {
+		Index int    `json:"index"`
+		Error string `json:"error"`
+	} `json:"rejected"`
+}
+
+// PostEvents ingests a batch. One idempotency key covers the call and all
+// its retries, so an ambiguous first attempt can never double-count.
+func (c *Client) PostEvents(ctx context.Context, events []Event) (EventsResult, error) {
+	var out EventsResult
+	payload, err := json.Marshal(struct {
+		Events []Event `json:"events"`
+	}{events})
+	if err != nil {
+		return out, err
+	}
+	key := c.newIdemKey()
+	body, err := c.do(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/events", bytes.NewReader(payload))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Idempotency-Key", key)
+		return req, nil
+	})
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return out, fmt.Errorf("client: decoding events response: %w", err)
+	}
+	return out, nil
+}

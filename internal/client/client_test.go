@@ -1,0 +1,256 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// capture is an injectable sleep that records every backoff delay.
+type capture struct {
+	mu     sync.Mutex
+	delays []time.Duration
+}
+
+func (c *capture) sleep(ctx context.Context, d time.Duration) error {
+	c.mu.Lock()
+	c.delays = append(c.delays, d)
+	c.mu.Unlock()
+	return ctx.Err()
+}
+
+func (c *capture) all() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.delays...)
+}
+
+func newTestClient(t *testing.T, url string, mutate func(*Config)) (*Client, *capture) {
+	t.Helper()
+	cap := &capture{}
+	cfg := Config{BaseURL: url, Seed: 1, Sleep: cap.sleep}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, cap
+}
+
+// TestRetriesConvergeWithJitter: a server that sheds twice then answers.
+// The client converges, and its backoff delays are jittered — distinct,
+// inside the [d/2, d] equal-jitter envelope, and at least the Retry-After.
+func TestRetriesConvergeWithJitter(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+
+	c, cap := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.BaseDelay = 100 * time.Millisecond
+	})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("healthz after sheds: %v", err)
+	}
+	delays := cap.all()
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2: %v", len(delays), delays)
+	}
+	// Equal jitter on attempt k: delay in [base*2^k/2, base*2^k].
+	for k, d := range delays {
+		step := 100 * time.Millisecond << k
+		if d < step/2 || d > step {
+			t.Errorf("delay[%d] = %v outside jitter envelope [%v, %v]", k, d, step/2, step)
+		}
+	}
+	// With seed 1 the jitter term is non-zero: delays must not sit at the
+	// deterministic floor of their envelopes.
+	if delays[0] == 50*time.Millisecond && delays[1] == 100*time.Millisecond {
+		t.Errorf("delays %v look unjittered", delays)
+	}
+}
+
+// TestRetryAfterIsFloor: a large Retry-After dominates the tiny exponential
+// step.
+func TestRetryAfterIsFloor(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "shed", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "{}")
+	}))
+	defer ts.Close()
+
+	c, cap := newTestClient(t, ts.URL, func(cfg *Config) {
+		cfg.BaseDelay = time.Millisecond
+	})
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	delays := cap.all()
+	if len(delays) != 1 || delays[0] < 2*time.Second {
+		t.Errorf("delays = %v, want one sleep >= 2s (Retry-After floor)", delays)
+	}
+}
+
+// TestNoRetryOn400: client bugs fail fast without burning retries.
+func TestNoRetryOn400(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, `{"error":"bad"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	c, cap := newTestClient(t, ts.URL, nil)
+	_, err := c.Get(context.Background(), "/v1/risk/top?k=0")
+	apiErr, ok := err.(*APIError)
+	if !ok || apiErr.Code != http.StatusBadRequest {
+		t.Fatalf("err = %v, want *APIError 400", err)
+	}
+	if calls != 1 {
+		t.Errorf("server called %d times, want 1", calls)
+	}
+	if len(cap.all()) != 0 {
+		t.Errorf("client slept on a non-retryable error: %v", cap.all())
+	}
+}
+
+// TestGivesUpAfterMaxRetries: persistent overload exhausts the budget.
+func TestGivesUpAfterMaxRetries(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, func(cfg *Config) { cfg.MaxRetries = 3 })
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("expected error from persistently unavailable server")
+	}
+	if calls != 4 { // first try + 3 retries
+		t.Errorf("server called %d times, want 4", calls)
+	}
+}
+
+// TestIdempotencyKeyStableAcrossRetries: one PostEvents call presents one
+// key on every attempt; a second call presents a different one.
+func TestIdempotencyKeyStableAcrossRetries(t *testing.T) {
+	var mu sync.Mutex
+	var keys []string
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		keys = append(keys, r.Header.Get("X-Idempotency-Key"))
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		io.WriteString(w, `{"accepted":1}`)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, nil)
+	res, err := c.PostEvents(context.Background(), []Event{{System: 1, Node: 0, Category: "HW"}})
+	if err != nil || res.Accepted != 1 {
+		t.Fatalf("PostEvents = %+v, %v", res, err)
+	}
+	if _, err := c.PostEvents(context.Background(), []Event{{System: 1, Node: 1, Category: "SW"}}); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(keys) != 3 {
+		t.Fatalf("saw %d attempts, want 3", len(keys))
+	}
+	if keys[0] == "" || keys[0] != keys[1] {
+		t.Errorf("retry changed the idempotency key: %q vs %q", keys[0], keys[1])
+	}
+	if keys[2] == keys[0] {
+		t.Errorf("second call reused the first call's key %q", keys[2])
+	}
+}
+
+// TestTransportErrorsRetried: a dead endpoint is retried, then reported.
+func TestTransportErrorsRetried(t *testing.T) {
+	// Reserve a port and close it so connections are refused.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	c, cap := newTestClient(t, url, func(cfg *Config) { cfg.MaxRetries = 2 })
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("expected transport error")
+	}
+	if got := len(cap.all()); got != 2 {
+		t.Errorf("slept %d times, want 2", got)
+	}
+}
+
+// TestContextCancelStopsRetrying: cancellation wins over the retry loop.
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c, err := New(Config{BaseURL: ts.URL, Seed: 1, Sleep: func(ctx context.Context, d time.Duration) error {
+		cancel() // cancel during the first backoff
+		return ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Healthz(ctx); err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSeededJitterDeterministic: the same seed yields the same schedule.
+func TestSeededJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		var calls int32
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls++
+			if calls <= 3 {
+				http.Error(w, "shed", http.StatusTooManyRequests)
+				return
+			}
+			io.WriteString(w, "{}")
+		}))
+		defer ts.Close()
+		c, cap := newTestClient(t, ts.URL, func(cfg *Config) { cfg.Seed = 99 })
+		if err := c.Healthz(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return cap.all()
+	}
+	a, b := run(), run()
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different schedules: %v vs %v", a, b)
+	}
+}

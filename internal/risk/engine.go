@@ -137,12 +137,11 @@ func eventLess(a, b trace.Failure) bool {
 	return a.Category < b.Category
 }
 
-// Observe ingests one failure event. It validates the event against the
-// catalog, inserts it in time order (late arrivals are fine as long as they
-// are still inside some retention bound), and slides the system's window
-// forward: events older than the system's newest event minus the window are
-// pruned immediately, so memory stays bounded without a background task.
-func (e *Engine) Observe(f trace.Failure) error {
+// Validate checks one event against the engine's catalog without mutating
+// any state: known system, node in range, valid category, non-zero time.
+// The durable ingest path (Journal) validates before appending to the WAL
+// so the log never records events a replay would reject.
+func (e *Engine) Validate(f trace.Failure) error {
 	s, ok := e.systems[f.System]
 	if !ok {
 		return fmt.Errorf("risk: unknown system %d", f.System)
@@ -155,6 +154,18 @@ func (e *Engine) Observe(f trace.Failure) error {
 	}
 	if f.Time.IsZero() {
 		return fmt.Errorf("risk: event has zero time")
+	}
+	return nil
+}
+
+// Observe ingests one failure event. It validates the event against the
+// catalog, inserts it in time order (late arrivals are fine as long as they
+// are still inside some retention bound), and slides the system's window
+// forward: events older than the system's newest event minus the window are
+// pruned immediately, so memory stays bounded without a background task.
+func (e *Engine) Observe(f trace.Failure) error {
+	if err := e.Validate(f); err != nil {
+		return err
 	}
 
 	e.mu.Lock()
@@ -204,6 +215,14 @@ func (e *Engine) Decay(now time.Time) {
 			e.events[id] = pruned
 		}
 	}
+}
+
+// LastEvent returns the newest accepted event time (zero before any
+// event) — the "last failure" input to snapshot-spacing policies.
+func (e *Engine) LastEvent() time.Time {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.last
 }
 
 // Lag returns how far the engine's newest event trails now — the "engine
@@ -264,4 +283,32 @@ func (e *Engine) Snapshot() Snapshot {
 		return a.Category < b.Category
 	})
 	return snap
+}
+
+// Restore replaces the engine's mutable state with a previously captured
+// Snapshot — the recovery half of crash-safe serving. The snapshot must
+// come from an engine with the same window, and every event must validate
+// against this engine's catalog; on any error the engine is left unchanged.
+// Restoring a snapshot and then replaying the WAL tail yields state
+// identical to an uninterrupted run, because Observe is deterministic.
+func (e *Engine) Restore(snap Snapshot) error {
+	if snap.Window != e.window {
+		return fmt.Errorf("risk: snapshot window %v does not match engine window %v", snap.Window, e.window)
+	}
+	events := make(map[int][]trace.Failure)
+	for _, f := range snap.Active {
+		if err := e.Validate(f); err != nil {
+			return fmt.Errorf("risk: snapshot event rejected: %w", err)
+		}
+		// Snapshot order is (time, system, node, category); per system that
+		// is exactly the engine's (time, node, category) insertion order.
+		events[f.System] = append(events[f.System], f)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events = events
+	e.observed = snap.Observed
+	e.dropped = snap.Dropped
+	e.last = snap.LastEvent
+	return nil
 }

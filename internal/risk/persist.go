@@ -1,0 +1,393 @@
+// Durable serving state: a Journal couples the in-memory Engine with an
+// append-only WAL (internal/wal) and a periodic on-disk snapshot, so a
+// crashed server restarts with state bit-identical to an uninterrupted run.
+// Every event is validated, appended to the log, and only then observed;
+// recovery restores the newest snapshot and replays the WAL tail after it.
+// Snapshot spacing reuses the checkpoint-interval policies of
+// internal/checkpoint — the same Fixed/RiskAware trade-off the paper
+// motivates for application checkpoints applies to engine snapshots: a
+// burst of failures means more WAL traffic, so a RiskAware policy tightens
+// snapshot spacing exactly when replay time would otherwise grow fastest.
+package risk
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/wal"
+)
+
+// walEvent is the WAL/snapshot wire form of one trace.Failure. Fields are
+// integers and an RFC3339Nano time, so encode/decode round-trips exactly.
+type walEvent struct {
+	System   int       `json:"s"`
+	Node     int       `json:"n"`
+	Time     time.Time `json:"t"`
+	Category int       `json:"c"`
+	HW       int       `json:"hw,omitempty"`
+	SW       int       `json:"sw,omitempty"`
+	Env      int       `json:"env,omitempty"`
+	Downtime int64     `json:"d,omitempty"` // nanoseconds
+}
+
+func toWalEvent(f trace.Failure) walEvent {
+	return walEvent{
+		System: f.System, Node: f.Node, Time: f.Time,
+		Category: int(f.Category), HW: int(f.HW), SW: int(f.SW), Env: int(f.Env),
+		Downtime: int64(f.Downtime),
+	}
+}
+
+func (e walEvent) failure() trace.Failure {
+	return trace.Failure{
+		System: e.System, Node: e.Node, Time: e.Time,
+		Category: trace.Category(e.Category),
+		HW:       trace.HWComponent(e.HW), SW: trace.SWClass(e.SW), Env: trace.EnvClass(e.Env),
+		Downtime: time.Duration(e.Downtime),
+	}
+}
+
+// EncodeEvent serializes one event into its WAL record payload.
+func EncodeEvent(f trace.Failure) []byte {
+	data, err := json.Marshal(toWalEvent(f))
+	if err != nil {
+		// Only unrepresentable times can fail here, and trace times are
+		// parsed from RFC3339 inputs.
+		panic(fmt.Sprintf("risk: encoding event: %v", err))
+	}
+	return data
+}
+
+// DecodeEvent parses a WAL record payload back into an event.
+func DecodeEvent(data []byte) (trace.Failure, error) {
+	var e walEvent
+	if err := json.Unmarshal(data, &e); err != nil {
+		return trace.Failure{}, fmt.Errorf("risk: decoding event: %w", err)
+	}
+	return e.failure(), nil
+}
+
+// SnapshotFile is the engine-snapshot file name inside a WAL directory.
+const SnapshotFile = "snapshot.json"
+
+// snapshotFormat versions the snapshot file.
+const snapshotFormat = 1
+
+// persistedSnapshot is the on-disk form of an Engine Snapshot plus the WAL
+// position it covers.
+type persistedSnapshot struct {
+	Format     int        `json:"format"`
+	SavedAt    time.Time  `json:"saved_at"`
+	WALApplied uint64     `json:"wal_applied"`
+	WindowNs   int64      `json:"window_ns"`
+	Observed   uint64     `json:"observed"`
+	Dropped    uint64     `json:"dropped"`
+	LastEvent  time.Time  `json:"last_event"`
+	Active     []walEvent `json:"active"`
+}
+
+// WriteSnapshotFile atomically persists an engine snapshot that covers the
+// first applied WAL records: temp file, fsync, rename. A crash mid-write
+// leaves the previous snapshot intact.
+func WriteSnapshotFile(path string, snap Snapshot, applied uint64) error {
+	ps := persistedSnapshot{
+		Format:     snapshotFormat,
+		SavedAt:    time.Now().UTC(),
+		WALApplied: applied,
+		WindowNs:   int64(snap.Window),
+		Observed:   snap.Observed,
+		Dropped:    snap.Dropped,
+		LastEvent:  snap.LastEvent,
+		Active:     make([]walEvent, 0, len(snap.Active)),
+	}
+	for _, f := range snap.Active {
+		ps.Active = append(ps.Active, toWalEvent(f))
+	}
+	data, err := json.Marshal(ps)
+	if err != nil {
+		return fmt.Errorf("risk: encoding snapshot: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("risk: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("risk: snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("risk: snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("risk: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("risk: snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshotFile loads a persisted snapshot. A missing file returns
+// os.ErrNotExist (callers treat that as "cold start").
+func ReadSnapshotFile(path string) (Snapshot, uint64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, 0, err
+	}
+	var ps persistedSnapshot
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return Snapshot{}, 0, fmt.Errorf("risk: snapshot %s: %w", path, err)
+	}
+	if ps.Format != snapshotFormat {
+		return Snapshot{}, 0, fmt.Errorf("risk: snapshot %s: unsupported format %d", path, ps.Format)
+	}
+	snap := Snapshot{
+		Window:    time.Duration(ps.WindowNs),
+		Observed:  ps.Observed,
+		Dropped:   ps.Dropped,
+		LastEvent: ps.LastEvent,
+		Active:    make([]trace.Failure, 0, len(ps.Active)),
+	}
+	for _, e := range ps.Active {
+		snap.Active = append(snap.Active, e.failure())
+	}
+	return snap, ps.WALApplied, nil
+}
+
+// WireSnapshot is the deterministic JSON form of an engine Snapshot: the
+// persisted snapshot's state fields without file metadata (no save time,
+// no WAL position). Two engines with identical state produce byte-identical
+// encodings — GET /v1/snapshot serves this for recovery-equivalence checks.
+type WireSnapshot struct {
+	WindowNs  int64      `json:"window_ns"`
+	Observed  uint64     `json:"observed"`
+	Dropped   uint64     `json:"dropped"`
+	LastEvent time.Time  `json:"last_event"`
+	Active    []walEvent `json:"active"`
+}
+
+// SnapshotJSON converts a Snapshot into its wire form.
+func SnapshotJSON(snap Snapshot) WireSnapshot {
+	ws := WireSnapshot{
+		WindowNs:  int64(snap.Window),
+		Observed:  snap.Observed,
+		Dropped:   snap.Dropped,
+		LastEvent: snap.LastEvent,
+		Active:    make([]walEvent, 0, len(snap.Active)),
+	}
+	for _, f := range snap.Active {
+		ws.Active = append(ws.Active, toWalEvent(f))
+	}
+	return ws
+}
+
+// JournalConfig assembles a Journal.
+type JournalConfig struct {
+	// Engine is the engine to make durable. Required.
+	Engine *Engine
+	// WAL configures the log (Dir required). Policy/Interval/SegmentBytes
+	// pass through to wal.Open.
+	WAL wal.Options
+	// SnapshotPolicy spaces periodic engine snapshots using a checkpoint
+	// policy (checkpoint.Fixed for constant spacing, checkpoint.RiskAware
+	// to snapshot more often while failures are arriving). Nil disables
+	// periodic snapshots; the WAL alone still makes recovery exact, just
+	// with unbounded replay length.
+	SnapshotPolicy checkpoint.Policy
+	// Now supplies the snapshot-spacing clock; defaults to time.Now.
+	Now func() time.Time
+}
+
+// RecoveryStats reports what OpenJournal reconstructed.
+type RecoveryStats struct {
+	// SnapshotLoaded is true when a snapshot file was restored.
+	SnapshotLoaded bool
+	// SnapshotEvents is the number of active events the snapshot held.
+	SnapshotEvents int
+	// Replayed counts WAL records applied after the snapshot position.
+	Replayed int
+	// Skipped counts WAL records the engine rejected on replay (catalog
+	// drift between runs — never fatal, always counted).
+	Skipped int
+}
+
+// Journal is the durable ingest path: a mutex-serialized
+// validate → append → observe pipeline over one Engine, plus periodic
+// snapshots that bound recovery replay time. Scoring reads (Score, TopK)
+// go straight to the Engine and are never serialized by the journal.
+type Journal struct {
+	mu       sync.Mutex
+	engine   *Engine
+	log      *wal.Log
+	snapPath string
+	policy   checkpoint.Policy
+	now      func() time.Time
+	lastSnap time.Time
+}
+
+// OpenJournal opens (or creates) the durable state under cfg.WAL.Dir,
+// restores the newest snapshot into the engine, replays the WAL tail, and
+// returns the journal ready for Observe. The engine must be freshly built
+// (no events observed) or recovery equivalence is lost.
+func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
+	var stats RecoveryStats
+	if cfg.Engine == nil {
+		return nil, stats, errors.New("risk: journal needs an engine")
+	}
+	if cfg.WAL.Dir == "" {
+		return nil, stats, errors.New("risk: journal needs a WAL directory")
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+
+	snapPath := filepath.Join(cfg.WAL.Dir, SnapshotFile)
+	var applied uint64
+	snap, walApplied, err := ReadSnapshotFile(snapPath)
+	switch {
+	case err == nil:
+		if err := cfg.Engine.Restore(snap); err != nil {
+			return nil, stats, err
+		}
+		applied = walApplied
+		stats.SnapshotLoaded = true
+		stats.SnapshotEvents = len(snap.Active)
+	case errors.Is(err, os.ErrNotExist):
+		// Cold start: replay the whole log.
+	default:
+		return nil, stats, err
+	}
+
+	log, err := wal.Open(cfg.WAL)
+	if err != nil {
+		return nil, stats, err
+	}
+	err = log.Replay(applied, func(idx uint64, payload []byte) error {
+		f, derr := DecodeEvent(payload)
+		if derr != nil {
+			stats.Skipped++
+			return nil
+		}
+		if oerr := cfg.Engine.Observe(f); oerr != nil {
+			stats.Skipped++
+			return nil
+		}
+		stats.Replayed++
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, stats, err
+	}
+	return &Journal{
+		engine:   cfg.Engine,
+		log:      log,
+		snapPath: snapPath,
+		policy:   cfg.SnapshotPolicy,
+		now:      now,
+		lastSnap: now(),
+	}, stats, nil
+}
+
+// Engine returns the journaled engine (for scoring reads).
+func (j *Journal) Engine() *Engine { return j.engine }
+
+// ErrAppend marks a WAL-append failure inside Observe: the event was valid
+// but could not be made durable. Serving layers treat it as a server-side
+// fault (500), never a per-event rejection.
+var ErrAppend = errors.New("risk: journal append failed")
+
+// Observe durably ingests one event: validate against the catalog, append
+// to the WAL (fsync per policy), then observe in memory. Events that fail
+// validation are rejected before touching the log.
+func (j *Journal) Observe(f trace.Failure) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.engine.Validate(f); err != nil {
+		return err
+	}
+	if _, err := j.log.Append(EncodeEvent(f)); err != nil {
+		return fmt.Errorf("%w: %v", ErrAppend, err)
+	}
+	return j.engine.Observe(f)
+}
+
+// Sync flushes outstanding WAL appends regardless of fsync policy — the
+// serving layer calls it on its maintenance tick and during shutdown so a
+// quiet SyncInterval log never sits dirty for long.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Sync()
+}
+
+// MaybeSnapshot writes an engine snapshot when the spacing policy says one
+// is due, then compacts WAL segments the snapshot covers. It reports
+// whether a snapshot was written. The policy's "last failure" input is the
+// engine's newest event time, so a RiskAware policy tightens spacing while
+// events are arriving.
+func (j *Journal) MaybeSnapshot(now time.Time) (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.policy == nil {
+		return false, nil
+	}
+	interval := j.policy.Interval(now, j.engine.LastEvent())
+	if interval <= 0 || now.Sub(j.lastSnap) < interval {
+		return false, nil
+	}
+	return true, j.snapshotLocked(now)
+}
+
+// Checkpoint forces a snapshot now, regardless of policy.
+func (j *Journal) Checkpoint(now time.Time) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.snapshotLocked(now)
+}
+
+func (j *Journal) snapshotLocked(now time.Time) error {
+	// The ingest lock is held, so Count() and Snapshot() are a consistent
+	// cut: every appended record is observed and vice versa.
+	applied := j.log.Count()
+	if err := WriteSnapshotFile(j.snapPath, j.engine.Snapshot(), applied); err != nil {
+		return err
+	}
+	if err := j.log.Compact(applied); err != nil {
+		return err
+	}
+	j.lastSnap = now
+	return nil
+}
+
+// WALCount returns how many records the WAL has ever held; WALSegments how
+// many live segment files back it. Both feed the metrics endpoint.
+func (j *Journal) WALCount() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Count()
+}
+
+// WALSegments returns the live WAL segment count.
+func (j *Journal) WALSegments() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Segments()
+}
+
+// Close syncs and closes the WAL. Further Observe calls fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.Close()
+}

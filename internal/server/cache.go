@@ -51,6 +51,20 @@ const (
 	outcomeShared                // waited on another call's computation
 )
 
+// Get returns the cached value for key without computing anything — the
+// degraded path the circuit breaker falls back to while compute is
+// disabled.
+func (c *resultCache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
 // Do returns the cached value for key, or computes it exactly once across
 // concurrent callers. Errors are not cached: a failed computation leaves the
 // key absent so the next request retries.

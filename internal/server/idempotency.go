@@ -1,0 +1,69 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// idemCache remembers POST /v1/events responses by client-supplied
+// X-Idempotency-Key so a retried request (the resilient client resends
+// after a network error without knowing whether the first attempt landed)
+// replays the original response instead of ingesting the events twice.
+//
+// The cache is a bounded in-memory LRU: replay protection is exact within
+// one process lifetime and degrades to at-least-once across restarts or
+// after eviction — the WAL makes duplicate observes safe, just visible in
+// the observed counter.
+type idemCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+}
+
+// idemResult is one remembered response.
+type idemResult struct {
+	key  string
+	code int
+	body []byte
+}
+
+func newIdemCache(max int) *idemCache {
+	if max < 1 {
+		max = 1
+	}
+	return &idemCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// get returns the remembered response for key, if any.
+func (c *idemCache) get(key string) (idemResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return idemResult{}, false
+	}
+	c.order.MoveToFront(el)
+	return *el.Value.(*idemResult), true
+}
+
+// put remembers a response, evicting the least recently used entry past
+// the size bound. A key already present keeps its first response: the
+// first attempt's outcome is the one retries must see.
+func (c *idemCache) put(key string, code int, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = c.order.PushFront(&idemResult{key: key, code: code, body: body})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*idemResult).key)
+	}
+}

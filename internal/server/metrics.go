@@ -22,6 +22,9 @@ type metrics struct {
 	shared      atomic.Uint64 // singleflight followers served by a leader's computation
 	eventsIn    atomic.Uint64 // events accepted via /v1/events
 	eventsBad   atomic.Uint64 // events rejected via /v1/events
+	shed        atomic.Uint64 // requests rejected by admission control
+	degraded    atomic.Uint64 // condprob requests served degraded (circuit open)
+	idemReplays atomic.Uint64 // POST /v1/events replays served from the idempotency cache
 }
 
 type routeCode struct {
@@ -65,12 +68,25 @@ func (m *metrics) hitRate() float64 {
 	return float64(h) / float64(h+miss)
 }
 
+// admissionGauge is one route's live admission-control state.
+type admissionGauge struct {
+	inflight int64
+	queued   int64
+	peak     int64
+	shed     uint64
+}
+
 // gauges carries point-in-time values the registry does not own.
 type gauges struct {
 	engineLag      time.Duration
 	activeEvents   int
 	observedEvents uint64
 	cacheEntries   int
+	breakerOpen    bool
+	breakerTrips   uint64
+	walRecords     uint64
+	walSegments    int
+	admission      map[string]admissionGauge
 }
 
 // write renders the registry in Prometheus text exposition format, with
@@ -137,4 +153,58 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP hpcserve_engine_lag_seconds Time since the newest event the engine has seen.")
 	fmt.Fprintln(w, "# TYPE hpcserve_engine_lag_seconds gauge")
 	fmt.Fprintf(w, "hpcserve_engine_lag_seconds %g\n", g.engineLag.Seconds())
+	fmt.Fprintln(w, "# HELP hpcserve_shed_total Requests rejected by admission control.")
+	fmt.Fprintln(w, "# TYPE hpcserve_shed_total counter")
+	fmt.Fprintf(w, "hpcserve_shed_total %d\n", m.shed.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_degraded_total Condprob requests answered degraded while the compute circuit was open.")
+	fmt.Fprintln(w, "# TYPE hpcserve_degraded_total counter")
+	fmt.Fprintf(w, "hpcserve_degraded_total %d\n", m.degraded.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_idempotent_replays_total Event POSTs replayed from the idempotency cache.")
+	fmt.Fprintln(w, "# TYPE hpcserve_idempotent_replays_total counter")
+	fmt.Fprintf(w, "hpcserve_idempotent_replays_total %d\n", m.idemReplays.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_breaker_open Whether the condprob compute circuit is open.")
+	fmt.Fprintln(w, "# TYPE hpcserve_breaker_open gauge")
+	fmt.Fprintf(w, "hpcserve_breaker_open %d\n", b2i(g.breakerOpen))
+	fmt.Fprintln(w, "# HELP hpcserve_breaker_trips_total Closed-to-open transitions of the compute circuit.")
+	fmt.Fprintln(w, "# TYPE hpcserve_breaker_trips_total counter")
+	fmt.Fprintf(w, "hpcserve_breaker_trips_total %d\n", g.breakerTrips)
+	fmt.Fprintln(w, "# HELP hpcserve_wal_records_total Records ever appended to the write-ahead log.")
+	fmt.Fprintln(w, "# TYPE hpcserve_wal_records_total counter")
+	fmt.Fprintf(w, "hpcserve_wal_records_total %d\n", g.walRecords)
+	fmt.Fprintln(w, "# HELP hpcserve_wal_segments Live write-ahead-log segment files.")
+	fmt.Fprintln(w, "# TYPE hpcserve_wal_segments gauge")
+	fmt.Fprintf(w, "hpcserve_wal_segments %d\n", g.walSegments)
+
+	admRoutes := make([]string, 0, len(g.admission))
+	for route := range g.admission {
+		admRoutes = append(admRoutes, route)
+	}
+	sort.Strings(admRoutes)
+	fmt.Fprintln(w, "# HELP hpcserve_admission_inflight Handlers currently running, by route.")
+	fmt.Fprintln(w, "# TYPE hpcserve_admission_inflight gauge")
+	for _, route := range admRoutes {
+		fmt.Fprintf(w, "hpcserve_admission_inflight{route=%q} %d\n", route, g.admission[route].inflight)
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_admission_queued Requests waiting for a handler slot, by route.")
+	fmt.Fprintln(w, "# TYPE hpcserve_admission_queued gauge")
+	for _, route := range admRoutes {
+		fmt.Fprintf(w, "hpcserve_admission_queued{route=%q} %d\n", route, g.admission[route].queued)
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_admission_peak_inflight High-water mark of concurrent handlers, by route.")
+	fmt.Fprintln(w, "# TYPE hpcserve_admission_peak_inflight gauge")
+	for _, route := range admRoutes {
+		fmt.Fprintf(w, "hpcserve_admission_peak_inflight{route=%q} %d\n", route, g.admission[route].peak)
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_admission_shed_total Requests shed at admission, by route.")
+	fmt.Fprintln(w, "# TYPE hpcserve_admission_shed_total counter")
+	for _, route := range admRoutes {
+		fmt.Fprintf(w, "hpcserve_admission_shed_total{route=%q} %d\n", route, g.admission[route].shed)
+	}
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
 }

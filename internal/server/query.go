@@ -22,6 +22,9 @@ type riskQuery struct {
 	Node int
 	// K bounds /v1/risk/top output.
 	K int
+	// At pins the scoring time (RFC3339); zero means "now". Deterministic
+	// responses let recovery tests compare servers byte-for-byte.
+	At time.Time
 }
 
 // maxTopK caps /v1/risk/top so one request cannot serialize every node of
@@ -50,8 +53,20 @@ func parseRiskQuery(raw string) (riskQuery, error) {
 			}
 		case "k":
 			q.K, err = strconv.Atoi(v)
-			if err != nil || q.K < 1 || q.K > maxTopK {
-				return riskQuery{}, fmt.Errorf("k must be in [1,%d], got %q", maxTopK, v)
+			if err != nil || q.K < 1 {
+				return riskQuery{}, fmt.Errorf("k must be a positive integer, got %q", v)
+			}
+			// Oversized k is clamped, not rejected: "give me everything"
+			// is a reasonable ask, but one request must not serialize an
+			// unbounded catalog. The handler clamps further to the node
+			// count in scope.
+			if q.K > maxTopK {
+				q.K = maxTopK
+			}
+		case "at":
+			q.At, err = time.Parse(time.RFC3339, v)
+			if err != nil {
+				return riskQuery{}, fmt.Errorf("bad at %q (want RFC3339)", v)
 			}
 		default:
 			return riskQuery{}, fmt.Errorf("unknown parameter %q", key)

@@ -9,14 +9,20 @@
 //	GET  /v1/risk/top?k=K&system=S    the K highest-risk nodes right now
 //	GET  /v1/condprob?anchor=&target=&window=&scope=&group=
 //	                                  cached conditional-vs-baseline query
+//	GET  /v1/snapshot                 canonical engine state (recovery checks)
 //	POST /v1/events                   feed failure events into the engine
 //	GET  /healthz                     liveness
 //	GET  /metrics                     Prometheus text metrics
 //
 // Conditional-probability responses are cached on the canonicalized query
 // and deduplicated singleflight-style: concurrent identical queries compute
-// once. Every request runs under a timeout, and Serve shuts down gracefully
-// when its context is cancelled.
+// once. Every request runs under a timeout and per-route admission control
+// (overload is shed with 429 + Retry-After); a circuit breaker degrades
+// condprob to cached answers when compute keeps failing. With a
+// risk.Journal configured, POST /v1/events is write-ahead logged so acked
+// events survive a crash, and X-Idempotency-Key makes retries safe. Serve
+// shuts down gracefully when its context is cancelled, joining in-flight
+// handlers before tearing down shared state.
 package server
 
 import (
@@ -27,7 +33,9 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/analysis"
@@ -47,14 +55,45 @@ type Config struct {
 	// Engine overrides the engine built from Dataset/Window — pass one to
 	// reuse a pre-built lift table.
 	Engine *risk.Engine
+	// Journal, when set, makes ingestion durable: POST /v1/events appends
+	// to its write-ahead log before the engine observes anything, and the
+	// serve loop drives its fsync/snapshot maintenance. The journal must
+	// wrap the same engine the server scores with.
+	Journal *risk.Journal
 	// RequestTimeout bounds each request's computation; defaults to 10s.
 	RequestTimeout time.Duration
 	// CacheSize bounds the condprob result cache; defaults to 256 entries.
 	CacheSize int
+	// Limits overrides per-route admission limits; routes not listed keep
+	// their defaults (see defaultLimits). A zero-Concurrency entry makes
+	// that route unlimited.
+	Limits map[string]RouteLimit
+	// BreakerThreshold is how many consecutive condprob compute failures
+	// open the circuit; defaults to 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long the circuit stays open before one trial
+	// compute probes recovery; defaults to 10s.
+	BreakerCooldown time.Duration
+	// Middleware, when set, wraps the routed handler — the chaos injector
+	// (internal/faultinject) plugs in here.
+	Middleware func(http.Handler) http.Handler
 	// Now supplies the clock; defaults to time.Now. Tests inject a fake.
 	Now func() time.Time
 	// Logf, when set, receives serve-lifecycle log lines.
 	Logf func(format string, args ...any)
+}
+
+// defaultLimits are the per-route admission bounds: the condprob compute
+// path is the expensive one and gets the tightest concurrency; reads and
+// ingest are cheap and get generous bounds that still stop a stampede.
+func defaultLimits() map[string]RouteLimit {
+	return map[string]RouteLimit{
+		"/v1/condprob":    {Concurrency: 2 * runtime.GOMAXPROCS(0), Queue: 64},
+		"/v1/risk/top":    {Concurrency: 32, Queue: 128},
+		"/v1/risk/{node}": {Concurrency: 32, Queue: 128},
+		"/v1/events":      {Concurrency: 16, Queue: 128},
+		"/v1/snapshot":    {Concurrency: 2, Queue: 8},
+	}
 }
 
 // Server answers the API over one dataset. Build with New; the zero value
@@ -63,11 +102,19 @@ type Server struct {
 	ds       *trace.Dataset
 	analyzer *analysis.Analyzer
 	engine   *risk.Engine
+	journal  *risk.Journal
 	cache    *resultCache
 	metrics  *metrics
+	idem     *idemCache
+	limits   map[string]*limiter
+	breaker  *breaker
+	wrap     func(http.Handler) http.Handler
 	timeout  time.Duration
 	now      func() time.Time
 	logf     func(format string, args ...any)
+	// inflight tracks running request handlers so shutdown can join them
+	// before tearing down shared state.
+	inflight sync.WaitGroup
 	// base is the lifecycle context detached computations run under, so a
 	// singleflight leader hanging up does not fail its followers.
 	base context.Context
@@ -87,6 +134,9 @@ func New(cfg Config) (*Server, error) {
 		w = trace.Day
 	}
 	engine := cfg.Engine
+	if engine == nil && cfg.Journal != nil {
+		engine = cfg.Journal.Engine()
+	}
 	if engine == nil {
 		var err error
 		if engine, err = risk.FromDataset(cfg.Dataset, w); err != nil {
@@ -109,12 +159,25 @@ func New(cfg Config) (*Server, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	limits := defaultLimits()
+	for route, lim := range cfg.Limits {
+		limits[route] = lim
+	}
+	limiters := make(map[string]*limiter, len(limits))
+	for route, lim := range limits {
+		limiters[route] = newLimiter(lim)
+	}
 	return &Server{
 		ds:       cfg.Dataset,
 		analyzer: analysis.New(cfg.Dataset),
 		engine:   engine,
+		journal:  cfg.Journal,
 		cache:    newResultCache(cacheSize),
 		metrics:  newMetrics(),
+		idem:     newIdemCache(1024),
+		limits:   limiters,
+		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, now),
+		wrap:     cfg.Middleware,
 		timeout:  timeout,
 		now:      now,
 		logf:     logf,
@@ -126,7 +189,8 @@ func New(cfg Config) (*Server, error) {
 // use) so callers can pre-seed events.
 func (s *Server) Engine() *risk.Engine { return s.engine }
 
-// Handler returns the server's routed HTTP handler.
+// Handler returns the server's routed HTTP handler, wrapped in the
+// configured middleware (chaos injection in tests) when one is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -134,7 +198,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/risk/top", s.instrument("/v1/risk/top", s.handleRiskTop))
 	mux.Handle("GET /v1/risk/{node}", s.instrument("/v1/risk/{node}", s.handleRiskNode))
 	mux.Handle("GET /v1/condprob", s.instrument("/v1/condprob", s.handleCondProb))
+	mux.Handle("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
 	mux.Handle("POST /v1/events", s.instrument("/v1/events", s.handleEvents))
+	if s.wrap != nil {
+		return s.wrap(mux)
+	}
 	return mux
 }
 
@@ -149,13 +217,30 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-request timeout and metrics.
+// instrument wraps a handler with admission control, the per-request
+// timeout, in-flight tracking for graceful shutdown, and metrics. Requests
+// beyond a route's concurrency and queue bounds are shed with 429 and a
+// Retry-After hint before any work happens.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	lim := s.limits[route]
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := s.now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		release, ok := lim.admit(r.Context())
+		if !ok {
+			s.metrics.shed.Add(1)
+			sw.Header().Set("Retry-After", retryAfter)
+			s.writeError(sw, http.StatusTooManyRequests, fmt.Errorf("overloaded: %s concurrency limit reached", route))
+			s.metrics.observe(route, sw.code, s.now().Sub(start))
+			return
+		}
+		s.inflight.Add(1)
+		defer func() {
+			release()
+			s.inflight.Done()
+		}()
 		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 		defer cancel()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r.WithContext(ctx))
 		s.metrics.observe(route, sw.code, s.now().Sub(start))
 	})
@@ -190,13 +275,41 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.engine.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, gauges{
+	open, trips := s.breaker.snapshot()
+	g := gauges{
 		engineLag:      s.engine.Lag(s.now()),
 		activeEvents:   len(snap.Active),
 		observedEvents: snap.Observed,
 		cacheEntries:   s.cache.Len(),
-	})
+		breakerOpen:    open,
+		breakerTrips:   trips,
+		admission:      make(map[string]admissionGauge, len(s.limits)),
+	}
+	for route, lim := range s.limits {
+		if lim == nil {
+			continue
+		}
+		g.admission[route] = admissionGauge{
+			inflight: lim.inflight.Load(),
+			queued:   lim.queued.Load(),
+			peak:     lim.peak.Load(),
+			shed:     lim.shed.Load(),
+		}
+	}
+	if s.journal != nil {
+		g.walRecords = s.journal.WALCount()
+		g.walSegments = s.journal.WALSegments()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, g)
+}
+
+// handleSnapshot serves the engine's full observable state in the same
+// canonical form the on-disk snapshot uses. The kill-and-recover test
+// compares these bytes between a crashed-and-recovered server and an
+// uninterrupted one.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, risk.SnapshotJSON(s.engine.Snapshot()))
 }
 
 // pickSystem resolves an optional system parameter: 0 means "the dataset's
@@ -302,7 +415,11 @@ func (s *Server) handleRiskNode(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sc, err := s.engine.Score(sys.ID, node, s.now())
+	now := s.now()
+	if !q.At.IsZero() {
+		now = q.At
+	}
+	sc, err := s.engine.Score(sys.ID, node, now)
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, err)
 		return
@@ -322,7 +439,21 @@ func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Clamp k to the node population in scope: asking for more rows than
+	// nodes is harmless intent, not an error.
+	nodes := 0
+	for _, sys := range s.ds.Systems {
+		if q.System == 0 || sys.ID == q.System {
+			nodes += sys.Nodes
+		}
+	}
+	if q.K > nodes && nodes > 0 {
+		q.K = nodes
+	}
 	now := s.now()
+	if !q.At.IsZero() {
+		now = q.At
+	}
 	scores := s.engine.TopK(0, now)
 	out := struct {
 		At     time.Time   `json:"at"`
@@ -382,11 +513,37 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Cached answers flow regardless of breaker state: the dataset is
+	// immutable, so a cached result is correct even while compute is
+	// degraded. Only a cache miss consults the breaker — a hit must never
+	// consume the half-open trial slot (nothing would report back and the
+	// breaker would wedge half-open).
+	if val, ok := s.cache.Get(q.Key()); ok {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("X-Cache", "HIT")
+		if open, _ := s.breaker.snapshot(); open {
+			s.metrics.degraded.Add(1)
+			w.Header().Set("X-Degraded", "cache-only")
+		}
+		s.writeJSON(w, http.StatusOK, val)
+		return
+	}
+	// While the circuit is open, compute is off-limits: shed cache misses
+	// with 503 instead of piling onto a struggling compute pool.
+	if !s.breaker.allow() {
+		s.metrics.degraded.Add(1)
+		w.Header().Set("Retry-After", retryAfter)
+		w.Header().Set("X-Degraded", "circuit-open")
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("condprob compute circuit open"))
+		return
+	}
 	// Compute under the server lifecycle context, not the request context:
 	// the result is shared with concurrent identical requests and cached,
 	// so one caller hanging up must not poison it. The request's own
 	// timeout still applies to the wait below.
+	computed := false
 	val, oc, err := s.cache.Do(q.Key(), func() (any, error) {
+		computed = true
 		ctx, cancel := context.WithTimeout(s.base, s.timeout)
 		defer cancel()
 		return s.computeCondProb(ctx, q)
@@ -402,6 +559,11 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.metrics.cacheMisses.Add(1)
 		w.Header().Set("X-Cache", "MISS")
+	}
+	if computed {
+		// Only actual compute attempts feed the breaker; a bad request
+		// never reaches here, and shared waiters would double-count.
+		s.breaker.report(err == nil)
 	}
 	if err != nil {
 		code := http.StatusInternalServerError
@@ -466,11 +628,27 @@ type eventJSON struct {
 	Env      string     `json:"env,omitempty"`
 }
 
-// toFailure converts a wire event, defaulting a missing time to now.
+// Timestamp sanity bounds for ingested events: LANL logs start in the
+// mid-1990s, so anything before 1990 is a mangled timestamp, and anything
+// more than an hour ahead of the server clock is a client clock gone wrong
+// — both would sit in the sliding window (or instantly age out of it) and
+// silently skew scores.
+var minEventTime = time.Date(1990, 1, 1, 0, 0, 0, 0, time.UTC)
+
+const maxEventSkew = time.Hour
+
+// toFailure converts a wire event, defaulting a missing time to now and
+// rejecting timestamps outside plausible bounds.
 func (e eventJSON) toFailure(now time.Time) (trace.Failure, error) {
 	f := trace.Failure{System: e.System, Node: e.Node, Time: now}
 	if e.Time != nil {
 		f.Time = *e.Time
+		if f.Time.Before(minEventTime) {
+			return f, fmt.Errorf("event time %s before %s", f.Time.Format(time.RFC3339), minEventTime.Format(time.RFC3339))
+		}
+		if f.Time.After(now.Add(maxEventSkew)) {
+			return f, fmt.Errorf("event time %s is more than %s in the future", f.Time.Format(time.RFC3339), maxEventSkew)
+		}
 	}
 	var err error
 	if f.Category, err = trace.ParseCategory(e.Category); err != nil {
@@ -497,7 +675,34 @@ func (e eventJSON) toFailure(now time.Time) (trace.Failure, error) {
 // maxEventBody bounds a POST /v1/events body (1 MiB).
 const maxEventBody = 1 << 20
 
+// idemKeyHeader carries a client-chosen key that makes POST /v1/events
+// retries safe: a request replayed with the same key returns the original
+// response without re-ingesting.
+const idemKeyHeader = "X-Idempotency-Key"
+
+// eventsResponse is the POST /v1/events response body.
+type eventsResponse struct {
+	Accepted int              `json:"accepted"`
+	Rejected []eventRejection `json:"rejected,omitempty"`
+}
+
+type eventRejection struct {
+	Index int    `json:"index"`
+	Error string `json:"error"`
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	idemKey := r.Header.Get(idemKeyHeader)
+	if idemKey != "" {
+		if res, ok := s.idem.get(idemKey); ok {
+			s.metrics.idemReplays.Add(1)
+			w.Header().Set("X-Idempotent-Replay", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(res.code)
+			w.Write(res.body)
+			return
+		}
+	}
 	var req struct {
 		Events []eventJSON `json:"events"`
 	}
@@ -511,20 +716,31 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("no events in request"))
 		return
 	}
-	type rejection struct {
-		Index int    `json:"index"`
-		Error string `json:"error"`
+	// With a journal configured, ingestion is write-ahead: the event hits
+	// the log (fsync per policy) before the engine sees it, so an acked
+	// event survives a crash.
+	observe := s.engine.Observe
+	if s.journal != nil {
+		observe = s.journal.Observe
 	}
 	now := s.now()
 	accepted := 0
-	var rejected []rejection
+	var rejected []eventRejection
 	for i, e := range req.Events {
 		f, err := e.toFailure(now)
 		if err == nil {
-			err = s.engine.Observe(f)
+			err = observe(f)
 		}
 		if err != nil {
-			rejected = append(rejected, rejection{Index: i, Error: err.Error()})
+			if errors.Is(err, risk.ErrAppend) {
+				// The WAL is broken: nothing past this point can be made
+				// durable, and claiming acceptance would lie to clients
+				// that rely on acked==durable. Fail the whole request.
+				s.logf("server: %v", err)
+				s.writeError(w, http.StatusInternalServerError, fmt.Errorf("event log unavailable"))
+				return
+			}
+			rejected = append(rejected, eventRejection{Index: i, Error: err.Error()})
 			s.metrics.eventsBad.Add(1)
 			continue
 		}
@@ -535,10 +751,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if accepted == 0 {
 		code = http.StatusBadRequest
 	}
-	s.writeJSON(w, code, struct {
-		Accepted int         `json:"accepted"`
-		Rejected []rejection `json:"rejected,omitempty"`
-	}{Accepted: accepted, Rejected: rejected})
+	resp := eventsResponse{Accepted: accepted, Rejected: rejected}
+	if idemKey != "" {
+		if body, err := json.MarshalIndent(resp, "", "  "); err == nil {
+			s.idem.put(idemKey, code, append(body, '\n'))
+		}
+	}
+	s.writeJSON(w, code, resp)
 }
 
 // Serve listens on addr and serves until ctx is cancelled, then drains
@@ -570,12 +789,12 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 		BaseContext:       func(net.Listener) context.Context { return ctx },
 	}
 
-	// Periodic decay keeps engine memory bounded while the feed is quiet.
-	// The derived context stops the goroutine on any exit path, including
-	// an immediate Serve error.
+	// Periodic maintenance: decay keeps engine memory bounded while the
+	// feed is quiet, and a configured journal gets its WAL synced and its
+	// snapshot policy consulted. The derived context stops the goroutine on
+	// any exit path, including an immediate Serve error.
 	dctx, dcancel := context.WithCancel(ctx)
 	decayDone := make(chan struct{})
-	defer func() { dcancel(); <-decayDone }()
 	go func() {
 		defer close(decayDone)
 		t := time.NewTicker(30 * time.Second)
@@ -586,6 +805,35 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 				return
 			case now := <-t.C:
 				s.engine.Decay(now)
+				if s.journal != nil {
+					if err := s.journal.Sync(); err != nil {
+						s.logf("hpcserve: wal sync: %v", err)
+					}
+					if wrote, err := s.journal.MaybeSnapshot(now); err != nil {
+						s.logf("hpcserve: snapshot: %v", err)
+					} else if wrote {
+						s.logf("hpcserve: snapshot written (%d wal records applied)", s.journal.WALCount())
+					}
+				}
+			}
+		}
+	}()
+	// Shutdown ordering: stop accepting, join in-flight handlers, then tear
+	// down the maintenance goroutine and flush the journal. Handlers may
+	// touch the journal, so it must outlive them.
+	defer func() {
+		done := make(chan struct{})
+		go func() { s.inflight.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(shutdownGrace):
+			s.logf("hpcserve: gave up waiting for in-flight requests")
+		}
+		dcancel()
+		<-decayDone
+		if s.journal != nil {
+			if err := s.journal.Sync(); err != nil {
+				s.logf("hpcserve: final wal sync: %v", err)
 			}
 		}
 	}()

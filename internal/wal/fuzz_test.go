@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+)
+
+// fuzzSegment builds a well-formed segment image for the seed corpus.
+func fuzzSegment(payloads ...[]byte) []byte {
+	var b bytes.Buffer
+	b.WriteString(magic)
+	var first [8]byte
+	b.Write(first[:])
+	for _, p := range payloads {
+		var frame [frameSize]byte
+		binary.BigEndian.PutUint32(frame[:4], uint32(len(p)))
+		binary.BigEndian.PutUint32(frame[4:], crc32.Checksum(p, castagnoli))
+		b.Write(frame[:])
+		b.Write(p)
+	}
+	return b.Bytes()
+}
+
+// FuzzWALReplay throws arbitrary bytes at the replay path. Invariants:
+// never panics, always terminates, and any well-formed record prefix is
+// recovered intact — appending garbage after a valid segment image must
+// not change what replays.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(magic))
+	f.Add(fuzzSegment())
+	f.Add(fuzzSegment([]byte("one")))
+	f.Add(fuzzSegment([]byte("one"), []byte("two"), bytes.Repeat([]byte{0xaa}, 300)))
+	f.Add(append(fuzzSegment([]byte("one")), 0x01, 0x02, 0x03))
+	huge := fuzzSegment([]byte("x"))
+	binary.BigEndian.PutUint32(huge[headerSize:], MaxRecord+1) // oversize length field
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var records [][]byte
+		n, err := ReplayBytes(data, func(p []byte) error {
+			if len(p) > MaxRecord {
+				t.Fatalf("replayed record of %d bytes exceeds MaxRecord", len(p))
+			}
+			records = append(records, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("ReplayBytes returned fn error that was never raised: %v", err)
+		}
+		if n != len(records) {
+			t.Fatalf("ReplayBytes count %d != callbacks %d", n, len(records))
+		}
+		// Valid-prefix recovery: re-encoding the replayed records and
+		// replaying again must yield the same records (a fixed point).
+		again := fuzzSegment(records...)
+		var second int
+		if _, err := ReplayBytes(again, func(p []byte) error {
+			if !bytes.Equal(p, records[second]) {
+				t.Fatalf("record %d changed across re-encode", second)
+			}
+			second++
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if second != n {
+			t.Fatalf("re-encoded replay = %d records, want %d", second, n)
+		}
+	})
+}

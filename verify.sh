@@ -21,6 +21,11 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 # default (FUZZTIME overrides).
 "$dir/scripts/fuzzsmoke.sh"
 
+# Chaos gate: crash-recovery and overload tests under -race (kill-and-
+# recover, shedding, breaker, shutdown-under-chaos). CHAOS_COUNT overrides
+# the rerun count.
+"$dir/scripts/chaos.sh"
+
 # Bench regression gate: kernel ns/op vs the committed BENCH_results.json
 # (TOLERANCE overrides), and indexed kernels must keep MIN_SPEEDUP over the
 # naive reference.
