@@ -133,6 +133,23 @@ func WriteSnapshotFile(path string, snap Snapshot, applied uint64) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("risk: snapshot: %w", err)
 	}
+	// The rename must be durable before it is acted on: the caller compacts
+	// WAL segments the snapshot covers right after this returns, and a
+	// crash that kept the unlinks but lost the rename would leave the old
+	// snapshot pointing into a compacted-away WAL range.
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so the snapshot rename inside it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("risk: snapshot: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("risk: snapshot: syncing %s: %w", dir, err)
+	}
 	return nil
 }
 
@@ -272,6 +289,19 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	// The snapshot position and the surviving log must agree before any
+	// replay: both mismatches below mean acknowledged events are gone (a
+	// truncated, tampered, or mixed-up WAL directory), and starting anyway
+	// would compound the loss — new appends would land at indices a future
+	// replay-from-applied silently skips.
+	if applied > log.Count() {
+		log.Close()
+		return nil, stats, fmt.Errorf("risk: snapshot %s covers %d WAL records but the log holds only %d — refusing to start over a WAL that lost acknowledged events", snapPath, applied, log.Count())
+	}
+	if first := log.First(); applied < first {
+		log.Close()
+		return nil, stats, fmt.Errorf("risk: WAL begins at record %d but snapshot %s covers only %d — records %d..%d are missing, refusing to start", first, snapPath, applied, applied, first-1)
+	}
 	err = log.Replay(applied, func(idx uint64, payload []byte) error {
 		f, derr := DecodeEvent(payload)
 		if derr != nil {
@@ -360,6 +390,14 @@ func (j *Journal) snapshotLocked(now time.Time) error {
 	// The ingest lock is held, so Count() and Snapshot() are a consistent
 	// cut: every appended record is observed and vice versa.
 	applied := j.log.Count()
+	// The snapshot claims records [0, applied) are covered, so they must be
+	// durable before the claim is: under interval/never fsync a crash could
+	// otherwise persist a snapshot ahead of the on-disk WAL, and the next
+	// recovery would replay from `applied`, skipping events re-appended at
+	// the lower indices — loss outside the documented fsync-policy window.
+	if err := j.log.Sync(); err != nil {
+		return err
+	}
 	if err := WriteSnapshotFile(j.snapPath, j.engine.Snapshot(), applied); err != nil {
 		return err
 	}

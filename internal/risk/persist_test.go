@@ -291,6 +291,93 @@ func TestJournalCompaction(t *testing.T) {
 	j2.Close()
 }
 
+// TestCheckpointSyncsWAL: a snapshot claims the first `applied` WAL
+// records are covered, so they must be on stable storage before the claim
+// is — even under a lazy fsync policy. Otherwise a crash could persist a
+// snapshot ahead of the durable log and the next recovery would skip
+// events re-appended at the "covered" indices.
+func TestCheckpointSyncsWAL(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(JournalConfig{
+		Engine: testEngine(t),
+		WAL:    wal.Options{Dir: dir, Policy: wal.SyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for _, f := range liveEvents(5) {
+		if err := j.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !j.log.Dirty() {
+		t.Fatal("SyncNever appends should leave the log dirty")
+	}
+	if err := j.Checkpoint(day(99)); err != nil {
+		t.Fatal(err)
+	}
+	if j.log.Dirty() {
+		t.Fatal("snapshot recorded applied records without syncing them first")
+	}
+}
+
+// TestOpenJournalRefusesSnapshotAheadOfWAL: a snapshot claiming more
+// applied records than the log holds means acknowledged events are gone;
+// starting anyway would append new events at indices a future
+// replay-from-applied silently skips.
+func TestOpenJournalRefusesSnapshotAheadOfWAL(t *testing.T) {
+	dir := t.TempDir()
+	e := testEngine(t)
+	if err := WriteSnapshotFile(filepath.Join(dir, SnapshotFile), e.Snapshot(), 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenJournal(JournalConfig{
+		Engine: testEngine(t),
+		WAL:    wal.Options{Dir: dir},
+	}); err == nil {
+		t.Fatal("OpenJournal accepted a snapshot ahead of an empty WAL")
+	}
+}
+
+// TestOpenJournalRefusesWALGap: if compaction removed records the on-disk
+// snapshot does not cover (a lost snapshot rename with durable unlinks),
+// replay would silently skip the gap — OpenJournal must refuse instead.
+func TestOpenJournalRefusesWALGap(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(JournalConfig{
+		Engine: testEngine(t),
+		WAL:    wal.Options{Dir: dir, SegmentBytes: 256},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range liveEvents(60) {
+		if err := j.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Checkpoint(day(99)); err != nil {
+		t.Fatal(err)
+	}
+	if j.log.First() <= 1 {
+		t.Fatalf("compaction kept record 1 (First=%d); test needs a gap", j.log.First())
+	}
+	// Roll the snapshot back to a position below the first surviving
+	// record, as if the covering snapshot's rename never became durable.
+	if err := WriteSnapshotFile(filepath.Join(dir, SnapshotFile), j.Engine().Snapshot(), 1); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	if _, _, err := OpenJournal(JournalConfig{
+		Engine: testEngine(t),
+		WAL:    wal.Options{Dir: dir, SegmentBytes: 256},
+	}); err == nil {
+		t.Fatal("OpenJournal accepted a WAL with a compacted-away gap after the snapshot position")
+	}
+}
+
 // TestJournalRejectsInvalidBeforeAppend: a rejected event must not reach
 // the WAL (replay would re-reject it, but the log should stay clean).
 func TestJournalRejectsInvalidBeforeAppend(t *testing.T) {

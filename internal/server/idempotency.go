@@ -5,20 +5,25 @@ import (
 	"sync"
 )
 
-// idemCache remembers POST /v1/events responses by client-supplied
-// X-Idempotency-Key so a retried request (the resilient client resends
-// after a network error without knowing whether the first attempt landed)
-// replays the original response instead of ingesting the events twice.
+// idemCache makes POST /v1/events retries safe under a client-supplied
+// X-Idempotency-Key: the first request to present a key owns it, and every
+// later request with the same key replays the owner's recorded response
+// instead of ingesting the events again. Ownership is reserved atomically
+// at request start, so two concurrent duplicates can never both ingest —
+// the loser waits on the owner's outcome (see handleEvents), closing the
+// check-then-act window a get/put API would leave.
 //
-// The cache is a bounded in-memory LRU: replay protection is exact within
-// one process lifetime and degrades to at-least-once across restarts or
-// after eviction — the WAL makes duplicate observes safe, just visible in
-// the observed counter.
+// Completed responses live in a bounded LRU: replay protection is exact
+// within one process lifetime and degrades to at-least-once across
+// restarts or after eviction — the WAL makes duplicate observes safe,
+// just visible in the observed counter. In-flight reservations are not
+// evictable; their population is bounded by the route's admission limit.
 type idemCache struct {
 	mu      sync.Mutex
 	max     int
-	entries map[string]*list.Element
-	order   *list.List // front = most recently used
+	entries map[string]*list.Element // completed responses
+	order   *list.List               // front = most recently used
+	pending map[string]*idemPending  // reserved, outcome not yet recorded
 }
 
 // idemResult is one remembered response.
@@ -28,6 +33,27 @@ type idemResult struct {
 	body []byte
 }
 
+// idemPending is a key reservation. done is closed when the owner records
+// a response (ok=true, res valid) or abandons the key (ok=false) — waiters
+// then re-begin: replaying the result or taking ownership themselves.
+type idemPending struct {
+	done chan struct{}
+	res  idemResult
+	ok   bool
+}
+
+// beginState is the outcome of reserving a key.
+type beginState int
+
+const (
+	// idemOwned: the caller holds the key and must complete or abandon it.
+	idemOwned beginState = iota
+	// idemHit: a completed response exists; replay it.
+	idemHit
+	// idemWait: another request holds the key; wait on pending.done.
+	idemWait
+)
+
 func newIdemCache(max int) *idemCache {
 	if max < 1 {
 		max = 1
@@ -36,27 +62,37 @@ func newIdemCache(max int) *idemCache {
 		max:     max,
 		entries: make(map[string]*list.Element),
 		order:   list.New(),
+		pending: make(map[string]*idemPending),
 	}
 }
 
-// get returns the remembered response for key, if any.
-func (c *idemCache) get(key string) (idemResult, bool) {
+// begin atomically resolves a key: a recorded response (idemHit), an
+// in-flight reservation to wait on (idemWait), or a fresh reservation the
+// caller now owns (idemOwned).
+func (c *idemCache) begin(key string) (idemResult, *idemPending, beginState) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return idemResult{}, false
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return *el.Value.(*idemResult), nil, idemHit
 	}
-	c.order.MoveToFront(el)
-	return *el.Value.(*idemResult), true
+	if p, ok := c.pending[key]; ok {
+		return idemResult{}, p, idemWait
+	}
+	p := &idemPending{done: make(chan struct{})}
+	c.pending[key] = p
+	return idemResult{}, p, idemOwned
 }
 
-// put remembers a response, evicting the least recently used entry past
-// the size bound. A key already present keeps its first response: the
-// first attempt's outcome is the one retries must see.
-func (c *idemCache) put(key string, code int, body []byte) {
+// complete records the owner's response, evicting the least recently used
+// entry past the size bound, and wakes waiters to replay it.
+func (c *idemCache) complete(key string, p *idemPending, code int, body []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	delete(c.pending, key)
+	p.res = idemResult{key: key, code: code, body: body}
+	p.ok = true
+	close(p.done)
 	if _, ok := c.entries[key]; ok {
 		return
 	}
@@ -66,4 +102,13 @@ func (c *idemCache) put(key string, code int, body []byte) {
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*idemResult).key)
 	}
+}
+
+// abandon releases a reservation without recording a response (the request
+// died before reaching an outcome worth replaying); waiters re-contend.
+func (c *idemCache) abandon(key string, p *idemPending) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.pending, key)
+	close(p.done)
 }

@@ -276,6 +276,132 @@ func TestIdempotencyReplay(t *testing.T) {
 	}
 }
 
+// TestIdempotencyConcurrentDuplicates races many POSTs on one key: the key
+// is reserved atomically at request start, so exactly one request ingests
+// and every racer replays its response — not just serial retries.
+func TestIdempotencyConcurrentDuplicates(t *testing.T) {
+	ts, _, _ := newTestServerFull(t, nil)
+	body := `{"events":[{"system":1,"node":0,"category":"HW","hw":"CPU"}]}`
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/events", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Idempotency-Key", "race-1")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			codes[i] = resp.StatusCode
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d = %d; body: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Errorf("request %d body differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+
+	metrics := string(fetchMetrics(t, ts))
+	for _, want := range []string{
+		"hpcserve_events_accepted_total 1", // one ingestion across all racers
+		"hpcserve_engine_observed_events_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+// TestAppendFailureRecordedUnderKey: a WAL-append failure fails the whole
+// request with 500, and that outcome is recorded under the idempotency key
+// — a retry must replay the 500, not re-ingest events from earlier in the
+// batch that are already durable and observed.
+func TestAppendFailureRecordedUnderKey(t *testing.T) {
+	ds := testDS()
+	engine, err := risk.FromDataset(ds, trace.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := risk.OpenJournal(risk.JournalConfig{
+		Engine: engine,
+		WAL:    wal.Options{Dir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &fakeClock{t: day(100)}
+	s, err := New(Config{Dataset: ds, Window: trace.Day, Journal: j, Now: clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, b := postEvents(t, ts.URL, `{"events":[{"system":1,"node":0,"category":"HW","hw":"CPU"}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest = %d; body: %s", resp.StatusCode, b)
+	}
+	j.Close() // break the WAL: every append now fails with risk.ErrAppend
+
+	post := func() (*http.Response, []byte) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/events",
+			strings.NewReader(`{"events":[{"system":1,"node":1,"category":"SW","sw":"OS"}]}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Idempotency-Key", "broken-1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+	first, firstBody := post()
+	if first.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("broken-WAL POST = %d, want 500; body: %s", first.StatusCode, firstBody)
+	}
+	if first.Header.Get("X-Idempotent-Replay") != "" {
+		t.Error("first failure marked as replay")
+	}
+	second, secondBody := post()
+	if second.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("retried POST = %d, want replayed 500", second.StatusCode)
+	}
+	if second.Header.Get("X-Idempotent-Replay") != "1" {
+		t.Error("retry after WAL failure not replayed — it would re-ingest the durable prefix")
+	}
+	if !bytes.Equal(firstBody, secondBody) {
+		t.Errorf("replayed failure body differs:\n%s\nvs\n%s", firstBody, secondBody)
+	}
+
+	metrics := string(fetchMetrics(t, ts))
+	if !strings.Contains(metrics, "hpcserve_events_accepted_total 1") {
+		t.Errorf("failed batches must not count as accepted:\n%s", metrics)
+	}
+}
+
 // TestEventTimestampValidation rejects absurd event times.
 func TestEventTimestampValidation(t *testing.T) {
 	ts, _ := newTestServer(t, nil)

@@ -691,17 +691,64 @@ type eventRejection struct {
 	Error string `json:"error"`
 }
 
+// replayIdem serves the recorded response for a retried idempotency key.
+func (s *Server) replayIdem(w http.ResponseWriter, res idemResult) {
+	s.metrics.idemReplays.Add(1)
+	w.Header().Set("X-Idempotent-Replay", "1")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.code)
+	w.Write(res.body)
+}
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	idemKey := r.Header.Get(idemKeyHeader)
+	var pending *idemPending
 	if idemKey != "" {
-		if res, ok := s.idem.get(idemKey); ok {
-			s.metrics.idemReplays.Add(1)
-			w.Header().Set("X-Idempotent-Replay", "1")
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(res.code)
-			w.Write(res.body)
+		for pending == nil {
+			res, p, state := s.idem.begin(idemKey)
+			switch state {
+			case idemHit:
+				s.replayIdem(w, res)
+				return
+			case idemOwned:
+				pending = p
+			case idemWait:
+				// A concurrent request holds this key. Wait for its outcome
+				// instead of ingesting a duplicate, then loop: replay what
+				// it recorded, or take over the key if it abandoned.
+				select {
+				case <-p.done:
+				case <-r.Context().Done():
+					s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request with idempotency key %q still in flight", idemKey))
+					return
+				}
+			}
+		}
+		// Paths that record no outcome (malformed bodies, panics) must not
+		// wedge the key: release the reservation so a retry re-contends.
+		defer func() {
+			if pending != nil {
+				s.idem.abandon(idemKey, pending)
+			}
+		}()
+	}
+	// respond writes the response and records it under the idempotency key,
+	// so a retry replays this exact outcome instead of re-ingesting.
+	respond := func(code int, v any) {
+		body, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			s.logf("server: encoding response: %v", err)
+			s.writeJSON(w, code, v)
 			return
 		}
+		body = append(body, '\n')
+		if pending != nil {
+			s.idem.complete(idemKey, pending, code, body)
+			pending = nil
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		w.Write(body)
 	}
 	var req struct {
 		Events []eventJSON `json:"events"`
@@ -735,9 +782,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(err, risk.ErrAppend) {
 				// The WAL is broken: nothing past this point can be made
 				// durable, and claiming acceptance would lie to clients
-				// that rely on acked==durable. Fail the whole request.
+				// that rely on acked==durable. Fail the whole request —
+				// and record the failure under the idempotency key, because
+				// events earlier in the batch are already durable and
+				// observed: a retry must replay this 500, not re-ingest
+				// that prefix.
 				s.logf("server: %v", err)
-				s.writeError(w, http.StatusInternalServerError, fmt.Errorf("event log unavailable"))
+				respond(http.StatusInternalServerError, apiError{Error: "event log unavailable"})
 				return
 			}
 			rejected = append(rejected, eventRejection{Index: i, Error: err.Error()})
@@ -751,13 +802,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if accepted == 0 {
 		code = http.StatusBadRequest
 	}
-	resp := eventsResponse{Accepted: accepted, Rejected: rejected}
-	if idemKey != "" {
-		if body, err := json.MarshalIndent(resp, "", "  "); err == nil {
-			s.idem.put(idemKey, code, append(body, '\n'))
-		}
-	}
-	s.writeJSON(w, code, resp)
+	respond(code, eventsResponse{Accepted: accepted, Rejected: rejected})
 }
 
 // Serve listens on addr and serves until ctx is cancelled, then drains

@@ -346,6 +346,21 @@ func (l *Log) rotate() error {
 		f.Close()
 		return fmt.Errorf("wal: %w", err)
 	}
+	// The new segment (file + header) must be durable before rotation
+	// completes: Compact may later unlink every predecessor, and if the
+	// creation were still only in the page cache a crash could durably
+	// lose this segment while keeping those unlinks — leaving a log whose
+	// only surviving segment is torn, which restarts as index 0 beneath a
+	// snapshot that claims more. One fsync per rotation is noise next to
+	// the per-append policy.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
 	l.f = f
 	l.fSize = int64(headerSize)
 	l.segs = append(l.segs, segment{path: path, first: l.count})
@@ -414,8 +429,32 @@ func (l *Log) Sync() error {
 // how many records the log has ever held (compacted ones included).
 func (l *Log) Count() uint64 { return l.count }
 
+// First returns the global index of the oldest record still covered by a
+// live segment (records below it were compacted away). A replay from any
+// index in [First, Count] sees every surviving record it asks for; callers
+// holding a snapshot position below First have a gap.
+func (l *Log) First() uint64 { return l.segs[0].first }
+
+// Dirty reports whether appends are outstanding that have not reached
+// stable storage (always false under SyncAlways).
+func (l *Log) Dirty() bool { return l.dirty }
+
 // Segments returns how many live segment files back the log.
 func (l *Log) Segments() int { return len(l.segs) }
+
+// syncDir fsyncs a directory so entry creations/renames inside it are
+// durable, not just the file contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing directory %s: %w", dir, err)
+	}
+	return nil
+}
 
 // Close syncs and closes the current segment. Further appends fail.
 func (l *Log) Close() error {

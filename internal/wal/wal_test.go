@@ -101,12 +101,40 @@ func TestSegmentRotationAndCompact(t *testing.T) {
 	}
 	l.Close()
 
-	// Reopen after compaction: the index space is preserved.
+	// Reopen after compaction: the index space is preserved, and First
+	// reports the oldest surviving record.
 	l = open(t, Options{Dir: dir})
 	if l.Count() != 40 {
 		t.Fatalf("Count after compact+reopen = %d, want 40", l.Count())
 	}
+	if first := l.First(); first == 0 || first > 30 {
+		t.Fatalf("First after compact+reopen = %d, want in (0, 30]", first)
+	}
 	appendN(t, l, 40, 1)
+	l.Close()
+}
+
+// TestFirstAndDirty pins the two introspection hooks the journal's
+// crash-consistency checks rely on: First starts at 0 and only moves on
+// compaction, Dirty tracks unsynced appends.
+func TestFirstAndDirty(t *testing.T) {
+	l := open(t, Options{Dir: t.TempDir(), Policy: SyncNever})
+	if l.First() != 0 {
+		t.Fatalf("fresh First = %d, want 0", l.First())
+	}
+	if l.Dirty() {
+		t.Fatal("fresh log dirty")
+	}
+	appendN(t, l, 0, 3)
+	if !l.Dirty() {
+		t.Fatal("SyncNever append left log clean")
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Dirty() {
+		t.Fatal("Sync left log dirty")
+	}
 	l.Close()
 }
 
