@@ -134,6 +134,7 @@ func run(args []string) (err error) {
 
 	a := analysis.New(ds)
 	b.kernelBenches(a, ds)
+	b.indexAppendBench(ds)
 	b.macroBenches(a, ds)
 	if !*quick {
 		b.endToEnd(ds)
@@ -293,6 +294,61 @@ func (b *bencher) kernelBenches(a *analysis.Analyzer, ds *trace.Dataset) {
 	b.pair("baseline/any/week",
 		func() { a.BaselineNodeProb(sys, trace.Week, nil) },
 		func() { a.BaselineNodeProbNaive(sys, trace.Week, nil) },
+	)
+}
+
+// indexAppendBench pits incremental index maintenance — the versioned
+// dataset store's append path — against rebuilding the dataset index from
+// scratch, which is what picking up new events cost before the store
+// existed. One indexed op applies a 64-event tail batch with
+// DatasetIndex.Append (chains of 128 batches, with the fresh-base rebuild
+// that starts each chain billed to the measurement); one naive op rebuilds
+// the full index over the merged dataset.
+func (b *bencher) indexAppendBench(ds *trace.Dataset) {
+	const (
+		chainLen  = 128
+		batchSize = 64
+	)
+	cats := []struct {
+		cat trace.Category
+		hw  trace.HWComponent
+	}{{trace.Hardware, trace.CPU}, {trace.Software, 0}, {trace.Network, 0}, {trace.Human, 0}}
+	at := datasetEnd(ds)
+	batches := make([][]trace.Failure, chainLen)
+	for bi := range batches {
+		// One system per batch: failure bursts cluster on a machine, and the
+		// journal's live path appends per-event (single-system) batches, so
+		// the copy-on-write cost of one append is one system's posting maps.
+		sys := ds.Systems[bi%len(ds.Systems)]
+		batch := make([]trace.Failure, batchSize)
+		for i := range batch {
+			at = at.Add(time.Second)
+			c := cats[i%len(cats)]
+			batch[i] = trace.Failure{System: sys.ID, Node: i % sys.Nodes, Time: at, Category: c.cat, HW: c.hw}
+		}
+		batches[bi] = batch
+	}
+	// The merged dataset every chain converges to; the naive reference
+	// rebuilds its index wholesale per batch applied.
+	merged := *ds
+	merged.Failures = make([]trace.Failure, 0, len(ds.Failures)+chainLen*batchSize)
+	merged.Failures = append(merged.Failures, ds.Failures...)
+	for _, batch := range batches {
+		merged.Failures = append(merged.Failures, batch...)
+	}
+	merged.Sort()
+
+	i := 0
+	var head *analysis.DatasetIndex
+	b.pair("index-append/batch-64",
+		func() {
+			if i%chainLen == 0 {
+				head = analysis.NewDatasetIndex(ds)
+			}
+			head = head.Append(&merged, batches[i%chainLen])
+			i++
+		},
+		func() { analysis.NewDatasetIndex(&merged) },
 	)
 }
 
@@ -475,13 +531,27 @@ func printTable(w io.Writer, rep *Report) {
 	}
 }
 
+// speedupFloors raises the -min-speedup bar for pairs whose indexed variant
+// is expected to win by far more than the global minimum. index-append
+// amortizes one batch over an O(log n)-per-event extension, so even with
+// the chain-restart rebuild billed in, it clears 25x comfortably (measured
+// ~100-200x at scale 1; the floor leaves headroom for noisy CI hosts).
+var speedupFloors = map[string]float64{
+	"index-append/batch-64": 25,
+}
+
 // checkSpeedups fails when any indexed kernel lost its edge over the naive
-// reference in this run.
+// reference in this run. The global minimum applies everywhere; pairs in
+// speedupFloors must clear their higher bar.
 func checkSpeedups(rep *Report, min float64) error {
 	var bad []string
 	for _, s := range rep.Speedups {
-		if s.Speedup < min {
-			bad = append(bad, fmt.Sprintf("%s: %.2fx < %.2fx", s.Name, s.Speedup, min))
+		need := min
+		if floor, ok := speedupFloors[s.Name]; ok && floor > need {
+			need = floor
+		}
+		if s.Speedup < need {
+			bad = append(bad, fmt.Sprintf("%s: %.2fx < %.2fx", s.Name, s.Speedup, need))
 		}
 	}
 	if len(bad) > 0 {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail"
+)
+
+// condProbProbe is the slice of the /v1/condprob body the live-ingest test
+// cares about.
+type condProbProbe struct {
+	DatasetVersion uint64 `json:"dataset_version"`
+	Conditional    struct {
+		Trials    int `json:"trials"`
+		Successes int `json:"successes"`
+	} `json:"conditional"`
+}
+
+// TestLiveCondProb is the live-ingest acceptance test: a running hpcserve
+// answers a condprob query, ingests a batch of events through POST
+// /v1/events, and the very next condprob query — same process, no restart —
+// reflects them under a higher dataset version, with the cache missing at
+// the new version and hitting again afterwards.
+func TestLiveCondProb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs subprocesses")
+	}
+	work := t.TempDir()
+	bin := buildServeBinary(t, work)
+
+	dataDir := filepath.Join(work, "data")
+	ds, err := hpcfail.Generate(hpcfail.GenerateOptions{Seed: 7, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hpcfail.SaveDataset(dataDir, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	addr := freeAddr(t)
+	startServe(t, bin, "-data", dataDir, "-addr", addr)
+	url := "http://" + addr
+	query := url + "/v1/condprob?anchor=HW&window=week&scope=node"
+
+	probe := func() (cache, version string, out condProbProbe) {
+		t.Helper()
+		resp, err := http.Get(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET condprob = %d; body: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("decoding condprob: %v; body: %s", err, body)
+		}
+		return resp.Header.Get("X-Cache"), resp.Header.Get("X-Dataset-Version"), out
+	}
+
+	c1, v1, r1 := probe()
+	if c1 != "MISS" {
+		t.Fatalf("cold condprob X-Cache = %q, want MISS", c1)
+	}
+	c2, v2, r2 := probe()
+	if c2 != "HIT" || v2 != v1 || r2 != r1 {
+		t.Fatalf("warm condprob: cache=%q version=%q (want HIT at %q)", c2, v2, v1)
+	}
+
+	// A batch of in-period hardware failures: new anchors that must raise
+	// the conditional's trial count once the store has absorbed them.
+	sys := ds.Systems[0]
+	mid := sys.Period.Start.Add(sys.Period.End.Sub(sys.Period.Start) / 2)
+	var batch bytes.Buffer
+	batch.WriteString(`{"events":[`)
+	for i := 0; i < 8; i++ {
+		if i > 0 {
+			batch.WriteByte(',')
+		}
+		fmt.Fprintf(&batch, `{"system":%d,"node":%d,"time":%q,"category":"HW","hw":"CPU"}`,
+			sys.ID, i%sys.Nodes, mid.Add(time.Duration(i)*13*time.Hour).Format(time.RFC3339))
+	}
+	batch.WriteString(`]}`)
+	resp, err := http.Post(url+"/v1/events", "application/json", &batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST events = %d; body: %s", resp.StatusCode, body)
+	}
+	var posted struct {
+		Accepted       int    `json:"accepted"`
+		DatasetVersion uint64 `json:"dataset_version"`
+	}
+	if err := json.Unmarshal(body, &posted); err != nil {
+		t.Fatalf("decoding events response: %v; body: %s", err, body)
+	}
+	if posted.Accepted != 8 {
+		t.Fatalf("accepted %d of 8 events; body: %s", posted.Accepted, body)
+	}
+	if posted.DatasetVersion <= r1.DatasetVersion {
+		t.Fatalf("dataset version %d did not advance past %d", posted.DatasetVersion, r1.DatasetVersion)
+	}
+
+	c3, v3, r3 := probe()
+	if c3 != "MISS" {
+		t.Fatalf("post-ingest condprob X-Cache = %q, want MISS at the new version", c3)
+	}
+	if v3 == v1 || r3.DatasetVersion != posted.DatasetVersion {
+		t.Fatalf("post-ingest version = %s/%d, want %d (pre-ingest %s)", v3, r3.DatasetVersion, posted.DatasetVersion, v1)
+	}
+	if r3.Conditional.Trials <= r1.Conditional.Trials {
+		t.Fatalf("conditional trials %d did not increase past %d after ingesting anchors",
+			r3.Conditional.Trials, r1.Conditional.Trials)
+	}
+	c4, v4, r4 := probe()
+	if c4 != "HIT" || v4 != v3 || r4 != r3 {
+		t.Fatalf("repeat at new version: cache=%q version=%q, want HIT at %q", c4, v4, v3)
+	}
+}

@@ -5,15 +5,22 @@
 // Usage:
 //
 //	hpcserve [-data dir | -seed 1 -scale 0.5] [-addr 127.0.0.1:8080] [-window 24h]
-//	         [-wal dir [-wal-fsync always|interval|never] [-snapshot-every 5m]]
-//	         [-chaos-seed N]
+//	         [-live-ingest=true] [-wal dir [-wal-fsync always|interval|never]
+//	         [-snapshot-every 5m]] [-chaos-seed N]
+//
+// The server answers from a versioned dataset store. With -live-ingest (the
+// default), events accepted by POST /v1/events advance that store, so
+// /v1/condprob answers reflect them on the next query — no restart, no
+// reload; -live-ingest=false freezes the analysis dataset at boot while the
+// risk engine keeps scoring live events.
 //
 // With -wal, ingested events are write-ahead logged before the engine
 // observes them and the engine state is snapshotted periodically; on
-// startup the snapshot is restored and the WAL tail replayed, so a crashed
-// server resumes with state identical to an uninterrupted run. With
-// -chaos-seed, a deterministic fault injector wraps the handler (latency
-// spikes, 503s, aborted connections) for resilience testing.
+// startup the snapshot is restored and the WAL tail replayed — into both
+// the engine and the dataset store — so a crashed server resumes with state
+// identical to an uninterrupted run. With -chaos-seed, a deterministic
+// fault injector wraps the handler (latency spikes, 503s, aborted
+// connections) for resilience testing.
 //
 // A SIGINT drains in-flight requests and exits 0.
 //
@@ -42,6 +49,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/faultinject"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/server"
+	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/wal"
 )
@@ -57,6 +65,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.5, "catalog scale when generating")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	window := fs.Duration("window", trace.Day, "risk window and lift-table look-ahead")
+	liveIngest := fs.Bool("live-ingest", true, "apply accepted events to the versioned dataset store so condprob answers track ingest (false = freeze the analysis dataset at boot)")
 	walDir := fs.String("wal", "", "write-ahead-log directory (empty = no durability)")
 	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy: always, interval or never")
 	walFsyncEvery := fs.Duration("wal-fsync-interval", 100*time.Millisecond, "max time appends stay unsynced under -wal-fsync=interval")
@@ -113,14 +122,21 @@ func run(args []string) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	cfg := server.Config{Dataset: ds, Window: *window, Logf: logf}
+	// One versioned store owns the canonical event log: the server answers
+	// condprob from its snapshots, and (under -wal) the journal applies
+	// recovered and live events to it.
+	st, err := store.New(ds)
+	if err != nil {
+		return err
+	}
+	cfg := server.Config{Store: st, FrozenDataset: !*liveIngest, Window: *window, Logf: logf}
 
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walFsync)
 		if err != nil {
 			return cli.Usagef("%v", err)
 		}
-		engine, err := risk.FromDataset(ds, *window)
+		engine, err := risk.FromAnalyzer(st.Snapshot().Analyzer(), *window)
 		if err != nil {
 			return err
 		}
@@ -128,7 +144,7 @@ func run(args []string) error {
 		if *snapEvery > 0 {
 			snapPolicy = checkpoint.Fixed{Every: *snapEvery}
 		}
-		journal, stats, err := risk.OpenJournal(risk.JournalConfig{
+		jcfg := risk.JournalConfig{
 			Engine: engine,
 			WAL: wal.Options{
 				Dir:      *walDir,
@@ -136,13 +152,18 @@ func run(args []string) error {
 				Interval: *walFsyncEvery,
 			},
 			SnapshotPolicy: snapPolicy,
-		})
+		}
+		if *liveIngest {
+			jcfg.Store = st
+		}
+		journal, stats, err := risk.OpenJournal(jcfg)
 		if err != nil {
 			return err
 		}
 		defer journal.Close()
-		logf("hpcserve: wal %s: snapshot=%v (%d events), replayed %d, skipped %d",
-			*walDir, stats.SnapshotLoaded, stats.SnapshotEvents, stats.Replayed, stats.Skipped)
+		logf("hpcserve: wal %s: snapshot=%v (%d events), replayed %d, skipped %d, store-applied %d (dataset v%d)",
+			*walDir, stats.SnapshotLoaded, stats.SnapshotEvents, stats.Replayed, stats.Skipped,
+			stats.StoreApplied, st.Version())
 		cfg.Engine = engine
 		cfg.Journal = journal
 	}

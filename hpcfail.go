@@ -51,6 +51,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/server"
 	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/validate"
 	"github.com/hpcfail/hpcfail/internal/wal"
@@ -409,6 +410,25 @@ const (
 func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 	return risk.OpenJournal(cfg)
 }
+
+// Versioned-store re-exports: the copy-on-write dataset store that unifies
+// batch and online analysis (see internal/store). Readers pin an immutable
+// DatasetSnapshot (dataset + incrementally-maintained analyzer + monotonic
+// version) while writers append event batches; ServerConfig.Store and
+// JournalConfig.Store accept a shared DatasetStore so live ingest and WAL
+// recovery advance the analysis dataset the server answers from.
+type (
+	// DatasetStore is the versioned, copy-on-write owner of a canonical
+	// event log.
+	DatasetStore = store.Store
+	// DatasetSnapshot is one immutable version of a DatasetStore's world:
+	// dataset, ready analyzer, and version number.
+	DatasetSnapshot = store.Snapshot
+)
+
+// NewDatasetStore builds a versioned store over a sorted dataset; the
+// boot dataset becomes version 1.
+func NewDatasetStore(ds *Dataset) (*DatasetStore, error) { return store.New(ds) }
 
 // Client re-exports: the resilient API client (see internal/client).
 type (

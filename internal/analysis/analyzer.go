@@ -62,6 +62,46 @@ func New(ds *trace.Dataset) *Analyzer {
 	return a
 }
 
+// Append returns a new Analyzer over merged, which must be a.DS extended
+// with the events of batch: merged.Failures carries every old failure in its
+// first len(a.DS.Failures) positions (a tail extension) or, for late-arriving
+// batches, a full re-sort — Append detects which by length and falls back to
+// a from-scratch failure index when merged is not a tail extension. The
+// dataset index is maintained incrementally either way; job and maintenance
+// indexes are shared, since ingested failure events never carry job or
+// maintenance records. The receiver stays valid and immutable.
+func (a *Analyzer) Append(merged *trace.Dataset, batch []trace.Failure) *Analyzer {
+	na := &Analyzer{DS: merged, Jobs: a.Jobs, maint: a.maint}
+	tail := a.Index != nil && len(merged.Failures) == len(a.DS.Failures)+len(batch)
+	if tail && len(a.DS.Failures) > 0 {
+		// A batch with an event older than the newest existing failure was
+		// merged by re-sorting, not appended: the old positions moved.
+		last := a.DS.Failures[len(a.DS.Failures)-1].Time
+		for _, f := range batch {
+			if f.Time.Before(last) {
+				tail = false
+				break
+			}
+		}
+	}
+	if tail {
+		na.Index = a.Index.Append(merged.Failures)
+	} else {
+		na.Index = trace.NewIndex(merged.Failures)
+	}
+	if a.didx != nil {
+		na.didx = a.didx.Append(merged, batch)
+	} else {
+		na.didx = NewDatasetIndex(merged)
+	}
+	return na
+}
+
+// DatasetIndex exposes the class-partitioned index behind the indexed
+// conditional-probability kernel (nil on hand-assembled Analyzers). Callers
+// must treat it as read-only.
+func (a *Analyzer) DatasetIndex() *DatasetIndex { return a.didx }
+
 // maintAny reports whether the node has an unscheduled hardware maintenance
 // event inside iv.
 func (a *Analyzer) maintAny(system, node int, iv trace.Interval) bool {

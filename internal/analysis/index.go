@@ -1,8 +1,11 @@
 package analysis
 
 import (
+	"sort"
+	"sync/atomic"
 	"time"
 
+	"github.com/hpcfail/hpcfail/internal/layout"
 	"github.com/hpcfail/hpcfail/internal/trace"
 )
 
@@ -18,8 +21,9 @@ import (
 // Predicates built from the standard constructors route to the posting list
 // of their trace.Class; PredOf predicates (trace.ClassOpaque) fall back to
 // the ClassAny timeline filtered per event, which is still window-bounded by
-// binary search. The index is immutable after construction and safe for
-// concurrent readers.
+// binary search. The index is immutable once published and safe for
+// concurrent readers; Append extends it copy-on-write without disturbing
+// readers of the old value.
 type DatasetIndex struct {
 	sys map[int]*systemIndex
 }
@@ -44,6 +48,13 @@ type systemIndex struct {
 	// allocate nothing per anchor. Nil maps for systems without layouts.
 	rackOf map[int]int
 	mates  map[int][]int
+
+	// extended is claimed (once, by CAS) by the first Append that wants to
+	// grow this system's slices into their spare capacity. Readers only ever
+	// look at the first len elements they were published with, so tail
+	// growth by the unique claim holder is safe; any other Append that
+	// reaches this system loses the claim and rebuilds it instead.
+	extended atomic.Bool
 }
 
 // NewDatasetIndex builds the index over a sorted dataset. Every system
@@ -54,10 +65,7 @@ func NewDatasetIndex(ds *trace.Dataset) *DatasetIndex {
 	sysOf := func(id int) *systemIndex {
 		si := x.sys[id]
 		if si == nil {
-			si = &systemIndex{
-				nodeClass: make(map[nodeClassKey][]int32),
-				rackClass: make(map[nodeClassKey][]int32),
-			}
+			si = newSystemIndex(layoutMaps(ds.Layouts[id]))
 			x.sys[id] = si
 		}
 		return si
@@ -65,38 +73,169 @@ func NewDatasetIndex(ds *trace.Dataset) *DatasetIndex {
 	for _, s := range ds.Systems {
 		sysOf(s.ID)
 	}
-	for _, f := range ds.Failures {
-		si := sysOf(f.System)
-		si.fails = append(si.fails, f)
-	}
 	var clsBuf [4]trace.Class
-	for id, si := range x.sys {
-		if lay := ds.Layouts[id]; lay != nil {
-			nodes := lay.Nodes()
-			si.rackOf = make(map[int]int, len(nodes))
-			si.mates = make(map[int][]int, len(nodes))
-			for _, n := range nodes {
-				si.rackOf[n] = lay.Rack(n)
-				si.mates[n] = lay.RackMates(n)
-			}
-		}
-		si.times = make([]time.Time, len(si.fails))
-		for i := range si.fails {
-			f := &si.fails[i]
-			si.times[i] = f.Time
-			p := int32(i)
-			for _, c := range trace.ClassesOf(*f, clsBuf[:0]) {
-				si.byClass[c] = append(si.byClass[c], p)
-				k := nodeClassKey{f.Node, c}
-				si.nodeClass[k] = append(si.nodeClass[k], p)
-				if r, ok := si.rackOf[f.Node]; ok {
-					rk := nodeClassKey{r, c}
-					si.rackClass[rk] = append(si.rackClass[rk], p)
-				}
-			}
-		}
+	for _, f := range ds.Failures {
+		sysOf(f.System).add(f, clsBuf[:0])
 	}
 	return x
+}
+
+// newSystemIndex returns an empty per-system index sharing the given layout
+// maps (which are immutable once built).
+func newSystemIndex(rackOf map[int]int, mates map[int][]int) *systemIndex {
+	return &systemIndex{
+		nodeClass: make(map[nodeClassKey][]int32),
+		rackClass: make(map[nodeClassKey][]int32),
+		rackOf:    rackOf,
+		mates:     mates,
+	}
+}
+
+// layoutMaps precomputes the rack-per-node and rack-mates maps of a layout.
+func layoutMaps(lay *layout.Layout) (map[int]int, map[int][]int) {
+	if lay == nil {
+		return nil, nil
+	}
+	nodes := lay.Nodes()
+	rackOf := make(map[int]int, len(nodes))
+	mates := make(map[int][]int, len(nodes))
+	for _, n := range nodes {
+		rackOf[n] = lay.Rack(n)
+		mates[n] = lay.RackMates(n)
+	}
+	return rackOf, mates
+}
+
+// add indexes one event at the tail of the timeline. The event's time must
+// not precede the current last event. clsBuf is scratch for ClassesOf.
+func (si *systemIndex) add(f trace.Failure, clsBuf []trace.Class) {
+	p := int32(len(si.fails))
+	si.fails = append(si.fails, f)
+	si.times = append(si.times, f.Time)
+	for _, c := range trace.ClassesOf(f, clsBuf) {
+		si.byClass[c] = append(si.byClass[c], p)
+		k := nodeClassKey{f.Node, c}
+		si.nodeClass[k] = append(si.nodeClass[k], p)
+		if r, ok := si.rackOf[f.Node]; ok {
+			rk := nodeClassKey{r, c}
+			si.rackClass[rk] = append(si.rackClass[rk], p)
+		}
+	}
+}
+
+// cowCopy returns a copy of si with freshly allocated posting-list maps so
+// the copy can grow without mutating map state concurrent readers of si are
+// iterating. The slice headers (timeline and posting lists) are shared; the
+// caller must hold the parent index's extension claim before appending to
+// them in place.
+func (si *systemIndex) cowCopy() *systemIndex {
+	ns := &systemIndex{
+		fails:     si.fails,
+		times:     si.times,
+		byClass:   si.byClass,
+		nodeClass: make(map[nodeClassKey][]int32, len(si.nodeClass)+8),
+		rackClass: make(map[nodeClassKey][]int32, len(si.rackClass)+8),
+		rackOf:    si.rackOf,
+		mates:     si.mates,
+	}
+	for k, v := range si.nodeClass {
+		ns.nodeClass[k] = v
+	}
+	for k, v := range si.rackClass {
+		ns.rackClass[k] = v
+	}
+	return ns
+}
+
+// lastTime returns the time of the system's newest event.
+func (si *systemIndex) lastTime() time.Time {
+	return si.times[len(si.times)-1]
+}
+
+// sortBatch orders a batch by (time, node, category) so equal inputs index
+// identically regardless of arrival order within the batch.
+func sortBatch(evs []trace.Failure) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if !a.Time.Equal(b.Time) {
+			return a.Time.Before(b.Time)
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Category < b.Category
+	})
+}
+
+// mergeByTime merges two time-sorted event sequences, older entries first on
+// ties, into a fresh slice.
+func mergeByTime(a, b []trace.Failure) []trace.Failure {
+	out := make([]trace.Failure, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if !b[j].Time.Before(a[i].Time) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// Append returns a new index covering x's events plus batch, leaving x and
+// every snapshot sharing its slices untouched. ds supplies layouts for
+// systems the batch introduces; batch events need not be sorted.
+//
+// Appends whose events land at or after a touched system's last indexed
+// event extend that system's time-sorted slices and posting lists in place —
+// amortized O(log n) per event plus a posting-map copy bounded by the
+// system's (node × class) catalog. In-place growth requires winning the
+// system's one-shot extension claim, which every linear chain of appends
+// (the versioned store's write path) does; late-arriving events, or a second
+// Append racing for the same parent system, fall back to rebuilding just
+// that system, which is slower but yields the same index contents.
+// Untouched systems are always shared.
+func (x *DatasetIndex) Append(ds *trace.Dataset, batch []trace.Failure) *DatasetIndex {
+	if len(batch) == 0 {
+		return x
+	}
+	nx := &DatasetIndex{sys: make(map[int]*systemIndex, len(x.sys)+1)}
+	for id, si := range x.sys {
+		nx.sys[id] = si
+	}
+	var order []int
+	perSys := make(map[int][]trace.Failure)
+	for _, f := range batch {
+		if _, ok := perSys[f.System]; !ok {
+			order = append(order, f.System)
+		}
+		perSys[f.System] = append(perSys[f.System], f)
+	}
+	var clsBuf [4]trace.Class
+	for _, id := range order {
+		evs := perSys[id]
+		sortBatch(evs)
+		old := x.sys[id]
+		var ns *systemIndex
+		switch {
+		case old == nil:
+			ns = newSystemIndex(layoutMaps(ds.Layouts[id]))
+		case (len(old.times) == 0 || !evs[0].Time.Before(old.lastTime())) &&
+			old.extended.CompareAndSwap(false, true):
+			ns = old.cowCopy()
+		default:
+			evs = mergeByTime(old.fails, evs)
+			ns = newSystemIndex(old.rackOf, old.mates)
+		}
+		for _, f := range evs {
+			ns.add(f, clsBuf[:0])
+		}
+		nx.sys[id] = ns
+	}
+	return nx
 }
 
 // system returns the per-system index, or nil when the system has no entry.

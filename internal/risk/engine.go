@@ -101,12 +101,18 @@ func New(cfg Config) (*Engine, error) {
 // FromDataset builds the whole offline-to-online pipeline in one call: an
 // analyzer over ds, a lift table for window w, and an engine over it.
 func FromDataset(ds *trace.Dataset, w time.Duration) (*Engine, error) {
-	a := analysis.New(ds)
-	table, err := a.BuildLiftTable(ds.Systems, w)
+	return FromAnalyzer(analysis.New(ds), w)
+}
+
+// FromAnalyzer builds an engine from an existing analyzer, avoiding a
+// second index build when the caller already has one — e.g. the versioned
+// dataset store's boot snapshot.
+func FromAnalyzer(a *analysis.Analyzer, w time.Duration) (*Engine, error) {
+	table, err := a.BuildLiftTable(a.DS.Systems, w)
 	if err != nil {
 		return nil, err
 	}
-	return New(Config{Table: table, Systems: ds.Systems, Layouts: ds.Layouts})
+	return New(Config{Table: table, Systems: a.DS.Systems, Layouts: a.DS.Layouts})
 }
 
 // Window returns the engine's sliding-window length.

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/wal"
 )
@@ -222,6 +223,11 @@ type JournalConfig struct {
 	SnapshotPolicy checkpoint.Policy
 	// Now supplies the snapshot-spacing clock; defaults to time.Now.
 	Now func() time.Time
+	// Store, when set, receives every event the journal applies — both the
+	// recovery replay (snapshot actives plus WAL tail, as one batch) and
+	// live Observes — so the analytics dataset and the risk window rebuild
+	// from one pass over one log instead of maintaining two recovery paths.
+	Store *store.Store
 }
 
 // RecoveryStats reports what OpenJournal reconstructed.
@@ -235,6 +241,9 @@ type RecoveryStats struct {
 	// Skipped counts WAL records the engine rejected on replay (catalog
 	// drift between runs — never fatal, always counted).
 	Skipped int
+	// StoreApplied counts recovered events applied to the dataset store
+	// (zero when the journal has no store).
+	StoreApplied int
 }
 
 // Journal is the durable ingest path: a mutex-serialized
@@ -245,6 +254,7 @@ type Journal struct {
 	mu       sync.Mutex
 	engine   *Engine
 	log      *wal.Log
+	store    *store.Store
 	snapPath string
 	policy   checkpoint.Policy
 	now      func() time.Time
@@ -302,6 +312,16 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 		log.Close()
 		return nil, stats, fmt.Errorf("risk: WAL begins at record %d but snapshot %s covers only %d — records %d..%d are missing, refusing to start", first, snapPath, applied, applied, first-1)
 	}
+	// recovered collects every event the engine accepted — the snapshot's
+	// active set plus the replayed WAL tail — so the dataset store can be
+	// brought to the same cut in one batched append. Events the engine's
+	// retention already dropped before the snapshot exist nowhere else and
+	// are gone for the store too; see DESIGN.md §5e for why that asymmetry
+	// is accepted.
+	var recovered []trace.Failure
+	if cfg.Store != nil && stats.SnapshotLoaded {
+		recovered = append(recovered, snap.Active...)
+	}
 	err = log.Replay(applied, func(idx uint64, payload []byte) error {
 		f, derr := DecodeEvent(payload)
 		if derr != nil {
@@ -312,6 +332,9 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 			stats.Skipped++
 			return nil
 		}
+		if cfg.Store != nil {
+			recovered = append(recovered, f)
+		}
 		stats.Replayed++
 		return nil
 	})
@@ -319,9 +342,17 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 		log.Close()
 		return nil, stats, err
 	}
+	if len(recovered) > 0 {
+		if _, err := cfg.Store.Append(recovered); err != nil {
+			log.Close()
+			return nil, stats, fmt.Errorf("risk: applying recovered events to dataset store: %w", err)
+		}
+		stats.StoreApplied = len(recovered)
+	}
 	return &Journal{
 		engine:   cfg.Engine,
 		log:      log,
+		store:    cfg.Store,
 		snapPath: snapPath,
 		policy:   cfg.SnapshotPolicy,
 		now:      now,
@@ -332,14 +363,21 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 // Engine returns the journaled engine (for scoring reads).
 func (j *Journal) Engine() *Engine { return j.engine }
 
+// Store returns the dataset store the journal applies events to, or nil.
+func (j *Journal) Store() *store.Store { return j.store }
+
 // ErrAppend marks a WAL-append failure inside Observe: the event was valid
 // but could not be made durable. Serving layers treat it as a server-side
 // fault (500), never a per-event rejection.
 var ErrAppend = errors.New("risk: journal append failed")
 
 // Observe durably ingests one event: validate against the catalog, append
-// to the WAL (fsync per policy), then observe in memory. Events that fail
-// validation are rejected before touching the log.
+// to the WAL (fsync per policy), then observe in memory and apply to the
+// dataset store when one is configured. Events that fail validation are
+// rejected before touching the log. A store rejection after the WAL accept
+// is reported as ErrAppend: the event is durable and will reach both states
+// on the next recovery, so the caller must treat the request as a server
+// fault, not a rejection.
 func (j *Journal) Observe(f trace.Failure) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -349,7 +387,15 @@ func (j *Journal) Observe(f trace.Failure) error {
 	if _, err := j.log.Append(EncodeEvent(f)); err != nil {
 		return fmt.Errorf("%w: %v", ErrAppend, err)
 	}
-	return j.engine.Observe(f)
+	if err := j.engine.Observe(f); err != nil {
+		return err
+	}
+	if j.store != nil {
+		if _, err := j.store.Append([]trace.Failure{f}); err != nil {
+			return fmt.Errorf("%w: dataset store: %v", ErrAppend, err)
+		}
+	}
+	return nil
 }
 
 // Sync flushes outstanding WAL appends regardless of fsync policy — the

@@ -86,6 +86,10 @@ type gauges struct {
 	breakerTrips   uint64
 	walRecords     uint64
 	walSegments    int
+	datasetVersion uint64
+	datasetEvents  int
+	storeAppends   uint64
+	storeRebuilds  uint64
 	admission      map[string]admissionGauge
 }
 
@@ -174,6 +178,18 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP hpcserve_wal_segments Live write-ahead-log segment files.")
 	fmt.Fprintln(w, "# TYPE hpcserve_wal_segments gauge")
 	fmt.Fprintf(w, "hpcserve_wal_segments %d\n", g.walSegments)
+	fmt.Fprintln(w, "# HELP hpcserve_dataset_version Current version of the dataset store.")
+	fmt.Fprintln(w, "# TYPE hpcserve_dataset_version gauge")
+	fmt.Fprintf(w, "hpcserve_dataset_version %d\n", g.datasetVersion)
+	fmt.Fprintln(w, "# HELP hpcserve_dataset_events Failure events in the current dataset snapshot.")
+	fmt.Fprintln(w, "# TYPE hpcserve_dataset_events gauge")
+	fmt.Fprintf(w, "hpcserve_dataset_events %d\n", g.datasetEvents)
+	fmt.Fprintln(w, "# HELP hpcserve_store_appends_total Batches applied to the dataset store since start.")
+	fmt.Fprintln(w, "# TYPE hpcserve_store_appends_total counter")
+	fmt.Fprintf(w, "hpcserve_store_appends_total %d\n", g.storeAppends)
+	fmt.Fprintln(w, "# HELP hpcserve_store_rebuilds_total Store appends that fell back to a full index rebuild.")
+	fmt.Fprintln(w, "# TYPE hpcserve_store_rebuilds_total counter")
+	fmt.Fprintf(w, "hpcserve_store_rebuilds_total %d\n", g.storeRebuilds)
 
 	admRoutes := make([]string, 0, len(g.admission))
 	for route := range g.admission {

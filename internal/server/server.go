@@ -14,6 +14,13 @@
 //	GET  /healthz                     liveness
 //	GET  /metrics                     Prometheus text metrics
 //
+// The server answers every request from an immutable snapshot of a
+// versioned dataset store (internal/store): handlers pin one snapshot, so a
+// response is internally consistent even while POST /v1/events advances the
+// dataset underneath. Responses carry the snapshot's version in an
+// X-Dataset-Version header, and conditional-probability cache keys embed it,
+// so a cached answer can never leak across dataset versions.
+//
 // Conditional-probability responses are cached on the canonicalized query
 // and deduplicated singleflight-style: concurrent identical queries compute
 // once. Every request runs under a timeout and per-route admission control
@@ -41,14 +48,25 @@ import (
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/stats"
+	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
 )
 
 // Config assembles a Server.
 type Config struct {
-	// Dataset is the indexed in-memory dataset the server answers from.
-	// Required.
+	// Dataset is the in-memory dataset the server answers from; the server
+	// wraps it in a private versioned store. Required unless Store is set.
 	Dataset *trace.Dataset
+	// Store, when set, is the versioned dataset store the server resolves
+	// requests against, and Dataset is ignored. Pass the same store the
+	// journal applies events to so batch history and live ingest share one
+	// canonical event log.
+	Store *store.Store
+	// FrozenDataset stops POST /v1/events from advancing the server's own
+	// store: accepted events still feed the risk engine, but condprob
+	// answers stay pinned to the boot dataset. A journal that owns the
+	// store keeps advancing it regardless.
+	FrozenDataset bool
 	// Window is the risk engine's sliding window (and the lift table's
 	// look-ahead). Defaults to one day. Ignored when Engine is set.
 	Window time.Duration
@@ -99,19 +117,19 @@ func defaultLimits() map[string]RouteLimit {
 // Server answers the API over one dataset. Build with New; the zero value
 // is not usable.
 type Server struct {
-	ds       *trace.Dataset
-	analyzer *analysis.Analyzer
-	engine   *risk.Engine
-	journal  *risk.Journal
-	cache    *resultCache
-	metrics  *metrics
-	idem     *idemCache
-	limits   map[string]*limiter
-	breaker  *breaker
-	wrap     func(http.Handler) http.Handler
-	timeout  time.Duration
-	now      func() time.Time
-	logf     func(format string, args ...any)
+	store   *store.Store
+	frozen  bool
+	engine  *risk.Engine
+	journal *risk.Journal
+	cache   *resultCache
+	metrics *metrics
+	idem    *idemCache
+	limits  map[string]*limiter
+	breaker *breaker
+	wrap    func(http.Handler) http.Handler
+	timeout time.Duration
+	now     func() time.Time
+	logf    func(format string, args ...any)
 	// inflight tracks running request handlers so shutdown can join them
 	// before tearing down shared state.
 	inflight sync.WaitGroup
@@ -120,13 +138,22 @@ type Server struct {
 	base context.Context
 }
 
-// New builds a server over the config's dataset, constructing the risk
-// engine (analyzer, lift table, sliding windows) when one is not supplied.
+// New builds a server over the config's store (or a private store over its
+// dataset), constructing the risk engine (lift table, sliding windows) from
+// the boot snapshot's analyzer when one is not supplied.
 func New(cfg Config) (*Server, error) {
-	if cfg.Dataset == nil {
-		return nil, fmt.Errorf("server: nil dataset")
+	st := cfg.Store
+	if st == nil {
+		if cfg.Dataset == nil {
+			return nil, fmt.Errorf("server: nil dataset")
+		}
+		var err error
+		if st, err = store.New(cfg.Dataset); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
 	}
-	if len(cfg.Dataset.Systems) == 0 {
+	boot := st.Snapshot()
+	if len(boot.Dataset().Systems) == 0 {
 		return nil, fmt.Errorf("server: dataset has no systems")
 	}
 	w := cfg.Window
@@ -139,7 +166,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	if engine == nil {
 		var err error
-		if engine, err = risk.FromDataset(cfg.Dataset, w); err != nil {
+		if engine, err = risk.FromAnalyzer(boot.Analyzer(), w); err != nil {
 			return nil, err
 		}
 	}
@@ -168,26 +195,36 @@ func New(cfg Config) (*Server, error) {
 		limiters[route] = newLimiter(lim)
 	}
 	return &Server{
-		ds:       cfg.Dataset,
-		analyzer: analysis.New(cfg.Dataset),
-		engine:   engine,
-		journal:  cfg.Journal,
-		cache:    newResultCache(cacheSize),
-		metrics:  newMetrics(),
-		idem:     newIdemCache(1024),
-		limits:   limiters,
-		breaker:  newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, now),
-		wrap:     cfg.Middleware,
-		timeout:  timeout,
-		now:      now,
-		logf:     logf,
-		base:     context.Background(),
+		store:   st,
+		frozen:  cfg.FrozenDataset,
+		engine:  engine,
+		journal: cfg.Journal,
+		cache:   newResultCache(cacheSize),
+		metrics: newMetrics(),
+		idem:    newIdemCache(1024),
+		limits:  limiters,
+		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, now),
+		wrap:    cfg.Middleware,
+		timeout: timeout,
+		now:     now,
+		logf:    logf,
+		base:    context.Background(),
 	}, nil
 }
 
 // Engine returns the server's risk engine (shared, safe for concurrent
 // use) so callers can pre-seed events.
 func (s *Server) Engine() *risk.Engine { return s.engine }
+
+// Store returns the versioned dataset store the server answers from.
+func (s *Server) Store() *store.Store { return s.store }
+
+// setVersion stamps the response with the pinned snapshot's dataset
+// version, so clients (and the stale-cache test) can tell which dataset a
+// response was computed over.
+func setVersion(w http.ResponseWriter, snap *store.Snapshot) {
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(snap.Version(), 10))
+}
 
 // Handler returns the server's routed HTTP handler, wrapped in the
 // configured middleware (chaos injection in tests) when one is set.
@@ -266,15 +303,20 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.store.Snapshot()
+	setVersion(w, snap)
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status":  "ok",
-		"systems": len(s.ds.Systems),
-		"window":  s.engine.Window().String(),
+		"status":          "ok",
+		"systems":         len(snap.Dataset().Systems),
+		"window":          s.engine.Window().String(),
+		"dataset_version": snap.Version(),
+		"dataset_events":  snap.Events(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.engine.Snapshot()
+	dsnap := s.store.Snapshot()
 	open, trips := s.breaker.snapshot()
 	g := gauges{
 		engineLag:      s.engine.Lag(s.now()),
@@ -283,6 +325,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		cacheEntries:   s.cache.Len(),
 		breakerOpen:    open,
 		breakerTrips:   trips,
+		datasetVersion: dsnap.Version(),
+		datasetEvents:  dsnap.Events(),
+		storeAppends:   s.store.Appends(),
+		storeRebuilds:  s.store.Rebuilds(),
 		admission:      make(map[string]admissionGauge, len(s.limits)),
 	}
 	for route, lim := range s.limits {
@@ -309,19 +355,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // compares these bytes between a crashed-and-recovered server and an
 // uninterrupted one.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	// The version travels in a header, never the body: recovery tests
+	// byte-compare snapshot bodies between servers whose store versions
+	// legitimately differ (one recovered in a single batch, one fed live).
+	setVersion(w, s.store.Snapshot())
 	s.writeJSON(w, http.StatusOK, risk.SnapshotJSON(s.engine.Snapshot()))
 }
 
-// pickSystem resolves an optional system parameter: 0 means "the dataset's
-// only system" and is an error when there are several.
-func (s *Server) pickSystem(id int) (trace.SystemInfo, error) {
+// pickSystem resolves an optional system parameter against one pinned
+// dataset: 0 means "the dataset's only system" and is an error when there
+// are several.
+func pickSystem(ds *trace.Dataset, id int) (trace.SystemInfo, error) {
 	if id == 0 {
-		if len(s.ds.Systems) == 1 {
-			return s.ds.Systems[0], nil
+		if len(ds.Systems) == 1 {
+			return ds.Systems[0], nil
 		}
-		return trace.SystemInfo{}, fmt.Errorf("dataset covers %d systems; pass ?system=", len(s.ds.Systems))
+		return trace.SystemInfo{}, fmt.Errorf("dataset covers %d systems; pass ?system=", len(ds.Systems))
 	}
-	sys, ok := s.ds.System(id)
+	sys, ok := ds.System(id)
 	if !ok {
 		return trace.SystemInfo{}, fmt.Errorf("unknown system %d", id)
 	}
@@ -410,7 +461,9 @@ func (s *Server) handleRiskNode(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	sys, err := s.pickSystem(q.System)
+	snap := s.store.Snapshot()
+	setVersion(w, snap)
+	sys, err := pickSystem(snap.Dataset(), q.System)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -433,8 +486,10 @@ func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	snap := s.store.Snapshot()
+	setVersion(w, snap)
 	if q.System != 0 {
-		if _, err := s.pickSystem(q.System); err != nil {
+		if _, err := pickSystem(snap.Dataset(), q.System); err != nil {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -442,7 +497,7 @@ func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
 	// Clamp k to the node population in scope: asking for more rows than
 	// nodes is harmless intent, not an error.
 	nodes := 0
-	for _, sys := range s.ds.Systems {
+	for _, sys := range snap.Dataset().Systems {
 		if q.System == 0 || sys.ID == q.System {
 			nodes += sys.Nodes
 		}
@@ -493,18 +548,19 @@ func proportionOf(p stats.Proportion, ci stats.Interval) proportionJSON {
 
 // condProbJSON is the /v1/condprob response body.
 type condProbJSON struct {
-	Anchor      string         `json:"anchor"`
-	Target      string         `json:"target"`
-	Window      string         `json:"window"`
-	Scope       string         `json:"scope"`
-	Group       int            `json:"group"`
-	Conditional proportionJSON `json:"conditional"`
-	Baseline    proportionJSON `json:"baseline"`
-	Factor      float64        `json:"factor"`
-	FactorLo    float64        `json:"factor_lo"`
-	FactorHi    float64        `json:"factor_hi"`
-	PValue      float64        `json:"p_value"`
-	Significant bool           `json:"significant_5pct"`
+	Anchor         string         `json:"anchor"`
+	Target         string         `json:"target"`
+	Window         string         `json:"window"`
+	Scope          string         `json:"scope"`
+	Group          int            `json:"group"`
+	DatasetVersion uint64         `json:"dataset_version"`
+	Conditional    proportionJSON `json:"conditional"`
+	Baseline       proportionJSON `json:"baseline"`
+	Factor         float64        `json:"factor"`
+	FactorLo       float64        `json:"factor_lo"`
+	FactorHi       float64        `json:"factor_hi"`
+	PValue         float64        `json:"p_value"`
+	Significant    bool           `json:"significant_5pct"`
 }
 
 func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
@@ -513,12 +569,19 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Cached answers flow regardless of breaker state: the dataset is
-	// immutable, so a cached result is correct even while compute is
+	// Pin one snapshot for the whole request and key the cache by its
+	// version: an append in flight cannot tear this answer, and a cached
+	// result computed over an older dataset version can never be served
+	// for a newer one (the key simply differs).
+	snap := s.store.Snapshot()
+	setVersion(w, snap)
+	key := fmt.Sprintf("v%d|%s", snap.Version(), q.Key())
+	// Cached answers flow regardless of breaker state: the pinned snapshot
+	// is immutable, so a cached result is correct even while compute is
 	// degraded. Only a cache miss consults the breaker — a hit must never
 	// consume the half-open trial slot (nothing would report back and the
 	// breaker would wedge half-open).
-	if val, ok := s.cache.Get(q.Key()); ok {
+	if val, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		w.Header().Set("X-Cache", "HIT")
 		if open, _ := s.breaker.snapshot(); open {
@@ -542,11 +605,11 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 	// so one caller hanging up must not poison it. The request's own
 	// timeout still applies to the wait below.
 	computed := false
-	val, oc, err := s.cache.Do(q.Key(), func() (any, error) {
+	val, oc, err := s.cache.Do(key, func() (any, error) {
 		computed = true
 		ctx, cancel := context.WithTimeout(s.base, s.timeout)
 		defer cancel()
-		return s.computeCondProb(ctx, q)
+		return s.computeCondProb(ctx, snap, q)
 	})
 	switch oc {
 	case outcomeHit:
@@ -576,18 +639,20 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, val)
 }
 
-// computeCondProb runs the actual analysis for one canonical query.
-func (s *Server) computeCondProb(ctx context.Context, q condProbQuery) (condProbJSON, error) {
+// computeCondProb runs the actual analysis for one canonical query over one
+// pinned snapshot — the dataset and its indexes cannot change underneath it.
+func (s *Server) computeCondProb(ctx context.Context, snap *store.Snapshot, q condProbQuery) (condProbJSON, error) {
 	anchor, target, err := q.preds()
 	if err != nil {
 		return condProbJSON{}, err
 	}
-	systems := s.ds.Systems
+	ds := snap.Dataset()
+	systems := ds.Systems
 	switch q.group {
 	case 1:
-		systems = s.ds.GroupSystems(trace.Group1)
+		systems = ds.GroupSystems(trace.Group1)
 	case 2:
-		systems = s.ds.GroupSystems(trace.Group2)
+		systems = ds.GroupSystems(trace.Group2)
 	}
 	// Admission through the shared analysis pool bounds how many kernel
 	// computations run at once when many distinct queries miss the cache
@@ -595,25 +660,26 @@ func (s *Server) computeCondProb(ctx context.Context, q condProbQuery) (condProb
 	var res analysis.CondResult
 	err = analysis.Shared().Do(ctx, func() error {
 		var cerr error
-		res, cerr = s.analyzer.CondProbCtx(ctx, systems, anchor, target, q.window, q.scope)
+		res, cerr = snap.Analyzer().CondProbCtx(ctx, systems, anchor, target, q.window, q.scope)
 		return cerr
 	})
 	if err != nil {
 		return condProbJSON{}, err
 	}
 	return condProbJSON{
-		Anchor:      q.anchor,
-		Target:      q.target,
-		Window:      trace.WindowName(q.window),
-		Scope:       q.scope.String(),
-		Group:       q.group,
-		Conditional: proportionOf(res.Conditional, res.CondCI),
-		Baseline:    proportionOf(res.Baseline, res.BaseCI),
-		Factor:      finite(res.Factor()),
-		FactorLo:    finite(res.FactorCI.Lo),
-		FactorHi:    finite(res.FactorCI.Hi),
-		PValue:      finite(res.Test.P),
-		Significant: res.Significant(0.05),
+		Anchor:         q.anchor,
+		Target:         q.target,
+		Window:         trace.WindowName(q.window),
+		Scope:          q.scope.String(),
+		Group:          q.group,
+		DatasetVersion: snap.Version(),
+		Conditional:    proportionOf(res.Conditional, res.CondCI),
+		Baseline:       proportionOf(res.Baseline, res.BaseCI),
+		Factor:         finite(res.Factor()),
+		FactorLo:       finite(res.FactorCI.Lo),
+		FactorHi:       finite(res.FactorCI.Hi),
+		PValue:         finite(res.Test.P),
+		Significant:    res.Significant(0.05),
 	}, nil
 }
 
@@ -684,6 +750,9 @@ const idemKeyHeader = "X-Idempotency-Key"
 type eventsResponse struct {
 	Accepted int              `json:"accepted"`
 	Rejected []eventRejection `json:"rejected,omitempty"`
+	// DatasetVersion is the store version after this batch was applied —
+	// the version whose /v1/condprob answers reflect these events.
+	DatasetVersion uint64 `json:"dataset_version"`
 }
 
 type eventRejection struct {
@@ -770,6 +839,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if s.journal != nil {
 		observe = s.journal.Observe
 	}
+	// The server batch-appends accepted events to its dataset store unless
+	// the dataset is frozen or the journal already applies its observes to
+	// this same store (one writer per canonical log, never two).
+	storeIngest := !s.frozen && (s.journal == nil || s.journal.Store() != s.store)
+	var acceptedEvents []trace.Failure
+	flushStore := func() {
+		if !storeIngest || len(acceptedEvents) == 0 {
+			return
+		}
+		// The store validates exactly what the engine validated, so a
+		// rejection here is a bug, not bad input; surface it in the logs
+		// rather than un-acking events the engine (and WAL) accepted.
+		if _, err := s.store.Append(acceptedEvents); err != nil {
+			s.logf("server: dataset store append: %v", err)
+		}
+		acceptedEvents = nil
+	}
 	now := s.now()
 	accepted := 0
 	var rejected []eventRejection
@@ -786,8 +872,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				// and record the failure under the idempotency key, because
 				// events earlier in the batch are already durable and
 				// observed: a retry must replay this 500, not re-ingest
-				// that prefix.
+				// that prefix. The durable prefix still reaches the store,
+				// keeping dataset and engine telling one story.
 				s.logf("server: %v", err)
+				flushStore()
+				setVersion(w, s.store.Snapshot())
 				respond(http.StatusInternalServerError, apiError{Error: "event log unavailable"})
 				return
 			}
@@ -797,12 +886,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted++
 		s.metrics.eventsIn.Add(1)
+		acceptedEvents = append(acceptedEvents, f)
 	}
+	flushStore()
+	snap := s.store.Snapshot()
+	setVersion(w, snap)
 	code := http.StatusOK
 	if accepted == 0 {
 		code = http.StatusBadRequest
 	}
-	respond(code, eventsResponse{Accepted: accepted, Rejected: rejected})
+	respond(code, eventsResponse{Accepted: accepted, Rejected: rejected, DatasetVersion: snap.Version()})
 }
 
 // Serve listens on addr and serves until ctx is cancelled, then drains
@@ -883,8 +976,9 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 		}
 	}()
 
-	s.logf("hpcserve: listening on http://%s (window %s, %d systems)",
-		ln.Addr(), s.engine.Window(), len(s.ds.Systems))
+	boot := s.store.Snapshot()
+	s.logf("hpcserve: listening on http://%s (window %s, %d systems, dataset v%d)",
+		ln.Addr(), s.engine.Window(), len(boot.Dataset().Systems), boot.Version())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestCondProbCacheVersionIsolation pins the stale-cache fix: condprob cache
+// keys embed the dataset version, so after POST /v1/events advances the
+// store, the same query must MISS and recompute — a HIT can only ever pair
+// with the version that populated the entry. Before the fix, the pre-append
+// answer would keep serving as a HIT forever.
+func TestCondProbCacheVersionIsolation(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	url := ts.URL + "/v1/condprob?anchor=HW&window=week&scope=node"
+
+	get := func() (cache string, version uint64, out condProbJSON) {
+		t.Helper()
+		resp := getJSON(t, url, http.StatusOK, &out)
+		v, err := strconv.ParseUint(resp.Header.Get("X-Dataset-Version"), 10, 64)
+		if err != nil {
+			t.Fatalf("bad X-Dataset-Version %q: %v", resp.Header.Get("X-Dataset-Version"), err)
+		}
+		if v != out.DatasetVersion {
+			t.Fatalf("header version %d != body version %d", v, out.DatasetVersion)
+		}
+		return resp.Header.Get("X-Cache"), v, out
+	}
+
+	c1, v1, r1 := get()
+	if c1 != "MISS" {
+		t.Fatalf("cold query X-Cache = %q, want MISS", c1)
+	}
+	c2, v2, r2 := get()
+	if c2 != "HIT" {
+		t.Fatalf("repeat query X-Cache = %q, want HIT", c2)
+	}
+	if v2 != v1 {
+		t.Fatalf("HIT at version %d for an entry populated at version %d", v2, v1)
+	}
+	if r1 != r2 {
+		t.Fatalf("cached result differs: %+v vs %+v", r1, r2)
+	}
+
+	// Advance the dataset with an in-period hardware failure: a new anchor
+	// that must change the conditional's trial count.
+	resp, body := postEvents(t, ts.URL,
+		`{"events":[{"system":1,"node":1,"category":"HW","hw":"CPU","time":"2000-03-01T00:00:00Z"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST events = %d; body: %s", resp.StatusCode, body)
+	}
+
+	c3, v3, r3 := get()
+	if c3 != "MISS" {
+		t.Fatalf("post-append query X-Cache = %q, want MISS (stale hit across dataset versions)", c3)
+	}
+	if v3 <= v1 {
+		t.Fatalf("dataset version %d did not advance past %d", v3, v1)
+	}
+	if r3.Conditional.Trials == r1.Conditional.Trials {
+		t.Errorf("conditional trials unchanged (%d) after ingesting a new anchor", r3.Conditional.Trials)
+	}
+	c4, v4, r4 := get()
+	if c4 != "HIT" || v4 != v3 {
+		t.Fatalf("repeat at new version: X-Cache=%q version=%d, want HIT at %d", c4, v4, v3)
+	}
+	if r3 != r4 {
+		t.Fatalf("cached result differs at new version: %+v vs %+v", r3, r4)
+	}
+}
+
+// TestEventsVersionAdvance pins the wiring between ingest and the store:
+// accepted events advance the dataset version reported in the response, a
+// fully rejected batch leaves it untouched, and a frozen server never moves.
+func TestEventsVersionAdvance(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	_, body := postEvents(t, ts.URL, `{"events":[{"system":1,"node":0,"category":"NET"}]}`)
+	var r1 eventsResponse
+	mustDecode(t, body, &r1)
+	if r1.DatasetVersion != 2 {
+		t.Fatalf("version after first accepted batch = %d, want 2", r1.DatasetVersion)
+	}
+	_, body = postEvents(t, ts.URL, `{"events":[{"system":9,"node":0,"category":"NET"}]}`)
+	var r2 eventsResponse
+	mustDecode(t, body, &r2)
+	if r2.DatasetVersion != 2 {
+		t.Fatalf("rejected batch moved version to %d", r2.DatasetVersion)
+	}
+
+	frozen, _ := newTestServer(t, func(cfg *Config) { cfg.FrozenDataset = true })
+	_, body = postEvents(t, frozen.URL, `{"events":[{"system":1,"node":0,"category":"NET"}]}`)
+	var r3 eventsResponse
+	mustDecode(t, body, &r3)
+	if r3.Accepted != 1 || r3.DatasetVersion != 1 {
+		t.Fatalf("frozen server: accepted=%d version=%d, want 1 and 1", r3.Accepted, r3.DatasetVersion)
+	}
+}
+
+func mustDecode(t *testing.T, body []byte, out any) {
+	t.Helper()
+	if err := json.Unmarshal(body, out); err != nil {
+		t.Fatalf("decoding %s: %v", body, err)
+	}
+}

@@ -1,0 +1,136 @@
+package store_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/layout"
+	"github.com/hpcfail/hpcfail/internal/store"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// fuzzDataset builds a small two-system catalog (one with a layout, one
+// without) seeded with a handful of failures, cheap enough to rebuild per
+// fuzz execution.
+func fuzzDataset() *trace.Dataset {
+	base := time.Date(2001, 1, 1, 0, 0, 0, 0, time.UTC)
+	lay := layout.New(1)
+	for n := 0; n < 8; n++ {
+		_ = lay.SetPlace(n, layout.Place{Rack: n / 4, Position: n%4 + 1})
+	}
+	ds := &trace.Dataset{
+		Systems: []trace.SystemInfo{
+			{ID: 1, Group: trace.Group1, Nodes: 8, ProcsPerNode: 4,
+				Period: trace.Interval{Start: base, End: base.AddDate(0, 0, 60)}},
+			{ID: 2, Group: trace.Group2, Nodes: 4, ProcsPerNode: 16,
+				Period: trace.Interval{Start: base, End: base.AddDate(0, 0, 30)}},
+		},
+		Failures: []trace.Failure{
+			{System: 1, Node: 0, Time: base.AddDate(0, 0, 3), Category: trace.Hardware, HW: trace.Memory},
+			{System: 1, Node: 5, Time: base.AddDate(0, 0, 9), Category: trace.Software, SW: trace.OS},
+			{System: 2, Node: 1, Time: base.AddDate(0, 0, 12), Category: trace.Network},
+		},
+		Layouts: map[int]*layout.Layout{1: lay},
+	}
+	ds.Sort()
+	return ds
+}
+
+// FuzzStoreApply drives the store with arbitrary event batches decoded from
+// the fuzz input: mostly-valid events (and deliberately invalid ones when
+// the input says so) in arbitrary time order, split into batches at
+// input-chosen points. After every accepted batch the incrementally
+// maintained snapshot index must answer CountInWindow identically to a full
+// NewDatasetIndex rebuild over the snapshot's events, and nothing may panic.
+func FuzzStoreApply(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x10, 0x80, 0xff, 0x00, 0x03, 0x20})
+	f.Add([]byte{0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49, 0xfe, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap work per input: every batch boundary costs a differential
+		// rebuild, so unbounded inputs would stall the fuzzer rather than
+		// explore.
+		if len(data) > 512 {
+			data = data[:512]
+		}
+		ds := fuzzDataset()
+		base := ds.Systems[0].Period.Start
+		st, err := store.New(ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch []trace.Failure
+		apply := func() {
+			evs := batch
+			batch = nil
+			if len(evs) == 0 {
+				return
+			}
+			snap, err := st.Append(evs)
+			if err != nil {
+				return // invalid batches must be rejected, not applied
+			}
+			checkCounts(t, snap, base)
+		}
+		for i := 0; i+4 <= len(data); i += 4 {
+			b0, b1, b2, b3 := data[i], data[i+1], data[i+2], data[i+3]
+			if b0&0x80 != 0 {
+				apply()
+			}
+			f := trace.Failure{
+				System: 1 + int(b0&0x01),
+				Node:   int(b1 % 16), // can exceed system 2's 4 nodes: invalid
+				Time:   base.Add(time.Duration(int(b2)|int(b3&0x0f)<<8) * time.Hour),
+				Category: []trace.Category{trace.Environment, trace.Hardware, trace.Human,
+					trace.Network, trace.Software, trace.Undetermined}[int(b3>>4)%6],
+			}
+			switch f.Category {
+			case trace.Hardware:
+				f.HW = trace.HWComponents[int(b2)%len(trace.HWComponents)]
+			case trace.Software:
+				f.SW = trace.SWClasses[int(b2)%len(trace.SWClasses)]
+			case trace.Environment:
+				f.Env = trace.EnvClasses[int(b2)%len(trace.EnvClasses)]
+			}
+			if b1&0x40 != 0 {
+				f.Time = time.Time{} // deliberately invalid: zero time
+			}
+			batch = append(batch, f)
+		}
+		apply()
+	})
+}
+
+// checkCounts compares the snapshot's incrementally maintained index to a
+// from-scratch rebuild over the same events, probing CountInWindow with a
+// spread of predicates and windows.
+func checkCounts(t *testing.T, snap *store.Snapshot, base time.Time) {
+	t.Helper()
+	got := snap.Analyzer().DatasetIndex()
+	full := analysis.NewDatasetIndex(snap.Dataset())
+	preds := []trace.Pred{
+		nil,
+		trace.CategoryPred(trace.Hardware),
+		trace.CategoryPred(trace.Software),
+		trace.HWPred(trace.Memory),
+		trace.PredOf(func(f trace.Failure) bool { return f.Node%2 == 0 }),
+	}
+	windows := []trace.Interval{
+		{Start: base, End: base.AddDate(1, 0, 0)},
+		{Start: base.AddDate(0, 0, 5), End: base.AddDate(0, 0, 6)},
+		{Start: base.AddDate(0, 0, 100), End: base.AddDate(0, 0, 400)},
+	}
+	for _, sys := range []int{1, 2, 3} {
+		for pi, pred := range preds {
+			for wi, iv := range windows {
+				g := got.CountInWindow(sys, pred, iv)
+				w := full.CountInWindow(sys, pred, iv)
+				if g != w {
+					t.Fatalf("CountInWindow(sys=%d pred=%d window=%d) = %d, rebuild says %d (version %d, %d events)",
+						sys, pi, wi, g, w, snap.Version(), snap.Events())
+				}
+			}
+		}
+	}
+}

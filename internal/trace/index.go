@@ -2,6 +2,7 @@ package trace
 
 import (
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -22,6 +23,13 @@ type Index struct {
 	failures []Failure
 	byNode   map[NodeKey][]int
 	bySystem map[int][]int
+
+	// extended is claimed (once, by CAS) by the first Append so only one
+	// successor may grow this index's position lists into their spare
+	// capacity. Readers only look at the first len elements they were
+	// published with, so tail growth by the unique claim holder is safe;
+	// later Appends on the same index clip capacity and reallocate instead.
+	extended atomic.Bool
 }
 
 // NewIndex builds an index over failures, which must be sorted by time.
@@ -37,6 +45,47 @@ func NewIndex(failures []Failure) *Index {
 		ix.bySystem[f.System] = append(ix.bySystem[f.System], i)
 	}
 	return ix
+}
+
+// Append returns a new Index over failures, an extension of the slice this
+// index was built on: the first ix.Len() elements must be the events already
+// indexed (normally the same backing array with new events appended at the
+// tail). Only the new tail is indexed — O(tail) plus a copy of the two
+// posting maps — and the old index is never mutated. The first Append on an
+// index wins its extension claim and may grow the shared position lists into
+// spare capacity; any later Append on the same index clips capacity so
+// growth reallocates instead of scribbling over arrays the winner owns. The
+// resulting index is exactly NewIndex(failures) for a time-sorted extension,
+// which callers already guarantee for NewIndex.
+func (ix *Index) Append(failures []Failure) *Index {
+	if len(failures) < len(ix.failures) {
+		return NewIndex(failures)
+	}
+	inPlace := ix.extended.CompareAndSwap(false, true)
+	nx := &Index{
+		failures: failures,
+		byNode:   make(map[NodeKey][]int, len(ix.byNode)+8),
+		bySystem: make(map[int][]int, len(ix.bySystem)+1),
+	}
+	for k, v := range ix.byNode {
+		if !inPlace {
+			v = v[:len(v):len(v)]
+		}
+		nx.byNode[k] = v
+	}
+	for k, v := range ix.bySystem {
+		if !inPlace {
+			v = v[:len(v):len(v)]
+		}
+		nx.bySystem[k] = v
+	}
+	for i := len(ix.failures); i < len(failures); i++ {
+		f := failures[i]
+		k := NodeKey{f.System, f.Node}
+		nx.byNode[k] = append(nx.byNode[k], i)
+		nx.bySystem[f.System] = append(nx.bySystem[f.System], i)
+	}
+	return nx
 }
 
 // Len returns the number of indexed failures.
