@@ -6,7 +6,8 @@
 //
 //	hpcserve [-data dir | -seed 1 -scale 0.5] [-addr 127.0.0.1:8080] [-window 24h]
 //	         [-live-ingest=true] [-wal dir [-wal-fsync always|interval|never]
-//	         [-snapshot-every 5m]] [-chaos-seed N]
+//	         [-snapshot-every 5m]] [-shards N [-standby]] [-chaos-seed N]
+//	         [-chaos-kill-shard I -chaos-kill-after 5s]
 //
 // The server answers from a versioned dataset store. With -live-ingest (the
 // default), events accepted by POST /v1/events advance that store, so
@@ -18,11 +19,24 @@
 // observes them and the engine state is snapshotted periodically; on
 // startup the snapshot is restored and the WAL tail replayed — into both
 // the engine and the dataset store — so a crashed server resumes with state
-// identical to an uninterrupted run. With -chaos-seed, a deterministic
-// fault injector wraps the handler (latency spikes, 503s, aborted
-// connections) for resilience testing.
+// identical to an uninterrupted run.
 //
-// A SIGINT drains in-flight requests and exits 0.
+// With -shards N, the fleet is split into N supervised fault domains by
+// consistent hashing on system ID; each shard has its own store, engine and
+// (under -wal) WAL segment tree at <dir>/shard-NNN. Cross-system queries
+// scatter-gather with per-shard deadlines and answer partially (X-Partial:
+// true) when a shard is down. With -standby, every shard's WAL is tailed by
+// a warm standby that the supervisor promotes automatically when the shard
+// dies. GET /readyz reports not-ready until every shard serves and every
+// standby is warm.
+//
+// With -chaos-seed, a deterministic fault injector wraps the handler
+// (latency spikes, 503s, aborted connections) for resilience testing; with
+// -chaos-kill-shard, one shard is killed after -chaos-kill-after to
+// exercise failover end to end.
+//
+// A SIGINT or SIGTERM drains in-flight requests, syncs the WAL, and
+// exits 0.
 //
 // Endpoints (see internal/server):
 //
@@ -32,6 +46,7 @@
 //	GET  /v1/snapshot      canonical engine state
 //	POST /v1/events        feed failure events into the engine
 //	GET  /healthz          liveness
+//	GET  /readyz           readiness (shards serving, standbys warm)
 //	GET  /metrics          Prometheus text metrics
 package main
 
@@ -41,6 +56,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/hpcfail/hpcfail"
@@ -70,10 +86,14 @@ func run(args []string) error {
 	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy: always, interval or never")
 	walFsyncEvery := fs.Duration("wal-fsync-interval", 100*time.Millisecond, "max time appends stay unsynced under -wal-fsync=interval")
 	snapEvery := fs.Duration("snapshot-every", 5*time.Minute, "engine snapshot spacing under -wal (0 = WAL only)")
+	shards := fs.Int("shards", 0, "split the fleet into N supervised fault-domain shards (0 = single-store layout)")
+	standby := fs.Bool("standby", false, "give every shard a warm standby replaying its WAL (needs -shards and -wal)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (0 = off)")
 	chaosLatency := fs.Float64("chaos-latency", 0.1, "chaos: probability of an injected delay")
 	chaosError := fs.Float64("chaos-error", 0.05, "chaos: probability of an injected 503")
 	chaosAbort := fs.Float64("chaos-abort", 0.02, "chaos: probability of an aborted connection")
+	chaosKillShard := fs.Int("chaos-kill-shard", -1, "chaos: kill this shard once after -chaos-kill-after (-1 = off)")
+	chaosKillAfter := fs.Duration("chaos-kill-after", 5*time.Second, "chaos: delay before the -chaos-kill-shard kill")
 	policyOf := cli.PolicyFlags(fs, "lenient")
 	versionOf := cli.VersionFlag(fs, "hpcserve")
 	if err := fs.Parse(args); err != nil {
@@ -88,10 +108,18 @@ func run(args []string) error {
 	if *window <= 0 {
 		return cli.Usagef("-window must be positive, got %v", *window)
 	}
+	if *shards < 0 {
+		return cli.Usagef("-shards must be >= 0, got %d", *shards)
+	}
+	if *standby && (*shards < 1 || *walDir == "") {
+		return cli.Usagef("-standby needs -shards >= 1 and -wal")
+	}
 
-	// Install the interrupt handler before the (potentially slow) dataset
-	// load so an early SIGINT is not lost to the default disposition.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Install the shutdown handler before the (potentially slow) dataset
+	// load so an early SIGINT or SIGTERM is not lost to the default
+	// disposition. Both signals drain identically: in-flight requests
+	// finish, the WAL gets a final sync, and the process exits 0.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	var ds *hpcfail.Dataset
@@ -122,50 +150,73 @@ func run(args []string) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	// One versioned store owns the canonical event log: the server answers
-	// condprob from its snapshots, and (under -wal) the journal applies
-	// recovered and live events to it.
-	st, err := store.New(ds)
-	if err != nil {
-		return err
+	cfg := server.Config{FrozenDataset: !*liveIngest, Window: *window, Logf: logf}
+	var snapPolicy checkpoint.Policy
+	if *snapEvery > 0 {
+		snapPolicy = checkpoint.Fixed{Every: *snapEvery}
 	}
-	cfg := server.Config{Store: st, FrozenDataset: !*liveIngest, Window: *window, Logf: logf}
 
-	if *walDir != "" {
-		policy, err := wal.ParseSyncPolicy(*walFsync)
-		if err != nil {
-			return cli.Usagef("%v", err)
-		}
-		engine, err := risk.FromAnalyzer(st.Snapshot().Analyzer(), *window)
-		if err != nil {
-			return err
-		}
-		var snapPolicy checkpoint.Policy
-		if *snapEvery > 0 {
-			snapPolicy = checkpoint.Fixed{Every: *snapEvery}
-		}
-		jcfg := risk.JournalConfig{
-			Engine: engine,
-			WAL: wal.Options{
+	if *shards >= 1 {
+		// Sharded mode: the server partitions the dataset and builds each
+		// shard's store, engine and (under -wal) journal itself; the WAL root
+		// holds one shard-NNN segment tree per fault domain.
+		cfg.Dataset = ds
+		cfg.Shards = *shards
+		if *walDir != "" {
+			policy, err := wal.ParseSyncPolicy(*walFsync)
+			if err != nil {
+				return cli.Usagef("%v", err)
+			}
+			cfg.ShardWAL = wal.Options{
 				Dir:      *walDir,
 				Policy:   policy,
 				Interval: *walFsyncEvery,
-			},
-			SnapshotPolicy: snapPolicy,
+			}
+			cfg.SnapshotPolicy = snapPolicy
+			cfg.Standby = *standby
 		}
-		if *liveIngest {
-			jcfg.Store = st
-		}
-		journal, stats, err := risk.OpenJournal(jcfg)
+	} else {
+		// One versioned store owns the canonical event log: the server
+		// answers condprob from its snapshots, and (under -wal) the journal
+		// applies recovered and live events to it.
+		st, err := store.New(ds)
 		if err != nil {
 			return err
 		}
-		defer journal.Close()
-		logf("hpcserve: wal %s: snapshot=%v (%d events), replayed %d, skipped %d, store-applied %d (dataset v%d)",
-			*walDir, stats.SnapshotLoaded, stats.SnapshotEvents, stats.Replayed, stats.Skipped,
-			stats.StoreApplied, st.Version())
-		cfg.Engine = engine
-		cfg.Journal = journal
+		cfg.Store = st
+
+		if *walDir != "" {
+			policy, err := wal.ParseSyncPolicy(*walFsync)
+			if err != nil {
+				return cli.Usagef("%v", err)
+			}
+			engine, err := risk.FromAnalyzer(st.Snapshot().Analyzer(), *window)
+			if err != nil {
+				return err
+			}
+			jcfg := risk.JournalConfig{
+				Engine: engine,
+				WAL: wal.Options{
+					Dir:      *walDir,
+					Policy:   policy,
+					Interval: *walFsyncEvery,
+				},
+				SnapshotPolicy: snapPolicy,
+			}
+			if *liveIngest {
+				jcfg.Store = st
+			}
+			journal, stats, err := risk.OpenJournal(jcfg)
+			if err != nil {
+				return err
+			}
+			defer journal.Close()
+			logf("hpcserve: wal %s: snapshot=%v (%d events), replayed %d, skipped %d, store-applied %d (dataset v%d)",
+				*walDir, stats.SnapshotLoaded, stats.SnapshotEvents, stats.Replayed, stats.Skipped,
+				stats.StoreApplied, st.Version())
+			cfg.Engine = engine
+			cfg.Journal = journal
+		}
 	}
 
 	if *chaosSeed != 0 {
@@ -178,6 +229,16 @@ func run(args []string) error {
 		})
 		cfg.Middleware = chaos.Middleware
 		logf("hpcserve: chaos injection enabled (seed=%d)", *chaosSeed)
+	}
+
+	if *chaosKillShard >= 0 {
+		sc := faultinject.NewShardChaos(faultinject.ShardChaosSpec{
+			Seed:      *chaosSeed,
+			KillShard: *chaosKillShard,
+			KillAfter: *chaosKillAfter,
+		})
+		cfg.OnStart = func(ctx context.Context, s *server.Server) { sc.Run(ctx, s) }
+		logf("hpcserve: shard chaos: killing shard %d after %v", *chaosKillShard, *chaosKillAfter)
 	}
 
 	return server.Serve(ctx, *addr, cfg)

@@ -1,0 +1,27 @@
+package analysis
+
+import "time"
+
+// MergeCondResults combines conditional-probability results computed over
+// disjoint system sets into the result for their union. CondProb aggregates
+// integer success/trial counts per system before deriving any statistic, so
+// summing the per-partition counts and re-deriving (Wilson CIs, the ratio
+// CI, the z-test) is bit-identical to computing over all systems at once —
+// the scatter-gather serving path relies on that to give sharded
+// deployments the same answers as a single store. The window and scope name
+// the query; with exactly one part it passes through untouched, and with
+// none it yields the empty result a zero-system computation would.
+func MergeCondResults(w time.Duration, scope Scope, parts []CondResult) CondResult {
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	out := CondResult{Window: w, Scope: scope}
+	for _, p := range parts {
+		out.Conditional.Successes += p.Conditional.Successes
+		out.Conditional.Trials += p.Conditional.Trials
+		out.Baseline.Successes += p.Baseline.Successes
+		out.Baseline.Trials += p.Baseline.Trials
+	}
+	finishCond(&out)
+	return out
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// sameCondResult compares with bit-level float equality: merged shard
+// results must reproduce the whole-dataset computation exactly, not within
+// a tolerance.
+func sameCondResult(a, b CondResult) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Window == b.Window && a.Scope == b.Scope &&
+		a.Conditional.Successes == b.Conditional.Successes &&
+		a.Conditional.Trials == b.Conditional.Trials &&
+		a.Baseline.Successes == b.Baseline.Successes &&
+		a.Baseline.Trials == b.Baseline.Trials &&
+		eq(a.CondCI.Lo, b.CondCI.Lo) && eq(a.CondCI.Hi, b.CondCI.Hi) &&
+		eq(a.BaseCI.Lo, b.BaseCI.Lo) && eq(a.BaseCI.Hi, b.BaseCI.Hi) &&
+		eq(a.FactorCI.Lo, b.FactorCI.Lo) && eq(a.FactorCI.Hi, b.FactorCI.Hi) &&
+		eq(a.Test.Stat, b.Test.Stat) && eq(a.Test.DF, b.Test.DF) && eq(a.Test.P, b.Test.P)
+}
+
+// TestMergeCondResultsMatchesWholeDataset is the scatter-gather
+// correctness pin: partition a multi-system dataset, compute CondProb per
+// partition, merge — the result must be bit-identical to computing over
+// every system at once, for every scope and several predicates. This is
+// exactly what sharded serving does per query.
+func TestMergeCondResultsMatchesWholeDataset(t *testing.T) {
+	ds, err := simulate.Generate(simulate.Options{Seed: 23, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Systems) < 3 {
+		t.Fatalf("need >= 3 systems, got %d", len(ds.Systems))
+	}
+	a := New(ds)
+	// Three uneven partitions of the system set, like ring assignment
+	// produces.
+	var partitions [3][]trace.SystemInfo
+	for i, s := range ds.Systems {
+		partitions[i%3] = append(partitions[i%3], s)
+	}
+
+	preds := []struct {
+		name           string
+		anchor, target trace.Pred
+	}{
+		{"any-any", nil, nil},
+		{"hw-any", trace.CategoryPred(trace.Hardware), nil},
+		{"hw-sw", trace.CategoryPred(trace.Hardware), trace.CategoryPred(trace.Software)},
+	}
+	for _, w := range []time.Duration{trace.Day, trace.Week} {
+		for _, scope := range []Scope{ScopeNode, ScopeRack, ScopeSystem} {
+			for _, p := range preds {
+				whole := a.CondProb(ds.Systems, p.anchor, p.target, w, scope)
+				parts := make([]CondResult, 0, len(partitions))
+				for _, sys := range partitions {
+					parts = append(parts, a.CondProb(sys, p.anchor, p.target, w, scope))
+				}
+				merged := MergeCondResults(w, scope, parts)
+				if !sameCondResult(whole, merged) {
+					t.Errorf("%s w=%v scope=%v: merged %+v != whole %+v", p.name, w, scope, merged, whole)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeCondResultsEdgeCases(t *testing.T) {
+	// A single part passes through untouched, including derived statistics.
+	one := CondResult{Window: trace.Day, Scope: ScopeNode}
+	one.Conditional.Successes, one.Conditional.Trials = 3, 10
+	one.Baseline.Successes, one.Baseline.Trials = 1, 10
+	if got := MergeCondResults(trace.Week, ScopeSystem, []CondResult{one}); got != one {
+		t.Fatalf("single-part merge rewrote the result: %+v", got)
+	}
+	// No parts (every involved shard down, or an empty scope) yields the
+	// same zero result a zero-system computation produces.
+	got := MergeCondResults(trace.Day, ScopeRack, nil)
+	if got.Window != trace.Day || got.Scope != ScopeRack || got.Conditional.Trials != 0 || got.Baseline.Trials != 0 {
+		t.Fatalf("empty merge = %+v", got)
+	}
+}

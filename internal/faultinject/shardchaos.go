@@ -1,0 +1,147 @@
+package faultinject
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardFabric is the surface a sharded server exposes to chaos: how many
+// fault domains it has, and operator-style kill and stall controls. The
+// server package implements it; keeping the interface here lets chaos
+// drivers (flags, scripts, tests) stay decoupled from the server's types.
+type ShardFabric interface {
+	// ShardCount reports the number of shards.
+	ShardCount() int
+	// KillShard marks a shard dead as if its goroutine had panicked: it
+	// stops serving immediately and its journal is fenced.
+	KillShard(i int) error
+	// StallShard makes the shard's next calls sleep for d before answering,
+	// simulating an overloaded or partitioned fault domain. Stalls do not
+	// mark the shard down — only missed heartbeats do.
+	StallShard(i int, d time.Duration) error
+}
+
+// ShardChaosSpec configures the shard-level chaos driver. Zero values
+// disable each fault: KillShard < 0 means no kill, StallProb 0 means no
+// stalls.
+type ShardChaosSpec struct {
+	// Seed drives the PRNG; the same seed injects the same fault sequence.
+	Seed int64
+	// KillShard is the shard index to kill once (-1 = never kill).
+	KillShard int
+	// KillAfter is how long to wait before the one-shot kill.
+	KillAfter time.Duration
+	// StallProb is the per-tick chance of stalling a random shard.
+	StallProb float64
+	// MaxStall bounds each injected stall (uniform in (0, MaxStall]).
+	MaxStall time.Duration
+	// Interval is the stall-roll tick spacing (default 250ms).
+	Interval time.Duration
+	// Sleep overrides the inter-fault wait for tests that must not block;
+	// Run still honours context cancellation between faults.
+	Sleep func(time.Duration)
+}
+
+// ShardChaosStats counts what the driver did.
+type ShardChaosStats struct {
+	Kills  uint64
+	Stalls uint64
+}
+
+// ShardChaos injects shard deaths and stalls into a ShardFabric on a
+// deterministic schedule. Build with NewShardChaos, then Run it against a
+// live fabric.
+type ShardChaos struct {
+	spec  ShardChaosSpec
+	sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	kills  atomic.Uint64
+	stalls atomic.Uint64
+}
+
+// NewShardChaos builds a shard chaos driver from a spec.
+func NewShardChaos(spec ShardChaosSpec) *ShardChaos {
+	if spec.Interval <= 0 {
+		spec.Interval = 250 * time.Millisecond
+	}
+	return &ShardChaos{
+		spec:  spec,
+		sleep: spec.Sleep,
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+	}
+}
+
+// Run drives the fault schedule against fab until the context is cancelled:
+// the one-shot kill after KillAfter, then periodic stall rolls. It blocks;
+// callers normally run it in a goroutine alongside the server.
+func (c *ShardChaos) Run(ctx context.Context, fab ShardFabric) {
+	n := fab.ShardCount()
+	if n == 0 {
+		return
+	}
+	if c.spec.KillShard >= 0 && c.spec.KillShard < n {
+		if !c.wait(ctx, c.spec.KillAfter) {
+			return
+		}
+		if err := fab.KillShard(c.spec.KillShard); err == nil {
+			c.kills.Add(1)
+		}
+	}
+	if c.spec.StallProb <= 0 || c.spec.MaxStall <= 0 {
+		return
+	}
+	for {
+		if !c.wait(ctx, c.spec.Interval) {
+			return
+		}
+		i, d, ok := c.rollStall(n)
+		if !ok {
+			continue
+		}
+		if err := fab.StallShard(i, d); err == nil {
+			c.stalls.Add(1)
+		}
+	}
+}
+
+// rollStall draws one stall decision under the lock so concurrent use keeps
+// a deterministic PRNG stream.
+func (c *ShardChaos) rollStall(n int) (shard int, d time.Duration, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng.Float64() >= c.spec.StallProb {
+		return 0, 0, false
+	}
+	return c.rng.Intn(n), time.Duration(1 + c.rng.Int63n(int64(c.spec.MaxStall))), true
+}
+
+// wait sleeps d (via the override when set) and reports whether the context
+// is still live.
+func (c *ShardChaos) wait(ctx context.Context, d time.Duration) bool {
+	if c.sleep != nil {
+		c.sleep(d)
+		return ctx.Err() == nil
+	}
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// Stats returns what the driver has done so far.
+func (c *ShardChaos) Stats() ShardChaosStats {
+	return ShardChaosStats{Kills: c.kills.Load(), Stalls: c.stalls.Load()}
+}

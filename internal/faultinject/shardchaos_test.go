@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeFabric records kill/stall calls for assertions.
+type fakeFabric struct {
+	mu     sync.Mutex
+	n      int
+	kills  []int
+	stalls []int
+}
+
+func (f *fakeFabric) ShardCount() int { return f.n }
+
+func (f *fakeFabric) KillShard(i int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.kills = append(f.kills, i)
+	return nil
+}
+
+func (f *fakeFabric) StallShard(i int, _ time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stalls = append(f.stalls, i)
+	return nil
+}
+
+func TestShardChaosKillOnce(t *testing.T) {
+	fab := &fakeFabric{n: 4}
+	var slept []time.Duration
+	c := NewShardChaos(ShardChaosSpec{
+		Seed:      1,
+		KillShard: 2,
+		KillAfter: 50 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	})
+	c.Run(context.Background(), fab)
+	if len(fab.kills) != 1 || fab.kills[0] != 2 {
+		t.Fatalf("kills = %v, want [2]", fab.kills)
+	}
+	if got := c.Stats().Kills; got != 1 {
+		t.Fatalf("Stats().Kills = %d, want 1", got)
+	}
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept = %v, want [50ms]", slept)
+	}
+}
+
+func TestShardChaosStallsDeterministic(t *testing.T) {
+	run := func() ([]int, uint64) {
+		fab := &fakeFabric{n: 3}
+		ctx, cancel := context.WithCancel(context.Background())
+		ticks := 0
+		c := NewShardChaos(ShardChaosSpec{
+			Seed:      42,
+			KillShard: -1,
+			StallProb: 0.5,
+			MaxStall:  time.Second,
+			Sleep: func(time.Duration) {
+				ticks++
+				if ticks > 200 {
+					cancel()
+				}
+			},
+		})
+		c.Run(ctx, fab)
+		return fab.stalls, c.Stats().Stalls
+	}
+	a, an := run()
+	b, bn := run()
+	if an == 0 {
+		t.Fatal("expected some stalls with prob 0.5 over 200 ticks")
+	}
+	if an != bn || len(a) != len(b) {
+		t.Fatalf("runs differ in count: %d vs %d", an, bn)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("stall %d differs: shard %d vs %d", i, a[i], b[i])
+		}
+	}
+	for _, i := range a {
+		if i < 0 || i >= 3 {
+			t.Fatalf("stalled shard %d out of range", i)
+		}
+	}
+}
+
+func TestShardChaosNoKillWhenDisabled(t *testing.T) {
+	fab := &fakeFabric{n: 2}
+	c := NewShardChaos(ShardChaosSpec{Seed: 7, KillShard: -1})
+	c.Run(context.Background(), fab)
+	if len(fab.kills) != 0 || len(fab.stalls) != 0 {
+		t.Fatalf("expected no faults, got kills=%v stalls=%v", fab.kills, fab.stalls)
+	}
+}
+
+func TestShardChaosOutOfRangeKillIgnored(t *testing.T) {
+	fab := &fakeFabric{n: 2}
+	c := NewShardChaos(ShardChaosSpec{Seed: 7, KillShard: 9})
+	c.Run(context.Background(), fab)
+	if len(fab.kills) != 0 {
+		t.Fatalf("expected out-of-range kill to be skipped, got %v", fab.kills)
+	}
+}

@@ -275,8 +275,16 @@ func (e *Engine) Snapshot() Snapshot {
 	for _, evs := range e.events {
 		snap.Active = append(snap.Active, evs...)
 	}
-	sort.Slice(snap.Active, func(i, j int) bool {
-		a, b := snap.Active[i], snap.Active[j]
+	sortSnapshotEvents(snap.Active)
+	return snap
+}
+
+// sortSnapshotEvents applies the canonical snapshot event order — shared by
+// Engine.Snapshot and the cross-shard MergeSnapshots so merged and direct
+// snapshots collate identically.
+func sortSnapshotEvents(active []trace.Failure) {
+	sort.Slice(active, func(i, j int) bool {
+		a, b := active[i], active[j]
 		if !a.Time.Equal(b.Time) {
 			return a.Time.Before(b.Time)
 		}
@@ -288,7 +296,6 @@ func (e *Engine) Snapshot() Snapshot {
 		}
 		return a.Category < b.Category
 	})
-	return snap
 }
 
 // Restore replaces the engine's mutable state with a previously captured

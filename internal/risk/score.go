@@ -270,18 +270,24 @@ func (e *Engine) TopK(k int, now time.Time) []Score {
 			out = append(out, e.scoreFromLifts(s, n, now, sl))
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Risk != b.Risk {
-			return a.Risk > b.Risk
-		}
-		if a.System != b.System {
-			return a.System < b.System
-		}
-		return a.Node < b.Node
-	})
+	sort.Slice(out, func(i, j int) bool { return ScoreLess(out[i], out[j]) })
 	if k > 0 && len(out) > k {
 		out = out[:k]
 	}
 	return out
+}
+
+// ScoreLess is TopK's ranking order — descending risk with deterministic
+// (system, node) tie-breaks. It is a total order over any one instant's
+// scores (each (system, node) appears once), so merging per-shard TopK
+// results under it reproduces exactly the order one engine over the whole
+// fleet would emit.
+func ScoreLess(a, b Score) bool {
+	if a.Risk != b.Risk {
+		return a.Risk > b.Risk
+	}
+	if a.System != b.System {
+		return a.System < b.System
+	}
+	return a.Node < b.Node
 }

@@ -1,0 +1,217 @@
+package risk
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/wal"
+)
+
+// leaderAndStandby opens a journaled leader over dir and a standby tailing
+// the same directory, both over fresh engines from the same boot dataset.
+func leaderAndStandby(t *testing.T, dir string) (*Journal, *Standby) {
+	t.Helper()
+	leader, _ := openTestJournal(t, dir, nil)
+	sb, err := NewStandby(StandbyConfig{Dir: dir, Engine: testEngine(t), BatchMax: 3})
+	if err != nil {
+		t.Fatalf("NewStandby: %v", err)
+	}
+	return leader, sb
+}
+
+func TestStandbyCatchupTracksLeader(t *testing.T) {
+	dir := t.TempDir()
+	leader, sb := leaderAndStandby(t, dir)
+	defer leader.Close()
+
+	events := liveEvents(10)
+	for _, f := range events[:6] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sb.Catchup()
+	if err != nil {
+		t.Fatalf("Catchup: %v", err)
+	}
+	if n != 6 || sb.Applied() != 6 || !sb.Warm() {
+		t.Fatalf("Catchup = %d, Applied = %d, Warm = %v", n, sb.Applied(), sb.Warm())
+	}
+	if got, want := snapJSON(t, sb.Engine()), snapJSON(t, leader.Engine()); got != want {
+		t.Fatalf("standby diverged after first catchup:\n%s\n%s", got, want)
+	}
+
+	// The leader keeps appending; lag shows up in Pending, then a second
+	// catchup clears it and the engines converge again. BatchMax 3 forces
+	// multiple ship batches per drain.
+	for _, f := range events[6:] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if lag, err := sb.Pending(); err != nil || lag != 4 {
+		t.Fatalf("Pending = %d, %v, want 4, nil", lag, err)
+	}
+	if n, err := sb.Catchup(); err != nil || n != 4 {
+		t.Fatalf("second Catchup = %d, %v", n, err)
+	}
+	if got, want := snapJSON(t, sb.Engine()), snapJSON(t, leader.Engine()); got != want {
+		t.Fatalf("standby diverged after second catchup:\n%s\n%s", got, want)
+	}
+	if lag, err := sb.Pending(); err != nil || lag != 0 {
+		t.Fatalf("post-catchup Pending = %d, %v", lag, err)
+	}
+}
+
+func TestStandbyPromoteMatchesUninterruptedTwin(t *testing.T) {
+	dir := t.TempDir()
+	leader, sb := leaderAndStandby(t, dir)
+
+	// The twin observes every event on one uninterrupted engine — the
+	// reference the promoted standby must reproduce exactly.
+	twin := testEngine(t)
+	events := liveEvents(12)
+	for _, f := range events[:9] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range events {
+		if err := twin.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The standby had caught up part-way when the leader dies; the tail (the
+	// records after its last catchup) must flow through the final catchup
+	// inside Promote.
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Catchup(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range events[9:] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Close(); err != nil { // leader death (Close syncs)
+		t.Fatal(err)
+	}
+
+	now := func() time.Time { return day(99) }
+	j, err := sb.Promote(nil, wal.Options{}, now)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	defer j.Close()
+	if got, want := snapJSON(t, j.Engine()), snapJSON(t, twin); got != want {
+		t.Fatalf("promoted engine != uninterrupted twin:\n%s\n%s", got, want)
+	}
+	if j.WALCount() != 12 {
+		t.Fatalf("promoted WALCount = %d, want 12", j.WALCount())
+	}
+
+	// The promoted journal leads: new appends land after the dead leader's
+	// records and survive its own recovery.
+	extra := liveEvents(14)[12:]
+	for _, f := range extra {
+		if err := j.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if j.WALCount() != 14 {
+		t.Fatalf("post-promotion WALCount = %d, want 14", j.WALCount())
+	}
+	if got, want := snapJSON(t, j.Engine()), snapJSON(t, twin); got != want {
+		t.Fatalf("promoted leader diverged on new appends:\n%s\n%s", got, want)
+	}
+
+	// The standby is consumed.
+	if _, err := sb.Catchup(); err == nil {
+		t.Fatal("Catchup succeeded after Promote")
+	}
+	if _, err := sb.Promote(nil, wal.Options{}, now); err == nil {
+		t.Fatal("second Promote succeeded")
+	}
+}
+
+func TestStandbyRestoresLeaderSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	leader, _ := openTestJournal(t, dir, checkpoint.Fixed{Every: time.Minute})
+	events := liveEvents(8)
+	for _, f := range events[:5] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Snapshot + compact: records 0-4 leave the log; a late-starting standby
+	// must restore the snapshot instead of replaying them.
+	if err := leader.Checkpoint(day(98, 12)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range events[5:] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	sb, err := NewStandby(StandbyConfig{Dir: dir, Engine: testEngine(t)})
+	if err != nil {
+		t.Fatalf("NewStandby after compaction: %v", err)
+	}
+	if sb.Applied() != 5 {
+		t.Fatalf("Applied after snapshot restore = %d, want 5", sb.Applied())
+	}
+	if _, err := sb.Catchup(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := snapJSON(t, sb.Engine()), snapJSON(t, leader.Engine()); got != want {
+		t.Fatalf("snapshot-seeded standby diverged:\n%s\n%s", got, want)
+	}
+	leader.Close()
+}
+
+func TestStandbyGapWhenCompactedPast(t *testing.T) {
+	dir := t.TempDir()
+	leader, sb := leaderAndStandby(t, dir)
+	defer leader.Close()
+	for _, f := range liveEvents(5) {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The leader checkpoints and compacts while the standby never catches
+	// up. If compaction dropped the standby's position the catchup must
+	// report ErrGap (rebuild required); if the active segment survived, the
+	// standby still applies everything.
+	if err := leader.Checkpoint(day(98, 12)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sb.Catchup()
+	if err == nil {
+		// Compaction may legitimately keep the active segment containing
+		// record 0; only a true gap must error.
+		if sb.Applied() != 5 {
+			t.Fatalf("no gap reported but only %d records applied", sb.Applied())
+		}
+		return
+	}
+	if !errors.Is(err, wal.ErrGap) {
+		t.Fatalf("Catchup = %v, want ErrGap", err)
+	}
+}

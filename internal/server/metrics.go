@@ -25,6 +25,7 @@ type metrics struct {
 	shed        atomic.Uint64 // requests rejected by admission control
 	degraded    atomic.Uint64 // condprob requests served degraded (circuit open)
 	idemReplays atomic.Uint64 // POST /v1/events replays served from the idempotency cache
+	partial     atomic.Uint64 // scatter-gather responses answered with X-Partial: true
 }
 
 type routeCode struct {
@@ -76,6 +77,16 @@ type admissionGauge struct {
 	shed     uint64
 }
 
+// shardGauge is one shard's live supervision state.
+type shardGauge struct {
+	state      string
+	healthy    bool
+	version    uint64
+	lag        uint64 // WAL records the standby trails the leader by
+	failovers  uint64
+	hasStandby bool
+}
+
 // gauges carries point-in-time values the registry does not own.
 type gauges struct {
 	engineLag      time.Duration
@@ -90,6 +101,7 @@ type gauges struct {
 	datasetEvents  int
 	storeAppends   uint64
 	storeRebuilds  uint64
+	shards         []shardGauge
 	admission      map[string]admissionGauge
 }
 
@@ -190,6 +202,29 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP hpcserve_store_rebuilds_total Store appends that fell back to a full index rebuild.")
 	fmt.Fprintln(w, "# TYPE hpcserve_store_rebuilds_total counter")
 	fmt.Fprintf(w, "hpcserve_store_rebuilds_total %d\n", g.storeRebuilds)
+	fmt.Fprintln(w, "# HELP hpcserve_partial_responses_total Scatter-gather responses served with X-Partial: true (a shard was down or slow).")
+	fmt.Fprintln(w, "# TYPE hpcserve_partial_responses_total counter")
+	fmt.Fprintf(w, "hpcserve_partial_responses_total %d\n", m.partial.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_shard_healthy Whether the shard is Ready (1) or not (0).")
+	fmt.Fprintln(w, "# TYPE hpcserve_shard_healthy gauge")
+	for i, sg := range g.shards {
+		fmt.Fprintf(w, "hpcserve_shard_healthy{shard=\"%d\",state=%q} %d\n", i, sg.state, b2i(sg.healthy))
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_shard_dataset_version Current dataset-store version of the shard.")
+	fmt.Fprintln(w, "# TYPE hpcserve_shard_dataset_version gauge")
+	for i, sg := range g.shards {
+		fmt.Fprintf(w, "hpcserve_shard_dataset_version{shard=\"%d\"} %d\n", i, sg.version)
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_shard_failovers_total Standby promotions the shard has been through.")
+	fmt.Fprintln(w, "# TYPE hpcserve_shard_failovers_total counter")
+	for i, sg := range g.shards {
+		fmt.Fprintf(w, "hpcserve_shard_failovers_total{shard=\"%d\"} %d\n", i, sg.failovers)
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_wal_replication_lag_records WAL records the shard's standby trails its leader by (0 with no standby).")
+	fmt.Fprintln(w, "# TYPE hpcserve_wal_replication_lag_records gauge")
+	for i, sg := range g.shards {
+		fmt.Fprintf(w, "hpcserve_wal_replication_lag_records{shard=\"%d\"} %d\n", i, sg.lag)
+	}
 
 	admRoutes := make([]string, 0, len(g.admission))
 	for route := range g.admission {

@@ -41,15 +41,18 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/checkpoint"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/stats"
 	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/wal"
 )
 
 // Config assembles a Server.
@@ -95,6 +98,39 @@ type Config struct {
 	// Middleware, when set, wraps the routed handler — the chaos injector
 	// (internal/faultinject) plugs in here.
 	Middleware func(http.Handler) http.Handler
+	// Shards, when >= 1, splits the fleet into that many supervised fault
+	// domains by consistent hashing on system ID: per-shard stores, engines,
+	// WALs and breakers, scatter-gather for cross-system queries, and
+	// partial results when a shard is down. Requires Dataset; Store, Engine
+	// and Journal must be nil (sharded mode builds its own). Counts above
+	// the system count are clamped. Zero keeps the legacy single-store
+	// server.
+	Shards int
+	// ShardWAL configures per-shard durability in sharded mode: Dir is the
+	// root under which shard i keeps its WAL at shard-NNN/; the remaining
+	// options pass through to wal.Open. An empty Dir disables durability
+	// (and standbys).
+	ShardWAL wal.Options
+	// Standby, in sharded mode with ShardWAL.Dir set, gives every shard a
+	// warm standby that tails the leader's WAL and is promoted automatically
+	// when the shard dies.
+	Standby bool
+	// SnapshotPolicy spaces periodic per-shard engine snapshots in sharded
+	// mode (see risk.JournalConfig.SnapshotPolicy).
+	SnapshotPolicy checkpoint.Policy
+	// ShardDeadline bounds one shard's slice of a scatter-gather query;
+	// defaults to DefaultShardDeadline.
+	ShardDeadline time.Duration
+	// HeartbeatInterval spaces supervision ticks; defaults to
+	// DefaultHeartbeatInterval.
+	HeartbeatInterval time.Duration
+	// HeartbeatDeadline expires a Ready shard that has not heartbeaten;
+	// defaults to store.DefaultHeartbeatDeadline.
+	HeartbeatDeadline time.Duration
+	// OnStart, when set, is invoked in its own goroutine once ServeListener
+	// is accepting — the hook the shard-chaos injector uses to reach the
+	// running server.
+	OnStart func(ctx context.Context, s *Server)
 	// Now supplies the clock; defaults to time.Now. Tests inject a fake.
 	Now func() time.Time
 	// Logf, when set, receives serve-lifecycle log lines.
@@ -114,17 +150,17 @@ func defaultLimits() map[string]RouteLimit {
 	}
 }
 
-// Server answers the API over one dataset. Build with New; the zero value
-// is not usable.
+// Server answers the API over one dataset, split into one or more
+// supervised shards. Build with New; the zero value is not usable.
 type Server struct {
-	store   *store.Store
+	fabric  *fabric
 	frozen  bool
-	engine  *risk.Engine
-	journal *risk.Journal
 	cache   *resultCache
 	metrics *metrics
 	idem    *idemCache
 	limits  map[string]*limiter
+	// breaker aliases shard 0's circuit breaker — the whole breaker in the
+	// single-shard server, one of n in sharded mode.
 	breaker *breaker
 	wrap    func(http.Handler) http.Handler
 	timeout time.Duration
@@ -140,33 +176,56 @@ type Server struct {
 
 // New builds a server over the config's store (or a private store over its
 // dataset), constructing the risk engine (lift table, sliding windows) from
-// the boot snapshot's analyzer when one is not supplied.
+// the boot snapshot's analyzer when one is not supplied. With cfg.Shards
+// set, the dataset is instead partitioned into supervised fault domains —
+// see Config.Shards.
 func New(cfg Config) (*Server, error) {
-	st := cfg.Store
-	if st == nil {
-		if cfg.Dataset == nil {
-			return nil, fmt.Errorf("server: nil dataset")
-		}
-		var err error
-		if st, err = store.New(cfg.Dataset); err != nil {
-			return nil, fmt.Errorf("server: %w", err)
-		}
-	}
-	boot := st.Snapshot()
-	if len(boot.Dataset().Systems) == 0 {
-		return nil, fmt.Errorf("server: dataset has no systems")
-	}
 	w := cfg.Window
 	if w <= 0 {
 		w = trace.Day
 	}
-	engine := cfg.Engine
-	if engine == nil && cfg.Journal != nil {
-		engine = cfg.Journal.Engine()
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
 	}
-	if engine == nil {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var fab *fabric
+	if cfg.Shards >= 1 {
 		var err error
-		if engine, err = risk.FromAnalyzer(boot.Analyzer(), w); err != nil {
+		if fab, err = newShardedFabric(cfg, cfg.Shards, w, now, logf); err != nil {
+			return nil, err
+		}
+	} else {
+		st := cfg.Store
+		if st == nil {
+			if cfg.Dataset == nil {
+				return nil, fmt.Errorf("server: nil dataset")
+			}
+			var err error
+			if st, err = store.New(cfg.Dataset); err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+		}
+		boot := st.Snapshot()
+		if len(boot.Dataset().Systems) == 0 {
+			return nil, fmt.Errorf("server: dataset has no systems")
+		}
+		engine := cfg.Engine
+		if engine == nil && cfg.Journal != nil {
+			engine = cfg.Journal.Engine()
+		}
+		if engine == nil {
+			var err error
+			if engine, err = risk.FromAnalyzer(boot.Analyzer(), w); err != nil {
+				return nil, err
+			}
+		}
+		br := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, now)
+		var err error
+		if fab, err = newSingleFabric(st, engine, cfg.Journal, br, cfg, now, logf); err != nil {
 			return nil, err
 		}
 	}
@@ -178,14 +237,6 @@ func New(cfg Config) (*Server, error) {
 	if cacheSize <= 0 {
 		cacheSize = 256
 	}
-	now := cfg.Now
-	if now == nil {
-		now = time.Now
-	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
 	limits := defaultLimits()
 	for route, lim := range cfg.Limits {
 		limits[route] = lim
@@ -195,15 +246,13 @@ func New(cfg Config) (*Server, error) {
 		limiters[route] = newLimiter(lim)
 	}
 	return &Server{
-		store:   st,
+		fabric:  fab,
 		frozen:  cfg.FrozenDataset,
-		engine:  engine,
-		journal: cfg.Journal,
 		cache:   newResultCache(cacheSize),
 		metrics: newMetrics(),
 		idem:    newIdemCache(1024),
 		limits:  limiters,
-		breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, now),
+		breaker: fab.shards[0].breaker,
 		wrap:    cfg.Middleware,
 		timeout: timeout,
 		now:     now,
@@ -212,12 +261,19 @@ func New(cfg Config) (*Server, error) {
 	}, nil
 }
 
-// Engine returns the server's risk engine (shared, safe for concurrent
-// use) so callers can pre-seed events.
-func (s *Server) Engine() *risk.Engine { return s.engine }
+// Engine returns shard 0's risk engine (the server's whole engine in the
+// single-shard configuration) so callers can pre-seed events.
+func (s *Server) Engine() *risk.Engine {
+	_, eng, _ := s.fabric.shards[0].view()
+	return eng
+}
 
-// Store returns the versioned dataset store the server answers from.
-func (s *Server) Store() *store.Store { return s.store }
+// Store returns shard 0's versioned dataset store (the server's whole store
+// in the single-shard configuration).
+func (s *Server) Store() *store.Store {
+	st, _, _ := s.fabric.shards[0].view()
+	return st
+}
 
 // setVersion stamps the response with the pinned snapshot's dataset
 // version, so clients (and the stale-cache test) can tell which dataset a
@@ -231,6 +287,7 @@ func setVersion(w http.ResponseWriter, snap *store.Snapshot) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	mux.Handle("GET /v1/risk/top", s.instrument("/v1/risk/top", s.handleRiskTop))
 	mux.Handle("GET /v1/risk/{node}", s.instrument("/v1/risk/{node}", s.handleRiskNode))
@@ -302,34 +359,85 @@ func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
 	s.writeJSON(w, code, apiError{Error: err.Error()})
 }
 
+// handleHealthz is pure liveness: the process is up and can read its own
+// state. Shard health lives in /readyz — a fleet with a dead shard is alive
+// but not fully ready.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	snap := s.store.Snapshot()
-	setVersion(w, snap)
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	f := s.fabric
+	body := map[string]any{
 		"status":          "ok",
-		"systems":         len(snap.Dataset().Systems),
-		"window":          s.engine.Window().String(),
-		"dataset_version": snap.Version(),
-		"dataset_events":  snap.Events(),
-	})
+		"systems":         len(f.fleet),
+		"window":          f.window.String(),
+		"dataset_version": f.maxVersion(),
+		"dataset_events":  f.totalEvents(),
+	}
+	if f.n() > 1 {
+		body["shards"] = f.n()
+	}
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(f.maxVersion(), 10))
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz is the readiness gate: 200 only when every shard is Ready
+// and every configured standby has warmed (fully drained its leader's WAL
+// at least once). Load balancers should route on this, not /healthz, so a
+// server mid-recovery or mid-failover drains instead of serving partials.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready, rows := s.fabric.status()
+	code := http.StatusOK
+	status := "ready"
+	if !ready {
+		code = http.StatusServiceUnavailable
+		status = "not-ready"
+	}
+	s.writeJSON(w, code, map[string]any{"status": status, "shards": rows})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.engine.Snapshot()
-	dsnap := s.store.Snapshot()
+	f := s.fabric
 	open, trips := s.breaker.snapshot()
 	g := gauges{
-		engineLag:      s.engine.Lag(s.now()),
-		activeEvents:   len(snap.Active),
-		observedEvents: snap.Observed,
-		cacheEntries:   s.cache.Len(),
-		breakerOpen:    open,
-		breakerTrips:   trips,
-		datasetVersion: dsnap.Version(),
-		datasetEvents:  dsnap.Events(),
-		storeAppends:   s.store.Appends(),
-		storeRebuilds:  s.store.Rebuilds(),
-		admission:      make(map[string]admissionGauge, len(s.limits)),
+		cacheEntries: s.cache.Len(),
+		breakerOpen:  open,
+		breakerTrips: trips,
+		admission:    make(map[string]admissionGauge, len(s.limits)),
+	}
+	now := s.now()
+	for i, sh := range f.shards {
+		st, eng, j := sh.view()
+		esnap := eng.Snapshot()
+		dsnap := st.Snapshot()
+		g.activeEvents += len(esnap.Active)
+		g.observedEvents += esnap.Observed
+		g.engineLag = max(g.engineLag, eng.Lag(now))
+		g.datasetVersion = max(g.datasetVersion, dsnap.Version())
+		g.datasetEvents += dsnap.Events()
+		g.storeAppends += st.Appends()
+		g.storeRebuilds += st.Rebuilds()
+		sg := shardGauge{
+			state:     f.sup.State(i).String(),
+			healthy:   f.sup.State(i) == store.ShardReady,
+			version:   dsnap.Version(),
+			failovers: sh.failovers.Load(),
+		}
+		if j != nil {
+			g.walRecords += j.WALCount()
+			g.walSegments += j.WALSegments()
+		}
+		// Replication lag in records: leader appends minus standby applies
+		// while the leader lives; once it is dead, what the standby can
+		// still read from the log past its position.
+		if sb := sh.getStandby(); sb != nil {
+			sg.hasStandby = true
+			if j != nil {
+				if c, a := j.WALCount(), sb.Applied(); c > a {
+					sg.lag = c - a
+				}
+			} else if pending, err := sb.Pending(); err == nil {
+				sg.lag = pending
+			}
+		}
+		g.shards = append(g.shards, sg)
 	}
 	for route, lim := range s.limits {
 		if lim == nil {
@@ -341,10 +449,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			peak:     lim.peak.Load(),
 			shed:     lim.shed.Load(),
 		}
-	}
-	if s.journal != nil {
-		g.walRecords = s.journal.WALCount()
-		g.walSegments = s.journal.WALSegments()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, g)
@@ -358,8 +462,25 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// The version travels in a header, never the body: recovery tests
 	// byte-compare snapshot bodies between servers whose store versions
 	// legitimately differ (one recovered in a single batch, one fed live).
-	setVersion(w, s.store.Snapshot())
-	s.writeJSON(w, http.StatusOK, risk.SnapshotJSON(s.engine.Snapshot()))
+	f := s.fabric
+	idxs := f.allShards()
+	versions := make([]uint64, len(idxs))
+	parts, errs := scatterShards(r.Context(), f, idxs, func(k, i int, st *store.Store, eng *risk.Engine) (risk.Snapshot, error) {
+		versions[k] = st.Snapshot().Version()
+		return eng.Snapshot(), nil
+	})
+	var ok []risk.Snapshot
+	for k, err := range errs {
+		if err == nil {
+			ok = append(ok, parts[k])
+		}
+	}
+	if len(ok) == 0 {
+		s.shardUnavailable(w, fmt.Errorf("no shard available"))
+		return
+	}
+	s.stampPartial(w, idxs, versions, errs)
+	s.writeJSON(w, http.StatusOK, risk.SnapshotJSON(risk.MergeSnapshots(ok)))
 }
 
 // pickSystem resolves an optional system parameter against one pinned
@@ -416,7 +537,7 @@ func (s *Server) scoreJSON(sc risk.Score) scoreJSON {
 		RiskHi: sc.Hi,
 		Base:   sc.Base,
 		Factor: finite(sc.Factor),
-		Window: s.engine.Window().String(),
+		Window: s.fabric.window.String(),
 	}
 	for _, c := range sc.Contributions {
 		cj := contributionJSON{
@@ -450,6 +571,30 @@ func finite(v float64) float64 {
 	return v
 }
 
+// pickFleetSystem resolves an optional system parameter against the fleet
+// catalog: 0 means "the fleet's only system" and is an error when there are
+// several.
+func (s *Server) pickFleetSystem(id int) (trace.SystemInfo, error) {
+	f := s.fabric
+	if id == 0 {
+		if len(f.fleet) == 1 {
+			return f.fleet[0], nil
+		}
+		return trace.SystemInfo{}, fmt.Errorf("dataset covers %d systems; pass ?system=", len(f.fleet))
+	}
+	sys, ok := f.fleetSystem(id)
+	if !ok {
+		return trace.SystemInfo{}, fmt.Errorf("unknown system %d", id)
+	}
+	return sys, nil
+}
+
+// shardUnavailable writes the 503 a down or deadline-missing shard earns.
+func (s *Server) shardUnavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", retryAfter)
+	s.writeError(w, http.StatusServiceUnavailable, err)
+}
+
 func (s *Server) handleRiskNode(w http.ResponseWriter, r *http.Request) {
 	node, err := strconv.Atoi(r.PathValue("node"))
 	if err != nil || node < 0 {
@@ -461,9 +606,9 @@ func (s *Server) handleRiskNode(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap := s.store.Snapshot()
-	setVersion(w, snap)
-	sys, err := pickSystem(snap.Dataset(), q.System)
+	f := s.fabric
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(f.maxVersion(), 10))
+	sys, err := s.pickFleetSystem(q.System)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -472,12 +617,32 @@ func (s *Server) handleRiskNode(w http.ResponseWriter, r *http.Request) {
 	if !q.At.IsZero() {
 		now = q.At
 	}
-	sc, err := s.engine.Score(sys.ID, node, now)
+	owner, _ := f.ownerOf(sys.ID)
+	var sc risk.Score
+	var version uint64
+	err = f.call(r.Context(), owner, func(st *store.Store, eng *risk.Engine, _ *risk.Journal) error {
+		version = st.Snapshot().Version()
+		var serr error
+		sc, serr = eng.Score(sys.ID, node, now)
+		return serr
+	})
+	if errors.Is(err, errShardDown) || errors.Is(err, errShardSlow) {
+		s.shardUnavailable(w, err)
+		return
+	}
 	if err != nil {
 		s.writeError(w, http.StatusNotFound, err)
 		return
 	}
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(version, 10))
 	s.writeJSON(w, http.StatusOK, s.scoreJSON(sc))
+}
+
+// riskTopResponse is the /v1/risk/top body.
+type riskTopResponse struct {
+	At     time.Time   `json:"at"`
+	Window string      `json:"window"`
+	Scores []scoreJSON `json:"scores"`
 }
 
 func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
@@ -486,10 +651,10 @@ func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	snap := s.store.Snapshot()
-	setVersion(w, snap)
+	f := s.fabric
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(f.maxVersion(), 10))
 	if q.System != 0 {
-		if _, err := pickSystem(snap.Dataset(), q.System); err != nil {
+		if _, err := s.pickFleetSystem(q.System); err != nil {
 			s.writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -497,7 +662,7 @@ func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
 	// Clamp k to the node population in scope: asking for more rows than
 	// nodes is harmless intent, not an error.
 	nodes := 0
-	for _, sys := range snap.Dataset().Systems {
+	for _, sys := range f.fleet {
 		if q.System == 0 || sys.ID == q.System {
 			nodes += sys.Nodes
 		}
@@ -509,22 +674,89 @@ func (s *Server) handleRiskTop(w http.ResponseWriter, r *http.Request) {
 	if !q.At.IsZero() {
 		now = q.At
 	}
-	scores := s.engine.TopK(0, now)
-	out := struct {
-		At     time.Time   `json:"at"`
-		Window string      `json:"window"`
-		Scores []scoreJSON `json:"scores"`
-	}{At: now, Window: s.engine.Window().String(), Scores: []scoreJSON{}}
-	for _, sc := range scores {
-		if q.System != 0 && sc.System != q.System {
-			continue
+	out := riskTopResponse{At: now, Window: f.window.String(), Scores: []scoreJSON{}}
+
+	if q.System != 0 {
+		// Per-system: one owner shard answers the whole query.
+		owner, _ := f.ownerOf(q.System)
+		var scores []risk.Score
+		var version uint64
+		err := f.call(r.Context(), owner, func(st *store.Store, eng *risk.Engine, _ *risk.Journal) error {
+			version = st.Snapshot().Version()
+			scores = eng.TopK(0, now)
+			return nil
+		})
+		if err != nil {
+			s.shardUnavailable(w, err)
+			return
 		}
+		w.Header().Set("X-Dataset-Version", strconv.FormatUint(version, 10))
+		for _, sc := range scores {
+			if sc.System != q.System {
+				continue
+			}
+			out.Scores = append(out.Scores, s.scoreJSON(sc))
+			if len(out.Scores) >= q.K {
+				break
+			}
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	// Fleet-wide: scatter to every shard, merge under TopK's exact order.
+	// Survivors answer even when a shard is down — the response says so.
+	idxs := f.allShards()
+	versions := make([]uint64, len(idxs))
+	parts, errs := scatterShards(r.Context(), f, idxs, func(k, i int, st *store.Store, eng *risk.Engine) ([]risk.Score, error) {
+		versions[k] = st.Snapshot().Version()
+		return eng.TopK(0, now), nil
+	})
+	var merged []risk.Score
+	anyOK := false
+	for k, err := range errs {
+		if err == nil {
+			anyOK = true
+			merged = append(merged, parts[k]...)
+		}
+	}
+	if !anyOK {
+		s.shardUnavailable(w, fmt.Errorf("no shard available"))
+		return
+	}
+	sort.Slice(merged, func(i, j int) bool { return risk.ScoreLess(merged[i], merged[j]) })
+	s.stampPartial(w, idxs, versions, errs)
+	for _, sc := range merged {
 		out.Scores = append(out.Scores, s.scoreJSON(sc))
 		if len(out.Scores) >= q.K {
 			break
 		}
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// stampPartial stamps a scatter-gather response: X-Dataset-Version is the
+// max surviving shard version, X-Shard-Versions the per-shard version
+// vector (multi-shard fabrics only), and X-Partial: true when any shard's
+// part is missing — the explicit partial-result contract.
+func (s *Server) stampPartial(w http.ResponseWriter, idxs []int, versions []uint64, errs []error) {
+	partial := false
+	var v uint64
+	for k, err := range errs {
+		if err == nil {
+			v = max(v, versions[k])
+		} else {
+			partial = true
+		}
+	}
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(v, 10))
+	if s.fabric.n() > 1 {
+		w.Header().Set("X-Shard-Versions", s.fabric.versionVector(idxs, versions, errs))
+	}
+	if partial {
+		w.Header().Set("X-Partial", "true")
+		s.metrics.partial.Add(1)
+	}
 }
 
 // proportionJSON is a stats.Proportion with its CI on the wire.
@@ -569,13 +801,45 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	// Pin one snapshot for the whole request and key the cache by its
-	// version: an append in flight cannot tear this answer, and a cached
-	// result computed over an older dataset version can never be served
-	// for a newer one (the key simply differs).
-	snap := s.store.Snapshot()
-	setVersion(w, snap)
-	key := fmt.Sprintf("v%d|%s", snap.Version(), q.Key())
+	f := s.fabric
+	if f.n() == 1 {
+		s.condProbSingle(w, r, q, 0)
+		return
+	}
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(f.maxVersion(), 10))
+	involved := f.involvedShards(q.group)
+	switch len(involved) {
+	case 0:
+		// The scope matches no system on any shard; the answer is the empty
+		// result, same as one analyzer over zero systems would produce.
+		s.writeJSON(w, http.StatusOK, s.condProbResponse(q, f.maxVersion(), analysis.MergeCondResults(q.window, q.scope, nil)))
+	case 1:
+		s.condProbSingle(w, r, q, involved[0])
+	default:
+		s.condProbScatter(w, r, q, involved)
+	}
+}
+
+// condProbSingle answers a conditional-probability query entirely from one
+// shard — the single-shard server's whole path, and the fast path when the
+// scoped systems all live in one fault domain. Results are cached as
+// rendered responses; only cache misses consult the shard's breaker.
+func (s *Server) condProbSingle(w http.ResponseWriter, r *http.Request, q condProbQuery, idx int) {
+	f := s.fabric
+	if st := f.sup.State(idx); st != store.ShardReady {
+		s.shardUnavailable(w, fmt.Errorf("%w: shard %d %s", errShardDown, idx, st))
+		return
+	}
+	sh := f.shards[idx]
+	st, _, _ := sh.view()
+	// Pin one snapshot for the whole request and key the cache by shard,
+	// promotion generation and version: an append in flight cannot tear
+	// this answer, a cached result computed over an older dataset version
+	// can never be served for a newer one, and a result computed against a
+	// dead leader dies with it.
+	snap := st.Snapshot()
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(snap.Version(), 10))
+	key := fmt.Sprintf("s%d.g%d.v%d|%s", idx, sh.gen.Load(), snap.Version(), q.Key())
 	// Cached answers flow regardless of breaker state: the pinned snapshot
 	// is immutable, so a cached result is correct even while compute is
 	// degraded. Only a cache miss consults the breaker — a hit must never
@@ -584,7 +848,7 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 	if val, ok := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		w.Header().Set("X-Cache", "HIT")
-		if open, _ := s.breaker.snapshot(); open {
+		if open, _ := sh.breaker.snapshot(); open {
 			s.metrics.degraded.Add(1)
 			w.Header().Set("X-Degraded", "cache-only")
 		}
@@ -593,7 +857,7 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 	}
 	// While the circuit is open, compute is off-limits: shed cache misses
 	// with 503 instead of piling onto a struggling compute pool.
-	if !s.breaker.allow() {
+	if !sh.breaker.allow() {
 		s.metrics.degraded.Add(1)
 		w.Header().Set("Retry-After", retryAfter)
 		w.Header().Set("X-Degraded", "circuit-open")
@@ -626,7 +890,7 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 	if computed {
 		// Only actual compute attempts feed the breaker; a bad request
 		// never reaches here, and shared waiters would double-count.
-		s.breaker.report(err == nil)
+		sh.breaker.report(err == nil)
 	}
 	if err != nil {
 		code := http.StatusInternalServerError
@@ -639,12 +903,83 @@ func (s *Server) handleCondProb(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, val)
 }
 
-// computeCondProb runs the actual analysis for one canonical query over one
-// pinned snapshot — the dataset and its indexes cannot change underneath it.
-func (s *Server) computeCondProb(ctx context.Context, snap *store.Snapshot, q condProbQuery) (condProbJSON, error) {
+// condProbScatter answers a conditional-probability query whose scope spans
+// several shards: each involved shard computes (or serves from cache) its
+// partition's integer success/trial counts, and the parts merge into the
+// union's exact statistics (analysis.MergeCondResults). Per-shard parts are
+// cached and breaker-gated independently, so one struggling shard degrades
+// the answer to a partial instead of failing it.
+func (s *Server) condProbScatter(w http.ResponseWriter, r *http.Request, q condProbQuery, involved []int) {
+	f := s.fabric
+	versions := make([]uint64, len(involved))
+	hits := make([]bool, len(involved))
+	parts, errs := scatterShards(r.Context(), f, involved, func(k, i int, st *store.Store, eng *risk.Engine) (analysis.CondResult, error) {
+		sh := f.shards[i]
+		snap := st.Snapshot()
+		versions[k] = snap.Version()
+		key := fmt.Sprintf("part|s%d.g%d.v%d|%s", i, sh.gen.Load(), snap.Version(), q.Key())
+		if val, ok := s.cache.Get(key); ok {
+			hits[k] = true
+			return val.(analysis.CondResult), nil
+		}
+		if !sh.breaker.allow() {
+			return analysis.CondResult{}, fmt.Errorf("shard %d condprob circuit open", i)
+		}
+		computed := false
+		val, _, err := s.cache.Do(key, func() (any, error) {
+			computed = true
+			ctx, cancel := context.WithTimeout(s.base, s.timeout)
+			defer cancel()
+			return s.computeCondPart(ctx, snap, q)
+		})
+		if computed {
+			sh.breaker.report(err == nil)
+		}
+		if err != nil {
+			return analysis.CondResult{}, err
+		}
+		return val.(analysis.CondResult), nil
+	})
+	var ok []analysis.CondResult
+	allHit := true
+	for k, err := range errs {
+		if err != nil {
+			continue
+		}
+		ok = append(ok, parts[k])
+		if !hits[k] {
+			allHit = false
+		}
+	}
+	if len(ok) == 0 {
+		s.shardUnavailable(w, fmt.Errorf("no shard available for condprob"))
+		return
+	}
+	if allHit {
+		s.metrics.cacheHits.Add(1)
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		s.metrics.cacheMisses.Add(1)
+		w.Header().Set("X-Cache", "MISS")
+	}
+	s.stampPartial(w, involved, versions, errs)
+	var version uint64
+	for k, err := range errs {
+		if err == nil {
+			version = max(version, versions[k])
+		}
+	}
+	s.writeJSON(w, http.StatusOK, s.condProbResponse(q, version, analysis.MergeCondResults(q.window, q.scope, ok)))
+}
+
+// computeCondPart runs the actual analysis for one canonical query over one
+// pinned snapshot — the dataset and its indexes cannot change underneath
+// it. The raw CondResult is what crosses shard boundaries: integer counts
+// merge exactly, rendered statistics do not.
+func (s *Server) computeCondPart(ctx context.Context, snap *store.Snapshot, q condProbQuery) (analysis.CondResult, error) {
 	anchor, target, err := q.preds()
 	if err != nil {
-		return condProbJSON{}, err
+		return analysis.CondResult{}, err
 	}
 	ds := snap.Dataset()
 	systems := ds.Systems
@@ -664,15 +999,20 @@ func (s *Server) computeCondProb(ctx context.Context, snap *store.Snapshot, q co
 		return cerr
 	})
 	if err != nil {
-		return condProbJSON{}, err
+		return analysis.CondResult{}, err
 	}
+	return res, nil
+}
+
+// condProbResponse renders a (possibly merged) CondResult as the wire body.
+func (s *Server) condProbResponse(q condProbQuery, version uint64, res analysis.CondResult) condProbJSON {
 	return condProbJSON{
 		Anchor:         q.anchor,
 		Target:         q.target,
 		Window:         trace.WindowName(q.window),
 		Scope:          q.scope.String(),
 		Group:          q.group,
-		DatasetVersion: snap.Version(),
+		DatasetVersion: version,
 		Conditional:    proportionOf(res.Conditional, res.CondCI),
 		Baseline:       proportionOf(res.Baseline, res.BaseCI),
 		Factor:         finite(res.Factor()),
@@ -680,7 +1020,16 @@ func (s *Server) computeCondProb(ctx context.Context, snap *store.Snapshot, q co
 		FactorHi:       finite(res.FactorCI.Hi),
 		PValue:         finite(res.Test.P),
 		Significant:    res.Significant(0.05),
-	}, nil
+	}
+}
+
+// computeCondProb is the single-shard compute: one part, rendered.
+func (s *Server) computeCondProb(ctx context.Context, snap *store.Snapshot, q condProbQuery) (condProbJSON, error) {
+	res, err := s.computeCondPart(ctx, snap, q)
+	if err != nil {
+		return condProbJSON{}, err
+	}
+	return s.condProbResponse(q, snap.Version(), res), nil
 }
 
 // eventJSON is one failure event on the wire.
@@ -832,37 +1181,48 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("no events in request"))
 		return
 	}
-	// With a journal configured, ingestion is write-ahead: the event hits
+	// Each event routes to the shard owning its system. With a journal
+	// configured on that shard, ingestion is write-ahead: the event hits
 	// the log (fsync per policy) before the engine sees it, so an acked
-	// event survives a crash.
-	observe := s.engine.Observe
-	if s.journal != nil {
-		observe = s.journal.Observe
-	}
-	// The server batch-appends accepted events to its dataset store unless
-	// the dataset is frozen or the journal already applies its observes to
-	// this same store (one writer per canonical log, never two).
-	storeIngest := !s.frozen && (s.journal == nil || s.journal.Store() != s.store)
-	var acceptedEvents []trace.Failure
+	// event survives a crash. An event for a down shard is rejected
+	// per-event — the rest of the batch still lands.
+	fab := s.fabric
+	// Accepted events batch-append to each shard's dataset store unless the
+	// dataset is frozen or that shard's journal already applies its
+	// observes to the same store (one writer per canonical log, never two).
+	pendingStore := make(map[int][]trace.Failure)
 	flushStore := func() {
-		if !storeIngest || len(acceptedEvents) == 0 {
-			return
-		}
 		// The store validates exactly what the engine validated, so a
 		// rejection here is a bug, not bad input; surface it in the logs
 		// rather than un-acking events the engine (and WAL) accepted.
-		if _, err := s.store.Append(acceptedEvents); err != nil {
-			s.logf("server: dataset store append: %v", err)
+		for idx, evs := range pendingStore {
+			st, _, _ := fab.shards[idx].view()
+			if _, err := st.Append(evs); err != nil {
+				s.logf("server: shard %d dataset store append: %v", idx, err)
+			}
+			delete(pendingStore, idx)
 		}
-		acceptedEvents = nil
 	}
 	now := s.now()
 	accepted := 0
 	var rejected []eventRejection
 	for i, e := range req.Events {
 		f, err := e.toFailure(now)
+		owner := -1
 		if err == nil {
-			err = observe(f)
+			var ok bool
+			owner, ok = fab.ownerOf(f.System)
+			if !ok {
+				err = fmt.Errorf("risk: unknown system %d", f.System)
+			}
+		}
+		if err == nil {
+			err = fab.call(r.Context(), owner, func(st *store.Store, eng *risk.Engine, j *risk.Journal) error {
+				if j != nil {
+					return j.Observe(f)
+				}
+				return eng.Observe(f)
+			})
 		}
 		if err != nil {
 			if errors.Is(err, risk.ErrAppend) {
@@ -876,7 +1236,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				// keeping dataset and engine telling one story.
 				s.logf("server: %v", err)
 				flushStore()
-				setVersion(w, s.store.Snapshot())
+				w.Header().Set("X-Dataset-Version", strconv.FormatUint(fab.maxVersion(), 10))
 				respond(http.StatusInternalServerError, apiError{Error: "event log unavailable"})
 				return
 			}
@@ -886,16 +1246,19 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		accepted++
 		s.metrics.eventsIn.Add(1)
-		acceptedEvents = append(acceptedEvents, f)
+		st, _, j := fab.shards[owner].view()
+		if !s.frozen && (j == nil || j.Store() != st) {
+			pendingStore[owner] = append(pendingStore[owner], f)
+		}
 	}
 	flushStore()
-	snap := s.store.Snapshot()
-	setVersion(w, snap)
+	version := fab.maxVersion()
+	w.Header().Set("X-Dataset-Version", strconv.FormatUint(version, 10))
 	code := http.StatusOK
 	if accepted == 0 {
 		code = http.StatusBadRequest
 	}
-	respond(code, eventsResponse{Accepted: accepted, Rejected: rejected, DatasetVersion: snap.Version()})
+	respond(code, eventsResponse{Accepted: accepted, Rejected: rejected, DatasetVersion: version})
 }
 
 // Serve listens on addr and serves until ctx is cancelled, then drains
@@ -928,7 +1291,7 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 	}
 
 	// Periodic maintenance: decay keeps engine memory bounded while the
-	// feed is quiet, and a configured journal gets its WAL synced and its
+	// feed is quiet, and each shard's journal gets its WAL synced and its
 	// snapshot policy consulted. The derived context stops the goroutine on
 	// any exit path, including an immediate Serve error.
 	dctx, dcancel := context.WithCancel(ctx)
@@ -942,23 +1305,25 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 			case <-dctx.Done():
 				return
 			case now := <-t.C:
-				s.engine.Decay(now)
-				if s.journal != nil {
-					if err := s.journal.Sync(); err != nil {
-						s.logf("hpcserve: wal sync: %v", err)
-					}
-					if wrote, err := s.journal.MaybeSnapshot(now); err != nil {
-						s.logf("hpcserve: snapshot: %v", err)
-					} else if wrote {
-						s.logf("hpcserve: snapshot written (%d wal records applied)", s.journal.WALCount())
-					}
-				}
+				s.fabric.maintain(now)
 			}
 		}
 	}()
+	// Supervision: heartbeats, standby replication catchup, and automatic
+	// failover. Single-shard fabrics without a standby skip the loop — the
+	// legacy server had no supervisor and keeps exactly that behavior.
+	supDone := make(chan struct{})
+	if s.fabric.needsSupervision() {
+		go func() {
+			defer close(supDone)
+			s.fabric.supervise(dctx)
+		}()
+	} else {
+		close(supDone)
+	}
 	// Shutdown ordering: stop accepting, join in-flight handlers, then tear
-	// down the maintenance goroutine and flush the journal. Handlers may
-	// touch the journal, so it must outlive them.
+	// down the maintenance goroutines and flush every shard's journal.
+	// Handlers may touch the journals, so they must outlive them.
 	defer func() {
 		done := make(chan struct{})
 		go func() { s.inflight.Wait(); close(done) }()
@@ -969,16 +1334,18 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 		}
 		dcancel()
 		<-decayDone
-		if s.journal != nil {
-			if err := s.journal.Sync(); err != nil {
-				s.logf("hpcserve: final wal sync: %v", err)
-			}
-		}
+		<-supDone
+		s.fabric.syncAll()
 	}()
+	if cfg.OnStart != nil {
+		go cfg.OnStart(dctx, s)
+	}
 
-	boot := s.store.Snapshot()
 	s.logf("hpcserve: listening on http://%s (window %s, %d systems, dataset v%d)",
-		ln.Addr(), s.engine.Window(), len(boot.Dataset().Systems), boot.Version())
+		ln.Addr(), s.fabric.window, len(s.fabric.fleet), s.fabric.maxVersion())
+	if s.fabric.n() > 1 {
+		s.logf("hpcserve: serving %d shards (standby=%v)", s.fabric.n(), cfg.Standby)
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -1,0 +1,727 @@
+// Fault-domain sharding: the serving layer splits the fleet into N
+// supervised shards by consistent hashing on system ID (internal/store's
+// Ring), each shard owning its own dataset store, risk engine, WAL segment
+// tree and circuit breaker. A fabric routes per-system requests to the
+// owning shard and scatter-gathers cross-system requests with per-shard
+// deadlines, answering with explicit partial results (X-Partial: true plus
+// a per-shard version vector) when a shard is down or slow instead of
+// failing the whole query. Each shard's WAL is tailed by a warm standby
+// (internal/risk.Standby) that replays continuously; a supervisor detects
+// shard death through panic isolation and heartbeat deadlines and promotes
+// the standby in O(tail).
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/risk"
+	"github.com/hpcfail/hpcfail/internal/store"
+	"github.com/hpcfail/hpcfail/internal/trace"
+	"github.com/hpcfail/hpcfail/internal/wal"
+)
+
+var (
+	// errShardDown marks a request routed to a shard that is not serving.
+	errShardDown = errors.New("shard unavailable")
+	// errShardSlow marks a per-shard scatter deadline expiring. Slowness
+	// alone does not mark the shard down — that is the heartbeat's call.
+	errShardSlow = errors.New("shard deadline exceeded")
+)
+
+// DefaultShardDeadline bounds one shard's slice of a scatter-gather query.
+const DefaultShardDeadline = 2 * time.Second
+
+// DefaultHeartbeatInterval spaces supervision ticks (heartbeats, standby
+// catchup, failover checks).
+const DefaultHeartbeatInterval = 500 * time.Millisecond
+
+// shard is one fault domain: the mutable component set is swapped as a unit
+// under mu when a standby is promoted; everything else is fixed at build.
+type shard struct {
+	idx int
+	// systems is the shard's boot catalog. Membership never changes (only
+	// measurement periods extend), so routing and scope checks read it
+	// lock-free.
+	systems []trace.SystemInfo
+	// breaker gates this shard's condprob compute — failures on one shard
+	// must not degrade the others.
+	breaker *breaker
+	// gen counts promotions; condprob cache keys embed it so results
+	// computed against a dead leader can never be served for its successor.
+	gen       atomic.Uint64
+	failovers atomic.Uint64
+	// stall injects latency (ns) into every call — the chaos hook that makes
+	// a shard slow without making it dead.
+	stall atomic.Int64
+
+	mu      sync.RWMutex
+	st      *store.Store
+	engine  *risk.Engine
+	journal *risk.Journal
+	standby *risk.Standby
+}
+
+// view reads the shard's current serving components as one consistent set.
+func (sh *shard) view() (*store.Store, *risk.Engine, *risk.Journal) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.st, sh.engine, sh.journal
+}
+
+func (sh *shard) getStandby() *risk.Standby {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.standby
+}
+
+// fabric is the shard router: ownership map, supervisor, and the scatter
+// and failover machinery. A single-shard fabric is the legacy server with
+// one fault domain.
+type fabric struct {
+	sup    *store.Supervisor
+	ring   *store.Ring
+	shards []*shard
+	// fleet is the union catalog, ascending by system ID — the routing and
+	// scope-validation view of the whole dataset.
+	fleet  []trace.SystemInfo
+	owner  map[int]int // system ID -> shard index
+	window time.Duration
+	// deadline bounds each shard's slice of a scatter-gather query.
+	deadline time.Duration
+	hbEvery  time.Duration
+	// walTmpl is the per-shard WAL option template; Dir is the root under
+	// which each shard keeps its own segment tree (empty = no durability).
+	walTmpl    wal.Options
+	snapPolicy checkpoint.Policy
+	now        func() time.Time
+	logf       func(format string, args ...any)
+}
+
+func (f *fabric) walOptsOf(i int) wal.Options {
+	opts := f.walTmpl
+	if opts.Dir != "" {
+		opts.Dir = shardWALDir(f.walTmpl.Dir, i)
+	}
+	return opts
+}
+
+func (f *fabric) snapPolicyOf(int) checkpoint.Policy { return f.snapPolicy }
+
+func (f *fabric) n() int { return len(f.shards) }
+
+// shardWALDir is shard i's WAL directory under the configured root. The
+// layout is stable so a restart (or a standby in another process) finds the
+// same segment trees.
+func shardWALDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard-%03d", i))
+}
+
+// ownerOf maps a system ID to its shard.
+func (f *fabric) ownerOf(systemID int) (int, bool) {
+	i, ok := f.owner[systemID]
+	return i, ok
+}
+
+// involvedShards lists the shards owning at least one system in the query
+// scope (0 = all systems, 1/2 = the architecture groups), ascending. Group
+// membership is fixed at boot, so the fleet catalog answers without
+// touching any shard.
+func (f *fabric) involvedShards(group int) []int {
+	mark := make([]bool, f.n())
+	for _, sys := range f.fleet {
+		switch group {
+		case 1:
+			if sys.Group != trace.Group1 {
+				continue
+			}
+		case 2:
+			if sys.Group != trace.Group2 {
+				continue
+			}
+		}
+		if i, ok := f.owner[sys.ID]; ok {
+			mark[i] = true
+		}
+	}
+	var idxs []int
+	for i, m := range mark {
+		if m {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// fleetSystem resolves a system ID against the fleet catalog.
+func (f *fabric) fleetSystem(id int) (trace.SystemInfo, bool) {
+	for _, s := range f.fleet {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return trace.SystemInfo{}, false
+}
+
+// call runs fn against shard i's current components with panic isolation: a
+// panic inside fn kills the shard (supervisor marks it Down, the journal is
+// detached and closed) instead of crashing the process, and the caller gets
+// errShardDown. A context deadline returns errShardSlow without killing the
+// shard — the heartbeat decides whether slow means dead. The injected stall
+// (chaos) applies before fn.
+func (f *fabric) call(ctx context.Context, i int, fn func(st *store.Store, eng *risk.Engine, j *risk.Journal) error) error {
+	if st := f.sup.State(i); st != store.ShardReady {
+		return fmt.Errorf("%w: shard %d %s", errShardDown, i, st)
+	}
+	sh := f.shards[i]
+	st, eng, j := sh.view()
+	done := make(chan error, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.killShard(i, fmt.Sprintf("panic: %v", r))
+				done <- fmt.Errorf("%w: shard %d panicked", errShardDown, i)
+			}
+		}()
+		if d := time.Duration(sh.stall.Load()); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				done <- fmt.Errorf("%w: shard %d", errShardSlow, i)
+				return
+			}
+		}
+		done <- fn(st, eng, j)
+	}()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return fmt.Errorf("%w: shard %d", errShardSlow, i)
+	}
+}
+
+// detachJournal takes the shard's journal away and closes it. Observe holds
+// the journal mutex, so once Close returns no further append can reach the
+// dead leader's WAL — the standby's final catchup reads a quiesced log and
+// promotion cannot split-brain.
+func (f *fabric) detachJournal(i int) {
+	sh := f.shards[i]
+	sh.mu.Lock()
+	j := sh.journal
+	sh.journal = nil
+	sh.mu.Unlock()
+	if j != nil {
+		if err := j.Close(); err != nil {
+			f.logf("hpcserve: shard %d: closing dead leader journal: %v", i, err)
+		}
+	}
+}
+
+// killShard marks shard i Down and fences its journal.
+func (f *fabric) killShard(i int, reason string) {
+	f.sup.SetState(i, store.ShardDown, reason)
+	f.logf("hpcserve: shard %d down: %s", i, reason)
+	f.detachJournal(i)
+}
+
+// promote fails shard i over to its warm standby. The Down→Promoting CAS
+// guarantees a single promoter; on success the component set is swapped as
+// one unit and the generation advances so stale cache entries die with the
+// old leader.
+func (f *fabric) promote(i int) error {
+	sh := f.shards[i]
+	if !f.sup.Transition(i, store.ShardDown, store.ShardPromoting, "promoting standby") {
+		return fmt.Errorf("server: shard %d is %s, not down", i, f.sup.State(i))
+	}
+	sb := sh.getStandby()
+	if sb == nil {
+		f.sup.Transition(i, store.ShardPromoting, store.ShardDown, "no standby to promote")
+		return fmt.Errorf("server: shard %d has no standby", i)
+	}
+	// The dead leader's journal must be fenced before the final catchup, or
+	// a straggling append could land after the standby stops reading.
+	f.detachJournal(i)
+	j, err := sb.Promote(f.snapPolicyOf(i), f.walOptsOf(i), f.now)
+	if err != nil {
+		f.sup.Transition(i, store.ShardPromoting, store.ShardDown, "promotion failed: "+err.Error())
+		return fmt.Errorf("server: shard %d promotion: %w", i, err)
+	}
+	sh.mu.Lock()
+	if st := j.Store(); st != nil {
+		sh.st = st
+	}
+	sh.engine = j.Engine()
+	sh.journal = j
+	sh.standby = nil
+	sh.mu.Unlock()
+	sh.stall.Store(0)
+	sh.gen.Add(1)
+	sh.failovers.Add(1)
+	f.sup.Transition(i, store.ShardPromoting, store.ShardReady, "standby promoted")
+	f.logf("hpcserve: shard %d promoted standby (%d wal records)", i, j.WALCount())
+	return nil
+}
+
+// tick is one supervision round: heartbeat every Ready shard, expire the
+// silent ones, drain every standby's replication tail, and promote warm
+// standbys of Down shards. It is the body of the supervise loop and is also
+// driven directly by deterministic tests.
+func (f *fabric) tick(ctx context.Context) {
+	for i := range f.shards {
+		if f.sup.State(i) != store.ShardReady {
+			continue
+		}
+		hctx, cancel := context.WithTimeout(ctx, f.deadline)
+		err := f.call(hctx, i, func(st *store.Store, eng *risk.Engine, _ *risk.Journal) error {
+			// The ping exercises both component reads a query would do.
+			_ = st.Snapshot().Version()
+			_ = eng.LastEvent()
+			return nil
+		})
+		cancel()
+		if err == nil {
+			f.sup.Beat(i)
+		}
+	}
+	for _, i := range f.sup.Expire() {
+		f.logf("hpcserve: shard %d down: heartbeat deadline exceeded", i)
+		f.detachJournal(i)
+	}
+	f.catchupStandbys()
+	for i, sh := range f.shards {
+		if f.sup.State(i) != store.ShardDown {
+			continue
+		}
+		sb := sh.getStandby()
+		if sb == nil || !sb.Warm() {
+			continue
+		}
+		if err := f.promote(i); err != nil {
+			f.logf("hpcserve: shard %d failover: %v", i, err)
+		}
+	}
+}
+
+// catchupStandbys drains every standby's replication tail once.
+func (f *fabric) catchupStandbys() {
+	for i, sh := range f.shards {
+		sb := sh.getStandby()
+		if sb == nil {
+			continue
+		}
+		if _, err := sb.Catchup(); err != nil {
+			f.logf("hpcserve: shard %d standby catchup: %v", i, err)
+		}
+	}
+}
+
+// needsSupervision reports whether the background supervise loop should
+// run: single-shard fabrics without a standby keep the legacy behavior of
+// no supervision goroutine.
+func (f *fabric) needsSupervision() bool {
+	if f.n() > 1 {
+		return true
+	}
+	return f.shards[0].getStandby() != nil
+}
+
+// supervise runs ticks until ctx is done.
+func (f *fabric) supervise(ctx context.Context) {
+	t := time.NewTicker(f.hbEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			f.tick(ctx)
+		}
+	}
+}
+
+// maintain runs the periodic per-shard upkeep the serve loop schedules:
+// engine decay, WAL sync, and the snapshot policy.
+func (f *fabric) maintain(now time.Time) {
+	for i := range f.shards {
+		_, eng, j := f.shards[i].view()
+		eng.Decay(now)
+		if j == nil {
+			continue
+		}
+		if err := j.Sync(); err != nil {
+			f.logf("hpcserve: shard %d wal sync: %v", i, err)
+		}
+		if wrote, err := j.MaybeSnapshot(now); err != nil {
+			f.logf("hpcserve: shard %d snapshot: %v", i, err)
+		} else if wrote {
+			f.logf("hpcserve: shard %d snapshot written (%d wal records applied)", i, j.WALCount())
+		}
+	}
+}
+
+// syncAll flushes every shard's WAL — the final act of a graceful shutdown.
+func (f *fabric) syncAll() {
+	for i := range f.shards {
+		_, _, j := f.shards[i].view()
+		if j == nil {
+			continue
+		}
+		if err := j.Sync(); err != nil {
+			f.logf("hpcserve: shard %d final wal sync: %v", i, err)
+		}
+	}
+}
+
+// maxVersion returns the highest dataset-store version across shards, and
+// totalEvents the fleet-wide event count — the aggregate the single-store
+// server used to read off one snapshot.
+func (f *fabric) maxVersion() uint64 {
+	var v uint64
+	for _, sh := range f.shards {
+		st, _, _ := sh.view()
+		v = max(v, st.Snapshot().Version())
+	}
+	return v
+}
+
+func (f *fabric) totalEvents() int {
+	n := 0
+	for _, sh := range f.shards {
+		st, _, _ := sh.view()
+		n += st.Snapshot().Events()
+	}
+	return n
+}
+
+// allShards lists every shard index.
+func (f *fabric) allShards() []int {
+	idxs := make([]int, f.n())
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return idxs
+}
+
+// scatterShards fans fn out to the given shards with per-shard deadlines,
+// returning result and error slices parallel to idxs (fn receives both the
+// slot k and the shard index i). A down, slow or panicking shard yields its
+// error slot; survivors still return results — the handler decides whether
+// that is a partial answer or a failure.
+func scatterShards[T any](ctx context.Context, f *fabric, idxs []int, fn func(k, i int, st *store.Store, eng *risk.Engine) (T, error)) ([]T, []error) {
+	parts := make([]T, len(idxs))
+	errs := make([]error, len(idxs))
+	var wg sync.WaitGroup
+	for k, i := range idxs {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, f.deadline)
+			defer cancel()
+			errs[k] = f.call(sctx, i, func(st *store.Store, eng *risk.Engine, _ *risk.Journal) error {
+				v, err := fn(k, i, st, eng)
+				if err != nil {
+					return err
+				}
+				parts[k] = v
+				return nil
+			})
+		}(k, i)
+	}
+	wg.Wait()
+	return parts, errs
+}
+
+// versionVector renders the per-shard version vector a partial-capable
+// response carries: "0:12,1:down,2:9" pairs shard index with the dataset
+// version its part was computed at, or the reason it is missing.
+func (f *fabric) versionVector(idxs []int, versions []uint64, errs []error) string {
+	var b strings.Builder
+	for k, i := range idxs {
+		if k > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d:", i)
+		switch {
+		case errs[k] == nil:
+			fmt.Fprintf(&b, "%d", versions[k])
+		case errors.Is(errs[k], errShardSlow):
+			b.WriteString("slow")
+		default:
+			b.WriteString("down")
+		}
+	}
+	return b.String()
+}
+
+// shardStatus is one shard's row in the /readyz body.
+type shardStatus struct {
+	Shard   int    `json:"shard"`
+	State   string `json:"state"`
+	Reason  string `json:"reason,omitempty"`
+	Standby string `json:"standby,omitempty"`
+	Systems int    `json:"systems"`
+}
+
+// status reports readiness: every shard Ready and every standby warm. A
+// recovering shard (WAL replay in OpenJournal) never reaches here un-ready —
+// construction is synchronous — but a standby still draining its leader's
+// log does, and so does any shard that died or is mid-promotion.
+func (f *fabric) status() (bool, []shardStatus) {
+	ready := true
+	rows := make([]shardStatus, f.n())
+	for i, sh := range f.shards {
+		st := f.sup.State(i)
+		row := shardStatus{Shard: i, State: st.String(), Reason: f.sup.Reason(i), Systems: len(sh.systems)}
+		if st != store.ShardReady {
+			ready = false
+		}
+		if sb := sh.getStandby(); sb != nil {
+			if sb.Warm() {
+				row.Standby = "warm"
+			} else {
+				row.Standby = "warming"
+				ready = false
+			}
+		}
+		rows[i] = row
+	}
+	return ready, rows
+}
+
+// ShardCount returns the number of fault domains the server is split into
+// (1 for the legacy single-shard server).
+func (s *Server) ShardCount() int { return s.fabric.n() }
+
+// KillShard marks shard i dead and fences its journal, exactly as a panic
+// or heartbeat expiry would — the chaos entry point for failover tests.
+// Killing an already-down shard is a no-op.
+func (s *Server) KillShard(i int) error {
+	if i < 0 || i >= s.fabric.n() {
+		return fmt.Errorf("server: no shard %d", i)
+	}
+	if s.fabric.sup.State(i) == store.ShardDown {
+		return nil
+	}
+	s.fabric.killShard(i, "killed by operator/chaos")
+	return nil
+}
+
+// StallShard injects d of latency into every call shard i serves (0 clears
+// it). Long enough stalls fail scatter deadlines and then heartbeats — the
+// slow-shard half of the failure model.
+func (s *Server) StallShard(i int, d time.Duration) error {
+	if i < 0 || i >= s.fabric.n() {
+		return fmt.Errorf("server: no shard %d", i)
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.fabric.shards[i].stall.Store(int64(d))
+	return nil
+}
+
+// PromoteShard manually fails shard i over to its warm standby (the
+// supervisor loop does this automatically; tests drive it deterministically).
+func (s *Server) PromoteShard(i int) error {
+	if i < 0 || i >= s.fabric.n() {
+		return fmt.Errorf("server: no shard %d", i)
+	}
+	return s.fabric.promote(i)
+}
+
+// CatchupStandbys drains every standby's replication tail once — the
+// deterministic stand-in for the supervise loop's continuous catchup.
+func (s *Server) CatchupStandbys() { s.fabric.catchupStandbys() }
+
+// SuperviseTick runs one supervision round (heartbeats, expiry, catchup,
+// auto-failover) synchronously.
+func (s *Server) SuperviseTick(ctx context.Context) { s.fabric.tick(ctx) }
+
+// shardVersions reads each listed shard's current dataset version (only
+// meaningful for slots whose scatter succeeded).
+func (f *fabric) shardVersions(idxs []int) []uint64 {
+	out := make([]uint64, len(idxs))
+	for k, i := range idxs {
+		st, _, _ := f.shards[i].view()
+		out[k] = st.Snapshot().Version()
+	}
+	return out
+}
+
+// fleetCopy deep-copies a system catalog, sorted ascending by ID.
+func fleetCopy(systems []trace.SystemInfo) []trace.SystemInfo {
+	out := append([]trace.SystemInfo(nil), systems...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// newSingleFabric wraps already-built single-store components as a
+// one-shard fabric — the legacy configuration, byte-for-byte compatible
+// with the pre-sharding server.
+func newSingleFabric(st *store.Store, engine *risk.Engine, journal *risk.Journal, br *breaker, cfg Config, now func() time.Time, logf func(string, ...any)) (*fabric, error) {
+	ring, err := store.NewRing(1, 1)
+	if err != nil {
+		return nil, err
+	}
+	sup, err := store.NewSupervisor(1, cfg.HeartbeatDeadline, now)
+	if err != nil {
+		return nil, err
+	}
+	fleet := fleetCopy(st.Snapshot().Dataset().Systems)
+	owner := make(map[int]int, len(fleet))
+	for _, s := range fleet {
+		owner[s.ID] = 0
+	}
+	sh := &shard{idx: 0, systems: fleet, breaker: br, st: st, engine: engine, journal: journal}
+	return &fabric{
+		sup:      sup,
+		ring:     ring,
+		shards:   []*shard{sh},
+		fleet:    fleet,
+		owner:    owner,
+		window:   engine.Window(),
+		deadline: shardDeadlineOr(cfg.ShardDeadline),
+		hbEvery:  heartbeatIntervalOr(cfg.HeartbeatInterval),
+		now:      now,
+		logf:     logf,
+	}, nil
+}
+
+func shardDeadlineOr(d time.Duration) time.Duration {
+	if d <= 0 {
+		return DefaultShardDeadline
+	}
+	return d
+}
+
+func heartbeatIntervalOr(d time.Duration) time.Duration {
+	if d <= 0 {
+		return DefaultHeartbeatInterval
+	}
+	return d
+}
+
+// newShardedFabric builds n supervised shards over cfg.Dataset: partition
+// by consistent hashing, then per shard a private store, a risk engine over
+// that partition's analyzer, and — when cfg.ShardWAL.Dir is set — a durable
+// journal under shard-NNN/ plus (with cfg.Standby) a warm standby tailing
+// that same directory. Shard counts above the system count are clamped: an
+// empty shard could neither score nor ingest anything.
+func newShardedFabric(cfg Config, n int, w time.Duration, now func() time.Time, logf func(string, ...any)) (*fabric, error) {
+	if cfg.Dataset == nil {
+		return nil, fmt.Errorf("server: sharded mode needs a dataset")
+	}
+	if cfg.Store != nil || cfg.Engine != nil || cfg.Journal != nil {
+		return nil, fmt.Errorf("server: sharded mode builds its own stores, engines and journals; Store/Engine/Journal must be nil")
+	}
+	if len(cfg.Dataset.Systems) == 0 {
+		return nil, fmt.Errorf("server: dataset has no systems")
+	}
+	if got := len(cfg.Dataset.Systems); n > got {
+		logf("hpcserve: clamping %d shards to %d (one per system)", n, got)
+		n = got
+	}
+	ring, err := store.NewRing(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	sup, err := store.NewSupervisor(n, cfg.HeartbeatDeadline, now)
+	if err != nil {
+		return nil, err
+	}
+	parts, ids := store.PartitionDataset(cfg.Dataset, ring)
+	owner := make(map[int]int, len(cfg.Dataset.Systems))
+	for i, group := range ids {
+		for _, id := range group {
+			owner[id] = i
+		}
+	}
+	f := &fabric{
+		sup:        sup,
+		ring:       ring,
+		fleet:      fleetCopy(cfg.Dataset.Systems),
+		owner:      owner,
+		window:     w,
+		deadline:   shardDeadlineOr(cfg.ShardDeadline),
+		hbEvery:    heartbeatIntervalOr(cfg.HeartbeatInterval),
+		walTmpl:    cfg.ShardWAL,
+		snapPolicy: cfg.SnapshotPolicy,
+		now:        now,
+		logf:       logf,
+	}
+	for i := 0; i < n; i++ {
+		st, err := store.New(parts[i])
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		engine, err := risk.FromAnalyzer(st.Snapshot().Analyzer(), w)
+		if err != nil {
+			return nil, fmt.Errorf("server: shard %d: %w", i, err)
+		}
+		sh := &shard{
+			idx:     i,
+			systems: fleetCopy(st.Snapshot().Dataset().Systems),
+			breaker: newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, now),
+			st:      st,
+			engine:  engine,
+		}
+		if cfg.ShardWAL.Dir != "" {
+			jc := risk.JournalConfig{Engine: engine, WAL: f.walOptsOf(i), SnapshotPolicy: cfg.SnapshotPolicy, Now: now}
+			if !cfg.FrozenDataset {
+				jc.Store = st
+			}
+			journal, stats, err := risk.OpenJournal(jc)
+			if err != nil {
+				return nil, fmt.Errorf("server: shard %d: %w", i, err)
+			}
+			sh.journal = journal
+			if stats.SnapshotLoaded || stats.Replayed > 0 {
+				logf("hpcserve: shard %d recovered (snapshot %d events, replayed %d, skipped %d)",
+					i, stats.SnapshotEvents, stats.Replayed, stats.Skipped)
+			}
+			if cfg.Standby {
+				// The standby gets its own dataset copy and engine over the
+				// same boot partition; it replays the leader's WAL through the
+				// follower, so promotion reproduces the leader's state.
+				sds := cfg.Dataset.FilterSystems(ids[i]...)
+				sc := risk.StandbyConfig{Dir: f.walOptsOf(i).Dir}
+				if cfg.FrozenDataset {
+					sengine, err := risk.FromDataset(sds, w)
+					if err != nil {
+						return nil, fmt.Errorf("server: shard %d standby: %w", i, err)
+					}
+					sc.Engine = sengine
+				} else {
+					sst, err := store.New(sds)
+					if err != nil {
+						return nil, fmt.Errorf("server: shard %d standby: %w", i, err)
+					}
+					sengine, err := risk.FromAnalyzer(sst.Snapshot().Analyzer(), w)
+					if err != nil {
+						return nil, fmt.Errorf("server: shard %d standby: %w", i, err)
+					}
+					sc.Engine = sengine
+					sc.Store = sst
+				}
+				standby, err := risk.NewStandby(sc)
+				if err != nil {
+					return nil, fmt.Errorf("server: shard %d standby: %w", i, err)
+				}
+				sh.standby = standby
+			}
+		}
+		f.shards = append(f.shards, sh)
+	}
+	return f, nil
+}

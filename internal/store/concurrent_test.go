@@ -99,3 +99,71 @@ type versionRegression struct{ from, to uint64 }
 func (e *versionRegression) Error() string {
 	return "snapshot version regressed or result torn"
 }
+
+// TestRebuildFallbackUnderConcurrentSnapshotReaders drives the out-of-order
+// append path exclusively — every batch lands mid-period, so every append
+// takes the full analyzer-rebuild fallback — while readers hold pinned
+// snapshots across those rebuilds. Run under -race by the chaos gate, it
+// pins snapshot immutability through the rebuild path specifically: a
+// pinned snapshot's version, event count and query answers must not change
+// no matter how many rebuilds the store performs behind it.
+func TestRebuildFallbackUnderConcurrentSnapshotReaders(t *testing.T) {
+	ds := genDataset(t, 17)
+	st, err := store.New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers = 4
+		batches = 24
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, readers)
+	hw := trace.CategoryPred(trace.Hardware)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Pin one snapshot, query it, then re-check it after the
+				// writer has had a chance to rebuild underneath.
+				snap := st.Snapshot()
+				v, n := snap.Version(), snap.Events()
+				sys := snap.Dataset().Systems
+				first := snap.Analyzer().CondProb(sys, hw, nil, trace.Day, analysis.ScopeSystem)
+				again := snap.Analyzer().CondProb(sys, hw, nil, trace.Day, analysis.ScopeSystem)
+				if snap.Version() != v || snap.Events() != n || !bitEqual(first, again) {
+					errs <- &versionRegression{from: v, to: snap.Version()}
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < batches; i++ {
+		if _, err := st.Append(batchInside(st.Snapshot().Dataset(), 4)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := st.Appends(); got != batches {
+		t.Errorf("Appends = %d, want %d", got, batches)
+	}
+	// Every batch was out of order, so every append must have rebuilt.
+	if got := st.Rebuilds(); got != batches {
+		t.Errorf("Rebuilds = %d, want %d (all batches out of order)", got, batches)
+	}
+}

@@ -1,0 +1,166 @@
+package store_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/store"
+)
+
+func TestRingOwnerDeterministic(t *testing.T) {
+	a, err := store.NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := store.NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 100; id++ {
+		ao, bo := a.Owner(id), b.Owner(id)
+		if ao != bo {
+			t.Fatalf("Owner(%d) differs across identical rings: %d vs %d", id, ao, bo)
+		}
+		if ao < 0 || ao >= 4 {
+			t.Fatalf("Owner(%d) = %d out of range", id, ao)
+		}
+	}
+}
+
+func TestRingAssignCoversAndRebalances(t *testing.T) {
+	r, err := store.NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []int{2, 3, 5, 9, 12, 18, 19, 20, 21, 22, 23, 24}
+	a := r.Assign(ids)
+	b := r.Assign([]int{24, 23, 22, 21, 20, 19, 18, 12, 9, 5, 3, 2})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Assign depends on input order:\n%v\n%v", a, b)
+	}
+	seen := map[int]int{}
+	for shard, group := range a {
+		if len(group) == 0 {
+			t.Errorf("shard %d empty with %d systems over 4 shards", shard, len(ids))
+		}
+		for _, id := range group {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("system %d assigned to both shard %d and %d", id, prev, shard)
+			}
+			seen[id] = shard
+		}
+	}
+	if len(seen) != len(ids) {
+		t.Fatalf("assigned %d systems, want %d", len(seen), len(ids))
+	}
+
+	// Fewer systems than shards: every system still placed, leftovers empty.
+	few := r.Assign([]int{7, 8})
+	n := 0
+	for _, group := range few {
+		n += len(group)
+	}
+	if n != 2 {
+		t.Fatalf("Assign placed %d of 2 systems", n)
+	}
+}
+
+func TestPartitionDatasetDisjointAndComplete(t *testing.T) {
+	ds := genDataset(t, 5)
+	r, err := store.NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, ids := store.PartitionDataset(ds, r)
+	if len(parts) != 3 || len(ids) != 3 {
+		t.Fatalf("got %d parts, %d id groups", len(parts), len(ids))
+	}
+	totalSystems, totalFailures := 0, 0
+	for i, part := range parts {
+		if got := part.SystemIDs(); !reflect.DeepEqual(got, ids[i]) {
+			t.Errorf("part %d systems = %v, want %v", i, got, ids[i])
+		}
+		totalSystems += len(part.Systems)
+		totalFailures += len(part.Failures)
+		for _, f := range part.Failures {
+			owned := false
+			for _, id := range ids[i] {
+				if f.System == id {
+					owned = true
+					break
+				}
+			}
+			if !owned {
+				t.Fatalf("part %d holds failure for foreign system %d", i, f.System)
+			}
+		}
+	}
+	if totalSystems != len(ds.Systems) {
+		t.Errorf("partitions hold %d systems, dataset has %d", totalSystems, len(ds.Systems))
+	}
+	if totalFailures != len(ds.Failures) {
+		t.Errorf("partitions hold %d failures, dataset has %d", totalFailures, len(ds.Failures))
+	}
+}
+
+func TestSupervisorHeartbeatExpiry(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	now := func() time.Time { return clock }
+	sup, err := store.NewSupervisor(3, time.Second, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sup.N(); i++ {
+		if st := sup.State(i); st != store.ShardReady {
+			t.Fatalf("shard %d starts %v, want ready", i, st)
+		}
+	}
+
+	// Within the deadline nothing expires.
+	clock = clock.Add(500 * time.Millisecond)
+	if downed := sup.Expire(); len(downed) != 0 {
+		t.Fatalf("Expire before deadline = %v", downed)
+	}
+	// Shard 1 keeps beating; the others go silent past the deadline.
+	sup.Beat(1)
+	clock = clock.Add(900 * time.Millisecond)
+	downed := sup.Expire()
+	if !reflect.DeepEqual(downed, []int{0, 2}) {
+		t.Fatalf("Expire = %v, want [0 2]", downed)
+	}
+	if sup.State(1) != store.ShardReady || sup.State(0) != store.ShardDown {
+		t.Fatalf("states after expiry: %v %v %v", sup.State(0), sup.State(1), sup.State(2))
+	}
+	if r := sup.Reason(0); r != "heartbeat deadline exceeded" {
+		t.Fatalf("Reason(0) = %q", r)
+	}
+	// A second Expire must not re-report already-down shards.
+	if downed := sup.Expire(); len(downed) != 0 {
+		t.Fatalf("second Expire = %v", downed)
+	}
+}
+
+func TestSupervisorTransitionCAS(t *testing.T) {
+	sup, err := store.NewSupervisor(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.SetState(0, store.ShardDown, "killed")
+	if !sup.Transition(0, store.ShardDown, store.ShardPromoting, "promoting") {
+		t.Fatal("first Transition lost")
+	}
+	// A second promoter must lose the race.
+	if sup.Transition(0, store.ShardDown, store.ShardPromoting, "promoting") {
+		t.Fatal("second Transition won against wrong from-state")
+	}
+	if !sup.Transition(0, store.ShardPromoting, store.ShardReady, "promoted") {
+		t.Fatal("final Transition lost")
+	}
+	if st := sup.State(0); st != store.ShardReady {
+		t.Fatalf("state = %v, want ready", st)
+	}
+	if st := store.ShardWarming.String(); st != "warming" {
+		t.Fatalf("ShardWarming.String() = %q", st)
+	}
+}
