@@ -32,10 +32,12 @@ import (
 
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/cli"
+	"github.com/hpcfail/hpcfail/internal/correlate"
 	"github.com/hpcfail/hpcfail/internal/experiments"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/server"
 	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/wal"
 )
@@ -135,6 +137,7 @@ func run(args []string) (err error) {
 	a := analysis.New(ds)
 	b.kernelBenches(a, ds)
 	b.indexAppendBench(ds)
+	b.correlateMineBench(ds)
 	b.macroBenches(a, ds)
 	if !*quick {
 		b.endToEnd(ds)
@@ -170,8 +173,15 @@ type bencher struct {
 	report  Report
 }
 
+// measureReps repeats the final measured batch and keeps the fastest run.
+// Scheduler interference only ever adds time, so min-of-N is a far more
+// stable estimator than a single shot on shared/virtualized hardware —
+// without it the 25% regression gate trips on noisy-neighbor jitter.
+const measureReps = 3
+
 // measure runs fn in growing batches until one batch lasts at least minTime,
-// then records ns/op and per-op allocation deltas from runtime.MemStats.
+// then re-times that batch measureReps times and records the fastest run's
+// ns/op and per-op allocation deltas from runtime.MemStats.
 // A warmup call precedes measurement so one-time lazy work is not billed.
 func (b *bencher) measure(name, group string, fn func()) {
 	if b.filter != nil && !b.filter.MatchString(name) {
@@ -189,14 +199,29 @@ func (b *bencher) measure(name, group string, fn func()) {
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
 		if elapsed >= b.minTime || n >= 1e9 {
-			b.report.Results = append(b.report.Results, BenchResult{
+			best := BenchResult{
 				Name:        name,
 				Group:       group,
 				Iters:       n,
 				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
 				AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
 				BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
-			})
+			}
+			for rep := 1; rep < measureReps; rep++ {
+				runtime.ReadMemStats(&before)
+				start = time.Now()
+				for i := int64(0); i < n; i++ {
+					fn()
+				}
+				elapsed = time.Since(start)
+				runtime.ReadMemStats(&after)
+				if ns := float64(elapsed.Nanoseconds()) / float64(n); ns < best.NsPerOp {
+					best.NsPerOp = ns
+					best.AllocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(n)
+					best.BytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(n)
+				}
+			}
+			b.report.Results = append(b.report.Results, best)
 			return
 		}
 		// Grow toward minTime like testing.B: predict with 20% headroom,
@@ -309,6 +334,73 @@ func (b *bencher) indexAppendBench(ds *trace.Dataset) {
 		chainLen  = 128
 		batchSize = 64
 	)
+	batches, merged := tailBatches(ds, chainLen, batchSize)
+
+	i := 0
+	var head *analysis.DatasetIndex
+	b.pair("index-append/batch-64",
+		func() {
+			if i%chainLen == 0 {
+				head = analysis.NewDatasetIndex(ds)
+			}
+			head = head.Append(merged, batches[i%chainLen])
+			i++
+		},
+		func() { analysis.NewDatasetIndex(merged) },
+	)
+}
+
+// correlateMineBench pits the incremental correlation miner — one store
+// append followed by a Mine that folds in only the tail — against
+// re-mining the merged dataset from scratch, which is what refreshing the
+// rule graph cost before the miner tracked store versions. As in
+// index-append, the fresh store+miner that starts each chain is billed to
+// the measurement.
+func (b *bencher) correlateMineBench(ds *trace.Dataset) {
+	const (
+		chainLen  = 128
+		batchSize = 64
+	)
+	batches, merged := tailBatches(ds, chainLen, batchSize)
+
+	i := 0
+	var (
+		st    *store.Store
+		miner *correlate.Miner
+	)
+	b.pair("correlate-mine/batch-64",
+		func() {
+			if i%chainLen == 0 {
+				// The store takes ownership of its seed, so each chain seeds
+				// from a fresh copy of the boot failures.
+				seed := *ds
+				seed.Failures = append([]trace.Failure(nil), ds.Failures...)
+				var err error
+				if st, err = store.New(&seed); err != nil {
+					panic(err)
+				}
+				miner = correlate.NewMiner(st, trace.Week)
+			}
+			if _, err := st.Append(batches[i%chainLen]); err != nil {
+				panic(err)
+			}
+			if _, _, ok := miner.Mine(trace.Week); !ok {
+				panic("hpcbench: week window not maintained by miner")
+			}
+			i++
+		},
+		func() { correlate.MineNaive(merged, trace.Week) },
+	)
+}
+
+// tailBatches builds chainLen single-system batches of batchSize events
+// starting one second past the dataset's end — one system per batch
+// because failure bursts cluster on a machine, and the journal's live path
+// appends single-system batches, so the copy-on-write cost of one append
+// is one system's posting maps. It also returns the merged dataset every
+// chain of appends converges to, which the naive references recompute
+// wholesale.
+func tailBatches(ds *trace.Dataset, chainLen, batchSize int) ([][]trace.Failure, *trace.Dataset) {
 	cats := []struct {
 		cat trace.Category
 		hw  trace.HWComponent
@@ -316,9 +408,6 @@ func (b *bencher) indexAppendBench(ds *trace.Dataset) {
 	at := datasetEnd(ds)
 	batches := make([][]trace.Failure, chainLen)
 	for bi := range batches {
-		// One system per batch: failure bursts cluster on a machine, and the
-		// journal's live path appends per-event (single-system) batches, so
-		// the copy-on-write cost of one append is one system's posting maps.
 		sys := ds.Systems[bi%len(ds.Systems)]
 		batch := make([]trace.Failure, batchSize)
 		for i := range batch {
@@ -328,8 +417,6 @@ func (b *bencher) indexAppendBench(ds *trace.Dataset) {
 		}
 		batches[bi] = batch
 	}
-	// The merged dataset every chain converges to; the naive reference
-	// rebuilds its index wholesale per batch applied.
 	merged := *ds
 	merged.Failures = make([]trace.Failure, 0, len(ds.Failures)+chainLen*batchSize)
 	merged.Failures = append(merged.Failures, ds.Failures...)
@@ -337,19 +424,7 @@ func (b *bencher) indexAppendBench(ds *trace.Dataset) {
 		merged.Failures = append(merged.Failures, batch...)
 	}
 	merged.Sort()
-
-	i := 0
-	var head *analysis.DatasetIndex
-	b.pair("index-append/batch-64",
-		func() {
-			if i%chainLen == 0 {
-				head = analysis.NewDatasetIndex(ds)
-			}
-			head = head.Append(&merged, batches[i%chainLen])
-			i++
-		},
-		func() { analysis.NewDatasetIndex(&merged) },
-	)
+	return batches, &merged
 }
 
 // macroBenches covers the composite paths built on the kernel: lift-table
@@ -536,8 +611,12 @@ func printTable(w io.Writer, rep *Report) {
 // amortizes one batch over an O(log n)-per-event extension, so even with
 // the chain-restart rebuild billed in, it clears 25x comfortably (measured
 // ~100-200x at scale 1; the floor leaves headroom for noisy CI hosts).
+// correlate-mine folds a 64-event batch into standing pair counts instead
+// of re-scanning every event window; measured ~35x in quick mode with the
+// chain restarts billed in.
 var speedupFloors = map[string]float64{
-	"index-append/batch-64": 25,
+	"index-append/batch-64":   25,
+	"correlate-mine/batch-64": 10,
 }
 
 // checkSpeedups fails when any indexed kernel lost its edge over the naive

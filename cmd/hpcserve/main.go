@@ -5,7 +5,8 @@
 // Usage:
 //
 //	hpcserve [-data dir | -seed 1 -scale 0.5] [-addr 127.0.0.1:8080] [-window 24h]
-//	         [-live-ingest=true] [-wal dir [-wal-fsync always|interval|never]
+//	         [-live-ingest=true] [-correlation-windows day,week]
+//	         [-wal dir [-wal-fsync always|interval|never]
 //	         [-snapshot-every 5m]] [-shards N [-standby]] [-chaos-seed N]
 //	         [-chaos-kill-shard I -chaos-kill-after 5s]
 //
@@ -43,6 +44,8 @@
 //	GET  /v1/risk/{node}   one node's live follow-up-failure risk
 //	GET  /v1/risk/top?k=K  the K highest-risk nodes right now
 //	GET  /v1/condprob      cached conditional-vs-baseline query
+//	GET  /v1/correlations  mined class-to-class correlation rules
+//	GET  /v1/anomalies     nodes failing unlike their rack neighborhood
 //	GET  /v1/snapshot      canonical engine state
 //	POST /v1/events        feed failure events into the engine
 //	GET  /healthz          liveness
@@ -56,6 +59,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -82,6 +86,7 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
 	window := fs.Duration("window", trace.Day, "risk window and lift-table look-ahead")
 	liveIngest := fs.Bool("live-ingest", true, "apply accepted events to the versioned dataset store so condprob answers track ingest (false = freeze the analysis dataset at boot)")
+	corrWindows := fs.String("correlation-windows", "", "comma-separated correlation-mining windows: day, week, month or Go durations (empty = day,week)")
 	walDir := fs.String("wal", "", "write-ahead-log directory (empty = no durability)")
 	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy: always, interval or never")
 	walFsyncEvery := fs.Duration("wal-fsync-interval", 100*time.Millisecond, "max time appends stay unsynced under -wal-fsync=interval")
@@ -113,6 +118,10 @@ func run(args []string) error {
 	}
 	if *standby && (*shards < 1 || *walDir == "") {
 		return cli.Usagef("-standby needs -shards >= 1 and -wal")
+	}
+	corrWins, err := parseWindowList(*corrWindows)
+	if err != nil {
+		return cli.Usagef("-correlation-windows: %v", err)
 	}
 
 	// Install the shutdown handler before the (potentially slow) dataset
@@ -150,7 +159,7 @@ func run(args []string) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	cfg := server.Config{FrozenDataset: !*liveIngest, Window: *window, Logf: logf}
+	cfg := server.Config{FrozenDataset: !*liveIngest, Window: *window, CorrelationWindows: corrWins, Logf: logf}
 	var snapPolicy checkpoint.Policy
 	if *snapEvery > 0 {
 		snapPolicy = checkpoint.Fixed{Every: *snapEvery}
@@ -242,4 +251,36 @@ func run(args []string) error {
 	}
 
 	return server.Serve(ctx, *addr, cfg)
+}
+
+// parseWindowList parses the -correlation-windows value: a comma-separated
+// mix of the named analysis windows (day, week, month) and Go durations.
+// Empty input means "use the server default" (nil).
+func parseWindowList(s string) ([]time.Duration, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		var w time.Duration
+		switch part {
+		case "day":
+			w = trace.Day
+		case "week":
+			w = trace.Week
+		case "month":
+			w = trace.Month
+		default:
+			var err error
+			if w, err = time.ParseDuration(part); err != nil {
+				return nil, fmt.Errorf("window %q: not day, week, month or a duration", part)
+			}
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("window %q must be positive", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }

@@ -21,7 +21,12 @@
 //   - an online serving layer: a deterministic sliding-window risk engine
 //     that turns the conditional-probability findings into live per-node
 //     follow-up-failure scores, and an HTTP JSON API over it (see
-//     cmd/hpcserve).
+//     cmd/hpcserve);
+//   - a streaming correlation layer: an incremental miner for windowed
+//     class-to-class correlation rules over the versioned store, and a
+//     vicinity anomaly detector flagging nodes that fail unlike their
+//     rack/position neighborhood (served as /v1/correlations and
+//     /v1/anomalies).
 //
 // # Quick start
 //
@@ -45,6 +50,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
 	"github.com/hpcfail/hpcfail/internal/client"
+	"github.com/hpcfail/hpcfail/internal/correlate"
 	"github.com/hpcfail/hpcfail/internal/experiments"
 	"github.com/hpcfail/hpcfail/internal/faultinject"
 	"github.com/hpcfail/hpcfail/internal/lanl"
@@ -429,6 +435,43 @@ type (
 // NewDatasetStore builds a versioned store over a sorted dataset; the
 // boot dataset becomes version 1.
 func NewDatasetStore(ds *Dataset) (*DatasetStore, error) { return store.New(ds) }
+
+// Correlation-mining re-exports: the streaming rule miner and vicinity
+// anomaly detector behind GET /v1/correlations and /v1/anomalies (see
+// internal/correlate).
+type (
+	// CorrelationMiner maintains windowed event-pair counts incrementally
+	// against a DatasetStore and assembles correlation rules on demand.
+	CorrelationMiner = correlate.Miner
+	// CorrelationRule is one thresholded class-to-class rule with support,
+	// confidence and lift.
+	CorrelationRule = correlate.Rule
+	// CorrelationRuleCounts is the mergeable pair-count state rules are
+	// derived from; shards exchange these.
+	CorrelationRuleCounts = correlate.RuleCounts
+	// VicinityAnomaly is one node whose failure behaviour deviates from its
+	// rack/position neighborhood.
+	VicinityAnomaly = correlate.Anomaly
+)
+
+// NewCorrelationMiner builds a miner over the store for the given windows
+// (none = the day and week defaults).
+func NewCorrelationMiner(st *DatasetStore, windows ...time.Duration) *CorrelationMiner {
+	return correlate.NewMiner(st, windows...)
+}
+
+// MergeCorrelationCounts merges per-shard rule counts into the counts an
+// unsharded mine over the union dataset would produce, bit for bit.
+func MergeCorrelationCounts(w time.Duration, parts []CorrelationRuleCounts) CorrelationRuleCounts {
+	return correlate.MergeRuleCounts(w, parts)
+}
+
+// DetectVicinityAnomalies ranks the top k nodes of the given systems (nil =
+// all) by how far their failure rate, class mix and burstiness deviate from
+// their layout neighborhood.
+func DetectVicinityAnomalies(a *Analyzer, systems []int, k int) []VicinityAnomaly {
+	return correlate.DetectAnomalies(a, systems, k)
+}
 
 // Client re-exports: the resilient API client (see internal/client).
 type (

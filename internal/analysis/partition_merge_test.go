@@ -1,0 +1,107 @@
+// Edge cases of MergeCondResults fed by the real sharding pipeline
+// (store.PartitionDataset), which an in-package test cannot exercise
+// because store imports analysis.
+package analysis_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/store"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func bitSame(a, b analysis.CondResult) bool {
+	eq := func(x, y float64) bool { return math.Float64bits(x) == math.Float64bits(y) }
+	return a.Window == b.Window && a.Scope == b.Scope &&
+		a.Conditional.Successes == b.Conditional.Successes &&
+		a.Conditional.Trials == b.Conditional.Trials &&
+		a.Baseline.Successes == b.Baseline.Successes &&
+		a.Baseline.Trials == b.Baseline.Trials &&
+		eq(a.CondCI.Lo, b.CondCI.Lo) && eq(a.CondCI.Hi, b.CondCI.Hi) &&
+		eq(a.BaseCI.Lo, b.BaseCI.Lo) && eq(a.BaseCI.Hi, b.BaseCI.Hi) &&
+		eq(a.FactorCI.Lo, b.FactorCI.Lo) && eq(a.FactorCI.Hi, b.FactorCI.Hi) &&
+		eq(a.Test.Stat, b.Test.Stat) && eq(a.Test.DF, b.Test.DF) && eq(a.Test.P, b.Test.P)
+}
+
+// TestMergeCondResultsEmptyShard pins the over-provisioned-ring case: with
+// more shards than systems, PartitionDataset hands some shard a dataset
+// with zero systems and zero events. That shard's CondProb contributes a
+// zero result, and the merge over all shards — empty ones included — must
+// still be bit-identical to the unsharded computation.
+func TestMergeCondResultsEmptyShard(t *testing.T) {
+	ds, err := simulate.Generate(simulate.Options{Seed: 23, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := analysis.New(ds)
+
+	// Grow the ring until consistent hashing actually leaves a shard empty.
+	var parts []*trace.Dataset
+	empty := -1
+	for n := len(ds.Systems) + 1; empty < 0; n++ {
+		if n > len(ds.Systems)+64 {
+			t.Fatalf("no empty shard up to %d shards for %d systems", n, len(ds.Systems))
+		}
+		ring, err := store.NewRing(n, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, _ = store.PartitionDataset(ds, ring)
+		for i, p := range parts {
+			if len(p.Systems) == 0 {
+				empty = i
+				break
+			}
+		}
+	}
+	if n := len(parts[empty].Failures); n != 0 {
+		t.Fatalf("empty shard still has %d failure events", n)
+	}
+
+	anchor := trace.CategoryPred(trace.Hardware)
+	for _, w := range []time.Duration{trace.Day, trace.Week} {
+		for _, scope := range []analysis.Scope{analysis.ScopeNode, analysis.ScopeRack, analysis.ScopeSystem} {
+			want := whole.CondProb(ds.Systems, anchor, nil, w, scope)
+			results := make([]analysis.CondResult, 0, len(parts))
+			for _, p := range parts {
+				results = append(results, analysis.New(p).CondProb(p.Systems, anchor, nil, w, scope))
+			}
+			got := analysis.MergeCondResults(w, scope, results)
+			if !bitSame(want, got) {
+				t.Errorf("w=%v scope=%v: merged %+v != whole %+v", w, scope, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeCondResultsSingleSurvivor pins the partial-result path where all
+// shards but one are down: merging a lone real computed result must pass it
+// through bit-for-bit, derived statistics included — the degraded answer is
+// exactly that shard's local truth, not a re-derivation.
+func TestMergeCondResultsSingleSurvivor(t *testing.T) {
+	ds, err := simulate.Generate(simulate.Options{Seed: 23, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := store.NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, _ := store.PartitionDataset(ds, ring)
+	survivor := parts[0]
+	if len(survivor.Systems) == 0 {
+		t.Fatalf("shard 0 got no systems; pick another seed")
+	}
+	an := analysis.New(survivor)
+	for _, scope := range []analysis.Scope{analysis.ScopeNode, analysis.ScopeSystem} {
+		local := an.CondProb(survivor.Systems, trace.CategoryPred(trace.Hardware), trace.CategoryPred(trace.Software), trace.Week, scope)
+		merged := analysis.MergeCondResults(trace.Week, scope, []analysis.CondResult{local})
+		if !bitSame(local, merged) {
+			t.Errorf("scope=%v: single-survivor merge rewrote the result:\n%+v\n%+v", scope, merged, local)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package correlate
+
+import (
+	"math"
+	"sort"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Anomaly is one node's deviation from its physical vicinity: how unlike
+// its neighbors' the node's failure behavior is, decomposed into the three
+// features the score sums.
+type Anomaly struct {
+	System int `json:"system"`
+	Node   int `json:"node"`
+	// Score is the ranking key: RateDev + MixDev + 0.5*BurstDev.
+	Score float64 `json:"score"`
+	// RateDev is the node's failure rate in robust z-score units of its
+	// neighborhood (median/MAD); MixDev the shrunk half-L1 distance of the
+	// node's category mix from the pooled neighborhood mix; BurstDev the
+	// robust deviation of the node's inter-arrival burstiness.
+	RateDev  float64 `json:"rate_dev"`
+	MixDev   float64 `json:"mix_dev"`
+	BurstDev float64 `json:"burst_dev"`
+	// Rate is the node's failures per day over the measurement period.
+	Rate float64 `json:"rate"`
+	// Events is the node's failure count, Neighbors its vicinity size.
+	Events    int `json:"events"`
+	Neighbors int `json:"neighbors"`
+}
+
+// nodeStats are the per-node features the deviations compare.
+type nodeStats struct {
+	count int
+	rate  float64
+	mix   [NumCategories]float64 // category fractions (zero when count 0)
+	cat   [NumCategories]int     // category counts
+	burst float64                // Goh-Barabási burstiness, 0 below 3 events
+}
+
+// DetectAnomalies scores every node of the requested systems (all systems
+// when none are given) against its physical vicinity and returns the top k
+// (all when k <= 0), descending by score with (system, node) tie-breaks.
+//
+// A node's vicinity is its rack-mates plus its position peers — same
+// in-rack height, other racks — from the system layout; nodes of systems
+// without layouts (and placed nodes with otherwise empty vicinities)
+// compare against all other nodes of the system. Deviations are robust
+// (median/MAD with a floor) so one broken neighbor does not mask another,
+// and small samples are shrunk toward zero so a node with two failures
+// cannot out-score a persistently sick one. Everything derives from the
+// snapshot's posting lists and sorted layout walks — the result is a pure
+// function of the dataset, stable across runs and processes.
+func DetectAnomalies(an *analysis.Analyzer, systems []int, k int) []Anomaly {
+	didx := an.DatasetIndex()
+	if didx == nil {
+		didx = analysis.NewDatasetIndex(an.DS)
+	}
+	ids := systemIDs(an.DS, systems)
+	var out []Anomaly
+	for _, id := range ids {
+		info, ok := an.DS.System(id)
+		if !ok {
+			continue
+		}
+		v, vok := didx.SystemView(id)
+		if !vok {
+			continue
+		}
+		days := info.Period.End.Sub(info.Period.Start).Hours() / 24
+		if days < 1.0/24 {
+			days = 1.0 / 24
+		}
+		stats := make([]nodeStats, info.Nodes)
+		for n := 0; n < info.Nodes; n++ {
+			stats[n] = nodeFeatures(v, n, days)
+		}
+		lay := an.DS.Layouts[id]
+		for n := 0; n < info.Nodes; n++ {
+			var neigh []int
+			if lay != nil {
+				neigh = mergeSorted(lay.RackMates(n), lay.PositionPeers(n))
+			}
+			if len(neigh) == 0 {
+				neigh = allOthers(info.Nodes, n)
+			}
+			if len(neigh) == 0 {
+				continue // single-node system: no vicinity to deviate from
+			}
+			out = append(out, scoreNode(id, n, &stats[n], stats, neigh, days))
+		}
+	}
+	SortAnomalies(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SortAnomalies orders anomalies the way DetectAnomalies returns them:
+// descending by score, ties ascending by (system, node). The sharded
+// serving path re-sorts concatenated per-shard top-k lists with this, so a
+// scattered merge ranks exactly like one detector over the union would.
+func SortAnomalies(out []Anomaly) {
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].System != out[j].System {
+			return out[i].System < out[j].System
+		}
+		return out[i].Node < out[j].Node
+	})
+}
+
+// systemIDs resolves the requested system list (all when empty) to a
+// sorted, deduplicated ID slice.
+func systemIDs(ds *trace.Dataset, systems []int) []int {
+	var ids []int
+	if len(systems) > 0 {
+		ids = append(ids, systems...)
+	} else {
+		for _, s := range ds.Systems {
+			ids = append(ids, s.ID)
+		}
+	}
+	sort.Ints(ids)
+	uniq := ids[:0]
+	for i, id := range ids {
+		if i == 0 || ids[i-1] != id {
+			uniq = append(uniq, id)
+		}
+	}
+	return uniq
+}
+
+// nodeFeatures extracts one node's features from the posting lists.
+func nodeFeatures(v analysis.SystemView, node int, days float64) nodeStats {
+	var st nodeStats
+	list := v.NodeClassList(node, trace.ClassAny)
+	for _, q := range list {
+		c := catIndex(v.Failure(int(q)).Category)
+		if c < 0 {
+			continue
+		}
+		st.count++
+		st.cat[c]++
+	}
+	st.rate = float64(st.count) / days
+	if st.count > 0 {
+		for c := range st.mix {
+			st.mix[c] = float64(st.cat[c]) / float64(st.count)
+		}
+	}
+	st.burst = burstiness(v, list)
+	return st
+}
+
+// burstiness is the Goh-Barabási coefficient (sigma-mu)/(sigma+mu) of the
+// node's inter-arrival times: 0 for Poisson-like spacing, toward 1 for
+// bursty clumps, toward -1 for metronomic spacing. Below 3 events (2
+// gaps) it is defined as 0.
+func burstiness(v analysis.SystemView, list []int32) float64 {
+	if len(list) < 3 {
+		return 0
+	}
+	gaps := make([]float64, 0, len(list)-1)
+	for i := 1; i < len(list); i++ {
+		gaps = append(gaps, v.Time(int(list[i])).Sub(v.Time(int(list[i-1]))).Hours())
+	}
+	var mu float64
+	for _, g := range gaps {
+		mu += g
+	}
+	mu /= float64(len(gaps))
+	var ss float64
+	for _, g := range gaps {
+		d := g - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(gaps)))
+	if sigma+mu == 0 {
+		return 0
+	}
+	return (sigma - mu) / (sigma + mu)
+}
+
+// scoreNode computes the three deviations of one node against its
+// neighborhood and assembles the anomaly record.
+func scoreNode(system, node int, st *nodeStats, all []nodeStats, neigh []int, days float64) Anomaly {
+	rates := make([]float64, 0, len(neigh))
+	bursts := make([]float64, 0, len(neigh))
+	var pooled [NumCategories]int
+	pooledTotal := 0
+	for _, m := range neigh {
+		ns := &all[m]
+		rates = append(rates, ns.rate)
+		bursts = append(bursts, ns.burst)
+		for c := range pooled {
+			pooled[c] += ns.cat[c]
+		}
+		pooledTotal += ns.count
+	}
+
+	// Rate: robust z-score with a floored scale — the MAD of a healthy
+	// rack is often 0, so the floor (a slice of the median plus one event
+	// per period) keeps the score finite and damps single-event noise.
+	med, mad := medianMAD(rates)
+	rateScale := 1.4826*mad + 0.1*med + 1/days
+	rateDev := math.Abs(st.rate-med) / rateScale
+
+	// Mix: half-L1 (total variation) distance between the node's category
+	// mix and the pooled neighborhood mix, shrunk by count/(count+4) so a
+	// couple of unusual failures don't dominate.
+	shrink := float64(st.count) / float64(st.count+4)
+	var mixDev float64
+	if st.count > 0 && pooledTotal > 0 {
+		var l1 float64
+		for c := range pooled {
+			l1 += math.Abs(st.mix[c] - float64(pooled[c])/float64(pooledTotal))
+		}
+		mixDev = 0.5 * l1 * shrink
+	}
+
+	// Burstiness: same robust form on the bounded [-1, 1] coefficient.
+	bmed, bmad := medianMAD(bursts)
+	burstDev := math.Abs(st.burst-bmed) / (1.4826*bmad + 0.1) * shrink
+
+	return Anomaly{
+		System:    system,
+		Node:      node,
+		Score:     rateDev + mixDev + 0.5*burstDev,
+		RateDev:   rateDev,
+		MixDev:    mixDev,
+		BurstDev:  burstDev,
+		Rate:      st.rate,
+		Events:    st.count,
+		Neighbors: len(neigh),
+	}
+}
+
+// medianMAD returns the median and the median absolute deviation of xs
+// (0, 0 for an empty slice). xs is not modified.
+func medianMAD(xs []float64) (med, mad float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	med = mid(s)
+	for i, x := range s {
+		s[i] = math.Abs(x - med)
+	}
+	sort.Float64s(s)
+	return med, mid(s)
+}
+
+func mid(sorted []float64) float64 {
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// mergeSorted merges two ascending int slices, deduplicating.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// allOthers returns 0..n-1 without node.
+func allOthers(n, node int) []int {
+	out := make([]int, 0, n-1)
+	for m := 0; m < n; m++ {
+		if m != node {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package correlate_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/correlate"
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/store"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+func genDataset(t *testing.T, seed int64) *trace.Dataset {
+	t.Helper()
+	ds, err := simulate.Generate(simulate.Options{Seed: seed, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// batchAfter builds n valid events starting after the newest failure,
+// cycling systems, nodes and categories so every scope gets traffic.
+func batchAfter(ds *trace.Dataset, n int, step time.Duration) []trace.Failure {
+	start := ds.Systems[0].Period.End
+	for _, s := range ds.Systems {
+		if s.Period.End.After(start) {
+			start = s.Period.End
+		}
+	}
+	if len(ds.Failures) > 0 {
+		if last := ds.Failures[len(ds.Failures)-1].Time; last.After(start) {
+			start = last
+		}
+	}
+	cats := []trace.Failure{
+		{Category: trace.Hardware, HW: trace.Memory},
+		{Category: trace.Software, SW: trace.OS},
+		{Category: trace.Network},
+		{Category: trace.Environment},
+		{Category: trace.Hardware, HW: trace.CPU},
+		{Category: trace.Undetermined},
+	}
+	out := make([]trace.Failure, 0, n)
+	for i := 0; i < n; i++ {
+		s := ds.Systems[i%len(ds.Systems)]
+		f := cats[i%len(cats)]
+		f.System = s.ID
+		f.Node = (i * 7) % s.Nodes
+		f.Time = start.Add(time.Duration(i+1) * step)
+		out = append(out, f)
+	}
+	return out
+}
+
+// batchInside builds n late arrivals in the middle of the period, forcing
+// the store's merge-and-rebuild path (and the miner's full re-mine).
+func batchInside(ds *trace.Dataset, n int) []trace.Failure {
+	out := make([]trace.Failure, 0, n)
+	for i := 0; i < n; i++ {
+		s := ds.Systems[i%len(ds.Systems)]
+		mid := s.Period.Start.Add(s.Period.Duration() / 2)
+		cat := trace.Categories[i%len(trace.Categories)]
+		out = append(out, trace.Failure{
+			System:   s.ID,
+			Node:     (i * 3) % s.Nodes,
+			Time:     mid.Add(time.Duration(i) * time.Hour),
+			Category: cat,
+		})
+	}
+	return out
+}
+
+func requireSameCounts(t *testing.T, label string, got, want correlate.RuleCounts) {
+	t.Helper()
+	if reflect.DeepEqual(got, want) {
+		return
+	}
+	if len(got.Systems) != len(want.Systems) {
+		t.Fatalf("%s: %d systems vs %d", label, len(got.Systems), len(want.Systems))
+	}
+	for i := range got.Systems {
+		if !reflect.DeepEqual(got.Systems[i], want.Systems[i]) {
+			t.Fatalf("%s: system %d counts diverged:\nincremental %+v\nnaive       %+v",
+				label, got.Systems[i].System, got.Systems[i], want.Systems[i])
+		}
+	}
+	t.Fatalf("%s: counts diverged (window %v vs %v)", label, got.Window, want.Window)
+}
+
+// TestMinerMatchesNaive is the tentpole's differential pin: after every
+// append in an arbitrary sequence — tails, late arrivals (rebuild path),
+// tails again, a single event — the incrementally maintained counts are
+// identical (pure integers, so DeepEqual is bit-identity) to the frozen
+// naive miner run from scratch over the snapshot's dataset, for every
+// configured window.
+func TestMinerMatchesNaive(t *testing.T) {
+	ds := genDataset(t, 33)
+	st, err := store.New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := correlate.NewMiner(st, trace.Day, trace.Week)
+	steps := []struct {
+		name  string
+		batch func(cur *trace.Dataset) []trace.Failure
+	}{
+		{"seed", func(*trace.Dataset) []trace.Failure { return nil }},
+		{"tail-batch", func(cur *trace.Dataset) []trace.Failure { return batchAfter(cur, 60, time.Minute) }},
+		{"tail-dense", func(cur *trace.Dataset) []trace.Failure { return batchAfter(cur, 23, time.Second) }},
+		{"late-arrivals", func(cur *trace.Dataset) []trace.Failure { return batchInside(cur, 11) }},
+		{"tail-after-late", func(cur *trace.Dataset) []trace.Failure { return batchAfter(cur, 31, time.Hour) }},
+		{"single-event", func(cur *trace.Dataset) []trace.Failure { return batchAfter(cur, 1, time.Minute) }},
+	}
+	for _, step := range steps {
+		if _, err := st.Append(step.batch(st.Snapshot().Dataset())); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		for _, w := range []time.Duration{trace.Day, trace.Week} {
+			got, snap, ok := m.Mine(w)
+			if !ok {
+				t.Fatalf("%s: window %v not configured", step.name, w)
+			}
+			want := correlate.MineNaive(snap.Dataset(), w)
+			requireSameCounts(t, step.name+"/"+trace.WindowName(w), got, want)
+		}
+	}
+	// A fresh miner over the final store (one full catch-up mine) agrees too.
+	fresh := correlate.NewMiner(st, trace.Day)
+	got, snap, _ := fresh.Mine(trace.Day)
+	requireSameCounts(t, "fresh-full-mine", got, correlate.MineNaive(snap.Dataset(), trace.Day))
+}
+
+// TestMineReflectsAppendImmediately pins the endpoint-visible liveness
+// contract: an appended event is in the very next Mine answer.
+func TestMineReflectsAppendImmediately(t *testing.T) {
+	ds := genDataset(t, 7)
+	st, err := store.New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := correlate.NewMiner(st)
+	before, snapBefore, _ := m.Mine(trace.Day)
+	if _, err := st.Append(batchAfter(st.Snapshot().Dataset(), 4, time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	after, snapAfter, _ := m.Mine(trace.Day)
+	if snapAfter.Version() != snapBefore.Version()+1 {
+		t.Fatalf("snapshot version %d, want %d", snapAfter.Version(), snapBefore.Version()+1)
+	}
+	if after.Aggregate().Total != before.Aggregate().Total+4 {
+		t.Fatalf("total after append = %d, want %d", after.Aggregate().Total, before.Aggregate().Total+4)
+	}
+}
+
+// TestMineUnknownWindow pins that unconfigured windows are refused rather
+// than silently mined as zero.
+func TestMineUnknownWindow(t *testing.T) {
+	ds := genDataset(t, 8)
+	st, err := store.New(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := correlate.NewMiner(st, trace.Day)
+	if _, _, ok := m.Mine(trace.Month); ok {
+		t.Fatal("Mine accepted an unconfigured window")
+	}
+	if _, _, ok := m.Mine(trace.Day); !ok {
+		t.Fatal("Mine refused a configured window")
+	}
+}
+
+// TestMergeRuleCountsMatchesWholeDataset pins the scatter-gather
+// bit-identity: mining ring partitions separately and merging equals
+// mining the whole dataset, for any shard count (n=1 is byte-compatible
+// passthrough).
+func TestMergeRuleCountsMatchesWholeDataset(t *testing.T) {
+	ds := genDataset(t, 44)
+	whole := correlate.MineNaive(ds, trace.Week)
+	for _, shards := range []int{1, 2, 3, 5} {
+		ring, err := store.NewRing(shards, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts, _ := store.PartitionDataset(ds, ring)
+		mined := make([]correlate.RuleCounts, 0, len(parts))
+		for _, p := range parts {
+			mined = append(mined, correlate.MineNaive(p, trace.Week))
+		}
+		merged := correlate.MergeRuleCounts(trace.Week, mined)
+		if !reflect.DeepEqual(merged, whole) {
+			t.Fatalf("%d shards: merged counts diverged from whole-dataset mine", shards)
+		}
+	}
+	// Incremental miners per shard merge identically too.
+	ring, _ := store.NewRing(3, 8)
+	parts, _ := store.PartitionDataset(ds, ring)
+	mined := make([]correlate.RuleCounts, 0, len(parts))
+	for _, p := range parts {
+		st, err := store.New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, _, _ := correlate.NewMiner(st, trace.Week).Mine(trace.Week)
+		mined = append(mined, rc)
+	}
+	if got := correlate.MergeRuleCounts(trace.Week, mined); !reflect.DeepEqual(got, whole) {
+		t.Fatal("merged incremental shard counts diverged from whole-dataset mine")
+	}
+}
+
+// TestMergeRuleCountsEdgeCases pins passthrough and empty-input behavior.
+func TestMergeRuleCountsEdgeCases(t *testing.T) {
+	one := correlate.RuleCounts{Window: trace.Day, Systems: []correlate.SystemCounts{{System: 7}}}
+	one.Systems[0].Total = 3
+	if got := correlate.MergeRuleCounts(trace.Week, []correlate.RuleCounts{one}); !reflect.DeepEqual(got, one) {
+		t.Fatalf("single-part merge not a passthrough: %+v", got)
+	}
+	if got := correlate.MergeRuleCounts(trace.Day, nil); got.Window != trace.Day || got.Systems != nil {
+		t.Fatalf("empty merge = %+v, want empty day counts", got)
+	}
+	// Colliding systems sum.
+	a := correlate.RuleCounts{Window: trace.Day, Systems: []correlate.SystemCounts{{System: 2}}}
+	b := correlate.RuleCounts{Window: trace.Day, Systems: []correlate.SystemCounts{{System: 2}}}
+	a.Systems[0].Total, b.Systems[0].Total = 5, 7
+	got := correlate.MergeRuleCounts(trace.Day, []correlate.RuleCounts{a, b})
+	if len(got.Systems) != 1 || got.Systems[0].Total != 12 {
+		t.Fatalf("colliding merge = %+v, want one system with total 12", got)
+	}
+}
+
+// TestRulesDerivation pins threshold and lift arithmetic on hand-built
+// counts: 100 events, 40 hardware anchors of which 20 have a software
+// follow-up on the node; 10 software anchors, 2 satisfied.
+func TestRulesDerivation(t *testing.T) {
+	var pc correlate.PairCounts
+	hw := int(trace.Hardware) - 1
+	sw := int(trace.Software) - 1
+	pc.Total = 100
+	pc.Anchors[hw] = 40
+	pc.Anchors[sw] = 10
+	pc.Pairs[0][hw][sw] = 20
+	pc.Pairs[0][sw][sw] = 2 // support below the default floor of 10
+
+	rules := pc.Rules(analysis.ScopeNode, 0, 0)
+	if len(rules) != 1 {
+		t.Fatalf("rules = %+v, want exactly the hw->sw rule", rules)
+	}
+	r := rules[0]
+	if r.Anchor != trace.Hardware || r.Target != trace.Software || r.Scope != analysis.ScopeNode {
+		t.Fatalf("rule identity = %+v", r)
+	}
+	if r.Support != 20 || r.Anchors != 40 || r.Confidence != 0.5 {
+		t.Fatalf("rule stats = %+v", r)
+	}
+	// Unconditional sw satisfaction rate: (20+2)/100; lift = 0.5 / 0.22.
+	if want := 0.5 / (22.0 / 100.0); r.Lift != want {
+		t.Fatalf("lift = %v, want %v", r.Lift, want)
+	}
+	// Loosening the thresholds surfaces the below-floor rule.
+	if rules := pc.Rules(analysis.ScopeNode, 1, 0.01); len(rules) != 2 {
+		t.Fatalf("loose thresholds: %d rules, want 2", len(rules))
+	}
+	if rules := pc.Rules(analysis.Scope(99), 0, 0); rules != nil {
+		t.Fatal("invalid scope returned rules")
+	}
+}
+
+// TestAnomaliesDeterministic pins that the detector is a pure function of
+// the dataset: same snapshot, same scores, same order, twice.
+func TestAnomaliesDeterministic(t *testing.T) {
+	ds := genDataset(t, 55)
+	an := analysis.New(ds)
+	a := correlate.DetectAnomalies(an, nil, 25)
+	b := correlate.DetectAnomalies(an, nil, 25)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("anomaly detection is not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("no anomalies scored")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Score > a[i-1].Score {
+			t.Fatalf("scores not descending at %d: %v > %v", i, a[i].Score, a[i-1].Score)
+		}
+	}
+	// System filtering restricts the universe.
+	only := correlate.DetectAnomalies(an, []int{ds.Systems[0].ID}, 0)
+	for _, x := range only {
+		if x.System != ds.Systems[0].ID {
+			t.Fatalf("filtered detection leaked system %d", x.System)
+		}
+	}
+}

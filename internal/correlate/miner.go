@@ -1,0 +1,318 @@
+package correlate
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/analysis"
+	"github.com/hpcfail/hpcfail/internal/store"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// DefaultWindows are the correlation windows a Miner maintains when none
+// are configured: the day and week windows the paper's conditional
+// probabilities use.
+func DefaultWindows() []time.Duration {
+	return []time.Duration{trace.Day, trace.Week}
+}
+
+// Miner maintains the windowed pair counts of a store incrementally: each
+// Mine call pins the store's current snapshot and catches the counts up by
+// processing only the events appended since the previous call, using the
+// snapshot analyzer's posting-list index to find, per new event, exactly
+// the anchors whose window that event is the first matching follow-up for.
+// The resulting counts are bit-identical to MineNaive over the snapshot's
+// whole dataset — the differential tests pin that equality after arbitrary
+// append sequences.
+//
+// A Miner is safe for concurrent use; Mine serializes internally.
+type Miner struct {
+	st      *store.Store
+	windows []time.Duration
+
+	mu       sync.Mutex
+	version  uint64 // store version the counts reflect (0 = never synced)
+	rebuilds uint64 // snapshot rebuild count at last sync
+	seen     map[int]int
+	counts   []map[int]*PairCounts // parallel to windows: system -> counts
+}
+
+// NewMiner builds a miner over st maintaining the given windows
+// (DefaultWindows when none). Non-positive and duplicate windows are
+// dropped. The miner does no work until the first Mine call.
+func NewMiner(st *store.Store, windows ...time.Duration) *Miner {
+	if len(windows) == 0 {
+		windows = DefaultWindows()
+	}
+	uniq := make([]time.Duration, 0, len(windows))
+	for _, w := range windows {
+		if w <= 0 {
+			continue
+		}
+		dup := false
+		for _, u := range uniq {
+			if u == w {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			uniq = append(uniq, w)
+		}
+	}
+	m := &Miner{st: st, windows: uniq}
+	m.reset()
+	return m
+}
+
+// Windows returns the windows the miner maintains.
+func (m *Miner) Windows() []time.Duration {
+	out := make([]time.Duration, len(m.windows))
+	copy(out, m.windows)
+	return out
+}
+
+// Version returns the store version the counts currently reflect.
+func (m *Miner) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+func (m *Miner) reset() {
+	m.seen = make(map[int]int)
+	m.counts = make([]map[int]*PairCounts, len(m.windows))
+	for i := range m.counts {
+		m.counts[i] = make(map[int]*PairCounts)
+	}
+	m.version, m.rebuilds = 0, 0
+}
+
+// Mine returns the pair counts for window w over the requested systems
+// (all known systems when none are given), computed against the store's
+// current snapshot, plus the snapshot itself so callers can stamp the
+// version they answered from. It first catches the miner up on any events
+// appended since the last call — an appended event is therefore reflected
+// in the very next Mine answer. The third result is false when w is not
+// one of the miner's configured windows.
+func (m *Miner) Mine(w time.Duration, systems ...int) (RuleCounts, *store.Snapshot, bool) {
+	wi := -1
+	for i, u := range m.windows {
+		if u == w {
+			wi = i
+			break
+		}
+	}
+	snap := m.st.Snapshot()
+	if wi < 0 {
+		return RuleCounts{Window: w}, snap, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncLocked(snap)
+	return m.assembleLocked(wi, snap, systems), snap, true
+}
+
+// assembleLocked copies the counts for one window into a RuleCounts,
+// ascending by system ID. Every known system of the snapshot appears, even
+// with zero events, so sharded merges cover exactly the fleet's systems.
+func (m *Miner) assembleLocked(wi int, snap *store.Snapshot, systems []int) RuleCounts {
+	out := RuleCounts{Window: m.windows[wi]}
+	var ids []int
+	if len(systems) > 0 {
+		ids = make([]int, len(systems))
+		copy(ids, systems)
+		sort.Ints(ids)
+	} else {
+		for _, s := range snap.Dataset().Systems {
+			ids = append(ids, s.ID)
+		}
+		sort.Ints(ids)
+	}
+	byID := m.counts[wi]
+	for i, id := range ids {
+		if i > 0 && ids[i-1] == id {
+			continue
+		}
+		if _, ok := snap.Dataset().System(id); !ok {
+			continue
+		}
+		sc := SystemCounts{System: id}
+		if pc := byID[id]; pc != nil {
+			sc.PairCounts = *pc
+		}
+		out.Systems = append(out.Systems, sc)
+	}
+	return out
+}
+
+// syncLocked brings the counts up to snap. Equal rebuild counts mean the
+// failure log only grew at the tail since the last sync (see
+// store.Snapshot.Rebuilds), so only the per-system tails are processed;
+// otherwise positions moved and the counts are rebuilt from scratch —
+// which runs the exact same per-event code over the full timelines.
+func (m *Miner) syncLocked(snap *store.Snapshot) {
+	if m.version == snap.Version() && m.version != 0 {
+		return
+	}
+	if m.version == 0 || snap.Rebuilds() != m.rebuilds {
+		m.reset()
+	}
+	didx := snap.Analyzer().DatasetIndex()
+	for _, sys := range snap.Dataset().Systems {
+		v, ok := didx.SystemView(sys.ID)
+		if !ok {
+			continue
+		}
+		from := m.seen[sys.ID]
+		n := v.Events()
+		if from >= n {
+			continue
+		}
+		for wi, w := range m.windows {
+			pc := m.counts[wi][sys.ID]
+			if pc == nil {
+				pc = &PairCounts{}
+				m.counts[wi][sys.ID] = pc
+			}
+			for p := from; p < n; p++ {
+				processEvent(v, p, w, pc)
+			}
+		}
+		m.seen[sys.ID] = n
+	}
+	m.version, m.rebuilds = snap.Version(), snap.Rebuilds()
+}
+
+// processEvent accounts one event — the one at timeline position p — into
+// pc for window w: it becomes an anchor itself, and it flips exactly the
+// earlier anchors whose (t, t+w] window it is the first same-scope
+// follow-up of its category for. Those anchors are found by binary search:
+//
+//   - Node scope: the previous same-class event on the node, at time t1,
+//     already satisfied every anchor before t1 (any anchor in [t-w, t1)
+//     has t1 within its window because t1 <= t <= anchor+w), so only
+//     anchors in [max(t-w, t1), t) flip.
+//   - Rack and system scopes: "previous satisfying event" depends on the
+//     anchor's node (the follow-up must be a *different* node), so the
+//     scan keeps the latest prior same-class event and the latest on a
+//     second distinct node; every anchor before the second-distinct time
+//     is already satisfied regardless of its node, and anchors after it
+//     check against whichever of the two is not their own node.
+//
+// Satisfaction is by time, strictly after the anchor — two events at the
+// same instant never satisfy each other — which makes the counts
+// independent of processing order among equal-time events and of how the
+// timeline is split into appends.
+func processEvent(v analysis.SystemView, p int, w time.Duration, pc *PairCounts) {
+	f := v.Failure(p)
+	b := catIndex(f.Category)
+	if b < 0 {
+		return
+	}
+	pc.Total++
+	pc.Anchors[b]++
+
+	t := v.Time(p)
+	lo := t.Add(-w)
+	cls := trace.CategoryClass(f.Category)
+
+	// Node scope: anchors on the same node, unsatisfied by the previous
+	// same-class event there.
+	nodeLo := lo
+	if q := prevPos(v.NodeClassList(f.Node, cls), p); q >= 0 {
+		if t1 := v.Time(q); t1.After(nodeLo) {
+			nodeLo = t1
+		}
+	}
+	alist := v.NodeClassList(f.Node, trace.ClassAny)
+	for i := v.LowerBound(alist, nodeLo); i < len(alist); i++ {
+		q := int(alist[i])
+		if !v.Time(q).Before(t) {
+			break
+		}
+		if a := catIndex(v.Failure(q).Category); a >= 0 {
+			pc.Pairs[0][a][b]++
+		}
+	}
+
+	// Rack scope: anchors on other placed nodes of this node's rack.
+	if rack, placed := v.Rack(f.Node); placed {
+		flipOtherNode(v, p, t, lo, f.Node, b, &pc.Pairs[1],
+			v.RackClassList(rack, cls), v.RackClassList(rack, trace.ClassAny))
+	}
+
+	// System scope: anchors on any other node of the system.
+	flipOtherNode(v, p, t, lo, f.Node, b, &pc.Pairs[2],
+		v.ClassList(cls), v.ClassList(trace.ClassAny))
+}
+
+// flipOtherNode flips the different-node anchors newly satisfied by the
+// event at position p (time t, category index b, node) within [lo, t),
+// where blist is the scope's posting list of the event's class and alist
+// the scope's full posting list.
+func flipOtherNode(v analysis.SystemView, p int, t, lo time.Time, node, b int, pairs *[NumCategories][NumCategories]int64, blist, alist []int32) {
+	n1, t1, t2, has1, has2 := lastTwoDistinct(v, blist, p)
+	if has2 && t2.After(lo) {
+		lo = t2
+	}
+	for i := v.LowerBound(alist, lo); i < len(alist); i++ {
+		q := int(alist[i])
+		ta := v.Time(q)
+		if !ta.Before(t) {
+			break
+		}
+		af := v.Failure(q)
+		if af.Node == node {
+			continue
+		}
+		a := catIndex(af.Category)
+		if a < 0 {
+			continue
+		}
+		// The latest prior same-class event on a node other than the
+		// anchor's; if it is strictly after the anchor, the anchor was
+		// already satisfied (it is within the anchor's window because the
+		// anchor is within [t-w, t) and the prior event is at most t).
+		if has1 && n1 != af.Node {
+			if t1.After(ta) {
+				continue
+			}
+		} else if has2 && t2.After(ta) {
+			continue
+		}
+		pairs[a][b]++
+	}
+}
+
+// prevPos returns the largest posting-list position strictly before p, or
+// -1. Posting lists ascend by position, so this is the latest event of the
+// list's class already on the timeline when position p is processed.
+func prevPos(list []int32, p int) int {
+	i := sort.Search(len(list), func(k int) bool { return int(list[k]) >= p })
+	if i == 0 {
+		return -1
+	}
+	return int(list[i-1])
+}
+
+// lastTwoDistinct scans a posting list backward from position p for the
+// latest prior entry (node n1, time t1) and the latest prior entry on a
+// different node than n1 (time t2).
+func lastTwoDistinct(v analysis.SystemView, list []int32, p int) (n1 int, t1, t2 time.Time, has1, has2 bool) {
+	i := sort.Search(len(list), func(k int) bool { return int(list[k]) >= p })
+	for i--; i >= 0; i-- {
+		q := int(list[i])
+		nd := v.Failure(q).Node
+		if !has1 {
+			n1, t1, has1 = nd, v.Time(q), true
+			continue
+		}
+		if nd != n1 {
+			t2, has2 = v.Time(q), true
+			break
+		}
+	}
+	return
+}

@@ -1,0 +1,88 @@
+package correlate
+
+import (
+	"sort"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// MineNaive is the frozen reference miner: a direct, index-free transcript
+// of the pair-counting semantics. For every (valid-category) event — the
+// anchor — it scans forward over the system's timeline and marks, per
+// scope and target category, whether at least one strictly-later event
+// lands within (t, t+w]: on the anchor's node (node scope), on a different
+// placed node of the anchor's rack (rack scope), or on any other node of
+// the system (system scope). Events at the anchor's own instant never
+// satisfy it, and invalid categories are skipped both as anchors and as
+// targets. Every system of the dataset appears in the result, ascending by
+// ID, even with zero events.
+//
+// The incremental Miner must stay bit-identical to this function; change
+// neither without the differential tests.
+func MineNaive(ds *trace.Dataset, w time.Duration) RuleCounts {
+	out := RuleCounts{Window: w}
+	bySys := make(map[int][]trace.Failure)
+	for _, f := range ds.Failures {
+		bySys[f.System] = append(bySys[f.System], f)
+	}
+	ids := make([]int, 0, len(ds.Systems))
+	for _, s := range ds.Systems {
+		ids = append(ids, s.ID)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		fails := bySys[id]
+		sort.SliceStable(fails, func(i, j int) bool { return fails[i].Time.Before(fails[j].Time) })
+		sc := SystemCounts{System: id}
+		lay := ds.Layouts[id]
+		for i, anchor := range fails {
+			a := catIndex(anchor.Category)
+			if a < 0 {
+				continue
+			}
+			sc.Total++
+			sc.Anchors[a]++
+			rack := -1
+			if lay != nil {
+				if p, ok := lay.Place(anchor.Node); ok {
+					rack = p.Rack
+				}
+			}
+			deadline := anchor.Time.Add(w)
+			var sat [numScopes][NumCategories]bool
+			for j := i + 1; j < len(fails); j++ {
+				tgt := fails[j]
+				if tgt.Time.After(deadline) {
+					break
+				}
+				if !tgt.Time.After(anchor.Time) {
+					continue
+				}
+				b := catIndex(tgt.Category)
+				if b < 0 {
+					continue
+				}
+				if tgt.Node == anchor.Node {
+					sat[0][b] = true
+					continue
+				}
+				sat[2][b] = true
+				if rack >= 0 {
+					if p, ok := lay.Place(tgt.Node); ok && p.Rack == rack {
+						sat[1][b] = true
+					}
+				}
+			}
+			for s := range sat {
+				for b, hit := range sat[s] {
+					if hit {
+						sc.Pairs[s][a][b]++
+					}
+				}
+			}
+		}
+		out.Systems = append(out.Systems, sc)
+	}
+	return out
+}

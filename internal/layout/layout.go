@@ -126,6 +126,28 @@ func (l *Layout) RackMates(node int) []int {
 	return out
 }
 
+// PositionPeers returns the nodes occupying the same in-rack position as
+// node in every other rack, in ascending order — the "same height, different
+// enclosure" half of a node's physical vicinity (the rack-mates are the
+// other half). Nodes at the same position share airflow strata and cabling
+// runs, so comparing a node against its position peers separates
+// rack-local effects from height-correlated ones. It returns nil when the
+// node is unknown or no other rack has its position filled.
+func (l *Layout) PositionPeers(node int) []int {
+	p, ok := l.places[node]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for n, q := range l.places {
+		if n != node && q.Position == p.Position && q.Rack != p.Rack {
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
 // Racks returns the rack indices present in the layout, ascending.
 func (l *Layout) Racks() []int {
 	out := make([]int, 0, len(l.racks))

@@ -53,6 +53,7 @@ type Standby struct {
 	applied  uint64 // WAL records applied (== follower position)
 	skipped  uint64 // records the engine rejected on replay
 	warm     bool   // true once a catchup has fully drained the durable tail
+	resync   bool   // replication hit wal.ErrGap; the standby must be rebuilt
 	promoted bool   // true after Promote; the standby is consumed
 }
 
@@ -140,6 +141,20 @@ func (s *Standby) Skipped() uint64 {
 	return s.skipped
 }
 
+// ResyncNeeded reports whether replication hit a compaction gap
+// (wal.ErrGap): the leader snapshotted and truncated segments past this
+// standby's position, so the records it still needs no longer exist in the
+// log. The condition is terminal for this standby — retrying Catchup can
+// never succeed, and promoting it would lose acknowledged events — but its
+// engine and store are stale, not corrupted. The remedy is a rebuild: open
+// a fresh NewStandby over the same leader directory, which restores the
+// very snapshot that caused the gap and tails from there.
+func (s *Standby) ResyncNeeded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resync
+}
+
 // Pending counts durable records not yet applied — the replication lag in
 // records measured from the log itself (usable even when the leader's
 // journal is gone).
@@ -165,6 +180,13 @@ func (s *Standby) Catchup() (int, error) {
 		n, err := s.catchupBatch()
 		total += n
 		if err != nil {
+			if errors.Is(err, wal.ErrGap) {
+				// The leader compacted past our position: flag the terminal
+				// resync condition so supervisors report it distinctly
+				// instead of retrying into the same wall forever.
+				s.resync = true
+				s.warm = false
+			}
 			return total, err
 		}
 		if n == 0 {

@@ -215,3 +215,85 @@ func TestStandbyGapWhenCompactedPast(t *testing.T) {
 		t.Fatalf("Catchup = %v, want ErrGap", err)
 	}
 }
+
+// TestStandbyResyncNeededAfterGap forces a real gap — one-byte segment
+// budget so every record seals its own segment, then a checkpoint compacts
+// them all away while the standby still sits at position zero — and pins
+// the contract around it: ErrGap flips the standby into a terminal
+// resync-needed state (never warm, retries cannot clear it), and the
+// operator remedy is a fresh NewStandby over the same leader directory,
+// which restores the very snapshot that caused the gap and replicates
+// cleanly from there.
+func TestStandbyResyncNeededAfterGap(t *testing.T) {
+	dir := t.TempDir()
+	leader, _, err := OpenJournal(JournalConfig{
+		Engine: testEngine(t),
+		WAL:    wal.Options{Dir: dir, SegmentBytes: 1},
+	})
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	defer leader.Close()
+	sb, err := NewStandby(StandbyConfig{Dir: dir, Engine: testEngine(t), BatchMax: 3})
+	if err != nil {
+		t.Fatalf("NewStandby: %v", err)
+	}
+	if sb.ResyncNeeded() {
+		t.Fatal("fresh standby born resync-needed")
+	}
+
+	events := liveEvents(8)
+	for _, f := range events[:5] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Checkpoint(day(98, 12)); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sb.Catchup(); !errors.Is(err, wal.ErrGap) {
+		t.Fatalf("Catchup = %v, want ErrGap", err)
+	}
+	if !sb.ResyncNeeded() || sb.Warm() {
+		t.Fatalf("after gap: ResyncNeeded = %v, Warm = %v, want true, false", sb.ResyncNeeded(), sb.Warm())
+	}
+	// Terminal: the records are gone, so retrying can never succeed or
+	// clear the flag.
+	if _, err := sb.Catchup(); !errors.Is(err, wal.ErrGap) {
+		t.Fatalf("retried Catchup = %v, want ErrGap", err)
+	}
+	if !sb.ResyncNeeded() || sb.Warm() {
+		t.Fatal("retry cleared the resync-needed state")
+	}
+
+	// The remedy: rebuild over the same directory. The new standby seeds
+	// from the compaction snapshot and tails the surviving log.
+	rebuilt, err := NewStandby(StandbyConfig{Dir: dir, Engine: testEngine(t), BatchMax: 3})
+	if err != nil {
+		t.Fatalf("rebuilt NewStandby: %v", err)
+	}
+	if rebuilt.ResyncNeeded() {
+		t.Fatal("rebuilt standby born resync-needed")
+	}
+	if rebuilt.Applied() != 5 {
+		t.Fatalf("rebuilt Applied = %d, want 5 from snapshot", rebuilt.Applied())
+	}
+	for _, f := range events[5:] {
+		if err := leader.Observe(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := leader.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := rebuilt.Catchup(); err != nil || n != 3 {
+		t.Fatalf("rebuilt Catchup = %d, %v, want 3, nil", n, err)
+	}
+	if !rebuilt.Warm() || rebuilt.ResyncNeeded() {
+		t.Fatalf("rebuilt standby: Warm = %v, ResyncNeeded = %v", rebuilt.Warm(), rebuilt.ResyncNeeded())
+	}
+	if got, want := snapJSON(t, rebuilt.Engine()), snapJSON(t, leader.Engine()); got != want {
+		t.Fatalf("rebuilt standby diverged from leader:\n%s\n%s", got, want)
+	}
+}

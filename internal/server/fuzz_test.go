@@ -61,3 +61,63 @@ func FuzzRiskQueryParams(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCorrelationQueryParams is the same contract for the correlation and
+// anomaly endpoints: accepted queries are in range, and canonical cache
+// keys are a fixed point under re-parsing — the property that keeps one
+// logical query from splitting across cache entries (or two from aliasing).
+func FuzzCorrelationQueryParams(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"window=week&scope=node",
+		"window=36h&scope=rack&system=2",
+		"min_support=3&min_confidence=0.2",
+		"min_confidence=1e-9",
+		"min_confidence=NaN",
+		"min_support=0",
+		"min_support=-5",
+		"window=never",
+		"scope=galaxy",
+		"system=-1",
+		"k=5",
+		"k=0",
+		"k=99999&system=3",
+		"k=1&k=2",
+		"bogus=1",
+		"min_confidence=%gg",
+		strings.Repeat("system=1&", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		if q, err := parseCorrelationsQuery(raw); err == nil {
+			if q.window <= 0 || q.system < 0 || q.minSupport < 1 ||
+				!(q.minConfidence > 0 && q.minConfidence <= 1) {
+				t.Fatalf("parseCorrelationsQuery(%q) accepted out-of-range %+v", raw, q)
+			}
+			key := q.Key()
+			q2, err := parseCorrelationsQuery(key)
+			if err != nil {
+				t.Fatalf("cache key %q (from %q) does not re-parse: %v", key, raw, err)
+			}
+			if q2.Key() != key {
+				t.Fatalf("canonicalization not a fixed point: %q -> %q -> %q", raw, key, q2.Key())
+			}
+		}
+		q, err := parseAnomaliesQuery(raw)
+		if err != nil {
+			return
+		}
+		if q.k < 1 || q.k > maxTopK || q.system < 0 {
+			t.Fatalf("parseAnomaliesQuery(%q) accepted out-of-range %+v", raw, q)
+		}
+		key := q.Key()
+		q2, err := parseAnomaliesQuery(key)
+		if err != nil {
+			t.Fatalf("anomalies key %q (from %q) does not re-parse: %v", key, raw, err)
+		}
+		if q2.Key() != key {
+			t.Fatalf("anomalies canonicalization not a fixed point: %q -> %q -> %q", raw, key, q2.Key())
+		}
+	})
+}

@@ -9,6 +9,9 @@
 //	GET  /v1/risk/top?k=K&system=S    the K highest-risk nodes right now
 //	GET  /v1/condprob?anchor=&target=&window=&scope=&group=
 //	                                  cached conditional-vs-baseline query
+//	GET  /v1/correlations?window=&scope=&system=&min_support=&min_confidence=
+//	                                  mined correlation-rule graph (internal/correlate)
+//	GET  /v1/anomalies?system=&k=     vicinity anomaly ranking
 //	GET  /v1/snapshot                 canonical engine state (recovery checks)
 //	POST /v1/events                   feed failure events into the engine
 //	GET  /healthz                     liveness
@@ -81,6 +84,10 @@ type Config struct {
 	// serve loop drives its fsync/snapshot maintenance. The journal must
 	// wrap the same engine the server scores with.
 	Journal *risk.Journal
+	// CorrelationWindows are the time windows the per-shard correlation-rule
+	// miners maintain incrementally and /v1/correlations can answer for.
+	// Empty means correlate.DefaultWindows (day and week).
+	CorrelationWindows []time.Duration
 	// RequestTimeout bounds each request's computation; defaults to 10s.
 	RequestTimeout time.Duration
 	// CacheSize bounds the condprob result cache; defaults to 256 entries.
@@ -142,11 +149,13 @@ type Config struct {
 // ingest are cheap and get generous bounds that still stop a stampede.
 func defaultLimits() map[string]RouteLimit {
 	return map[string]RouteLimit{
-		"/v1/condprob":    {Concurrency: 2 * runtime.GOMAXPROCS(0), Queue: 64},
-		"/v1/risk/top":    {Concurrency: 32, Queue: 128},
-		"/v1/risk/{node}": {Concurrency: 32, Queue: 128},
-		"/v1/events":      {Concurrency: 16, Queue: 128},
-		"/v1/snapshot":    {Concurrency: 2, Queue: 8},
+		"/v1/condprob":     {Concurrency: 2 * runtime.GOMAXPROCS(0), Queue: 64},
+		"/v1/correlations": {Concurrency: 2 * runtime.GOMAXPROCS(0), Queue: 64},
+		"/v1/anomalies":    {Concurrency: 2 * runtime.GOMAXPROCS(0), Queue: 64},
+		"/v1/risk/top":     {Concurrency: 32, Queue: 128},
+		"/v1/risk/{node}":  {Concurrency: 32, Queue: 128},
+		"/v1/events":       {Concurrency: 16, Queue: 128},
+		"/v1/snapshot":     {Concurrency: 2, Queue: 8},
 	}
 }
 
@@ -292,6 +301,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/risk/top", s.instrument("/v1/risk/top", s.handleRiskTop))
 	mux.Handle("GET /v1/risk/{node}", s.instrument("/v1/risk/{node}", s.handleRiskNode))
 	mux.Handle("GET /v1/condprob", s.instrument("/v1/condprob", s.handleCondProb))
+	mux.Handle("GET /v1/correlations", s.instrument("/v1/correlations", s.handleCorrelations))
+	mux.Handle("GET /v1/anomalies", s.instrument("/v1/anomalies", s.handleAnomalies))
 	mux.Handle("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
 	mux.Handle("POST /v1/events", s.instrument("/v1/events", s.handleEvents))
 	if s.wrap != nil {

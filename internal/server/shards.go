@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/correlate"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
@@ -68,6 +69,9 @@ type shard struct {
 	engine  *risk.Engine
 	journal *risk.Journal
 	standby *risk.Standby
+	// miner maintains the shard's correlation-rule counts incrementally
+	// against st; it is rebuilt alongside the store on promotion.
+	miner *correlate.Miner
 }
 
 // view reads the shard's current serving components as one consistent set.
@@ -81,6 +85,12 @@ func (sh *shard) getStandby() *risk.Standby {
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	return sh.standby
+}
+
+func (sh *shard) getMiner() *correlate.Miner {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.miner
 }
 
 // fabric is the shard router: ownership map, supervisor, and the scatter
@@ -102,8 +112,11 @@ type fabric struct {
 	// which each shard keeps its own segment tree (empty = no durability).
 	walTmpl    wal.Options
 	snapPolicy checkpoint.Policy
-	now        func() time.Time
-	logf       func(format string, args ...any)
+	// corrWindows are the correlation windows every shard's miner maintains
+	// (nil = correlate.DefaultWindows); promotion rebuilds miners with them.
+	corrWindows []time.Duration
+	now         func() time.Time
+	logf        func(format string, args ...any)
 }
 
 func (f *fabric) walOptsOf(i int) wal.Options {
@@ -264,6 +277,9 @@ func (f *fabric) promote(i int) error {
 	sh.engine = j.Engine()
 	sh.journal = j
 	sh.standby = nil
+	// The promoted store is a different log; a fresh miner re-mines it on
+	// the next correlations query instead of trusting stale positions.
+	sh.miner = correlate.NewMiner(sh.st, f.corrWindows...)
 	sh.mu.Unlock()
 	sh.stall.Store(0)
 	sh.gen.Add(1)
@@ -304,7 +320,10 @@ func (f *fabric) tick(ctx context.Context) {
 			continue
 		}
 		sb := sh.getStandby()
-		if sb == nil || !sb.Warm() {
+		// A resync-needed standby is stale by a compacted prefix; promoting
+		// it would silently lose acknowledged events, so the shard stays down
+		// until an operator rebuilds the standby.
+		if sb == nil || !sb.Warm() || sb.ResyncNeeded() {
 			continue
 		}
 		if err := f.promote(i); err != nil {
@@ -313,15 +332,24 @@ func (f *fabric) tick(ctx context.Context) {
 	}
 }
 
-// catchupStandbys drains every standby's replication tail once.
+// catchupStandbys drains every standby's replication tail once. A
+// wal.ErrGap is terminal, not transient: the leader compacted past the
+// standby's position, so retrying can never succeed and promoting would
+// lose acknowledged events. The standby surfaces it through ResyncNeeded
+// (readiness and /readyz report "resync-needed") instead of stalling
+// silently; the remedy is an operator rebuild (see DESIGN.md §5f).
 func (f *fabric) catchupStandbys() {
 	for i, sh := range f.shards {
 		sb := sh.getStandby()
-		if sb == nil {
+		if sb == nil || sb.ResyncNeeded() {
 			continue
 		}
 		if _, err := sb.Catchup(); err != nil {
-			f.logf("hpcserve: shard %d standby catchup: %v", i, err)
+			if errors.Is(err, wal.ErrGap) {
+				f.logf("hpcserve: shard %d standby needs resync (leader compacted past its position): %v", i, err)
+			} else {
+				f.logf("hpcserve: shard %d standby catchup: %v", i, err)
+			}
 		}
 	}
 }
@@ -487,9 +515,16 @@ func (f *fabric) status() (bool, []shardStatus) {
 			ready = false
 		}
 		if sb := sh.getStandby(); sb != nil {
-			if sb.Warm() {
+			switch {
+			case sb.ResyncNeeded():
+				// Replication hit a compaction gap: the standby can never
+				// catch up again and must be rebuilt. Distinct from
+				// "warming" so operators see a dead-end, not a slow drain.
+				row.Standby = "resync-needed"
+				ready = false
+			case sb.Warm():
 				row.Standby = "warm"
-			} else {
+			default:
 				row.Standby = "warming"
 				ready = false
 			}
@@ -584,17 +619,19 @@ func newSingleFabric(st *store.Store, engine *risk.Engine, journal *risk.Journal
 		owner[s.ID] = 0
 	}
 	sh := &shard{idx: 0, systems: fleet, breaker: br, st: st, engine: engine, journal: journal}
+	sh.miner = correlate.NewMiner(st, cfg.CorrelationWindows...)
 	return &fabric{
-		sup:      sup,
-		ring:     ring,
-		shards:   []*shard{sh},
-		fleet:    fleet,
-		owner:    owner,
-		window:   engine.Window(),
-		deadline: shardDeadlineOr(cfg.ShardDeadline),
-		hbEvery:  heartbeatIntervalOr(cfg.HeartbeatInterval),
-		now:      now,
-		logf:     logf,
+		sup:         sup,
+		ring:        ring,
+		shards:      []*shard{sh},
+		fleet:       fleet,
+		owner:       owner,
+		window:      engine.Window(),
+		deadline:    shardDeadlineOr(cfg.ShardDeadline),
+		hbEvery:     heartbeatIntervalOr(cfg.HeartbeatInterval),
+		corrWindows: cfg.CorrelationWindows,
+		now:         now,
+		logf:        logf,
 	}, nil
 }
 
@@ -648,17 +685,18 @@ func newShardedFabric(cfg Config, n int, w time.Duration, now func() time.Time, 
 		}
 	}
 	f := &fabric{
-		sup:        sup,
-		ring:       ring,
-		fleet:      fleetCopy(cfg.Dataset.Systems),
-		owner:      owner,
-		window:     w,
-		deadline:   shardDeadlineOr(cfg.ShardDeadline),
-		hbEvery:    heartbeatIntervalOr(cfg.HeartbeatInterval),
-		walTmpl:    cfg.ShardWAL,
-		snapPolicy: cfg.SnapshotPolicy,
-		now:        now,
-		logf:       logf,
+		sup:         sup,
+		ring:        ring,
+		fleet:       fleetCopy(cfg.Dataset.Systems),
+		owner:       owner,
+		window:      w,
+		deadline:    shardDeadlineOr(cfg.ShardDeadline),
+		hbEvery:     heartbeatIntervalOr(cfg.HeartbeatInterval),
+		walTmpl:     cfg.ShardWAL,
+		snapPolicy:  cfg.SnapshotPolicy,
+		corrWindows: cfg.CorrelationWindows,
+		now:         now,
+		logf:        logf,
 	}
 	for i := 0; i < n; i++ {
 		st, err := store.New(parts[i])
@@ -676,6 +714,7 @@ func newShardedFabric(cfg Config, n int, w time.Duration, now func() time.Time, 
 			st:      st,
 			engine:  engine,
 		}
+		sh.miner = correlate.NewMiner(st, cfg.CorrelationWindows...)
 		if cfg.ShardWAL.Dir != "" {
 			jc := risk.JournalConfig{Engine: engine, WAL: f.walOptsOf(i), SnapshotPolicy: cfg.SnapshotPolicy, Now: now}
 			if !cfg.FrozenDataset {

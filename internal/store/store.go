@@ -27,9 +27,10 @@ import (
 // valid forever; pin one per request to answer every sub-question from a
 // single consistent view.
 type Snapshot struct {
-	version uint64
-	ds      *trace.Dataset
-	an      *analysis.Analyzer
+	version  uint64
+	rebuilds uint64
+	ds       *trace.Dataset
+	an       *analysis.Analyzer
 }
 
 // Version returns the snapshot's store version. Versions start at 1 and
@@ -45,6 +46,14 @@ func (s *Snapshot) Analyzer() *analysis.Analyzer { return s.an }
 
 // Events returns the number of failure events in the snapshot.
 func (s *Snapshot) Events() int { return len(s.ds.Failures) }
+
+// Rebuilds returns how many rebuild-fallback appends are in this snapshot's
+// lineage. Between two snapshots with equal Rebuilds, the failure log only
+// grew at the tail — the older snapshot's failures occupy the same leading
+// positions in the newer one — so incremental consumers (the correlation
+// miner) can process just the tail; a changed count means positions moved
+// and derived state must be rebuilt from scratch.
+func (s *Snapshot) Rebuilds() uint64 { return s.rebuilds }
 
 // Store is the versioned, copy-on-write owner of the canonical event log.
 // Snapshot loads are lock-free; Append serializes writers and publishes a
@@ -161,7 +170,7 @@ func (st *Store) Append(batch []trace.Failure) (*Snapshot, error) {
 		an = analysis.New(merged)
 		st.rebuilds.Add(1)
 	}
-	next := &Snapshot{version: cur.version + 1, ds: merged, an: an}
+	next := &Snapshot{version: cur.version + 1, rebuilds: st.rebuilds.Load(), ds: merged, an: an}
 	st.cur.Store(next)
 	st.appends.Add(1)
 	st.appended.Add(uint64(len(sorted)))
