@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/replay"
+)
+
+// TestQuickReplayAgainstLiveServer is the end-to-end acceptance test: the
+// quick preset boots an in-process hpcserve, replays the trace tail at high
+// acceleration, and must finish with a clean report — every generated read
+// accepted by the server's strict query parsers, every write ingested, and
+// the achieved acceleration past the CI gate's 1000x floor.
+func TestQuickReplayAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a server and replays ~5k ops")
+	}
+	out := filepath.Join(t.TempDir(), "replay.json")
+	if err := run([]string{"-quick", "-serve", "-seed", "1", "-min-accel", "1000", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := replay.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Config.Quick || rep.Config.Catalog != replay.CatalogQuick {
+		t.Errorf("config = %+v", rep.Config)
+	}
+	if rep.Workload.Ops == 0 || rep.Workload.Writes == 0 || rep.Workload.Reads == 0 {
+		t.Fatalf("degenerate workload: %+v", rep.Workload)
+	}
+	if rep.Measured.AchievedAccel < 1000 {
+		t.Errorf("achieved %fx, want >= 1000x", rep.Measured.AchievedAccel)
+	}
+	wantRoutes := []string{
+		replay.RouteEvents, replay.RouteRiskTop, replay.RouteRiskNode,
+		replay.RouteCondProb, replay.RouteCorrelations, replay.RouteAnomalies,
+	}
+	for _, route := range wantRoutes {
+		st, ok := rep.Measured.PerRoute[route]
+		if !ok || st.Ops == 0 {
+			t.Errorf("route %s: no traffic measured", route)
+			continue
+		}
+		// Zero errors is the strong form of "the workload generator speaks
+		// the server's query language": any malformed param would 400 here.
+		if st.Errors != 0 {
+			t.Errorf("route %s: %d errors out of %d ops", route, st.Errors, st.Ops)
+		}
+		if st.OK > 0 && st.P99Us <= 0 {
+			t.Errorf("route %s: missing p99", route)
+		}
+	}
+
+	// The report gates cleanly against itself — the self-baseline property
+	// scripts/replaygate.sh relies on after a baseline refresh. The wide
+	// slack keeps shared-runner latency noise out of this test; the gate
+	// arithmetic itself is pinned in internal/replay's unit tests.
+	if err := run([]string{"-quick", "-serve", "-seed", "1", "-baseline", out,
+		"-p99-slack", "10s", "-out", filepath.Join(t.TempDir(), "replay2.json")}); err != nil {
+		t.Fatalf("self-baseline gate failed: %v", err)
+	}
+}
+
+// TestFlagValidation pins the CLI contract without booting anything.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no target", []string{}, "exactly one of -serve or -addr"},
+		{"both targets", []string{"-serve", "-addr", "http://x"}, "exactly one of -serve or -addr"},
+		{"bad accel", []string{"-serve", "-accel", "0"}, "-accel"},
+		{"bad catalog", []string{"-serve", "-catalog", "nope"}, "unknown catalog"},
+		{"bad mix route", []string{"-serve", "-mix", "bogus=1"}, "unknown route"},
+		{"bad mix weight", []string{"-serve", "-mix", "risktop=-1"}, "non-negative"},
+		{"empty mix", []string{"-serve", "-mix", "risktop=0"}, "at least one weight"},
+		{"positional junk", []string{"-serve", "extra"}, "unexpected arguments"},
+	} {
+		err := run(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("risktop=1,condprob=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RiskTop != 1 || m.CondProb != 2.5 || m.RiskNode != 0 {
+		t.Errorf("mix = %+v", m)
+	}
+	if _, err := parseMix("risktop"); err == nil {
+		t.Error("want error for missing =")
+	}
+}

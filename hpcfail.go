@@ -54,6 +54,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/experiments"
 	"github.com/hpcfail/hpcfail/internal/faultinject"
 	"github.com/hpcfail/hpcfail/internal/lanl"
+	"github.com/hpcfail/hpcfail/internal/replay"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/server"
 	"github.com/hpcfail/hpcfail/internal/simulate"
@@ -512,4 +513,41 @@ func Corrupt(failures []Failure, spec FaultSpec) ([]byte, []FaultInjection, erro
 // corrupted copy, returning the injection ground truth.
 func CorruptDataset(dir string, ds *Dataset, spec FaultSpec) ([]FaultInjection, error) {
 	return faultinject.CorruptDataset(dir, ds, spec)
+}
+
+// Replay re-exports: the decade-scale trace replay harness (see
+// internal/replay and cmd/hpcreplay).
+type (
+	// ReplaySchedule is a deterministic, lazily generated stream of mixed
+	// HTTP operations derived from a dataset's post-split failures.
+	ReplaySchedule = replay.Schedule
+	// ReplayScheduleOptions configures NewReplaySchedule.
+	ReplayScheduleOptions = replay.ScheduleOptions
+	// ReplayMix weights the read routes of a replay workload.
+	ReplayMix = replay.Mix
+	// ReplayOp is one scheduled operation with its virtual send time.
+	ReplayOp = replay.Op
+	// ReplayReport is the hpcreplay output document with CO-corrected
+	// per-route latency percentiles.
+	ReplayReport = replay.Report
+	// ReplayGateOptions tunes the replay SLO gate.
+	ReplayGateOptions = replay.GateOptions
+)
+
+// NewReplaySchedule splits ds at the options' split point and prepares the
+// lazy open-loop op stream.
+func NewReplaySchedule(ds *Dataset, opts ReplayScheduleOptions) (*ReplaySchedule, error) {
+	return replay.NewSchedule(ds, opts)
+}
+
+// GenerateReplayCatalog builds a named replay dataset (quick, small,
+// standard, decade or mega) with an optional hazard multiplier.
+func GenerateReplayCatalog(name string, seed int64, hazardMult float64) (*Dataset, error) {
+	return replay.GenerateCatalog(name, seed, hazardMult)
+}
+
+// ReplayGate compares a replay report against a baseline and returns one
+// violation string per breached SLO (empty = pass).
+func ReplayGate(cur, base *ReplayReport, o ReplayGateOptions) []string {
+	return replay.Gate(cur, base, o)
 }

@@ -36,7 +36,15 @@ type Config struct {
 	// HTTP overrides the underlying HTTP client (and its per-attempt
 	// timeout); defaults to a client with a 30s timeout.
 	HTTP *http.Client
-	// MaxRetries bounds retry attempts after the first try; defaults to 4.
+	// RequestTimeout bounds each individual attempt with its own deadline,
+	// layered under the caller's context: an attempt that exceeds it is
+	// retried (the parent context permitting), where a plain context
+	// deadline would abort the whole call. Zero means no per-attempt
+	// deadline beyond the HTTP client's own timeout.
+	RequestTimeout time.Duration
+	// MaxRetries bounds retry attempts after the first try; 0 defaults to
+	// 4, negative disables retries entirely (open-loop load generators
+	// want the trace, not the client, to decide send times).
 	MaxRetries int
 	// BaseDelay seeds the exponential backoff; defaults to 100ms.
 	BaseDelay time.Duration
@@ -53,12 +61,13 @@ type Config struct {
 // Client calls the hpcserve API with retries. Build with New; safe for
 // concurrent use.
 type Client struct {
-	base    string
-	http    *http.Client
-	retries int
-	baseDel time.Duration
-	maxDel  time.Duration
-	sleep   func(context.Context, time.Duration) error
+	base       string
+	http       *http.Client
+	retries    int
+	baseDel    time.Duration
+	maxDel     time.Duration
+	reqTimeout time.Duration
+	sleep      func(context.Context, time.Duration) error
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -74,8 +83,10 @@ func New(cfg Config) (*Client, error) {
 		hc = &http.Client{Timeout: 30 * time.Second}
 	}
 	retries := cfg.MaxRetries
-	if retries <= 0 {
+	if retries == 0 {
 		retries = 4
+	} else if retries < 0 {
+		retries = 0
 	}
 	baseDel := cfg.BaseDelay
 	if baseDel <= 0 {
@@ -103,13 +114,14 @@ func New(cfg Config) (*Client, error) {
 		}
 	}
 	return &Client{
-		base:    cfg.BaseURL,
-		http:    hc,
-		retries: retries,
-		baseDel: baseDel,
-		maxDel:  maxDel,
-		sleep:   sleep,
-		rng:     rand.New(rand.NewSource(seed)),
+		base:       cfg.BaseURL,
+		http:       hc,
+		retries:    retries,
+		baseDel:    baseDel,
+		maxDel:     maxDel,
+		reqTimeout: cfg.RequestTimeout,
+		sleep:      sleep,
+		rng:        rand.New(rand.NewSource(seed)),
 	}, nil
 }
 
@@ -170,51 +182,109 @@ func parseRetryAfter(h string) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// do runs one request-with-retries loop. build must return a fresh request
-// each attempt (bodies are consumed).
-func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) ([]byte, error) {
+// Result is the final HTTP outcome of a call: the last response's status,
+// headers and body. Status 0 means no response arrived (transport error).
+type Result struct {
+	Status int
+	Header http.Header
+	Body   []byte
+}
+
+// doRes runs one request-with-retries loop. build must return a fresh
+// request each attempt (bodies are consumed). The returned Result carries
+// the last response seen even when err is non-nil, so callers that
+// classify outcomes by status (load generators, probes) see 4xx/5xx codes
+// instead of an opaque error.
+func (c *Client) doRes(ctx context.Context, build func() (*http.Request, error)) (Result, error) {
 	var lastErr error
+	var last Result
 	for attempt := 0; ; attempt++ {
 		req, err := build()
 		if err != nil {
-			return nil, err
+			return last, err
 		}
-		req = req.WithContext(ctx)
+		// A per-attempt deadline turns one slow attempt into a retry
+		// instead of burning the whole call's budget.
+		actx, cancel := ctx, func() {}
+		if c.reqTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, c.reqTimeout)
+		}
+		req = req.WithContext(actx)
 		resp, err := c.http.Do(req)
 		var retryAfter time.Duration
 		switch {
 		case err != nil:
+			cancel()
 			// Transport error: the attempt may or may not have reached the
 			// server — exactly what idempotency keys exist for.
 			lastErr = err
+			last = Result{}
 		default:
 			body, rerr := io.ReadAll(resp.Body)
 			resp.Body.Close()
+			cancel()
 			if rerr != nil {
 				lastErr = rerr
+				last = Result{}
 				break
 			}
+			last = Result{Status: resp.StatusCode, Header: resp.Header, Body: body}
 			if resp.StatusCode < 300 {
-				return body, nil
+				return last, nil
 			}
 			apiErr := &APIError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
 			if !retryable(resp.StatusCode) {
-				return nil, apiErr
+				return last, apiErr
 			}
 			lastErr = apiErr
 			retryAfter = parseRetryAfter(resp.Header.Get("Retry-After"))
 		}
 		if ctx.Err() != nil {
-			return nil, ctx.Err()
+			return last, ctx.Err()
 		}
 		if attempt >= c.retries {
-			return nil, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
+			return last, fmt.Errorf("client: giving up after %d attempts: %w", attempt+1, lastErr)
 		}
 		if err := c.sleep(ctx, c.backoff(attempt, retryAfter)); err != nil {
-			return nil, err
+			return last, err
 		}
 	}
 }
+
+// do is doRes for callers that only want a successful body.
+func (c *Client) do(ctx context.Context, build func() (*http.Request, error)) ([]byte, error) {
+	res, err := c.doRes(ctx, build)
+	if err != nil {
+		return nil, err
+	}
+	return res.Body, nil
+}
+
+// DoResult issues one arbitrary call (method, path with query, optional
+// body and headers) through the full retry discipline and returns the
+// final Result. Unlike Get/PostEvents it exposes the terminal status and
+// headers even for non-2xx outcomes; the replay harness classifies sheds
+// and errors from them.
+func (c *Client) DoResult(ctx context.Context, method, path string, body []byte, headers map[string]string) (Result, error) {
+	return c.doRes(ctx, func() (*http.Request, error) {
+		var rd io.Reader
+		if len(body) > 0 {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		for k, v := range headers {
+			req.Header.Set(k, v)
+		}
+		return req, nil
+	})
+}
+
+// NewIdempotencyKey draws a fresh idempotency key from the client's seeded
+// stream, for callers composing their own POSTs via DoResult.
+func (c *Client) NewIdempotencyKey() string { return c.newIdemKey() }
 
 // Get fetches path (e.g. "/v1/risk/top?k=3") with retries and returns the
 // raw response body.

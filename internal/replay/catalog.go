@@ -1,0 +1,97 @@
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/simulate"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Catalog names accepted by GenerateCatalog (and cmd/hpcreplay -catalog).
+//
+//	quick    two systems, 80 nodes, one year — the CI gate catalog
+//	small    the paper catalog at 1/8 scale
+//	standard the paper catalog at 1/2 scale — the nightly deep-replay catalog
+//	decade   the full paper catalog: ~3.1k nodes over a decade
+//	mega     ~100k nodes over a decade; with -hazard 10 it lands in the
+//	         10^7-failure range (10^8 ops with reads), the scale meant to
+//	         find what breaks first
+const (
+	CatalogQuick    = "quick"
+	CatalogSmall    = "small"
+	CatalogStandard = "standard"
+	CatalogDecade   = "decade"
+	CatalogMega     = "mega"
+)
+
+// GenerateCatalog builds the named replay dataset. hazardMult scales both
+// groups' baseline failure hazards — >1 densifies traffic beyond the
+// paper-calibrated rates to stress the ingest path (1 or 0 keeps them).
+func GenerateCatalog(name string, seed int64, hazardMult float64) (*trace.Dataset, error) {
+	opts := simulate.Options{Seed: seed}
+	switch name {
+	case CatalogQuick:
+		opts.Systems = quickSystems()
+	case CatalogSmall:
+		opts.Systems = simulate.Catalog(0.125)
+	case CatalogStandard:
+		opts.Systems = simulate.Catalog(0.5)
+	case CatalogDecade:
+		opts.Systems = simulate.Catalog(1)
+	case CatalogMega:
+		opts.Systems = megaSystems()
+	default:
+		return nil, fmt.Errorf("replay: unknown catalog %q (quick, small, standard, decade, mega)", name)
+	}
+	if hazardMult > 0 && hazardMult != 1 {
+		p := simulate.DefaultParams()
+		p.Group1.BaseDaily *= hazardMult
+		p.Group2.BaseDaily *= hazardMult
+		opts.Params = &p
+	}
+	return simulate.Generate(opts)
+}
+
+// quickSystems is a deliberately small two-group catalog over a single
+// year, cheap enough to generate and replay inside a CI gate while still
+// exercising layouts, both architecture groups, and every read route.
+func quickSystems() []simulate.SystemConfig {
+	year := trace.Interval{
+		Start: time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	return []simulate.SystemConfig{
+		{
+			Info:      trace.SystemInfo{ID: 101, Group: trace.Group1, Nodes: 64, ProcsPerNode: 4, Period: year},
+			HasLayout: true, RacksPerRow: 8,
+		},
+		{
+			Info: trace.SystemInfo{ID: 102, Group: trace.Group2, Nodes: 16, ProcsPerNode: 128, Period: year},
+		},
+	}
+}
+
+// megaSystems scales the fleet to ~100k nodes over the paper's decade: 24
+// group-1 machines of 4096 nodes each plus two group-2 machines. This is
+// the catalog whose generation and replay are supposed to hurt; nothing in
+// CI runs it.
+func megaSystems() []simulate.SystemConfig {
+	decade := trace.Interval{
+		Start: time.Date(1996, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2005, 11, 1, 0, 0, 0, 0, time.UTC),
+	}
+	var out []simulate.SystemConfig
+	for i := 0; i < 24; i++ {
+		out = append(out, simulate.SystemConfig{
+			Info:      trace.SystemInfo{ID: 200 + i, Group: trace.Group1, Nodes: 4096, ProcsPerNode: 4, Period: decade},
+			HasLayout: true, RacksPerRow: 16,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		out = append(out, simulate.SystemConfig{
+			Info: trace.SystemInfo{ID: 250 + i, Group: trace.Group2, Nodes: 64, ProcsPerNode: 128, Period: decade},
+		})
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package replay is the decade-scale trace replay harness: it turns a
+// synthetic failure dataset (internal/simulate) into a deterministic,
+// time-ordered schedule of mixed HTTP operations — event ingestion
+// interleaved with risk, condprob, correlation and anomaly reads — and
+// drives a live hpcserve with it under a virtual clock running 10x to
+// 10,000x (and beyond) real time.
+//
+// Scheduling is open-loop: every operation's send time is fixed by the
+// trace and the acceleration factor before the run starts, and never by
+// when earlier responses come back. Latency is measured from the op's
+// *intended* send time, so a server stall that backs up the pipe shows up
+// in the percentiles instead of silently pausing the load — the report is
+// coordinated-omission-aware by construction.
+//
+// The package splits into a virtual clock (clock.go), an HDR-style latency
+// histogram (histogram.go), the deterministic workload schedule
+// (workload.go), replay catalog presets (catalog.go), the open-loop runner
+// (runner.go), and the seeded JSON report with its SLO gate (report.go).
+// Run (run.go) composes them; cmd/hpcreplay is the CLI.
+package replay
+
+import (
+	"fmt"
+	"time"
+)
+
+// VirtualClock maps trace ("virtual") time onto wall time: virtual time
+// advances accel times faster than the wall. The zero value is not usable;
+// build with NewVirtualClock.
+type VirtualClock struct {
+	start time.Time // virtual origin
+	epoch time.Time // wall origin
+	accel float64
+}
+
+// NewVirtualClock anchors virtual time start at wall time epoch, advancing
+// accel times real time. Accel must be positive.
+func NewVirtualClock(start, epoch time.Time, accel float64) (*VirtualClock, error) {
+	if !(accel > 0) {
+		return nil, fmt.Errorf("replay: acceleration must be positive, got %v", accel)
+	}
+	return &VirtualClock{start: start, epoch: epoch, accel: accel}, nil
+}
+
+// WallAt returns the wall time at which the given virtual instant occurs.
+func (c *VirtualClock) WallAt(virtual time.Time) time.Time {
+	return c.epoch.Add(time.Duration(float64(virtual.Sub(c.start)) / c.accel))
+}
+
+// VirtualAt returns the virtual instant corresponding to a wall time.
+func (c *VirtualClock) VirtualAt(wall time.Time) time.Time {
+	return c.start.Add(time.Duration(float64(wall.Sub(c.epoch)) * c.accel))
+}
+
+// Accel returns the configured acceleration factor.
+func (c *VirtualClock) Accel() float64 { return c.accel }
+
+// Start returns the virtual origin.
+func (c *VirtualClock) Start() time.Time { return c.start }

@@ -1,0 +1,39 @@
+package replay
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVirtualClockMapping(t *testing.T) {
+	start := time.Date(2004, 1, 1, 0, 0, 0, 0, time.UTC)
+	epoch := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	c, err := NewVirtualClock(start, epoch, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1000 virtual seconds pass in one wall second.
+	if got, want := c.WallAt(start.Add(1000*time.Second)), epoch.Add(time.Second); !got.Equal(want) {
+		t.Errorf("WallAt(+1000s) = %v, want %v", got, want)
+	}
+	if got := c.WallAt(start); !got.Equal(epoch) {
+		t.Errorf("WallAt(start) = %v, want epoch %v", got, epoch)
+	}
+	// Round-trip within float tolerance.
+	v := start.Add(87 * 24 * time.Hour)
+	if got := c.VirtualAt(c.WallAt(v)); got.Sub(v).Abs() > time.Millisecond {
+		t.Errorf("round-trip drifted %v", got.Sub(v))
+	}
+	// Pre-start instants map before the epoch (negative offsets work).
+	if got := c.WallAt(start.Add(-1000 * time.Second)); !got.Equal(epoch.Add(-time.Second)) {
+		t.Errorf("WallAt(-1000s) = %v", got)
+	}
+}
+
+func TestVirtualClockRejectsBadAccel(t *testing.T) {
+	for _, accel := range []float64{0, -5} {
+		if _, err := NewVirtualClock(time.Now(), time.Now(), accel); err == nil {
+			t.Errorf("accel %v: want error", accel)
+		}
+	}
+}

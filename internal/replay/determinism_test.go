@@ -1,0 +1,47 @@
+package replay
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestRunReportDeterminism is the acceptance property: two full runs with
+// the same seed and catalog produce byte-identical reports once the
+// wall-clock measured section is normalized away — workload description,
+// per-route op counts and schedule digest included.
+func TestRunReportDeterminism(t *testing.T) {
+	run := func() *Report {
+		sched := quickSchedule(t, 9)
+		rep, err := Run(context.Background(), &stubTarget{}, sched, Options{
+			Config: ReportConfig{Catalog: CatalogQuick, Seed: 9, Accel: 1e12},
+			Runner: RunnerOptions{Accel: 1e12},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Workload.ScheduleDigest != b.Workload.ScheduleDigest {
+		t.Fatalf("digests differ: %s vs %s", a.Workload.ScheduleDigest, b.Workload.ScheduleDigest)
+	}
+	// Measured sections legitimately differ run to run; everything else may
+	// not.
+	a.Normalize()
+	b.Normalize()
+	ea, err := EncodeReport(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := EncodeReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Errorf("normalized reports differ:\n%s\nvs\n%s", ea, eb)
+	}
+	if a.Workload.Ops == 0 || a.Workload.Writes == 0 || a.Workload.Reads == 0 {
+		t.Errorf("degenerate workload: %+v", a.Workload)
+	}
+}

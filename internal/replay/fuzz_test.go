@@ -1,0 +1,42 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzReplayReport asserts the report codec never panics on arbitrary
+// bytes, and that anything it does accept survives an encode/decode
+// round-trip unchanged — the replay gate trusts committed baseline files
+// exactly this far.
+func FuzzReplayReport(f *testing.F) {
+	if enc, err := EncodeReport(sampleReport()); err == nil {
+		f.Add(enc)
+	}
+	f.Add([]byte(`{"schema":"hpcreplay/1"}`))
+	f.Add([]byte(`{"schema":"hpcreplay/1","measured":{"per_route":{"/v1/events":{"p99_us":-1}}}}`))
+	f.Add([]byte(`{"schema":"hpcreplay/1","workload":{"per_route_ops":{"":0}}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"schema":1e999}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReport(data)
+		if err != nil {
+			return // rejecting garbage is fine; panicking is not
+		}
+		enc, err := EncodeReport(rep)
+		if err != nil {
+			t.Fatalf("decoded report failed to encode: %v", err)
+		}
+		again, err := DecodeReport(enc)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(rep, again) {
+			t.Fatalf("round-trip changed the report:\n%+v\nvs\n%+v", rep, again)
+		}
+		// The gate must also tolerate any accepted report on both sides.
+		Gate(rep, rep, GateOptions{Tolerance: 0.25})
+	})
+}

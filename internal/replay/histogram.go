@@ -1,0 +1,152 @@
+package replay
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: values (in
+// microseconds) land in buckets whose width grows with magnitude, keeping
+// the worst-case relative quantile error under 1/histSubBuckets (~3%) while
+// covering nanosecond blips to multi-day stalls in a few kilobytes. Record
+// is O(1) with no allocation on the hot path once the counts slice has
+// grown to cover the largest magnitude seen.
+//
+// A Histogram is not safe for concurrent use; the runner keeps one per
+// route behind that route's mutex.
+type Histogram struct {
+	counts []uint64
+	count  uint64
+	sum    int64 // microseconds
+	max    int64
+	min    int64
+}
+
+// histSubBuckets is the linear resolution within each power-of-two octave.
+// 32 sub-buckets bound the relative error of any reported quantile by
+// 1/32 ≈ 3.1%.
+const histSubBuckets = 32
+
+// histSubBits is log2(histSubBuckets).
+const histSubBits = 5
+
+// bucketIndex maps a non-negative microsecond value to its bucket.
+func bucketIndex(us int64) int {
+	u := uint64(us)
+	if u < histSubBuckets {
+		return int(u)
+	}
+	// Shift so the value lands in [histSubBuckets, 2*histSubBuckets):
+	// octave = extra magnitude beyond the linear range.
+	shift := bits.Len64(u) - (histSubBits + 1)
+	return histSubBuckets*shift + int(u>>shift)
+}
+
+// bucketUpper returns the largest value mapping to bucket b — quantiles
+// report this bound, so they never understate a latency.
+func bucketUpper(b int) int64 {
+	if b < histSubBuckets {
+		return int64(b)
+	}
+	shift := b/histSubBuckets - 1
+	m := uint64(b%histSubBuckets) + histSubBuckets
+	return int64(m<<shift + (1 << shift) - 1)
+}
+
+// RecordDuration records one latency observation; negative durations clamp
+// to zero (a completion can never precede its own intended send).
+func (h *Histogram) RecordDuration(d time.Duration) { h.Record(d.Microseconds()) }
+
+// Record records one microsecond value.
+func (h *Histogram) Record(us int64) {
+	if us < 0 {
+		us = 0
+	}
+	b := bucketIndex(us)
+	if b >= len(h.counts) {
+		grown := make([]uint64, b+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[b]++
+	if h.count == 0 || us < h.min {
+		h.min = us
+	}
+	if us > h.max {
+		h.max = us
+	}
+	h.count++
+	h.sum += us
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Max returns the largest recorded value exactly (not bucket-rounded).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the smallest recorded value exactly.
+func (h *Histogram) Min() int64 { return h.min }
+
+// Mean returns the exact mean of recorded values, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns the value at or below which a fraction q of recorded
+// values fall, as the containing bucket's upper bound (so the answer never
+// understates). q outside [0,1] clamps; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			u := bucketUpper(b)
+			if u > h.max {
+				// The top bucket's bound can overshoot the true max.
+				u = h.max
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// Merge adds another histogram's observations into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if len(o.counts) > len(h.counts) {
+		grown := make([]uint64, len(o.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for b, c := range o.counts {
+		h.counts[b] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}

@@ -1,0 +1,104 @@
+package replay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBucketMath pins the invariants the quantile bound relies on: indexes
+// are monotone, and every value lands in a bucket whose upper bound is >=
+// the value but within the ~3.1% relative-error budget.
+func TestBucketMath(t *testing.T) {
+	prev := -1
+	for _, us := range []int64{0, 1, 31, 32, 33, 63, 64, 100, 1000, 12345,
+		1 << 20, 1<<20 + 1, 1 << 40, math.MaxInt64 / 2} {
+		b := bucketIndex(us)
+		if b < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", us, b, prev)
+		}
+		prev = b
+		up := bucketUpper(b)
+		if up < us {
+			t.Errorf("bucketUpper(%d)=%d understates value %d", b, up, us)
+		}
+		if us >= histSubBuckets {
+			if rel := float64(up-us) / float64(us); rel > 1.0/histSubBuckets {
+				t.Errorf("value %d: bound %d overstates by %.4f (> %.4f)", us, up, rel, 1.0/histSubBuckets)
+			}
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..10000 microseconds, exact quantiles known.
+	rng := rand.New(rand.NewSource(7))
+	vals := rng.Perm(10000)
+	for _, v := range vals {
+		h.Record(int64(v + 1))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact float64
+	}{{0.50, 5000}, {0.90, 9000}, {0.99, 9900}, {0.999, 9990}} {
+		got := float64(h.Quantile(tc.q))
+		if got < tc.exact || got > tc.exact*(1+2.0/histSubBuckets) {
+			t.Errorf("q%.3f = %.0f, want in [%.0f, %.0f]", tc.q, got, tc.exact, tc.exact*(1+2.0/histSubBuckets))
+		}
+	}
+	if h.Min() != 1 || h.Max() != 10000 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-5000.5) > 0.01 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.RecordDuration(-5 * time.Second) // clamps to 0
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Errorf("negative clamp: min=%d max=%d n=%d", h.Min(), h.Max(), h.Count())
+	}
+	h.Record(1 << 50)
+	if h.Quantile(1) != 1<<50 {
+		t.Errorf("q1 = %d", h.Quantile(1))
+	}
+	// Quantile never exceeds the true max even in the top bucket.
+	if q := h.Quantile(0.99); q > h.Max() {
+		t.Errorf("q0.99 = %d > max %d", q, h.Max())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Intn(1 << 22))
+		all.Record(v)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil)          // no-op
+	a.Merge(&Histogram{}) // empty no-op
+	if a.Count() != all.Count() || a.Min() != all.Min() || a.Max() != all.Max() || a.sum != all.sum {
+		t.Fatalf("merge mismatch: %+v vs %+v", a, all)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Errorf("q%v: merged %d vs direct %d", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ReportSchema versions the replay report format; Gate refuses to compare
+// across schemas.
+const ReportSchema = "hpcreplay/1"
+
+// ReportConfig echoes the knobs that produced a report, so a baseline is
+// self-describing and the gate can refuse apples-to-oranges comparisons.
+type ReportConfig struct {
+	Catalog       string  `json:"catalog"`
+	Seed          int64   `json:"seed"`
+	Accel         float64 `json:"accel"`
+	Split         float64 `json:"split"`
+	ReadsPerWrite int     `json:"reads_per_write"`
+	BatchMax      int     `json:"batch_max"`
+	HazardMult    float64 `json:"hazard_mult"`
+	Retries       int     `json:"retries"`
+	TimeoutMs     int64   `json:"timeout_ms"`
+	Quick         bool    `json:"quick"`
+}
+
+// WorkloadInfo describes the schedule that was replayed. Every field is a
+// pure function of (catalog, seed, schedule options) — two runs with the
+// same config must produce identical WorkloadInfo, digest included.
+type WorkloadInfo struct {
+	Systems            int              `json:"systems"`
+	Nodes              int              `json:"nodes"`
+	BootEvents         int              `json:"boot_events"`
+	ReplayEvents       int              `json:"replay_events"`
+	Ops                int64            `json:"ops"`
+	Writes             int64            `json:"writes"`
+	Reads              int64            `json:"reads"`
+	VirtualSpanSeconds float64          `json:"virtual_span_seconds"`
+	ScheduleDigest     string           `json:"schedule_digest"`
+	PerRouteOps        map[string]int64 `json:"per_route_ops"`
+}
+
+// RouteStats is one route's measured outcome. Latency quantiles are
+// coordinated-omission-corrected (measured from intended send time) and
+// cover OK responses only; errors and sheds are counted, not timed.
+type RouteStats struct {
+	Ops           int64   `json:"ops"`
+	OK            int64   `json:"ok"`
+	Errors        int64   `json:"errors"`
+	Shed          int64   `json:"shed"`
+	Partial       int64   `json:"partial"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Us         int64   `json:"p50_us"`
+	P90Us         int64   `json:"p90_us"`
+	P99Us         int64   `json:"p99_us"`
+	P999Us        int64   `json:"p999_us"`
+	MaxUs         int64   `json:"max_us"`
+}
+
+// Measured is the wall-clock-dependent half of a report: everything in it
+// may legitimately differ between two runs of the same schedule. Normalize
+// zeroes it when asserting determinism.
+type Measured struct {
+	StartedAt     string                `json:"started_at"`
+	WallSeconds   float64               `json:"wall_seconds"`
+	AchievedAccel float64               `json:"achieved_accel"`
+	LateSends     int64                 `json:"late_sends"`
+	MaxSendLagMs  float64               `json:"max_send_lag_ms"`
+	PerRoute      map[string]RouteStats `json:"per_route"`
+}
+
+// Report is the hpcreplay output document.
+type Report struct {
+	Schema   string       `json:"schema"`
+	Config   ReportConfig `json:"config"`
+	Workload WorkloadInfo `json:"workload"`
+	Measured Measured     `json:"measured"`
+}
+
+// Normalize strips everything wall-clock-dependent, leaving only the
+// deterministic sections. Two runs with the same seed and config must be
+// byte-identical after Normalize + EncodeReport.
+func (r *Report) Normalize() {
+	r.Measured = Measured{}
+}
+
+// routeStats condenses a runner aggregate into report form.
+func routeStats(rr *RouteResult, wallSeconds float64) RouteStats {
+	st := RouteStats{
+		Ops:     rr.Ops,
+		OK:      rr.OK,
+		Errors:  rr.Errors,
+		Shed:    rr.Shed,
+		Partial: rr.Partial,
+		P50Us:   rr.Hist.Quantile(0.50),
+		P90Us:   rr.Hist.Quantile(0.90),
+		P99Us:   rr.Hist.Quantile(0.99),
+		P999Us:  rr.Hist.Quantile(0.999),
+		MaxUs:   rr.Hist.Max(),
+	}
+	if wallSeconds > 0 {
+		st.ThroughputRPS = float64(rr.Ops) / wallSeconds
+	}
+	return st
+}
+
+// BuildMeasured converts runner stats into the report's measured section.
+func BuildMeasured(st *RunStats) Measured {
+	m := Measured{
+		StartedAt:     st.WallStart.UTC().Format(time.RFC3339Nano),
+		WallSeconds:   st.WallSeconds(),
+		AchievedAccel: st.AchievedAccel(),
+		LateSends:     st.LateSends,
+		MaxSendLagMs:  float64(st.MaxSendLag) / float64(time.Millisecond),
+		PerRoute:      make(map[string]RouteStats, len(st.PerRoute)),
+	}
+	for route, rr := range st.PerRoute {
+		m.PerRoute[route] = routeStats(rr, m.WallSeconds)
+	}
+	return m
+}
+
+// EncodeReport renders a report as indented JSON with a trailing newline.
+// encoding/json sorts map keys, so the encoding is deterministic.
+func EncodeReport(r *Report) ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("replay: encode report: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeReport parses a report and checks its schema.
+func DecodeReport(b []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("replay: decode report: %w", err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("replay: unsupported report schema %q (want %q)", r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// GateOptions tunes the replay SLO gate.
+type GateOptions struct {
+	// Tolerance is the allowed relative p99 regression per route
+	// (0.25 = +25%).
+	Tolerance float64
+	// P99Slack is an absolute floor: a p99 increase smaller than this never
+	// fails the gate, which keeps microsecond-scale noise on near-instant
+	// routes from flaking CI.
+	P99Slack time.Duration
+	// MinAccel, when > 0, requires the measured achieved acceleration to
+	// reach at least this factor.
+	MinAccel float64
+}
+
+// errorRate is errors over completed ops. Sheds (429) are deliberate
+// admission-control outcomes and excluded.
+func errorRate(st RouteStats) float64 {
+	if st.Ops == 0 {
+		return 0
+	}
+	return float64(st.Errors) / float64(st.Ops)
+}
+
+// Gate compares a current report against a committed baseline and returns
+// one violation string per breached SLO (empty slice = pass): per-route p99
+// regressions beyond Tolerance and P99Slack, any per-route error-rate
+// increase, routes missing from the current run, and (when configured) an
+// achieved-acceleration floor.
+func Gate(cur, base *Report, o GateOptions) []string {
+	var v []string
+	if cur.Schema != base.Schema {
+		return []string{fmt.Sprintf("schema mismatch: current %q vs baseline %q", cur.Schema, base.Schema)}
+	}
+	if cur.Workload.ScheduleDigest != base.Workload.ScheduleDigest {
+		v = append(v, fmt.Sprintf("schedule digest mismatch: current %s vs baseline %s (different catalog/seed/options — regenerate the baseline)",
+			cur.Workload.ScheduleDigest, base.Workload.ScheduleDigest))
+	}
+	routes := make([]string, 0, len(base.Measured.PerRoute))
+	for route := range base.Measured.PerRoute {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	slackUs := o.P99Slack.Microseconds()
+	for _, route := range routes {
+		b := base.Measured.PerRoute[route]
+		c, ok := cur.Measured.PerRoute[route]
+		if !ok {
+			v = append(v, fmt.Sprintf("%s: route present in baseline but absent from current run", route))
+			continue
+		}
+		limit := int64(float64(b.P99Us) * (1 + o.Tolerance))
+		if c.P99Us > limit && c.P99Us-b.P99Us > slackUs {
+			v = append(v, fmt.Sprintf("%s: p99 %dus exceeds baseline %dus by more than %.0f%% (+%dus slack)",
+				route, c.P99Us, b.P99Us, o.Tolerance*100, slackUs))
+		}
+		if cr, br := errorRate(c), errorRate(b); cr > br {
+			v = append(v, fmt.Sprintf("%s: error rate %.4f exceeds baseline %.4f (%d/%d vs %d/%d)",
+				route, cr, br, c.Errors, c.Ops, b.Errors, b.Ops))
+		}
+	}
+	if o.MinAccel > 0 && cur.Measured.AchievedAccel < o.MinAccel {
+		v = append(v, fmt.Sprintf("achieved acceleration %.0fx below required %.0fx",
+			cur.Measured.AchievedAccel, o.MinAccel))
+	}
+	return v
+}

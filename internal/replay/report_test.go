@@ -1,0 +1,153 @@
+package replay
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema: ReportSchema,
+		Config: ReportConfig{Catalog: "quick", Seed: 1, Accel: 1e6, Split: 0.8, ReadsPerWrite: 20, BatchMax: 32, HazardMult: 4, TimeoutMs: 10000, Quick: true},
+		Workload: WorkloadInfo{
+			Systems: 2, Nodes: 80, BootEvents: 910, ReplayEvents: 233,
+			Ops: 4858, Writes: 198, Reads: 4660,
+			VirtualSpanSeconds: 6307200, ScheduleDigest: "48ee0994940cfd71",
+			PerRouteOps: map[string]int64{RouteEvents: 198, RouteCondProb: 952},
+		},
+		Measured: Measured{
+			StartedAt: "2026-08-07T12:00:00Z", WallSeconds: 4.2, AchievedAccel: 1.5e6,
+			LateSends: 3, MaxSendLagMs: 18.5,
+			PerRoute: map[string]RouteStats{
+				RouteEvents:   {Ops: 198, OK: 198, P50Us: 3390, P99Us: 51200},
+				RouteCondProb: {Ops: 952, OK: 950, Errors: 2, P50Us: 3780, P99Us: 69630},
+			},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	enc, err := EncodeReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeReport(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, dec) {
+		t.Fatalf("round-trip mismatch:\n%+v\n%+v", r, dec)
+	}
+	// Encoding is deterministic (maps sort), so re-encoding is byte-equal.
+	enc2, err := EncodeReport(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, enc2) {
+		t.Error("re-encoding changed bytes")
+	}
+}
+
+func TestDecodeReportRejectsWrongSchema(t *testing.T) {
+	if _, err := DecodeReport([]byte(`{"schema":"hpcreplay/999"}`)); err == nil {
+		t.Fatal("want schema error")
+	}
+	if _, err := DecodeReport([]byte(`not json`)); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestNormalizeStripsMeasured(t *testing.T) {
+	a, b := sampleReport(), sampleReport()
+	b.Measured.WallSeconds = 99
+	b.Measured.StartedAt = "2031-01-01T00:00:00Z"
+	b.Measured.PerRoute[RouteEvents] = RouteStats{Ops: 1}
+	a.Normalize()
+	b.Normalize()
+	ea, _ := EncodeReport(a)
+	eb, _ := EncodeReport(b)
+	if !bytes.Equal(ea, eb) {
+		t.Error("normalized reports with equal workloads must be byte-identical")
+	}
+}
+
+func gateOpts() GateOptions {
+	return GateOptions{Tolerance: 0.25, P99Slack: 10 * time.Millisecond}
+}
+
+func TestGatePassesOnSelf(t *testing.T) {
+	r := sampleReport()
+	if v := Gate(r, sampleReport(), gateOpts()); len(v) != 0 {
+		t.Fatalf("self-comparison violated: %v", v)
+	}
+}
+
+func TestGateCatchesP99Regression(t *testing.T) {
+	cur, base := sampleReport(), sampleReport()
+	st := cur.Measured.PerRoute[RouteCondProb]
+	st.P99Us = base.Measured.PerRoute[RouteCondProb].P99Us*2 + 20000 // +100%, above slack
+	cur.Measured.PerRoute[RouteCondProb] = st
+	v := Gate(cur, base, gateOpts())
+	if len(v) != 1 || !strings.Contains(v[0], "p99") {
+		t.Fatalf("violations = %v, want one p99 violation", v)
+	}
+	// The same regression inside the absolute slack passes: tiny routes
+	// must not flake the gate.
+	cur = sampleReport()
+	st = cur.Measured.PerRoute[RouteCondProb]
+	st.P99Us += 9000 // +13% relative but under the 10ms slack... actually +9ms
+	cur.Measured.PerRoute[RouteCondProb] = st
+	if v := Gate(cur, base, gateOpts()); len(v) != 0 {
+		t.Fatalf("sub-slack regression flagged: %v", v)
+	}
+}
+
+func TestGateCatchesErrorRateIncrease(t *testing.T) {
+	cur, base := sampleReport(), sampleReport()
+	st := cur.Measured.PerRoute[RouteEvents]
+	st.Errors = 1 // baseline has 0
+	cur.Measured.PerRoute[RouteEvents] = st
+	v := Gate(cur, base, gateOpts())
+	if len(v) != 1 || !strings.Contains(v[0], "error rate") {
+		t.Fatalf("violations = %v, want one error-rate violation", v)
+	}
+	// Sheds are not errors: a shed increase alone passes.
+	cur = sampleReport()
+	st = cur.Measured.PerRoute[RouteEvents]
+	st.Shed = 50
+	cur.Measured.PerRoute[RouteEvents] = st
+	if v := Gate(cur, base, gateOpts()); len(v) != 0 {
+		t.Fatalf("shed increase flagged as violation: %v", v)
+	}
+}
+
+func TestGateCatchesMissingRouteAndDigestAndAccel(t *testing.T) {
+	cur, base := sampleReport(), sampleReport()
+	delete(cur.Measured.PerRoute, RouteCondProb)
+	cur.Workload.ScheduleDigest = "deadbeefdeadbeef"
+	cur.Measured.AchievedAccel = 500
+	o := gateOpts()
+	o.MinAccel = 1000
+	v := Gate(cur, base, o)
+	if len(v) != 3 {
+		t.Fatalf("violations = %v, want digest + missing route + accel", v)
+	}
+	for i, want := range []string{"digest", "absent", "acceleration"} {
+		if !strings.Contains(v[i], want) {
+			t.Errorf("violation %d = %q, want mention of %q", i, v[i], want)
+		}
+	}
+}
+
+func TestGateRejectsSchemaMismatch(t *testing.T) {
+	cur, base := sampleReport(), sampleReport()
+	base.Schema = "hpcreplay/0"
+	v := Gate(cur, base, gateOpts())
+	if len(v) != 1 || !strings.Contains(v[0], "schema") {
+		t.Fatalf("violations = %v", v)
+	}
+}

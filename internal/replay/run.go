@@ -1,0 +1,63 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+)
+
+// Options configures one composed replay run.
+type Options struct {
+	// Config is echoed verbatim into the report so baselines are
+	// self-describing.
+	Config ReportConfig
+	// Runner configures the open-loop runner.
+	Runner RunnerOptions
+}
+
+// Run drives target with the schedule and assembles the full report: the
+// deterministic workload section from the consumed schedule, the measured
+// section from the runner. The schedule must be freshly built — Run
+// consumes it.
+func Run(ctx context.Context, target Target, sched *Schedule, opts Options) (*Report, error) {
+	runner, err := NewRunner(opts.Runner)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := runner.Run(ctx, sched, target)
+	if err != nil {
+		return nil, fmt.Errorf("replay: run aborted after %d ops: %w", stats.Dispatched, err)
+	}
+	perRoute, writes, reads, events := sched.Emitted()
+	if int64(sched.TailEvents()) != events {
+		// The runner consumed the schedule to exhaustion, so any gap here is
+		// a scheduler bug, not a runtime condition.
+		return nil, fmt.Errorf("replay: schedule emitted %d events, trace tail has %d", events, sched.TailEvents())
+	}
+	boot := sched.BootDataset()
+	nodes := 0
+	for _, s := range boot.Systems {
+		nodes += s.Nodes
+	}
+	routeOps := make(map[string]int64, len(perRoute))
+	for r, n := range perRoute {
+		routeOps[r] = n
+	}
+	rep := &Report{
+		Schema: ReportSchema,
+		Config: opts.Config,
+		Workload: WorkloadInfo{
+			Systems:            len(boot.Systems),
+			Nodes:              nodes,
+			BootEvents:         len(boot.Failures),
+			ReplayEvents:       sched.TailEvents(),
+			Ops:                writes + reads,
+			Writes:             writes,
+			Reads:              reads,
+			VirtualSpanSeconds: sched.End().Sub(sched.SplitTime()).Seconds(),
+			ScheduleDigest:     sched.Digest(),
+			PerRouteOps:        routeOps,
+		},
+		Measured: BuildMeasured(stats),
+	}
+	return rep, nil
+}

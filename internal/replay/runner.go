@@ -1,0 +1,249 @@
+package replay
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/client"
+)
+
+// Target executes one scheduled op and reports the final HTTP status (0
+// when no response arrived), the response headers, and any error. The
+// runner never inspects bodies — classification is status-driven.
+type Target interface {
+	Do(ctx context.Context, op Op) (status int, header http.Header, err error)
+}
+
+// ClientTarget adapts the resilient API client (internal/client) as a
+// replay target. Writes carry one idempotency key per op, reused across
+// that op's retries when the client is configured to retry.
+type ClientTarget struct {
+	C *client.Client
+}
+
+// Do implements Target.
+func (t ClientTarget) Do(ctx context.Context, op Op) (int, http.Header, error) {
+	var hdr map[string]string
+	if op.Method == http.MethodPost {
+		hdr = map[string]string{
+			"Content-Type":      "application/json",
+			"X-Idempotency-Key": t.C.NewIdempotencyKey(),
+		}
+	}
+	res, err := t.C.DoResult(ctx, op.Method, op.Path, op.Body, hdr)
+	return res.Status, res.Header, err
+}
+
+// lateSendThreshold is how far past its intended wall time a dispatch must
+// slip before it counts as late. Small scheduling jitter under a few
+// milliseconds is noise; sustained slippage means the harness (or the
+// inflight cap) cannot keep up with the configured acceleration.
+const lateSendThreshold = 5 * time.Millisecond
+
+// RunnerOptions configures an open-loop run.
+type RunnerOptions struct {
+	// Accel is the virtual-over-wall time factor. Required, > 0.
+	Accel float64
+	// MaxInflight bounds concurrent requests. When the bound is hit the
+	// dispatcher blocks — intended send times stay fixed, so the resulting
+	// slippage is visible as late sends and in the CO-corrected latencies
+	// rather than silently thinning the load. Defaults to 512.
+	MaxInflight int
+	// Timeout bounds one op end to end (including the client's retries,
+	// if enabled). Defaults to 10s.
+	Timeout time.Duration
+	// Sleep pauses the dispatcher; tests inject a virtual sleeper. The
+	// default honors context cancellation.
+	Sleep func(context.Context, time.Duration) error
+	// Now supplies the wall clock; tests inject a fake paired with Sleep.
+	Now func() time.Time
+	// OnDispatch, when set, observes every op at its dispatch moment, in
+	// dispatch order — the open-loop ordering tests hook in here.
+	OnDispatch func(op Op, intended time.Time)
+}
+
+// RouteResult aggregates one route's outcomes.
+type RouteResult struct {
+	// Ops counts completed operations.
+	Ops int64
+	// OK counts 2xx responses; only these feed the latency histogram.
+	OK int64
+	// Errors counts transport failures, timeouts and non-2xx statuses
+	// other than 429.
+	Errors int64
+	// Shed counts 429 admission sheds.
+	Shed int64
+	// Partial counts 2xx responses carrying X-Partial: true.
+	Partial int64
+	// Hist holds CO-corrected latencies (completion minus intended send)
+	// of OK responses, in microseconds.
+	Hist *Histogram
+}
+
+// RunStats is the measured outcome of one run.
+type RunStats struct {
+	PerRoute map[string]*RouteResult
+	// Dispatched is the number of ops sent (always the full schedule
+	// unless the context was cancelled).
+	Dispatched int64
+	// LateSends counts dispatches that slipped more than
+	// lateSendThreshold past their intended wall time.
+	LateSends int64
+	// MaxSendLag is the worst dispatch slippage observed.
+	MaxSendLag time.Duration
+	// WallStart/WallEnd bound the run in wall time.
+	WallStart, WallEnd time.Time
+	// VirtualStart/VirtualEnd bound the replayed virtual span.
+	VirtualStart, VirtualEnd time.Time
+}
+
+// WallSeconds is the wall duration of the run.
+func (st *RunStats) WallSeconds() float64 { return st.WallEnd.Sub(st.WallStart).Seconds() }
+
+// AchievedAccel is the virtual span covered per wall second — the
+// acceleration the harness actually sustained.
+func (st *RunStats) AchievedAccel() float64 {
+	w := st.WallEnd.Sub(st.WallStart)
+	if w <= 0 {
+		return 0
+	}
+	return float64(st.VirtualEnd.Sub(st.VirtualStart)) / float64(w)
+}
+
+// Runner drives a Target with a Schedule, open-loop. Build one per run.
+type Runner struct {
+	opts RunnerOptions
+}
+
+// NewRunner validates options and builds a runner.
+func NewRunner(opts RunnerOptions) (*Runner, error) {
+	if !(opts.Accel > 0) {
+		return nil, fmt.Errorf("replay: acceleration must be positive, got %v", opts.Accel)
+	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 512
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 10 * time.Second
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	return &Runner{opts: opts}, nil
+}
+
+// Run consumes the schedule against the target. It dispatches ops strictly
+// in schedule order at their clock-mapped wall times, never waiting for a
+// response before the next send, and returns aggregated stats once every
+// in-flight op has completed. A cancelled context aborts the remaining
+// schedule and returns the context error alongside the stats so far.
+func (r *Runner) Run(ctx context.Context, sched *Schedule, target Target) (*RunStats, error) {
+	o := r.opts
+	now := o.Now
+	epoch := now()
+	clock, err := NewVirtualClock(sched.SplitTime(), epoch, o.Accel)
+	if err != nil {
+		return nil, err
+	}
+	stats := &RunStats{
+		PerRoute:     make(map[string]*RouteResult),
+		WallStart:    epoch,
+		VirtualStart: sched.SplitTime(),
+	}
+	var mu sync.Mutex // guards PerRoute aggregation
+	agg := func(op Op, status int, hdr http.Header, opErr error, latency time.Duration) {
+		mu.Lock()
+		defer mu.Unlock()
+		rr := stats.PerRoute[op.Route]
+		if rr == nil {
+			rr = &RouteResult{Hist: &Histogram{}}
+			stats.PerRoute[op.Route] = rr
+		}
+		rr.Ops++
+		switch {
+		case status/100 == 2:
+			rr.OK++
+			rr.Hist.RecordDuration(latency)
+			if hdr.Get("X-Partial") == "true" {
+				rr.Partial++
+			}
+		case status == http.StatusTooManyRequests:
+			rr.Shed++
+		default:
+			// Transport errors (status 0), timeouts, 4xx and 5xx.
+			rr.Errors++
+			_ = opErr
+		}
+	}
+
+	sem := make(chan struct{}, o.MaxInflight)
+	var wg sync.WaitGroup
+	var runErr error
+	lastAt := sched.SplitTime()
+dispatch:
+	for {
+		op, ok := sched.Next()
+		if !ok {
+			break
+		}
+		intended := clock.WallAt(op.At)
+		if d := intended.Sub(now()); d > 0 {
+			if err := o.Sleep(ctx, d); err != nil {
+				runErr = err
+				break
+			}
+		}
+		// The inflight cap backpressures the dispatcher, not the trace:
+		// intended stays fixed, so waiting here surfaces as send lag.
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			runErr = ctx.Err()
+			break dispatch
+		}
+		if lag := now().Sub(intended); lag > lateSendThreshold {
+			stats.LateSends++
+			if lag > stats.MaxSendLag {
+				stats.MaxSendLag = lag
+			}
+		}
+		if o.OnDispatch != nil {
+			o.OnDispatch(op, intended)
+		}
+		stats.Dispatched++
+		lastAt = op.At
+		wg.Add(1)
+		go func(op Op, intended time.Time) {
+			defer func() {
+				<-sem
+				wg.Done()
+			}()
+			octx, cancel := context.WithTimeout(ctx, o.Timeout)
+			defer cancel()
+			status, hdr, err := target.Do(octx, op)
+			// Coordinated-omission correction: latency runs from the
+			// trace-intended send time, so queueing delay the harness (or a
+			// stalled server) introduced is charged to the percentiles.
+			agg(op, status, hdr, err, now().Sub(intended))
+		}(op, intended)
+	}
+	wg.Wait()
+	stats.WallEnd = now()
+	stats.VirtualEnd = lastAt
+	return stats, runErr
+}

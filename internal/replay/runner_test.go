@@ -1,0 +1,209 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubTarget answers per-route canned outcomes after an optional stall.
+type stubTarget struct {
+	stall   time.Duration
+	outcome func(op Op) (int, http.Header, error)
+	calls   atomic.Int64
+}
+
+func (s *stubTarget) Do(ctx context.Context, op Op) (int, http.Header, error) {
+	s.calls.Add(1)
+	if s.stall > 0 {
+		select {
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		case <-time.After(s.stall):
+		}
+	}
+	if s.outcome != nil {
+		return s.outcome(op)
+	}
+	return 200, nil, nil
+}
+
+// quickSchedule builds a fresh schedule over the shared quick dataset.
+func quickSchedule(t *testing.T, seed int64) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(quickDataset(t), ScheduleOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunnerOpenLoopUnderStalls is the coordinated-omission property test:
+// a target that stalls every request must not slow the dispatch schedule
+// down. The run's wall time stays near the virtual span divided by accel
+// (plus one stall for the straggler), far below the sum of all stalls a
+// closed-loop generator would serialize, while the stall still shows up in
+// every measured latency.
+func TestRunnerOpenLoopUnderStalls(t *testing.T) {
+	sched := quickSchedule(t, 1)
+	virtualSpan := sched.End().Sub(sched.SplitTime())
+	// Compress the whole tail into ~300ms of wall time.
+	accel := float64(virtualSpan) / float64(300*time.Millisecond)
+	const stall = 100 * time.Millisecond
+
+	tgt := &stubTarget{stall: stall}
+	var seqs []int
+	r, err := NewRunner(RunnerOptions{
+		Accel:       accel,
+		MaxInflight: 1 << 14, // effectively unbounded: isolate the scheduling property
+		OnDispatch:  func(op Op, _ time.Time) { seqs = append(seqs, op.Seq) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	stats, err := r.Run(context.Background(), sched, tgt)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := tgt.calls.Load()
+	if n == 0 || n != stats.Dispatched {
+		t.Fatalf("dispatched %d, target saw %d", stats.Dispatched, n)
+	}
+	// Every op dispatched exactly once, in schedule order, none skipped.
+	if int64(len(seqs)) != n {
+		t.Fatalf("OnDispatch saw %d ops, want %d", len(seqs), n)
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("dispatch %d has seq %d — the open-loop runner must never skip or reorder", i, s)
+		}
+	}
+	// Closed-loop would serialize n stalls; open-loop pays the trace span
+	// plus roughly one stall. Allow generous scheduler slack.
+	if serialized := time.Duration(n) * stall; wall > serialized/4 {
+		t.Fatalf("wall %v suggests closed-loop behavior (%d ops x %v stall = %v serialized)",
+			wall, n, stall, serialized)
+	}
+	if wall > 3*time.Second {
+		t.Fatalf("wall %v, want ~300ms + stall", wall)
+	}
+	// ...and the stall is charged to every CO-corrected latency.
+	for route, rr := range stats.PerRoute {
+		if rr.Hist.Count() == 0 {
+			continue
+		}
+		if p50 := rr.Hist.Quantile(0.5); p50 < stall.Microseconds() {
+			t.Errorf("%s: p50 %dus below the %v stall — latency not measured from intended send", route, p50, stall)
+		}
+	}
+}
+
+// TestRunnerInflightCapSurfacesLag pins that a saturated inflight cap slows
+// dispatch *visibly*: sends go late and stay counted, rather than being
+// skipped or rescheduled.
+func TestRunnerInflightCapSurfacesLag(t *testing.T) {
+	// Writes only (~200 ops): serialized through one slot they must lag.
+	sched, err := NewSchedule(quickDataset(t), ScheduleOptions{Seed: 1, ReadsPerWrite: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	virtualSpan := sched.End().Sub(sched.SplitTime())
+	accel := float64(virtualSpan) / float64(50*time.Millisecond)
+	tgt := &stubTarget{stall: 5 * time.Millisecond}
+	r, err := NewRunner(RunnerOptions{Accel: accel, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(context.Background(), sched, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dispatched != tgt.calls.Load() {
+		t.Fatalf("dispatched %d != calls %d", stats.Dispatched, tgt.calls.Load())
+	}
+	if stats.LateSends == 0 || stats.MaxSendLag == 0 {
+		t.Error("a saturated inflight cap must surface as late sends, not silence")
+	}
+}
+
+func TestRunnerClassification(t *testing.T) {
+	sched := quickSchedule(t, 1)
+	partialHdr := http.Header{"X-Partial": []string{"true"}}
+	tgt := &stubTarget{outcome: func(op Op) (int, http.Header, error) {
+		switch op.Route {
+		case RouteEvents:
+			return 200, nil, nil
+		case RouteRiskTop:
+			return 429, nil, errors.New("shed")
+		case RouteRiskNode:
+			return 500, nil, errors.New("boom")
+		case RouteCondProb:
+			return 0, nil, errors.New("transport")
+		case RouteCorrelations:
+			return 200, partialHdr, nil
+		default:
+			return 200, nil, nil
+		}
+	}}
+	r, err := NewRunner(RunnerOptions{Accel: 1e12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := r.Run(context.Background(), sched, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(route string, f func(rr *RouteResult) bool, desc string) {
+		rr := stats.PerRoute[route]
+		if rr == nil {
+			t.Fatalf("no stats for %s", route)
+		}
+		if !f(rr) {
+			t.Errorf("%s: %s violated: %+v", route, desc, rr)
+		}
+	}
+	check(RouteEvents, func(rr *RouteResult) bool { return rr.OK == rr.Ops && rr.Errors == 0 }, "all ok")
+	check(RouteRiskTop, func(rr *RouteResult) bool { return rr.Shed == rr.Ops && rr.Errors == 0 }, "429 counts as shed")
+	check(RouteRiskNode, func(rr *RouteResult) bool { return rr.Errors == rr.Ops && rr.OK == 0 }, "500 counts as error")
+	check(RouteCondProb, func(rr *RouteResult) bool { return rr.Errors == rr.Ops }, "transport failure counts as error")
+	check(RouteCorrelations, func(rr *RouteResult) bool { return rr.Partial == rr.Ops && rr.OK == rr.Ops }, "X-Partial tracked")
+	// Only OK responses feed the histograms.
+	if n := stats.PerRoute[RouteRiskNode].Hist.Count(); n != 0 {
+		t.Errorf("error route recorded %d latencies", n)
+	}
+}
+
+func TestRunnerHonorsCancellation(t *testing.T) {
+	sched := quickSchedule(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := NewRunner(RunnerOptions{Accel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accel 1 would take weeks; cancellation must end it immediately.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := r.Run(ctx, sched, &stubTarget{}); !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled run did not return")
+	}
+}
+
+func TestRunnerRejectsBadOptions(t *testing.T) {
+	if _, err := NewRunner(RunnerOptions{Accel: 0}); err == nil {
+		t.Fatal("want error for zero accel")
+	}
+}

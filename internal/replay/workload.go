@@ -1,0 +1,380 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/client"
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+// Route labels, matching the server's route patterns so report rows line up
+// with hpcserve's own metrics.
+const (
+	RouteEvents       = "/v1/events"
+	RouteRiskTop      = "/v1/risk/top"
+	RouteRiskNode     = "/v1/risk/{node}"
+	RouteCondProb     = "/v1/condprob"
+	RouteCorrelations = "/v1/correlations"
+	RouteAnomalies    = "/v1/anomalies"
+)
+
+// Op is one scheduled HTTP operation. At is the virtual (trace) send time;
+// the runner converts it to a wall send time through the VirtualClock and
+// never lets response arrival move it — that is what makes the load
+// open-loop.
+type Op struct {
+	// Seq is the op's position in the schedule, dense from 0. The runner
+	// dispatches ops strictly in Seq order.
+	Seq int
+	// At is the virtual send instant.
+	At time.Time
+	// Route is the server route label (RouteEvents, RouteCondProb, ...).
+	Route string
+	// Method is GET or POST.
+	Method string
+	// Path is the URL path and query, e.g. "/v1/condprob?anchor=HW".
+	Path string
+	// Body is the POST payload (nil for reads).
+	Body []byte
+	// Events is how many failure events a write op carries.
+	Events int
+}
+
+// Mix weights the read routes of the generated workload. Weights are
+// relative; a zero weight removes that route. The zero value is not usable
+// — start from DefaultMix.
+type Mix struct {
+	RiskTop      float64
+	RiskNode     float64
+	CondProb     float64
+	Correlations float64
+	Anomalies    float64
+}
+
+// DefaultMix leans on the cheap risk reads with a steady trickle into the
+// expensive analysis routes — roughly the shape of a dashboard fleet
+// polling a serving tier.
+func DefaultMix() Mix {
+	return Mix{RiskTop: 3, RiskNode: 3, CondProb: 2, Correlations: 1, Anomalies: 1}
+}
+
+func (m Mix) total() float64 {
+	return m.RiskTop + m.RiskNode + m.CondProb + m.Correlations + m.Anomalies
+}
+
+// ScheduleOptions configures NewSchedule.
+type ScheduleOptions struct {
+	// Seed drives every random draw in the schedule; equal seeds over equal
+	// datasets give byte-identical schedules.
+	Seed int64
+	// Split in (0,1) is the fraction of the global measurement period that
+	// becomes the server's boot dataset; failures after the split point are
+	// replayed as live writes. Defaults to 0.8.
+	Split float64
+	// ReadsPerWrite is how many read ops accompany each replayed failure
+	// event, fractional values accumulate. Defaults to 10.
+	ReadsPerWrite float64
+	// BatchMax caps events per POST /v1/events. Defaults to 32.
+	BatchMax int
+	// BatchWindow coalesces failures within this virtual duration of a
+	// batch's first event into one POST. Defaults to one virtual hour.
+	BatchWindow time.Duration
+	// Mix weights the read routes. Zero value means DefaultMix.
+	Mix Mix
+}
+
+func (o ScheduleOptions) withDefaults() ScheduleOptions {
+	if o.Split <= 0 || o.Split >= 1 {
+		o.Split = 0.8
+	}
+	if o.ReadsPerWrite < 0 {
+		o.ReadsPerWrite = 0
+	} else if o.ReadsPerWrite == 0 {
+		o.ReadsPerWrite = 10
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 32
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = time.Hour
+	}
+	if o.Mix.total() <= 0 {
+		o.Mix = DefaultMix()
+	}
+	return o
+}
+
+// Schedule is a deterministic, time-ordered stream of mixed operations
+// derived from one dataset: failures after the split point become POST
+// /v1/events batches, interleaved with seeded reads. It generates lazily so
+// a 10^8-event trace never needs the full op list in memory. Not safe for
+// concurrent use; the runner is the single consumer.
+type Schedule struct {
+	opts  ScheduleOptions
+	boot  *trace.Dataset
+	tail  []trace.Failure
+	split time.Time
+	end   time.Time
+
+	systems []trace.SystemInfo
+	rng     *rand.Rand
+
+	// Iterator state.
+	i         int // next unconsumed tail failure
+	prev      time.Time
+	readCarry float64
+	queue     []Op
+	qi        int
+	seq       int
+
+	// Emission-side accounting (deterministic given the seed).
+	writes, reads int64
+	events        int64
+	perRoute      map[string]int64
+	digest        uint64
+}
+
+// NewSchedule partitions ds at the split point and prepares the lazy op
+// stream. The dataset must be sorted (trace.Dataset.Sort order) and must
+// have failures after the split point to replay.
+func NewSchedule(ds *trace.Dataset, opts ScheduleOptions) (*Schedule, error) {
+	opts = opts.withDefaults()
+	if ds == nil || len(ds.Systems) == 0 {
+		return nil, fmt.Errorf("replay: dataset has no systems")
+	}
+	start, end := ds.Systems[0].Period.Start, ds.Systems[0].Period.End
+	for _, s := range ds.Systems[1:] {
+		if s.Period.Start.Before(start) {
+			start = s.Period.Start
+		}
+		if s.Period.End.After(end) {
+			end = s.Period.End
+		}
+	}
+	split := start.Add(time.Duration(float64(end.Sub(start)) * opts.Split))
+	k := sort.Search(len(ds.Failures), func(i int) bool {
+		return !ds.Failures[i].Time.Before(split)
+	})
+	if k == len(ds.Failures) {
+		return nil, fmt.Errorf("replay: no failures after the %.0f%% split point %s", opts.Split*100, split.Format(time.RFC3339))
+	}
+	boot := *ds
+	boot.Failures = ds.Failures[:k:k]
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d", opts.Seed)
+	return &Schedule{
+		opts:     opts,
+		boot:     &boot,
+		tail:     ds.Failures[k:],
+		split:    split,
+		end:      end,
+		systems:  ds.Systems,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		prev:     split,
+		perRoute: make(map[string]int64),
+		digest:   h.Sum64(),
+	}, nil
+}
+
+// BootDataset is the pre-split dataset the target server should boot with.
+func (s *Schedule) BootDataset() *trace.Dataset { return s.boot }
+
+// SplitTime is the virtual instant replay begins.
+func (s *Schedule) SplitTime() time.Time { return s.split }
+
+// End is the virtual instant the trace runs out.
+func (s *Schedule) End() time.Time { return s.end }
+
+// TailEvents is how many failures will be replayed as writes.
+func (s *Schedule) TailEvents() int { return len(s.tail) }
+
+// Emitted returns the running per-route op counts, total writes/reads and
+// replayed events; final once Next has returned false.
+func (s *Schedule) Emitted() (perRoute map[string]int64, writes, reads, events int64) {
+	return s.perRoute, s.writes, s.reads, s.events
+}
+
+// Digest is an FNV-1a hash over every emitted op (seq, route, path, body)
+// plus the seed — two schedules with equal digests issued identical
+// request streams. Final once Next has returned false.
+func (s *Schedule) Digest() string { return fmt.Sprintf("%016x", s.digest) }
+
+// Next returns the next op in virtual-time order, or false when the trace
+// is exhausted.
+func (s *Schedule) Next() (Op, bool) {
+	for s.qi >= len(s.queue) {
+		if s.i >= len(s.tail) {
+			return Op{}, false
+		}
+		s.fillQueue()
+	}
+	op := s.queue[s.qi]
+	s.qi++
+	op.Seq = s.seq
+	s.seq++
+	s.account(op)
+	return op, true
+}
+
+// account records one emitted op into the counters and digest.
+func (s *Schedule) account(op Op) {
+	s.perRoute[op.Route]++
+	if op.Method == "POST" {
+		s.writes++
+		s.events += int64(op.Events)
+	} else {
+		s.reads++
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%016x|%d|%s|%s|", s.digest, op.Seq, op.Route, op.Path)
+	h.Write(op.Body)
+	s.digest = h.Sum64()
+}
+
+// fillQueue builds the next write batch and the reads that precede it.
+func (s *Schedule) fillQueue() {
+	head := s.tail[s.i]
+	j := s.i + 1
+	for j < len(s.tail) && j-s.i < s.opts.BatchMax &&
+		!s.tail[j].Time.After(head.Time.Add(s.opts.BatchWindow)) {
+		j++
+	}
+	batch := s.tail[s.i:j]
+	s.i = j
+
+	// Reads are spread across the quiet virtual span before this batch.
+	s.readCarry += s.opts.ReadsPerWrite * float64(len(batch))
+	n := int(s.readCarry)
+	s.readCarry -= float64(n)
+	gap := head.Time.Sub(s.prev)
+	reads := make([]Op, 0, n)
+	for k := 0; k < n; k++ {
+		at := head.Time
+		if gap > 0 {
+			at = s.prev.Add(time.Duration(s.rng.Float64() * float64(gap)))
+		}
+		reads = append(reads, s.readOp(at))
+	}
+	sort.SliceStable(reads, func(a, b int) bool { return reads[a].At.Before(reads[b].At) })
+
+	s.queue = append(reads, s.writeOp(head.Time, batch))
+	s.qi = 0
+	s.prev = head.Time
+}
+
+// writeOp renders one POST /v1/events batch.
+func (s *Schedule) writeOp(at time.Time, batch []trace.Failure) Op {
+	evs := make([]client.Event, len(batch))
+	for i, f := range batch {
+		t := f.Time
+		evs[i] = client.Event{System: f.System, Node: f.Node, Time: &t, Category: f.Category.String()}
+		if f.HW != trace.HWUnknown {
+			evs[i].HW = f.HW.String()
+		}
+		if f.SW != trace.SWUnknown {
+			evs[i].SW = f.SW.String()
+		}
+		if f.Env != trace.EnvUnknown {
+			evs[i].Env = f.Env.String()
+		}
+	}
+	body, err := json.Marshal(struct {
+		Events []client.Event `json:"events"`
+	}{evs})
+	if err != nil {
+		// client.Event marshals from plain fields; failure here is a bug.
+		panic(fmt.Sprintf("replay: marshaling event batch: %v", err))
+	}
+	return Op{At: at, Route: RouteEvents, Method: "POST", Path: RouteEvents, Body: body, Events: len(batch)}
+}
+
+// Canonical draw pools for read queries. Labels must round-trip through the
+// server's parsers; the e2e test pins that no generated read is rejected.
+var (
+	condAnchors = []string{"", "HW", "SW", "ENV", "NET", "HW/Memory", "HW/CPU", "SW/OS", "ENV/PowerOutage"}
+	condTargets = []string{"", "HW", "SW", "NET", "HW/Memory"}
+	condWindows = []string{"day", "week", "month"}
+	// Correlation windows stick to the server's default miner windows; a
+	// window the miner does not maintain would 400.
+	corrWindows = []string{"day", "week"}
+	scopeNames  = []string{"node", "rack", "system"}
+)
+
+// readOp draws one read against the mix weights.
+func (s *Schedule) readOp(at time.Time) Op {
+	m := s.opts.Mix
+	r := s.rng.Float64() * m.total()
+	switch {
+	case r < m.RiskTop:
+		return s.riskTopOp(at)
+	case r < m.RiskTop+m.RiskNode:
+		return s.riskNodeOp(at)
+	case r < m.RiskTop+m.RiskNode+m.CondProb:
+		return s.condProbOp(at)
+	case r < m.RiskTop+m.RiskNode+m.CondProb+m.Correlations:
+		return s.correlationsOp(at)
+	default:
+		return s.anomaliesOp(at)
+	}
+}
+
+// atParam renders the virtual instant for ?at= pinning, so risk scores are
+// computed against trace time, not the server's 2020s wall clock.
+func atParam(at time.Time) string { return at.UTC().Format(time.RFC3339) }
+
+func (s *Schedule) randSystem() trace.SystemInfo {
+	return s.systems[s.rng.Intn(len(s.systems))]
+}
+
+func (s *Schedule) riskTopOp(at time.Time) Op {
+	path := fmt.Sprintf("/v1/risk/top?at=%s&k=%d", atParam(at), 5+s.rng.Intn(16))
+	if s.rng.Intn(3) == 0 {
+		path += fmt.Sprintf("&system=%d", s.randSystem().ID)
+	}
+	return Op{At: at, Route: RouteRiskTop, Method: "GET", Path: path}
+}
+
+func (s *Schedule) riskNodeOp(at time.Time) Op {
+	sys := s.randSystem()
+	node := s.rng.Intn(sys.Nodes)
+	path := fmt.Sprintf("/v1/risk/%d?at=%s&system=%d", node, atParam(at), sys.ID)
+	return Op{At: at, Route: RouteRiskNode, Method: "GET", Path: path}
+}
+
+func (s *Schedule) condProbOp(at time.Time) Op {
+	path := fmt.Sprintf("/v1/condprob?anchor=%s&scope=%s&target=%s&window=%s",
+		condAnchors[s.rng.Intn(len(condAnchors))],
+		scopeNames[s.rng.Intn(len(scopeNames))],
+		condTargets[s.rng.Intn(len(condTargets))],
+		condWindows[s.rng.Intn(len(condWindows))])
+	if s.rng.Intn(4) == 0 {
+		path += fmt.Sprintf("&group=%d", 1+s.rng.Intn(2))
+	}
+	return Op{At: at, Route: RouteCondProb, Method: "GET", Path: path}
+}
+
+func (s *Schedule) correlationsOp(at time.Time) Op {
+	path := fmt.Sprintf("/v1/correlations?scope=%s&window=%s",
+		scopeNames[s.rng.Intn(len(scopeNames))],
+		corrWindows[s.rng.Intn(len(corrWindows))])
+	if s.rng.Intn(3) == 0 {
+		path += fmt.Sprintf("&system=%d", s.randSystem().ID)
+	}
+	if s.rng.Intn(4) == 0 {
+		path += "&min_support=2"
+	}
+	return Op{At: at, Route: RouteCorrelations, Method: "GET", Path: path}
+}
+
+func (s *Schedule) anomaliesOp(at time.Time) Op {
+	path := fmt.Sprintf("/v1/anomalies?k=%d", 5+s.rng.Intn(21))
+	if s.rng.Intn(2) == 0 {
+		path += fmt.Sprintf("&system=%d", s.randSystem().ID)
+	}
+	return Op{At: at, Route: RouteAnomalies, Method: "GET", Path: path}
+}

@@ -1,0 +1,196 @@
+package replay
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcfail/hpcfail/internal/trace"
+)
+
+var (
+	quickOnce sync.Once
+	quickDS   *trace.Dataset
+)
+
+// quickDataset generates the quick catalog once per test binary.
+func quickDataset(t *testing.T) *trace.Dataset {
+	t.Helper()
+	quickOnce.Do(func() {
+		ds, err := GenerateCatalog(CatalogQuick, 1, 4)
+		if err != nil {
+			t.Fatalf("generating quick catalog: %v", err)
+		}
+		quickDS = ds
+	})
+	return quickDS
+}
+
+// drain consumes a schedule to exhaustion.
+func drain(t *testing.T, s *Schedule) []Op {
+	t.Helper()
+	var ops []Op
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return ops
+		}
+		ops = append(ops, op)
+	}
+}
+
+func TestScheduleDeterminism(t *testing.T) {
+	ds := quickDataset(t)
+	mk := func() *Schedule {
+		s, err := NewSchedule(ds, ScheduleOptions{Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	opsA, opsB := drain(t, a), drain(t, b)
+	if len(opsA) == 0 || len(opsA) != len(opsB) {
+		t.Fatalf("op counts: %d vs %d", len(opsA), len(opsB))
+	}
+	for i := range opsA {
+		x, y := opsA[i], opsB[i]
+		if x.Seq != y.Seq || !x.At.Equal(y.At) || x.Route != y.Route ||
+			x.Method != y.Method || x.Path != y.Path || string(x.Body) != string(y.Body) {
+			t.Fatalf("op %d differs:\n%+v\n%+v", i, x, y)
+		}
+	}
+	if a.Digest() != b.Digest() {
+		t.Errorf("digests differ: %s vs %s", a.Digest(), b.Digest())
+	}
+
+	c, err := NewSchedule(ds, ScheduleOptions{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, c)
+	if c.Digest() == a.Digest() {
+		t.Error("different seeds produced the same digest")
+	}
+}
+
+func TestScheduleOrderingAndPartition(t *testing.T) {
+	ds := quickDataset(t)
+	s, err := NewSchedule(ds, ScheduleOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boot := s.BootDataset()
+	if len(boot.Failures)+s.TailEvents() != len(ds.Failures) {
+		t.Fatalf("partition loses failures: %d + %d != %d",
+			len(boot.Failures), s.TailEvents(), len(ds.Failures))
+	}
+	for _, f := range boot.Failures {
+		if !f.Time.Before(s.SplitTime()) {
+			t.Fatalf("boot failure at %v not before split %v", f.Time, s.SplitTime())
+		}
+	}
+	ops := drain(t, s)
+	var events int64
+	for i, op := range ops {
+		if op.Seq != i {
+			t.Fatalf("op %d has Seq %d — sequence must be dense and ordered", i, op.Seq)
+		}
+		if i > 0 && op.At.Before(ops[i-1].At) {
+			t.Fatalf("op %d at %v precedes op %d at %v — schedule must be time-ordered",
+				i, op.At, i-1, ops[i-1].At)
+		}
+		if op.At.Before(s.SplitTime()) {
+			t.Fatalf("op %d scheduled before the split point", i)
+		}
+		if op.Method == "POST" {
+			events += int64(op.Events)
+		}
+	}
+	if events != int64(s.TailEvents()) {
+		t.Errorf("writes carry %d events, tail has %d", events, s.TailEvents())
+	}
+	perRoute, writes, reads, emitted := s.Emitted()
+	if writes+reads != int64(len(ops)) || emitted != events {
+		t.Errorf("Emitted (%d,%d,%d) disagrees with drained ops (%d,%d)", writes, reads, emitted, len(ops), events)
+	}
+	var sum int64
+	for _, n := range perRoute {
+		sum += n
+	}
+	if sum != int64(len(ops)) {
+		t.Errorf("per-route counts sum to %d, want %d", sum, len(ops))
+	}
+}
+
+func TestScheduleBatchBounds(t *testing.T) {
+	ds := quickDataset(t)
+	const batchMax = 4
+	window := 6 * time.Hour
+	s, err := NewSchedule(ds, ScheduleOptions{Seed: 1, BatchMax: batchMax, BatchWindow: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range drain(t, s) {
+		if op.Method != "POST" {
+			continue
+		}
+		if op.Events < 1 || op.Events > batchMax {
+			t.Fatalf("batch of %d events violates max %d", op.Events, batchMax)
+		}
+		var payload struct {
+			Events []struct {
+				Time time.Time `json:"time"`
+			} `json:"events"`
+		}
+		if err := json.Unmarshal(op.Body, &payload); err != nil {
+			t.Fatalf("write body: %v", err)
+		}
+		if len(payload.Events) != op.Events {
+			t.Fatalf("body has %d events, op says %d", len(payload.Events), op.Events)
+		}
+		first := payload.Events[0].Time
+		for _, e := range payload.Events {
+			if e.Time.Sub(first) > window {
+				t.Fatalf("batch spans %v, window is %v", e.Time.Sub(first), window)
+			}
+		}
+	}
+}
+
+func TestScheduleMixSelectsRoutes(t *testing.T) {
+	ds := quickDataset(t)
+	s, err := NewSchedule(ds, ScheduleOptions{Seed: 1, Mix: Mix{CondProb: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range drain(t, s) {
+		if op.Method == "GET" && op.Route != RouteCondProb {
+			t.Fatalf("mix {CondProb:1} emitted read %s", op.Route)
+		}
+		if op.Method == "GET" && !strings.HasPrefix(op.Path, "/v1/condprob?") {
+			t.Fatalf("condprob path %q", op.Path)
+		}
+	}
+}
+
+func TestScheduleRejectsEmptyTail(t *testing.T) {
+	year := trace.Interval{
+		Start: time.Date(2005, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC),
+	}
+	ds := &trace.Dataset{
+		Systems: []trace.SystemInfo{{ID: 1, Group: trace.Group1, Nodes: 4, ProcsPerNode: 2, Period: year}},
+		Failures: []trace.Failure{
+			{System: 1, Node: 0, Time: year.Start.Add(time.Hour), Category: trace.Hardware},
+		},
+	}
+	if _, err := NewSchedule(ds, ScheduleOptions{Seed: 1}); err == nil {
+		t.Fatal("want error for a trace with no failures after the split")
+	}
+	if _, err := NewSchedule(&trace.Dataset{}, ScheduleOptions{Seed: 1}); err == nil {
+		t.Fatal("want error for an empty dataset")
+	}
+}

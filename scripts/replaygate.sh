@@ -1,0 +1,29 @@
+#!/bin/sh
+# Replay SLO gate: boot an in-process hpcserve, replay the quick catalog's
+# trace tail at high acceleration as open-loop load, and compare the
+# coordinated-omission-corrected per-route latencies against the committed
+# baseline (REPLAY_baseline.json). Fails when any route's p99 regresses
+# more than REPLAY_TOLERANCE (and REPLAY_P99_SLACK absolute — generous, so
+# shared-runner noise can't flake the gate), when any route's error rate
+# increases at all, or when the run cannot sustain REPLAY_MIN_ACCEL.
+# Shared by verify.sh and CI.
+#
+# Refresh the baseline after an intentional perf change with:
+#   go run ./cmd/hpcreplay -quick -serve -seed 1 -out REPLAY_baseline.json
+set -eu
+
+dir=$(dirname "$0")
+repo=$(cd "$dir/.." && pwd)
+tolerance="${REPLAY_TOLERANCE:-0.25}"
+p99_slack="${REPLAY_P99_SLACK:-250ms}"
+min_accel="${REPLAY_MIN_ACCEL:-1000}"
+
+out="${REPLAY_OUT:-$(mktemp)}"
+[ -n "${REPLAY_OUT:-}" ] || trap 'rm -f "$out"' EXIT
+
+go run "$repo/cmd/hpcreplay" -quick -serve -seed 1 \
+    -baseline "$repo/REPLAY_baseline.json" \
+    -tolerance "$tolerance" \
+    -p99-slack "$p99_slack" \
+    -min-accel "$min_accel" \
+    -out "$out"

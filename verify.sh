@@ -30,3 +30,9 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 # (TOLERANCE overrides), and indexed kernels must keep MIN_SPEEDUP over the
 # naive reference.
 "$dir/scripts/benchgate.sh"
+
+# Replay SLO gate: open-loop quick-catalog replay against a live in-process
+# hpcserve, CO-corrected p99 and error rates vs the committed
+# REPLAY_baseline.json (REPLAY_TOLERANCE / REPLAY_P99_SLACK /
+# REPLAY_MIN_ACCEL override).
+"$dir/scripts/replaygate.sh"
