@@ -67,6 +67,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
 	"github.com/hpcfail/hpcfail/internal/cli"
 	"github.com/hpcfail/hpcfail/internal/faultinject"
+	"github.com/hpcfail/hpcfail/internal/iofault"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/server"
 	"github.com/hpcfail/hpcfail/internal/store"
@@ -91,6 +92,9 @@ func run(args []string) error {
 	walFsync := fs.String("wal-fsync", "interval", "WAL fsync policy: always, interval or never")
 	walFsyncEvery := fs.Duration("wal-fsync-interval", 100*time.Millisecond, "max time appends stay unsynced under -wal-fsync=interval")
 	snapEvery := fs.Duration("snapshot-every", 5*time.Minute, "engine snapshot spacing under -wal (0 = WAL only)")
+	faultENOSPC := fs.Int64("wal-fault-enospc-after-bytes", 0, "fault injection: WAL filesystem turns sticky disk-full after this many bytes written (0 = off)")
+	faultClear := fs.String("wal-fault-clear-file", "", "fault injection: creating this file clears the injected disk-full condition (operator 'freed space')")
+	probeEvery := fs.Duration("space-probe-every", 0, "min interval between disk-space recovery probes while read-only (0 = server default, negative = probe every attempt)")
 	shards := fs.Int("shards", 0, "split the fleet into N supervised fault-domain shards (0 = single-store layout)")
 	standby := fs.Bool("standby", false, "give every shard a warm standby replaying its WAL (needs -shards and -wal)")
 	chaosSeed := fs.Int64("chaos-seed", 0, "enable deterministic fault injection with this seed (0 = off)")
@@ -159,7 +163,19 @@ func run(args []string) error {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	cfg := server.Config{FrozenDataset: !*liveIngest, Window: *window, CorrelationWindows: corrWins, Logf: logf}
+	cfg := server.Config{FrozenDataset: !*liveIngest, Window: *window, CorrelationWindows: corrWins, Logf: logf, SpaceProbeInterval: *probeEvery}
+
+	// Optional storage-fault injection: wrap the real filesystem so the WAL
+	// (and snapshot machinery) hit a deterministic ENOSPC wall mid-run. Used
+	// by the crash-consistency and read-only-degradation e2e tests.
+	var walFS iofault.FS
+	if *faultENOSPC > 0 || *faultClear != "" {
+		walFS = iofault.NewInject(iofault.Disk, iofault.InjectSpec{
+			MaxWriteBytes: *faultENOSPC,
+			ClearFile:     *faultClear,
+		})
+		logf("hpcserve: WAL fault injection armed (enospc after %d bytes, clear file %q)", *faultENOSPC, *faultClear)
+	}
 	var snapPolicy checkpoint.Policy
 	if *snapEvery > 0 {
 		snapPolicy = checkpoint.Fixed{Every: *snapEvery}
@@ -180,6 +196,7 @@ func run(args []string) error {
 				Dir:      *walDir,
 				Policy:   policy,
 				Interval: *walFsyncEvery,
+				FS:       walFS,
 			}
 			cfg.SnapshotPolicy = snapPolicy
 			cfg.Standby = *standby
@@ -211,6 +228,7 @@ func run(args []string) error {
 					Interval: *walFsyncEvery,
 				},
 				SnapshotPolicy: snapPolicy,
+				FS:             walFS,
 			}
 			if *liveIngest {
 				jcfg.Store = st

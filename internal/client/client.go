@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -124,6 +125,13 @@ func New(cfg Config) (*Client, error) {
 		rng:        rand.New(rand.NewSource(seed)),
 	}, nil
 }
+
+// ErrReadOnly marks a rejection from a server degraded to read-only mode
+// (WAL disk full: the X-Read-Only response header). It is still retryable —
+// the server probes for freed space and recovers on its own — but callers
+// that would rather reroute writes than wait can test for it with
+// errors.Is, including on the final give-up error.
+var ErrReadOnly = errors.New("client: server is read-only (event log disk full)")
 
 // APIError is a non-2xx response that was not retried away.
 type APIError struct {
@@ -232,7 +240,10 @@ func (c *Client) doRes(ctx context.Context, build func() (*http.Request, error))
 			if resp.StatusCode < 300 {
 				return last, nil
 			}
-			apiErr := &APIError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+			var apiErr error = &APIError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(body))}
+			if resp.Header.Get("X-Read-Only") == "true" {
+				apiErr = fmt.Errorf("%w: %w", ErrReadOnly, apiErr)
+			}
 			if !retryable(resp.StatusCode) {
 				return last, apiErr
 			}

@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -252,5 +253,59 @@ func TestSeededJitterDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if fmt.Sprint(a) != fmt.Sprint(b) {
 		t.Errorf("same seed, different schedules: %v vs %v", a, b)
+	}
+}
+
+// TestReadOnlyErrorTyped: a 503 carrying X-Read-Only is still retried (the
+// server recovers on its own once space frees), and when retries run out the
+// give-up error satisfies errors.Is(err, ErrReadOnly) so callers can reroute
+// writes instead of blaming the network.
+func TestReadOnlyErrorTyped(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Read-Only", "true")
+			http.Error(w, `{"error":"event log disk full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, `{"accepted":1}`)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, nil)
+	res, err := c.PostEvents(context.Background(), []Event{{System: 1, Category: "HW", HW: "CPU"}})
+	if err != nil {
+		t.Fatalf("read-only phase should be retried through: %v", err)
+	}
+	if res.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", res.Accepted)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (two read-only rejections + success)", calls)
+	}
+}
+
+// TestReadOnlyErrorSurvivesGiveUp: a permanently read-only server exhausts
+// retries and the terminal error still unwraps to ErrReadOnly and APIError.
+func TestReadOnlyErrorSurvivesGiveUp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Read-Only", "true")
+		http.Error(w, `{"error":"event log disk full"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, func(cfg *Config) { cfg.MaxRetries = 2 })
+	_, err := c.PostEvents(context.Background(), []Event{{System: 1, Category: "HW", HW: "CPU"}})
+	if err == nil {
+		t.Fatal("expected give-up error")
+	}
+	if !errors.Is(err, ErrReadOnly) {
+		t.Errorf("give-up error does not unwrap to ErrReadOnly: %v", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusServiceUnavailable {
+		t.Errorf("give-up error does not carry the 503 APIError: %v", err)
 	}
 }

@@ -1,0 +1,223 @@
+package iofault
+
+import (
+	"io"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// InjectSpec configures an Inject wrapper at construction.
+type InjectSpec struct {
+	// MaxWriteBytes is a cumulative write budget across every file: once a
+	// write would push the total past it, the filesystem turns sticky
+	// disk-full — that write and everything after fail with ENOSPC, and
+	// file creation fails too. 0 means unlimited. This is how a subprocess
+	// under test runs out of disk at a deterministic point mid-ingest.
+	MaxWriteBytes int64
+	// ClearFile, when non-empty, names a path whose existence (checked on
+	// the base FS at the next failing operation) clears the disk-full
+	// condition and resets the write budget — the test's stand-in for "an
+	// operator freed space".
+	ClearFile string
+}
+
+// Inject wraps any FS with deterministic fault injection: sticky ENOSPC
+// (armed directly or via a cumulative write budget), one-shot write errors,
+// one-shot short writes, and one-shot fsync failures. Faults trigger on the
+// operation that would consume them — no randomness, no timing. Safe for
+// concurrent use.
+type Inject struct {
+	base FS
+	spec InjectSpec
+
+	mu        sync.Mutex
+	written   int64
+	full      bool
+	nextWrite error
+	shortNext int
+	nextSync  error
+}
+
+// NewInject wraps base with the given fault spec.
+func NewInject(base FS, spec InjectSpec) *Inject {
+	return &Inject{base: Or(base), spec: spec}
+}
+
+// SetDiskFull arms or clears the sticky disk-full condition directly.
+// Clearing also resets the cumulative write budget.
+func (in *Inject) SetDiskFull(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.full = on
+	if !on {
+		in.written = 0
+	}
+}
+
+// DiskFull reports whether the disk-full condition is currently armed.
+func (in *Inject) DiskFull() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.full
+}
+
+// FailNextWrite arms a one-shot error for the next file write.
+func (in *Inject) FailNextWrite(err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nextWrite = err
+}
+
+// ShortNextWrite arms a one-shot short write: the next write persists only
+// the first n bytes and returns an io.ErrShortWrite-wrapping error.
+func (in *Inject) ShortNextWrite(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.shortNext = n
+}
+
+// FailNextSync arms a one-shot error for the next file fsync. Over a MemFS
+// base, arm the MemFS's own FailNextSync instead to get fsyncgate dirty-
+// data-drop semantics; this wrapper only reports the failure.
+func (in *Inject) FailNextSync(err error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.nextSync = err
+}
+
+// enospc builds the disk-full error every rejected operation returns.
+func enospc(op, path string) error {
+	return &os.PathError{Op: op, Path: path, Err: syscall.ENOSPC}
+}
+
+// checkFull refreshes and reports the disk-full state. Callers hold in.mu;
+// the clear-file probe releases it around the base Stat.
+func (in *Inject) checkFull() bool {
+	if !in.full || in.spec.ClearFile == "" {
+		return in.full
+	}
+	clear := in.spec.ClearFile
+	in.mu.Unlock()
+	_, err := in.base.Stat(clear)
+	in.mu.Lock()
+	if err == nil {
+		in.full = false
+		in.written = 0
+	}
+	return in.full
+}
+
+// chargeWrite applies write-path faults for an n-byte write. It returns
+// (bytes to actually write, error to report). Callers hold in.mu.
+func (in *Inject) chargeWrite(name string, n int) (int, error) {
+	if in.checkFull() {
+		return 0, enospc("write", name)
+	}
+	if err := in.nextWrite; err != nil {
+		in.nextWrite = nil
+		return 0, err
+	}
+	if s := in.shortNext; s > 0 && s < n {
+		in.shortNext = 0
+		in.written += int64(s)
+		return s, &os.PathError{Op: "write", Path: name, Err: io.ErrShortWrite}
+	}
+	if in.spec.MaxWriteBytes > 0 && in.written+int64(n) > in.spec.MaxWriteBytes {
+		in.full = true
+		return 0, enospc("write", name)
+	}
+	in.written += int64(n)
+	return n, nil
+}
+
+func (in *Inject) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&os.O_CREATE != 0 {
+		in.mu.Lock()
+		full := in.checkFull()
+		in.mu.Unlock()
+		if full {
+			if _, err := in.base.Stat(name); err != nil {
+				return nil, enospc("create", name)
+			}
+			// The file exists, so no allocation is needed to open it.
+		}
+	}
+	f, err := in.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Inject) CreateTemp(dir, pattern string) (File, error) {
+	in.mu.Lock()
+	full := in.checkFull()
+	in.mu.Unlock()
+	if full {
+		return nil, enospc("createtemp", dir)
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injFile{in: in, f: f}, nil
+}
+
+func (in *Inject) Rename(oldpath, newpath string) error { return in.base.Rename(oldpath, newpath) }
+
+func (in *Inject) Remove(name string) error { return in.base.Remove(name) }
+
+func (in *Inject) Truncate(name string, size int64) error { return in.base.Truncate(name, size) }
+
+func (in *Inject) MkdirAll(path string, perm os.FileMode) error {
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Inject) ReadDir(name string) ([]os.DirEntry, error) { return in.base.ReadDir(name) }
+
+func (in *Inject) Stat(name string) (os.FileInfo, error) { return in.base.Stat(name) }
+
+func (in *Inject) ReadFile(name string) ([]byte, error) { return in.base.ReadFile(name) }
+
+func (in *Inject) SyncDir(dir string) error { return in.base.SyncDir(dir) }
+
+// injFile wraps a base file handle with the injector's write/sync faults.
+type injFile struct {
+	in *Inject
+	f  File
+}
+
+func (f *injFile) Name() string               { return f.f.Name() }
+func (f *injFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+func (f *injFile) Stat() (os.FileInfo, error) { return f.f.Stat() }
+func (f *injFile) Truncate(size int64) error  { return f.f.Truncate(size) }
+func (f *injFile) Close() error               { return f.f.Close() }
+func (f *injFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+func (f *injFile) Write(p []byte) (int, error) {
+	f.in.mu.Lock()
+	allow, ierr := f.in.chargeWrite(f.f.Name(), len(p))
+	f.in.mu.Unlock()
+	if ierr != nil && allow == 0 {
+		return 0, ierr
+	}
+	n, werr := f.f.Write(p[:allow])
+	if werr != nil {
+		return n, werr
+	}
+	return n, ierr
+}
+
+func (f *injFile) Sync() error {
+	f.in.mu.Lock()
+	err := f.in.nextSync
+	f.in.nextSync = nil
+	f.in.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.f.Sync()
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/iofault"
 	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/wal"
@@ -94,10 +95,21 @@ type persistedSnapshot struct {
 	Active     []walEvent `json:"active"`
 }
 
+// snapshotTempPattern names the temp files WriteSnapshotFile stages through;
+// OpenJournal sweeps stale ones (crash or error path leftovers) on startup.
+const snapshotTempPattern = ".snapshot-*"
+
 // WriteSnapshotFile atomically persists an engine snapshot that covers the
 // first applied WAL records: temp file, fsync, rename. A crash mid-write
 // leaves the previous snapshot intact.
 func WriteSnapshotFile(path string, snap Snapshot, applied uint64) error {
+	return WriteSnapshotFileFS(iofault.Disk, path, snap, applied)
+}
+
+// WriteSnapshotFileFS is WriteSnapshotFile over an explicit filesystem, so
+// fault-injection tests can fail or crash any step of the write protocol.
+func WriteSnapshotFileFS(fsys iofault.FS, path string, snap Snapshot, applied uint64) error {
+	fsys = iofault.Or(fsys)
 	ps := persistedSnapshot{
 		Format:     snapshotFormat,
 		SavedAt:    time.Now().UTC(),
@@ -115,41 +127,37 @@ func WriteSnapshotFile(path string, snap Snapshot, applied uint64) error {
 	if err != nil {
 		return fmt.Errorf("risk: encoding snapshot: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), snapshotTempPattern)
 	if err != nil {
 		return fmt.Errorf("risk: snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	// Every error path below must unlink the temp, or a disk-full snapshot
+	// attempt strands partial files that themselves consume space. A crash
+	// can still orphan one — OpenJournal sweeps those.
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("risk: snapshot: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("risk: snapshot: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("risk: snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
+		fsys.Remove(tmp.Name())
 		return fmt.Errorf("risk: snapshot: %w", err)
 	}
 	// The rename must be durable before it is acted on: the caller compacts
 	// WAL segments the snapshot covers right after this returns, and a
 	// crash that kept the unlinks but lost the rename would leave the old
 	// snapshot pointing into a compacted-away WAL range.
-	return syncDir(filepath.Dir(path))
-}
-
-// syncDir fsyncs a directory so the snapshot rename inside it is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("risk: snapshot: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("risk: snapshot: syncing %s: %w", dir, err)
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("risk: snapshot: syncing %s: %w", filepath.Dir(path), err)
 	}
 	return nil
 }
@@ -157,16 +165,31 @@ func syncDir(dir string) error {
 // ReadSnapshotFile loads a persisted snapshot. A missing file returns
 // os.ErrNotExist (callers treat that as "cold start").
 func ReadSnapshotFile(path string) (Snapshot, uint64, error) {
-	data, err := os.ReadFile(path)
+	return ReadSnapshotFileFS(iofault.Disk, path)
+}
+
+// ReadSnapshotFileFS is ReadSnapshotFile over an explicit filesystem.
+func ReadSnapshotFileFS(fsys iofault.FS, path string) (Snapshot, uint64, error) {
+	data, err := iofault.Or(fsys).ReadFile(path)
 	if err != nil {
 		return Snapshot{}, 0, err
 	}
-	var ps persistedSnapshot
-	if err := json.Unmarshal(data, &ps); err != nil {
+	snap, applied, err := decodeSnapshot(data)
+	if err != nil {
 		return Snapshot{}, 0, fmt.Errorf("risk: snapshot %s: %w", path, err)
 	}
+	return snap, applied, nil
+}
+
+// decodeSnapshot parses serialized snapshot bytes. It is the fuzz surface:
+// arbitrary input must produce an error, never a panic.
+func decodeSnapshot(data []byte) (Snapshot, uint64, error) {
+	var ps persistedSnapshot
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return Snapshot{}, 0, err
+	}
 	if ps.Format != snapshotFormat {
-		return Snapshot{}, 0, fmt.Errorf("risk: snapshot %s: unsupported format %d", path, ps.Format)
+		return Snapshot{}, 0, fmt.Errorf("unsupported format %d", ps.Format)
 	}
 	snap := Snapshot{
 		Window:    time.Duration(ps.WindowNs),
@@ -215,6 +238,11 @@ type JournalConfig struct {
 	// WAL configures the log (Dir required). Policy/Interval/SegmentBytes
 	// pass through to wal.Open.
 	WAL wal.Options
+	// FS is the filesystem the journal's snapshot machinery (and, unless
+	// WAL.FS overrides it, the log) runs over. Nil means the real disk.
+	// Fault-injection and crash-sweep tests substitute an iofault.MemFS or
+	// iofault.Inject here.
+	FS iofault.FS
 	// SnapshotPolicy spaces periodic engine snapshots using a checkpoint
 	// policy (checkpoint.Fixed for constant spacing, checkpoint.RiskAware
 	// to snapshot more often while failures are arriving). Nil disables
@@ -244,6 +272,12 @@ type RecoveryStats struct {
 	// StoreApplied counts recovered events applied to the dataset store
 	// (zero when the journal has no store).
 	StoreApplied int
+	// SnapshotWALPos is the WAL position the restored snapshot covered
+	// (meaningful only when SnapshotLoaded).
+	SnapshotWALPos uint64
+	// TempsSwept counts stale snapshot temp files removed on open — debris
+	// from a crash mid-snapshot-write.
+	TempsSwept int
 }
 
 // Journal is the durable ingest path: a mutex-serialized
@@ -255,6 +289,8 @@ type Journal struct {
 	engine   *Engine
 	log      *wal.Log
 	store    *store.Store
+	fs       iofault.FS
+	dir      string
 	snapPath string
 	policy   checkpoint.Policy
 	now      func() time.Time
@@ -277,10 +313,33 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 	if now == nil {
 		now = time.Now
 	}
+	// One filesystem for everything under the WAL dir: cfg.FS wins, else the
+	// WAL's own FS (so injecting at either layer injects both), else disk.
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = cfg.WAL.FS
+	}
+	fsys = iofault.Or(fsys)
+	if cfg.WAL.FS == nil {
+		cfg.WAL.FS = fsys
+	}
+
+	// Sweep snapshot temp files stranded by a crash mid-write: they are
+	// never valid state (the rename is what commits a snapshot) and on a
+	// nearly-full disk their dead bytes matter.
+	if ents, err := fsys.ReadDir(cfg.WAL.Dir); err == nil {
+		for _, ent := range ents {
+			if ok, _ := filepath.Match(snapshotTempPattern, ent.Name()); ok && !ent.IsDir() {
+				if fsys.Remove(filepath.Join(cfg.WAL.Dir, ent.Name())) == nil {
+					stats.TempsSwept++
+				}
+			}
+		}
+	}
 
 	snapPath := filepath.Join(cfg.WAL.Dir, SnapshotFile)
 	var applied uint64
-	snap, walApplied, err := ReadSnapshotFile(snapPath)
+	snap, walApplied, err := ReadSnapshotFileFS(fsys, snapPath)
 	switch {
 	case err == nil:
 		if err := cfg.Engine.Restore(snap); err != nil {
@@ -289,6 +348,7 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 		applied = walApplied
 		stats.SnapshotLoaded = true
 		stats.SnapshotEvents = len(snap.Active)
+		stats.SnapshotWALPos = walApplied
 	case errors.Is(err, os.ErrNotExist):
 		// Cold start: replay the whole log.
 	default:
@@ -353,6 +413,8 @@ func OpenJournal(cfg JournalConfig) (*Journal, RecoveryStats, error) {
 		engine:   cfg.Engine,
 		log:      log,
 		store:    cfg.Store,
+		fs:       fsys,
+		dir:      cfg.WAL.Dir,
 		snapPath: snapPath,
 		policy:   cfg.SnapshotPolicy,
 		now:      now,
@@ -385,14 +447,16 @@ func (j *Journal) Observe(f trace.Failure) error {
 		return err
 	}
 	if _, err := j.log.Append(EncodeEvent(f)); err != nil {
-		return fmt.Errorf("%w: %v", ErrAppend, err)
+		// Double-wrap so callers can both classify (errors.Is ErrAppend) and
+		// inspect the cause — iofault.IsDiskFull needs the ENOSPC to survive.
+		return fmt.Errorf("%w: %w", ErrAppend, err)
 	}
 	if err := j.engine.Observe(f); err != nil {
 		return err
 	}
 	if j.store != nil {
 		if _, err := j.store.Append([]trace.Failure{f}); err != nil {
-			return fmt.Errorf("%w: dataset store: %v", ErrAppend, err)
+			return fmt.Errorf("%w: dataset store: %w", ErrAppend, err)
 		}
 	}
 	return nil
@@ -444,7 +508,7 @@ func (j *Journal) snapshotLocked(now time.Time) error {
 	if err := j.log.Sync(); err != nil {
 		return err
 	}
-	if err := WriteSnapshotFile(j.snapPath, j.engine.Snapshot(), applied); err != nil {
+	if err := WriteSnapshotFileFS(j.fs, j.snapPath, j.engine.Snapshot(), applied); err != nil {
 		return err
 	}
 	if err := j.log.Compact(applied); err != nil {
@@ -467,6 +531,40 @@ func (j *Journal) WALSegments() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.log.Segments()
+}
+
+// WALFirst returns the index of the first record still in the WAL.
+func (j *Journal) WALFirst() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.log.First()
+}
+
+// ProbeSpace checks whether the journal's filesystem can allocate again by
+// writing and fsyncing a tiny probe file in the WAL directory. The serving
+// layer calls this to decide when to leave read-only mode after ENOSPC: a
+// successful probe means an append is worth attempting. The probe is removed
+// on every path.
+func (j *Journal) ProbeSpace() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := j.fs.CreateTemp(j.dir, ".space-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	defer j.fs.Remove(name)
+	// A real ENOSPC can admit a 0-byte create and still fail the data write
+	// or the flush, so probe all three steps with a block-ish payload.
+	if _, err := f.Write(make([]byte, 512)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Close syncs and closes the WAL. Further Observe calls fail.

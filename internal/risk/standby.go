@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/iofault"
 	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
 	"github.com/hpcfail/hpcfail/internal/wal"
@@ -38,6 +39,9 @@ type StandbyConfig struct {
 	// BatchMax bounds one ship batch (records per replication round-trip);
 	// 0 means 512.
 	BatchMax int
+	// FS is the filesystem the leader's WAL directory lives on. Nil means
+	// the real disk.
+	FS iofault.FS
 }
 
 // Standby is a warm replica of one shard's engine state. Methods are safe
@@ -46,6 +50,7 @@ type StandbyConfig struct {
 type Standby struct {
 	mu       sync.Mutex
 	dir      string
+	fs       iofault.FS
 	engine   *Engine
 	st       *store.Store
 	follower *wal.Follower
@@ -74,9 +79,10 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 	if batchMax <= 0 {
 		batchMax = 512
 	}
-	s := &Standby{dir: cfg.Dir, engine: cfg.Engine, st: cfg.Store, batchMax: batchMax}
+	fsys := iofault.Or(cfg.FS)
+	s := &Standby{dir: cfg.Dir, fs: fsys, engine: cfg.Engine, st: cfg.Store, batchMax: batchMax}
 
-	snap, walApplied, err := ReadSnapshotFile(filepath.Join(cfg.Dir, SnapshotFile))
+	snap, walApplied, err := ReadSnapshotFileFS(fsys, filepath.Join(cfg.Dir, SnapshotFile))
 	switch {
 	case err == nil:
 		if rerr := cfg.Engine.Restore(snap); rerr != nil {
@@ -94,7 +100,7 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 		return nil, err
 	}
 
-	f, err := wal.OpenFollower(cfg.Dir)
+	f, err := wal.OpenFollowerFS(fsys, cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -271,6 +277,9 @@ func (s *Standby) Promote(policy checkpoint.Policy, opts wal.Options, now func()
 		now = time.Now
 	}
 	opts.Dir = s.dir
+	if opts.FS == nil {
+		opts.FS = s.fs
+	}
 	log, err := wal.Open(opts)
 	if err != nil {
 		return nil, fmt.Errorf("risk: promote: %w", err)
@@ -311,6 +320,8 @@ func (s *Standby) Promote(policy checkpoint.Policy, opts wal.Options, now func()
 		engine:   s.engine,
 		log:      log,
 		store:    s.st,
+		fs:       s.fs,
+		dir:      s.dir,
 		snapPath: filepath.Join(s.dir, SnapshotFile),
 		policy:   policy,
 		now:      now,

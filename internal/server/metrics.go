@@ -26,6 +26,9 @@ type metrics struct {
 	degraded    atomic.Uint64 // condprob requests served degraded (circuit open)
 	idemReplays atomic.Uint64 // POST /v1/events replays served from the idempotency cache
 	partial     atomic.Uint64 // scatter-gather responses answered with X-Partial: true
+	// readOnlyRejects counts event POSTs shed at the read-only gate (the
+	// in-batch ENOSPC fault itself is counted by the fabric's walAppendErrs).
+	readOnlyRejects atomic.Uint64
 }
 
 type routeCode struct {
@@ -85,6 +88,7 @@ type shardGauge struct {
 	lag        uint64 // WAL records the standby trails the leader by
 	failovers  uint64
 	hasStandby bool
+	diskFull   bool // shard is in read-only mode (WAL disk full)
 }
 
 // gauges carries point-in-time values the registry does not own.
@@ -97,6 +101,9 @@ type gauges struct {
 	breakerTrips   uint64
 	walRecords     uint64
 	walSegments    int
+	readOnly       bool   // any shard in read-only mode
+	readOnlyEntry  uint64 // read-only-mode entries since start
+	walAppendErrs  uint64 // WAL append/sync/snapshot failures since start
 	datasetVersion uint64
 	datasetEvents  int
 	storeAppends   uint64
@@ -190,6 +197,18 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# HELP hpcserve_wal_segments Live write-ahead-log segment files.")
 	fmt.Fprintln(w, "# TYPE hpcserve_wal_segments gauge")
 	fmt.Fprintf(w, "hpcserve_wal_segments %d\n", g.walSegments)
+	fmt.Fprintln(w, "# HELP hpcserve_read_only Whether any shard is rejecting writes because its WAL disk is full.")
+	fmt.Fprintln(w, "# TYPE hpcserve_read_only gauge")
+	fmt.Fprintf(w, "hpcserve_read_only %d\n", b2i(g.readOnly))
+	fmt.Fprintln(w, "# HELP hpcserve_read_only_entries_total Times a shard entered read-only mode (WAL disk full).")
+	fmt.Fprintln(w, "# TYPE hpcserve_read_only_entries_total counter")
+	fmt.Fprintf(w, "hpcserve_read_only_entries_total %d\n", g.readOnlyEntry)
+	fmt.Fprintln(w, "# HELP hpcserve_read_only_rejects_total Event POSTs rejected at the read-only gate.")
+	fmt.Fprintln(w, "# TYPE hpcserve_read_only_rejects_total counter")
+	fmt.Fprintf(w, "hpcserve_read_only_rejects_total %d\n", m.readOnlyRejects.Load())
+	fmt.Fprintln(w, "# HELP hpcserve_wal_append_errors_total WAL append, sync or snapshot failures.")
+	fmt.Fprintln(w, "# TYPE hpcserve_wal_append_errors_total counter")
+	fmt.Fprintf(w, "hpcserve_wal_append_errors_total %d\n", g.walAppendErrs)
 	fmt.Fprintln(w, "# HELP hpcserve_dataset_version Current version of the dataset store.")
 	fmt.Fprintln(w, "# TYPE hpcserve_dataset_version gauge")
 	fmt.Fprintf(w, "hpcserve_dataset_version %d\n", g.datasetVersion)
@@ -224,6 +243,11 @@ func (m *metrics) write(w io.Writer, g gauges) {
 	fmt.Fprintln(w, "# TYPE hpcserve_wal_replication_lag_records gauge")
 	for i, sg := range g.shards {
 		fmt.Fprintf(w, "hpcserve_wal_replication_lag_records{shard=\"%d\"} %d\n", i, sg.lag)
+	}
+	fmt.Fprintln(w, "# HELP hpcserve_shard_disk_full Whether the shard's WAL disk is full (shard is read-only).")
+	fmt.Fprintln(w, "# TYPE hpcserve_shard_disk_full gauge")
+	for i, sg := range g.shards {
+		fmt.Fprintf(w, "hpcserve_shard_disk_full{shard=\"%d\"} %d\n", i, b2i(sg.diskFull))
 	}
 
 	admRoutes := make([]string, 0, len(g.admission))

@@ -51,6 +51,7 @@ import (
 
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
+	"github.com/hpcfail/hpcfail/internal/iofault"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/stats"
 	"github.com/hpcfail/hpcfail/internal/store"
@@ -134,6 +135,11 @@ type Config struct {
 	// HeartbeatDeadline expires a Ready shard that has not heartbeaten;
 	// defaults to store.DefaultHeartbeatDeadline.
 	HeartbeatDeadline time.Duration
+	// SpaceProbeInterval spaces the disk-space probes that let a shard leave
+	// read-only mode after its WAL filled (see DESIGN.md §5i). Zero means
+	// the 5s default; negative probes on every gated write attempt (tests
+	// use that for determinism).
+	SpaceProbeInterval time.Duration
 	// OnStart, when set, is invoked in its own goroutine once ServeListener
 	// is accepting — the hook the shard-chaos injector uses to reach the
 	// running server.
@@ -237,6 +243,14 @@ func New(cfg Config) (*Server, error) {
 		if fab, err = newSingleFabric(st, engine, cfg.Journal, br, cfg, now, logf); err != nil {
 			return nil, err
 		}
+	}
+	switch {
+	case cfg.SpaceProbeInterval < 0:
+		fab.probeEvery = 0 // probe on every gated write attempt
+	case cfg.SpaceProbeInterval == 0:
+		fab.probeEvery = 5 * time.Second
+	default:
+		fab.probeEvery = cfg.SpaceProbeInterval
 	}
 	timeout := cfg.RequestTimeout
 	if timeout <= 0 {
@@ -397,9 +411,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	ready, rows := s.fabric.status()
 	code := http.StatusOK
 	status := "ready"
-	if !ready {
+	switch {
+	case !ready:
 		code = http.StatusServiceUnavailable
 		status = "not-ready"
+	case s.fabric.readOnly():
+		// Reads still serve — load balancers should keep routing queries —
+		// but the status tells operators writes are being rejected.
+		status = "read-only"
 	}
 	s.writeJSON(w, code, map[string]any{"status": status, "shards": rows})
 }
@@ -408,10 +427,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	f := s.fabric
 	open, trips := s.breaker.snapshot()
 	g := gauges{
-		cacheEntries: s.cache.Len(),
-		breakerOpen:  open,
-		breakerTrips: trips,
-		admission:    make(map[string]admissionGauge, len(s.limits)),
+		cacheEntries:  s.cache.Len(),
+		breakerOpen:   open,
+		breakerTrips:  trips,
+		readOnlyEntry: f.roEntries.Load(),
+		walAppendErrs: f.walAppendErrs.Load(),
+		admission:     make(map[string]admissionGauge, len(s.limits)),
 	}
 	now := s.now()
 	for i, sh := range f.shards {
@@ -430,7 +451,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			healthy:   f.sup.State(i) == store.ShardReady,
 			version:   dsnap.Version(),
 			failovers: sh.failovers.Load(),
+			diskFull:  sh.diskFull.Load(),
 		}
+		g.readOnly = g.readOnly || sg.diskFull
 		if j != nil {
 			g.walRecords += j.WALCount()
 			g.walSegments += j.WALSegments()
@@ -1198,6 +1221,17 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// event survives a crash. An event for a down shard is rejected
 	// per-event — the rest of the batch still lands.
 	fab := s.fabric
+	// Read-only gate: while any shard's WAL disk is full, writes are shed
+	// here (503 + Retry-After + X-Read-Only) after one rate-limited probe
+	// for recovered space. Nothing was ingested, so the idempotency
+	// reservation is abandoned (deferred above) and a retry re-contends.
+	if !fab.ensureWritable(s.now()) {
+		s.metrics.readOnlyRejects.Add(1)
+		w.Header().Set("Retry-After", retryAfter)
+		w.Header().Set("X-Read-Only", "true")
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event log disk full: serving reads only"))
+		return
+	}
 	// Accepted events batch-append to each shard's dataset store unless the
 	// dataset is frozen or that shard's journal already applies its
 	// observes to the same store (one writer per canonical log, never two).
@@ -1242,12 +1276,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				// that rely on acked==durable. Fail the whole request —
 				// and record the failure under the idempotency key, because
 				// events earlier in the batch are already durable and
-				// observed: a retry must replay this 500, not re-ingest
+				// observed: a retry must replay this outcome, not re-ingest
 				// that prefix. The durable prefix still reaches the store,
 				// keeping dataset and engine telling one story.
 				s.logf("server: %v", err)
+				fab.walAppendErrs.Add(1)
 				flushStore()
 				w.Header().Set("X-Dataset-Version", strconv.FormatUint(fab.maxVersion(), 10))
+				if iofault.IsDiskFull(err) {
+					// Disk full is the one append fault the server survives
+					// degraded: latch read-only, keep serving reads, and
+					// tell the client to retry once space returns.
+					fab.markDiskFull(owner)
+					w.Header().Set("Retry-After", retryAfter)
+					w.Header().Set("X-Read-Only", "true")
+					if accepted > 0 {
+						// A durable prefix exists — record the 503 under the
+						// idempotency key so a retry replays it instead of
+						// double-ingesting the prefix.
+						respond(http.StatusServiceUnavailable, apiError{Error: "event log disk full: serving reads only"})
+					} else {
+						// Nothing durable: abandon the reservation so the
+						// retry re-contends after space recovers.
+						s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("event log disk full: serving reads only"))
+					}
+					return
+				}
 				respond(http.StatusInternalServerError, apiError{Error: "event log unavailable"})
 				return
 			}

@@ -24,6 +24,7 @@ import (
 
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
 	"github.com/hpcfail/hpcfail/internal/correlate"
+	"github.com/hpcfail/hpcfail/internal/iofault"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/store"
 	"github.com/hpcfail/hpcfail/internal/trace"
@@ -63,6 +64,13 @@ type shard struct {
 	// stall injects latency (ns) into every call — the chaos hook that makes
 	// a shard slow without making it dead.
 	stall atomic.Int64
+	// diskFull is the sticky read-only latch: set when a WAL append (or
+	// sync/snapshot) fails with ENOSPC, cleared only by a successful space
+	// probe. While set, the shard rejects writes but keeps serving reads —
+	// the durable state it already acknowledged stays queryable.
+	diskFull atomic.Bool
+	// lastProbe rate-limits space probes (unix nanos of the last attempt).
+	lastProbe atomic.Int64
 
 	mu      sync.RWMutex
 	st      *store.Store
@@ -115,8 +123,15 @@ type fabric struct {
 	// corrWindows are the correlation windows every shard's miner maintains
 	// (nil = correlate.DefaultWindows); promotion rebuilds miners with them.
 	corrWindows []time.Duration
-	now         func() time.Time
-	logf        func(format string, args ...any)
+	// probeEvery spaces disk-space probes while a shard is read-only
+	// (0 = probe on every write attempt; tests use that for determinism).
+	probeEvery time.Duration
+	// roEntries counts read-only-mode entries; walAppendErrs counts WAL
+	// append/sync/snapshot failures. Both feed /metrics.
+	roEntries     atomic.Uint64
+	walAppendErrs atomic.Uint64
+	now           func() time.Time
+	logf          func(format string, args ...any)
 }
 
 func (f *fabric) walOptsOf(i int) wal.Options {
@@ -239,6 +254,70 @@ func (f *fabric) detachJournal(i int) {
 			f.logf("hpcserve: shard %d: closing dead leader journal: %v", i, err)
 		}
 	}
+}
+
+// markDiskFull latches shard i into read-only mode. It reports whether this
+// call made the transition (the caller counts entries exactly once).
+func (f *fabric) markDiskFull(i int) bool {
+	if f.shards[i].diskFull.CompareAndSwap(false, true) {
+		f.roEntries.Add(1)
+		f.logf("hpcserve: shard %d: WAL disk full, entering read-only mode (reads keep serving)", i)
+		return true
+	}
+	return false
+}
+
+// tryClearDiskFull probes shard i's filesystem for recovered space and, on
+// success, leaves read-only mode. Probes are rate-limited by probeEvery so a
+// write storm against a full disk does not turn into a probe storm. It
+// reports whether the shard is writable now.
+func (f *fabric) tryClearDiskFull(i int, now time.Time) bool {
+	sh := f.shards[i]
+	if !sh.diskFull.Load() {
+		return true
+	}
+	if f.probeEvery > 0 {
+		last := sh.lastProbe.Load()
+		if now.UnixNano()-last < int64(f.probeEvery) {
+			return false
+		}
+		if !sh.lastProbe.CompareAndSwap(last, now.UnixNano()) {
+			return false // another request owns this probe slot
+		}
+	}
+	_, _, j := sh.view()
+	if j == nil {
+		return false
+	}
+	if err := j.ProbeSpace(); err != nil {
+		return false
+	}
+	sh.diskFull.Store(false)
+	f.logf("hpcserve: shard %d: disk space recovered, leaving read-only mode", i)
+	return true
+}
+
+// ensureWritable probes every read-only shard once (rate-limited) and
+// reports whether the whole fabric accepts writes. Ingest gates on this so a
+// disk-full episode turns into fast 503s instead of per-event append faults.
+func (f *fabric) ensureWritable(now time.Time) bool {
+	ok := true
+	for i, sh := range f.shards {
+		if sh.diskFull.Load() && !f.tryClearDiskFull(i, now) {
+			ok = false
+		}
+	}
+	return ok
+}
+
+// readOnly reports whether any shard is in read-only mode.
+func (f *fabric) readOnly() bool {
+	for _, sh := range f.shards {
+		if sh.diskFull.Load() {
+			return true
+		}
+	}
+	return false
 }
 
 // killShard marks shard i Down and fences its journal.
@@ -387,10 +466,22 @@ func (f *fabric) maintain(now time.Time) {
 		if j == nil {
 			continue
 		}
+		// A read-only shard skips sync and snapshots (both allocate) and
+		// probes for recovered space instead.
+		if f.shards[i].diskFull.Load() && !f.tryClearDiskFull(i, now) {
+			continue
+		}
 		if err := j.Sync(); err != nil {
+			f.walAppendErrs.Add(1)
+			if iofault.IsDiskFull(err) {
+				f.markDiskFull(i)
+			}
 			f.logf("hpcserve: shard %d wal sync: %v", i, err)
 		}
 		if wrote, err := j.MaybeSnapshot(now); err != nil {
+			if iofault.IsDiskFull(err) {
+				f.markDiskFull(i)
+			}
 			f.logf("hpcserve: shard %d snapshot: %v", i, err)
 		} else if wrote {
 			f.logf("hpcserve: shard %d snapshot written (%d wal records applied)", i, j.WALCount())
@@ -499,6 +590,8 @@ type shardStatus struct {
 	Reason  string `json:"reason,omitempty"`
 	Standby string `json:"standby,omitempty"`
 	Systems int    `json:"systems"`
+	// ReadOnly marks a shard whose WAL disk is full: reads serve, writes 503.
+	ReadOnly bool `json:"read_only,omitempty"`
 }
 
 // status reports readiness: every shard Ready and every standby warm. A
@@ -510,7 +603,7 @@ func (f *fabric) status() (bool, []shardStatus) {
 	rows := make([]shardStatus, f.n())
 	for i, sh := range f.shards {
 		st := f.sup.State(i)
-		row := shardStatus{Shard: i, State: st.String(), Reason: f.sup.Reason(i), Systems: len(sh.systems)}
+		row := shardStatus{Shard: i, State: st.String(), Reason: f.sup.Reason(i), Systems: len(sh.systems), ReadOnly: sh.diskFull.Load()}
 		if st != store.ShardReady {
 			ready = false
 		}
@@ -734,7 +827,7 @@ func newShardedFabric(cfg Config, n int, w time.Duration, now func() time.Time, 
 				// same boot partition; it replays the leader's WAL through the
 				// follower, so promotion reproduces the leader's state.
 				sds := cfg.Dataset.FilterSystems(ids[i]...)
-				sc := risk.StandbyConfig{Dir: f.walOptsOf(i).Dir}
+				sc := risk.StandbyConfig{Dir: f.walOptsOf(i).Dir, FS: cfg.ShardWAL.FS}
 				if cfg.FrozenDataset {
 					sengine, err := risk.FromDataset(sds, w)
 					if err != nil {

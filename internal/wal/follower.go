@@ -17,6 +17,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"github.com/hpcfail/hpcfail/internal/iofault"
 )
 
 // ErrGap reports that the follower's position was compacted away: the
@@ -28,6 +30,7 @@ var ErrGap = errors.New("wal: follower position compacted away")
 // concurrent use; the standby serializes access.
 type Follower struct {
 	dir string
+	fs  iofault.FS
 	pos uint64 // global index of the next record to yield
 	seg string // basename of the segment containing pos ("" = locate lazily)
 	off int64  // byte offset of the next record within seg
@@ -37,16 +40,24 @@ type Follower struct {
 // log in dir. A missing or empty directory is fine — the follower starts at
 // record 0 and picks segments up as the leader creates them.
 func OpenFollower(dir string) (*Follower, error) {
+	return OpenFollowerFS(nil, dir)
+}
+
+// OpenFollowerFS is OpenFollower over an explicit filesystem (nil means
+// the real disk); the follower must read through the same FS the leader
+// writes through, or fault-injection tests would tail a log that does not
+// exist.
+func OpenFollowerFS(fsys iofault.FS, dir string) (*Follower, error) {
 	if dir == "" {
 		return nil, errors.New("wal: follower needs a directory")
 	}
-	f := &Follower{dir: dir}
-	names, err := segmentFiles(dir)
+	f := &Follower{dir: dir, fs: iofault.Or(fsys)}
+	names, err := segmentFiles(f.fs, dir)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
 	if len(names) > 0 {
-		first, _, _, err := scanSegment(filepath.Join(dir, names[0]))
+		first, _, _, err := scanSegment(f.fs, filepath.Join(dir, names[0]))
 		if err != nil {
 			return nil, fmt.Errorf("wal: follower: %s: %w", names[0], err)
 		}
@@ -72,7 +83,7 @@ func (f *Follower) Seek(pos uint64) {
 // segmentList reads the directory and returns segment basenames ascending.
 // A directory that does not exist yet reads as empty.
 func (f *Follower) segmentList() ([]string, error) {
-	names, err := segmentFiles(f.dir)
+	names, err := segmentFiles(f.fs, f.dir)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
 			return nil, nil
@@ -93,7 +104,7 @@ func (f *Follower) locate(names []string) error {
 	chosen := ""
 	var chosenFirst uint64
 	for _, name := range names {
-		first, err := readSegmentFirst(filepath.Join(f.dir, name))
+		first, err := readSegmentFirst(f.fs, filepath.Join(f.dir, name))
 		if err != nil {
 			return err
 		}
@@ -107,7 +118,7 @@ func (f *Follower) locate(names []string) error {
 		return fmt.Errorf("%w (want record %d, oldest live segment starts later)", ErrGap, f.pos)
 	}
 	// Scan frames forward to the target record.
-	file, err := os.Open(filepath.Join(f.dir, chosen))
+	file, err := iofault.Open(f.fs, filepath.Join(f.dir, chosen))
 	if err != nil {
 		return fmt.Errorf("wal: follower: %w", err)
 	}
@@ -136,8 +147,8 @@ func (f *Follower) locate(names []string) error {
 }
 
 // readSegmentFirst reads just a segment's header first-record index.
-func readSegmentFirst(path string) (uint64, error) {
-	file, err := os.Open(path)
+func readSegmentFirst(fsys iofault.FS, path string) (uint64, error) {
+	file, err := iofault.Open(fsys, path)
 	if err != nil {
 		return 0, fmt.Errorf("wal: follower: %w", err)
 	}
@@ -179,7 +190,7 @@ func (f *Follower) Next(max int, fn func(idx uint64, payload []byte) error) (int
 	read := 0
 	var buf []byte
 	for {
-		file, err := os.Open(filepath.Join(f.dir, f.seg))
+		file, err := iofault.Open(f.fs, filepath.Join(f.dir, f.seg))
 		if err != nil {
 			return read, fmt.Errorf("wal: follower: %w", err)
 		}
@@ -216,7 +227,7 @@ func (f *Follower) Next(max int, fn func(idx uint64, payload []byte) error) (int
 		if next == "" {
 			return read, nil
 		}
-		first, err := readSegmentFirst(filepath.Join(f.dir, next))
+		first, err := readSegmentFirst(f.fs, filepath.Join(f.dir, next))
 		if err != nil {
 			return read, err
 		}

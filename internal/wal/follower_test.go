@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/iofault"
 )
 
 // tail drains the follower and returns the records as strings, asserting
@@ -267,7 +269,7 @@ func TestFollowerIgnoresTornTail(t *testing.T) {
 
 	// Simulate a crash mid-append: a frame header promising more bytes than
 	// were written lands after the valid tail of the only segment.
-	names, err := segmentFiles(dir)
+	names, err := segmentFiles(iofault.Disk, dir)
 	if err != nil || len(names) != 1 {
 		t.Fatalf("segmentFiles = %v, %v", names, err)
 	}

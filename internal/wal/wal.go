@@ -32,6 +32,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"github.com/hpcfail/hpcfail/internal/iofault"
 )
 
 // SyncPolicy selects when appends reach stable storage.
@@ -108,6 +110,10 @@ type Options struct {
 	Interval time.Duration
 	// Now supplies the clock for SyncInterval; defaults to time.Now.
 	Now func() time.Time
+	// FS routes every file operation; nil means the real disk
+	// (iofault.Disk). Tests substitute a fault-injecting or in-memory
+	// filesystem here.
+	FS iofault.FS
 }
 
 // Log is an open write-ahead log. Append/Sync/Close are safe for use from
@@ -119,14 +125,16 @@ type Log struct {
 	policy   SyncPolicy
 	interval time.Duration
 	now      func() time.Time
+	fs       iofault.FS
 
-	f        *os.File // current (newest) segment
+	f        iofault.File // current (newest) segment
 	fSize    int64
 	segs     []segment // all live segments, ascending
 	count    uint64    // global index of the next record appended
 	dirty    bool      // unsynced appends outstanding
 	lastSync time.Time
 	closed   bool
+	fail     error // sticky poison: set once durability can no longer be promised
 }
 
 // segment is one live segment file.
@@ -143,7 +151,8 @@ func Open(opts Options) (*Log, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("wal: empty directory")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := iofault.Or(opts.FS)
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	l := &Log{
@@ -152,6 +161,7 @@ func Open(opts Options) (*Log, error) {
 		policy:   opts.Policy,
 		interval: opts.Interval,
 		now:      opts.Now,
+		fs:       fsys,
 	}
 	if l.segBytes <= 0 {
 		l.segBytes = DefaultSegmentBytes
@@ -163,7 +173,7 @@ func Open(opts Options) (*Log, error) {
 		l.now = time.Now
 	}
 
-	names, err := segmentFiles(opts.Dir)
+	names, err := segmentFiles(fsys, opts.Dir)
 	if err != nil {
 		return nil, err
 	}
@@ -173,14 +183,14 @@ func Open(opts Options) (*Log, error) {
 		if last {
 			// A crash during rotation can leave the newest segment with a
 			// torn header; it holds no records, so discard it.
-			if fi, serr := os.Stat(path); serr == nil && fi.Size() < int64(headerSize) {
-				if err := os.Remove(path); err != nil {
+			if fi, serr := fsys.Stat(path); serr == nil && fi.Size() < int64(headerSize) {
+				if err := fsys.Remove(path); err != nil {
 					return nil, fmt.Errorf("wal: removing torn segment %s: %w", name, err)
 				}
 				break
 			}
 		}
-		first, n, validLen, err := scanSegment(path)
+		first, n, validLen, err := scanSegment(fsys, path)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %s: %w", name, err)
 		}
@@ -188,12 +198,12 @@ func Open(opts Options) (*Log, error) {
 			// A tear inside a non-final segment is not a crash artifact
 			// (later segments exist, so this one was complete once): refuse
 			// rather than silently drop acknowledged records.
-			if fi, serr := os.Stat(path); serr == nil && fi.Size() != validLen {
+			if fi, serr := fsys.Stat(path); serr == nil && fi.Size() != validLen {
 				return nil, fmt.Errorf("wal: %s: corrupt record mid-log (valid to byte %d of %d)", name, validLen, fi.Size())
 			}
-		} else if fi, serr := os.Stat(path); serr == nil && fi.Size() != validLen {
+		} else if fi, serr := fsys.Stat(path); serr == nil && fi.Size() != validLen {
 			// Torn tail of the newest segment: truncate to the valid prefix.
-			if err := os.Truncate(path, validLen); err != nil {
+			if err := fsys.Truncate(path, validLen); err != nil {
 				return nil, fmt.Errorf("wal: truncating torn tail of %s: %w", name, err)
 			}
 		}
@@ -214,7 +224,7 @@ func Open(opts Options) (*Log, error) {
 		}
 	} else {
 		path := l.segs[len(l.segs)-1].path
-		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -231,8 +241,8 @@ func Open(opts Options) (*Log, error) {
 }
 
 // segmentFiles lists the directory's segment files in ascending order.
-func segmentFiles(dir string) ([]string, error) {
-	ents, err := os.ReadDir(dir)
+func segmentFiles(fsys iofault.FS, dir string) ([]string, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -250,8 +260,8 @@ func segmentFiles(dir string) ([]string, error) {
 // valid records it holds, and the byte length of the valid prefix. A short
 // or checksum-failing record ends the scan without error (that is the torn
 // tail Open truncates); a corrupt header is an error.
-func scanSegment(path string) (first, n uint64, validLen int64, err error) {
-	f, err := os.Open(path)
+func scanSegment(fsys iofault.FS, path string) (first, n uint64, validLen int64, err error) {
+	f, err := iofault.Open(fsys, path)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -302,6 +312,13 @@ func readRecord(r io.Reader, buf []byte) ([]byte, bool) {
 	if length > MaxRecord {
 		return nil, false
 	}
+	// An empty record's frame would be eight zero bytes (CRC32C of nothing
+	// is zero) — indistinguishable from a zeroed gap left by dropped pages,
+	// a sparse hole, or an unwritten tail. Append refuses empty payloads,
+	// so a zero-length frame here is always damage, never data.
+	if length == 0 {
+		return nil, false
+	}
 	if cap(buf) < int(length) {
 		buf = make([]byte, length)
 	}
@@ -316,14 +333,40 @@ func readRecord(r io.Reader, buf []byte) ([]byte, bool) {
 }
 
 // rotate syncs and closes the current segment and starts the next one.
+// Failures that leave durability in doubt (a failed fsync of either
+// segment, an unverifiable directory sync) poison the log; a failed
+// creation of the next segment — the way ENOSPC usually lands at a
+// rotation boundary — reattaches the sealed tail segment instead, so the
+// log stays usable and the next append simply retries the rotation.
 func (l *Log) rotate() error {
 	if l.f != nil {
 		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: %w", err)
+			// fsyncgate: the kernel may have dropped the dirty pages; a
+			// retried fsync would report success without persisting them.
+			l.fail = fmt.Errorf("wal: fsync failed sealing segment, log poisoned: %w", err)
+			return l.fail
 		}
 		if err := l.f.Close(); err != nil {
-			return fmt.Errorf("wal: %w", err)
+			l.fail = fmt.Errorf("wal: closing sealed segment, log poisoned: %w", err)
+			return l.fail
 		}
+		l.f = nil
+	}
+	// abort backs out of a failed rotation without poisoning: reopen the
+	// sealed tail segment for appends (every byte in it is synced, so
+	// nothing acknowledged is at risk) and report the cause. Only if even
+	// that fails is the log dead.
+	abort := func(cause error) error {
+		if len(l.segs) == 0 {
+			return cause
+		}
+		f, err := l.fs.OpenFile(l.segs[len(l.segs)-1].path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			l.fail = fmt.Errorf("wal: rotation failed (%v) and tail segment would not reopen, log poisoned: %w", cause, err)
+			return l.fail
+		}
+		l.f = f
+		return cause
 	}
 	seq := 1
 	if n := len(l.segs); n > 0 {
@@ -335,16 +378,17 @@ func (l *Log) rotate() error {
 		}
 	}
 	path := filepath.Join(l.dir, fmt.Sprintf("wal-%08d.seg", seq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return abort(fmt.Errorf("wal: %w", err))
 	}
 	var hdr [headerSize]byte
 	copy(hdr[:], magic)
 	binary.BigEndian.PutUint64(hdr[len(magic):], l.count)
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
-		return fmt.Errorf("wal: %w", err)
+		l.fs.Remove(path)
+		return abort(fmt.Errorf("wal: %w", err))
 	}
 	// The new segment (file + header) must be durable before rotation
 	// completes: Compact may later unlink every predecessor, and if the
@@ -354,12 +398,18 @@ func (l *Log) rotate() error {
 	// snapshot that claims more. One fsync per rotation is noise next to
 	// the per-append policy.
 	if err := f.Sync(); err != nil {
+		// The new segment holds no records yet, so a failed fsync here
+		// risks nothing acknowledged: drop the file and back out.
 		f.Close()
-		return fmt.Errorf("wal: %w", err)
+		l.fs.Remove(path)
+		return abort(fmt.Errorf("wal: %w", err))
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := l.fs.SyncDir(l.dir); err != nil {
+		// Directory state is now unknowable: the new entry (and the header
+		// fsync's claim) may or may not be durable. Fail-stop.
 		f.Close()
-		return err
+		l.fail = fmt.Errorf("wal: syncing directory %s, log poisoned: %w", l.dir, err)
+		return l.fail
 	}
 	l.f = f
 	l.fSize = int64(headerSize)
@@ -368,13 +418,25 @@ func (l *Log) rotate() error {
 }
 
 // Append adds one record and applies the fsync policy. It returns the
-// record's global index (0-based).
+// record's global index (0-based). A failed or short frame write is rolled
+// back (the segment is truncated to the last record boundary) and reported
+// without poisoning the log — transient conditions like ENOSPC stay
+// retryable once the cause clears; only a failed rollback, or any failed
+// fsync, is fail-stop.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.fail != nil {
+		return 0, l.fail
+	}
 	if l.closed {
 		return 0, errors.New("wal: log closed")
 	}
 	if len(payload) > MaxRecord {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+	}
+	if len(payload) == 0 {
+		// See readRecord: an empty record's frame is all zeros, which
+		// recovery must be free to treat as a torn or dropped region.
+		return 0, errors.New("wal: empty records are not representable")
 	}
 	if l.fSize >= l.segBytes {
 		if err := l.rotate(); err != nil {
@@ -385,7 +447,23 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
 	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	copy(buf[frameSize:], payload)
-	if _, err := l.f.Write(buf); err != nil {
+	if n, err := l.f.Write(buf); err != nil {
+		if n > 0 {
+			// A partial frame reached the file: cut it back to the record
+			// boundary so the segment never ends mid-frame on disk. The
+			// offset must rewind too — freshly rotated segments are not
+			// opened O_APPEND, and writing at the stale offset after a
+			// truncate would leave a zero hole that replays as a phantom
+			// empty record.
+			if terr := l.f.Truncate(l.fSize); terr != nil {
+				l.fail = fmt.Errorf("wal: append failed (%v) and rollback truncate failed, log poisoned: %w", err, terr)
+				return 0, l.fail
+			}
+			if _, serr := l.f.Seek(l.fSize, io.SeekStart); serr != nil {
+				l.fail = fmt.Errorf("wal: append failed (%v) and rollback seek failed, log poisoned: %w", err, serr)
+				return 0, l.fail
+			}
+		}
 		return 0, fmt.Errorf("wal: %w", err)
 	}
 	l.fSize += int64(len(buf))
@@ -410,7 +488,13 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 
 func (l *Log) sync() error {
 	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: %w", err)
+		// fsyncgate: after a failed fsync the kernel may drop the dirty
+		// pages, so a retried fsync would "succeed" without the data ever
+		// reaching stable storage. The only honest response is fail-stop:
+		// poison the log so every later Append/Sync returns this error
+		// instead of acknowledging writes that cannot be made durable.
+		l.fail = fmt.Errorf("wal: fsync failed, log poisoned (dirty pages may be dropped; a retry would lie): %w", err)
+		return l.fail
 	}
 	l.dirty = false
 	l.lastSync = l.now()
@@ -419,11 +503,19 @@ func (l *Log) sync() error {
 
 // Sync flushes outstanding appends to stable storage regardless of policy.
 func (l *Log) Sync() error {
+	if l.fail != nil {
+		return l.fail
+	}
 	if l.closed || !l.dirty {
 		return nil
 	}
 	return l.sync()
 }
+
+// Err returns the sticky poison error, or nil while the log is healthy.
+// Once set (a failed fsync, an unrecoverable rotation or rollback) it never
+// clears: the process must restart and recover from what is durable.
+func (l *Log) Err() error { return l.fail }
 
 // Count returns the global index of the next record to be appended — i.e.
 // how many records the log has ever held (compacted ones included).
@@ -442,26 +534,20 @@ func (l *Log) Dirty() bool { return l.dirty }
 // Segments returns how many live segment files back the log.
 func (l *Log) Segments() int { return len(l.segs) }
 
-// syncDir fsyncs a directory so entry creations/renames inside it are
-// durable, not just the file contents.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("wal: syncing directory %s: %w", dir, err)
-	}
-	return nil
-}
-
-// Close syncs and closes the current segment. Further appends fail.
+// Close syncs and closes the current segment. Further appends fail. A
+// poisoned log closes its file descriptor but reports the poison error —
+// it must not run a final fsync whose "success" would be a lie.
 func (l *Log) Close() error {
 	if l.closed {
 		return nil
 	}
 	l.closed = true
+	if l.fail != nil {
+		if l.f != nil {
+			l.f.Close()
+		}
+		return l.fail
+	}
 	if l.dirty {
 		if err := l.f.Sync(); err != nil {
 			l.f.Close()
@@ -481,7 +567,7 @@ func (l *Log) Replay(from uint64, fn func(idx uint64, payload []byte) error) err
 		if seg.first+seg.n <= from {
 			continue
 		}
-		f, err := os.Open(seg.path)
+		f, err := iofault.Open(l.fs, seg.path)
 		if err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
@@ -517,7 +603,7 @@ func (l *Log) Replay(from uint64, fn func(idx uint64, payload []byte) error) err
 // time, never correctness.
 func (l *Log) Compact(upTo uint64) error {
 	for len(l.segs) > 1 && l.segs[0].first+l.segs[0].n <= upTo {
-		if err := os.Remove(l.segs[0].path); err != nil {
+		if err := l.fs.Remove(l.segs[0].path); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 		l.segs = l.segs[1:]

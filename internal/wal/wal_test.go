@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"github.com/hpcfail/hpcfail/internal/iofault"
 )
 
 func open(t *testing.T, opts Options) *Log {
@@ -147,7 +149,7 @@ func TestTornTailTruncated(t *testing.T) {
 		appendN(t, l, 0, 10)
 		l.Close()
 
-		names, err := segmentFiles(dir)
+		names, err := segmentFiles(iofault.Disk, dir)
 		if err != nil || len(names) != 1 {
 			t.Fatalf("segments: %v %v", names, err)
 		}
@@ -184,7 +186,7 @@ func TestCorruptTailDropped(t *testing.T) {
 	appendN(t, l, 0, 5)
 	l.Close()
 
-	names, _ := segmentFiles(dir)
+	names, _ := segmentFiles(iofault.Disk, dir)
 	path := filepath.Join(dir, names[0])
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -213,7 +215,7 @@ func TestMidLogCorruptionRefused(t *testing.T) {
 	}
 	l.Close()
 
-	names, _ := segmentFiles(dir)
+	names, _ := segmentFiles(iofault.Disk, dir)
 	path := filepath.Join(dir, names[0])
 	data, _ := os.ReadFile(path)
 	data[len(data)-3] ^= 0xff
@@ -315,7 +317,7 @@ func TestReplayBytesMatchesFile(t *testing.T) {
 		}
 	}
 	l.Close()
-	names, _ := segmentFiles(dir)
+	names, _ := segmentFiles(iofault.Disk, dir)
 	data, err := os.ReadFile(filepath.Join(dir, names[0]))
 	if err != nil {
 		t.Fatal(err)

@@ -26,6 +26,11 @@ go test -bench=. -benchtime=1x -run='^$' ./...
 # the rerun count.
 "$dir/scripts/chaos.sh"
 
+# Crash-consistency gate: crash-point enumeration over the WAL + snapshot
+# pipeline (tears, bit flips, fsyncgate, ENOSPC) plus the read-only-
+# degradation tests, under -race. CRASHGATE_DEEP=1 widens the sweep.
+"$dir/scripts/crashgate.sh"
+
 # Bench regression gate: kernel ns/op vs the committed BENCH_results.json
 # (TOLERANCE overrides), and indexed kernels must keep MIN_SPEEDUP over the
 # naive reference.
