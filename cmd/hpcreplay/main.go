@@ -81,6 +81,8 @@ func run(args []string) error {
 	p99Slack := fs.Duration("p99-slack", 25*time.Millisecond, "absolute p99 increase always tolerated, so near-instant routes don't flake CI")
 	minAccel := fs.Float64("min-accel", 0, "fail unless the run sustained at least this achieved acceleration (0 = no floor)")
 	quick := fs.Bool("quick", false, "CI preset: quick catalog, -hazard 4, -reads-per-write 20, -accel 1.5e6 (explicit flags still win)")
+	dataset := fs.String("dataset", "", "replay against this named dataset on a multi-tenant server (empty = the default dataset; needs -addr)")
+	datasetToken := fs.String("dataset-token", "", "auth token sent with -dataset requests")
 	versionOf := cli.VersionFlag(fs, "hpcreplay")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +95,9 @@ func run(args []string) error {
 	}
 	if *serve == (*addr != "") {
 		return cli.Usagef("exactly one of -serve or -addr is required")
+	}
+	if *dataset != "" && *serve {
+		return cli.Usagef("-dataset needs -addr (an external multi-tenant server holding that dataset)")
 	}
 	if !(*accel > 0) {
 		return cli.Usagef("-accel must be positive, got %v", *accel)
@@ -195,7 +200,7 @@ func run(args []string) error {
 	}
 
 	logf("replaying at %gx (inflight<=%d, timeout %v, retries %d)...", *accel, *inflight, *timeout, *retries)
-	rep, err := replay.Run(ctx, replay.ClientTarget{C: cl}, sched, replay.Options{
+	rep, err := replay.Run(ctx, replay.ClientTarget{C: cl, Dataset: *dataset, Token: *datasetToken}, sched, replay.Options{
 		Config: replay.ReportConfig{
 			Catalog:       *catalog,
 			Seed:          *seed,

@@ -103,6 +103,7 @@ func run(args []string) error {
 	chaosAbort := fs.Float64("chaos-abort", 0.02, "chaos: probability of an aborted connection")
 	chaosKillShard := fs.Int("chaos-kill-shard", -1, "chaos: kill this shard once after -chaos-kill-after (-1 = off)")
 	chaosKillAfter := fs.Duration("chaos-kill-after", 5*time.Second, "chaos: delay before the -chaos-kill-shard kill")
+	adminToken := fs.String("admin-token", "", "token gating the dataset-management API (empty = open)")
 	policyOf := cli.PolicyFlags(fs, "lenient")
 	versionOf := cli.VersionFlag(fs, "hpcserve")
 	if err := fs.Parse(args); err != nil {
@@ -243,6 +244,24 @@ func run(args []string) error {
 				stats.StoreApplied, st.Version())
 			cfg.Engine = engine
 			cfg.Journal = journal
+		}
+	}
+
+	// Named datasets (the multi-tenant registry) persist under the WAL root:
+	// <dir>/<name>/tenant.json next to that tenant's shard-NNN WAL trees.
+	// Without -wal they are memory-only. The registry ignores the default
+	// tenant's own shard-NNN dirs and segment files sharing the root.
+	cfg.AdminToken = *adminToken
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			return cli.Usagef("%v", err)
+		}
+		cfg.TenantRoot = *walDir
+		cfg.TenantWAL = wal.Options{
+			Policy:   policy,
+			Interval: *walFsyncEvery,
+			FS:       walFS,
 		}
 	}
 

@@ -485,6 +485,9 @@ type (
 	ClientEvent = client.Event
 	// APIError is a non-2xx server response the client did not retry away.
 	APIError = client.APIError
+	// DatasetClient is a Client handle scoped to one named dataset on a
+	// multi-tenant server (Client.Dataset).
+	DatasetClient = client.DatasetClient
 )
 
 // NewClient builds a resilient hpcserve API client.

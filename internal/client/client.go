@@ -133,6 +133,11 @@ func New(cfg Config) (*Client, error) {
 // errors.Is, including on the final give-up error.
 var ErrReadOnly = errors.New("client: server is read-only (event log disk full)")
 
+// ErrUnauthorized marks a 401/403 rejection — a wrong or missing dataset
+// (or admin) token. It is never retried: resending the same credentials
+// cannot succeed, so the caller gets the typed error on the first attempt.
+var ErrUnauthorized = errors.New("client: unauthorized")
+
 // APIError is a non-2xx response that was not retried away.
 type APIError struct {
 	Code int
@@ -244,6 +249,9 @@ func (c *Client) doRes(ctx context.Context, build func() (*http.Request, error))
 			if resp.Header.Get("X-Read-Only") == "true" {
 				apiErr = fmt.Errorf("%w: %w", ErrReadOnly, apiErr)
 			}
+			if resp.StatusCode == http.StatusUnauthorized || resp.StatusCode == http.StatusForbidden {
+				apiErr = fmt.Errorf("%w: %w", ErrUnauthorized, apiErr)
+			}
 			if !retryable(resp.StatusCode) {
 				return last, apiErr
 			}
@@ -349,6 +357,12 @@ type EventsResult struct {
 // PostEvents ingests a batch. One idempotency key covers the call and all
 // its retries, so an ambiguous first attempt can never double-count.
 func (c *Client) PostEvents(ctx context.Context, events []Event) (EventsResult, error) {
+	return c.postEvents(ctx, "/v1/events", nil, events)
+}
+
+// postEvents is the shared ingest path: dataset-scoped handles route it at
+// their prefixed path with their auth header.
+func (c *Client) postEvents(ctx context.Context, path string, extra map[string]string, events []Event) (EventsResult, error) {
 	var out EventsResult
 	payload, err := json.Marshal(struct {
 		Events []Event `json:"events"`
@@ -358,12 +372,15 @@ func (c *Client) PostEvents(ctx context.Context, events []Event) (EventsResult, 
 	}
 	key := c.newIdemKey()
 	body, err := c.do(ctx, func() (*http.Request, error) {
-		req, err := http.NewRequest(http.MethodPost, c.base+"/v1/events", bytes.NewReader(payload))
+		req, err := http.NewRequest(http.MethodPost, c.base+path, bytes.NewReader(payload))
 		if err != nil {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set("X-Idempotency-Key", key)
+		for k, v := range extra {
+			req.Header.Set(k, v)
+		}
 		return req, nil
 	})
 	if err != nil {

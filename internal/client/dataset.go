@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DatasetClient is a handle scoped to one named dataset on a multi-tenant
+// server: every call is rewritten onto the /v1/d/{name}/ route tree and
+// carries the dataset's auth token, while reusing the parent client's
+// retry, backoff and idempotency machinery. A wrong or missing token
+// surfaces as ErrUnauthorized without retries.
+type DatasetClient struct {
+	c     *Client
+	name  string
+	token string
+}
+
+// Dataset returns a handle scoped to the named dataset. An empty token is
+// fine for tokenless datasets (and for "default", which never
+// authenticates).
+func (c *Client) Dataset(name, token string) *DatasetClient {
+	return &DatasetClient{c: c, name: name, token: token}
+}
+
+// Name returns the dataset the handle is scoped to.
+func (d *DatasetClient) Name() string { return d.name }
+
+// path rewrites an unscoped API path onto the dataset's route tree:
+// /v1/risk/top -> /v1/d/{name}/risk/top, /healthz -> /v1/d/{name}/healthz.
+func (d *DatasetClient) path(p string) string {
+	if rest, ok := strings.CutPrefix(p, "/v1/"); ok {
+		return "/v1/d/" + d.name + "/" + rest
+	}
+	return "/v1/d/" + d.name + p
+}
+
+// headers returns the auth header set for one request.
+func (d *DatasetClient) headers() map[string]string {
+	if d.token == "" {
+		return nil
+	}
+	return map[string]string{"X-Dataset-Token": d.token}
+}
+
+// Get fetches an unscoped API path (e.g. "/v1/risk/top?k=3") against this
+// dataset, with the parent client's retries.
+func (d *DatasetClient) Get(ctx context.Context, p string) ([]byte, error) {
+	res, err := d.DoResult(ctx, "GET", p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res.Body, nil
+}
+
+// DoResult issues one arbitrary call against this dataset's route tree and
+// returns the final Result, even for non-2xx outcomes.
+func (d *DatasetClient) DoResult(ctx context.Context, method, p string, body []byte) (Result, error) {
+	return d.c.DoResult(ctx, method, d.path(p), body, d.headers())
+}
+
+// Healthz checks the dataset's liveness view.
+func (d *DatasetClient) Healthz(ctx context.Context) error {
+	_, err := d.Get(ctx, "/healthz")
+	return err
+}
+
+// Readyz returns the dataset's readiness body (an error for not-ready).
+func (d *DatasetClient) Readyz(ctx context.Context) ([]byte, error) {
+	return d.Get(ctx, "/readyz")
+}
+
+// Snapshot returns the dataset's canonical engine state bytes.
+func (d *DatasetClient) Snapshot(ctx context.Context) ([]byte, error) {
+	return d.Get(ctx, "/v1/snapshot")
+}
+
+// RiskTop returns the dataset's raw /risk/top response for k nodes; a
+// non-zero at pins the scoring instant for deterministic answers.
+func (d *DatasetClient) RiskTop(ctx context.Context, k int, at time.Time) ([]byte, error) {
+	p := fmt.Sprintf("/v1/risk/top?k=%d", k)
+	if !at.IsZero() {
+		p += "&at=" + at.UTC().Format(time.RFC3339)
+	}
+	return d.Get(ctx, p)
+}
+
+// PostEvents ingests a batch into this dataset, with the same idempotency
+// discipline as the unscoped client.
+func (d *DatasetClient) PostEvents(ctx context.Context, events []Event) (EventsResult, error) {
+	return d.c.postEvents(ctx, d.path("/v1/events"), d.headers(), events)
+}

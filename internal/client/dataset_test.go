@@ -1,0 +1,115 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDatasetPathRewriteAndToken: a scoped handle rewrites every call onto
+// /v1/d/{name}/... and carries the dataset token, including through
+// PostEvents' idempotency machinery.
+func TestDatasetPathRewriteAndToken(t *testing.T) {
+	var mu sync.Mutex
+	type seen struct{ path, token, idemKey string }
+	var calls []seen
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls = append(calls, seen{
+			path:    r.URL.RequestURI(),
+			token:   r.Header.Get("X-Dataset-Token"),
+			idemKey: r.Header.Get("X-Idempotency-Key"),
+		})
+		mu.Unlock()
+		io.WriteString(w, `{"status":"ok","accepted":1}`)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, nil)
+	d := c.Dataset("bluegene", "bg-secret")
+	if d.Name() != "bluegene" {
+		t.Fatalf("Name() = %q", d.Name())
+	}
+	if err := d.Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RiskTop(context.Background(), 3, time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := d.PostEvents(context.Background(), []Event{{System: 2, Category: "HW", HW: "CPU"}}); err != nil || res.Accepted != 1 {
+		t.Fatalf("PostEvents = %+v, %v", res, err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantPaths := []string{"/v1/d/bluegene/healthz", "/v1/d/bluegene/risk/top?k=3", "/v1/d/bluegene/events"}
+	if len(calls) != len(wantPaths) {
+		t.Fatalf("saw %d calls, want %d: %+v", len(calls), len(wantPaths), calls)
+	}
+	for i, want := range wantPaths {
+		if calls[i].path != want {
+			t.Errorf("call %d path = %q, want %q", i, calls[i].path, want)
+		}
+		if calls[i].token != "bg-secret" {
+			t.Errorf("call %d token = %q, want bg-secret", i, calls[i].token)
+		}
+	}
+	if calls[2].idemKey == "" {
+		t.Error("scoped PostEvents dropped the idempotency key")
+	}
+}
+
+// TestDatasetEmptyTokenOmitsHeader: tokenless datasets (and "default") must
+// not send an empty X-Dataset-Token header.
+func TestDatasetEmptyTokenOmitsHeader(t *testing.T) {
+	var present bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, present = r.Header["X-Dataset-Token"]
+		io.WriteString(w, `{"status":"ok"}`)
+	}))
+	defer ts.Close()
+
+	c, _ := newTestClient(t, ts.URL, nil)
+	if err := c.Dataset("default", "").Healthz(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if present {
+		t.Error("empty token still sent an X-Dataset-Token header")
+	}
+}
+
+// TestUnauthorizedTypedAndNotRetried: a 401 surfaces as ErrUnauthorized on
+// the first attempt — resending the same bad credentials cannot succeed, so
+// the client must not burn its retry budget on it.
+func TestUnauthorizedTypedAndNotRetried(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		http.Error(w, `{"error":"dataset token required"}`, http.StatusUnauthorized)
+	}))
+	defer ts.Close()
+
+	c, cap := newTestClient(t, ts.URL, nil)
+	_, err := c.Dataset("bluegene", "wrong").Snapshot(context.Background())
+	if err == nil {
+		t.Fatal("expected unauthorized error")
+	}
+	if !errors.Is(err, ErrUnauthorized) {
+		t.Errorf("err does not unwrap to ErrUnauthorized: %v", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != http.StatusUnauthorized {
+		t.Errorf("err does not carry the 401 APIError: %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("server called %d times, want 1 (401 is not retryable)", calls)
+	}
+	if len(cap.all()) != 0 {
+		t.Errorf("client slept on a non-retryable 401: %v", cap.all())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -22,6 +23,11 @@ type Target interface {
 // that op's retries when the client is configured to retry.
 type ClientTarget struct {
 	C *client.Client
+	// Dataset, when set, replays against that named dataset: /v1/ op paths
+	// are rewritten onto the server's /v1/d/{Dataset}/ route tree and Token
+	// rides along as the dataset auth header.
+	Dataset string
+	Token   string
 }
 
 // Do implements Target.
@@ -33,7 +39,19 @@ func (t ClientTarget) Do(ctx context.Context, op Op) (int, http.Header, error) {
 			"X-Idempotency-Key": t.C.NewIdempotencyKey(),
 		}
 	}
-	res, err := t.C.DoResult(ctx, op.Method, op.Path, op.Body, hdr)
+	path := op.Path
+	if t.Dataset != "" {
+		if rest, ok := strings.CutPrefix(path, "/v1/"); ok {
+			path = "/v1/d/" + t.Dataset + "/" + rest
+		}
+		if t.Token != "" {
+			if hdr == nil {
+				hdr = map[string]string{}
+			}
+			hdr["X-Dataset-Token"] = t.Token
+		}
+	}
+	res, err := t.C.DoResult(ctx, op.Method, path, op.Body, hdr)
 	return res.Status, res.Header, err
 }
 

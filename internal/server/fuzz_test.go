@@ -1,8 +1,14 @@
 package server
 
 import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
 	"strings"
 	"testing"
+
+	"github.com/hpcfail/hpcfail/internal/registry"
+	"github.com/hpcfail/hpcfail/internal/trace"
 )
 
 // FuzzRiskQueryParams throws arbitrary query strings at both HTTP
@@ -118,6 +124,96 @@ func FuzzCorrelationQueryParams(f *testing.F) {
 		}
 		if q2.Key() != key {
 			t.Fatalf("anomalies canonicalization not a fixed point: %q -> %q -> %q", raw, key, q2.Key())
+		}
+	})
+}
+
+// FuzzTenantRoute throws arbitrary dataset names at the tenant path layer.
+// Two contracts: name canonicalization is a fixed point (a canonical name
+// re-canonicalizes to itself, so registry keys and directory names cannot
+// alias), and the /v1/d/{dataset}/... dispatcher never panics or turns an
+// unrecognized name into a 5xx — resolution failures are clean 404s (or
+// 401 for a real tenant without its token).
+func FuzzTenantRoute(f *testing.F) {
+	clock := &fakeClock{t: day(100)}
+	s, err := New(Config{
+		Dataset:    testDS(),
+		Window:     trace.Day,
+		Now:        clock.Now,
+		TenantRoot: f.TempDir(),
+		Logf:       func(string, ...any) {},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	h := s.Handler()
+	create := httptest.NewRequest(http.MethodPost, "/v1/datasets",
+		strings.NewReader(`{"name":"alpha","token":"tok","seed":1,"scale":0.01}`))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, create)
+	if rec.Code != http.StatusCreated {
+		f.Fatalf("seeding tenant = %d; body: %s", rec.Code, rec.Body)
+	}
+
+	for _, seed := range []string{
+		"default",
+		"alpha",
+		"ALPHA",
+		"shard-000",
+		"-leading",
+		"_leading",
+		"a.b",
+		"a/b",
+		"a b",
+		"a%2fb",
+		"..",
+		"",
+		"DEFAULT",
+		"🤖",
+		strings.Repeat("a", 33),
+		strings.Repeat("A", 32),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		if canon, err := registry.Canonical(raw); err == nil {
+			again, err := registry.Canonical(canon)
+			if err != nil {
+				t.Fatalf("canonical name %q (from %q) does not re-canonicalize: %v", canon, raw, err)
+			}
+			if again != canon {
+				t.Fatalf("canonicalization not a fixed point: %q -> %q -> %q", raw, canon, again)
+			}
+		}
+		// Escaped, the name is always a well-formed single path segment; the
+		// dispatcher must answer it without panicking and without a 5xx.
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/d/"+url.PathEscape(raw)+"/healthz", nil))
+		switch rec.Code {
+		case http.StatusOK, http.StatusNotFound, http.StatusUnauthorized,
+			http.StatusMovedPermanently: // ServeMux path-cleaning redirect (".." and friends)
+		default:
+			t.Fatalf("GET /v1/d/{%q}/healthz = %d; body: %s", raw, rec.Code, rec.Body)
+		}
+		// Unescaped, the name may splice extra segments or a query into the
+		// path; any parseable request must still get a non-5xx answer. The
+		// request is assembled by hand — httptest.NewRequest would reject
+		// bytes a hostile client can still put on the wire.
+		target := "/v1/d/" + raw + "/healthz"
+		u, err := url.ParseRequestURI(target)
+		if err != nil {
+			return
+		}
+		req := &http.Request{
+			Method: http.MethodGet, URL: u,
+			Proto: "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Host: "fuzz.local", RequestURI: target,
+			Header: http.Header{}, Body: http.NoBody,
+		}
+		rec = httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code >= 500 && rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("GET %q = %d; body: %s", target, rec.Code, rec.Body)
 		}
 	})
 }

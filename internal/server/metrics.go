@@ -112,169 +112,201 @@ type gauges struct {
 	admission      map[string]admissionGauge
 }
 
-// write renders the registry in Prometheus text exposition format, with
-// deterministic line order.
-func (m *metrics) write(w io.Writer, g gauges) {
-	m.mu.Lock()
-	reqKeys := make([]routeCode, 0, len(m.requests))
-	for k := range m.requests {
-		reqKeys = append(reqKeys, k)
+// metricsRow is one dataset's slice of the exposition: its counters and
+// point-in-time gauges, labeled with the dataset name. The default tenant
+// renders with ds == "" — no dataset label, byte-identical to the
+// single-tenant server's output — so existing dashboards keep working.
+type metricsRow struct {
+	ds string
+	m  *metrics
+	g  gauges
+}
+
+// dsLabel combines the optional dataset label with a row's other labels
+// into a rendered label set ("" when there are none).
+func dsLabel(ds, rest string) string {
+	switch {
+	case ds == "" && rest == "":
+		return ""
+	case ds == "":
+		return "{" + rest + "}"
+	case rest == "":
+		return fmt.Sprintf("{dataset=%q}", ds)
+	default:
+		return fmt.Sprintf("{dataset=%q,%s}", ds, rest)
 	}
-	sort.Slice(reqKeys, func(i, j int) bool {
-		if reqKeys[i].route != reqKeys[j].route {
-			return reqKeys[i].route < reqKeys[j].route
+}
+
+// writeMetricsRows renders every dataset's metrics in Prometheus text
+// exposition format with deterministic line order: each family's HELP/TYPE
+// header once, then one line (or line group) per dataset row.
+func writeMetricsRows(w io.Writer, rows []metricsRow) {
+	family := func(name, help, typ string, emit func(r metricsRow)) {
+		fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		for _, r := range rows {
+			emit(r)
 		}
-		return reqKeys[i].code < reqKeys[j].code
+	}
+	simple := func(name, help, typ string, val func(r metricsRow) string) {
+		family(name, help, typ, func(r metricsRow) {
+			fmt.Fprintf(w, "%s%s %s\n", name, dsLabel(r.ds, ""), val(r))
+		})
+	}
+	u := func(v uint64) string { return fmt.Sprintf("%d", v) }
+	d := func(v int) string { return fmt.Sprintf("%d", v) }
+	f := func(v float64) string { return fmt.Sprintf("%g", v) }
+
+	family("hpcserve_requests_total", "Completed HTTP requests by route and status code.", "counter", func(r metricsRow) {
+		r.m.mu.Lock()
+		reqKeys := make([]routeCode, 0, len(r.m.requests))
+		for k := range r.m.requests {
+			reqKeys = append(reqKeys, k)
+		}
+		sort.Slice(reqKeys, func(i, j int) bool {
+			if reqKeys[i].route != reqKeys[j].route {
+				return reqKeys[i].route < reqKeys[j].route
+			}
+			return reqKeys[i].code < reqKeys[j].code
+		})
+		for _, k := range reqKeys {
+			fmt.Fprintf(w, "hpcserve_requests_total%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("route=%q,code=\"%d\"", k.route, k.code)), r.m.requests[k])
+		}
+		r.m.mu.Unlock()
 	})
-	latKeys := make([]string, 0, len(m.latency))
-	for k := range m.latency {
-		latKeys = append(latKeys, k)
-	}
-	sort.Strings(latKeys)
+	family("hpcserve_request_seconds", "Cumulative request latency by route.", "summary", func(r metricsRow) {
+		r.m.mu.Lock()
+		latKeys := make([]string, 0, len(r.m.latency))
+		for k := range r.m.latency {
+			latKeys = append(latKeys, k)
+		}
+		sort.Strings(latKeys)
+		for _, k := range latKeys {
+			agg := r.m.latency[k]
+			lbl := dsLabel(r.ds, fmt.Sprintf("route=%q", k))
+			fmt.Fprintf(w, "hpcserve_request_seconds_sum%s %g\n", lbl, agg.sum.Seconds())
+			fmt.Fprintf(w, "hpcserve_request_seconds_count%s %d\n", lbl, agg.count)
+		}
+		r.m.mu.Unlock()
+	})
 
-	fmt.Fprintln(w, "# HELP hpcserve_requests_total Completed HTTP requests by route and status code.")
-	fmt.Fprintln(w, "# TYPE hpcserve_requests_total counter")
-	for _, k := range reqKeys {
-		fmt.Fprintf(w, "hpcserve_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_request_seconds Cumulative request latency by route.")
-	fmt.Fprintln(w, "# TYPE hpcserve_request_seconds summary")
-	for _, k := range latKeys {
-		agg := m.latency[k]
-		fmt.Fprintf(w, "hpcserve_request_seconds_sum{route=%q} %g\n", k, agg.sum.Seconds())
-		fmt.Fprintf(w, "hpcserve_request_seconds_count{route=%q} %d\n", k, agg.count)
-	}
-	m.mu.Unlock()
+	simple("hpcserve_condprob_cache_hits_total", "Conditional-probability cache hits.", "counter",
+		func(r metricsRow) string { return u(r.m.cacheHits.Load()) })
+	simple("hpcserve_condprob_cache_misses_total", "Conditional-probability cache misses.", "counter",
+		func(r metricsRow) string { return u(r.m.cacheMisses.Load()) })
+	simple("hpcserve_condprob_cache_hit_rate", "Cache hit fraction since start.", "gauge",
+		func(r metricsRow) string { return f(r.m.hitRate()) })
+	simple("hpcserve_condprob_cache_entries", "Cached conditional-probability results.", "gauge",
+		func(r metricsRow) string { return d(r.g.cacheEntries) })
+	simple("hpcserve_condprob_shared_total", "Requests served by another request's in-flight computation.", "counter",
+		func(r metricsRow) string { return u(r.m.shared.Load()) })
+	simple("hpcserve_events_accepted_total", "Events accepted by POST /v1/events.", "counter",
+		func(r metricsRow) string { return u(r.m.eventsIn.Load()) })
+	simple("hpcserve_events_rejected_total", "Events rejected by POST /v1/events.", "counter",
+		func(r metricsRow) string { return u(r.m.eventsBad.Load()) })
+	simple("hpcserve_engine_observed_events_total", "Events the risk engine has accepted since start.", "counter",
+		func(r metricsRow) string { return u(r.g.observedEvents) })
+	simple("hpcserve_engine_active_events", "Events currently inside the engine's sliding windows.", "gauge",
+		func(r metricsRow) string { return d(r.g.activeEvents) })
+	simple("hpcserve_engine_lag_seconds", "Time since the newest event the engine has seen.", "gauge",
+		func(r metricsRow) string { return f(r.g.engineLag.Seconds()) })
+	simple("hpcserve_shed_total", "Requests rejected by admission control.", "counter",
+		func(r metricsRow) string { return u(r.m.shed.Load()) })
+	simple("hpcserve_degraded_total", "Condprob requests answered degraded while the compute circuit was open.", "counter",
+		func(r metricsRow) string { return u(r.m.degraded.Load()) })
+	simple("hpcserve_idempotent_replays_total", "Event POSTs replayed from the idempotency cache.", "counter",
+		func(r metricsRow) string { return u(r.m.idemReplays.Load()) })
+	simple("hpcserve_breaker_open", "Whether the condprob compute circuit is open.", "gauge",
+		func(r metricsRow) string { return d(b2i(r.g.breakerOpen)) })
+	simple("hpcserve_breaker_trips_total", "Closed-to-open transitions of the compute circuit.", "counter",
+		func(r metricsRow) string { return u(r.g.breakerTrips) })
+	simple("hpcserve_wal_records_total", "Records ever appended to the write-ahead log.", "counter",
+		func(r metricsRow) string { return u(r.g.walRecords) })
+	simple("hpcserve_wal_segments", "Live write-ahead-log segment files.", "gauge",
+		func(r metricsRow) string { return d(r.g.walSegments) })
+	simple("hpcserve_read_only", "Whether any shard is rejecting writes because its WAL disk is full.", "gauge",
+		func(r metricsRow) string { return d(b2i(r.g.readOnly)) })
+	simple("hpcserve_read_only_entries_total", "Times a shard entered read-only mode (WAL disk full).", "counter",
+		func(r metricsRow) string { return u(r.g.readOnlyEntry) })
+	simple("hpcserve_read_only_rejects_total", "Event POSTs rejected at the read-only gate.", "counter",
+		func(r metricsRow) string { return u(r.m.readOnlyRejects.Load()) })
+	simple("hpcserve_wal_append_errors_total", "WAL append, sync or snapshot failures.", "counter",
+		func(r metricsRow) string { return u(r.g.walAppendErrs) })
+	simple("hpcserve_dataset_version", "Current version of the dataset store.", "gauge",
+		func(r metricsRow) string { return u(r.g.datasetVersion) })
+	simple("hpcserve_dataset_events", "Failure events in the current dataset snapshot.", "gauge",
+		func(r metricsRow) string { return d(r.g.datasetEvents) })
+	simple("hpcserve_store_appends_total", "Batches applied to the dataset store since start.", "counter",
+		func(r metricsRow) string { return u(r.g.storeAppends) })
+	simple("hpcserve_store_rebuilds_total", "Store appends that fell back to a full index rebuild.", "counter",
+		func(r metricsRow) string { return u(r.g.storeRebuilds) })
+	simple("hpcserve_partial_responses_total", "Scatter-gather responses served with X-Partial: true (a shard was down or slow).", "counter",
+		func(r metricsRow) string { return u(r.m.partial.Load()) })
 
-	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_hits_total Conditional-probability cache hits.")
-	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_hits_total counter")
-	fmt.Fprintf(w, "hpcserve_condprob_cache_hits_total %d\n", m.cacheHits.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_misses_total Conditional-probability cache misses.")
-	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_misses_total counter")
-	fmt.Fprintf(w, "hpcserve_condprob_cache_misses_total %d\n", m.cacheMisses.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_hit_rate Cache hit fraction since start.")
-	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_hit_rate gauge")
-	fmt.Fprintf(w, "hpcserve_condprob_cache_hit_rate %g\n", m.hitRate())
-	fmt.Fprintln(w, "# HELP hpcserve_condprob_cache_entries Cached conditional-probability results.")
-	fmt.Fprintln(w, "# TYPE hpcserve_condprob_cache_entries gauge")
-	fmt.Fprintf(w, "hpcserve_condprob_cache_entries %d\n", g.cacheEntries)
-	fmt.Fprintln(w, "# HELP hpcserve_condprob_shared_total Requests served by another request's in-flight computation.")
-	fmt.Fprintln(w, "# TYPE hpcserve_condprob_shared_total counter")
-	fmt.Fprintf(w, "hpcserve_condprob_shared_total %d\n", m.shared.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_events_accepted_total Events accepted by POST /v1/events.")
-	fmt.Fprintln(w, "# TYPE hpcserve_events_accepted_total counter")
-	fmt.Fprintf(w, "hpcserve_events_accepted_total %d\n", m.eventsIn.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_events_rejected_total Events rejected by POST /v1/events.")
-	fmt.Fprintln(w, "# TYPE hpcserve_events_rejected_total counter")
-	fmt.Fprintf(w, "hpcserve_events_rejected_total %d\n", m.eventsBad.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_engine_observed_events_total Events the risk engine has accepted since start.")
-	fmt.Fprintln(w, "# TYPE hpcserve_engine_observed_events_total counter")
-	fmt.Fprintf(w, "hpcserve_engine_observed_events_total %d\n", g.observedEvents)
-	fmt.Fprintln(w, "# HELP hpcserve_engine_active_events Events currently inside the engine's sliding windows.")
-	fmt.Fprintln(w, "# TYPE hpcserve_engine_active_events gauge")
-	fmt.Fprintf(w, "hpcserve_engine_active_events %d\n", g.activeEvents)
-	fmt.Fprintln(w, "# HELP hpcserve_engine_lag_seconds Time since the newest event the engine has seen.")
-	fmt.Fprintln(w, "# TYPE hpcserve_engine_lag_seconds gauge")
-	fmt.Fprintf(w, "hpcserve_engine_lag_seconds %g\n", g.engineLag.Seconds())
-	fmt.Fprintln(w, "# HELP hpcserve_shed_total Requests rejected by admission control.")
-	fmt.Fprintln(w, "# TYPE hpcserve_shed_total counter")
-	fmt.Fprintf(w, "hpcserve_shed_total %d\n", m.shed.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_degraded_total Condprob requests answered degraded while the compute circuit was open.")
-	fmt.Fprintln(w, "# TYPE hpcserve_degraded_total counter")
-	fmt.Fprintf(w, "hpcserve_degraded_total %d\n", m.degraded.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_idempotent_replays_total Event POSTs replayed from the idempotency cache.")
-	fmt.Fprintln(w, "# TYPE hpcserve_idempotent_replays_total counter")
-	fmt.Fprintf(w, "hpcserve_idempotent_replays_total %d\n", m.idemReplays.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_breaker_open Whether the condprob compute circuit is open.")
-	fmt.Fprintln(w, "# TYPE hpcserve_breaker_open gauge")
-	fmt.Fprintf(w, "hpcserve_breaker_open %d\n", b2i(g.breakerOpen))
-	fmt.Fprintln(w, "# HELP hpcserve_breaker_trips_total Closed-to-open transitions of the compute circuit.")
-	fmt.Fprintln(w, "# TYPE hpcserve_breaker_trips_total counter")
-	fmt.Fprintf(w, "hpcserve_breaker_trips_total %d\n", g.breakerTrips)
-	fmt.Fprintln(w, "# HELP hpcserve_wal_records_total Records ever appended to the write-ahead log.")
-	fmt.Fprintln(w, "# TYPE hpcserve_wal_records_total counter")
-	fmt.Fprintf(w, "hpcserve_wal_records_total %d\n", g.walRecords)
-	fmt.Fprintln(w, "# HELP hpcserve_wal_segments Live write-ahead-log segment files.")
-	fmt.Fprintln(w, "# TYPE hpcserve_wal_segments gauge")
-	fmt.Fprintf(w, "hpcserve_wal_segments %d\n", g.walSegments)
-	fmt.Fprintln(w, "# HELP hpcserve_read_only Whether any shard is rejecting writes because its WAL disk is full.")
-	fmt.Fprintln(w, "# TYPE hpcserve_read_only gauge")
-	fmt.Fprintf(w, "hpcserve_read_only %d\n", b2i(g.readOnly))
-	fmt.Fprintln(w, "# HELP hpcserve_read_only_entries_total Times a shard entered read-only mode (WAL disk full).")
-	fmt.Fprintln(w, "# TYPE hpcserve_read_only_entries_total counter")
-	fmt.Fprintf(w, "hpcserve_read_only_entries_total %d\n", g.readOnlyEntry)
-	fmt.Fprintln(w, "# HELP hpcserve_read_only_rejects_total Event POSTs rejected at the read-only gate.")
-	fmt.Fprintln(w, "# TYPE hpcserve_read_only_rejects_total counter")
-	fmt.Fprintf(w, "hpcserve_read_only_rejects_total %d\n", m.readOnlyRejects.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_wal_append_errors_total WAL append, sync or snapshot failures.")
-	fmt.Fprintln(w, "# TYPE hpcserve_wal_append_errors_total counter")
-	fmt.Fprintf(w, "hpcserve_wal_append_errors_total %d\n", g.walAppendErrs)
-	fmt.Fprintln(w, "# HELP hpcserve_dataset_version Current version of the dataset store.")
-	fmt.Fprintln(w, "# TYPE hpcserve_dataset_version gauge")
-	fmt.Fprintf(w, "hpcserve_dataset_version %d\n", g.datasetVersion)
-	fmt.Fprintln(w, "# HELP hpcserve_dataset_events Failure events in the current dataset snapshot.")
-	fmt.Fprintln(w, "# TYPE hpcserve_dataset_events gauge")
-	fmt.Fprintf(w, "hpcserve_dataset_events %d\n", g.datasetEvents)
-	fmt.Fprintln(w, "# HELP hpcserve_store_appends_total Batches applied to the dataset store since start.")
-	fmt.Fprintln(w, "# TYPE hpcserve_store_appends_total counter")
-	fmt.Fprintf(w, "hpcserve_store_appends_total %d\n", g.storeAppends)
-	fmt.Fprintln(w, "# HELP hpcserve_store_rebuilds_total Store appends that fell back to a full index rebuild.")
-	fmt.Fprintln(w, "# TYPE hpcserve_store_rebuilds_total counter")
-	fmt.Fprintf(w, "hpcserve_store_rebuilds_total %d\n", g.storeRebuilds)
-	fmt.Fprintln(w, "# HELP hpcserve_partial_responses_total Scatter-gather responses served with X-Partial: true (a shard was down or slow).")
-	fmt.Fprintln(w, "# TYPE hpcserve_partial_responses_total counter")
-	fmt.Fprintf(w, "hpcserve_partial_responses_total %d\n", m.partial.Load())
-	fmt.Fprintln(w, "# HELP hpcserve_shard_healthy Whether the shard is Ready (1) or not (0).")
-	fmt.Fprintln(w, "# TYPE hpcserve_shard_healthy gauge")
-	for i, sg := range g.shards {
-		fmt.Fprintf(w, "hpcserve_shard_healthy{shard=\"%d\",state=%q} %d\n", i, sg.state, b2i(sg.healthy))
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_shard_dataset_version Current dataset-store version of the shard.")
-	fmt.Fprintln(w, "# TYPE hpcserve_shard_dataset_version gauge")
-	for i, sg := range g.shards {
-		fmt.Fprintf(w, "hpcserve_shard_dataset_version{shard=\"%d\"} %d\n", i, sg.version)
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_shard_failovers_total Standby promotions the shard has been through.")
-	fmt.Fprintln(w, "# TYPE hpcserve_shard_failovers_total counter")
-	for i, sg := range g.shards {
-		fmt.Fprintf(w, "hpcserve_shard_failovers_total{shard=\"%d\"} %d\n", i, sg.failovers)
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_wal_replication_lag_records WAL records the shard's standby trails its leader by (0 with no standby).")
-	fmt.Fprintln(w, "# TYPE hpcserve_wal_replication_lag_records gauge")
-	for i, sg := range g.shards {
-		fmt.Fprintf(w, "hpcserve_wal_replication_lag_records{shard=\"%d\"} %d\n", i, sg.lag)
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_shard_disk_full Whether the shard's WAL disk is full (shard is read-only).")
-	fmt.Fprintln(w, "# TYPE hpcserve_shard_disk_full gauge")
-	for i, sg := range g.shards {
-		fmt.Fprintf(w, "hpcserve_shard_disk_full{shard=\"%d\"} %d\n", i, b2i(sg.diskFull))
-	}
+	family("hpcserve_shard_healthy", "Whether the shard is Ready (1) or not (0).", "gauge", func(r metricsRow) {
+		for i, sg := range r.g.shards {
+			fmt.Fprintf(w, "hpcserve_shard_healthy%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("shard=\"%d\",state=%q", i, sg.state)), b2i(sg.healthy))
+		}
+	})
+	family("hpcserve_shard_dataset_version", "Current dataset-store version of the shard.", "gauge", func(r metricsRow) {
+		for i, sg := range r.g.shards {
+			fmt.Fprintf(w, "hpcserve_shard_dataset_version%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("shard=\"%d\"", i)), sg.version)
+		}
+	})
+	family("hpcserve_shard_failovers_total", "Standby promotions the shard has been through.", "counter", func(r metricsRow) {
+		for i, sg := range r.g.shards {
+			fmt.Fprintf(w, "hpcserve_shard_failovers_total%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("shard=\"%d\"", i)), sg.failovers)
+		}
+	})
+	family("hpcserve_wal_replication_lag_records", "WAL records the shard's standby trails its leader by (0 with no standby).", "gauge", func(r metricsRow) {
+		for i, sg := range r.g.shards {
+			fmt.Fprintf(w, "hpcserve_wal_replication_lag_records%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("shard=\"%d\"", i)), sg.lag)
+		}
+	})
+	family("hpcserve_shard_disk_full", "Whether the shard's WAL disk is full (shard is read-only).", "gauge", func(r metricsRow) {
+		for i, sg := range r.g.shards {
+			fmt.Fprintf(w, "hpcserve_shard_disk_full%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("shard=\"%d\"", i)), b2i(sg.diskFull))
+		}
+	})
 
-	admRoutes := make([]string, 0, len(g.admission))
-	for route := range g.admission {
-		admRoutes = append(admRoutes, route)
+	admRoutesOf := func(r metricsRow) []string {
+		routes := make([]string, 0, len(r.g.admission))
+		for route := range r.g.admission {
+			routes = append(routes, route)
+		}
+		sort.Strings(routes)
+		return routes
 	}
-	sort.Strings(admRoutes)
-	fmt.Fprintln(w, "# HELP hpcserve_admission_inflight Handlers currently running, by route.")
-	fmt.Fprintln(w, "# TYPE hpcserve_admission_inflight gauge")
-	for _, route := range admRoutes {
-		fmt.Fprintf(w, "hpcserve_admission_inflight{route=%q} %d\n", route, g.admission[route].inflight)
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_admission_queued Requests waiting for a handler slot, by route.")
-	fmt.Fprintln(w, "# TYPE hpcserve_admission_queued gauge")
-	for _, route := range admRoutes {
-		fmt.Fprintf(w, "hpcserve_admission_queued{route=%q} %d\n", route, g.admission[route].queued)
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_admission_peak_inflight High-water mark of concurrent handlers, by route.")
-	fmt.Fprintln(w, "# TYPE hpcserve_admission_peak_inflight gauge")
-	for _, route := range admRoutes {
-		fmt.Fprintf(w, "hpcserve_admission_peak_inflight{route=%q} %d\n", route, g.admission[route].peak)
-	}
-	fmt.Fprintln(w, "# HELP hpcserve_admission_shed_total Requests shed at admission, by route.")
-	fmt.Fprintln(w, "# TYPE hpcserve_admission_shed_total counter")
-	for _, route := range admRoutes {
-		fmt.Fprintf(w, "hpcserve_admission_shed_total{route=%q} %d\n", route, g.admission[route].shed)
-	}
+	family("hpcserve_admission_inflight", "Handlers currently running, by route.", "gauge", func(r metricsRow) {
+		for _, route := range admRoutesOf(r) {
+			fmt.Fprintf(w, "hpcserve_admission_inflight%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("route=%q", route)), r.g.admission[route].inflight)
+		}
+	})
+	family("hpcserve_admission_queued", "Requests waiting for a handler slot, by route.", "gauge", func(r metricsRow) {
+		for _, route := range admRoutesOf(r) {
+			fmt.Fprintf(w, "hpcserve_admission_queued%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("route=%q", route)), r.g.admission[route].queued)
+		}
+	})
+	family("hpcserve_admission_peak_inflight", "High-water mark of concurrent handlers, by route.", "gauge", func(r metricsRow) {
+		for _, route := range admRoutesOf(r) {
+			fmt.Fprintf(w, "hpcserve_admission_peak_inflight%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("route=%q", route)), r.g.admission[route].peak)
+		}
+	})
+	family("hpcserve_admission_shed_total", "Requests shed at admission, by route.", "counter", func(r metricsRow) {
+		for _, route := range admRoutesOf(r) {
+			fmt.Fprintf(w, "hpcserve_admission_shed_total%s %d\n",
+				dsLabel(r.ds, fmt.Sprintf("route=%q", route)), r.g.admission[route].shed)
+		}
+	})
 }
 
 func b2i(v bool) int {

@@ -52,6 +52,7 @@ import (
 	"github.com/hpcfail/hpcfail/internal/analysis"
 	"github.com/hpcfail/hpcfail/internal/checkpoint"
 	"github.com/hpcfail/hpcfail/internal/iofault"
+	"github.com/hpcfail/hpcfail/internal/registry"
 	"github.com/hpcfail/hpcfail/internal/risk"
 	"github.com/hpcfail/hpcfail/internal/stats"
 	"github.com/hpcfail/hpcfail/internal/store"
@@ -140,6 +141,20 @@ type Config struct {
 	// the 5s default; negative probes on every gated write attempt (tests
 	// use that for determinism).
 	SpaceProbeInterval time.Duration
+	// TenantRoot, when set, is the directory the dataset registry keeps
+	// named tenants under: <TenantRoot>/<name>/tenant.json next to that
+	// tenant's WAL tree at <TenantRoot>/<name>/shard-NNN/. Tenants found
+	// there are reopened at boot. Empty keeps named tenants memory-only
+	// (they still work, but do not survive a restart).
+	TenantRoot string
+	// TenantWAL is the per-shard durability template for named tenants:
+	// every option passes through to wal.Open with Dir rewritten to the
+	// tenant's own tree. Ignored when TenantRoot is empty.
+	TenantWAL wal.Options
+	// AdminToken, when set, gates the dataset-management API (POST/DELETE
+	// /v1/datasets) and, via X-Admin-Token, bypasses per-dataset tokens.
+	// Empty leaves the admin API open.
+	AdminToken string
 	// OnStart, when set, is invoked in its own goroutine once ServeListener
 	// is accepting — the hook the shard-chaos injector uses to reach the
 	// running server.
@@ -187,14 +202,57 @@ type Server struct {
 	// base is the lifecycle context detached computations run under, so a
 	// singleflight leader hanging up does not fail its followers.
 	base context.Context
+
+	// name is the dataset this server answers for: defaultTenantName on the
+	// root server, the tenant's canonical name on registry-built children.
+	name string
+	// quota is the tenant's resource quota (zero on the root server).
+	quota registry.Quota
+	// reg, tmpl and adminToken exist only on the root server: the named
+	// tenant registry, the Config template children derive from, and the
+	// operator token gating the dataset-management API.
+	reg        *registry.Registry
+	tmpl       Config
+	adminToken string
+	// routesOnce/routeTab lazily build the per-tenant route table shared by
+	// the root mux and the /v1/d/{dataset} dispatcher.
+	routesOnce sync.Once
+	routeTab   map[string]http.Handler
 }
 
-// New builds a server over the config's store (or a private store over its
-// dataset), constructing the risk engine (lift table, sliding windows) from
-// the boot snapshot's analyzer when one is not supplied. With cfg.Shards
-// set, the dataset is instead partitioned into supervised fault domains —
-// see Config.Shards.
+// New builds the root server over the config's store (or a private store
+// over its dataset) and wires up the named-dataset registry: tenants
+// persisted under cfg.TenantRoot are reopened, and new ones can be created
+// through the dataset API. The root server itself is the "default" tenant.
 func New(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.tmpl = cfg
+	s.adminToken = cfg.AdminToken
+	reg, err := registry.New(registry.Config{
+		Root:  cfg.TenantRoot,
+		Build: s.buildTenantResource,
+		Logf:  s.logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.reg = reg
+	if err := reg.OpenAll(); err != nil {
+		reg.CloseAll()
+		return nil, fmt.Errorf("server: reopening datasets: %w", err)
+	}
+	return s, nil
+}
+
+// newServer builds one dataset's serving stack — store, risk engine (lift
+// table, sliding windows), shard fabric, caches, admission — without any
+// registry wiring. With cfg.Shards set, the dataset is partitioned into
+// supervised fault domains — see Config.Shards. It is the constructor both
+// for the root server (via New) and for registry-built tenant children.
+func newServer(cfg Config) (*Server, error) {
 	w := cfg.Window
 	if w <= 0 {
 		w = trace.Day
@@ -281,6 +339,7 @@ func New(cfg Config) (*Server, error) {
 		now:     now,
 		logf:    logf,
 		base:    context.Background(),
+		name:    defaultTenantName,
 	}, nil
 }
 
@@ -306,19 +365,43 @@ func setVersion(w http.ResponseWriter, snap *store.Snapshot) {
 }
 
 // Handler returns the server's routed HTTP handler, wrapped in the
-// configured middleware (chaos injection in tests) when one is set.
+// configured middleware (chaos injection in tests) when one is set. The
+// unprefixed routes serve the default tenant; the same routes under
+// /v1/d/{dataset}/ resolve a named tenant from the registry first.
 func (s *Server) Handler() http.Handler {
+	rt := s.routes()
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
-	mux.Handle("GET /readyz", s.instrument("/readyz", s.handleReadyz))
+	mux.Handle("GET /healthz", rt["/healthz"])
+	mux.Handle("GET /readyz", rt["/readyz"])
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
-	mux.Handle("GET /v1/risk/top", s.instrument("/v1/risk/top", s.handleRiskTop))
-	mux.Handle("GET /v1/risk/{node}", s.instrument("/v1/risk/{node}", s.handleRiskNode))
-	mux.Handle("GET /v1/condprob", s.instrument("/v1/condprob", s.handleCondProb))
-	mux.Handle("GET /v1/correlations", s.instrument("/v1/correlations", s.handleCorrelations))
-	mux.Handle("GET /v1/anomalies", s.instrument("/v1/anomalies", s.handleAnomalies))
-	mux.Handle("GET /v1/snapshot", s.instrument("/v1/snapshot", s.handleSnapshot))
-	mux.Handle("POST /v1/events", s.instrument("/v1/events", s.handleEvents))
+	mux.Handle("GET /v1/risk/top", rt["/v1/risk/top"])
+	mux.Handle("GET /v1/risk/{node}", rt["/v1/risk/{node}"])
+	mux.Handle("GET /v1/condprob", rt["/v1/condprob"])
+	mux.Handle("GET /v1/correlations", rt["/v1/correlations"])
+	mux.Handle("GET /v1/anomalies", rt["/v1/anomalies"])
+	mux.Handle("GET /v1/snapshot", rt["/v1/snapshot"])
+	mux.Handle("GET /v1/rates", rt["/v1/rates"])
+	mux.Handle("POST /v1/events", rt["/v1/events"])
+	// Tenant-scoped mirrors of every dataset route. The dispatcher resolves
+	// the tenant, then reuses that tenant's own instrumented handler, so a
+	// named tenant gets the same admission, timeout and metrics treatment.
+	mux.Handle("GET /v1/d/{dataset}/healthz", s.tenantRoute("/healthz"))
+	mux.Handle("GET /v1/d/{dataset}/readyz", s.tenantRoute("/readyz"))
+	mux.Handle("GET /v1/d/{dataset}/risk/top", s.tenantRoute("/v1/risk/top"))
+	mux.Handle("GET /v1/d/{dataset}/risk/{node}", s.tenantRoute("/v1/risk/{node}"))
+	mux.Handle("GET /v1/d/{dataset}/condprob", s.tenantRoute("/v1/condprob"))
+	mux.Handle("GET /v1/d/{dataset}/correlations", s.tenantRoute("/v1/correlations"))
+	mux.Handle("GET /v1/d/{dataset}/anomalies", s.tenantRoute("/v1/anomalies"))
+	mux.Handle("GET /v1/d/{dataset}/snapshot", s.tenantRoute("/v1/snapshot"))
+	mux.Handle("GET /v1/d/{dataset}/rates", s.tenantRoute("/v1/rates"))
+	mux.Handle("POST /v1/d/{dataset}/events", s.tenantRoute("/v1/events"))
+	// Comparative analytics and the dataset-management API live on the root
+	// server only.
+	mux.Handle("GET /v1/compare/condprob", s.instrument("/v1/compare/condprob", s.handleCompareCondProb))
+	mux.Handle("GET /v1/compare/rates", s.instrument("/v1/compare/rates", s.handleCompareRates))
+	mux.Handle("POST /v1/datasets", s.instrument("/v1/datasets", s.handleDatasetCreate))
+	mux.Handle("GET /v1/datasets", s.instrument("/v1/datasets", s.handleDatasetList))
+	mux.Handle("DELETE /v1/datasets/{dataset}", s.instrument("/v1/datasets/{dataset}", s.handleDatasetDelete))
 	if s.wrap != nil {
 		return s.wrap(mux)
 	}
@@ -420,10 +503,43 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		// but the status tells operators writes are being rejected.
 		status = "read-only"
 	}
-	s.writeJSON(w, code, map[string]any{"status": status, "shards": rows})
+	body := map[string]any{"status": status, "shards": rows}
+	// Named tenants report their own readiness per row; a read-only or
+	// recovering tenant degrades only its own routes, so the process-level
+	// code (what load balancers route on) stays the default tenant's.
+	datasets := map[string]any{}
+	s.eachTenant(func(name string, ts *Server) {
+		tready, trows := ts.fabric.status()
+		tstatus := "ready"
+		switch {
+		case !tready:
+			tstatus = "not-ready"
+		case ts.fabric.readOnly():
+			tstatus = "read-only"
+		}
+		datasets[name] = map[string]any{"status": tstatus, "shards": trows}
+	})
+	if len(datasets) > 0 {
+		body["datasets"] = datasets
+	}
+	s.writeJSON(w, code, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// One row per dataset: the default tenant renders unlabeled (the exact
+	// pre-registry exposition, so dashboards and the replay SLO gate keep
+	// working), named tenants render the same families with a dataset label.
+	rows := []metricsRow{{ds: "", m: s.metrics, g: s.gatherGauges()}}
+	s.eachTenant(func(name string, ts *Server) {
+		rows = append(rows, metricsRow{ds: name, m: ts.metrics, g: ts.gatherGauges()})
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	writeMetricsRows(w, rows)
+}
+
+// gatherGauges collects the point-in-time gauge values for this server's
+// metrics row.
+func (s *Server) gatherGauges() gauges {
 	f := s.fabric
 	open, trips := s.breaker.snapshot()
 	g := gauges{
@@ -484,8 +600,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			shed:     lim.shed.Load(),
 		}
 	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, g)
+	return g
 }
 
 // handleSnapshot serves the engine's full observable state in the same
@@ -1215,6 +1330,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("no events in request"))
 		return
 	}
+	// Per-tenant event quota: once this dataset has accepted its budget,
+	// further ingestion is shed before any work happens. Nothing was
+	// ingested, so the idempotency reservation is abandoned (deferred
+	// above) and a retry re-contends after the operator raises the quota.
+	if qmax := s.quota.MaxEvents; qmax > 0 && int64(s.metrics.eventsIn.Load()) >= qmax {
+		w.Header().Set("Retry-After", retryAfter)
+		s.writeError(w, http.StatusTooManyRequests, fmt.Errorf("dataset %s event quota (%d events) exhausted", s.name, qmax))
+		return
+	}
 	// Each event routes to the shard owning its system. With a journal
 	// configured on that shard, ingestion is write-ahead: the event hits
 	// the log (fsync per policy) before the engine sees it, so an acked
@@ -1348,7 +1472,7 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 		ln.Close()
 		return err
 	}
-	s.base = ctx
+	s.setBase(ctx)
 	hs := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -1371,6 +1495,7 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 				return
 			case now := <-t.C:
 				s.fabric.maintain(now)
+				s.eachTenant(func(_ string, ts *Server) { ts.fabric.maintain(now) })
 			}
 		}
 	}()
@@ -1386,6 +1511,27 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 	} else {
 		close(supDone)
 	}
+	// Named tenants share one supervision ticker: each tick drives every
+	// tenant fabric that wants supervision (multi-shard or standby-backed).
+	// Tenants created mid-serve are picked up on the next tick.
+	tenantSupDone := make(chan struct{})
+	go func() {
+		defer close(tenantSupDone)
+		t := time.NewTicker(heartbeatIntervalOr(cfg.HeartbeatInterval))
+		defer t.Stop()
+		for {
+			select {
+			case <-dctx.Done():
+				return
+			case <-t.C:
+				s.eachTenant(func(_ string, ts *Server) {
+					if ts.fabric.needsSupervision() {
+						ts.fabric.tick(dctx)
+					}
+				})
+			}
+		}
+	}()
 	// Shutdown ordering: stop accepting, join in-flight handlers, then tear
 	// down the maintenance goroutines and flush every shard's journal.
 	// Handlers may touch the journals, so they must outlive them.
@@ -1400,7 +1546,13 @@ func ServeListener(ctx context.Context, ln net.Listener, cfg Config) error {
 		dcancel()
 		<-decayDone
 		<-supDone
+		<-tenantSupDone
 		s.fabric.syncAll()
+		// Closing the registry syncs and detaches every named tenant's
+		// journals (Server.Close), making their WAL trees reopenable.
+		if s.reg != nil {
+			s.reg.CloseAll()
+		}
 	}()
 	if cfg.OnStart != nil {
 		go cfg.OnStart(dctx, s)
